@@ -1,0 +1,9 @@
+"""§VI energy-parameter derivation benchmark (22.6/16.6/28/0.32 nJ)."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.energy_params import run_energy_params
+
+
+def test_energy_parameter_derivation(benchmark):
+    report = benchmark(run_energy_params)
+    attach_report(benchmark, report)

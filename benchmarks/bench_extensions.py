@@ -1,0 +1,20 @@
+"""Extension benchmarks: variation Monte-Carlo and write-back economics.
+
+These go beyond the paper's figures, quantifying its prose claims
+("robust reliability", "minimizing write-backs").
+"""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.extensions import run_variation, run_writeback
+
+
+def test_writeback_economics(benchmark):
+    report = benchmark(run_writeback)
+    attach_report(benchmark, report)
+
+
+def test_variation_grain_scaling(benchmark):
+    report = benchmark.pedantic(run_variation, kwargs={"n_cells": 10},
+                                rounds=1, iterations=1)
+    assert report.record("yield grows with grain count").passed
+    assert report.record("hard failures at 1024 grains").passed

@@ -1,0 +1,9 @@
+"""Fig. 1 benchmark: model-derived technology comparison table."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig1_comparison import run_fig1
+
+
+def test_fig1_comparison(benchmark):
+    report = benchmark(run_fig1)
+    attach_report(benchmark, report)

@@ -1,0 +1,9 @@
+"""Fig. 2 benchmark: destructive 1T-1C read vs QNRO 2T-nC read."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig2_sensing import run_fig2
+
+
+def test_fig2_sensing_comparison(benchmark):
+    report = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    attach_report(benchmark, report)

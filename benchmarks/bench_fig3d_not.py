@@ -1,0 +1,9 @@
+"""Fig. 3(d) benchmark: SPICE NOT operation on the 2T-1C cell."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig3_cell import run_fig3d
+
+
+def test_fig3d_not_operation(benchmark):
+    report = benchmark.pedantic(run_fig3d, rounds=2, iterations=1)
+    attach_report(benchmark, report)

@@ -1,0 +1,9 @@
+"""Fig. 3(f) benchmark: SPICE TBA NAND-NOR over all eight states."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig3_cell import run_fig3f
+
+
+def test_fig3f_tba_minority(benchmark):
+    report = benchmark.pedantic(run_fig3f, rounds=1, iterations=1)
+    attach_report(benchmark, report)

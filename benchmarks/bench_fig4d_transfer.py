@@ -1,0 +1,9 @@
+"""Fig. 4(d) benchmark: fabricated-transistor transfer curve."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig4_device import run_fig4d
+
+
+def test_fig4d_transfer_curve(benchmark):
+    report = benchmark(run_fig4d)
+    attach_report(benchmark, report)

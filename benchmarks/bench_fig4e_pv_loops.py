@@ -1,0 +1,9 @@
+"""Fig. 4(e) benchmark: P-V loop family over 300-390 K."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig4_device import run_fig4e
+
+
+def test_fig4e_pv_loop_family(benchmark):
+    report = benchmark.pedantic(run_fig4e, rounds=2, iterations=1)
+    attach_report(benchmark, report)

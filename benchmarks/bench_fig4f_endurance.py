@@ -1,0 +1,9 @@
+"""Fig. 4(f) benchmark: endurance sweep to 1e6 cycles."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig4_device import run_fig4f
+
+
+def test_fig4f_endurance(benchmark):
+    report = benchmark(run_fig4f)
+    attach_report(benchmark, report)

@@ -1,0 +1,10 @@
+"""Fig. 4(g,h) benchmark: pulse-width/amplitude switching kinetics."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig4_device import run_fig4gh
+
+
+def test_fig4gh_switching_kinetics(benchmark):
+    report = benchmark.pedantic(run_fig4gh, kwargs={"quick": True},
+                                rounds=2, iterations=1)
+    attach_report(benchmark, report)

@@ -1,0 +1,9 @@
+"""Fig. 4(i,j) benchmark: measured MINORITY on the virtual test chip."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig4_minority import run_fig4ij
+
+
+def test_fig4ij_measured_minority(benchmark):
+    report = benchmark.pedantic(run_fig4ij, rounds=2, iterations=1)
+    attach_report(benchmark, report)

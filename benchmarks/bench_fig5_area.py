@@ -1,0 +1,9 @@
+"""Fig. 5 / §V benchmark: area and density model."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig5_area import run_fig5
+
+
+def test_fig5_area_density(benchmark):
+    report = benchmark(run_fig5)
+    attach_report(benchmark, report)

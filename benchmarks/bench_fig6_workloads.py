@@ -1,0 +1,32 @@
+"""Fig. 6 benchmark: eight workloads, DRAM vs 2T-nC FeRAM, 1 GB.
+
+Regenerates the paper's headline table (≈2.5× energy, ≈2× performance)
+and times the counting-mode architecture simulation itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig6_workloads import run_fig6
+from repro.workloads.runner import run_comparison, make_workloads
+
+GIB = 1 << 30
+
+
+def test_fig6_full_table(benchmark):
+    report = benchmark.pedantic(run_fig6, args=(GIB,), rounds=2,
+                                iterations=1)
+    attach_report(benchmark, report)
+    table = report.extras["table"]
+    benchmark.extra_info["table"] = table.format()
+
+
+@pytest.mark.parametrize("workload", make_workloads(GIB),
+                         ids=lambda wl: wl.name)
+def test_fig6_per_workload(benchmark, workload):
+    comparison = benchmark.pedantic(run_comparison, args=(workload,),
+                                    rounds=2, iterations=1)
+    benchmark.extra_info["energy_ratio"] = comparison.energy_ratio
+    benchmark.extra_info["cycle_ratio"] = comparison.cycle_ratio
+    assert comparison.energy_ratio > 1.5
+    assert comparison.cycle_ratio > 1.3

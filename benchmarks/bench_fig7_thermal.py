@@ -1,0 +1,9 @@
+"""Fig. 7 benchmark: steady-state thermal solve of the stacked SoC."""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig7_thermal import run_fig7
+
+
+def test_fig7_thermal_profile(benchmark):
+    report = benchmark.pedantic(run_fig7, rounds=2, iterations=1)
+    attach_report(benchmark, report)

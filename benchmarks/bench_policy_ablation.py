@@ -1,0 +1,18 @@
+"""Ablation benchmark: DRAM staging-policy bracket around Fig. 6.
+
+``paper`` (1 AAP/op) is DRAM's best case, ``staged`` reproduces the
+paper's headline, ``ambit`` is the faithful worst case — the FeRAM
+advantage must grow monotonically across them.
+"""
+
+from benchmarks.conftest import attach_report
+from repro.experiments.fig6_workloads import run_policy_ablation
+
+
+def test_staging_policy_ablation(benchmark):
+    report = benchmark.pedantic(run_policy_ablation, rounds=1,
+                                iterations=1)
+    attach_report(benchmark, report)
+    ratios = [report.record(f"geomean energy ratio [{p}]").measured
+              for p in ("paper", "staged", "ambit")]
+    assert ratios[0] < ratios[1] < ratios[2]

@@ -1,0 +1,82 @@
+"""Substrate micro-benchmarks: solver, device model and engine speed.
+
+Not paper artefacts — these track the performance of the simulation
+infrastructure itself (useful when extending the repository).
+"""
+
+import numpy as np
+
+from repro.arch.primitives import make_engine
+from repro.core.behavioral import BehavioralCell
+from repro.ferro.materials import NVDRAM_CAL
+from repro.ferro.preisach import DomainBank
+from repro.spice import (
+    PWL,
+    Capacitor,
+    Circuit,
+    Resistor,
+    TransientSolver,
+    VoltageSource,
+)
+
+
+def test_transient_solver_rc_throughput(benchmark):
+    def run():
+        ckt = Circuit("rc")
+        ckt.add(VoltageSource("vin", "in", "0",
+                              PWL([(0, 0.0), (1e-9, 1.0)])))
+        ckt.add(Resistor("r1", "in", "out", 1e3))
+        ckt.add(Capacitor("c1", "out", "0", 1e-9))
+        return TransientSolver(ckt).run(1e-6, 1e-9)
+
+    result = benchmark(run)
+    assert len(result) > 500
+
+
+def test_domain_bank_waveform_throughput(benchmark):
+    times = np.linspace(0.0, 1e-3, 2000)
+    voltages = 3.0 * np.sin(2 * np.pi * 2e3 * times)
+
+    def run():
+        bank = DomainBank(NVDRAM_CAL)
+        return bank.apply_waveform(times, voltages)
+
+    p = benchmark(run)
+    assert np.max(np.abs(p)) > 0.5 * NVDRAM_CAL.ps
+
+
+def test_behavioral_cell_minority_throughput(benchmark):
+    def run():
+        cell = BehavioralCell(n_caps=3)
+        return cell.level_sweep()
+
+    levels = benchmark(run)
+    assert len(levels) == 8
+
+
+def test_bulk_engine_counting_throughput(benchmark):
+    def run():
+        eng = make_engine("feram-2tnc", functional=False)
+        a = eng.allocate(1 << 25)
+        b = eng.allocate(1 << 25, group_with=a)
+        for _ in range(64):
+            eng.xor(a, b)
+        return eng.finalize()
+
+    stats = benchmark(run)
+    assert stats.total_cycles > 0
+
+
+def test_bulk_engine_functional_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    bits_a = rng.integers(0, 2, 1 << 20, dtype=np.uint8)
+    bits_b = rng.integers(0, 2, 1 << 20, dtype=np.uint8)
+
+    def run():
+        eng = make_engine("feram-2tnc", functional=True)
+        a = eng.load(bits_a)
+        b = eng.load(bits_b, group_with=a)
+        return eng.xor(a, b).logical_bits()
+
+    out = benchmark(run)
+    assert np.array_equal(out, bits_a ^ bits_b)

@@ -1,0 +1,17 @@
+"""Benchmark-suite helpers: paper-vs-measured reporting."""
+
+from __future__ import annotations
+
+
+def attach_report(benchmark, report) -> None:
+    """Record an experiment report's key numbers on the benchmark and
+    assert the reproduction passed."""
+    for record in report.records:
+        if record.paper is not None:
+            benchmark.extra_info[record.name] = {
+                "paper": record.paper,
+                "measured": record.measured,
+                "unit": record.unit,
+            }
+    failing = [rec.format() for rec in report.records if not rec.passed]
+    assert report.passed, "\n".join(failing)

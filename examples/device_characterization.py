@@ -1,0 +1,107 @@
+"""Virtual probe station: characterize the fabricated 2T-nC test chip.
+
+Replays the paper's §IV measurement campaign on the device models:
+transfer curve, temperature-dependent P-V loops, endurance, switching
+kinetics, QNRO read disturb, and the measured MINORITY levels.
+
+Run:  python examples/device_characterization.py
+"""
+
+import numpy as np
+
+from repro.core.logic import minority3
+from repro.core.sense_amp import SenseAmp, reference_between
+from repro.experiments.fig4_minority import make_fabricated_cell
+from repro.ferro import (
+    FAB_HZO,
+    NVDRAM_CAL,
+    UC_PER_CM2,
+    endurance_sweep,
+    minimum_full_switch_pulse,
+    pulse_switched_polarization,
+    reads_until_disturb,
+    temperature_family,
+)
+from repro.spice.mosfet import FAB_NMOS, Mosfet, subthreshold_swing_mv_per_dec
+
+
+def transfer_curve() -> None:
+    print("-- transistor transfer curve (Fig. 4(d)) --")
+    dut = Mosfet("dut", "d", "g", "s", FAB_NMOS)
+    for vg in (-1.0, 0.0, 1.0, 2.0, 3.0):
+        print(f"  VG = {vg:5.1f} V   ID = {dut.ids(vg, 0.1):.3e} A")
+    sweep = [dut.ids(v, 0.1) for v in np.linspace(-1, 3, 81)]
+    print(f"  on/off = {max(sweep) / min(sweep):.2e} (paper: 1e7), "
+          f"SS = {subthreshold_swing_mv_per_dec(FAB_NMOS):.0f} mV/dec "
+          f"(paper: 110)\n")
+
+
+def pv_loops() -> None:
+    print("-- P-V loops vs temperature (Fig. 4(e)) --")
+    family = temperature_family(FAB_HZO)
+    for temp, metrics in family.items():
+        print(f"  T = {temp:5.0f} K   Pr = {metrics['pr_plus'] * UC_PER_CM2:5.2f} "
+              f"uC/cm2   Vc = {metrics['vc_plus']:4.2f} V")
+    print("  (Pr nearly constant; Vc decreases with temperature)\n")
+
+
+def endurance() -> None:
+    print("-- endurance, +-3 V / 10 us cycling (Fig. 4(f)) --")
+    cycles, pr_plus, _ = endurance_sweep(FAB_HZO)
+    for k in range(0, len(cycles), 6):
+        print(f"  N = {cycles[k]:9.0f}   Pr = "
+              f"{pr_plus[k] * UC_PER_CM2:5.2f} uC/cm2")
+    print()
+
+
+def kinetics() -> None:
+    print("-- switching kinetics (Fig. 4(g,h)) --")
+    for amp in (1.5, 2.0, 2.5, 3.0):
+        t90 = minimum_full_switch_pulse(FAB_HZO, amp)
+        dp_100us = pulse_switched_polarization(FAB_HZO, amp, 1e-4)
+        label = f"{t90 * 1e9:.0f} ns" if np.isfinite(t90) else ">10 ms"
+        print(f"  {amp:3.1f} V: 90% switch in {label:>8}, "
+              f"dP(100 us) = {dp_100us * UC_PER_CM2:5.1f} uC/cm2")
+    print("  (paper: full switching below 300 ns at +-3 V)\n")
+
+
+def read_disturb() -> None:
+    print("-- QNRO accumulative read disturb (paper SII) --")
+    for v_read in (0.5, 0.6, 0.75):
+        count = reads_until_disturb(NVDRAM_CAL, v_read=v_read,
+                                    t_read=50e-9)
+        print(f"  V_read = {v_read:4.2f} V: {count:>5} reads before 50% "
+              f"margin loss")
+    print("  (non-destructive enough to amortize write-backs)\n")
+
+
+def measured_minority() -> None:
+    print("-- measured MINORITY levels (Fig. 4(i,j)) --")
+    cell = make_fabricated_cell()
+    levels = cell.level_sweep(mode="charge")
+    by_ones = {}
+    for state, current in levels.items():
+        by_ones.setdefault(sum(state), []).append(current)
+    for ones in range(4):
+        mean = np.mean(by_ones[ones])
+        print(f"  #1s = {ones}: I_RBL = {mean * 1e6:5.2f} uA")
+    ref = reference_between(levels[(0, 1, 1)], levels[(0, 0, 1)])
+    sa = SenseAmp(ref)
+    ok = all(sa.compare(levels[(a, b, c)]) == minority3(a, b, c)
+             for a in (0, 1) for b in (0, 1) for c in (0, 1))
+    print(f"  comparator between '001' and '011' levels -> "
+          f"MINORITY correct for all 8 states: {ok}")
+
+
+def main() -> None:
+    print("=== Virtual probe station: 2T-nC FeRAM test chip ===\n")
+    transfer_curve()
+    pv_loops()
+    endurance()
+    kinetics()
+    read_disturb()
+    measured_minority()
+
+
+if __name__ == "__main__":
+    main()

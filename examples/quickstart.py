@@ -1,0 +1,57 @@
+"""Quickstart: single-cell universal logic in a 2T-3C FeRAM cell.
+
+Builds the paper's cell at SPICE level, then:
+1. writes and QNRO-reads a bit (the read output is the *complement* —
+   NOT for free);
+2. runs Triple-Bit-Activation for every stored state, showing the RSL
+   current ordering that makes the MINORITY function sensible;
+3. computes NAND and NOR by setting the control capacitor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CellOperations, TwoTnCCell, minority3
+
+
+def main() -> None:
+    print("=== 2T-3C FeRAM logic-in-memory quickstart ===\n")
+    cell = TwoTnCCell(n_caps=3, n_domains=24)
+    ops = CellOperations(cell, dt=1e-9)
+
+    print("-- NOT via inverting QNRO read (paper Fig. 3(c,d)) --")
+    ops.calibrate_not_reference()
+    for bit in (0, 1):
+        result = ops.op_not(bit)
+        print(f"  stored {bit} -> SA output {result.output_bit}   "
+              f"I_RSL = {result.rsl_current:.3e} A, "
+              f"V_int = {result.vint:.3f} V, "
+              f"state preserved: {result.state_preserved()}")
+
+    print("\n-- TBA levels for every stored state (Fig. 3(f)) --")
+    levels = ops.tba_level_sweep()
+    for state in sorted(levels, key=lambda s: (-levels[s])):
+        ones = sum(state)
+        print(f"  A,B,C = {state}  (#1s = {ones})  "
+              f"I_RSL = {levels[state]:.3e} A")
+
+    print("\n-- MINORITY -> universal NAND / NOR --")
+    ops.calibrate_minority_reference()
+    print("  A B | MIN(A,B,0)=NAND  MIN(A,B,1)=NOR")
+    for a in (0, 1):
+        for b in (0, 1):
+            nand = ops.op_nand(a, b).output_bit
+            nor = ops.op_nor(a, b).output_bit
+            check = "ok" if (nand == 1 - (a & b)
+                             and nor == 1 - (a | b)) else "FAIL"
+            print(f"  {a} {b} |        {nand}                {nor}"
+                  f"      [{check}]")
+
+    print("\n-- truth-table cross-check --")
+    table_ok = all(
+        ops.op_minority(a, b, c).output_bit == minority3(a, b, c)
+        for a in (0, 1) for b in (0, 1) for c in (0, 1))
+    print(f"  all 8 MINORITY states correct: {table_ok}")
+
+
+if __name__ == "__main__":
+    main()

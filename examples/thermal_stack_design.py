@@ -1,0 +1,91 @@
+"""Thermal design exploration for stacked 2T-nC FeRAM on a compute die.
+
+Reproduces the paper's §VII analysis (peak 351.88 K for the 5-layer,
+2 GB die on a 28 W TPU), then explores beyond it: capacitor-deck count,
+package quality, and ferroelectric stability margins — the kind of
+design sweep a system architect would run with this library.
+
+Run:  python examples/thermal_stack_design.py
+"""
+
+import numpy as np
+
+from repro.experiments.fig7_thermal import (
+    GRID_NX,
+    GRID_NY,
+    solve_workload_stack,
+)
+from repro.ferro import FAB_HZO, check_thermal_stability
+from repro.thermal import (
+    build_fig7_stack,
+    memory_power_maps,
+    solve_steady_state,
+    tpu_power_map,
+)
+from repro.workloads import BitmapIndexQuery, make_workloads
+
+GIB = 1 << 30
+
+
+def paper_point() -> None:
+    print("-- the paper's design point (Fig. 7) --")
+    result = solve_workload_stack(BitmapIndexQuery(GIB))
+    print(f"  peak temperature: {result.peak_k:.2f} K (paper: 351.88 K)")
+    print("  layer profile (mean / peak K):")
+    for name, (mean, peak) in result.layer_profile().items():
+        print(f"    {name:<12} {mean:7.2f} / {peak:7.2f}")
+    stability = check_thermal_stability(FAB_HZO, result.peak_k)
+    print(f"  ferroelectric stable: {stability.stable} "
+          f"(Pr retained: {stability.pr_fraction:.1%})\n")
+
+
+def workload_insensitivity() -> None:
+    print("-- peak temperature across all eight workloads --")
+    peaks = {}
+    for workload in make_workloads(GIB):
+        result = solve_workload_stack(workload)
+        peaks[workload.title] = result.peak_k
+        print(f"  {workload.title:<24} {result.peak_k:7.2f} K")
+    spread = max(peaks.values()) - min(peaks.values())
+    print(f"  spread: {spread:.2f} K — the profile is dominated by the "
+          f"28 W compute die, as the paper reports\n")
+
+
+def deck_count_sweep() -> None:
+    print("-- capacitor-deck sweep: n = 1..5 (2T-nC, n+2 layers) --")
+    for n_caps in range(1, 6):
+        stack = build_fig7_stack(n_caps)
+        power = {0: tpu_power_map(GRID_NX, GRID_NY)}
+        memory_layers = list(range(2, 2 + n_caps + 2))
+        power.update(memory_power_maps(0.3, memory_layers,
+                                       GRID_NX, GRID_NY))
+        result = solve_steady_state(stack, power, nx=GRID_NX, ny=GRID_NY)
+        print(f"  n = {n_caps} ({n_caps + 2} device layers): peak "
+              f"{result.peak_k:.2f} K")
+    print("  (extra thin BEOL decks barely move the thermals)\n")
+
+
+def package_sensitivity() -> None:
+    print("-- package-quality sensitivity --")
+    workload = BitmapIndexQuery(GIB)
+    for r_pkg, label in ((0.5, "forced-air sink"),
+                         (1.691, "paper calibration"),
+                         (3.0, "weak natural convection")):
+        result = solve_workload_stack(workload,
+                                      package_resistance_k_w=r_pkg)
+        stability = check_thermal_stability(FAB_HZO, result.peak_k)
+        print(f"  R_pkg = {r_pkg:5.2f} K/W ({label:<24}): peak "
+              f"{result.peak_k:7.2f} K, stable: {stability.stable}")
+    print()
+
+
+def main() -> None:
+    print("=== Thermal design of stacked 2T-nC FeRAM ===\n")
+    paper_point()
+    workload_insensitivity()
+    deck_count_sweep()
+    package_sensitivity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: allows legacy editable installs where the 'wheel' package
+(needed for PEP 517 editable builds) is unavailable offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Single-Cell Universal Logic-in-Memory Using
+2T-nC FeRAM: An Area and Energy-Efficient Approach for Bulk Bitwise
+Computation" (SOCC 2025).
+
+Subpackages
+-----------
+``repro.spice``
+    MNA transient circuit solver (Spectre substitute).
+``repro.ferro``
+    Multi-domain ferroelectric capacitor physics (Preisach + NLS dynamics,
+    reliability, temperature dependence).
+``repro.core``
+    The paper's contribution: the 2T-nC FeRAM logic-in-memory cell with
+    QNRO sensing, NOT via inverting read, and MINORITY/NAND/NOR via
+    triple-bit activation.
+``repro.arch``
+    Command-level memory-architecture simulator (pLUTo-extension
+    substitute): DRAM AAP vs FeRAM ACP bulk-bitwise execution.
+``repro.workloads``
+    The eight evaluated data-intensive applications.
+``repro.integration``
+    Planar vs vertical-3D area and density models.
+``repro.thermal``
+    HotSpot-substitute steady-state 3-D thermal solver.
+``repro.experiments``
+    One driver per paper figure/table, with paper-vs-measured reporting.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

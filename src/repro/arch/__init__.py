@@ -1,0 +1,50 @@
+"""Command-level memory-architecture simulator (pLUTo-extension
+substitute): bulk-bitwise execution on DRAM (Ambit AAP) and 2T-nC FeRAM
+(ACP), with the paper's §VI energy/latency constants, 64 ms DRAM refresh,
+and functional (bit-exact) plus counting execution modes.
+"""
+
+from repro.arch.bank import BitVector, RowAllocator, pack_bits, unpack_bits
+from repro.arch.bitwise import (
+    add_constant,
+    full_adder,
+    greater_equal_const,
+    half_adder,
+    popcount,
+    ripple_add,
+)
+from repro.arch.commands import Command, CommandType, Stats, command_cost
+from repro.arch.engine import BulkEngine
+from repro.arch.primitives import DramAmbitEngine, FeramAcpEngine, make_engine
+from repro.arch.refresh import RefreshCharge, apply_refresh
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB, MemorySpec, StagingPolicy
+from repro.arch.writeback import WritebackPolicy, compare_writeback_policies
+
+__all__ = [
+    "MemorySpec",
+    "DRAM_8GB",
+    "FERAM_2TNC_8GB",
+    "StagingPolicy",
+    "Command",
+    "CommandType",
+    "Stats",
+    "command_cost",
+    "BitVector",
+    "RowAllocator",
+    "pack_bits",
+    "unpack_bits",
+    "BulkEngine",
+    "DramAmbitEngine",
+    "FeramAcpEngine",
+    "make_engine",
+    "RefreshCharge",
+    "apply_refresh",
+    "WritebackPolicy",
+    "compare_writeback_policies",
+    "full_adder",
+    "half_adder",
+    "ripple_add",
+    "add_constant",
+    "popcount",
+    "greater_equal_const",
+]

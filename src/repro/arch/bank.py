@@ -1,0 +1,179 @@
+"""Bit-vector storage handles and the row allocator.
+
+A :class:`BitVector` is a bulk operand: logically ``n_bits`` wide, laid
+out across ``n_rows`` physical rows of the memory.  In functional mode it
+carries packed ``uint64`` payload data (shape ``(n_rows, words_per_row)``)
+plus a *complement flag*: the logical value is ``payload ^ flag``.  The
+flag is how the engines exploit the paper's observation that QNRO reads
+are inherently inverting — a NOT costs nothing until a materialized
+payload is required.
+
+The allocator hands out row blocks round-robin across banks and, for
+FeRAM, tracks *cell groups*: vectors co-located in the planes of the same
+physical rows can feed a TBA directly, while operands from different
+groups need one relocation ACP (counted by the engine).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.spec import MemorySpec
+from repro.errors import ArchitectureError
+
+__all__ = ["BitVector", "RowAllocator", "pack_bits", "unpack_bits"]
+
+WORD_BITS = 64
+
+
+def pack_bits(bits: np.ndarray, row_bits: int) -> np.ndarray:
+    """Pack a flat 0/1 array into ``(n_rows, words_per_row)`` uint64.
+
+    The input length must be a multiple of ``row_bits``.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 1:
+        raise ArchitectureError("bits must be 1-D")
+    if bits.size % row_bits:
+        raise ArchitectureError(
+            f"bit count {bits.size} is not a multiple of row size {row_bits}")
+    packed = np.packbits(bits.astype(np.uint8), bitorder="little")
+    words = packed.view(np.uint64) if packed.size % 8 == 0 else None
+    if words is None:
+        raise ArchitectureError("row_bits must be a multiple of 64")
+    return words.reshape(-1, row_bits // WORD_BITS).copy()
+
+
+def unpack_bits(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: flat 0/1 uint8 array."""
+    flat = np.ascontiguousarray(words).reshape(-1).view(np.uint8)
+    return np.unpackbits(flat, bitorder="little")
+
+
+@dataclass
+class BitVector:
+    """Handle to a bulk operand resident in the simulated memory.
+
+    Attributes
+    ----------
+    name:
+        Debug label.
+    n_bits:
+        Logical width (= n_rows × row_bits).
+    n_rows:
+        Physical rows spanned.
+    payload:
+        Packed data (functional mode) or None (counting mode).
+    complemented:
+        If True the logical value is the bitwise NOT of the payload.
+    group:
+        FeRAM co-location group id (via the allocator's union-find).
+    bank_start:
+        First bank of the round-robin span (for power-map attribution).
+    """
+
+    name: str
+    n_bits: int
+    n_rows: int
+    payload: np.ndarray | None = None
+    complemented: bool = False
+    group: int = -1
+    bank_start: int = 0
+    freed: bool = field(default=False, repr=False)
+
+    def value(self) -> np.ndarray | None:
+        """Logical packed words (payload with the flag resolved)."""
+        if self.payload is None:
+            return None
+        return ~self.payload if self.complemented else self.payload.copy()
+
+    def logical_bits(self) -> np.ndarray | None:
+        """Logical value as a flat 0/1 array (functional mode only)."""
+        value = self.value()
+        if value is None:
+            return None
+        return unpack_bits(value)[: self.n_bits]
+
+
+class RowAllocator:
+    """Round-robin row-block allocator with FeRAM cell-group tracking."""
+
+    def __init__(self, spec: MemorySpec) -> None:
+        self.spec = spec
+        self._rows_used = 0
+        self._peak_rows_used = 0
+        self._next_bank = 0
+        self._group_counter = itertools.count()
+        self._group_parent: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def rows_used(self) -> int:
+        return self._rows_used
+
+    @property
+    def peak_rows_used(self) -> int:
+        """High-water mark — the refresh footprint of the run."""
+        return self._peak_rows_used
+
+    @property
+    def rows_free(self) -> int:
+        return self.spec.n_rows * self.spec.n_planes - self._rows_used
+
+    def rows_for_bits(self, n_bits: int) -> int:
+        row_bits = self.spec.row_bits
+        return (n_bits + row_bits - 1) // row_bits
+
+    def allocate(self, name: str, n_bits: int) -> BitVector:
+        """Reserve rows for a vector of ``n_bits`` logical bits."""
+        if n_bits <= 0:
+            raise ArchitectureError("vector must have positive width")
+        n_rows = self.rows_for_bits(n_bits)
+        if n_rows > self.rows_free:
+            raise ArchitectureError(
+                f"out of memory allocating {name!r}: need {n_rows} rows, "
+                f"{self.rows_free} free")
+        self._rows_used += n_rows
+        self._peak_rows_used = max(self._peak_rows_used, self._rows_used)
+        group = next(self._group_counter)
+        self._group_parent[group] = group
+        vector = BitVector(name=name, n_bits=n_bits, n_rows=n_rows,
+                           group=group, bank_start=self._next_bank)
+        self._next_bank = (self._next_bank + 1) % self.spec.n_banks
+        return vector
+
+    def free(self, vector: BitVector) -> None:
+        if vector.freed:
+            raise ArchitectureError(f"double free of {vector.name!r}")
+        vector.freed = True
+        vector.payload = None
+        self._rows_used -= vector.n_rows
+
+    # ------------------------------------------------------------------
+    # FeRAM co-location groups (union-find)
+    # ------------------------------------------------------------------
+    def group_root(self, group: int) -> int:
+        parent = self._group_parent
+        root = group
+        while parent[root] != root:
+            root = parent[root]
+        while parent[group] != root:  # path compression
+            parent[group], group = root, parent[group]
+        return root
+
+    def co_located(self, a: BitVector, b: BitVector) -> bool:
+        return self.group_root(a.group) == self.group_root(b.group)
+
+    def unify(self, a: BitVector, b: BitVector) -> None:
+        """Merge co-location groups (after a relocation copy)."""
+        ra, rb = self.group_root(a.group), self.group_root(b.group)
+        if ra != rb:
+            self._group_parent[rb] = ra
+
+    def join_group(self, vector: BitVector, other: BitVector) -> None:
+        """Place ``vector`` into ``other``'s group (results of a TBA are
+        written directly into a plane of the operand rows)."""
+        vector.group = self.group_root(other.group)

@@ -1,0 +1,132 @@
+"""Compound bulk-bitwise building blocks: bit-sliced arithmetic.
+
+Workloads that need arithmetic (CRC feedback, BNN popcount) use the
+classic bit-sliced layout: a k-bit quantity across N parallel lanes is k
+row-vectors (planes), LSB first.  Shifts are plane renames (free — row
+addressing), and adders are built from the engines' XOR/MAJ primitives,
+so every cost lands in the same AAP/ACP accounting as plain logic ops.
+"""
+
+from __future__ import annotations
+
+from repro.arch.bank import BitVector
+from repro.arch.engine import BulkEngine
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "full_adder",
+    "half_adder",
+    "ripple_add",
+    "add_constant",
+    "popcount",
+    "greater_equal_const",
+]
+
+
+def half_adder(engine: BulkEngine, a: BitVector, b: BitVector,
+               ) -> tuple[BitVector, BitVector]:
+    """(sum, carry) of two 1-bit lanes."""
+    return engine.xor(a, b), engine.and_(a, b)
+
+
+def full_adder(engine: BulkEngine, a: BitVector, b: BitVector,
+               cin: BitVector) -> tuple[BitVector, BitVector]:
+    """(sum, carry): sum = a⊕b⊕cin, carry = MAJ(a, b, cin)."""
+    t = engine.xor(a, b)
+    total = engine.xor(t, cin)
+    carry = engine.majority(a, b, cin)
+    engine.free(t)
+    return total, carry
+
+
+def ripple_add(engine: BulkEngine, a: list[BitVector], b: list[BitVector],
+               ) -> list[BitVector]:
+    """Bit-sliced addition; result has ``max(len) + 1`` planes.
+
+    Consumes neither input (callers free operands).
+    """
+    if not a or not b:
+        raise ArchitectureError("ripple_add requires non-empty slices")
+    width = max(len(a), len(b))
+    n_bits = a[0].n_bits
+    zero = engine.constant(n_bits, 0, "ra_zero", group_with=a[0])
+    padded_a = list(a) + [zero] * (width - len(a))
+    padded_b = list(b) + [zero] * (width - len(b))
+    out: list[BitVector] = []
+    carry: BitVector | None = None
+    for plane_a, plane_b in zip(padded_a, padded_b):
+        if carry is None:
+            s, carry = half_adder(engine, plane_a, plane_b)
+        else:
+            s, new_carry = full_adder(engine, plane_a, plane_b, carry)
+            engine.free(carry)
+            carry = new_carry
+        out.append(s)
+    out.append(carry)
+    engine.free(zero)
+    return out
+
+
+def add_constant(engine: BulkEngine, a: list[BitVector], constant: int,
+                 ) -> list[BitVector]:
+    """Bit-sliced ``a + constant`` (constant broadcast to all lanes)."""
+    if constant < 0:
+        raise ArchitectureError("constant must be non-negative")
+    width = max(len(a), constant.bit_length())
+    n_bits = a[0].n_bits
+    planes = [engine.constant(n_bits, (constant >> k) & 1, f"k{k}",
+                              group_with=a[0])
+              for k in range(width)]
+    out = ripple_add(engine, a, planes)
+    engine.free(*planes)
+    return out
+
+
+def popcount(engine: BulkEngine, bits: list[BitVector],
+             ) -> list[BitVector]:
+    """Per-lane population count of N 1-bit vectors → bit-sliced count.
+
+    Balanced adder tree: O(N) full adders, ⌈log2(N+1)⌉ result planes.
+    Consumes nothing; intermediate slices are freed.
+    """
+    if not bits:
+        raise ArchitectureError("popcount requires at least one vector")
+    # Each item is a bit-sliced partial count; start with 1-bit counts.
+    queue: list[list[BitVector]] = [[engine.copy(v, "pc_in")] for v in bits]
+    while len(queue) > 1:
+        next_queue: list[list[BitVector]] = []
+        for i in range(0, len(queue) - 1, 2):
+            total = ripple_add(engine, queue[i], queue[i + 1])
+            engine.free(*queue[i], *queue[i + 1])
+            next_queue.append(total)
+        if len(queue) % 2:
+            next_queue.append(queue[-1])
+        queue = next_queue
+    return queue[0]
+
+
+def greater_equal_const(engine: BulkEngine, a: list[BitVector],
+                        threshold: int) -> BitVector:
+    """Per-lane ``value(a) >= threshold`` as a 1-bit vector.
+
+    Computed as the carry-out of ``a + (2^w - threshold)`` — the standard
+    borrow trick, entirely in bulk ops.
+    """
+    if threshold < 0:
+        raise ArchitectureError("threshold must be non-negative")
+    width = len(a)
+    if threshold == 0:
+        return engine.constant(a[0].n_bits, 1, "ge_always")
+    if threshold > (1 << width):
+        return engine.constant(a[0].n_bits, 0, "ge_never")
+    complement = (1 << width) - threshold
+    n_bits = a[0].n_bits
+    planes = [engine.constant(n_bits, (complement >> k) & 1, f"thr{k}",
+                              group_with=a[0])
+              for k in range(width)]
+    total = ripple_add(engine, a, planes)
+    engine.free(*planes)
+    carry_out = total[-1]
+    result = engine.copy(carry_out, "ge_out")
+    engine.free(*total)
+    return result

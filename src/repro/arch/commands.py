@@ -1,0 +1,144 @@
+"""Row-level command vocabulary and cost accounting.
+
+Commands are the atoms the engines issue; each carries an energy and a
+cycle cost taken from the :class:`~repro.arch.spec.MemorySpec`, times a
+``repeat`` multiplier (bulk operations across R rows issue one command
+record with ``repeat = R`` rather than R records — essential for the
+1 GB counting-mode runs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.arch.spec import MemorySpec
+from repro.errors import ArchitectureError
+
+__all__ = ["CommandType", "Command", "command_cost", "Stats"]
+
+
+class CommandType(enum.Enum):
+    """Row-level command phases."""
+
+    ACTIVATE = "act"            # single-row activate (QNRO read / DRAM ACT)
+    ACTIVATE_TRA = "act_tra"    # DRAM triple-row activation (majority)
+    ACTIVATE_TBA = "act_tba"    # FeRAM triple-bit activation (minority)
+    COPY = "copy"               # FeRAM tri-state-buffer row copy / 2nd ACT
+    PRECHARGE = "pre"
+    ROW_WRITE = "row_write"     # host / control-row programming
+    ROW_READ = "row_read"       # host readout
+    REFRESH = "refresh"         # one-row refresh (ACT+PRE)
+
+
+#: Accounting category per command type (stats aggregation).
+_CATEGORY = {
+    CommandType.ACTIVATE: "compute",
+    CommandType.ACTIVATE_TRA: "compute",
+    CommandType.ACTIVATE_TBA: "compute",
+    CommandType.COPY: "compute",
+    CommandType.PRECHARGE: "compute",
+    CommandType.ROW_WRITE: "io",
+    CommandType.ROW_READ: "io",
+    CommandType.REFRESH: "refresh",
+}
+
+
+def command_cost(spec: MemorySpec, ctype: CommandType) -> tuple[float, int]:
+    """(energy_joules, cycles) of one command of the given type."""
+    if ctype in (CommandType.ACTIVATE, CommandType.ACTIVATE_TRA,
+                 CommandType.ACTIVATE_TBA):
+        return spec.e_activate, spec.t_activate
+    if ctype is CommandType.COPY:
+        return spec.e_copy, spec.t_copy
+    if ctype is CommandType.PRECHARGE:
+        return spec.e_precharge, spec.t_precharge
+    if ctype is CommandType.ROW_WRITE:
+        return spec.e_row_write, 1
+    if ctype is CommandType.ROW_READ:
+        return spec.e_row_read, 1
+    if ctype is CommandType.REFRESH:
+        return spec.refresh_row_energy, spec.t_activate + spec.t_precharge
+    raise ArchitectureError(f"unknown command type {ctype!r}")
+
+
+@dataclass(frozen=True)
+class Command:
+    """One (possibly bulk-repeated) row command."""
+
+    ctype: CommandType
+    repeat: int = 1
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.repeat < 1:
+            raise ArchitectureError("repeat must be >= 1")
+
+
+@dataclass
+class Stats:
+    """Energy / cycle ledger of an engine run.
+
+    Energy is split into categories: ``compute`` (logic primitives and
+    their staging), ``io`` (host loads/stores and control-row writes) and
+    ``refresh``.  ``counts`` tracks command-type totals (repeat-weighted).
+    """
+
+    energy_j: dict[str, float] = field(default_factory=lambda: {
+        "compute": 0.0, "io": 0.0, "refresh": 0.0})
+    cycles: dict[str, int] = field(default_factory=lambda: {
+        "compute": 0, "io": 0, "refresh": 0})
+    counts: dict[CommandType, int] = field(default_factory=dict)
+    staging_aaps: int = 0
+    relocation_acps: int = 0
+    control_rewrites: int = 0
+
+    def record(self, spec: MemorySpec, command: Command,
+               *, category: str | None = None) -> None:
+        energy, cycles = command_cost(spec, command.ctype)
+        cat = category or _CATEGORY[command.ctype]
+        self.energy_j[cat] = self.energy_j.get(cat, 0.0) \
+            + energy * command.repeat
+        self.cycles[cat] = self.cycles.get(cat, 0) + cycles * command.repeat
+        self.counts[command.ctype] = self.counts.get(command.ctype, 0) \
+            + command.repeat
+
+    # ------------------------------------------------------------------
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self.energy_j.values())
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles.values())
+
+    def wall_time_s(self, spec: MemorySpec) -> float:
+        return self.total_cycles * spec.cycle_time_s
+
+    def merged_with(self, other: "Stats") -> "Stats":
+        """New Stats combining two ledgers."""
+        merged = Stats()
+        for src in (self, other):
+            for key, value in src.energy_j.items():
+                merged.energy_j[key] = merged.energy_j.get(key, 0.0) + value
+            for key, cyc in src.cycles.items():
+                merged.cycles[key] = merged.cycles.get(key, 0) + cyc
+            for ctype, count in src.counts.items():
+                merged.counts[ctype] = merged.counts.get(ctype, 0) + count
+        merged.staging_aaps = self.staging_aaps + other.staging_aaps
+        merged.relocation_acps = self.relocation_acps + other.relocation_acps
+        merged.control_rewrites = self.control_rewrites \
+            + other.control_rewrites
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        """Flat report dictionary (used by the fig-6 table printer)."""
+        return {
+            "energy_total_nj": self.total_energy_j * 1e9,
+            "energy_compute_nj": self.energy_j.get("compute", 0.0) * 1e9,
+            "energy_io_nj": self.energy_j.get("io", 0.0) * 1e9,
+            "energy_refresh_nj": self.energy_j.get("refresh", 0.0) * 1e9,
+            "cycles_total": float(self.total_cycles),
+            "cycles_compute": float(self.cycles.get("compute", 0)),
+            "cycles_refresh": float(self.cycles.get("refresh", 0)),
+        }

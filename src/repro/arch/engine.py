@@ -1,0 +1,368 @@
+"""Bulk-bitwise execution engines (the pLUTo-extension substitute).
+
+:class:`BulkEngine` provides the technology-independent logical layer:
+vector allocation and host IO, complement-flag algebra, and the compound
+operations (AND/OR/NAND/NOR/XOR/XNOR/MAJ/select).  Technology subclasses
+in :mod:`repro.arch.primitives` implement four hooks:
+
+* ``_charge_logic`` — account one native row-parallel logic primitive
+  (DRAM: AAP with staging policy; FeRAM: ACP with control amortization
+  and co-location relocations);
+* ``_charge_not`` — account a materialized row NOT;
+* ``_charge_copy`` — account a row copy (RowClone / tri-state COPY);
+* ``_native_inverting`` — whether the native triple-activation senses
+  MINORITY (FeRAM/QNRO, inverting) or MAJORITY (DRAM).
+
+The complement-flag algebra implements the paper's key observation that
+QNRO reads are *inherently inverting*: a logical NOT is free until a
+materialized payload is needed, and AND/OR/NAND/NOR each cost exactly one
+native primitive when operand flags agree (mixed flags force one
+materialization, which both engines charge honestly).
+
+Functional mode carries packed uint64 payloads and computes every
+operation bit-exactly (verified against numpy references in the test
+suite); counting mode skips payloads for 1 GB-scale accounting runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.arch.bank import BitVector, RowAllocator, pack_bits, unpack_bits
+from repro.arch.commands import Command, CommandType, Stats
+from repro.arch.refresh import RefreshCharge, apply_refresh
+from repro.arch.spec import MemorySpec
+from repro.core.logic import majority_words
+from repro.errors import ArchitectureError
+
+__all__ = ["BulkEngine"]
+
+
+class BulkEngine:
+    """Technology-independent bulk-bitwise execution engine."""
+
+    def __init__(self, spec: MemorySpec, *, functional: bool = True) -> None:
+        self.spec = spec
+        self.functional = functional
+        self.allocator = RowAllocator(spec)
+        self.stats = Stats()
+        self._name_counter = itertools.count()
+        self._finalized: RefreshCharge | None = None
+
+    # ------------------------------------------------------------------
+    # technology hooks
+    # ------------------------------------------------------------------
+    def _charge_logic(self, n_rows: int) -> None:
+        raise NotImplementedError
+
+    def _charge_not(self, n_rows: int) -> None:
+        raise NotImplementedError
+
+    def _charge_copy(self, n_rows: int) -> None:
+        raise NotImplementedError
+
+    def _native_inverting(self) -> bool:
+        raise NotImplementedError
+
+    def _before_logic(self, operands: list[BitVector],
+                      result: BitVector) -> None:
+        """Optional co-location / staging hook (FeRAM relocations)."""
+
+    def _charge_constant(self, n_rows: int) -> None:
+        """Initialize rows to a constant.  Default: host-style row write;
+        DRAM overrides with an AAP copy from its preset 0/1 rows."""
+        self.stats.record(self.spec, Command(CommandType.ROW_WRITE,
+                                             repeat=n_rows, tag="const"))
+
+    # ------------------------------------------------------------------
+    # storage and host IO
+    # ------------------------------------------------------------------
+    def _auto_name(self, prefix: str) -> str:
+        return f"{prefix}{next(self._name_counter)}"
+
+    def allocate(self, n_bits: int, name: str | None = None, *,
+                 group_with: BitVector | None = None) -> BitVector:
+        """Reserve a vector (payload zeroed in functional mode).
+
+        ``group_with`` places the vector in an existing vector's cell
+        group — the planes of the same physical rows — so TBA operands
+        need no relocation (how a host lays out natural operand pairs).
+        """
+        vector = self.allocator.allocate(name or self._auto_name("v"),
+                                         n_bits)
+        if group_with is not None:
+            self.allocator.join_group(vector, group_with)
+        if self.functional:
+            vector.payload = np.zeros(
+                (vector.n_rows, self.spec.row_bits // 64), dtype=np.uint64)
+        return vector
+
+    def load(self, bits: np.ndarray, name: str | None = None, *,
+             group_with: BitVector | None = None,
+             charge: bool = True) -> BitVector:
+        """Host write of a 0/1 array into a fresh vector.
+
+        ``charge=False`` models operands already resident in memory (the
+        PiM evaluation setting: the data lives there).
+        """
+        bits = np.asarray(bits)
+        vector = self.allocate(bits.size, name, group_with=group_with)
+        if self.functional:
+            padded = np.zeros(vector.n_rows * self.spec.row_bits,
+                              dtype=np.uint8)
+            padded[: bits.size] = bits.astype(np.uint8)
+            vector.payload = pack_bits(padded, self.spec.row_bits)
+            vector.complemented = False
+        if charge:
+            self.stats.record(self.spec, Command(CommandType.ROW_WRITE,
+                                                 repeat=vector.n_rows))
+        return vector
+
+    def store(self, vector: BitVector, *,
+              charge: bool = True) -> np.ndarray | None:
+        """Host readout of the logical value; None in counting mode."""
+        self._check(vector)
+        if charge:
+            self.stats.record(self.spec, Command(CommandType.ROW_READ,
+                                                 repeat=vector.n_rows))
+        return vector.logical_bits()
+
+    def constant(self, n_bits: int, bit: int,
+                 name: str | None = None, *,
+                 group_with: BitVector | None = None) -> BitVector:
+        """A vector of all-0s or all-1s (one row-write sweep)."""
+        if bit not in (0, 1):
+            raise ArchitectureError("constant bit must be 0 or 1")
+        vector = self.allocate(n_bits, name or self._auto_name("const"),
+                               group_with=group_with)
+        if self.functional:
+            fill = np.uint64(0xFFFFFFFFFFFFFFFF) if bit else np.uint64(0)
+            vector.payload[:] = fill
+        self._charge_constant(vector.n_rows)
+        return vector
+
+    def free(self, *vectors: BitVector) -> None:
+        for vector in vectors:
+            self.allocator.free(vector)
+
+    def _check(self, *vectors: BitVector) -> None:
+        for vector in vectors:
+            if vector.freed:
+                raise ArchitectureError(f"use after free: {vector.name!r}")
+        widths = {v.n_bits for v in vectors}
+        if len(widths) > 1:
+            raise ArchitectureError(
+                f"operand width mismatch: {sorted(widths)}")
+
+    # ------------------------------------------------------------------
+    # flag algebra primitives
+    # ------------------------------------------------------------------
+    def not_(self, vector: BitVector) -> BitVector:
+        """Logical NOT — free flag flip (QNRO reads are inverting; the
+        complement is resolved lazily)."""
+        self._check(vector)
+        vector.complemented = not vector.complemented
+        return vector
+
+    def materialize(self, vector: BitVector) -> BitVector:
+        """Force the payload to equal the logical value (1 native NOT if
+        the flag is set, otherwise free)."""
+        self._check(vector)
+        if not vector.complemented:
+            return vector
+        self._charge_not(vector.n_rows)
+        if self.functional:
+            vector.payload = ~vector.payload
+        vector.complemented = False
+        return vector
+
+    def copy(self, vector: BitVector, name: str | None = None) -> BitVector:
+        """Row copy into a fresh vector (RowClone / tri-state COPY)."""
+        self._check(vector)
+        out = self.allocate(vector.n_bits, name or self._auto_name("cp"))
+        self._charge_copy(vector.n_rows)
+        if self.functional:
+            out.payload = vector.payload.copy()
+        out.complemented = vector.complemented
+        self.allocator.join_group(out, vector)
+        return out
+
+    def _force_flag(self, vector: BitVector, flag: bool) -> None:
+        """Set the complement flag to ``flag``, inverting the payload if
+        needed (one materialized NOT); logical value is unchanged."""
+        if vector.complemented == flag:
+            return
+        self._charge_not(vector.n_rows)
+        if self.functional:
+            vector.payload = ~vector.payload
+        vector.complemented = flag
+
+    def _equalize_flags(self, a: BitVector, b: BitVector) -> bool:
+        """Make the operand flags agree; returns the common flag."""
+        if a.complemented != b.complemented:
+            # Materialize the complemented operand (one NOT).
+            target = a if a.complemented else b
+            self.materialize(target)
+        return a.complemented
+
+    def _native_logic3(self, operands: list[BitVector], control_bit: int |
+                       None, name: str | None) -> BitVector:
+        """One triple-activation on payloads.
+
+        ``operands`` holds two vectors plus ``control_bit`` (a constant
+        plane/row), or three vectors with ``control_bit=None``.  Returns
+        the payload-level MAJ (DRAM) or MIN (FeRAM) as a fresh vector
+        with flag 0 — callers fix up logical flags.
+        """
+        out = self.allocate(operands[0].n_bits,
+                            name or self._auto_name("t"))
+        self._before_logic(operands, out)
+        self._charge_logic(operands[0].n_rows)
+        if self.functional:
+            if control_bit is None:
+                pa, pb, pc = (op.payload for op in operands)
+            else:
+                pa, pb = operands[0].payload, operands[1].payload
+                fill = np.uint64(0xFFFFFFFFFFFFFFFF) if control_bit \
+                    else np.uint64(0)
+                pc = np.full_like(pa, fill)
+            maj = majority_words(pa, pb, pc)
+            out.payload = ~maj if self._native_inverting() else maj
+        out.complemented = self._native_inverting()
+        return out
+
+    # ------------------------------------------------------------------
+    # logical operations (shared by both technologies)
+    # ------------------------------------------------------------------
+    def _and_or(self, a: BitVector, b: BitVector, *, op_or: bool,
+                out_complement: bool, name: str | None) -> BitVector:
+        self._check(a, b)
+        flag = self._equalize_flags(a, b)
+        # De Morgan on payloads: with both flags f, AND of logical values
+        # is MAJ(P, P, c) with c/flag chosen below.
+        if not flag:
+            control = 1 if op_or else 0
+            result_flag = out_complement
+        else:
+            # AND(V) = ~(Pa | Pb);  OR(V) = ~(Pa & Pb)
+            control = 0 if op_or else 1
+            result_flag = not out_complement
+        out = self._native_logic3([a, b], control, name)
+        # _native_logic3 leaves flag = native inversion (logical value =
+        # MAJ of payloads); fold in the target complement on top.
+        out.complemented ^= result_flag
+        return out
+
+    def and_(self, a: BitVector, b: BitVector,
+             name: str | None = None) -> BitVector:
+        """Bulk AND (one native primitive when flags agree)."""
+        return self._and_or(a, b, op_or=False, out_complement=False,
+                            name=name)
+
+    def or_(self, a: BitVector, b: BitVector,
+            name: str | None = None) -> BitVector:
+        return self._and_or(a, b, op_or=True, out_complement=False,
+                            name=name)
+
+    def nand(self, a: BitVector, b: BitVector,
+             name: str | None = None) -> BitVector:
+        """The paper's native FeRAM op: MIN(A, B, control=0)."""
+        return self._and_or(a, b, op_or=False, out_complement=True,
+                            name=name)
+
+    def nor(self, a: BitVector, b: BitVector,
+            name: str | None = None) -> BitVector:
+        """The paper's native FeRAM op: MIN(A, B, control=1)."""
+        return self._and_or(a, b, op_or=True, out_complement=True,
+                            name=name)
+
+    def andnot(self, a: BitVector, b: BitVector,
+               name: str | None = None) -> BitVector:
+        """A AND (NOT B) — used by set-difference and masked updates."""
+        self.not_(b)
+        out = self.and_(a, b, name)
+        self.not_(b)  # restore caller's view
+        return out
+
+    def xor(self, a: BitVector, b: BitVector,
+            name: str | None = None) -> BitVector:
+        """Bulk XOR = AND(OR(a, b), NAND(a, b)) on payloads.
+
+        Flags pass through XOR freely — XOR(Va, Vb) = XOR(Pa, Pb)^fa^fb —
+        so the operand flags are stripped around the payload recipe and
+        folded into the result flag.  Chained XORs (CRC, ciphers) then
+        never pay flag-materialization NOTs.
+        """
+        self._check(a, b)
+        flag_a, flag_b = a.complemented, b.complemented
+        a.complemented = False
+        b.complemented = False
+        try:
+            t_or = self.or_(a, b)
+            t_nand = self.nand(a, b)
+            out = self.and_(t_or, t_nand, name or self._auto_name("xor"))
+            self.free(t_or, t_nand)
+        finally:
+            a.complemented = flag_a
+            b.complemented = flag_b
+        out.complemented ^= flag_a ^ flag_b
+        return out
+
+    def xnor(self, a: BitVector, b: BitVector,
+             name: str | None = None) -> BitVector:
+        """Bulk XNOR (BNN's multiply): free complement of XOR."""
+        return self.not_(self.xor(a, b, name))
+
+    def majority(self, a: BitVector, b: BitVector, c: BitVector,
+                 name: str | None = None) -> BitVector:
+        """Three-operand majority (full-adder carry).
+
+        Majority is self-dual, so a common flag passes through freely;
+        mixed flags materialize the minority-flag operands.
+        """
+        self._check(a, b, c)
+        operands = [a, b, c]
+        flags = [v.complemented for v in operands]
+        if len(set(flags)) > 1:
+            # Equalize toward the majority flag value: fewest NOTs.
+            common = flags.count(True) >= 2
+            for vector in operands:
+                self._force_flag(vector, common)
+        else:
+            common = flags[0]
+        out = self._native_logic3(operands, None, name)
+        out.complemented ^= common
+        return out
+
+    def select(self, mask: BitVector, a: BitVector, b: BitVector,
+               name: str | None = None) -> BitVector:
+        """(mask AND a) OR (NOT mask AND b) — bulk multiplexer."""
+        self._check(mask, a, b)
+        picked_a = self.and_(mask, a)
+        picked_b = self.andnot(b, mask)
+        out = self.or_(picked_a, picked_b, name or self._auto_name("sel"))
+        self.free(picked_a, picked_b)
+        return out
+
+    # ------------------------------------------------------------------
+    # finalize / report
+    # ------------------------------------------------------------------
+    def finalize(self) -> Stats:
+        """Charge background refresh (DRAM) for the allocated footprint
+        and return the ledger."""
+        if self._finalized is None:
+            self._finalized = apply_refresh(
+                self.stats, self.spec,
+                footprint_rows=self.allocator.peak_rows_used)
+        return self.stats
+
+    @property
+    def refresh_charge(self) -> RefreshCharge | None:
+        return self._finalized
+
+    # Convenience re-exports for workloads/tests.
+    @staticmethod
+    def unpack(words: np.ndarray) -> np.ndarray:
+        return unpack_bits(words)

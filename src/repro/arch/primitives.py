@@ -1,0 +1,163 @@
+"""Technology-specific engines: DRAM/Ambit AAP and 2T-nC FeRAM ACP.
+
+Cost model (DESIGN.md §5, ablated in ``benchmarks/bench_policy_ablation``):
+
+**DRAM (Ambit semantics).**  A logic primitive is an AAP — ACTIVATE(TRA)
++ ACTIVATE(RowClone to destination) + PRECHARGE, i.e. 45.52 nJ / 3 cycles
+at the paper's constants.  Because TRA is destructive and only operates
+on designated compute rows, operands must be staged with RowClone copies;
+the ``staging_policy`` selects how many are charged:
+
+* ``paper``  — none (the paper's literal "simulated using an AAP
+  primitive");
+* ``staged`` — one amortized staging AAP per logic op (default; yields
+  the paper's ~2× cycle gap);
+* ``ambit``  — the faithful 4-AAP AND/OR sequence (3 operand/control
+  copies + compute) and 2-AAP DCC NOT.
+
+Background refresh (64 ms, 8 GB) is charged at finalize time.
+
+**2T-nC FeRAM (this paper).**  A logic primitive is an ACP — ACTIVATE
+(TBA, quasi-nondestructive MINORITY sense) + COPY (tri-state buffer row
+drive into the destination plane; RowClone is inapplicable because read
+and write paths are separate) + PRECHARGE = 33.52 nJ / 3 cycles.  Logic
+executes *in place*: no staging.  Two honest extras are charged:
+
+* control-plane rewrites — the constant plane feeding NAND/NOR is
+  re-programmed every ``control_rewrite_period`` TBA reads, the period
+  the device model's accumulative-disturb analysis supports;
+* relocation ACPs — when two operands do not share cell rows (tracked
+  with co-location groups), one row-parallel ACP moves an operand into a
+  partner plane.
+"""
+
+from __future__ import annotations
+
+from repro.arch.bank import BitVector
+from repro.arch.commands import Command, CommandType
+from repro.arch.engine import BulkEngine
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB, MemorySpec, StagingPolicy
+from repro.errors import ArchitectureError
+
+__all__ = ["DramAmbitEngine", "FeramAcpEngine", "make_engine"]
+
+
+class DramAmbitEngine(BulkEngine):
+    """Ambit-style in-DRAM bulk-bitwise execution."""
+
+    def __init__(self, spec: MemorySpec = DRAM_8GB, *,
+                 functional: bool = True) -> None:
+        if spec.technology != "dram":
+            raise ArchitectureError(
+                f"DramAmbitEngine requires a DRAM spec, got {spec.name!r}")
+        super().__init__(spec, functional=functional)
+
+    def _native_inverting(self) -> bool:
+        return False  # TRA senses MAJORITY
+
+    def _aap(self, n_rows: int, *, tag: str) -> None:
+        spec = self.spec
+        self.stats.record(spec, Command(CommandType.ACTIVATE_TRA,
+                                        repeat=n_rows, tag=tag))
+        self.stats.record(spec, Command(CommandType.COPY, repeat=n_rows,
+                                        tag=tag))
+        self.stats.record(spec, Command(CommandType.PRECHARGE,
+                                        repeat=n_rows, tag=tag))
+
+    def _charge_logic(self, n_rows: int) -> None:
+        policy = self.spec.staging_policy
+        if policy == StagingPolicy.STAGED:
+            self._aap(n_rows, tag="staging")
+            self.stats.staging_aaps += n_rows
+        elif policy == StagingPolicy.AMBIT:
+            for _ in range(3):  # two operand copies + control-row init
+                self._aap(n_rows, tag="staging")
+            self.stats.staging_aaps += 3 * n_rows
+        self._aap(n_rows, tag="compute")
+
+    def _charge_not(self, n_rows: int) -> None:
+        # Dual-contact-cell NOT: copy into the DCC, read the negated
+        # port back out.  The paper-policy counts the single AAP its
+        # text implies; the others count the faithful two.
+        if self.spec.staging_policy == StagingPolicy.PAPER:
+            self._aap(n_rows, tag="not")
+        else:
+            self._aap(n_rows, tag="not")
+            self._aap(n_rows, tag="not")
+
+    def _charge_copy(self, n_rows: int) -> None:
+        self._aap(n_rows, tag="copy")
+
+    def _charge_constant(self, n_rows: int) -> None:
+        # Ambit initializes rows by RowClone from its preset 0/1 control
+        # rows: one AAP per row.
+        self._aap(n_rows, tag="const")
+
+
+class FeramAcpEngine(BulkEngine):
+    """2T-nC FeRAM in-place bulk-bitwise execution (the paper's design)."""
+
+    def __init__(self, spec: MemorySpec = FERAM_2TNC_8GB, *,
+                 functional: bool = True) -> None:
+        if spec.technology != "feram-2tnc":
+            raise ArchitectureError(
+                f"FeramAcpEngine requires a 2T-nC FeRAM spec, got "
+                f"{spec.name!r}")
+        super().__init__(spec, functional=functional)
+        self._tba_since_control_rewrite = 0
+
+    def _native_inverting(self) -> bool:
+        return True  # TBA + QNRO senses MINORITY
+
+    def _acp(self, n_rows: int, *, tag: str) -> None:
+        spec = self.spec
+        self.stats.record(spec, Command(CommandType.ACTIVATE_TBA,
+                                        repeat=n_rows, tag=tag))
+        self.stats.record(spec, Command(CommandType.COPY, repeat=n_rows,
+                                        tag=tag))
+        self.stats.record(spec, Command(CommandType.PRECHARGE,
+                                        repeat=n_rows, tag=tag))
+
+    def _before_logic(self, operands: list[BitVector],
+                      result: BitVector) -> None:
+        """Co-locate operands into one cell group; results are written by
+        the COPY phase directly into a plane of the group's rows."""
+        anchor = operands[0]
+        for other in operands[1:]:
+            if not self.allocator.co_located(anchor, other):
+                self._acp(other.n_rows, tag="relocate")
+                self.stats.relocation_acps += other.n_rows
+                self.allocator.unify(anchor, other)
+        self.allocator.join_group(result, anchor)
+
+    def _charge_logic(self, n_rows: int) -> None:
+        # Control-plane upkeep: quasi-nondestructive reads still disturb
+        # the stored control bits; rewrite every control_rewrite_period
+        # TBA activations (device-model analysis: ~2× margin).
+        self._tba_since_control_rewrite += n_rows
+        period = self.spec.control_rewrite_period
+        rewrites, self._tba_since_control_rewrite = divmod(
+            self._tba_since_control_rewrite, period)
+        if rewrites:
+            self.stats.record(self.spec, Command(
+                CommandType.ROW_WRITE, repeat=int(rewrites), tag="control"))
+            self.stats.control_rewrites += int(rewrites)
+        self._acp(n_rows, tag="compute")
+
+    def _charge_not(self, n_rows: int) -> None:
+        # QNRO read is inverting: one ACP reads the row through the SA
+        # (already complemented) and copies it out.
+        self._acp(n_rows, tag="not")
+
+    def _charge_copy(self, n_rows: int) -> None:
+        self._acp(n_rows, tag="copy")
+
+
+def make_engine(technology: str, *, functional: bool = True,
+                spec: MemorySpec | None = None) -> BulkEngine:
+    """Factory: ``"dram"`` or ``"feram-2tnc"`` (paper-default specs)."""
+    if technology == "dram":
+        return DramAmbitEngine(spec or DRAM_8GB, functional=functional)
+    if technology == "feram-2tnc":
+        return FeramAcpEngine(spec or FERAM_2TNC_8GB, functional=functional)
+    raise ArchitectureError(f"unknown technology {technology!r}")

@@ -1,0 +1,64 @@
+"""DRAM refresh model (64 ms retention, paper §VI).
+
+Refresh is charged at finalize time: the engine's compute/IO cycles set a
+wall-clock time, during which the whole 8 GB device must be swept every
+``refresh_interval_s``.  Energy scales with *all* rows (every row is
+refreshed); stall cycles scale with *rows per bank* (banks refresh in
+parallel but the PiM execution stalls while its bank refreshes).  Since
+stalls lengthen the run and therefore add refresh, the model iterates to
+its fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.commands import CommandType, Stats
+from repro.arch.spec import MemorySpec
+
+__all__ = ["RefreshCharge", "apply_refresh"]
+
+
+@dataclass(frozen=True)
+class RefreshCharge:
+    """Refresh totals added to a run."""
+
+    sweeps: float
+    rows_refreshed: float
+    energy_j: float
+    stall_cycles: int
+
+
+def apply_refresh(stats: Stats, spec: MemorySpec,
+                  footprint_rows: int | None = None) -> RefreshCharge:
+    """Charge background refresh for the run recorded in ``stats``.
+
+    ``footprint_rows`` bounds the refreshed region to the workload's
+    allocated rows (the pLUTo-style per-workload accounting; rows the
+    workload never touches sit in self-refresh outside the comparison).
+    ``None`` refreshes the whole device.
+
+    Returns the applied totals (all-zero for refresh-free technologies).
+    """
+    if spec.refresh_interval_s is None:
+        return RefreshCharge(0.0, 0.0, 0.0, 0)
+    rows_total = spec.n_rows if footprint_rows is None \
+        else min(footprint_rows, spec.n_rows)
+    rows_per_bank = max(1, rows_total // spec.n_banks)
+    base_cycles = stats.total_cycles
+    row_cycles = spec.t_activate + spec.t_precharge
+    stall = 0.0
+    sweeps = 0.0
+    for _ in range(8):  # fixed point: stalls extend wall time
+        wall = (base_cycles + stall) * spec.cycle_time_s
+        sweeps = wall / spec.refresh_interval_s
+        stall = sweeps * rows_per_bank * row_cycles
+    rows_refreshed = sweeps * rows_total
+    energy = rows_refreshed * spec.refresh_row_energy
+    stall_cycles = int(round(stall))
+    stats.energy_j["refresh"] = stats.energy_j.get("refresh", 0.0) + energy
+    stats.cycles["refresh"] = stats.cycles.get("refresh", 0) + stall_cycles
+    stats.counts[CommandType.REFRESH] = stats.counts.get(
+        CommandType.REFRESH, 0) + int(round(rows_refreshed))
+    return RefreshCharge(sweeps=sweeps, rows_refreshed=rows_refreshed,
+                         energy_j=energy, stall_cycles=stall_cycles)

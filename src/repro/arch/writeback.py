@@ -1,0 +1,85 @@
+"""Write-back economics: QNRO vs destructive sensing.
+
+Quantifies the paper's §II claim that QNRO "allows multiple reads before
+P_FE changes due to accumulative switching disturb, minimizing
+write-backs and enhancing endurance":
+
+* a destructive-read memory (1T-1C FeRAM / DRAM) must restore the row
+  after *every* read;
+* a QNRO memory schedules a scrub (write-back) only once the
+  accumulated disturb approaches the sense margin — every
+  ``reads_until_disturb(...) / safety_factor`` reads.
+
+The model combines the device-level disturb analysis from
+:mod:`repro.ferro.reliability` with the row-command energies of the
+architecture spec, yielding energy-per-read and cell write-cycles-per-
+read (the endurance currency) for both policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import FERAM_2TNC_8GB, MemorySpec
+from repro.errors import ArchitectureError
+from repro.ferro.materials import NVDRAM_CAL, FerroMaterial
+from repro.ferro.reliability import reads_until_disturb
+
+__all__ = ["WritebackPolicy", "compare_writeback_policies"]
+
+
+@dataclass(frozen=True)
+class WritebackPolicy:
+    """Cost of a read stream under one write-back discipline."""
+
+    name: str
+    reads_per_writeback: int
+    energy_per_read_j: float
+    write_cycles_per_read: float
+
+    def endurance_reads(self, cell_endurance_cycles: float) -> float:
+        """Reads sustainable before the cell's write endurance is spent."""
+        if self.write_cycles_per_read <= 0:
+            return float("inf")
+        return cell_endurance_cycles / self.write_cycles_per_read
+
+
+def compare_writeback_policies(
+        *, material: FerroMaterial = NVDRAM_CAL,
+        spec: MemorySpec = FERAM_2TNC_8GB,
+        v_read: float = 0.5, t_read: float = 50e-9,
+        margin: float = 0.5, safety_factor: float = 2.0,
+        ) -> tuple[WritebackPolicy, WritebackPolicy]:
+    """(destructive, qnro) policies for the given read condition.
+
+    ``v_read`` is the *effective* voltage across the capacitor during a
+    read activation — the cell's capacitive divider leaves ~0.45-0.55 V
+    of the 0.75 V WBL rail on the MFM (see the behavioural cell's charge
+    balance).  ``margin`` is the tolerable fraction of lost polarization
+    before a scrub; ``safety_factor`` divides the device-model read
+    budget to set the actual scrub period (guard band against
+    variation).  Note the spec's ``control_rewrite_period`` of 32 is a
+    further ~8x more conservative than this budget.
+    """
+    if safety_factor < 1.0:
+        raise ArchitectureError("safety_factor must be >= 1")
+    read_energy = spec.e_activate + spec.e_precharge
+    writeback_energy = spec.e_row_write
+
+    destructive = WritebackPolicy(
+        name="destructive (restore every read)",
+        reads_per_writeback=1,
+        energy_per_read_j=read_energy + writeback_energy,
+        write_cycles_per_read=1.0,
+    )
+
+    budget = reads_until_disturb(material, v_read=v_read, t_read=t_read,
+                                 margin=margin)
+    period = max(1, int(budget / safety_factor))
+    qnro = WritebackPolicy(
+        name=f"QNRO (scrub every {period} reads)",
+        reads_per_writeback=period,
+        energy_per_read_j=read_energy + writeback_energy / period,
+        write_cycles_per_read=1.0 / period,
+    )
+    return destructive, qnro

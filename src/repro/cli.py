@@ -1,0 +1,36 @@
+"""Command-line entry point: ``python -m repro [experiment-id ...]``.
+
+With no arguments, lists available experiments.  ``all`` runs the whole
+registry.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro <experiment-id ...|all>")
+        print("available experiments:")
+        for experiment_id in EXPERIMENTS:
+            print(f"  {experiment_id}")
+        return 0
+    ids = list(EXPERIMENTS) if args == ["all"] else args
+    failed = 0
+    for experiment_id in ids:
+        report = run_experiment(experiment_id)
+        print(report.format())
+        print()
+        if not report.passed:
+            failed += 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""The paper's contribution: single-cell universal logic-in-memory in
+2T-nC FeRAM with quasi-nondestructive (inverting) readout.
+
+* :class:`~repro.core.cell.TwoTnCCell` — SPICE-level cell netlist;
+* :class:`~repro.core.operations.CellOperations` — write / QNRO read /
+  NOT / MINORITY / NAND / NOR protocol driver;
+* :class:`~repro.core.behavioral.BehavioralCell` — closed-form cell for
+  Monte-Carlo and measured-device sweeps;
+* :mod:`~repro.core.logic` — MINORITY/MAJORITY truth logic, scalar and
+  packed-word forms.
+"""
+
+from repro.core.behavioral import BehavioralCell
+from repro.core.cell import OneT1CFeRAMCell, TwoTnCCell
+from repro.core.logic import (
+    majority3,
+    majority_words,
+    minority3,
+    minority_truth_table,
+    minority_words,
+    nand2,
+    nand_words,
+    nor2,
+    nor_words,
+    not1,
+    not_words,
+)
+from repro.core.operations import CellOperations, OperationResult
+from repro.core.sense_amp import SenseAmp, reference_between
+from repro.core.variation import (
+    MarginSample,
+    VariationStudy,
+    run_variation_study,
+)
+from repro.core.waveforms import CellLevels, CellSchedule, CellTiming, Phase
+
+__all__ = [
+    "TwoTnCCell",
+    "OneT1CFeRAMCell",
+    "BehavioralCell",
+    "CellOperations",
+    "OperationResult",
+    "SenseAmp",
+    "reference_between",
+    "MarginSample",
+    "VariationStudy",
+    "run_variation_study",
+    "CellSchedule",
+    "CellTiming",
+    "CellLevels",
+    "Phase",
+    "majority3",
+    "minority3",
+    "nand2",
+    "nor2",
+    "not1",
+    "minority_truth_table",
+    "majority_words",
+    "minority_words",
+    "nand_words",
+    "nor_words",
+    "not_words",
+]

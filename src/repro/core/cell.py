@@ -1,0 +1,210 @@
+"""2T-nC FeRAM unit cell: netlist construction and simulation.
+
+Topology (paper Fig. 3(a)):
+
+* ``n`` ferroelectric capacitors, each between its write bit line
+  (``wbl<i>``) and the shared internal node ``vint``;
+* write transistor ``T_W`` between ``vint`` and the write plate line
+  (``wpl``), gated by the write word line (``wwl``);
+* read transistor ``T_R`` with gate ``vint``, drain ``rbl`` (read bit
+  line) and source ``rsl`` (read source line);
+* the RSL is held at virtual ground through a 0 V source that doubles as
+  the sense ammeter;
+* the internal-node capacitance (T_R gate + parasitics) is an explicit
+  capacitor so the QNRO charge divider is visible and testable.
+
+For comparison experiments the module also provides the 1T-1C FeRAM cell
+(destructive charge sensing, paper Fig. 2(a)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.ferro.fecap import FeCapacitor
+from repro.ferro.materials import NVDRAM_CAL, FerroMaterial
+from repro.spice.analysis import TransientResult
+from repro.spice.circuit import Circuit
+from repro.spice.components import Capacitor, Resistor, VoltageSource
+from repro.spice.mosfet import PTM45_NMOS, Mosfet, MosfetParams
+from repro.spice.solver import SolverOptions, TransientSolver
+from repro.core.waveforms import CellSchedule
+
+__all__ = ["TwoTnCCell", "OneT1CFeRAMCell"]
+
+
+class TwoTnCCell:
+    """A simulatable 2T-nC FeRAM cell.
+
+    Parameters
+    ----------
+    n_caps:
+        Number of ferroelectric capacitors sharing the internal node
+        (the paper uses n = 3 for TBA logic).
+    material:
+        FeCap parameter set (default: the NVDRAM-calibrated low-voltage
+        model used by the paper's Spectre runs).
+    tw_params / tr_params:
+        Write / read transistor models.
+    c_node:
+        Internal-node capacitance (T_R gate + parasitics), farads.
+    initial_bits:
+        Optional starting bits per capacitor (fully-poled states).
+    rng:
+        Optional generator enabling device-to-device Vc variation.
+    temperature_k:
+        Device temperature for the ferroelectric banks.
+    """
+
+    RSL_SENSE = "vrsl_sense"
+
+    def __init__(self, n_caps: int = 3, *,
+                 material: FerroMaterial = NVDRAM_CAL,
+                 tw_params: MosfetParams = PTM45_NMOS,
+                 tr_params: MosfetParams = PTM45_NMOS,
+                 c_node: float = 5e-15,
+                 initial_bits: dict[int, int] | None = None,
+                 rng: np.random.Generator | None = None,
+                 temperature_k: float | None = None,
+                 n_domains: int | None = None) -> None:
+        if n_caps < 1:
+            raise ProtocolError("cell needs at least one capacitor")
+        if n_domains is not None:
+            material = material.scaled(n_domains=n_domains)
+        self.n_caps = n_caps
+        self.material = material
+        self.circuit = Circuit(f"2t{n_caps}c")
+        # Rail sources: waveforms are attached per-run via .waveform.
+        self._rails = {}
+        for net in CellSchedule.net_names(n_caps):
+            src = VoltageSource(f"v_{net}", net, "0", 0.0)
+            self.circuit.add(src)
+            self._rails[net] = src
+        # Ferroelectric capacitors: top plate on WBL, bottom on vint.
+        self.fecaps: list[FeCapacitor] = []
+        initial_bits = initial_bits or {}
+        for i in range(n_caps):
+            state = 0.0
+            if i in initial_bits:
+                state = 1.0 if initial_bits[i] else -1.0
+            cap = FeCapacitor(f"fe{i + 1}", f"wbl{i + 1}", "vint", material,
+                              initial_state=state, rng=rng,
+                              temperature_k=temperature_k)
+            self.circuit.add(cap)
+            self.fecaps.append(cap)
+        # Write transistor: drain = vint, gate = wwl, source = wpl.
+        self.t_write = Mosfet("t_w", "vint", "wwl", "wpl", tw_params)
+        self.circuit.add(self.t_write)
+        # Read transistor: drain = rbl, gate = vint, source = rsl.
+        self.t_read = Mosfet("t_r", "rbl", "vint", "rsl", tr_params)
+        self.circuit.add(self.t_read)
+        # Internal node capacitance and a weak leak keeping DC defined.
+        self.circuit.add(Capacitor("c_node", "vint", "0", c_node))
+        self.circuit.add(Resistor("r_leak", "vint", "0", 1e13))
+        # RSL virtual ground / ammeter.
+        self.circuit.add(VoltageSource(self.RSL_SENSE, "rsl", "0", 0.0))
+        self.circuit.freeze()
+
+    # ------------------------------------------------------------------
+    def new_schedule(self, **kwargs) -> CellSchedule:
+        """A schedule builder matching this cell's capacitor count."""
+        return CellSchedule(self.n_caps, **kwargs)
+
+    def run(self, schedule: CellSchedule, *, dt: float = 5e-10,
+            options: SolverOptions | None = None,
+            record_every: int = 1) -> TransientResult:
+        """Apply a schedule's waveforms and simulate to its end time."""
+        if schedule.n_caps != self.n_caps:
+            raise ProtocolError(
+                f"schedule built for {schedule.n_caps} caps, cell has "
+                f"{self.n_caps}")
+        for net, wave in schedule.waveforms().items():
+            self._rails[net].waveform = wave
+        for cap in self.fecaps:
+            cap.reset_terminal()
+        solver = TransientSolver(self.circuit, options)
+        return solver.run(schedule.t_stop, dt, record_every=record_every)
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    def stored_bits(self) -> list[int]:
+        """Committed bit per capacitor (P >= 0 → '1')."""
+        return [cap.stored_bit() for cap in self.fecaps]
+
+    def polarizations_uc_cm2(self) -> list[float]:
+        """Committed polarization per capacitor in µC/cm²."""
+        return [cap.polarization_uc_cm2() for cap in self.fecaps]
+
+    def force_bits(self, bits: dict[int, int]) -> None:
+        """Directly pole capacitors to the given bits (no simulation)."""
+        for i, bit in bits.items():
+            if not 0 <= i < self.n_caps:
+                raise ProtocolError(f"capacitor index {i} out of range")
+            self.fecaps[i].write_state(bit)
+
+    def rsl_current(self, result: TransientResult) -> np.ndarray:
+        """RSL (sense) current trace from a run result."""
+        return result.i(self.RSL_SENSE)
+
+
+class OneT1CFeRAMCell:
+    """Conventional 1T-1C FeRAM cell for the Fig. 2(a) comparison.
+
+    One access transistor between the bit line (``bl``) and the capacitor
+    top plate; the FE capacitor's other plate is the plate line (``pl``).
+    Reading drives PL high and senses the charge dumped on the (floating,
+    precharged) bit line — destructive for the stored '1'.
+    """
+
+    def __init__(self, *, material: FerroMaterial = NVDRAM_CAL,
+                 access_params: MosfetParams = PTM45_NMOS,
+                 c_bitline: float = 20e-15,
+                 initial_bit: int | None = None,
+                 n_domains: int | None = None) -> None:
+        if n_domains is not None:
+            material = material.scaled(n_domains=n_domains)
+        self.material = material
+        self.circuit = Circuit("1t1c")
+        self.v_wl = self.circuit.add(VoltageSource("v_wl", "wl", "0", 0.0))
+        self.v_pl = self.circuit.add(VoltageSource("v_pl", "pl", "0", 0.0))
+        # Bit-line pre-charge switchably driven: a source with series R
+        # models the equalizer; sensing happens on the floating line.
+        # Weak keeper only: the bit line floats during sensing so the
+        # dumped switching charge develops a charge-sharing signal.
+        self.v_blpre = self.circuit.add(
+            VoltageSource("v_blpre", "blpre", "0", 0.0))
+        self.circuit.add(Resistor("r_pre", "blpre", "bl", 1e11))
+        state = 0.0
+        if initial_bit is not None:
+            state = 1.0 if initial_bit else -1.0
+        self.fecap = FeCapacitor("fe1", "cnode", "pl", material,
+                                 initial_state=state)
+        self.circuit.add(self.fecap)
+        self.access = Mosfet("t_acc", "bl", "wl", "cnode", access_params)
+        self.circuit.add(self.access)
+        self.circuit.add(Capacitor("c_bl", "bl", "0", c_bitline))
+        self.circuit.add(Resistor("r_leak", "cnode", "0", 1e13))
+        self.circuit.freeze()
+
+    def destructive_read(self, *, v_pl: float = 1.5, v_wl: float = 1.9,
+                         t_read: float = 60e-9, dt: float = 5e-10,
+                         ) -> tuple[float, float]:
+        """Pulse the plate line and sense the bit-line swing.
+
+        Returns ``(v_bl_peak, p_after_uc_cm2)`` — the charge-sharing
+        signal and the post-read polarization.  Driving PL high forces
+        the capacitor toward the '0' polarity, so a stored '1' flips
+        (large dumped charge, destructive) while a stored '0' only
+        contributes its dielectric response — Fig. 2(a).
+        """
+        from repro.spice.waveform import PWL
+        edge = 1e-9
+        self.v_wl.waveform = PWL([(0, 0), (edge, v_wl)])
+        self.v_pl.waveform = PWL([(0, 0), (2 * edge, 0), (3 * edge, v_pl)])
+        self.v_blpre.waveform = PWL([(0, 0)])  # BL held near ground via R
+        solver = TransientSolver(self.circuit)
+        result = solver.run(t_read, dt)
+        v_bl_peak = float(np.max(result.v("bl")))
+        return v_bl_peak, self.fecap.polarization_uc_cm2()

@@ -1,0 +1,102 @@
+"""Boolean logic helpers: MINORITY/MAJORITY and derived universal gates.
+
+The paper's central identity (§III-C): simultaneously sensing three
+capacitors of a 2T-nC cell yields the MINORITY of the stored bits,
+
+    MIN(A, B, C) = NOT(MAJ(A, B, C))
+                 = C'·(A' + B') + C·(A'·B')
+
+so a control capacitor C selects between NAND (C = 0) and NOR (C = 1).
+
+Scalar forms operate on Python ints (0/1); ``*_words`` forms operate
+bitwise on numpy integer arrays (used by the bulk-bitwise architecture
+layer on packed rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "majority3",
+    "minority3",
+    "nand2",
+    "nor2",
+    "not1",
+    "minority_truth_table",
+    "majority_words",
+    "minority_words",
+    "nand_words",
+    "nor_words",
+    "not_words",
+]
+
+
+def _check_bit(value: int, name: str) -> int:
+    if value not in (0, 1):
+        raise ProtocolError(f"{name} must be 0 or 1, got {value!r}")
+    return value
+
+
+def majority3(a: int, b: int, c: int) -> int:
+    """Majority of three bits."""
+    _check_bit(a, "a"), _check_bit(b, "b"), _check_bit(c, "c")
+    return 1 if a + b + c >= 2 else 0
+
+
+def minority3(a: int, b: int, c: int) -> int:
+    """Minority of three bits — the TBA sense result of a 2T-nC cell."""
+    return 1 - majority3(a, b, c)
+
+
+def nand2(a: int, b: int) -> int:
+    """NAND via the paper's construction: MIN(a, b, 0)."""
+    return minority3(a, b, 0)
+
+
+def nor2(a: int, b: int) -> int:
+    """NOR via the paper's construction: MIN(a, b, 1)."""
+    return minority3(a, b, 1)
+
+
+def not1(a: int) -> int:
+    """NOT — QNRO sensing is inherently inverting (paper §III-B)."""
+    return 1 - _check_bit(a, "a")
+
+
+def minority_truth_table() -> dict[tuple[int, int, int], int]:
+    """All eight (A, B, C) → MIN rows, keyed by stored state."""
+    return {(a, b, c): minority3(a, b, c)
+            for a in (0, 1) for b in (0, 1) for c in (0, 1)}
+
+
+# ----------------------------------------------------------------------
+# packed-word (bulk bitwise) forms
+# ----------------------------------------------------------------------
+def majority_words(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Bitwise majority across three equally-shaped integer arrays."""
+    return (a & b) | (a & c) | (b & c)
+
+
+def minority_words(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Bitwise minority — one TBA across a whole row of 2T-nC cells."""
+    return ~majority_words(a, b, c)
+
+
+def nand_words(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise NAND: minority with an all-zeros control row."""
+    zeros = np.zeros_like(a)
+    return minority_words(a, b, zeros)
+
+
+def nor_words(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise NOR: minority with an all-ones control row."""
+    ones = np.bitwise_not(np.zeros_like(a))
+    return minority_words(a, b, ones)
+
+
+def not_words(a: np.ndarray) -> np.ndarray:
+    """Bitwise NOT: the row-wide inverting QNRO read."""
+    return ~a

@@ -1,0 +1,245 @@
+"""High-level 2T-nC cell operations: write, QNRO read, NOT, MINORITY.
+
+Every operation builds a protocol schedule, runs the cell's transient
+simulation and senses the RSL current in the read phase's settled window.
+Results carry the full traces so experiments can plot the paper's
+waveforms (Fig. 3(d,f)) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cell import TwoTnCCell
+from repro.core.logic import minority3, not1
+from repro.core.sense_amp import SenseAmp, reference_between
+from repro.core.waveforms import CellLevels, CellTiming
+from repro.errors import ProtocolError
+from repro.spice.analysis import TransientResult
+
+__all__ = ["OperationResult", "CellOperations"]
+
+
+@dataclass
+class OperationResult:
+    """Outcome of one cell operation.
+
+    Attributes
+    ----------
+    output_bit:
+        The SA decision (None for pure writes).
+    rsl_current:
+        Settled-window average RSL current in amperes (None for writes).
+    vint:
+        Settled-window average internal-node voltage (None for writes).
+    bits_before / bits_after:
+        Committed capacitor states around the operation.
+    p_before / p_after:
+        Polarizations (µC/cm²) around the operation.
+    result:
+        Full transient traces.
+    expected:
+        Truth-table expectation for logic ops (None for writes/reads).
+    """
+
+    output_bit: int | None
+    rsl_current: float | None
+    vint: float | None
+    bits_before: list[int]
+    bits_after: list[int]
+    p_before: list[float]
+    p_after: list[float]
+    result: TransientResult
+    expected: int | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def correct(self) -> bool | None:
+        """Whether the SA output matched the truth table (None if n/a)."""
+        if self.output_bit is None or self.expected is None:
+            return None
+        return self.output_bit == self.expected
+
+    def state_preserved(self, *, tolerance_uc_cm2: float = 8.0) -> bool:
+        """Quasi-nondestructive check: no capacitor moved more than
+        ``tolerance_uc_cm2`` during the operation (paper Fig. 3(d): the
+        initial state "remains fairly intact after readout")."""
+        return all(abs(a - b) <= tolerance_uc_cm2
+                   for a, b in zip(self.p_after, self.p_before))
+
+
+class CellOperations:
+    """Protocol driver bound to one :class:`TwoTnCCell`.
+
+    Parameters
+    ----------
+    cell:
+        The cell to operate on.
+    timing / levels:
+        Protocol parameters shared by all operations.
+    dt:
+        Transient step size.
+    sense_fraction:
+        Trailing fraction of the read dwell used for current averaging.
+    """
+
+    def __init__(self, cell: TwoTnCCell, *,
+                 timing: CellTiming | None = None,
+                 levels: CellLevels | None = None,
+                 dt: float = 5e-10, sense_fraction: float = 0.4) -> None:
+        self.cell = cell
+        self.timing = timing or CellTiming()
+        self.levels = levels or CellLevels()
+        self.dt = dt
+        self.sense_fraction = sense_fraction
+        self._not_reference: float | None = None
+        self._minority_reference: float | None = None
+
+    # ------------------------------------------------------------------
+    # primitive runs
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> tuple[list[int], list[float]]:
+        return self.cell.stored_bits(), self.cell.polarizations_uc_cm2()
+
+    def _run_schedule(self, build) -> tuple[TransientResult, object]:
+        schedule = self.cell.new_schedule(timing=self.timing,
+                                          levels=self.levels)
+        read_phase = build(schedule)
+        result = self.cell.run(schedule, dt=self.dt)
+        return result, read_phase
+
+    def write_bits(self, bits: dict[int, int]) -> OperationResult:
+        """Program the given ``{cap: bit}`` map through T_W."""
+        bits_before, p_before = self._snapshot()
+        result, _ = self._run_schedule(
+            lambda s: s.add_write(bits) or None)
+        bits_after, p_after = self._snapshot()
+        for cap, bit in bits.items():
+            if bits_after[cap] != bit:
+                raise ProtocolError(
+                    f"write failed on capacitor {cap}: wanted {bit}, "
+                    f"polarization is {p_after[cap]:.1f} µC/cm²")
+        return OperationResult(None, None, None, bits_before, bits_after,
+                               p_before, p_after, result)
+
+    def _sensed_read(self, caps: list[int], *, write_first:
+                     dict[int, int] | None = None,
+                     ) -> tuple[OperationResult, float]:
+        # Writes run as a separate transient so the before/after snapshots
+        # bracket the *read* — making `state_preserved` measure exactly the
+        # paper's quasi-nondestructiveness claim.
+        if write_first:
+            self.write_bits(write_first)
+        bits_before, p_before = self._snapshot()
+
+        def build(schedule):
+            phase = schedule.add_read(caps)
+            schedule.add_reset()
+            return phase
+
+        result, phase = self._run_schedule(build)
+        t0, t1 = phase.sense_window(self.sense_fraction)
+        current = result.mean_in_window(self.cell.rsl_current(result), t0, t1)
+        vint = result.mean_in_window(result.v("vint"), t0, t1)
+        bits_after, p_after = self._snapshot()
+        op = OperationResult(None, current, vint, bits_before, bits_after,
+                             p_before, p_after, result,
+                             meta={"sense_window": (t0, t1)})
+        return op, current
+
+    def qnro_read(self, cap: int = 0) -> OperationResult:
+        """Single-capacitor QNRO read; no SA decision attached."""
+        op, _ = self._sensed_read([cap])
+        return op
+
+    # ------------------------------------------------------------------
+    # references
+    # ------------------------------------------------------------------
+    def calibrate_not_reference(self, cap: int = 0) -> float:
+        """Reference between the stored-'0' and stored-'1' RSL levels."""
+        levels = {}
+        for bit in (0, 1):
+            self.cell.force_bits({cap: bit})
+            _, current = self._sensed_read([cap])
+            self.cell.force_bits({cap: bit})  # undo read disturb
+            levels[bit] = current
+        self._not_reference = reference_between(levels[1], levels[0])
+        return self._not_reference
+
+    def calibrate_minority_reference(self, caps: tuple[int, int, int] =
+                                     (0, 1, 2)) -> float:
+        """Reference between the '001' and '011' TBA levels (paper §IV)."""
+        if self.cell.n_caps < 3:
+            raise ProtocolError("MINORITY needs a 2T-3C (or larger) cell")
+        levels = []
+        for state in ((0, 0, 1), (0, 1, 1)):
+            self.cell.force_bits(dict(zip(caps, state)))
+            _, current = self._sensed_read(list(caps))
+            levels.append(current)
+        self._minority_reference = reference_between(levels[0], levels[1])
+        return self._minority_reference
+
+    # ------------------------------------------------------------------
+    # logic operations
+    # ------------------------------------------------------------------
+    def op_not(self, bit: int, *, cap: int = 0,
+               sense_amp: SenseAmp | None = None) -> OperationResult:
+        """Paper §III-B: write ``bit`` then QNRO-read; the SA output is
+        the inverted bit, and the stored state survives."""
+        if bit not in (0, 1):
+            raise ProtocolError("bit must be 0 or 1")
+        if sense_amp is None:
+            if self._not_reference is None:
+                self.calibrate_not_reference(cap)
+            sense_amp = SenseAmp(self._not_reference)
+        op, current = self._sensed_read([cap], write_first={cap: bit})
+        op.output_bit = sense_amp.compare(current)
+        op.expected = not1(bit)
+        return op
+
+    def op_minority(self, a: int, b: int, c: int, *,
+                    caps: tuple[int, int, int] = (0, 1, 2),
+                    sense_amp: SenseAmp | None = None) -> OperationResult:
+        """Paper §III-C: write (A,B,C), then Triple-Bit-Activation.
+
+        The RSL current rises with the number of stored zeros; the SA
+        (referenced between '001' and '011') outputs MIN(A,B,C).
+        """
+        for name, value in (("a", a), ("b", b), ("c", c)):
+            if value not in (0, 1):
+                raise ProtocolError(f"{name} must be 0 or 1")
+        if self.cell.n_caps < 3:
+            raise ProtocolError("MINORITY needs a 2T-3C (or larger) cell")
+        if sense_amp is None:
+            if self._minority_reference is None:
+                self.calibrate_minority_reference(caps)
+            sense_amp = SenseAmp(self._minority_reference)
+        write_map = dict(zip(caps, (a, b, c)))
+        op, current = self._sensed_read(list(caps), write_first=write_map)
+        op.output_bit = sense_amp.compare(current)
+        op.expected = minority3(a, b, c)
+        op.meta["inputs"] = (a, b, c)
+        return op
+
+    def op_nand(self, a: int, b: int, **kwargs) -> OperationResult:
+        """NAND(A, B) = MIN(A, B, 0) — control capacitor stores 0."""
+        return self.op_minority(a, b, 0, **kwargs)
+
+    def op_nor(self, a: int, b: int, **kwargs) -> OperationResult:
+        """NOR(A, B) = MIN(A, B, 1) — control capacitor stores 1."""
+        return self.op_minority(a, b, 1, **kwargs)
+
+    def tba_level_sweep(self, *, caps: tuple[int, int, int] = (0, 1, 2),
+                        ) -> dict[tuple[int, int, int], float]:
+        """RSL current for every stored state '000'..'111' (Fig. 3(f) /
+        Fig. 4(i,j) data)."""
+        levels = {}
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    self.cell.force_bits(dict(zip(caps, (a, b, c))))
+                    _, current = self._sensed_read(list(caps))
+                    levels[(a, b, c)] = current
+        return levels

@@ -1,0 +1,95 @@
+"""Behavioural sense amplifier: reference comparison with offset/noise.
+
+The paper's SA compares the RSL current (or the integrated RSL voltage)
+against a reference level — placed between the '001' and '011' TBA output
+levels for MINORITY sensing (§IV), or between the '0' and '1' QNRO levels
+for NOT.  We model the comparator behaviourally with an input-referred
+offset, which is the dominant non-ideality for current-sensing schemes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = ["SenseAmp", "reference_between"]
+
+
+def reference_between(level_low: float, level_high: float,
+                      *, position: float = 0.5) -> float:
+    """Reference placed fractionally between two sense levels.
+
+    ``position = 0.5`` is the midpoint; the paper places the MINORITY
+    reference "between the output currents for input bits '001' and
+    '011'".
+    """
+    if not 0.0 < position < 1.0:
+        raise ProtocolError("position must be in (0, 1)")
+    if level_high < level_low:
+        level_low, level_high = level_high, level_low
+    return level_low + position * (level_high - level_low)
+
+
+class SenseAmp:
+    """Latch-type comparator with input-referred offset.
+
+    Parameters
+    ----------
+    reference:
+        Decision threshold (same unit as the sensed quantity, typically
+        amperes of RSL current).
+    offset_sigma:
+        Standard deviation of the random input offset; resampled per
+        :meth:`compare` when ``rng`` is given, fixed at 0 otherwise.
+    rng:
+        Random generator for offset sampling (None → ideal comparator).
+    """
+
+    def __init__(self, reference: float, *, offset_sigma: float = 0.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if reference <= 0:
+            raise ProtocolError("reference must be positive")
+        if offset_sigma < 0:
+            raise ProtocolError("offset_sigma must be non-negative")
+        self.reference = float(reference)
+        self.offset_sigma = float(offset_sigma)
+        self._rng = rng
+
+    def compare(self, sensed: float) -> int:
+        """1 if ``sensed`` exceeds the (offset-perturbed) reference."""
+        offset = 0.0
+        if self._rng is not None and self.offset_sigma > 0:
+            offset = float(self._rng.normal(0.0, self.offset_sigma))
+        return 1 if sensed > self.reference + offset else 0
+
+    def margin(self, sensed: float) -> float:
+        """Signed distance from the reference (positive → reads '1')."""
+        return sensed - self.reference
+
+    def sense_yield(self, sensed: float, *, trials: int = 1000) -> float:
+        """Fraction of trials decided away from the wrong side, under the
+        configured offset distribution (1.0 for an ideal comparator)."""
+        if trials < 1:
+            raise ProtocolError("trials must be >= 1")
+        if self.offset_sigma == 0.0 or self._rng is None:
+            return 1.0
+        offsets = self._rng.normal(0.0, self.offset_sigma, size=trials)
+        decisions = sensed > self.reference + offsets
+        majority = decisions.mean() >= 0.5
+        return float(np.mean(decisions == majority))
+
+    @classmethod
+    def from_levels(cls, levels: Sequence[float], *, split_after: int,
+                    offset_sigma: float = 0.0,
+                    rng: np.random.Generator | None = None) -> "SenseAmp":
+        """Build an SA whose reference separates ``levels[:split_after]``
+        from ``levels[split_after:]`` (levels sorted ascending first)."""
+        ordered = sorted(float(x) for x in levels)
+        if not 0 < split_after < len(ordered):
+            raise ProtocolError("split_after must partition the levels")
+        ref = reference_between(ordered[split_after - 1],
+                                ordered[split_after])
+        return cls(ref, offset_sigma=offset_sigma, rng=rng)

@@ -1,0 +1,231 @@
+"""Protocol waveform schedules for 2T-nC cell operations.
+
+A :class:`CellSchedule` accumulates phases (write / QNRO read / TBA /
+reset) and renders one PWL waveform per cell net, plus named measurement
+windows used by the operation layer to sense currents and check state
+preservation.  The phase structure mirrors the paper's Fig. 3(b,c,e):
+
+* **write** — WWL high connects the internal node to WPL; selected WBLs
+  carry the data rail.  Same-polarity bits are written together
+  (one sub-phase per polarity), and unselected WBLs track WPL so
+  unaddressed capacitors see 0 V (no half-select disturb).
+* **read (QNRO / TBA)** — WWL low; the read voltage ``v_read`` is applied
+  to the target WBL(s), RBL is biased, and the T_R current is sensed at
+  the RSL.
+* **reset** — the PRECHARGE step: node drained through T_W with all rails
+  at 0 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.spice.waveform import PWL
+
+__all__ = ["CellTiming", "CellLevels", "Phase", "CellSchedule"]
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Edge and dwell times (seconds) for protocol phases."""
+
+    t_edge: float = 1e-9       # rail rise/fall
+    t_write: float = 80e-9     # write dwell
+    t_read: float = 50e-9      # read dwell
+    t_reset: float = 15e-9     # node-drain dwell
+    t_gap: float = 4e-9        # inter-phase spacing
+
+    def __post_init__(self) -> None:
+        for name in ("t_edge", "t_write", "t_read", "t_reset", "t_gap"):
+            if getattr(self, name) <= 0:
+                raise ProtocolError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class CellLevels:
+    """Voltage rails (volts) for protocol phases."""
+
+    v_write: float = 1.5       # data rail during writes
+    v_wwl: float = 1.5         # write word-line high level
+    v_read: float = 0.75       # QNRO read voltage on WBL
+    v_rbl: float = 0.5         # read bit-line bias
+    v_wwl_boost: float = 0.4   # extra WWL drive above v_write (pass-gate)
+
+    def __post_init__(self) -> None:
+        if self.v_write <= 0 or self.v_wwl <= 0:
+            raise ProtocolError("write levels must be positive")
+        if not 0 < self.v_read < self.v_write:
+            raise ProtocolError("v_read must lie in (0, v_write)")
+
+
+@dataclass
+class Phase:
+    """A named time window in the rendered schedule."""
+
+    name: str
+    t_start: float
+    t_end: float
+    kind: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def sense_window(self, fraction: float = 0.4) -> tuple[float, float]:
+        """Trailing sub-window for settled measurements."""
+        if not 0 < fraction <= 1:
+            raise ProtocolError("fraction must be in (0, 1]")
+        return self.t_end - fraction * self.duration, self.t_end
+
+
+class CellSchedule:
+    """Builds the per-net PWL stimulus for a sequence of cell operations."""
+
+    def __init__(self, n_caps: int, *, timing: CellTiming | None = None,
+                 levels: CellLevels | None = None) -> None:
+        if n_caps < 1:
+            raise ProtocolError("cell needs at least one capacitor")
+        self.n_caps = n_caps
+        self.timing = timing or CellTiming()
+        self.levels = levels or CellLevels()
+        self._t = 0.0
+        self.phases: list[Phase] = []
+        # net -> list[(t, v)]; nets start at 0 V.
+        self._points: dict[str, list[tuple[float, float]]] = {
+            net: [(0.0, 0.0)] for net in self.net_names(n_caps)}
+
+    @staticmethod
+    def net_names(n_caps: int) -> list[str]:
+        nets = ["wwl", "wpl", "rbl"]
+        nets += [f"wbl{i + 1}" for i in range(n_caps)]
+        return nets
+
+    # ------------------------------------------------------------------
+    # low-level rail control
+    # ------------------------------------------------------------------
+    def _set(self, net: str, t: float, value: float) -> None:
+        if net not in self._points:
+            raise ProtocolError(f"unknown net {net!r}")
+        self._points[net].append((t, value))
+
+    def _level_of(self, net: str) -> float:
+        return self._points[net][-1][1]
+
+    def _transition(self, targets: dict[str, float], *,
+                    dwell: float) -> tuple[float, float]:
+        """Ramp the listed nets to new values, dwell, return the window."""
+        tm = self.timing
+        t0 = self._t
+        for net, value in targets.items():
+            self._set(net, t0, self._level_of(net))
+            self._set(net, t0 + tm.t_edge, value)
+        t_settle = t0 + tm.t_edge
+        t_end = t_settle + dwell
+        self._t = t_end
+        return t_settle, t_end
+
+    def _release_all(self) -> None:
+        """Return every net to 0 V and advance past the gap."""
+        tm = self.timing
+        t0 = self._t
+        for net in self._points:
+            self._set(net, t0, self._level_of(net))
+            self._set(net, t0 + tm.t_edge, 0.0)
+        self._t = t0 + tm.t_edge + tm.t_gap
+
+    # ------------------------------------------------------------------
+    # protocol phases
+    # ------------------------------------------------------------------
+    def add_write(self, bits: dict[int, int], label: str = "write") -> None:
+        """Write the given ``{cap_index: bit}`` map (0-based indices).
+
+        Bits of equal polarity are written in one sub-phase:
+        '1' → WBL = v_write, WPL = 0;  '0' → WBL = 0, WPL = v_write.
+        Unselected WBLs follow WPL so their capacitors see 0 V.
+        """
+        if not bits:
+            raise ProtocolError("write requires at least one bit")
+        for cap, bit in bits.items():
+            if not 0 <= cap < self.n_caps:
+                raise ProtocolError(f"capacitor index {cap} out of range")
+            if bit not in (0, 1):
+                raise ProtocolError(f"bit for capacitor {cap} must be 0/1")
+        tm, lv = self.timing, self.levels
+        for polarity in (1, 0):
+            selected = [cap for cap, bit in bits.items() if bit == polarity]
+            if not selected:
+                continue
+            wpl = 0.0 if polarity == 1 else lv.v_write
+            wbl_sel = lv.v_write if polarity == 1 else 0.0
+            targets = {"wwl": lv.v_wwl + lv.v_wwl_boost, "wpl": wpl}
+            for i in range(self.n_caps):
+                net = f"wbl{i + 1}"
+                targets[net] = wbl_sel if i in selected else wpl
+            t_settle, t_end = self._transition(targets, dwell=tm.t_write)
+            self.phases.append(Phase(
+                name=f"{label}-{'ones' if polarity else 'zeros'}",
+                t_start=t_settle, t_end=t_end, kind="write",
+                meta={"bits": {c: polarity for c in selected}}))
+            # Drain the internal node through T_W before dropping WWL;
+            # otherwise a write-zeros phase leaves ~v_write of trapped
+            # charge on the floating node, corrupting the next read.
+            drain = {"wwl": lv.v_wwl, "wpl": 0.0}
+            for i in range(self.n_caps):
+                drain[f"wbl{i + 1}"] = 0.0
+            self._transition(drain, dwell=tm.t_reset)
+            self._release_all()
+
+    def add_read(self, caps: list[int], label: str = "read") -> Phase:
+        """QNRO read (single cap) or TBA (multiple caps).
+
+        WWL stays low; ``v_read`` is applied to the listed WBLs and the
+        RBL is biased.  Returns the created phase (its ``sense_window``
+        is where RSL current should be measured).
+        """
+        if not caps:
+            raise ProtocolError("read requires at least one capacitor")
+        for cap in caps:
+            if not 0 <= cap < self.n_caps:
+                raise ProtocolError(f"capacitor index {cap} out of range")
+        tm, lv = self.timing, self.levels
+        targets = {"wwl": 0.0, "wpl": 0.0, "rbl": lv.v_rbl}
+        for i in range(self.n_caps):
+            targets[f"wbl{i + 1}"] = lv.v_read if i in caps else 0.0
+        t_settle, t_end = self._transition(targets, dwell=tm.t_read)
+        phase = Phase(name=label, t_start=t_settle, t_end=t_end,
+                      kind="tba" if len(caps) > 1 else "qnro",
+                      meta={"caps": list(caps)})
+        self.phases.append(phase)
+        self._release_all()
+        return phase
+
+    def add_reset(self, label: str = "precharge") -> None:
+        """Drain the internal node (the PRECHARGE step)."""
+        tm, lv = self.timing, self.levels
+        targets = {"wwl": lv.v_wwl, "wpl": 0.0, "rbl": 0.0}
+        for i in range(self.n_caps):
+            targets[f"wbl{i + 1}"] = 0.0
+        t_settle, t_end = self._transition(targets, dwell=tm.t_reset)
+        self.phases.append(Phase(name=label, t_start=t_settle, t_end=t_end,
+                                 kind="reset"))
+        self._release_all()
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    @property
+    def t_stop(self) -> float:
+        """End time of the schedule (small tail after the last phase)."""
+        return self._t + self.timing.t_gap
+
+    def waveforms(self) -> dict[str, PWL]:
+        """Render one PWL per net."""
+        return {net: PWL(points) for net, points in self._points.items()}
+
+    def phase(self, name: str) -> Phase:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise ProtocolError(f"no phase named {name!r}")

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch the package's failures without
+masking genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed netlists (unknown nodes, duplicate names, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when the Newton-Raphson loop fails to converge.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds) at which convergence failed.
+    iterations:
+        Number of Newton iterations attempted.
+    """
+
+    def __init__(self, message: str, *, time: float = float("nan"),
+                 iterations: int = 0) -> None:
+        super().__init__(message)
+        self.time = time
+        self.iterations = iterations
+
+
+class DeviceError(ReproError):
+    """Raised for invalid device parameters or state."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a cell-operation protocol is mis-specified."""
+
+
+class ArchitectureError(ReproError):
+    """Raised for invalid memory-architecture configuration or commands."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload is configured or planned inconsistently."""
+
+
+class ThermalError(ReproError):
+    """Raised for invalid thermal stacks or non-converging solves."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver cannot produce its artefact."""

@@ -1,0 +1,54 @@
+"""Paper-figure regeneration drivers with paper-vs-measured reporting.
+
+Run ``python -m repro <experiment-id>`` or use :func:`run_experiment`.
+"""
+
+from repro.experiments.energy_params import derive_row_energies, run_energy_params
+from repro.experiments.extensions import run_variation, run_writeback
+from repro.experiments.fig1_comparison import run_fig1
+from repro.experiments.fig2_sensing import run_fig2
+from repro.experiments.fig3_cell import run_fig3d, run_fig3f
+from repro.experiments.fig4_device import (
+    run_fig4d,
+    run_fig4e,
+    run_fig4f,
+    run_fig4gh,
+)
+from repro.experiments.fig4_minority import make_fabricated_cell, run_fig4ij
+from repro.experiments.fig5_area import run_fig5
+from repro.experiments.fig6_workloads import run_fig6, run_policy_ablation
+from repro.experiments.fig7_thermal import (
+    calibrate_package,
+    run_fig7,
+    solve_workload_stack,
+)
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.result import ExperimentReport, Record
+
+__all__ = [
+    "Record",
+    "ExperimentReport",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3d",
+    "run_fig3f",
+    "run_fig4d",
+    "run_fig4e",
+    "run_fig4f",
+    "run_fig4gh",
+    "run_fig4ij",
+    "make_fabricated_cell",
+    "run_fig5",
+    "run_fig6",
+    "run_policy_ablation",
+    "run_fig7",
+    "solve_workload_stack",
+    "calibrate_package",
+    "run_energy_params",
+    "derive_row_energies",
+    "run_variation",
+    "run_writeback",
+]

@@ -1,0 +1,41 @@
+"""Fig. 5 / §V: planar vs vertical-3D area and density."""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentReport, Record
+from repro.integration.area import area_report
+from repro.integration.density import density_comparison
+from repro.integration.stack3d import FIG7_DIE
+
+__all__ = ["run_fig5"]
+
+
+def run_fig5() -> ExperimentReport:
+    report = ExperimentReport("fig5", "3D integration area and density")
+    cell = area_report(3)
+    report.add(Record("2T-1C planar area", area_report(1).planar_f2, "F^2",
+                      paper=30.0, tolerance=0.0))
+    report.add(Record("2T-3C planar area", cell.planar_f2, "F^2",
+                      paper=90.0, tolerance=0.0))
+    report.add(Record("2T-3C planar area @28nm", cell.planar_nm2, "nm^2",
+                      paper=90 * 28 * 28, tolerance=0.0))
+    report.add(Record("vertical footprint", cell.vertical_nm2, "nm^2",
+                      paper=130 * 130, tolerance=0.0))
+    report.add(Record("footprint reduction", cell.reduction, "x",
+                      paper=4.18, tolerance=0.01))
+    density = density_comparison(3)
+    report.add(Record("storage density gain (1 deck)",
+                      density.storage_gain, "x", paper=4.18,
+                      tolerance=0.01))
+    density4 = density_comparison(3, n_decks=4)
+    report.add(Record("storage density gain (4 decks)",
+                      density4.storage_gain, "x", paper=4 * 4.18,
+                      tolerance=0.01,
+                      note="'further enhanced by stacking multiple "
+                           "layers vertically'"))
+    report.add(Record("Fig. 7 die capacity", FIG7_DIE.capacity_gb, "GB",
+                      paper=2.0, tolerance=0.15,
+                      note="14.2 x 10.65 mm die, 50% periphery overhead"))
+    report.extras["cell"] = cell
+    report.extras["density"] = density
+    return report

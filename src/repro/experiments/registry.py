@@ -1,0 +1,64 @@
+"""Experiment registry: every paper artefact mapped to its driver."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.fig1_comparison import run_fig1
+from repro.experiments.fig2_sensing import run_fig2
+from repro.experiments.fig3_cell import run_fig3d, run_fig3f
+from repro.experiments.fig4_device import (
+    run_fig4d,
+    run_fig4e,
+    run_fig4f,
+    run_fig4gh,
+)
+from repro.experiments.fig4_minority import run_fig4ij
+from repro.experiments.fig5_area import run_fig5
+from repro.experiments.extensions import run_variation, run_writeback
+from repro.experiments.fig6_workloads import run_fig6, run_policy_ablation
+from repro.experiments.fig7_thermal import run_fig7
+from repro.experiments.energy_params import run_energy_params
+from repro.experiments.result import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+#: experiment id -> zero-argument driver
+EXPERIMENTS: dict[str, Callable[[], ExperimentReport]] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3d": run_fig3d,
+    "fig3f": run_fig3f,
+    "fig4d": run_fig4d,
+    "fig4e": run_fig4e,
+    "fig4f": run_fig4f,
+    "fig4gh": run_fig4gh,
+    "fig4ij": run_fig4ij,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig6_ablation": run_policy_ablation,
+    "fig7": run_fig7,
+    "energy_params": run_energy_params,
+    "variation": run_variation,
+    "writeback": run_writeback,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return driver()
+
+
+def run_all(*, skip: tuple[str, ...] = ()) -> dict[str, ExperimentReport]:
+    """Run every registered experiment (optionally skipping slow ones)."""
+    return {experiment_id: driver()
+            for experiment_id, driver in EXPERIMENTS.items()
+            if experiment_id not in skip}

@@ -1,0 +1,76 @@
+"""Paper-vs-measured record types shared by all experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+__all__ = ["Record", "ExperimentReport"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One reproduced quantity.
+
+    ``paper`` is the paper's reported value (None for shape-only
+    checks); ``measured`` is ours; ``tolerance`` is the relative band
+    within which we call it a match (interpreted on |measured - paper| /
+    |paper|).  For qualitative checks use ``passed`` directly.
+    """
+
+    name: str
+    measured: float
+    unit: str = ""
+    paper: float | None = None
+    tolerance: float = 0.25
+    note: str = ""
+
+    @property
+    def passed(self) -> bool:
+        if self.paper is None:
+            return True
+        if self.paper == 0:
+            return abs(self.measured) <= self.tolerance
+        return abs(self.measured - self.paper) <= self.tolerance \
+            * abs(self.paper)
+
+    def format(self) -> str:
+        status = "ok" if self.passed else "MISMATCH"
+        paper = "-" if self.paper is None else f"{self.paper:g}"
+        line = (f"{self.name:<42} paper={paper:<12} "
+                f"measured={self.measured:<12.6g} {self.unit:<8} [{status}]")
+        if self.note:
+            line += f"  ({self.note})"
+        return line
+
+
+@dataclass
+class ExperimentReport:
+    """All records of one experiment plus free-form extras."""
+
+    experiment_id: str
+    title: str
+    records: list[Record] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def add(self, record: Record) -> None:
+        self.records.append(record)
+
+    def record(self, name: str) -> Record:
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        raise ExperimentError(
+            f"{self.experiment_id}: no record named {name!r}")
+
+    @property
+    def passed(self) -> bool:
+        return all(rec.passed for rec in self.records)
+
+    def format(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines += [rec.format() for rec in self.records]
+        lines.append(f"-- {'PASS' if self.passed else 'FAIL'} "
+                     f"({len(self.records)} records)")
+        return "\n".join(lines)

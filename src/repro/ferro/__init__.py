@@ -1,0 +1,55 @@
+"""Ferroelectric device physics: multi-domain Preisach hysterons with
+nucleation-limited-switching dynamics, reliability and temperature models.
+
+This package substitutes for the Monte-Carlo polycrystalline FeCap model
+the paper cites (Alessandri et al.), calibrated to the paper's two device
+sources: the NVDRAM-class low-voltage cell used in its Spectre runs and
+the fabricated 10 nm HZO capacitor of its measurement section.
+"""
+
+from repro.ferro.dynamics import (
+    minimum_full_switch_pulse,
+    pulse_switched_polarization,
+    switched_fraction,
+    switching_time,
+)
+from repro.ferro.fecap import FeCapacitor
+from repro.ferro.materials import FAB_HZO, NVDRAM_CAL, UC_PER_CM2, FerroMaterial
+from repro.ferro.preisach import DomainBank
+from repro.ferro.reliability import (
+    EnduranceModel,
+    ReadDisturbTracker,
+    endurance_sweep,
+    reads_until_disturb,
+    retention_factor,
+)
+from repro.ferro.thermal_response import (
+    StabilityReport,
+    check_thermal_stability,
+    loop_metrics,
+    pv_loop_at_temperature,
+    temperature_family,
+)
+
+__all__ = [
+    "FerroMaterial",
+    "NVDRAM_CAL",
+    "FAB_HZO",
+    "UC_PER_CM2",
+    "DomainBank",
+    "FeCapacitor",
+    "switching_time",
+    "switched_fraction",
+    "pulse_switched_polarization",
+    "minimum_full_switch_pulse",
+    "EnduranceModel",
+    "endurance_sweep",
+    "ReadDisturbTracker",
+    "reads_until_disturb",
+    "retention_factor",
+    "pv_loop_at_temperature",
+    "loop_metrics",
+    "temperature_family",
+    "StabilityReport",
+    "check_thermal_stability",
+]

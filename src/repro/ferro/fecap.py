@@ -1,0 +1,129 @@
+"""Ferroelectric capacitor as a circuit component.
+
+Implements the charge-based backward-Euler companion model:
+
+    i(t_{n+1}) = (Q(v_{n+1}, state') - Q_committed) / dt
+
+where ``state'`` is the domain state evolved over the step at the trial
+voltage.  The Newton linearisation uses the numerically-differentiated
+effective capacitance ``dQ/dv`` (robust against the strongly nonlinear
+switching term).  Domain state mutates only in ``commit``, so rejected
+steps need no rollback (matching the solver's contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.ferro.materials import FerroMaterial
+from repro.ferro.preisach import DomainBank
+from repro.spice.components import Component, StampContext
+
+__all__ = ["FeCapacitor"]
+
+#: Voltage perturbation for the numeric dQ/dv (volts).
+_DV = 1e-4
+
+
+class FeCapacitor(Component):
+    """MFM ferroelectric capacitor between ``node_p`` (top) and ``node_n``.
+
+    Positive polarization corresponds to the state written by a positive
+    ``v(node_p) - v(node_n)``; in the paper's convention bit '1' is the
+    positive-P state (minimal switching under a positive read voltage).
+
+    Parameters
+    ----------
+    material:
+        Ferroelectric parameter set.
+    initial_state:
+        Normalized initial domain state in [-1, 1]; +1 = bit '1',
+        -1 = bit '0'.  Defaults to 0 (virgin film).
+    temperature_k, rng, vc_shift:
+        Forwarded to :class:`~repro.ferro.preisach.DomainBank`.
+    """
+
+    def __init__(self, name: str, node_p: str, node_n: str,
+                 material: FerroMaterial, *,
+                 initial_state: float = 0.0,
+                 temperature_k: float | None = None,
+                 rng: np.random.Generator | None = None,
+                 vc_shift: float = 0.0) -> None:
+        super().__init__(name, (node_p, node_n))
+        self.bank = DomainBank(material, temperature_k=temperature_k,
+                               rng=rng, vc_shift=vc_shift)
+        if initial_state:
+            self.bank.set_uniform(initial_state)
+        self.v_prev = 0.0
+        self._q_prev = self.bank.charge(0.0)
+        self._dt = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def material(self) -> FerroMaterial:
+        return self.bank.material
+
+    def polarization(self) -> float:
+        """Committed ferroelectric polarization, C/m²."""
+        return self.bank.polarization()
+
+    def polarization_uc_cm2(self) -> float:
+        """Committed polarization in µC/cm² (paper's unit)."""
+        return self.bank.polarization() * 1e2
+
+    def stored_bit(self) -> int:
+        """Decode the committed state as a bit (P >= 0 → '1')."""
+        return 1 if self.bank.polarization() >= 0.0 else 0
+
+    def write_state(self, bit: int) -> None:
+        """Force the domain state to a fully-written bit (test helper)."""
+        if bit not in (0, 1):
+            raise DeviceError("bit must be 0 or 1")
+        self.bank.set_uniform(1.0 if bit else -1.0)
+        self._q_prev = self.bank.charge(self.v_prev)
+
+    def reset_terminal(self) -> None:
+        """Re-reference the charge history to 0 V terminals.
+
+        Called at the start of every transient run: node voltages restart
+        from 0 V while the domain state persists, so the companion-model
+        history must be rebased to avoid a spurious discharge transient.
+        """
+        self.v_prev = 0.0
+        self._q_prev = self.bank.charge(0.0)
+
+    # ------------------------------------------------------------------
+    # solver interface
+    # ------------------------------------------------------------------
+    def begin_step(self, t: float, dt: float) -> None:
+        self._dt = dt
+
+    def _trial_charge(self, voltage: float, dt: float) -> float:
+        evolved = self.bank.evolved_state(voltage, dt)
+        return self.bank.charge(voltage, evolved)
+
+    def stamp(self, ctx: StampContext) -> None:
+        i, j = self.node_index
+        v = ctx.v(i) - ctx.v(j)
+        dt = ctx.dt
+        q0 = self._trial_charge(v, dt)
+        q_plus = self._trial_charge(v + _DV, dt)
+        q_minus = self._trial_charge(v - _DV, dt)
+        c_eff = max((q_plus - q_minus) / (2.0 * _DV), 1e-21)
+        g = c_eff / dt
+        current = (q0 - self._q_prev) / dt
+        # Linearised: i(v') ~= current + g * (v' - v)
+        ieq = current - g * v
+        ctx.add_conductance(i, j, g)
+        ctx.add_current(i, -ieq)
+        ctx.add_current(j, ieq)
+
+    def commit(self, x: np.ndarray) -> None:
+        i, j = self.node_index
+        vi = 0.0 if i < 0 else float(x[i])
+        vj = 0.0 if j < 0 else float(x[j])
+        v = vi - vj
+        self.bank.s = self.bank.evolved_state(v, self._dt)
+        self.v_prev = v
+        self._q_prev = self.bank.charge(v)

@@ -1,0 +1,169 @@
+"""Ferroelectric capacitor material/device parameter sets.
+
+Two calibrations mirror the paper's two device sources:
+
+* :data:`NVDRAM_CAL` — the low-voltage MFM model used for the Spectre cell
+  simulations, "calibrated to Micron's NVDRAM cell" (paper §III).  Writes
+  complete within tens of ns at 1.5 V; QNRO reads at ~0.5-0.6 V disturb
+  only the weak tail of the domain distribution.
+* :data:`FAB_HZO` — the fabricated 10 nm HZO MFM capacitor of §IV:
+  Pr ≈ 22.3 µC/cm², ±3 V operation, full switching in < 300 ns at 3 V,
+  endurance ≥ 1e6 cycles.
+
+All polarization densities are stored in C/m² (1 µC/cm² = 0.01 C/m²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceError
+
+__all__ = [
+    "FerroMaterial",
+    "NVDRAM_CAL",
+    "FAB_HZO",
+    "UC_PER_CM2",
+]
+
+#: Conversion factor: multiply a value in C/m² by this to get µC/cm².
+UC_PER_CM2 = 1e2
+
+EPS0 = 8.8541878128e-12  # F/m
+
+
+@dataclass(frozen=True)
+class FerroMaterial:
+    """Parameters of a polycrystalline MFM ferroelectric capacitor.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    ps:
+        Switchable (domain) polarization at saturation, C/m².  The
+        remanent polarization of a fully-poled device equals ``ps``.
+    vc_mean, vc_sigma:
+        Mean / standard deviation of the per-domain coercive voltage
+        distribution, volts (device-level, not field, so thickness is
+        folded in).
+    tau0:
+        Attempt time of the Merz/NLS switching law, seconds.
+    merz_n:
+        Exponent of the Merz law ``tau = tau0 * exp((va / |V|)**merz_n)``.
+    activation_scale:
+        Per-domain activation voltage ``va_k = activation_scale * vc_k``.
+    chi_nl:
+        Amplitude of the reversible (non-hysteretic) polarization
+        component ``chi_nl * tanh(V / v_nl)``, C/m².  Accounts for the
+        slanted shoulders of measured loops.
+    v_nl:
+        Voltage scale of the reversible component, volts.
+    eps_r:
+        Linear relative permittivity of the film (background dielectric).
+    thickness:
+        Film thickness in metres.
+    area:
+        Capacitor area in m².
+    alpha_vc:
+        Linear temperature coefficient of the coercive voltage, 1/K
+        (Vc decreases with T; paper Fig. 4(e)).
+    alpha_ps:
+        Linear temperature coefficient of ``ps``, 1/K (small: Pr is
+        nearly constant over 300-390 K in Fig. 4(e)).
+    t_ref:
+        Reference temperature (K) at which the above are quoted.
+    t_curie:
+        Temperature (K) beyond which ferroelectricity is considered lost;
+        used by the thermal-viability check of §VII.
+    n_domains:
+        Number of hysterons used to discretise the domain distribution.
+    """
+
+    name: str
+    ps: float
+    vc_mean: float
+    vc_sigma: float
+    tau0: float
+    merz_n: float
+    activation_scale: float
+    chi_nl: float
+    v_nl: float
+    eps_r: float
+    thickness: float
+    area: float
+    alpha_vc: float = 2.2e-3
+    alpha_ps: float = 2.0e-4
+    t_ref: float = 300.0
+    t_curie: float = 700.0
+    n_domains: int = 48
+
+    def __post_init__(self) -> None:
+        if self.ps <= 0 or self.vc_mean <= 0 or self.vc_sigma <= 0:
+            raise DeviceError(f"{self.name}: ps, vc_mean, vc_sigma must be > 0")
+        if self.tau0 <= 0 or self.merz_n <= 0 or self.activation_scale <= 0:
+            raise DeviceError(f"{self.name}: invalid switching-law parameters")
+        if self.thickness <= 0 or self.area <= 0 or self.eps_r <= 0:
+            raise DeviceError(f"{self.name}: invalid geometry")
+        if self.n_domains < 2:
+            raise DeviceError(f"{self.name}: need at least 2 domains")
+
+    # ------------------------------------------------------------------
+    @property
+    def linear_capacitance(self) -> float:
+        """Background (dielectric) capacitance in farads."""
+        return EPS0 * self.eps_r * self.area / self.thickness
+
+    @property
+    def full_switching_charge(self) -> float:
+        """Charge released by a complete polarization reversal, coulombs."""
+        return 2.0 * self.ps * self.area
+
+    def vc_at(self, temperature_k: float) -> float:
+        """Mean coercive voltage at ``temperature_k`` (clamped ≥ 5% of ref)."""
+        factor = 1.0 - self.alpha_vc * (temperature_k - self.t_ref)
+        return self.vc_mean * max(factor, 0.05)
+
+    def ps_at(self, temperature_k: float) -> float:
+        """Saturation (≈ remanent) polarization at ``temperature_k``."""
+        factor = 1.0 - self.alpha_ps * (temperature_k - self.t_ref)
+        return self.ps * max(factor, 0.0)
+
+    def scaled(self, **overrides) -> "FerroMaterial":
+        """Copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Low-voltage calibration used by the paper's Spectre cell simulations
+#: (Micron NVDRAM-class MFM): 1.5 V writes in tens of ns, QNRO reads near
+#: 0.5-0.6 V disturb only the weak-domain tail.
+NVDRAM_CAL = FerroMaterial(
+    name="nvdram-cal",
+    ps=0.30,                 # 30 µC/cm²
+    vc_mean=0.60,
+    vc_sigma=0.20,
+    tau0=2e-9,
+    merz_n=2.2,
+    activation_scale=3.0,
+    chi_nl=0.03,             # 3 µC/cm² reversible part
+    v_nl=2.0,
+    eps_r=30.0,
+    thickness=8e-9,
+    area=1.5e-14,            # 0.015 µm²
+)
+
+#: The fabricated 10 nm HZO capacitor of §IV (probe-station scale area).
+FAB_HZO = FerroMaterial(
+    name="fab-hzo",
+    ps=0.223,                # Pr = 22.3 µC/cm² (Fig. 4(e))
+    vc_mean=1.05,
+    vc_sigma=0.26,
+    tau0=1.3e-8,
+    merz_n=2.5,
+    activation_scale=3.2,
+    chi_nl=0.08,             # 8 µC/cm²: gives QFE(±3 V) ≈ ±38 µC/cm²
+    v_nl=1.6,
+    eps_r=30.0,
+    thickness=10e-9,
+    area=1e-10,              # 10 µm × 10 µm test capacitor
+)

@@ -1,0 +1,207 @@
+"""Multi-domain hysteron bank: the stateful core of the FeCap model.
+
+The polycrystalline film is discretised into ``n_domains`` hysterons.
+Domain ``k`` carries a coercive voltage ``vc_k`` drawn from the material's
+Gaussian distribution (deterministic quantile sampling by default, random
+sampling for device-to-device variation studies), a weight ``w_k`` and a
+normalized polarization ``s_k ∈ [-1, 1]``.
+
+Under an applied voltage each domain relaxes toward the field's sign with
+the Merz-law time constant of :mod:`repro.ferro.dynamics`.  Because the
+time constant is astronomically long for strong domains at read voltages
+yet short for the weak tail, the same mechanics produce:
+
+* square-ish saturation loops (Fig. 4(e));
+* decades-wide pulse switching kinetics (Fig. 4(g,h));
+* *quasi*-nondestructive readout — a read pulse flips only a small part
+  of the weak tail, and only when the stored state opposes the read
+  field (the ΔQ0 ≫ ΔQ1 asymmetry behind the paper's QNRO sensing);
+* accumulative read disturb across repeated reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from repro.errors import DeviceError
+from repro.ferro.dynamics import switched_fraction, switching_time
+from repro.ferro.materials import FerroMaterial
+
+__all__ = ["DomainBank"]
+
+
+def _gaussian_quantiles(n: int) -> np.ndarray:
+    """Midpoint quantiles of the standard normal for n equal-mass bins."""
+    probs = (np.arange(n) + 0.5) / n
+    return special.ndtri(probs)
+
+
+class DomainBank:
+    """State of one ferroelectric capacitor's domain population.
+
+    Parameters
+    ----------
+    material:
+        Device parameters.
+    temperature_k:
+        Operating temperature; scales coercive/activation voltages and
+        the saturation polarization via the material's linear laws.
+    rng:
+        If given, coercive voltages are sampled randomly (device-to-device
+        variation); otherwise deterministic quantile sampling is used.
+    vc_shift:
+        Additive shift (volts) applied to every coercive voltage; models
+        imprint or deliberate skew in variation studies.
+    """
+
+    def __init__(self, material: FerroMaterial, *,
+                 temperature_k: float | None = None,
+                 rng: np.random.Generator | None = None,
+                 vc_shift: float = 0.0) -> None:
+        self.material = material
+        self.temperature_k = float(temperature_k if temperature_k is not None
+                                   else material.t_ref)
+        n = material.n_domains
+        vc_mean = material.vc_at(self.temperature_k)
+        # Sigma scales proportionally with the mean under temperature.
+        sigma = material.vc_sigma * vc_mean / material.vc_mean
+        if rng is None:
+            z = _gaussian_quantiles(n)
+        else:
+            z = rng.standard_normal(n)
+        vc = vc_mean + sigma * z + vc_shift
+        self.vc = np.maximum(vc, 0.02)
+        self.va = material.activation_scale * self.vc
+        self.weights = np.full(n, 1.0 / n)
+        self.s = np.zeros(n)
+        self._ps = material.ps_at(self.temperature_k)
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    @property
+    def ps(self) -> float:
+        """Saturation polarization at the bank's temperature, C/m²."""
+        return self._ps
+
+    def polarization(self, s: np.ndarray | None = None) -> float:
+        """Ferroelectric polarization (C/m²) of the given/current state."""
+        state = self.s if s is None else s
+        return float(self._ps * np.dot(self.weights, state))
+
+    def set_uniform(self, s_value: float) -> None:
+        """Pole every domain to ``s_value`` (must lie in [-1, 1])."""
+        if not -1.0 <= s_value <= 1.0:
+            raise DeviceError("domain state must lie in [-1, 1]")
+        self.s = np.full(self.material.n_domains, float(s_value))
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the per-domain state (for save/restore)."""
+        return self.s.copy()
+
+    def restore(self, snapshot: np.ndarray) -> None:
+        if snapshot.shape != self.s.shape:
+            raise DeviceError("snapshot shape mismatch")
+        self.s = snapshot.copy()
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def evolved_state(self, voltage: float, dt: float,
+                      s: np.ndarray | None = None) -> np.ndarray:
+        """State after holding ``voltage`` for ``dt`` (pure: no mutation)."""
+        state = self.s if s is None else s
+        if dt <= 0.0 or abs(voltage) < 1e-9:
+            return state.copy()
+        target = 1.0 if voltage > 0 else -1.0
+        tau = switching_time(voltage, self.va, self.material.tau0,
+                             self.material.merz_n)
+        frac = switched_fraction(dt, tau)
+        return state + (target - state) * frac
+
+    def apply_voltage(self, voltage: float, dt: float) -> float:
+        """Hold ``voltage`` for ``dt`` seconds; returns the new P (C/m²)."""
+        self.s = self.evolved_state(voltage, dt)
+        return self.polarization()
+
+    def apply_waveform(self, times: np.ndarray, voltages: np.ndarray,
+                       ) -> np.ndarray:
+        """Apply a sampled waveform; returns P at every sample.
+
+        ``times`` must be increasing; the voltage over ``[t_i, t_{i+1}]``
+        is taken as the midpoint of the two endpoint values.
+        """
+        times = np.asarray(times, dtype=float)
+        voltages = np.asarray(voltages, dtype=float)
+        if times.shape != voltages.shape or times.ndim != 1:
+            raise DeviceError("times and voltages must be equal-length 1-D")
+        p_out = np.empty_like(times)
+        p_out[0] = self.polarization()
+        for k in range(1, times.size):
+            dt = times[k] - times[k - 1]
+            if dt < 0:
+                raise DeviceError("times must be non-decreasing")
+            v_mid = 0.5 * (voltages[k] + voltages[k - 1])
+            p_out[k] = self.apply_voltage(v_mid, dt)
+        return p_out
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def total_charge_density(self, voltage: float,
+                             s: np.ndarray | None = None) -> float:
+        """Total surface charge density Q/A (C/m²) at ``voltage``.
+
+        Sum of the hysteretic domain polarization, the reversible
+        (non-hysteretic) component and the linear dielectric response.
+        """
+        m = self.material
+        p_fe = self.polarization(s)
+        p_rev = m.chi_nl * np.tanh(voltage / m.v_nl)
+        q_lin = m.linear_capacitance * voltage / m.area
+        return float(p_fe + p_rev + q_lin)
+
+    def charge(self, voltage: float, s: np.ndarray | None = None) -> float:
+        """Total device charge in coulombs at ``voltage``."""
+        return self.total_charge_density(voltage, s) * self.material.area
+
+    def remanent_polarization(self) -> float:
+        """Current P at zero volts (the hysteretic part only), C/m²."""
+        return self.polarization()
+
+    def quasi_static_loop(self, v_amplitude: float, *, n_points: int = 401,
+                          period: float = 1e-3, cycles: int = 2,
+                          ) -> tuple[np.ndarray, np.ndarray]:
+        """Trace a polarization-voltage loop with a triangular sweep.
+
+        Returns ``(voltages, charge_densities)`` of the final cycle, the
+        quantity plotted in the paper's Fig. 4(e) (QFE vs V).  ``period``
+        is the triangle period in seconds (1 ms ≈ quasi-static for both
+        material presets).
+        """
+        if v_amplitude <= 0 or n_points < 16 or cycles < 1:
+            raise DeviceError("invalid loop parameters")
+        quarter = n_points // 4
+        up = np.linspace(0.0, v_amplitude, quarter, endpoint=False)
+        down = np.linspace(v_amplitude, -v_amplitude, 2 * quarter,
+                           endpoint=False)
+        back = np.linspace(-v_amplitude, 0.0, quarter, endpoint=False)
+        one_cycle = np.concatenate([up, down, back])
+        voltages = np.tile(one_cycle, cycles)
+        times = np.arange(voltages.size) * (period / one_cycle.size)
+        self.apply_waveform(times[: -one_cycle.size + 1],
+                            voltages[: -one_cycle.size + 1])
+        # Final cycle traced point-by-point for the returned loop.
+        v_last = voltages[-one_cycle.size:]
+        t_last = times[-one_cycle.size:]
+        q = np.empty_like(v_last)
+        prev_t = t_last[0]
+        prev_v = v_last[0]
+        q[0] = self.total_charge_density(prev_v)
+        for k in range(1, v_last.size):
+            dt = t_last[k] - prev_t
+            self.apply_voltage(0.5 * (v_last[k] + prev_v), dt)
+            q[k] = self.total_charge_density(v_last[k])
+            prev_t, prev_v = t_last[k], v_last[k]
+        return v_last, q

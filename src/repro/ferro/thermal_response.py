@@ -1,0 +1,131 @@
+"""Temperature dependence of the ferroelectric response.
+
+Reproduces the paper's Fig. 4(e) behaviour — coercive voltage decreases
+with temperature while remanent polarization stays nearly constant over
+300-390 K — and provides the §VII thermal-viability check ("operating
+temperatures preserve the ferroelectric properties ... and stable
+remanent polarization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.ferro.materials import FerroMaterial
+from repro.ferro.preisach import DomainBank
+
+__all__ = [
+    "pv_loop_at_temperature",
+    "loop_metrics",
+    "temperature_family",
+    "StabilityReport",
+    "check_thermal_stability",
+]
+
+
+def pv_loop_at_temperature(material: FerroMaterial, temperature_k: float,
+                           *, v_amplitude: float = 3.0, n_points: int = 401,
+                           period: float = 1e-3,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Q_FE-V loop (C/m²) of a fresh device at ``temperature_k``."""
+    if temperature_k <= 0:
+        raise DeviceError("temperature must be positive kelvin")
+    bank = DomainBank(material, temperature_k=temperature_k)
+    return bank.quasi_static_loop(v_amplitude, n_points=n_points,
+                                  period=period)
+
+
+def loop_metrics(voltages: np.ndarray, charges: np.ndarray,
+                 ) -> dict[str, float]:
+    """Extract Pr± and Vc± from a traced loop.
+
+    * ``pr_plus``/``pr_minus``: charge at the V = 0 crossings on the
+      descending/ascending branches.
+    * ``vc_plus``/``vc_minus``: voltages where the charge crosses zero.
+    """
+    v = np.asarray(voltages, dtype=float)
+    q = np.asarray(charges, dtype=float)
+    if v.shape != q.shape or v.size < 8:
+        raise DeviceError("need matching arrays with >= 8 samples")
+    dv = np.diff(v)
+    metrics: dict[str, float] = {}
+    # Remanent charge: interpolate each branch at V = 0.
+    for name, direction in (("pr_minus", 1.0), ("pr_plus", -1.0)):
+        best = None
+        for k in range(v.size - 1):
+            if dv[k] * direction <= 0:
+                continue
+            v0, v1 = v[k], v[k + 1]
+            if v0 <= 0.0 <= v1 or v1 <= 0.0 <= v0:
+                frac = -v0 / (v1 - v0) if v1 != v0 else 0.0
+                best = q[k] + frac * (q[k + 1] - q[k])
+        if best is None:
+            raise DeviceError(f"loop does not cross V=0 for {name}")
+        metrics[name] = float(best)
+    # Coercive voltage: Q = 0 crossings.
+    for name, direction in (("vc_plus", 1.0), ("vc_minus", -1.0)):
+        best = None
+        for k in range(v.size - 1):
+            if dv[k] * direction <= 0:
+                continue
+            q0, q1 = q[k], q[k + 1]
+            if q0 <= 0.0 <= q1 or q1 <= 0.0 <= q0:
+                frac = -q0 / (q1 - q0) if q1 != q0 else 0.0
+                best = v[k] + frac * (v[k + 1] - v[k])
+        if best is None:
+            raise DeviceError(f"loop does not cross Q=0 for {name}")
+        metrics[name] = float(best)
+    return metrics
+
+
+def temperature_family(material: FerroMaterial,
+                       temperatures: tuple[float, ...] = (300.0, 330.0,
+                                                          360.0, 390.0),
+                       *, v_amplitude: float = 3.0,
+                       ) -> dict[float, dict[str, float]]:
+    """Loop metrics per temperature (the paper's Fig. 4(e) family)."""
+    out: dict[float, dict[str, float]] = {}
+    for temp in temperatures:
+        v, q = pv_loop_at_temperature(material, temp,
+                                      v_amplitude=v_amplitude)
+        out[float(temp)] = loop_metrics(v, q)
+    return out
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Outcome of the §VII thermal-viability check."""
+
+    temperature_k: float
+    pr_fraction: float
+    vc_fraction: float
+    below_curie: bool
+
+    @property
+    def stable(self) -> bool:
+        """Ferroelectric behaviour retained: Pr within 10 %, Vc positive,
+        temperature comfortably below the Curie point."""
+        return (self.below_curie and self.pr_fraction >= 0.9
+                and self.vc_fraction > 0.2)
+
+
+def check_thermal_stability(material: FerroMaterial,
+                            temperature_k: float) -> StabilityReport:
+    """Evaluate ferroelectric stability at an operating temperature.
+
+    Used with the peak temperature from :mod:`repro.thermal` to confirm
+    the paper's claim that 351.88 K operation "preserves the ferroelectric
+    properties ... and stable remanent polarization".
+    """
+    if temperature_k <= 0:
+        raise DeviceError("temperature must be positive kelvin")
+    pr_frac = material.ps_at(temperature_k) / material.ps
+    vc_frac = material.vc_at(temperature_k) / material.vc_mean
+    below_curie = temperature_k < 0.8 * material.t_curie
+    return StabilityReport(temperature_k=temperature_k,
+                           pr_fraction=pr_frac,
+                           vc_fraction=vc_frac,
+                           below_curie=below_curie)

@@ -1,0 +1,37 @@
+"""3D integration models: planar vs vertical 2T-nC area (30 F²/cap at
+F = 28 nm vs the 130 × 130 nm² vertical string, 4.18× reduction), die
+capacity of stacked strings, and storage/compute density comparisons.
+"""
+
+from repro.integration.area import (
+    PERIPHERY_OVERHEAD,
+    PLANAR_F2_PER_CAP,
+    TECH_F_NM,
+    VERTICAL_FOOTPRINT_NM,
+    CellAreaReport,
+    area_report,
+    planar_cell_area_f2,
+    planar_cell_area_nm2,
+    vertical_cell_area_nm2,
+    vertical_reduction_factor,
+)
+from repro.integration.density import DensityComparison, density_comparison
+from repro.integration.stack3d import FIG7_DIE, StackedDie, VerticalString
+
+__all__ = [
+    "TECH_F_NM",
+    "PLANAR_F2_PER_CAP",
+    "VERTICAL_FOOTPRINT_NM",
+    "PERIPHERY_OVERHEAD",
+    "planar_cell_area_f2",
+    "planar_cell_area_nm2",
+    "vertical_cell_area_nm2",
+    "vertical_reduction_factor",
+    "CellAreaReport",
+    "area_report",
+    "VerticalString",
+    "StackedDie",
+    "FIG7_DIE",
+    "DensityComparison",
+    "density_comparison",
+]

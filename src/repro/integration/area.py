@@ -1,0 +1,106 @@
+"""Planar vs vertical-3D area model (paper §V).
+
+Anchors from the paper:
+
+* 2T-1C FeRAM at the 28 nm node occupies ≈ 30 F² with each FE capacitor
+  accounting for 1 F² (citing the 28 nm embedded-FeRAM path study);
+* extending to 2T-3C planar costs ≈ 90 F²;
+* the vertically stacked 2T-3C string achieves a ≈ 130 × 130 nm²
+  footprint, a 4.18× reduction;
+* peripheral circuitry adds ≈ 50 % area overhead (used by §VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "TECH_F_NM",
+    "PLANAR_F2_PER_CAP",
+    "VERTICAL_FOOTPRINT_NM",
+    "PERIPHERY_OVERHEAD",
+    "planar_cell_area_f2",
+    "planar_cell_area_nm2",
+    "vertical_cell_area_nm2",
+    "vertical_reduction_factor",
+    "CellAreaReport",
+    "area_report",
+]
+
+#: feature size of the paper's area comparison (nm)
+TECH_F_NM = 28.0
+#: planar 2T-nC area scales ~30 F² per capacitor (2T-1C anchor)
+PLANAR_F2_PER_CAP = 30.0
+#: vertical 2T-nC string footprint (nm per side)
+VERTICAL_FOOTPRINT_NM = 130.0
+#: peripheral circuitry overhead fraction (§VII, consistent with [15])
+PERIPHERY_OVERHEAD = 0.5
+
+
+def planar_cell_area_f2(n_caps: int) -> float:
+    """Planar 2T-nC cell area in F² (the paper's 30 F² → 90 F² scaling)."""
+    if n_caps < 1:
+        raise ArchitectureError("cell needs at least one capacitor")
+    return PLANAR_F2_PER_CAP * n_caps
+
+
+def planar_cell_area_nm2(n_caps: int, *, f_nm: float = TECH_F_NM) -> float:
+    """Planar 2T-nC cell area in nm²."""
+    if f_nm <= 0:
+        raise ArchitectureError("feature size must be positive")
+    return planar_cell_area_f2(n_caps) * f_nm * f_nm
+
+
+def vertical_cell_area_nm2(*, footprint_nm: float = VERTICAL_FOOTPRINT_NM,
+                           ) -> float:
+    """Vertical 2T-nC string footprint in nm² (capacitors stack in the
+    BEOL between T_R and T_W, costing no lateral area)."""
+    if footprint_nm <= 0:
+        raise ArchitectureError("footprint must be positive")
+    return footprint_nm * footprint_nm
+
+
+def vertical_reduction_factor(n_caps: int = 3, *,
+                              f_nm: float = TECH_F_NM,
+                              footprint_nm: float = VERTICAL_FOOTPRINT_NM,
+                              ) -> float:
+    """Planar/vertical footprint ratio — the paper's 4.18× for 2T-3C."""
+    return (planar_cell_area_nm2(n_caps, f_nm=f_nm)
+            / vertical_cell_area_nm2(footprint_nm=footprint_nm))
+
+
+@dataclass(frozen=True)
+class CellAreaReport:
+    """Summary of the §V area comparison for one cell configuration."""
+
+    n_caps: int
+    planar_f2: float
+    planar_nm2: float
+    vertical_nm2: float
+    reduction: float
+    bits_per_cell: int
+
+    @property
+    def planar_nm2_per_bit(self) -> float:
+        return self.planar_nm2 / self.bits_per_cell
+
+    @property
+    def vertical_nm2_per_bit(self) -> float:
+        return self.vertical_nm2 / self.bits_per_cell
+
+
+def area_report(n_caps: int = 3, *, f_nm: float = TECH_F_NM,
+                footprint_nm: float = VERTICAL_FOOTPRINT_NM,
+                ) -> CellAreaReport:
+    """Build the paper's §V comparison for a 2T-nC cell."""
+    return CellAreaReport(
+        n_caps=n_caps,
+        planar_f2=planar_cell_area_f2(n_caps),
+        planar_nm2=planar_cell_area_nm2(n_caps, f_nm=f_nm),
+        vertical_nm2=vertical_cell_area_nm2(footprint_nm=footprint_nm),
+        reduction=vertical_reduction_factor(n_caps, f_nm=f_nm,
+                                            footprint_nm=footprint_nm),
+        bits_per_cell=n_caps,
+    )

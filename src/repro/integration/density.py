@@ -1,0 +1,72 @@
+"""Storage and compute density comparisons (paper §V claims).
+
+Quantifies what the vertical stack buys: bits/mm² and row-parallel
+MINORITY operations per activation per mm², planar vs vertical, with
+optional multi-deck stacking ("further enhanced by stacking multiple
+such layers vertically").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+from repro.integration.area import (
+    PERIPHERY_OVERHEAD,
+    TECH_F_NM,
+    planar_cell_area_nm2,
+    vertical_cell_area_nm2,
+)
+
+__all__ = ["DensityComparison", "density_comparison"]
+
+NM2_PER_MM2 = 1e12
+
+
+@dataclass(frozen=True)
+class DensityComparison:
+    """Planar vs vertical density figures for a 2T-nC configuration."""
+
+    n_caps: int
+    n_decks: int
+    planar_bits_per_mm2: float
+    vertical_bits_per_mm2: float
+    planar_lim_cells_per_mm2: float
+    vertical_lim_cells_per_mm2: float
+
+    @property
+    def storage_gain(self) -> float:
+        """Vertical-over-planar storage density factor."""
+        return self.vertical_bits_per_mm2 / self.planar_bits_per_mm2
+
+    @property
+    def compute_gain(self) -> float:
+        """Vertical-over-planar LiM (MINORITY-capable cell) density."""
+        return (self.vertical_lim_cells_per_mm2
+                / self.planar_lim_cells_per_mm2)
+
+
+def density_comparison(n_caps: int = 3, *, n_decks: int = 1,
+                       f_nm: float = TECH_F_NM,
+                       periphery_overhead: float = PERIPHERY_OVERHEAD,
+                       ) -> DensityComparison:
+    """Compute §V density figures.
+
+    ``n_decks`` stacks multiple vertical arrays (each deck multiplies
+    vertical density; planar cannot stack).
+    """
+    if n_decks < 1:
+        raise ArchitectureError("need at least one deck")
+    overhead = 1.0 + periphery_overhead
+    planar_cell = planar_cell_area_nm2(n_caps, f_nm=f_nm) * overhead
+    vertical_cell = vertical_cell_area_nm2() * overhead
+    planar_cells_mm2 = NM2_PER_MM2 / planar_cell
+    vertical_cells_mm2 = NM2_PER_MM2 / vertical_cell * n_decks
+    return DensityComparison(
+        n_caps=n_caps,
+        n_decks=n_decks,
+        planar_bits_per_mm2=planar_cells_mm2 * n_caps,
+        vertical_bits_per_mm2=vertical_cells_mm2 * n_caps,
+        planar_lim_cells_per_mm2=planar_cells_mm2,
+        vertical_lim_cells_per_mm2=vertical_cells_mm2,
+    )

@@ -1,0 +1,99 @@
+"""Vertical 2T-nC string geometry and die capacity (paper §V, Fig. 5).
+
+The vertical cell stacks, bottom to top: the read transistor ``T_R``,
+``n`` ferroelectric capacitors in the BEOL, and the write transistor
+``T_W`` — an ``n + 2``-layer string whose footprint is a single
+130 × 130 nm² column.  A die tiled with such strings (plus 50 %
+peripheral overhead) at the paper's Fig. 7 dimensions holds ≈ 2 GB,
+matching the "5-layer 2 GB vertical 2T-nC FeRAM die" of the thermal
+study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+from repro.integration.area import (
+    PERIPHERY_OVERHEAD,
+    VERTICAL_FOOTPRINT_NM,
+    vertical_cell_area_nm2,
+)
+
+__all__ = ["VerticalString", "StackedDie", "FIG7_DIE"]
+
+
+@dataclass(frozen=True)
+class VerticalString:
+    """One vertical 2T-nC column."""
+
+    n_caps: int = 3
+    footprint_nm: float = VERTICAL_FOOTPRINT_NM
+
+    def __post_init__(self) -> None:
+        if self.n_caps < 1:
+            raise ArchitectureError("string needs at least one capacitor")
+
+    @property
+    def n_layers(self) -> int:
+        """Device layers: T_R + n capacitors + T_W."""
+        return self.n_caps + 2
+
+    @property
+    def footprint_nm2(self) -> float:
+        return vertical_cell_area_nm2(footprint_nm=self.footprint_nm)
+
+    @property
+    def bits(self) -> int:
+        return self.n_caps
+
+    def layer_names(self) -> list[str]:
+        return (["T_R"] + [f"C{k + 1}" for k in range(self.n_caps)]
+                + ["T_W"])
+
+
+@dataclass(frozen=True)
+class StackedDie:
+    """A memory die tiled with vertical 2T-nC strings."""
+
+    width_mm: float
+    height_mm: float
+    string: VerticalString = VerticalString()
+    periphery_overhead: float = PERIPHERY_OVERHEAD
+
+    def __post_init__(self) -> None:
+        if self.width_mm <= 0 or self.height_mm <= 0:
+            raise ArchitectureError("die dimensions must be positive")
+        if self.periphery_overhead < 0:
+            raise ArchitectureError("periphery overhead must be >= 0")
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    @property
+    def cell_pitch_area_nm2(self) -> float:
+        """Footprint per string including peripheral overhead."""
+        return self.string.footprint_nm2 * (1.0 + self.periphery_overhead)
+
+    @property
+    def n_strings(self) -> int:
+        nm2_per_mm2 = 1e12
+        return int(self.area_mm2 * nm2_per_mm2 / self.cell_pitch_area_nm2)
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.n_strings * self.string.bits
+
+    @property
+    def capacity_gb(self) -> float:
+        """Capacity in gigabytes (2^30 bytes)."""
+        return self.capacity_bits / 8 / (1 << 30)
+
+    def bits_per_mm2(self) -> float:
+        return self.capacity_bits / self.area_mm2
+
+
+#: The Fig. 7 thermal-study die: 14.2 mm × 10.65 mm, n = 3 (5 layers),
+#: which this model puts at ≈ 2.2 GB — the paper's "2 GB" die.
+FIG7_DIE = StackedDie(width_mm=14.2, height_mm=10.65)

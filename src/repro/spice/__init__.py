@@ -1,0 +1,66 @@
+"""Lightweight SPICE-class circuit substrate (MNA transient solver).
+
+This package substitutes for the Cadence Spectre simulations in the paper:
+a modified-nodal-analysis formulation with Newton-Raphson iteration and
+backward-Euler integration, sufficient for the ~10-node 2T-nC cell
+netlists whose transient behaviour the paper's circuit claims rest on.
+"""
+
+from repro.spice.analysis import TransientResult
+from repro.spice.circuit import Circuit
+from repro.spice.components import (
+    Capacitor,
+    Component,
+    CurrentSource,
+    Resistor,
+    StampContext,
+    VoltageControlledSwitch,
+    VoltageSource,
+)
+from repro.spice.mosfet import (
+    FAB_NMOS,
+    PTM45_NMOS,
+    PTM45_PMOS,
+    Mosfet,
+    MosfetParams,
+    subthreshold_swing_mv_per_dec,
+)
+from repro.spice.solver import SolverOptions, TransientSolver
+from repro.spice.waveform import (
+    DC,
+    PWL,
+    Delayed,
+    Pulse,
+    Scaled,
+    Sinusoid,
+    Sum,
+    as_waveform,
+)
+
+__all__ = [
+    "Circuit",
+    "Component",
+    "StampContext",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VoltageControlledSwitch",
+    "Mosfet",
+    "MosfetParams",
+    "PTM45_NMOS",
+    "PTM45_PMOS",
+    "FAB_NMOS",
+    "subthreshold_swing_mv_per_dec",
+    "TransientSolver",
+    "SolverOptions",
+    "TransientResult",
+    "DC",
+    "PWL",
+    "Pulse",
+    "Sinusoid",
+    "Sum",
+    "Scaled",
+    "Delayed",
+    "as_waveform",
+]

@@ -1,0 +1,121 @@
+"""Containers and measurement helpers for transient results."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CircuitError
+
+__all__ = ["TransientResult"]
+
+
+class TransientResult:
+    """Time series produced by :class:`~repro.spice.solver.TransientSolver`.
+
+    Provides voltage/current probes by name plus simple measurement
+    utilities (sampling, windowed averages, crossing detection) used by the
+    cell-operation code and the experiment drivers.
+    """
+
+    def __init__(self, circuit, times: np.ndarray, states: np.ndarray) -> None:
+        self._circuit = circuit
+        self.times = np.asarray(times, dtype=float)
+        self._states = np.asarray(states, dtype=float)
+        if self._states.shape != (self.times.size, circuit.n_unknowns):
+            raise CircuitError("result shape mismatch")
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def v(self, node: str) -> np.ndarray:
+        """Voltage trace of ``node`` (zeros for ground)."""
+        idx = self._circuit.node_id(node)
+        if idx < 0:
+            return np.zeros_like(self.times)
+        return self._states[:, idx]
+
+    def i(self, source_name: str) -> np.ndarray:
+        """Branch-current trace of a voltage source (SPICE convention:
+        current entering the + terminal)."""
+        component = self._circuit.component(source_name)
+        if not component.branch_index:
+            raise CircuitError(
+                f"component {source_name!r} has no branch current; "
+                "probe currents through a 0 V voltage source")
+        (br,) = component.branch_index
+        return self._states[:, br]
+
+    def state_at(self, t: float) -> np.ndarray:
+        """Full unknown vector linearly interpolated at time ``t``."""
+        t = float(np.clip(t, self.times[0], self.times[-1]))
+        out = np.empty(self._states.shape[1])
+        for col in range(self._states.shape[1]):
+            out[col] = np.interp(t, self.times, self._states[:, col])
+        return out
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def value_at(self, trace: np.ndarray, t: float) -> float:
+        """Linearly interpolate an arbitrary trace at time ``t``."""
+        return float(np.interp(t, self.times, np.asarray(trace)))
+
+    def v_at(self, node: str, t: float) -> float:
+        return self.value_at(self.v(node), t)
+
+    def i_at(self, source_name: str, t: float) -> float:
+        return self.value_at(self.i(source_name), t)
+
+    def window(self, t0: float, t1: float) -> np.ndarray:
+        """Boolean mask selecting samples with ``t0 <= t <= t1``."""
+        if t1 < t0:
+            raise CircuitError("window end precedes start")
+        return (self.times >= t0) & (self.times <= t1)
+
+    def mean_in_window(self, trace: np.ndarray, t0: float, t1: float) -> float:
+        """Time-weighted average of a trace over ``[t0, t1]``."""
+        mask = self.window(t0, t1)
+        if not np.any(mask):
+            raise CircuitError(f"no samples in window [{t0:g}, {t1:g}]")
+        tw = self.times[mask]
+        yw = np.asarray(trace)[mask]
+        if tw.size == 1:
+            return float(yw[0])
+        return float(np.trapezoid(yw, tw) / (tw[-1] - tw[0]))
+
+    def max_in_window(self, trace: np.ndarray, t0: float, t1: float) -> float:
+        mask = self.window(t0, t1)
+        if not np.any(mask):
+            raise CircuitError(f"no samples in window [{t0:g}, {t1:g}]")
+        return float(np.max(np.asarray(trace)[mask]))
+
+    def integrate(self, trace: np.ndarray, t0: float | None = None,
+                  t1: float | None = None) -> float:
+        """Trapezoidal integral of a trace over the (sub)interval."""
+        t0 = self.times[0] if t0 is None else t0
+        t1 = self.times[-1] if t1 is None else t1
+        mask = self.window(t0, t1)
+        tw = self.times[mask]
+        if tw.size < 2:
+            return 0.0
+        return float(np.trapezoid(np.asarray(trace)[mask], tw))
+
+    def first_crossing(self, trace: np.ndarray, level: float,
+                       *, rising: bool = True) -> float | None:
+        """Time of the first crossing of ``level`` (None if never)."""
+        y = np.asarray(trace)
+        if rising:
+            hits = np.nonzero((y[:-1] < level) & (y[1:] >= level))[0]
+        else:
+            hits = np.nonzero((y[:-1] > level) & (y[1:] <= level))[0]
+        if hits.size == 0:
+            return None
+        k = int(hits[0])
+        y0, y1 = y[k], y[k + 1]
+        t0, t1 = self.times[k], self.times[k + 1]
+        if y1 == y0:
+            return float(t0)
+        return float(t0 + (level - y0) * (t1 - t0) / (y1 - y0))
+
+    def __len__(self) -> int:
+        return int(self.times.size)

@@ -1,0 +1,128 @@
+"""Netlist container for the MNA transient solver."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import CircuitError
+from repro.spice.components import Component, is_ground
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """A named collection of components with a node registry.
+
+    Nodes are referenced by name and created implicitly the first time a
+    component uses them.  The names in :data:`~repro.spice.components.GROUND_NAMES`
+    (``"0"``, ``"gnd"``, ...) all resolve to the ground reference, which has
+    index ``-1`` and is excluded from the unknown vector.
+
+    >>> from repro.spice import Circuit, Resistor, VoltageSource
+    >>> ckt = Circuit("divider")
+    >>> _ = ckt.add(VoltageSource("vin", "in", "0", 1.0))
+    >>> _ = ckt.add(Resistor("r1", "in", "mid", 1e3))
+    >>> _ = ckt.add(Resistor("r2", "mid", "0", 1e3))
+    >>> ckt.freeze().n_nodes
+    2
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._components: dict[str, Component] = {}
+        self._node_order: list[str] = []
+        self._node_index: dict[str, int] = {}
+        self._frozen = False
+        self.n_nodes = 0
+        self.n_branches = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Add ``component`` to the netlist and return it.
+
+        Raises :class:`~repro.errors.CircuitError` on duplicate names or if
+        the circuit is already frozen.
+        """
+        if self._frozen:
+            raise CircuitError(
+                f"circuit {self.name!r} is frozen; cannot add "
+                f"{component.name!r}")
+        if component.name in self._components:
+            raise CircuitError(
+                f"duplicate component name {component.name!r} in circuit "
+                f"{self.name!r}")
+        self._components[component.name] = component
+        for node in component.nodes:
+            if not is_ground(node) and node not in self._node_index:
+                self._node_index[node] = len(self._node_order)
+                self._node_order.append(node)
+        return component
+
+    def freeze(self) -> "Circuit":
+        """Resolve node/branch indices; the netlist becomes immutable."""
+        if self._frozen:
+            return self
+        self.n_nodes = len(self._node_order)
+        branch_cursor = self.n_nodes
+        for component in self._components.values():
+            component.node_index = tuple(
+                -1 if is_ground(node) else self._node_index[node]
+                for node in component.nodes)
+            if component.branch_count:
+                component.branch_index = tuple(
+                    range(branch_cursor,
+                          branch_cursor + component.branch_count))
+                branch_cursor += component.branch_count
+        self.n_branches = branch_cursor - self.n_nodes
+        self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def n_unknowns(self) -> int:
+        if not self._frozen:
+            raise CircuitError("freeze() the circuit before solving")
+        return self.n_nodes + self.n_branches
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._node_order)
+
+    def node_id(self, name: str) -> int:
+        """Index of node ``name`` in the unknown vector (ground → ``-1``)."""
+        if is_ground(name):
+            return -1
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise CircuitError(
+                f"unknown node {name!r} in circuit {self.name!r}") from None
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise CircuitError(
+                f"unknown component {name!r} in circuit {self.name!r}"
+            ) from None
+
+    def components(self) -> Iterator[Component]:
+        return iter(self._components.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, components={len(self)}, "
+                f"nodes={len(self._node_order)})")

@@ -1,0 +1,279 @@
+"""Circuit components and the stamping interface used by the MNA solver.
+
+The solver assembles, at every Newton iteration, the modified-nodal-analysis
+system ``A @ x = z`` where ``x`` stacks node voltages followed by branch
+currents of voltage-defined elements.  Components contribute to the system
+through :meth:`Component.stamp`, which receives a :class:`StampContext`.
+
+State-holding components (capacitors, ferroelectric capacitors) follow a
+three-phase protocol per time step:
+
+1. :meth:`Component.begin_step` — observe the step's ``(t, dt)``;
+2. :meth:`Component.stamp` — called once per Newton iteration with the
+   current iterate;
+3. :meth:`Component.commit` — called once when the step is accepted; only
+   here may internal state change.
+
+Because state changes only in ``commit``, a rejected/retried step (smaller
+``dt``) needs no rollback machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.spice.waveform import Waveform, as_waveform
+
+__all__ = [
+    "StampContext",
+    "Component",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VoltageControlledSwitch",
+]
+
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "ground"})
+
+
+class StampContext:
+    """View of the in-progress MNA assembly handed to components.
+
+    Attributes
+    ----------
+    a:
+        Dense ``(n, n)`` system matrix to accumulate into.
+    z:
+        Length-``n`` right-hand side to accumulate into.
+    x:
+        Current Newton iterate (node voltages then branch currents).
+    t:
+        End-of-step time in seconds.
+    dt:
+        Step size in seconds.
+    """
+
+    def __init__(self, a: np.ndarray, z: np.ndarray, x: np.ndarray,
+                 t: float, dt: float) -> None:
+        self.a = a
+        self.z = z
+        self.x = x
+        self.t = t
+        self.dt = dt
+
+    def v(self, index: int) -> float:
+        """Voltage of node ``index`` in the current iterate (ground = 0 V)."""
+        if index < 0:
+            return 0.0
+        return float(self.x[index])
+
+    def add_conductance(self, i: int, j: int, g: float) -> None:
+        """Stamp a two-terminal conductance ``g`` between node indices."""
+        a = self.a
+        if i >= 0:
+            a[i, i] += g
+        if j >= 0:
+            a[j, j] += g
+        if i >= 0 and j >= 0:
+            a[i, j] -= g
+            a[j, i] -= g
+
+    def add_current(self, i: int, value: float) -> None:
+        """Inject ``value`` amperes into node ``i`` (no-op for ground)."""
+        if i >= 0:
+            self.z[i] += value
+
+    def add_entry(self, i: int, j: int, value: float) -> None:
+        """Accumulate a raw matrix entry (skipping ground rows/columns)."""
+        if i >= 0 and j >= 0:
+            self.a[i, j] += value
+
+
+class Component:
+    """Base class for all circuit elements.
+
+    Subclasses set :attr:`nodes` (terminal node *names*) in ``__init__``;
+    the circuit resolves them to indices (ground → ``-1``) at freeze time
+    and writes them into :attr:`node_index`.
+    """
+
+    #: number of extra MNA branch unknowns this component needs
+    branch_count = 0
+
+    def __init__(self, name: str, nodes: tuple[str, ...]) -> None:
+        if not name:
+            raise CircuitError("component name must be non-empty")
+        self.name = name
+        self.nodes = tuple(nodes)
+        self.node_index: tuple[int, ...] = ()
+        self.branch_index: tuple[int, ...] = ()
+
+    def begin_step(self, t: float, dt: float) -> None:
+        """Observe the start of a new time step (default: nothing)."""
+
+    def stamp(self, ctx: StampContext) -> None:
+        raise NotImplementedError
+
+    def commit(self, x: np.ndarray) -> None:
+        """Accept the converged solution ``x`` for this step."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"
+
+
+class Resistor(Component):
+    """Linear resistor between two nodes."""
+
+    def __init__(self, name: str, node_p: str, node_n: str,
+                 resistance: float) -> None:
+        super().__init__(name, (node_p, node_n))
+        if resistance <= 0:
+            raise CircuitError(f"resistor {name!r}: resistance must be > 0")
+        self.resistance = float(resistance)
+
+    def stamp(self, ctx: StampContext) -> None:
+        i, j = self.node_index
+        ctx.add_conductance(i, j, 1.0 / self.resistance)
+
+    def current(self, x: np.ndarray) -> float:
+        """Current flowing from ``node_p`` to ``node_n`` for solution ``x``."""
+        i, j = self.node_index
+        vi = 0.0 if i < 0 else float(x[i])
+        vj = 0.0 if j < 0 else float(x[j])
+        return (vi - vj) / self.resistance
+
+
+class Capacitor(Component):
+    """Linear capacitor integrated with a backward-Euler companion model."""
+
+    def __init__(self, name: str, node_p: str, node_n: str,
+                 capacitance: float, *, ic: float = 0.0) -> None:
+        super().__init__(name, (node_p, node_n))
+        if capacitance <= 0:
+            raise CircuitError(f"capacitor {name!r}: capacitance must be > 0")
+        self.capacitance = float(capacitance)
+        self.v_prev = float(ic)
+        self._dt = 0.0
+
+    def begin_step(self, t: float, dt: float) -> None:
+        self._dt = dt
+
+    def stamp(self, ctx: StampContext) -> None:
+        # Backward Euler: i = C/dt * (v(t) - v_prev)  ==> conductance C/dt
+        # in parallel with a history current source.
+        i, j = self.node_index
+        g = self.capacitance / ctx.dt
+        ctx.add_conductance(i, j, g)
+        ieq = g * self.v_prev
+        ctx.add_current(i, ieq)
+        ctx.add_current(j, -ieq)
+
+    def commit(self, x: np.ndarray) -> None:
+        i, j = self.node_index
+        vi = 0.0 if i < 0 else float(x[i])
+        vj = 0.0 if j < 0 else float(x[j])
+        self.v_prev = vi - vj
+
+    def charge(self) -> float:
+        """Stored charge (coulombs) at the last committed step."""
+        return self.capacitance * self.v_prev
+
+
+class VoltageSource(Component):
+    """Independent voltage source; also serves as an ammeter.
+
+    The MNA branch current is defined flowing from ``node_p`` through the
+    source to ``node_n`` (positive current leaves the + terminal *into the
+    external circuit* when negative — standard SPICE convention: ``i(V)``
+    is the current entering the + terminal).
+    """
+
+    branch_count = 1
+
+    def __init__(self, name: str, node_p: str, node_n: str,
+                 value: "Waveform | float") -> None:
+        super().__init__(name, (node_p, node_n))
+        self.waveform = as_waveform(value)
+
+    def stamp(self, ctx: StampContext) -> None:
+        i, j = self.node_index
+        (br,) = self.branch_index
+        if i >= 0:
+            ctx.a[i, br] += 1.0
+            ctx.a[br, i] += 1.0
+        if j >= 0:
+            ctx.a[j, br] -= 1.0
+            ctx.a[br, j] -= 1.0
+        ctx.z[br] += self.waveform(ctx.t)
+
+    def current(self, x: np.ndarray) -> float:
+        """Branch current (amperes) entering the + terminal."""
+        (br,) = self.branch_index
+        return float(x[br])
+
+
+class CurrentSource(Component):
+    """Independent current source driving current from ``node_p`` to
+    ``node_n`` through the source (i.e. out of ``p``'s node, into ``n``'s)."""
+
+    def __init__(self, name: str, node_p: str, node_n: str,
+                 value: "Waveform | float") -> None:
+        super().__init__(name, (node_p, node_n))
+        self.waveform = as_waveform(value)
+
+    def stamp(self, ctx: StampContext) -> None:
+        i, j = self.node_index
+        value = self.waveform(ctx.t)
+        ctx.add_current(i, -value)
+        ctx.add_current(j, value)
+
+
+class VoltageControlledSwitch(Component):
+    """Smooth voltage-controlled switch.
+
+    Conductance interpolates log-linearly between ``r_off`` and ``r_on`` as
+    the control voltage ``v(ctrl_p) - v(ctrl_n)`` crosses ``v_threshold``
+    over a transition window ``v_window``.  The control dependence is
+    handled quasi-Newton style (evaluated at the current iterate without
+    Jacobian cross terms), which converges quickly because control nodes
+    are driven by stiff sources in all our netlists.
+    """
+
+    def __init__(self, name: str, node_p: str, node_n: str,
+                 ctrl_p: str, ctrl_n: str = "0", *,
+                 v_threshold: float = 0.5, v_window: float = 0.05,
+                 r_on: float = 100.0, r_off: float = 1e12) -> None:
+        super().__init__(name, (node_p, node_n, ctrl_p, ctrl_n))
+        if r_on <= 0 or r_off <= r_on:
+            raise CircuitError(
+                f"switch {name!r}: need 0 < r_on < r_off "
+                f"(got r_on={r_on:g}, r_off={r_off:g})")
+        self.v_threshold = float(v_threshold)
+        self.v_window = float(v_window)
+        self.g_on = 1.0 / float(r_on)
+        self.g_off = 1.0 / float(r_off)
+
+    def conductance(self, v_ctrl: float) -> float:
+        """Smoothly interpolated conductance for a control voltage."""
+        arg = (v_ctrl - self.v_threshold) / self.v_window
+        # Logistic blend in log-conductance for a well-behaved sweep.
+        sig = 1.0 / (1.0 + np.exp(-np.clip(arg, -60.0, 60.0)))
+        log_g = (1.0 - sig) * np.log(self.g_off) + sig * np.log(self.g_on)
+        return float(np.exp(log_g))
+
+    def stamp(self, ctx: StampContext) -> None:
+        i, j, cp, cn = self.node_index
+        v_ctrl = ctx.v(cp) - ctx.v(cn)
+        ctx.add_conductance(i, j, self.conductance(v_ctrl))
+
+
+def is_ground(node: str) -> bool:
+    """True if ``node`` names the ground net."""
+    return node in GROUND_NAMES
+
+
+CallbackT = Callable[[float, np.ndarray], None]

@@ -1,0 +1,178 @@
+"""Newton-Raphson transient engine for :class:`~repro.spice.circuit.Circuit`.
+
+The solver advances time with a fixed base step, assembling the MNA system
+from component stamps at every Newton iteration.  Capacitive elements use
+backward-Euler companions (L-stable: the right choice for the stiff,
+switch-driven waveforms of memory-cell protocols).  If an individual step
+fails to converge it is retried with a halved step size, up to
+``max_step_halvings`` times; component state is only mutated on ``commit``,
+so retries need no rollback.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import CircuitError, ConvergenceError
+from repro.spice.analysis import TransientResult
+from repro.spice.circuit import Circuit
+
+__all__ = ["TransientSolver", "SolverOptions"]
+
+
+class SolverOptions:
+    """Tuning knobs for the transient solve.
+
+    Attributes
+    ----------
+    abstol:
+        Newton convergence threshold on the max-norm update (volts/amps).
+    reltol:
+        Relative component of the convergence threshold.
+    max_newton_iters:
+        Iteration budget per step before the step is rejected.
+    max_step_halvings:
+        How many times a rejected step may halve ``dt`` before giving up.
+    damping:
+        Max per-iteration change applied to any unknown (volts); limits
+        Newton overshoot through exponential device characteristics.
+    gmin:
+        Conductance from every node to ground, keeping matrices regular
+        when nodes float (e.g. the internal storage node with T_W off).
+    """
+
+    def __init__(self, *, abstol: float = 1e-6, reltol: float = 1e-4,
+                 max_newton_iters: int = 80, max_step_halvings: int = 10,
+                 damping: float = 1.0, gmin: float = 1e-12) -> None:
+        if abstol <= 0 or reltol < 0:
+            raise CircuitError("abstol must be > 0 and reltol >= 0")
+        if max_newton_iters < 2 or max_step_halvings < 0:
+            raise CircuitError("invalid iteration limits")
+        self.abstol = abstol
+        self.reltol = reltol
+        self.max_newton_iters = max_newton_iters
+        self.max_step_halvings = max_step_halvings
+        self.damping = damping
+        self.gmin = gmin
+
+
+class TransientSolver:
+    """Runs transient analyses on a frozen circuit."""
+
+    def __init__(self, circuit: Circuit,
+                 options: SolverOptions | None = None) -> None:
+        self.circuit = circuit.freeze()
+        self.options = options or SolverOptions()
+
+    # ------------------------------------------------------------------
+    def run(self, t_stop: float, dt: float, *,
+            t_start: float = 0.0,
+            initial_conditions: dict[str, float] | None = None,
+            record_every: int = 1,
+            callback: Callable[[float, np.ndarray], None] | None = None,
+            ) -> TransientResult:
+        """Integrate from ``t_start`` to ``t_stop`` with base step ``dt``.
+
+        Parameters
+        ----------
+        initial_conditions:
+            Optional mapping of node name -> initial voltage.  Unlisted
+            nodes start at 0 V.
+        record_every:
+            Keep every k-th accepted step in the result (the final step is
+            always recorded).
+        callback:
+            Invoked as ``callback(t, x)`` after each accepted step.
+        """
+        if t_stop <= t_start:
+            raise CircuitError("t_stop must exceed t_start")
+        if dt <= 0:
+            raise CircuitError("dt must be positive")
+        if record_every < 1:
+            raise CircuitError("record_every must be >= 1")
+        ckt = self.circuit
+        n = ckt.n_unknowns
+        x = np.zeros(n)
+        if initial_conditions:
+            for node, voltage in initial_conditions.items():
+                idx = ckt.node_id(node)
+                if idx >= 0:
+                    x[idx] = voltage
+
+        times: list[float] = [t_start]
+        states: list[np.ndarray] = [x.copy()]
+        t = t_start
+        step_index = 0
+        base_dt = dt
+        current_dt = dt
+        components = list(ckt.components())
+
+        while t < t_stop - 1e-21:
+            current_dt = min(current_dt, t_stop - t)
+            x_new = self._attempt_step(components, x, t, current_dt)
+            halvings = 0
+            while x_new is None:
+                halvings += 1
+                if halvings > self.options.max_step_halvings:
+                    raise ConvergenceError(
+                        f"transient failed to converge at t={t:.3e}s even "
+                        f"after {halvings - 1} step halvings",
+                        time=t, iterations=self.options.max_newton_iters)
+                current_dt *= 0.5
+                x_new = self._attempt_step(components, x, t, current_dt)
+            t += current_dt
+            for component in components:
+                component.commit(x_new)
+            x = x_new
+            step_index += 1
+            if step_index % record_every == 0 or t >= t_stop - 1e-21:
+                times.append(t)
+                states.append(x.copy())
+            if callback is not None:
+                callback(t, x)
+            # Recover the step size gently after a halving.
+            if current_dt < base_dt:
+                current_dt = min(base_dt, current_dt * 2.0)
+
+        return TransientResult(ckt, np.asarray(times),
+                               np.vstack(states))
+
+    # ------------------------------------------------------------------
+    def _attempt_step(self, components: Sequence, x_prev: np.ndarray,
+                      t: float, dt: float) -> np.ndarray | None:
+        """One backward-Euler step via Newton; ``None`` if not converged."""
+        opts = self.options
+        ckt = self.circuit
+        n = ckt.n_unknowns
+        t_next = t + dt
+        for component in components:
+            component.begin_step(t_next, dt)
+        x = x_prev.copy()
+        from repro.spice.components import StampContext  # cycle-free import
+
+        for _ in range(opts.max_newton_iters):
+            a = np.zeros((n, n))
+            z = np.zeros(n)
+            ctx = StampContext(a, z, x, t_next, dt)
+            for component in components:
+                component.stamp(ctx)
+            # gmin to ground on every node row.
+            idx = np.arange(ckt.n_nodes)
+            a[idx, idx] += opts.gmin
+            try:
+                x_next = np.linalg.solve(a, z)
+            except np.linalg.LinAlgError:
+                return None
+            delta = x_next - x
+            max_delta = float(np.max(np.abs(delta))) if n else 0.0
+            if max_delta > opts.damping:
+                delta *= opts.damping / max_delta
+                x = x + delta
+                continue
+            x = x_next
+            tol = opts.abstol + opts.reltol * float(np.max(np.abs(x)))
+            if max_delta < tol:
+                return x
+        return None

@@ -1,0 +1,200 @@
+"""Stimulus waveforms for independent sources.
+
+A waveform is any callable ``f(t) -> float`` mapping time in seconds to a
+value (volts or amperes).  The classes here provide the SPICE-familiar
+shapes (DC, PWL, PULSE, SIN) plus composition helpers used by the cell
+protocol builders in :mod:`repro.core.waveforms`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.errors import CircuitError
+
+__all__ = [
+    "DC",
+    "PWL",
+    "Pulse",
+    "Sinusoid",
+    "Sum",
+    "Scaled",
+    "Delayed",
+    "as_waveform",
+]
+
+
+class Waveform:
+    """Base class for time-dependent source values."""
+
+    def __call__(self, t: float) -> float:
+        raise NotImplementedError
+
+    def __add__(self, other: "Waveform | float") -> "Sum":
+        return Sum([self, as_waveform(other)])
+
+    def __mul__(self, k: float) -> "Scaled":
+        return Scaled(self, float(k))
+
+    __rmul__ = __mul__
+
+
+class DC(Waveform):
+    """Constant value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"DC({self.value:g})"
+
+
+class PWL(Waveform):
+    """Piece-wise-linear waveform from ``(time, value)`` breakpoints.
+
+    Times must be non-decreasing.  Before the first breakpoint the first
+    value holds; after the last breakpoint the last value holds.
+
+    >>> w = PWL([(0, 0.0), (1e-9, 1.5), (5e-9, 1.5), (6e-9, 0.0)])
+    >>> w(0.5e-9)
+    0.75
+    """
+
+    def __init__(self, points: Iterable[tuple[float, float]]) -> None:
+        pts = [(float(t), float(v)) for t, v in points]
+        if not pts:
+            raise CircuitError("PWL requires at least one breakpoint")
+        for (t0, _), (t1, _) in zip(pts, pts[1:]):
+            if t1 < t0:
+                raise CircuitError(
+                    f"PWL breakpoints must be non-decreasing in time "
+                    f"(got {t0:g} then {t1:g})")
+        self.points = pts
+
+    def __call__(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        # Linear scan is fine: protocol waveforms have a handful of points.
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if t0 <= t <= t1:
+                if t1 == t0:
+                    return v1
+                frac = (t - t0) / (t1 - t0)
+                return v0 + frac * (v1 - v0)
+        raise AssertionError("unreachable: PWL scan fell through")
+
+    def breakpoint_times(self) -> list[float]:
+        """Times where the slope may change (used for solver step clamping)."""
+        return [t for t, _ in self.points]
+
+    def __repr__(self) -> str:
+        return f"PWL({self.points!r})"
+
+
+class Pulse(Waveform):
+    """SPICE-style periodic trapezoidal pulse.
+
+    Parameters mirror the SPICE ``PULSE`` source: initial value, pulsed
+    value, delay, rise time, fall time, pulse width, and period.  A zero
+    ``period`` gives a single (non-repeating) pulse.
+    """
+
+    def __init__(self, v_initial: float, v_pulse: float, *, delay: float = 0.0,
+                 rise: float = 1e-12, fall: float = 1e-12,
+                 width: float = 1e-9, period: float = 0.0) -> None:
+        if rise <= 0 or fall <= 0:
+            raise CircuitError("Pulse rise/fall times must be positive")
+        if width < 0:
+            raise CircuitError("Pulse width must be non-negative")
+        self.v_initial = float(v_initial)
+        self.v_pulse = float(v_pulse)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = float(period)
+
+    def __call__(self, t: float) -> float:
+        t = t - self.delay
+        if t < 0:
+            return self.v_initial
+        if self.period > 0:
+            t = math.fmod(t, self.period)
+        if t < self.rise:
+            frac = t / self.rise
+            return self.v_initial + frac * (self.v_pulse - self.v_initial)
+        t -= self.rise
+        if t < self.width:
+            return self.v_pulse
+        t -= self.width
+        if t < self.fall:
+            frac = t / self.fall
+            return self.v_pulse + frac * (self.v_initial - self.v_pulse)
+        return self.v_initial
+
+
+class Sinusoid(Waveform):
+    """``offset + amplitude * sin(2*pi*freq*(t-delay))`` (zero before delay)."""
+
+    def __init__(self, offset: float, amplitude: float, freq: float,
+                 *, delay: float = 0.0) -> None:
+        if freq <= 0:
+            raise CircuitError("Sinusoid frequency must be positive")
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.freq = float(freq)
+        self.delay = float(delay)
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.freq * (t - self.delay))
+
+
+class Sum(Waveform):
+    """Point-wise sum of waveforms."""
+
+    def __init__(self, parts: Sequence[Waveform]) -> None:
+        self.parts = list(parts)
+
+    def __call__(self, t: float) -> float:
+        return sum(p(t) for p in self.parts)
+
+
+class Scaled(Waveform):
+    """Waveform multiplied by a constant."""
+
+    def __init__(self, inner: Waveform, k: float) -> None:
+        self.inner = inner
+        self.k = float(k)
+
+    def __call__(self, t: float) -> float:
+        return self.k * self.inner(t)
+
+
+class Delayed(Waveform):
+    """Waveform shifted later in time by ``delay`` seconds."""
+
+    def __init__(self, inner: Waveform, delay: float) -> None:
+        self.inner = inner
+        self.delay = float(delay)
+
+    def __call__(self, t: float) -> float:
+        return self.inner(t - self.delay)
+
+
+def as_waveform(value: "Waveform | float | int") -> Waveform:
+    """Coerce a plain number into a :class:`DC` waveform."""
+    if isinstance(value, Waveform):
+        return value
+    if isinstance(value, (int, float)):
+        return DC(float(value))
+    raise CircuitError(f"cannot interpret {value!r} as a waveform")

@@ -1,0 +1,49 @@
+"""HotSpot-substitute thermal modelling: 3-D finite-volume steady-state
+solver over the compute-die + stacked-FeRAM system of §VII, with
+TPU-like and workload-driven power maps.
+"""
+
+from repro.thermal.materials import (
+    BEOL_FE,
+    BEOL_TRANSISTOR,
+    BONDING_OXIDE,
+    SILICON,
+    SILICON_THINNED,
+    TIM,
+    ThermalLayerSpec,
+)
+from repro.thermal.powermap import (
+    TPU_POWER_W,
+    memory_power_maps,
+    tpu_power_map,
+    workload_memory_power,
+)
+from repro.thermal.solver import ThermalResult, solve_steady_state
+from repro.thermal.stack import (
+    DEFAULT_PACKAGE_RESISTANCE_K_W,
+    FIG7_DIE_HEIGHT_MM,
+    FIG7_DIE_WIDTH_MM,
+    ThermalStack,
+    build_fig7_stack,
+)
+
+__all__ = [
+    "ThermalLayerSpec",
+    "SILICON",
+    "SILICON_THINNED",
+    "BEOL_FE",
+    "BEOL_TRANSISTOR",
+    "BONDING_OXIDE",
+    "TIM",
+    "ThermalStack",
+    "build_fig7_stack",
+    "FIG7_DIE_WIDTH_MM",
+    "FIG7_DIE_HEIGHT_MM",
+    "DEFAULT_PACKAGE_RESISTANCE_K_W",
+    "ThermalResult",
+    "solve_steady_state",
+    "tpu_power_map",
+    "memory_power_maps",
+    "workload_memory_power",
+    "TPU_POWER_W",
+]

@@ -1,0 +1,63 @@
+"""Thermal material properties and layer presets (HotSpot-class).
+
+Conductivities are bulk values at ~350 K; thin-film layers (BEOL metal/
+oxide/ferroelectric composites) use effective values in the ranges
+HotSpot's PiM modelling guidance suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ThermalError
+
+__all__ = ["ThermalLayerSpec", "SILICON", "SILICON_THINNED", "BEOL_FE",
+           "BEOL_TRANSISTOR", "BONDING_OXIDE", "TIM"]
+
+
+@dataclass(frozen=True)
+class ThermalLayerSpec:
+    """One layer of the 3-D stack.
+
+    Attributes
+    ----------
+    name:
+        Display name (used in reports and the fig-7 layer map).
+    thickness_m:
+        Layer thickness in metres.
+    conductivity_w_mk:
+        Vertical/lateral thermal conductivity in W/(m·K) (isotropic).
+    """
+
+    name: str
+    thickness_m: float
+    conductivity_w_mk: float
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0 or self.conductivity_w_mk <= 0:
+            raise ThermalError(
+                f"layer {self.name!r}: thickness and conductivity must be "
+                f"positive")
+
+    def vertical_resistance(self, area_m2: float) -> float:
+        """Conduction resistance through the layer, K/W."""
+        if area_m2 <= 0:
+            raise ThermalError("area must be positive")
+        return self.thickness_m / (self.conductivity_w_mk * area_m2)
+
+
+#: full-thickness compute die substrate
+SILICON = ThermalLayerSpec("silicon", 300e-6, 120.0)
+#: thinned die in a 3-D stack
+SILICON_THINNED = ThermalLayerSpec("silicon-thinned", 50e-6, 120.0)
+#: BEOL ferroelectric capacitor deck (oxide/metal/HZO composite)
+BEOL_FE = ThermalLayerSpec("beol-fe", 4e-6, 2.5)
+#: BEOL-compatible transistor layer (poly-Si/oxide composite)
+BEOL_TRANSISTOR = ThermalLayerSpec("beol-tr", 3e-6, 8.0)
+#: die-to-die bonding oxide
+BONDING_OXIDE = ThermalLayerSpec("bond-oxide", 1e-6, 1.2)
+#: thermal interface material under the package lid
+TIM = ThermalLayerSpec("tim", 20e-6, 4.0)
+#: copper heat spreader (package lid) — homogenizes the die before the
+#: sink, as in HotSpot's default package model
+COPPER_SPREADER = ThermalLayerSpec("cu-spreader", 1.2e-3, 390.0)

@@ -1,0 +1,100 @@
+"""Power-map generation: TPU compute die + memory-layer activity.
+
+The §VII system runs a workload's bulk-bitwise commands in the stacked
+FeRAM while the compute die idles at the edge-TPU's 28 W.  The TPU
+floorplan concentrates power in a systolic-array region (a hotspot off
+die centre); memory-layer power comes from the architecture simulator's
+energy/wall-time for the workload, spread over the active subarray
+tiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.commands import Stats
+from repro.arch.spec import MemorySpec
+from repro.errors import ThermalError
+from repro.workloads.base import WorkloadResult
+
+__all__ = ["tpu_power_map", "memory_power_maps", "workload_memory_power"]
+
+#: edge TPU idle/compute power (paper's representative compute core)
+TPU_POWER_W = 28.0
+
+
+def tpu_power_map(nx: int = 32, ny: int = 24, *,
+                  total_w: float = TPU_POWER_W,
+                  hotspot_fraction: float = 0.2,
+                  hotspot_extent: float = 0.65) -> np.ndarray:
+    """TPU-like floorplan: ``hotspot_fraction`` of the power inside a
+    systolic-array block covering ``hotspot_extent`` of each dimension,
+    the rest uniform (SRAM/NoC/IO)."""
+    if total_w <= 0:
+        raise ThermalError("total power must be positive")
+    if not 0 < hotspot_fraction <= 1 or not 0 < hotspot_extent <= 1:
+        raise ThermalError("fractions must be in (0, 1]")
+    power = np.full((ny, nx), total_w * (1 - hotspot_fraction) / (nx * ny))
+    bx = max(1, int(nx * hotspot_extent))
+    by = max(1, int(ny * hotspot_extent))
+    # Systolic block sits off-centre (toward one die corner), as in the
+    # edge-TPU floorplans the paper cites.
+    x0 = nx // 8
+    y0 = ny // 8
+    block = power[y0:y0 + by, x0:x0 + bx]
+    block += total_w * hotspot_fraction / block.size
+    return power
+
+
+def workload_memory_power(result: WorkloadResult) -> float:
+    """Average memory power (W) while the workload executes."""
+    if result.wall_time_s <= 0:
+        raise ThermalError("workload has zero wall time")
+    return result.energy_j / result.wall_time_s
+
+
+def memory_power_maps(total_memory_w: float, layer_indices: list[int],
+                      nx: int = 32, ny: int = 24, *,
+                      active_fraction: float = 1.0,
+                      layer_weights: list[float] | None = None,
+                      ) -> dict[int, np.ndarray]:
+    """Distribute memory power across the FeRAM device layers.
+
+    ``layer_weights`` splits power between the T_R, capacitor and T_W
+    layers (default: T_R-heavy, since the read transistor carries the
+    sense current); within a layer, power is uniform over the active
+    subarray fraction (row-parallel bulk ops touch all subarrays of the
+    active rank).
+    """
+    if total_memory_w < 0:
+        raise ThermalError("memory power must be non-negative")
+    if not layer_indices:
+        raise ThermalError("need at least one memory layer")
+    if not 0 < active_fraction <= 1:
+        raise ThermalError("active_fraction must be in (0, 1]")
+    if layer_weights is None:
+        # T_R layer (first) sinks half; remainder split evenly.
+        rest = len(layer_indices) - 1
+        layer_weights = [0.5] + [0.5 / rest] * rest if rest else [1.0]
+    if len(layer_weights) != len(layer_indices):
+        raise ThermalError("one weight per layer required")
+    total_weight = sum(layer_weights)
+    if total_weight <= 0:
+        raise ThermalError("weights must sum to a positive value")
+    n_active = max(1, int(nx * ny * active_fraction))
+    maps: dict[int, np.ndarray] = {}
+    for layer_idx, weight in zip(layer_indices, layer_weights):
+        pmap = np.zeros((ny, nx))
+        per_tile = total_memory_w * (weight / total_weight) / n_active
+        flat = pmap.reshape(-1)
+        flat[:n_active] = per_tile
+        maps[layer_idx] = flat.reshape(ny, nx)
+    return maps
+
+
+def stats_power(stats: Stats, spec: MemorySpec) -> float:
+    """Average power of an engine run (energy over wall time)."""
+    wall = stats.wall_time_s(spec)
+    if wall <= 0:
+        raise ThermalError("run has zero wall time")
+    return stats.total_energy_j / wall

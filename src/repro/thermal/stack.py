@@ -1,0 +1,107 @@
+"""Layer-stack builder for the §VII thermal study.
+
+The modelled system (paper Fig. 7(a)): a compute die (edge-TPU-class,
+28 W) at the bottom, and on top of it the (n+2)-layer vertical 2T-nC
+FeRAM die — T_R layer, n ferroelectric capacitor decks, T_W layer —
+under the package lid.  Heat leaves through the top via a lumped
+spreader+heatsink resistance to ambient (natural convection, 300 K);
+the board side is adiabatic (worst case, as in HotSpot's default
+secondary-path-off configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ThermalError
+from repro.thermal.materials import (
+    BEOL_FE,
+    BEOL_TRANSISTOR,
+    BONDING_OXIDE,
+    COPPER_SPREADER,
+    SILICON,
+    TIM,
+    ThermalLayerSpec,
+)
+
+__all__ = ["ThermalStack", "build_fig7_stack", "FIG7_DIE_WIDTH_MM",
+           "FIG7_DIE_HEIGHT_MM", "DEFAULT_PACKAGE_RESISTANCE_K_W"]
+
+FIG7_DIE_WIDTH_MM = 14.2
+FIG7_DIE_HEIGHT_MM = 10.65
+
+#: Lumped spreader + natural-convection heatsink resistance to ambient.
+#: Calibrated once so the bitmap-index-query power map reproduces the
+#: paper's 351.88 K peak (see experiments.fig7_thermal.calibrate).
+DEFAULT_PACKAGE_RESISTANCE_K_W = 1.691
+
+
+@dataclass
+class ThermalStack:
+    """An ordered stack of layers with per-layer power maps."""
+
+    width_m: float
+    height_m: float
+    layers: list[ThermalLayerSpec] = field(default_factory=list)
+    ambient_k: float = 300.0
+    package_resistance_k_w: float = DEFAULT_PACKAGE_RESISTANCE_K_W
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ThermalError("stack dimensions must be positive")
+        if self.ambient_k <= 0:
+            raise ThermalError("ambient temperature must be positive")
+        if self.package_resistance_k_w <= 0:
+            raise ThermalError("package resistance must be positive")
+
+    @property
+    def area_m2(self) -> float:
+        return self.width_m * self.height_m
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def add_layer(self, layer: ThermalLayerSpec) -> int:
+        """Append a layer (bottom→top); returns its index."""
+        self.layers.append(layer)
+        return len(self.layers) - 1
+
+    def layer_index(self, name: str) -> int:
+        for idx, layer in enumerate(self.layers):
+            if layer.name == name:
+                return idx
+        raise ThermalError(f"no layer named {name!r}")
+
+
+def build_fig7_stack(n_caps: int = 3, *,
+                     ambient_k: float = 300.0,
+                     package_resistance_k_w: float =
+                     DEFAULT_PACKAGE_RESISTANCE_K_W) -> ThermalStack:
+    """The paper's Fig. 7 stack: compute die + (n+2)-layer FeRAM die.
+
+    Layer order (bottom → top): compute silicon (L0), bond oxide, T_R
+    layer (L1), n capacitor decks (L2..), T_W layer (L(n+2)), TIM.
+    """
+    if n_caps < 1:
+        raise ThermalError("need at least one capacitor layer")
+    stack = ThermalStack(
+        width_m=FIG7_DIE_WIDTH_MM * 1e-3,
+        height_m=FIG7_DIE_HEIGHT_MM * 1e-3,
+        ambient_k=ambient_k,
+        package_resistance_k_w=package_resistance_k_w)
+    stack.add_layer(SILICON.__class__("L0-compute", SILICON.thickness_m,
+                                      SILICON.conductivity_w_mk))
+    stack.add_layer(BONDING_OXIDE)
+    stack.add_layer(ThermalLayerSpec("L1-TR", BEOL_TRANSISTOR.thickness_m,
+                                     BEOL_TRANSISTOR.conductivity_w_mk))
+    for k in range(n_caps):
+        stack.add_layer(ThermalLayerSpec(f"L{k + 2}-C{k + 1}",
+                                         BEOL_FE.thickness_m,
+                                         BEOL_FE.conductivity_w_mk))
+    stack.add_layer(ThermalLayerSpec(f"L{n_caps + 2}-TW",
+                                     BEOL_TRANSISTOR.thickness_m,
+                                     BEOL_TRANSISTOR.conductivity_w_mk))
+    stack.add_layer(TIM)
+    stack.add_layer(COPPER_SPREADER)
+    return stack

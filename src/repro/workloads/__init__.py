@@ -1,0 +1,43 @@
+"""The paper's eight data-intensive bulk-bitwise applications (§VI):
+CRC8, XOR Cipher, Set Union/Intersection/Difference, Masked
+Initialization, Bitmap Index Query, and BNN Inference — each with a
+technology-independent kernel and a numpy reference for bit-exact
+verification.
+"""
+
+from repro.workloads.base import Workload, WorkloadIO, WorkloadResult
+from repro.workloads.bitmap_index import BitmapIndexQuery
+from repro.workloads.bnn import BnnInference
+from repro.workloads.crc8 import Crc8, crc8_reference
+from repro.workloads.masked_init import MaskedInit
+from repro.workloads.runner import (
+    WORKLOAD_CLASSES,
+    Fig6Table,
+    WorkloadComparison,
+    make_workloads,
+    run_comparison,
+    run_fig6,
+)
+from repro.workloads.set_ops import SetDifference, SetIntersection, SetUnion
+from repro.workloads.xor_cipher import XorCipher
+
+__all__ = [
+    "Workload",
+    "WorkloadIO",
+    "WorkloadResult",
+    "Crc8",
+    "crc8_reference",
+    "XorCipher",
+    "SetUnion",
+    "SetIntersection",
+    "SetDifference",
+    "MaskedInit",
+    "BitmapIndexQuery",
+    "BnnInference",
+    "WORKLOAD_CLASSES",
+    "WorkloadComparison",
+    "Fig6Table",
+    "make_workloads",
+    "run_comparison",
+    "run_fig6",
+]

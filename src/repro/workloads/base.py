@@ -1,0 +1,165 @@
+"""Workload framework for the paper's §VI evaluation.
+
+Each of the eight applications is a :class:`Workload` with three faces:
+
+* ``execute(engine, io)`` — the bulk-bitwise kernel, written against the
+  technology-independent engine API (so the same kernel runs on DRAM/
+  Ambit and 2T-nC FeRAM and is charged each technology's costs);
+* ``reference(inputs)`` — a plain-numpy ground truth;
+* verification — in functional mode every output vector is compared
+  bit-exactly against the reference.
+
+Counting mode runs the same kernel code with placeholder vectors (no
+payloads) for the 1 GB-scale energy/cycle accounting of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.bank import BitVector
+from repro.arch.engine import BulkEngine
+from repro.errors import WorkloadError
+
+__all__ = ["WorkloadIO", "WorkloadResult", "Workload"]
+
+
+class WorkloadIO:
+    """Mediates kernel inputs/outputs for functional vs counting runs.
+
+    ``charge_io=False`` (default) models the PiM evaluation setting:
+    operands are already resident in memory and results stay there, so
+    only the bulk-bitwise execution is measured — the paper's Fig. 6
+    accounting.  ``charge_io=True`` adds the host row writes/reads.
+    """
+
+    def __init__(self, engine: BulkEngine,
+                 rng: np.random.Generator | None = None, *,
+                 charge_io: bool = False) -> None:
+        self.engine = engine
+        self.rng = rng or np.random.default_rng(0)
+        self.charge_io = charge_io
+        self.inputs: dict[str, np.ndarray] = {}
+        self.outputs: dict[str, np.ndarray | None] = {}
+
+    def input(self, name: str, n_bits: int, *,
+              group_with: BitVector | None = None,
+              density: float = 0.5) -> BitVector:
+        """Declare an input vector; random bits with the given 1-density
+        are generated (and remembered) in functional mode."""
+        if n_bits <= 0:
+            raise WorkloadError(f"input {name!r} must have positive width")
+        if self.engine.functional:
+            bits = (self.rng.random(n_bits) < density).astype(np.uint8)
+            self.inputs[name] = bits
+            return self.engine.load(bits, name, group_with=group_with,
+                                    charge=self.charge_io)
+        vector = self.engine.allocate(n_bits, name, group_with=group_with)
+        if self.charge_io:
+            from repro.arch.commands import Command, CommandType
+            self.engine.stats.record(
+                self.engine.spec,
+                Command(CommandType.ROW_WRITE, repeat=vector.n_rows))
+        return vector
+
+    def input_bits(self, name: str, bits: np.ndarray, *,
+                   group_with: BitVector | None = None) -> BitVector:
+        """Declare an input with explicit content (functional mode)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if self.engine.functional:
+            self.inputs[name] = bits
+            return self.engine.load(bits, name, group_with=group_with,
+                                    charge=self.charge_io)
+        return self.input(name, bits.size, group_with=group_with)
+
+    def output(self, name: str, vector: BitVector) -> None:
+        """Declare a kernel output (captures bits; results stay
+        resident unless ``charge_io``)."""
+        self.outputs[name] = self.engine.store(vector,
+                                               charge=self.charge_io)
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one (workload, technology) run."""
+
+    workload: str
+    technology: str
+    n_bytes: int
+    energy_j: float
+    cycles: int
+    wall_time_s: float
+    verified: bool | None
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy_j * 1e9
+
+
+class Workload:
+    """Base class for the eight evaluated applications."""
+
+    #: short identifier used in tables
+    name = "base"
+    #: paper display name
+    title = "Base workload"
+
+    def __init__(self, n_bytes: int) -> None:
+        if n_bytes <= 0:
+            raise WorkloadError("workload size must be positive")
+        self.n_bytes = n_bytes
+
+    # ------------------------------------------------------------------
+    # kernel interface
+    # ------------------------------------------------------------------
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
+        raise NotImplementedError
+
+    def reference(self, inputs: dict[str, np.ndarray],
+                  ) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(self, engine: BulkEngine, *, seed: int = 0,
+            charge_io: bool = False) -> WorkloadResult:
+        """Execute on the given engine; verify outputs in functional
+        mode; return the stats ledger."""
+        io = WorkloadIO(engine, np.random.default_rng(seed),
+                        charge_io=charge_io)
+        self.execute(engine, io)
+        stats = engine.finalize()
+        verified: bool | None = None
+        if engine.functional:
+            expected = self.reference(io.inputs)
+            missing = set(expected) - set(io.outputs)
+            if missing:
+                raise WorkloadError(
+                    f"{self.name}: kernel produced no output(s) {missing}")
+            verified = True
+            for key, ref in expected.items():
+                got = io.outputs[key]
+                if got is None or not np.array_equal(
+                        got[: ref.size], ref.astype(np.uint8)):
+                    verified = False
+        return WorkloadResult(
+            workload=self.name,
+            technology=engine.spec.technology,
+            n_bytes=self.n_bytes,
+            energy_j=stats.total_energy_j,
+            cycles=stats.total_cycles,
+            wall_time_s=stats.wall_time_s(engine.spec),
+            verified=verified,
+            detail=stats.summary(),
+        )
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def vector_bits(self, fraction: float = 1.0) -> int:
+        """Bits for a vector holding ``fraction`` of the workload data,
+        rounded up to a whole number of 64-bit words."""
+        bits = int(self.n_bytes * 8 * fraction)
+        return max(64, (bits + 63) // 64 * 64)

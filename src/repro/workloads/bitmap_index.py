@@ -1,0 +1,49 @@
+"""Bitmap index query: conjunctive/disjunctive predicate over bitmaps.
+
+A database table keeps one bitmap per attribute value (bitmap index);
+answering ``(c0 AND c1 AND NOT c2) OR (c3 AND c4)`` is a handful of bulk
+bitwise sweeps over million-row bitmaps.  This is the workload the
+paper's thermal study (§VII) executes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.engine import BulkEngine
+from repro.workloads.base import Workload, WorkloadIO
+
+__all__ = ["BitmapIndexQuery"]
+
+#: number of attribute bitmaps the query touches
+N_COLUMNS = 6
+
+
+class BitmapIndexQuery(Workload):
+    name = "bitmap_index"
+    title = "Bitmap Index Query"
+
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
+        n_bits = self.vector_bits(1.0 / N_COLUMNS)
+        cols = []
+        first = None
+        for k in range(N_COLUMNS):
+            col = io.input(f"col{k}", n_bits, density=0.4,
+                           group_with=first)
+            first = first or col
+            cols.append(col)
+        # (c0 AND c1 AND NOT c2) OR (c3 AND c4 AND c5)
+        t01 = engine.and_(cols[0], cols[1])
+        left = engine.andnot(t01, cols[2])
+        t34 = engine.and_(cols[3], cols[4])
+        right = engine.and_(t34, cols[5])
+        hits = engine.or_(left, right, "hits")
+        io.output("hits", hits)
+        engine.free(t01, left, t34, right, hits, *cols)
+
+    def reference(self, inputs: dict[str, np.ndarray],
+                  ) -> dict[str, np.ndarray]:
+        c = [inputs[f"col{k}"] for k in range(N_COLUMNS)]
+        left = c[0] & c[1] & (1 - c[2])
+        right = c[3] & c[4] & c[5]
+        return {"hits": (left | right).astype(np.uint8)}

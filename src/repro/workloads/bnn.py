@@ -1,0 +1,86 @@
+"""Binarized neural network (BNN) inference: XNOR + popcount + sign.
+
+One binary dense layer evaluated across millions of lanes (input
+positions).  Per output neuron the binary dot product is
+
+    out_j = popcount_k( XNOR(x_k, w_jk) ) >= T
+
+Weights are per-neuron constants, so the XNOR against a known weight bit
+is a *free* complement-flag flip (exactly the trick QNRO's inverting read
+makes natural); the real bulk work is the popcount adder tree (XOR/MAJ
+full adders) and the threshold comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.bitwise import greater_equal_const, popcount
+from repro.arch.engine import BulkEngine
+from repro.workloads.base import Workload, WorkloadIO
+
+__all__ = ["BnnInference"]
+
+
+class BnnInference(Workload):
+    name = "bnn"
+    title = "BNN Inference"
+
+    #: input features per lane and output neurons
+    n_features = 16
+    n_neurons = 4
+
+    def __init__(self, n_bytes: int, *, n_features: int | None = None,
+                 n_neurons: int | None = None) -> None:
+        super().__init__(n_bytes)
+        if n_features is not None:
+            self.n_features = n_features
+        if n_neurons is not None:
+            self.n_neurons = n_neurons
+
+    @property
+    def n_lanes(self) -> int:
+        lanes = self.n_bytes * 8 // self.n_features
+        return max(64, lanes // 64 * 64)
+
+    @property
+    def threshold(self) -> int:
+        return self.n_features // 2
+
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
+        lanes = self.n_lanes
+        first = None
+        acts = []
+        for k in range(self.n_features):
+            act = io.input(f"x{k}", lanes, group_with=first)
+            first = first or act
+            acts.append(act)
+        weights = io.rng.integers(
+            0, 2, (self.n_neurons, self.n_features), dtype=np.uint8)
+        io.inputs["weights"] = weights.reshape(-1)
+        for j in range(self.n_neurons):
+            # XNOR with a constant weight bit: w=1 → x, w=0 → NOT x
+            # (free flag flips, undone after the popcount).
+            flipped = [k for k in range(self.n_features)
+                       if weights[j, k] == 0]
+            for k in flipped:
+                engine.not_(acts[k])
+            counts = popcount(engine, acts)
+            for k in flipped:
+                engine.not_(acts[k])
+            out = greater_equal_const(engine, counts, self.threshold)
+            io.output(f"neuron{j}", out)
+            engine.free(out, *counts)
+        engine.free(*acts)
+
+    def reference(self, inputs: dict[str, np.ndarray],
+                  ) -> dict[str, np.ndarray]:
+        lanes = self.n_lanes
+        weights = inputs["weights"].reshape(self.n_neurons, self.n_features)
+        acts = np.stack([inputs[f"x{k}"] for k in range(self.n_features)])
+        out = {}
+        for j in range(self.n_neurons):
+            xnor = 1 - (acts ^ weights[j][:, None])
+            counts = xnor.sum(axis=0)
+            out[f"neuron{j}"] = (counts >= self.threshold).astype(np.uint8)
+        return out

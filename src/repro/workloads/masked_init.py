@@ -1,0 +1,35 @@
+"""Masked initialization: ``D' = (M AND V) OR (NOT M AND D)``.
+
+Selective bulk update of a data region under a bitmask — the paper's
+"Masked Initialization" workload (memset-under-mask, used by databases
+and garbage collectors).  Maps to one bulk multiplexer (select).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.engine import BulkEngine
+from repro.workloads.base import Workload, WorkloadIO
+
+__all__ = ["MaskedInit"]
+
+
+class MaskedInit(Workload):
+    name = "masked_init"
+    title = "Masked Initialization"
+
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
+        n_bits = self.vector_bits(1.0 / 3.0)
+        data = io.input("data", n_bits)
+        mask = io.input("mask", n_bits, density=0.25, group_with=data)
+        init = io.input("init", n_bits, group_with=data)
+        updated = engine.select(mask, init, data, "updated")
+        io.output("updated", updated)
+        engine.free(data, mask, init, updated)
+
+    def reference(self, inputs: dict[str, np.ndarray],
+                  ) -> dict[str, np.ndarray]:
+        mask = inputs["mask"]
+        return {"updated": np.where(mask == 1, inputs["init"],
+                                    inputs["data"]).astype(np.uint8)}

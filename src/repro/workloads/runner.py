@@ -1,0 +1,146 @@
+"""Fig. 6 driver: the eight workloads on DRAM vs 2T-nC FeRAM.
+
+Produces the paper's comparison — per-workload energy and execution
+cycles for both technologies plus the FeRAM-over-DRAM improvement
+factors (paper headline: ≈2.5× lower energy, ≈2× fewer cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.primitives import make_engine
+from repro.arch.spec import MemorySpec
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.bitmap_index import BitmapIndexQuery
+from repro.workloads.bnn import BnnInference
+from repro.workloads.crc8 import Crc8
+from repro.workloads.masked_init import MaskedInit
+from repro.workloads.set_ops import SetDifference, SetIntersection, SetUnion
+from repro.workloads.xor_cipher import XorCipher
+
+__all__ = ["WORKLOAD_CLASSES", "WorkloadComparison", "Fig6Table",
+           "make_workloads", "run_comparison", "run_fig6"]
+
+GIB = 1 << 30
+
+#: the paper's eight applications, in its Fig. 6 order
+WORKLOAD_CLASSES: tuple[type[Workload], ...] = (
+    Crc8,
+    XorCipher,
+    SetUnion,
+    SetIntersection,
+    SetDifference,
+    MaskedInit,
+    BitmapIndexQuery,
+    BnnInference,
+)
+
+
+def make_workloads(n_bytes: int = GIB,
+                   ) -> list[Workload]:
+    """Instantiate all eight workloads at the given data size."""
+    return [cls(n_bytes) for cls in WORKLOAD_CLASSES]
+
+
+@dataclass
+class WorkloadComparison:
+    """One Fig. 6 row: a workload on both technologies."""
+
+    workload: str
+    title: str
+    dram: WorkloadResult
+    feram: WorkloadResult
+
+    @property
+    def energy_ratio(self) -> float:
+        """DRAM energy / FeRAM energy (>1 means FeRAM wins)."""
+        return self.dram.energy_j / self.feram.energy_j
+
+    @property
+    def cycle_ratio(self) -> float:
+        """DRAM cycles / FeRAM cycles (>1 means FeRAM wins)."""
+        return self.dram.cycles / self.feram.cycles
+
+
+@dataclass
+class Fig6Table:
+    """All eight rows plus the aggregate factors."""
+
+    rows: list[WorkloadComparison]
+
+    def mean_energy_ratio(self) -> float:
+        return float(np.exp(np.mean(
+            [np.log(row.energy_ratio) for row in self.rows])))
+
+    def mean_cycle_ratio(self) -> float:
+        return float(np.exp(np.mean(
+            [np.log(row.cycle_ratio) for row in self.rows])))
+
+    def row(self, workload: str) -> WorkloadComparison:
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise WorkloadError(f"no workload {workload!r} in table")
+
+    def format(self) -> str:
+        lines = [
+            f"{'workload':<18}{'DRAM E (mJ)':>12}{'FeRAM E (mJ)':>13}"
+            f"{'E ratio':>9}{'DRAM cyc':>12}{'FeRAM cyc':>12}{'C ratio':>9}"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.title:<18}"
+                f"{row.dram.energy_j * 1e3:>12.3f}"
+                f"{row.feram.energy_j * 1e3:>13.3f}"
+                f"{row.energy_ratio:>9.2f}"
+                f"{row.dram.cycles:>12d}"
+                f"{row.feram.cycles:>12d}"
+                f"{row.cycle_ratio:>9.2f}")
+        lines.append(
+            f"{'geomean':<18}{'':>12}{'':>13}"
+            f"{self.mean_energy_ratio():>9.2f}{'':>12}{'':>12}"
+            f"{self.mean_cycle_ratio():>9.2f}")
+        return "\n".join(lines)
+
+
+def run_comparison(workload: Workload, *,
+                   dram_spec: MemorySpec | None = None,
+                   feram_spec: MemorySpec | None = None,
+                   functional: bool = False,
+                   charge_io: bool = False,
+                   seed: int = 0) -> WorkloadComparison:
+    """Run one workload on both technologies with fresh engines."""
+    dram_engine = make_engine("dram", functional=functional,
+                              spec=dram_spec)
+    feram_engine = make_engine("feram-2tnc", functional=functional,
+                               spec=feram_spec)
+    dram_result = workload.run(dram_engine, seed=seed, charge_io=charge_io)
+    feram_result = workload.run(feram_engine, seed=seed,
+                                charge_io=charge_io)
+    if functional and not (dram_result.verified and feram_result.verified):
+        raise WorkloadError(
+            f"{workload.name}: functional verification failed "
+            f"(dram={dram_result.verified}, feram={feram_result.verified})")
+    return WorkloadComparison(workload=workload.name, title=workload.title,
+                              dram=dram_result, feram=feram_result)
+
+
+def run_fig6(n_bytes: int = GIB, *, functional: bool = False,
+             charge_io: bool = False,
+             dram_spec: MemorySpec | None = None,
+             feram_spec: MemorySpec | None = None,
+             seed: int = 0) -> Fig6Table:
+    """Regenerate the paper's Fig. 6 at the given workload size.
+
+    The paper runs 1 GB per workload in counting mode; functional mode
+    (bit-exact, verified) is practical up to tens of MB.
+    """
+    rows = [run_comparison(workload, functional=functional, seed=seed,
+                           charge_io=charge_io,
+                           dram_spec=dram_spec, feram_spec=feram_spec)
+            for workload in make_workloads(n_bytes)]
+    return Fig6Table(rows)

@@ -1,0 +1,71 @@
+"""Bitmap set operations: union, intersection, difference.
+
+Sets are bitmaps over a universe of elements (one bit per element); the
+three operations are single bulk OR / AND / AND-NOT sweeps — the purest
+form of the paper's row-parallel MINORITY computation (the AND-NOT's
+inversion is where FeRAM's free inverting read shows up).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.engine import BulkEngine
+from repro.workloads.base import Workload, WorkloadIO
+
+__all__ = ["SetUnion", "SetIntersection", "SetDifference"]
+
+
+class _SetOperation(Workload):
+    """Common two-bitmap structure."""
+
+    def _bitmaps(self, engine: BulkEngine, io: WorkloadIO):
+        n_bits = self.vector_bits(0.5)
+        set_a = io.input("set_a", n_bits, density=0.3)
+        set_b = io.input("set_b", n_bits, density=0.3, group_with=set_a)
+        return set_a, set_b
+
+
+class SetUnion(_SetOperation):
+    name = "set_union"
+    title = "Set Union"
+
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
+        set_a, set_b = self._bitmaps(engine, io)
+        union = engine.or_(set_a, set_b, "union")
+        io.output("union", union)
+        engine.free(set_a, set_b, union)
+
+    def reference(self, inputs: dict[str, np.ndarray],
+                  ) -> dict[str, np.ndarray]:
+        return {"union": inputs["set_a"] | inputs["set_b"]}
+
+
+class SetIntersection(_SetOperation):
+    name = "set_intersection"
+    title = "Set Intersection"
+
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
+        set_a, set_b = self._bitmaps(engine, io)
+        inter = engine.and_(set_a, set_b, "intersection")
+        io.output("intersection", inter)
+        engine.free(set_a, set_b, inter)
+
+    def reference(self, inputs: dict[str, np.ndarray],
+                  ) -> dict[str, np.ndarray]:
+        return {"intersection": inputs["set_a"] & inputs["set_b"]}
+
+
+class SetDifference(_SetOperation):
+    name = "set_difference"
+    title = "Set Difference"
+
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
+        set_a, set_b = self._bitmaps(engine, io)
+        diff = engine.andnot(set_a, set_b, "difference")
+        io.output("difference", diff)
+        engine.free(set_a, set_b, diff)
+
+    def reference(self, inputs: dict[str, np.ndarray],
+                  ) -> dict[str, np.ndarray]:
+        return {"difference": inputs["set_a"] & (1 - inputs["set_b"])}

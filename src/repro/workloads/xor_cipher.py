@@ -1,0 +1,32 @@
+"""XOR stream cipher: ``ciphertext = plaintext ⊕ keystream``.
+
+The classic bulk-bitwise workload (one row-parallel XOR over the whole
+dataset); the keystream is laid out alongside the plaintext so 2T-nC
+FeRAM computes fully in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.engine import BulkEngine
+from repro.workloads.base import Workload, WorkloadIO
+
+__all__ = ["XorCipher"]
+
+
+class XorCipher(Workload):
+    name = "xor_cipher"
+    title = "XOR Cipher"
+
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
+        n_bits = self.vector_bits(0.5)  # half data, half keystream
+        plaintext = io.input("plaintext", n_bits)
+        keystream = io.input("keystream", n_bits, group_with=plaintext)
+        ciphertext = engine.xor(plaintext, keystream, "ciphertext")
+        io.output("ciphertext", ciphertext)
+        engine.free(plaintext, keystream, ciphertext)
+
+    def reference(self, inputs: dict[str, np.ndarray],
+                  ) -> dict[str, np.ndarray]:
+        return {"ciphertext": inputs["plaintext"] ^ inputs["keystream"]}

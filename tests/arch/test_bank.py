@@ -1,0 +1,120 @@
+"""Bit-vector storage and allocator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.bank import BitVector, RowAllocator, pack_bits, unpack_bits
+from repro.arch.spec import FERAM_2TNC_8GB
+from repro.errors import ArchitectureError
+
+
+class TestPacking:
+    @given(st.integers(min_value=1, max_value=4))
+    def test_roundtrip(self, n_rows):
+        rng = np.random.default_rng(n_rows)
+        bits = rng.integers(0, 2, n_rows * 128, dtype=np.uint8)
+        words = pack_bits(bits, 128)
+        assert words.shape == (n_rows, 2)
+        assert np.array_equal(unpack_bits(words), bits)
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ArchitectureError):
+            pack_bits(np.zeros(100, dtype=np.uint8), 128)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ArchitectureError):
+            pack_bits(np.zeros((2, 64), dtype=np.uint8), 64)
+
+    def test_bit_order_little(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        bits[0] = 1
+        assert int(pack_bits(bits, 64)[0, 0]) == 1
+
+
+class TestBitVector:
+    def test_value_resolves_flag(self):
+        v = BitVector("x", 64, 1,
+                      payload=np.array([[5]], dtype=np.uint64))
+        v.complemented = True
+        assert int(v.value()[0, 0]) == (~5) & (2**64 - 1)
+
+    def test_logical_bits_truncates_to_width(self):
+        v = BitVector("x", 10, 1,
+                      payload=np.array([[1023]], dtype=np.uint64))
+        assert v.logical_bits().size == 10
+
+    def test_counting_mode_returns_none(self):
+        v = BitVector("x", 64, 1)
+        assert v.value() is None
+        assert v.logical_bits() is None
+
+
+class TestAllocator:
+    def _alloc(self) -> RowAllocator:
+        return RowAllocator(FERAM_2TNC_8GB)
+
+    def test_rows_for_bits_rounds_up(self):
+        alloc = self._alloc()
+        assert alloc.rows_for_bits(1) == 1
+        assert alloc.rows_for_bits(65536) == 1
+        assert alloc.rows_for_bits(65537) == 2
+
+    def test_allocate_tracks_usage(self):
+        alloc = self._alloc()
+        alloc.allocate("a", 65536 * 3)
+        assert alloc.rows_used == 3
+
+    def test_peak_tracks_high_water(self):
+        alloc = self._alloc()
+        a = alloc.allocate("a", 65536 * 4)
+        alloc.free(a)
+        alloc.allocate("b", 65536)
+        assert alloc.rows_used == 1
+        assert alloc.peak_rows_used == 4
+
+    def test_double_free_rejected(self):
+        alloc = self._alloc()
+        a = alloc.allocate("a", 64)
+        alloc.free(a)
+        with pytest.raises(ArchitectureError):
+            alloc.free(a)
+
+    def test_out_of_memory(self):
+        alloc = self._alloc()
+        with pytest.raises(ArchitectureError, match="out of memory"):
+            alloc.allocate("huge", FERAM_2TNC_8GB.capacity_bytes * 16)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ArchitectureError):
+            self._alloc().allocate("x", 0)
+
+
+class TestGroups:
+    def test_fresh_vectors_not_colocated(self):
+        alloc = RowAllocator(FERAM_2TNC_8GB)
+        a = alloc.allocate("a", 64)
+        b = alloc.allocate("b", 64)
+        assert not alloc.co_located(a, b)
+
+    def test_unify_merges(self):
+        alloc = RowAllocator(FERAM_2TNC_8GB)
+        a = alloc.allocate("a", 64)
+        b = alloc.allocate("b", 64)
+        alloc.unify(a, b)
+        assert alloc.co_located(a, b)
+
+    def test_unify_transitive(self):
+        alloc = RowAllocator(FERAM_2TNC_8GB)
+        a, b, c = (alloc.allocate(n, 64) for n in "abc")
+        alloc.unify(a, b)
+        alloc.unify(b, c)
+        assert alloc.co_located(a, c)
+
+    def test_join_group(self):
+        alloc = RowAllocator(FERAM_2TNC_8GB)
+        a = alloc.allocate("a", 64)
+        b = alloc.allocate("b", 64)
+        alloc.join_group(b, a)
+        assert alloc.co_located(a, b)

@@ -1,0 +1,149 @@
+"""Bit-sliced arithmetic tests against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.bitwise import (
+    add_constant,
+    full_adder,
+    greater_equal_const,
+    half_adder,
+    popcount,
+    ripple_add,
+)
+from repro.arch.primitives import make_engine
+from repro.errors import ArchitectureError
+
+N_BITS = 4096
+
+
+def _load_planes(eng, values, width, rng=None):
+    """Load an integer array as bit-sliced planes (LSB first)."""
+    first = None
+    planes = []
+    for k in range(width):
+        bits = ((values >> k) & 1).astype(np.uint8)
+        vec = eng.load(bits, group_with=first)
+        first = first or vec
+        planes.append(vec)
+    return planes
+
+
+def _read_planes(planes):
+    return sum(p.logical_bits().astype(np.int64) << k
+               for k, p in enumerate(planes))
+
+
+class TestAdders:
+    def test_half_adder(self, rng):
+        eng = make_engine("feram-2tnc")
+        a_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+        b_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+        a = eng.load(a_bits)
+        b = eng.load(b_bits, group_with=a)
+        s, c = half_adder(eng, a, b)
+        assert np.array_equal(s.logical_bits(), a_bits ^ b_bits)
+        assert np.array_equal(c.logical_bits(), a_bits & b_bits)
+
+    def test_full_adder(self, rng):
+        eng = make_engine("feram-2tnc")
+        bits = [rng.integers(0, 2, N_BITS, dtype=np.uint8)
+                for _ in range(3)]
+        first = eng.load(bits[0])
+        vecs = [first] + [eng.load(b, group_with=first)
+                          for b in bits[1:]]
+        s, c = full_adder(eng, *vecs)
+        total = bits[0].astype(int) + bits[1] + bits[2]
+        assert np.array_equal(s.logical_bits(), (total & 1).astype(np.uint8))
+        assert np.array_equal(c.logical_bits(),
+                              (total >= 2).astype(np.uint8))
+
+    @pytest.mark.parametrize("tech", ["dram", "feram-2tnc"])
+    def test_ripple_add(self, tech, rng):
+        eng = make_engine(tech)
+        a_vals = rng.integers(0, 8, N_BITS)
+        b_vals = rng.integers(0, 8, N_BITS)
+        a = _load_planes(eng, a_vals, 3)
+        b = _load_planes(eng, b_vals, 3)
+        out = ripple_add(eng, a, b)
+        assert len(out) == 4
+        assert np.array_equal(_read_planes(out), a_vals + b_vals)
+
+    def test_ripple_add_unequal_widths(self, rng):
+        eng = make_engine("feram-2tnc")
+        a_vals = rng.integers(0, 16, N_BITS)
+        b_vals = rng.integers(0, 2, N_BITS)
+        a = _load_planes(eng, a_vals, 4)
+        b = _load_planes(eng, b_vals, 1)
+        out = ripple_add(eng, a, b)
+        assert np.array_equal(_read_planes(out), a_vals + b_vals)
+
+    def test_ripple_add_rejects_empty(self):
+        eng = make_engine("feram-2tnc")
+        with pytest.raises(ArchitectureError):
+            ripple_add(eng, [], [])
+
+    def test_add_constant(self, rng):
+        eng = make_engine("feram-2tnc")
+        vals = rng.integers(0, 8, N_BITS)
+        planes = _load_planes(eng, vals, 3)
+        out = add_constant(eng, planes, 5)
+        assert np.array_equal(_read_planes(out), vals + 5)
+
+    def test_add_constant_rejects_negative(self):
+        eng = make_engine("feram-2tnc")
+        planes = _load_planes(eng, np.zeros(N_BITS, dtype=int), 2)
+        with pytest.raises(ArchitectureError):
+            add_constant(eng, planes, -1)
+
+
+class TestPopcount:
+    @settings(max_examples=10)
+    @given(n_inputs=st.integers(min_value=1, max_value=9))
+    def test_popcount_matches_sum(self, n_inputs):
+        rng = np.random.default_rng(n_inputs)
+        eng = make_engine("feram-2tnc")
+        bits = [rng.integers(0, 2, 512, dtype=np.uint8)
+                for _ in range(n_inputs)]
+        first = eng.load(bits[0])
+        vecs = [first] + [eng.load(b, group_with=first)
+                          for b in bits[1:]]
+        counts = popcount(eng, vecs)
+        ref = sum(b.astype(int) for b in bits)
+        assert np.array_equal(_read_planes(counts), ref)
+
+    def test_popcount_rejects_empty(self):
+        with pytest.raises(ArchitectureError):
+            popcount(make_engine("feram-2tnc"), [])
+
+    def test_popcount_does_not_consume_inputs(self, rng):
+        eng = make_engine("feram-2tnc")
+        bits = rng.integers(0, 2, 512, dtype=np.uint8)
+        vec = eng.load(bits)
+        popcount(eng, [vec])
+        assert np.array_equal(vec.logical_bits(), bits)
+
+
+class TestThreshold:
+    @pytest.mark.parametrize("threshold", [0, 1, 3, 5, 8])
+    def test_ge_const(self, threshold, rng):
+        eng = make_engine("feram-2tnc")
+        vals = rng.integers(0, 8, N_BITS)
+        planes = _load_planes(eng, vals, 3)
+        out = greater_equal_const(eng, planes, threshold)
+        assert np.array_equal(out.logical_bits(),
+                              (vals >= threshold).astype(np.uint8))
+
+    def test_ge_impossible_threshold(self, rng):
+        eng = make_engine("feram-2tnc")
+        planes = _load_planes(eng, rng.integers(0, 8, 512), 3)
+        out = greater_equal_const(eng, planes, 9)
+        assert np.all(out.logical_bits() == 0)
+
+    def test_ge_rejects_negative(self):
+        eng = make_engine("feram-2tnc")
+        planes = _load_planes(eng, np.zeros(512, dtype=int), 2)
+        with pytest.raises(ArchitectureError):
+            greater_equal_const(eng, planes, -1)

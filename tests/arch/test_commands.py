@@ -1,0 +1,87 @@
+"""Command vocabulary and cost-mapping tests."""
+
+import pytest
+
+from repro.arch.commands import Command, CommandType, Stats, command_cost
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB
+from repro.errors import ArchitectureError
+
+
+class TestCommandCost:
+    def test_activate_cost(self):
+        energy, cycles = command_cost(DRAM_8GB, CommandType.ACTIVATE)
+        assert energy == pytest.approx(22.6e-9)
+        assert cycles == 1
+
+    def test_tba_uses_activate_energy(self):
+        energy, _ = command_cost(FERAM_2TNC_8GB,
+                                 CommandType.ACTIVATE_TBA)
+        assert energy == pytest.approx(16.6e-9)
+
+    def test_copy_cost(self):
+        energy, _ = command_cost(FERAM_2TNC_8GB, CommandType.COPY)
+        assert energy == pytest.approx(28e-9)
+
+    def test_precharge_cost(self):
+        energy, _ = command_cost(DRAM_8GB, CommandType.PRECHARGE)
+        assert energy == pytest.approx(0.32e-9)
+
+    def test_refresh_cost_is_act_plus_pre(self):
+        energy, cycles = command_cost(DRAM_8GB, CommandType.REFRESH)
+        assert energy == pytest.approx(22.92e-9)
+        assert cycles == 2
+
+    def test_every_command_type_costed(self):
+        for ctype in CommandType:
+            energy, cycles = command_cost(DRAM_8GB, ctype)
+            assert energy >= 0
+            assert cycles >= 1
+
+
+class TestCommand:
+    def test_repeat_validation(self):
+        with pytest.raises(ArchitectureError):
+            Command(CommandType.ACTIVATE, repeat=0)
+
+    def test_default_repeat(self):
+        assert Command(CommandType.ACTIVATE).repeat == 1
+
+
+class TestStats:
+    def test_record_accumulates_energy(self):
+        stats = Stats()
+        stats.record(DRAM_8GB, Command(CommandType.ACTIVATE, repeat=10))
+        assert stats.energy_j["compute"] == pytest.approx(10 * 22.6e-9)
+        assert stats.cycles["compute"] == 10
+
+    def test_io_category(self):
+        stats = Stats()
+        stats.record(DRAM_8GB, Command(CommandType.ROW_WRITE, repeat=3))
+        assert stats.energy_j["io"] > 0
+        assert stats.energy_j["compute"] == 0
+
+    def test_category_override(self):
+        stats = Stats()
+        stats.record(DRAM_8GB, Command(CommandType.ROW_WRITE),
+                     category="compute")
+        assert stats.energy_j["compute"] > 0
+
+    def test_counts_are_repeat_weighted(self):
+        stats = Stats()
+        stats.record(DRAM_8GB, Command(CommandType.PRECHARGE, repeat=7))
+        stats.record(DRAM_8GB, Command(CommandType.PRECHARGE, repeat=2))
+        assert stats.counts[CommandType.PRECHARGE] == 9
+
+    def test_wall_time(self):
+        stats = Stats()
+        stats.record(DRAM_8GB, Command(CommandType.ACTIVATE, repeat=100))
+        assert stats.wall_time_s(DRAM_8GB) == pytest.approx(
+            100 * 50e-9)
+
+    def test_merged_preserves_counters(self):
+        a, b = Stats(), Stats()
+        a.staging_aaps = 5
+        b.relocation_acps = 3
+        merged = a.merged_with(b)
+        assert merged.staging_aaps == 5
+        assert merged.relocation_acps == 3

@@ -1,0 +1,167 @@
+"""Cost-accounting tests: exact command counts per op and policy."""
+
+import pytest
+
+from repro.arch.commands import CommandType
+from repro.arch.primitives import make_engine
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB, StagingPolicy
+
+ROW_BITS = 65536
+
+
+def _count(engine, ctype):
+    return engine.stats.counts.get(ctype, 0)
+
+
+def _dram(policy=StagingPolicy.STAGED, n_rows=1):
+    eng = make_engine("dram", functional=False,
+                      spec=DRAM_8GB.with_policy(policy))
+    a = eng.allocate(ROW_BITS * n_rows)
+    b = eng.allocate(ROW_BITS * n_rows, group_with=a)
+    return eng, a, b
+
+
+def _feram(n_rows=1):
+    eng = make_engine("feram-2tnc", functional=False)
+    a = eng.allocate(ROW_BITS * n_rows)
+    b = eng.allocate(ROW_BITS * n_rows, group_with=a)
+    return eng, a, b
+
+
+class TestDramPolicies:
+    def test_paper_policy_one_aap_per_op(self):
+        eng, a, b = _dram(StagingPolicy.PAPER)
+        eng.and_(a, b)
+        assert _count(eng, CommandType.ACTIVATE_TRA) == 1
+        assert _count(eng, CommandType.PRECHARGE) == 1
+
+    def test_staged_policy_two_aaps_per_op(self):
+        eng, a, b = _dram(StagingPolicy.STAGED)
+        eng.and_(a, b)
+        assert _count(eng, CommandType.ACTIVATE_TRA) == 2
+        assert eng.stats.staging_aaps == 1
+
+    def test_ambit_policy_four_aaps_per_op(self):
+        eng, a, b = _dram(StagingPolicy.AMBIT)
+        eng.and_(a, b)
+        assert _count(eng, CommandType.ACTIVATE_TRA) == 4
+        assert eng.stats.staging_aaps == 3
+
+    def test_not_costs_by_policy(self):
+        for policy, expected in ((StagingPolicy.PAPER, 1),
+                                 (StagingPolicy.STAGED, 2),
+                                 (StagingPolicy.AMBIT, 2)):
+            eng, a, _ = _dram(policy)
+            eng.not_(a)
+            eng.materialize(a)
+            assert _count(eng, CommandType.ACTIVATE_TRA) == expected, policy
+
+    def test_xor_staged_is_eight_aaps(self):
+        eng, a, b = _dram(StagingPolicy.STAGED)
+        eng.xor(a, b)
+        assert _count(eng, CommandType.ACTIVATE_TRA) == 8
+
+    def test_counts_scale_with_rows(self):
+        eng, a, b = _dram(StagingPolicy.STAGED, n_rows=16)
+        eng.and_(a, b)
+        assert _count(eng, CommandType.ACTIVATE_TRA) == 32
+
+    def test_constant_is_one_aap(self):
+        eng, _, _ = _dram(StagingPolicy.STAGED)
+        before = _count(eng, CommandType.ACTIVATE_TRA)
+        eng.constant(ROW_BITS, 0)
+        assert _count(eng, CommandType.ACTIVATE_TRA) == before + 1
+
+
+class TestFeramCosts:
+    def test_logic_op_is_one_acp(self):
+        eng, a, b = _feram()
+        eng.nand(a, b)
+        assert _count(eng, CommandType.ACTIVATE_TBA) == 1
+        assert _count(eng, CommandType.COPY) == 1
+        assert _count(eng, CommandType.PRECHARGE) == 1
+
+    def test_not_is_one_acp(self):
+        eng, a, _ = _feram()
+        eng.not_(a)
+        eng.materialize(a)
+        assert _count(eng, CommandType.ACTIVATE_TBA) == 1
+
+    def test_xor_is_four_acps(self):
+        eng, a, b = _feram()
+        eng.xor(a, b)
+        assert _count(eng, CommandType.ACTIVATE_TBA) == 4
+
+    def test_relocation_for_non_colocated(self):
+        eng = make_engine("feram-2tnc", functional=False)
+        a = eng.allocate(ROW_BITS)
+        b = eng.allocate(ROW_BITS)  # different group
+        eng.and_(a, b)
+        assert eng.stats.relocation_acps == 1
+        # Once unified, further ops need no relocation.
+        eng.and_(a, b)
+        assert eng.stats.relocation_acps == 1
+
+    def test_control_rewrite_cadence(self):
+        eng, a, b = _feram()
+        period = FERAM_2TNC_8GB.control_rewrite_period
+        for _ in range(period):
+            eng.and_(a, b)
+        assert eng.stats.control_rewrites == 1
+
+    def test_constant_is_row_write(self):
+        eng, _, _ = _feram()
+        eng.constant(ROW_BITS, 1)
+        assert _count(eng, CommandType.ROW_WRITE) == 1
+        assert _count(eng, CommandType.ACTIVATE_TBA) == 0
+
+
+class TestEnergyBookkeeping:
+    def test_dram_op_energy(self):
+        eng, a, b = _dram(StagingPolicy.STAGED)
+        eng.and_(a, b)
+        expected = 2 * DRAM_8GB.aap_energy
+        assert eng.stats.energy_j["compute"] == pytest.approx(expected)
+
+    def test_feram_op_energy(self):
+        eng, a, b = _feram()
+        eng.and_(a, b)
+        assert eng.stats.energy_j["compute"] == pytest.approx(
+            FERAM_2TNC_8GB.acp_energy)
+
+    def test_cycles_per_op(self):
+        eng, a, b = _feram()
+        eng.and_(a, b)
+        assert eng.stats.total_cycles == 3
+
+    def test_headline_ratio_band(self):
+        """The per-op DRAM/FeRAM ratios sit in the paper's band."""
+        results = {}
+        for tech, make in (("dram", _dram), ("feram", _feram)):
+            eng, a, b = make(n_rows=1024) if tech == "feram" else \
+                _dram(StagingPolicy.STAGED, n_rows=1024)
+            eng.and_(a, b)
+            stats = eng.finalize()
+            results[tech] = (stats.total_energy_j, stats.total_cycles)
+        e_ratio = results["dram"][0] / results["feram"][0]
+        c_ratio = results["dram"][1] / results["feram"][1]
+        assert 1.9 <= e_ratio <= 3.2
+        assert 1.8 <= c_ratio <= 2.2
+
+    def test_stats_merge(self):
+        eng1, a, b = _feram()
+        eng1.and_(a, b)
+        eng2, c, d = _feram()
+        eng2.xor(c, d)
+        merged = eng1.stats.merged_with(eng2.stats)
+        assert merged.total_cycles == (eng1.stats.total_cycles
+                                       + eng2.stats.total_cycles)
+        assert merged.total_energy_j == pytest.approx(
+            eng1.stats.total_energy_j + eng2.stats.total_energy_j)
+
+    def test_summary_keys(self):
+        eng, a, b = _feram()
+        eng.and_(a, b)
+        summary = eng.stats.summary()
+        for key in ("energy_total_nj", "cycles_total", "cycles_compute"):
+            assert key in summary

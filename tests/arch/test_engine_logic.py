@@ -1,0 +1,208 @@
+"""Functional correctness of the bulk engines against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.primitives import make_engine
+from repro.errors import ArchitectureError
+
+N_BITS = 65536  # one row
+
+TECHS = ("dram", "feram-2tnc")
+
+
+def _pair(eng, rng):
+    a_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+    b_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+    a = eng.load(a_bits)
+    b = eng.load(b_bits, group_with=a)
+    return a, b, a_bits, b_bits
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestBinaryOps:
+    def test_and(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        assert np.array_equal(eng.and_(a, b).logical_bits(), ab & bb)
+
+    def test_or(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        assert np.array_equal(eng.or_(a, b).logical_bits(), ab | bb)
+
+    def test_nand(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        assert np.array_equal(eng.nand(a, b).logical_bits(), 1 - (ab & bb))
+
+    def test_nor(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        assert np.array_equal(eng.nor(a, b).logical_bits(), 1 - (ab | bb))
+
+    def test_xor(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        assert np.array_equal(eng.xor(a, b).logical_bits(), ab ^ bb)
+
+    def test_xnor(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        assert np.array_equal(eng.xnor(a, b).logical_bits(),
+                              1 - (ab ^ bb))
+
+    def test_andnot(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        assert np.array_equal(eng.andnot(a, b).logical_bits(),
+                              ab & (1 - bb))
+
+    def test_andnot_restores_operand_view(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        eng.andnot(a, b)
+        assert np.array_equal(b.logical_bits(), bb)
+
+    def test_ops_on_complemented_operands(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        eng.not_(a)
+        eng.not_(b)
+        assert np.array_equal(eng.and_(a, b).logical_bits(),
+                              (1 - ab) & (1 - bb))
+
+    def test_ops_on_mixed_flags(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        eng.not_(a)
+        assert np.array_equal(eng.or_(a, b).logical_bits(),
+                              (1 - ab) | bb)
+
+    def test_xor_flags_pass_through(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        eng.not_(a)
+        assert np.array_equal(eng.xor(a, b).logical_bits(),
+                              (1 - ab) ^ bb)
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestUnaryAndTernary:
+    def test_not_is_flag_flip(self, tech, rng):
+        eng = make_engine(tech)
+        a, _, ab, _ = _pair(eng, rng)
+        before = eng.stats.total_cycles
+        eng.not_(a)
+        assert eng.stats.total_cycles == before  # free
+        assert np.array_equal(a.logical_bits(), 1 - ab)
+
+    def test_materialize_preserves_value(self, tech, rng):
+        eng = make_engine(tech)
+        a, _, ab, _ = _pair(eng, rng)
+        eng.not_(a)
+        eng.materialize(a)
+        assert not a.complemented
+        assert np.array_equal(a.logical_bits(), 1 - ab)
+
+    def test_copy_value_and_independence(self, tech, rng):
+        eng = make_engine(tech)
+        a, _, ab, _ = _pair(eng, rng)
+        c = eng.copy(a)
+        eng.not_(c)
+        assert np.array_equal(a.logical_bits(), ab)
+        assert np.array_equal(c.logical_bits(), 1 - ab)
+
+    def test_majority_uniform_flags(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        c_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+        c = eng.load(c_bits, group_with=a)
+        m = eng.majority(a, b, c)
+        ref = ((ab + bb + c_bits) >= 2).astype(np.uint8)
+        assert np.array_equal(m.logical_bits(), ref)
+
+    def test_majority_mixed_flags(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        c_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+        c = eng.load(c_bits, group_with=a)
+        eng.not_(b)
+        m = eng.majority(a, b, c)
+        ref = ((ab + (1 - bb) + c_bits) >= 2).astype(np.uint8)
+        assert np.array_equal(m.logical_bits(), ref)
+
+    def test_select(self, tech, rng):
+        eng = make_engine(tech)
+        a, b, ab, bb = _pair(eng, rng)
+        m_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+        mask = eng.load(m_bits, group_with=a)
+        out = eng.select(mask, a, b)
+        ref = np.where(m_bits == 1, ab, bb).astype(np.uint8)
+        assert np.array_equal(out.logical_bits(), ref)
+
+    def test_constant_values(self, tech, rng):
+        eng = make_engine(tech)
+        ones = eng.constant(N_BITS, 1)
+        zeros = eng.constant(N_BITS, 0)
+        assert np.all(ones.logical_bits() == 1)
+        assert np.all(zeros.logical_bits() == 0)
+
+
+class TestErrors:
+    def test_width_mismatch(self, rng):
+        eng = make_engine("dram")
+        a = eng.allocate(64)
+        b = eng.allocate(128)
+        with pytest.raises(ArchitectureError, match="width"):
+            eng.and_(a, b)
+
+    def test_use_after_free(self, rng):
+        eng = make_engine("dram")
+        a = eng.allocate(64)
+        b = eng.allocate(64)
+        eng.free(a)
+        with pytest.raises(ArchitectureError, match="use after free"):
+            eng.and_(a, b)
+
+    def test_constant_validates_bit(self):
+        eng = make_engine("dram")
+        with pytest.raises(ArchitectureError):
+            eng.constant(64, 2)
+
+    def test_make_engine_rejects_unknown(self):
+        with pytest.raises(ArchitectureError):
+            make_engine("sram")
+
+    def test_engine_spec_mismatch(self):
+        from repro.arch.primitives import DramAmbitEngine
+        from repro.arch.spec import FERAM_2TNC_8GB
+        with pytest.raises(ArchitectureError):
+            DramAmbitEngine(FERAM_2TNC_8GB)
+
+
+@settings(max_examples=15)
+@given(data=st.data())
+@pytest.mark.parametrize("tech", TECHS)
+def test_random_expression_tree(tech, data):
+    """Random 3-deep expression evaluated identically by engine and numpy."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    eng = make_engine(tech)
+    n = 256
+    bits = [rng.integers(0, 2, n, dtype=np.uint8) for _ in range(3)]
+    first = eng.load(bits[0])
+    vecs = [first] + [eng.load(b, group_with=first) for b in bits[1:]]
+    ops = [("and", eng.and_, np.bitwise_and),
+           ("or", eng.or_, np.bitwise_or),
+           ("xor", eng.xor, np.bitwise_xor)]
+    acc_vec, acc_ref = vecs[0], bits[0]
+    for k in range(1, 3):
+        name, eng_op, np_op = data.draw(st.sampled_from(ops))
+        acc_vec = eng_op(acc_vec, vecs[k])
+        acc_ref = np_op(acc_ref, bits[k])
+        if data.draw(st.booleans()):
+            acc_vec = eng.not_(acc_vec)
+            acc_ref = 1 - acc_ref
+    assert np.array_equal(acc_vec.logical_bits(), acc_ref)

@@ -1,0 +1,67 @@
+"""DRAM refresh model tests."""
+
+import pytest
+
+from repro.arch.commands import Command, CommandType, Stats
+from repro.arch.refresh import apply_refresh
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB
+
+
+def _stats_with_cycles(spec, n_ops):
+    stats = Stats()
+    for _ in range(n_ops):
+        stats.record(spec, Command(CommandType.ACTIVATE, repeat=1000))
+    return stats
+
+
+class TestRefresh:
+    def test_feram_has_no_refresh(self):
+        stats = _stats_with_cycles(FERAM_2TNC_8GB, 10)
+        charge = apply_refresh(stats, FERAM_2TNC_8GB, footprint_rows=1000)
+        assert charge.energy_j == 0.0
+        assert charge.stall_cycles == 0
+
+    def test_dram_refresh_positive(self):
+        stats = _stats_with_cycles(DRAM_8GB, 100)
+        charge = apply_refresh(stats, DRAM_8GB, footprint_rows=10000)
+        assert charge.energy_j > 0
+        assert charge.sweeps > 0
+
+    def test_energy_scales_with_footprint(self):
+        s1 = _stats_with_cycles(DRAM_8GB, 100)
+        s2 = _stats_with_cycles(DRAM_8GB, 100)
+        small = apply_refresh(s1, DRAM_8GB, footprint_rows=1000)
+        large = apply_refresh(s2, DRAM_8GB, footprint_rows=100000)
+        assert large.energy_j > 10 * small.energy_j
+
+    def test_energy_scales_with_runtime(self):
+        s1 = _stats_with_cycles(DRAM_8GB, 10)
+        s2 = _stats_with_cycles(DRAM_8GB, 1000)
+        short = apply_refresh(s1, DRAM_8GB, footprint_rows=10000)
+        long = apply_refresh(s2, DRAM_8GB, footprint_rows=10000)
+        assert long.energy_j > 10 * short.energy_j
+
+    def test_whole_device_when_footprint_none(self):
+        s1 = _stats_with_cycles(DRAM_8GB, 100)
+        s2 = _stats_with_cycles(DRAM_8GB, 100)
+        whole = apply_refresh(s1, DRAM_8GB, footprint_rows=None)
+        part = apply_refresh(s2, DRAM_8GB, footprint_rows=1000)
+        assert whole.energy_j > part.energy_j
+
+    def test_refresh_recorded_in_stats(self):
+        stats = _stats_with_cycles(DRAM_8GB, 100)
+        apply_refresh(stats, DRAM_8GB, footprint_rows=10000)
+        assert stats.energy_j["refresh"] > 0
+        assert CommandType.REFRESH in stats.counts
+
+    def test_per_row_energy_is_act_plus_pre(self):
+        assert DRAM_8GB.refresh_row_energy == pytest.approx(
+            22.6e-9 + 0.32e-9)
+
+    def test_fixed_point_consistency(self):
+        # sweeps must equal final wall time / interval.
+        stats = _stats_with_cycles(DRAM_8GB, 1000)
+        charge = apply_refresh(stats, DRAM_8GB, footprint_rows=100000)
+        wall = stats.total_cycles * DRAM_8GB.cycle_time_s
+        assert charge.sweeps == pytest.approx(
+            wall / DRAM_8GB.refresh_interval_s, rel=1e-3)

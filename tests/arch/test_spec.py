@@ -1,0 +1,70 @@
+"""Memory-spec tests."""
+
+import pytest
+
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB, MemorySpec, StagingPolicy
+from repro.errors import ArchitectureError
+
+
+class TestPresets:
+    def test_paper_energy_constants(self):
+        assert DRAM_8GB.e_activate == pytest.approx(22.6e-9)
+        assert FERAM_2TNC_8GB.e_activate == pytest.approx(16.6e-9)
+        assert DRAM_8GB.e_precharge == pytest.approx(0.32e-9)
+
+    def test_paper_geometry(self):
+        assert DRAM_8GB.capacity_bytes == 8 * (1 << 30)
+        assert DRAM_8GB.row_bytes == 8 * 1024
+        assert DRAM_8GB.n_rows == 1 << 20
+
+    def test_feram_rows_account_for_planes(self):
+        # Three planes share a physical cell row.
+        assert FERAM_2TNC_8GB.n_rows == (1 << 20) // 3
+
+    def test_refresh_only_for_dram(self):
+        assert DRAM_8GB.refresh_interval_s == pytest.approx(64e-3)
+        assert FERAM_2TNC_8GB.refresh_interval_s is None
+
+    def test_aap_and_acp_costs(self):
+        assert DRAM_8GB.aap_energy == pytest.approx(45.52e-9)
+        assert DRAM_8GB.aap_cycles == 3
+        assert FERAM_2TNC_8GB.acp_cycles == 3
+        assert FERAM_2TNC_8GB.acp_energy == pytest.approx(
+            16.6e-9 + 28e-9 + 0.32e-9)
+
+    def test_row_bits(self):
+        assert DRAM_8GB.row_bits == 65536
+
+    def test_with_policy(self):
+        spec = DRAM_8GB.with_policy(StagingPolicy.AMBIT)
+        assert spec.staging_policy == StagingPolicy.AMBIT
+        assert DRAM_8GB.staging_policy == StagingPolicy.STAGED
+
+
+class TestValidation:
+    def _spec(self, **over):
+        kwargs = dict(name="t", technology="dram", capacity_bytes=1 << 20,
+                      row_bytes=1024, n_banks=4, n_planes=1,
+                      e_activate=1e-9, e_precharge=1e-10, e_copy=1e-9,
+                      e_row_write=1e-9, e_row_read=1e-9)
+        kwargs.update(over)
+        return MemorySpec(**kwargs)
+
+    def test_valid(self):
+        assert self._spec().n_rows == 1024
+
+    def test_rejects_non_row_multiple(self):
+        with pytest.raises(ArchitectureError):
+            self._spec(capacity_bytes=1000)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ArchitectureError):
+            self._spec(staging_policy="bogus")
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ArchitectureError):
+            self._spec(e_copy=-1.0)
+
+    def test_rejects_bad_rewrite_period(self):
+        with pytest.raises(ArchitectureError):
+            self._spec(control_rewrite_period=0)

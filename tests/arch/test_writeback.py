@@ -1,0 +1,49 @@
+"""Write-back economics tests."""
+
+import pytest
+
+from repro.arch.writeback import WritebackPolicy, compare_writeback_policies
+from repro.errors import ArchitectureError
+
+
+@pytest.fixture(scope="module")
+def policies():
+    return compare_writeback_policies()
+
+
+class TestPolicies:
+    def test_destructive_restores_every_read(self, policies):
+        destructive, _ = policies
+        assert destructive.reads_per_writeback == 1
+        assert destructive.write_cycles_per_read == 1.0
+
+    def test_qnro_supports_many_reads(self, policies):
+        _, qnro = policies
+        assert qnro.reads_per_writeback >= 10
+
+    def test_qnro_cheaper_per_read(self, policies):
+        destructive, qnro = policies
+        assert qnro.energy_per_read_j < destructive.energy_per_read_j
+
+    def test_endurance_gain_equals_period(self, policies):
+        _, qnro = policies
+        gain = qnro.endurance_reads(1e6) / 1e6
+        assert gain == pytest.approx(qnro.reads_per_writeback)
+
+    def test_stronger_read_shrinks_period(self):
+        _, gentle = compare_writeback_policies(v_read=0.45)
+        _, harsh = compare_writeback_policies(v_read=0.6)
+        assert harsh.reads_per_writeback < gentle.reads_per_writeback
+
+    def test_safety_factor_shrinks_period(self):
+        _, loose = compare_writeback_policies(safety_factor=1.0)
+        _, tight = compare_writeback_policies(safety_factor=4.0)
+        assert tight.reads_per_writeback < loose.reads_per_writeback
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            compare_writeback_policies(safety_factor=0.5)
+
+    def test_infinite_endurance_without_writes(self):
+        policy = WritebackPolicy("x", 10, 1e-9, 0.0)
+        assert policy.endurance_reads(1e6) == float("inf")

@@ -1,0 +1,138 @@
+"""Behavioural 2T-nC cell tests (fast closed-form model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.behavioral import BehavioralCell
+from repro.core.logic import minority3
+from repro.errors import ProtocolError
+
+ALL_TRIPLES = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+
+
+@pytest.fixture(scope="module")
+def sweep_levels():
+    return BehavioralCell(n_caps=3).level_sweep()
+
+
+class TestConstruction:
+    def test_rejects_zero_caps(self):
+        with pytest.raises(ProtocolError):
+            BehavioralCell(n_caps=0)
+
+    def test_write_validates(self):
+        cell = BehavioralCell()
+        with pytest.raises(ProtocolError):
+            cell.write({5: 1})
+        with pytest.raises(ProtocolError):
+            cell.write({0: 3})
+
+    def test_write_sets_bits(self):
+        cell = BehavioralCell()
+        cell.write({0: 1, 1: 0, 2: 1})
+        assert cell.stored_bits() == [1, 0, 1]
+
+    def test_polarizations_have_correct_signs(self):
+        cell = BehavioralCell()
+        cell.write({0: 1, 1: 0, 2: 1})
+        p = cell.polarizations_uc_cm2()
+        assert p[0] > 0 > p[1]
+
+
+class TestReadLevels:
+    def test_levels_monotone_in_zeros(self, sweep_levels):
+        by_zeros = {}
+        for state, current in sweep_levels.items():
+            by_zeros.setdefault(3 - sum(state), []).append(current)
+        means = [np.mean(by_zeros[k]) for k in range(4)]
+        assert all(a < b for a, b in zip(means, means[1:]))
+
+    def test_same_weight_states_degenerate(self, sweep_levels):
+        for weight in (1, 2):
+            values = [v for s, v in sweep_levels.items()
+                      if sum(s) == weight]
+            assert max(values) / min(values) < 1.01
+
+    def test_contrast_between_extremes(self, sweep_levels):
+        assert sweep_levels[(0, 0, 0)] > 5 * sweep_levels[(1, 1, 1)]
+
+    def test_qnro_read_validates_cap(self):
+        with pytest.raises(ProtocolError):
+            BehavioralCell().qnro_read([7])
+
+    def test_tba_needs_three_caps(self):
+        with pytest.raises(ProtocolError):
+            BehavioralCell(n_caps=2).tba_read()
+
+    def test_single_cap_read_inverting_contrast(self):
+        cell = BehavioralCell()
+        cell.write({0: 0})
+        i_zero, v_zero = cell.qnro_read([0], commit_disturb=False)
+        cell.write({0: 1})
+        i_one, v_one = cell.qnro_read([0], commit_disturb=False)
+        assert i_zero > i_one        # '0' reads high: inverting output
+        assert v_zero > v_one
+
+    def test_level_sweep_mode_validation(self):
+        with pytest.raises(ProtocolError):
+            BehavioralCell().level_sweep(mode="bogus")
+
+
+class TestDisturb:
+    def test_commit_disturb_accumulates(self):
+        cell = BehavioralCell()
+        cell.write({0: 0, 1: 0, 2: 0})
+        p0 = cell.polarizations_uc_cm2()[0]
+        for _ in range(5):
+            cell.tba_read(commit_disturb=True)
+        p5 = cell.polarizations_uc_cm2()[0]
+        assert p5 > p0  # drifts toward the read polarity
+
+    def test_no_commit_no_disturb(self):
+        cell = BehavioralCell()
+        cell.write({0: 0, 1: 0, 2: 0})
+        p0 = cell.polarizations_uc_cm2()
+        cell.tba_read(commit_disturb=False)
+        assert cell.polarizations_uc_cm2() == pytest.approx(p0)
+
+    def test_stored_one_immune_to_read(self):
+        cell = BehavioralCell()
+        cell.write({0: 1, 1: 1, 2: 1})
+        p0 = cell.polarizations_uc_cm2()
+        for _ in range(10):
+            cell.tba_read(commit_disturb=True)
+        assert cell.polarizations_uc_cm2() == pytest.approx(p0, abs=0.5)
+
+
+class TestLogicOps:
+    def test_minority_all_states(self):
+        cell = BehavioralCell()
+        sa = cell.minority_sense_amp()
+        for a, b, c in ALL_TRIPLES:
+            assert cell.op_minority(a, b, c, sa) == minority3(a, b, c)
+
+    def test_nand_table(self):
+        cell = BehavioralCell()
+        sa = cell.minority_sense_amp()
+        for a in (0, 1):
+            for b in (0, 1):
+                assert cell.op_nand(a, b, sa) == 1 - (a & b)
+
+    def test_nor_table(self):
+        cell = BehavioralCell()
+        sa = cell.minority_sense_amp()
+        for a in (0, 1):
+            for b in (0, 1):
+                assert cell.op_nor(a, b, sa) == 1 - (a | b)
+
+    def test_charge_current_linear_in_zeros(self):
+        from repro.experiments.fig4_minority import make_fabricated_cell
+        cell = make_fabricated_cell()
+        levels = cell.level_sweep(mode="charge")
+        by_zeros = {}
+        for state, current in levels.items():
+            by_zeros.setdefault(3 - sum(state), []).append(current)
+        means = np.array([np.mean(by_zeros[k]) for k in range(4)])
+        steps = np.diff(means)
+        assert np.all(steps > 0)
+        assert steps.max() / steps.min() < 1.3  # near-linear spacing

@@ -1,0 +1,157 @@
+"""SPICE-level 2T-nC cell tests (transient solver in the loop).
+
+Kept fast with reduced domain counts; the full-resolution runs live in
+the experiment drivers and benchmarks.
+"""
+
+import pytest
+
+from repro.core.cell import OneT1CFeRAMCell, TwoTnCCell
+from repro.core.logic import minority3
+from repro.core.operations import CellOperations
+from repro.errors import ProtocolError
+
+N_DOMAINS = 16
+DT = 1e-9
+
+
+@pytest.fixture(scope="module")
+def not_ops():
+    cell = TwoTnCCell(n_caps=1, n_domains=N_DOMAINS)
+    ops = CellOperations(cell, dt=DT)
+    ops.calibrate_not_reference()
+    return ops
+
+
+@pytest.fixture(scope="module")
+def tba_ops():
+    cell = TwoTnCCell(n_caps=3, n_domains=N_DOMAINS)
+    ops = CellOperations(cell, dt=DT)
+    ops.calibrate_minority_reference()
+    return ops
+
+
+class TestConstruction:
+    def test_rejects_zero_caps(self):
+        with pytest.raises(ProtocolError):
+            TwoTnCCell(n_caps=0)
+
+    def test_netlist_contents(self):
+        cell = TwoTnCCell(n_caps=3, n_domains=N_DOMAINS)
+        for name in ("t_w", "t_r", "c_node", "fe1", "fe2", "fe3",
+                     "v_wwl", "v_wpl", "v_rbl", TwoTnCCell.RSL_SENSE):
+            assert name in cell.circuit
+
+    def test_initial_bits(self):
+        cell = TwoTnCCell(n_caps=2, initial_bits={0: 1, 1: 0},
+                          n_domains=N_DOMAINS)
+        assert cell.stored_bits() == [1, 0]
+
+    def test_force_bits_validates(self):
+        cell = TwoTnCCell(n_caps=1, n_domains=N_DOMAINS)
+        with pytest.raises(ProtocolError):
+            cell.force_bits({3: 1})
+
+    def test_schedule_cap_count_mismatch(self):
+        cell = TwoTnCCell(n_caps=1, n_domains=N_DOMAINS)
+        wrong = TwoTnCCell(n_caps=3, n_domains=N_DOMAINS).new_schedule()
+        wrong.add_read([0])
+        with pytest.raises(ProtocolError):
+            cell.run(wrong)
+
+
+class TestWrite:
+    def test_write_both_polarities(self):
+        cell = TwoTnCCell(n_caps=2, n_domains=N_DOMAINS)
+        ops = CellOperations(cell, dt=DT)
+        ops.write_bits({0: 1, 1: 0})
+        assert cell.stored_bits() == [1, 0]
+
+    def test_write_reaches_deep_polarization(self):
+        cell = TwoTnCCell(n_caps=1, n_domains=N_DOMAINS)
+        ops = CellOperations(cell, dt=DT)
+        ops.write_bits({0: 1})
+        assert cell.polarizations_uc_cm2()[0] > 20.0
+
+    def test_rewrite_flips(self):
+        cell = TwoTnCCell(n_caps=1, n_domains=N_DOMAINS)
+        ops = CellOperations(cell, dt=DT)
+        ops.write_bits({0: 1})
+        ops.write_bits({0: 0})
+        assert cell.stored_bits() == [0]
+
+    def test_write_does_not_disturb_neighbours(self):
+        cell = TwoTnCCell(n_caps=3, n_domains=N_DOMAINS)
+        ops = CellOperations(cell, dt=DT)
+        ops.write_bits({0: 1, 1: 1, 2: 1})
+        p_before = cell.polarizations_uc_cm2()[2]
+        ops.write_bits({0: 0})  # rewrite one cap only
+        p_after = cell.polarizations_uc_cm2()[2]
+        assert p_after == pytest.approx(p_before, abs=3.0)
+
+
+class TestNot(object):
+    def test_not_zero(self, not_ops):
+        op = not_ops.op_not(0)
+        assert op.output_bit == 1
+        assert op.correct
+
+    def test_not_one(self, not_ops):
+        op = not_ops.op_not(1)
+        assert op.output_bit == 0
+        assert op.correct
+
+    def test_state_preserved(self, not_ops):
+        for bit in (0, 1):
+            assert not_ops.op_not(bit).state_preserved()
+
+    def test_vint_contrast(self, not_ops):
+        v0 = not_ops.op_not(0).vint
+        v1 = not_ops.op_not(1).vint
+        assert v0 > v1 + 0.05
+
+
+class TestMinority:
+    @pytest.mark.parametrize("state", [(0, 0, 0), (1, 0, 0), (0, 1, 1),
+                                       (1, 1, 1)])
+    def test_minority_subset(self, tba_ops, state):
+        op = tba_ops.op_minority(*state)
+        assert op.output_bit == minority3(*state)
+
+    def test_nand(self, tba_ops):
+        assert tba_ops.op_nand(1, 1).output_bit == 0
+        assert tba_ops.op_nand(1, 0).output_bit == 1
+
+    def test_nor(self, tba_ops):
+        assert tba_ops.op_nor(0, 0).output_bit == 1
+        assert tba_ops.op_nor(1, 0).output_bit == 0
+
+    def test_levels_ordered(self, tba_ops):
+        levels = tba_ops.tba_level_sweep()
+        assert levels[(0, 0, 0)] > levels[(0, 0, 1)] \
+            > levels[(0, 1, 1)] > levels[(1, 1, 1)]
+
+    def test_minority_validates_inputs(self, tba_ops):
+        with pytest.raises(ProtocolError):
+            tba_ops.op_minority(2, 0, 0)
+
+    def test_minority_needs_three_caps(self):
+        cell = TwoTnCCell(n_caps=1, n_domains=N_DOMAINS)
+        ops = CellOperations(cell, dt=DT)
+        with pytest.raises(ProtocolError):
+            ops.op_minority(0, 0, 0)
+
+
+class Test1T1C:
+    def test_destructive_read_flips_one(self):
+        cell = OneT1CFeRAMCell(initial_bit=1, n_domains=N_DOMAINS)
+        p_before = cell.fecap.polarization_uc_cm2()
+        _, p_after = cell.destructive_read()
+        assert p_after < 0.5 * p_before
+
+    def test_signal_contrast(self):
+        v1, _ = OneT1CFeRAMCell(initial_bit=1,
+                                n_domains=N_DOMAINS).destructive_read()
+        v0, _ = OneT1CFeRAMCell(initial_bit=0,
+                                n_domains=N_DOMAINS).destructive_read()
+        assert v1 > 2 * v0

@@ -1,0 +1,111 @@
+"""MINORITY/MAJORITY logic tests, scalar and packed-word forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.logic import (
+    majority3,
+    majority_words,
+    minority3,
+    minority_truth_table,
+    minority_words,
+    nand2,
+    nand_words,
+    nor2,
+    nor_words,
+    not1,
+    not_words,
+)
+from repro.errors import ProtocolError
+
+ALL_TRIPLES = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+
+
+class TestScalar:
+    def test_majority_truth_table(self):
+        for a, b, c in ALL_TRIPLES:
+            assert majority3(a, b, c) == (1 if a + b + c >= 2 else 0)
+
+    def test_minority_is_not_majority(self):
+        for a, b, c in ALL_TRIPLES:
+            assert minority3(a, b, c) == 1 - majority3(a, b, c)
+
+    def test_paper_boolean_identity(self):
+        # MIN(A,B,C) = C'(A' + B') + C(A'·B')
+        for a, b, c in ALL_TRIPLES:
+            na, nb, nc = 1 - a, 1 - b, 1 - c
+            expected = (nc & (na | nb)) | (c & (na & nb))
+            assert minority3(a, b, c) == expected
+
+    def test_nand_is_minority_with_zero(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                assert nand2(a, b) == 1 - (a & b)
+                assert nand2(a, b) == minority3(a, b, 0)
+
+    def test_nor_is_minority_with_one(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                assert nor2(a, b) == 1 - (a | b)
+                assert nor2(a, b) == minority3(a, b, 1)
+
+    def test_not(self):
+        assert not1(0) == 1
+        assert not1(1) == 0
+
+    def test_validates_bits(self):
+        with pytest.raises(ProtocolError):
+            majority3(2, 0, 0)
+        with pytest.raises(ProtocolError):
+            not1(-1)
+
+    def test_truth_table_has_eight_rows(self):
+        table = minority_truth_table()
+        assert len(table) == 8
+        assert table[(0, 0, 0)] == 1
+        assert table[(1, 1, 1)] == 0
+
+    def test_self_duality(self):
+        # MAJ(~a,~b,~c) == ~MAJ(a,b,c)
+        for a, b, c in ALL_TRIPLES:
+            assert majority3(1 - a, 1 - b, 1 - c) == 1 - majority3(a, b, c)
+
+
+words = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestWords:
+    @given(words, words, words)
+    def test_majority_words_bitwise(self, a, b, c):
+        av, bv, cv = (np.array([x], dtype=np.uint64) for x in (a, b, c))
+        out = int(majority_words(av, bv, cv)[0])
+        for bit in range(64):
+            bits = ((a >> bit) & 1, (b >> bit) & 1, (c >> bit) & 1)
+            assert (out >> bit) & 1 == majority3(*bits)
+
+    @given(words, words, words)
+    def test_minority_complements_majority(self, a, b, c):
+        av, bv, cv = (np.array([x], dtype=np.uint64) for x in (a, b, c))
+        assert int((minority_words(av, bv, cv)
+                    ^ majority_words(av, bv, cv))[0]) == 2**64 - 1
+
+    @given(words, words)
+    def test_nand_words(self, a, b):
+        av, bv = (np.array([x], dtype=np.uint64) for x in (a, b))
+        assert int(nand_words(av, bv)[0]) == (~(a & b)) & (2**64 - 1)
+
+    @given(words, words)
+    def test_nor_words(self, a, b):
+        av, bv = (np.array([x], dtype=np.uint64) for x in (a, b))
+        assert int(nor_words(av, bv)[0]) == (~(a | b)) & (2**64 - 1)
+
+    @given(words)
+    def test_not_words(self, a):
+        av = np.array([a], dtype=np.uint64)
+        assert int(not_words(av)[0]) == (~a) & (2**64 - 1)
+
+    def test_words_preserve_shape(self):
+        a = np.zeros((3, 4), dtype=np.uint64)
+        assert minority_words(a, a, a).shape == (3, 4)

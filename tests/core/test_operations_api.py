@@ -1,0 +1,86 @@
+"""Operation-layer API coverage: results, reads, calibration edges."""
+
+import pytest
+
+from repro.core.cell import TwoTnCCell
+from repro.core.operations import CellOperations
+from repro.core.sense_amp import SenseAmp
+from repro.errors import ProtocolError
+
+N_DOMAINS = 16
+DT = 1e-9
+
+
+@pytest.fixture(scope="module")
+def ops():
+    cell = TwoTnCCell(n_caps=1, n_domains=N_DOMAINS)
+    return CellOperations(cell, dt=DT)
+
+
+class TestOperationResult:
+    def test_correct_property(self, ops):
+        ops.calibrate_not_reference()
+        op = ops.op_not(0)
+        assert op.correct is True
+
+    def test_correct_none_for_plain_read(self, ops):
+        op = ops.qnro_read(0)
+        assert op.correct is None
+        assert op.output_bit is None
+
+    def test_write_result_has_no_sensing(self, ops):
+        op = ops.write_bits({0: 1})
+        assert op.rsl_current is None
+        assert op.vint is None
+
+    def test_result_carries_traces(self, ops):
+        op = ops.qnro_read(0)
+        assert len(op.result) > 10
+        assert "sense_window" in op.meta
+
+    def test_meta_records_inputs_for_minority(self):
+        cell = TwoTnCCell(n_caps=3, n_domains=N_DOMAINS)
+        tba = CellOperations(cell, dt=DT)
+        tba.calibrate_minority_reference()
+        op = tba.op_minority(1, 0, 1)
+        assert op.meta["inputs"] == (1, 0, 1)
+
+
+class TestSensing:
+    def test_qnro_read_reports_current_and_vint(self, ops):
+        ops.write_bits({0: 0})
+        op = ops.qnro_read(0)
+        assert op.rsl_current > 0
+        assert 0.0 < op.vint < 1.0
+
+    def test_custom_sense_amp_used(self, ops):
+        # An absurdly high reference forces output 0 regardless of state.
+        sa = SenseAmp(1.0)
+        op = ops.op_not(0, sense_amp=sa)
+        assert op.output_bit == 0
+
+    def test_not_validates_bit(self, ops):
+        with pytest.raises(ProtocolError):
+            ops.op_not(2)
+
+    def test_calibration_returns_positive_reference(self, ops):
+        ref = ops.calibrate_not_reference()
+        assert ref > 0
+
+    def test_minority_reference_needs_three_caps(self, ops):
+        with pytest.raises(ProtocolError):
+            ops.calibrate_minority_reference()
+
+
+class TestWriteFailureDetection:
+    def test_failed_write_raises(self):
+        # A write pulse far too short to switch any domain must be
+        # detected and reported, not silently accepted.
+        from repro.core.waveforms import CellTiming
+        cell = TwoTnCCell(n_caps=1, n_domains=N_DOMAINS)
+        feeble = CellOperations(
+            cell, dt=0.25e-9,
+            timing=CellTiming(t_write=2e-9, t_edge=0.25e-9))
+        cell.force_bits({0: 1})
+        with pytest.raises(ProtocolError, match="write failed"):
+            feeble.write_bits({0: 0})

@@ -1,0 +1,81 @@
+"""Sense-amplifier behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.sense_amp import SenseAmp, reference_between
+from repro.errors import ProtocolError
+
+
+class TestReferenceBetween:
+    def test_midpoint(self):
+        assert reference_between(1.0, 3.0) == 2.0
+
+    def test_order_insensitive(self):
+        assert reference_between(3.0, 1.0) == 2.0
+
+    def test_position(self):
+        assert reference_between(0.0, 10.0, position=0.25) == 2.5
+
+    def test_validates_position(self):
+        with pytest.raises(ProtocolError):
+            reference_between(0.0, 1.0, position=1.0)
+
+
+class TestCompare:
+    def test_above_reads_one(self):
+        assert SenseAmp(1.0).compare(2.0) == 1
+
+    def test_below_reads_zero(self):
+        assert SenseAmp(1.0).compare(0.5) == 0
+
+    def test_margin_signed(self):
+        sa = SenseAmp(1.0)
+        assert sa.margin(1.5) == pytest.approx(0.5)
+        assert sa.margin(0.5) == pytest.approx(-0.5)
+
+    def test_validates_reference(self):
+        with pytest.raises(ProtocolError):
+            SenseAmp(0.0)
+        with pytest.raises(ProtocolError):
+            SenseAmp(1.0, offset_sigma=-0.1)
+
+
+class TestOffset:
+    def test_ideal_is_deterministic(self):
+        sa = SenseAmp(1.0)
+        assert all(sa.compare(1.1) == 1 for _ in range(10))
+
+    def test_offset_flips_marginal_decisions(self):
+        rng = np.random.default_rng(0)
+        sa = SenseAmp(1.0, offset_sigma=0.5, rng=rng)
+        decisions = {sa.compare(1.01) for _ in range(200)}
+        assert decisions == {0, 1}
+
+    def test_yield_ideal_is_one(self):
+        assert SenseAmp(1.0).sense_yield(2.0) == 1.0
+
+    def test_yield_degrades_near_reference(self):
+        rng = np.random.default_rng(0)
+        sa = SenseAmp(1.0, offset_sigma=0.2, rng=rng)
+        far = sa.sense_yield(2.0, trials=2000)
+        near = sa.sense_yield(1.05, trials=2000)
+        assert far > near
+
+    def test_yield_validates(self):
+        with pytest.raises(ProtocolError):
+            SenseAmp(1.0).sense_yield(1.0, trials=0)
+
+
+class TestFromLevels:
+    def test_splits_levels(self):
+        sa = SenseAmp.from_levels([1.0, 2.0, 4.0, 8.0], split_after=2)
+        assert sa.reference == pytest.approx(3.0)
+
+    def test_unsorted_input_ok(self):
+        sa = SenseAmp.from_levels([8.0, 1.0, 4.0, 2.0], split_after=2)
+        assert sa.reference == pytest.approx(3.0)
+
+    def test_validates_split(self):
+        with pytest.raises(ProtocolError):
+            SenseAmp.from_levels([1.0, 2.0], split_after=2)

@@ -1,0 +1,74 @@
+"""Monte-Carlo variation study tests."""
+
+import pytest
+
+from repro.core.variation import MarginSample, run_variation_study
+from repro.errors import ProtocolError
+
+N_CELLS = 8  # keep CI fast; the experiment driver uses more
+
+
+@pytest.fixture(scope="module")
+def tracking_study():
+    return run_variation_study(N_CELLS, reference_mode="tracking",
+                               n_domains=512, seed=1)
+
+
+class TestStudy:
+    def test_sample_count(self, tracking_study):
+        assert tracking_study.n_cells == N_CELLS
+        assert len(tracking_study.samples) == N_CELLS
+
+    def test_margins_recorded(self, tracking_study):
+        assert tracking_study.margins.shape == (N_CELLS,)
+
+    def test_summary_keys(self, tracking_study):
+        summary = tracking_study.summary()
+        for key in ("n_cells", "read_yield", "hard_failures"):
+            assert key in summary
+
+    def test_yield_in_unit_interval(self, tracking_study):
+        assert 0.0 <= tracking_study.read_yield <= 1.0
+
+    def test_deterministic_given_seed(self):
+        s1 = run_variation_study(4, n_domains=256, seed=7)
+        s2 = run_variation_study(4, n_domains=256, seed=7)
+        assert s1.margins == pytest.approx(s2.margins)
+
+    def test_seed_changes_outcome(self):
+        s1 = run_variation_study(4, n_domains=256, seed=1)
+        s2 = run_variation_study(4, n_domains=256, seed=2)
+        assert not (s1.margins == s2.margins).all()
+
+    def test_more_grains_tighter_margins(self):
+        small = run_variation_study(6, n_domains=256, seed=3)
+        large = run_variation_study(6, n_domains=1024, seed=3)
+        assert large.margin_sigma < small.margin_sigma
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            run_variation_study(0)
+        with pytest.raises(ProtocolError):
+            run_variation_study(2, offset_sigma_fraction=1.5)
+        with pytest.raises(ProtocolError):
+            run_variation_study(2, reference_mode="bogus")
+
+
+class TestMarginSample:
+    def test_worst_margin_positive_when_separated(self):
+        levels = {}
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    ones = a + b + c
+                    levels[(a, b, c)] = 10.0 - 2.0 * ones
+        sample = MarginSample(levels)
+        # MIN=1 for <=1 ones (levels 10, 8); MIN=0 for >=2 (6, 4).
+        assert sample.worst_minority_margin(7.0) == pytest.approx(1.0)
+
+    def test_worst_margin_negative_when_violated(self):
+        levels = {state: 5.0 for state in
+                  [(a, b, c) for a in (0, 1) for b in (0, 1)
+                   for c in (0, 1)]}
+        sample = MarginSample(levels)
+        assert sample.worst_minority_margin(5.0) == pytest.approx(0.0)

@@ -1,0 +1,151 @@
+"""Cell protocol schedule tests."""
+
+import pytest
+
+from repro.core.waveforms import CellLevels, CellSchedule, CellTiming
+from repro.errors import ProtocolError
+
+
+def _schedule(n_caps=3) -> CellSchedule:
+    return CellSchedule(n_caps)
+
+
+class TestValidation:
+    def test_rejects_zero_caps(self):
+        with pytest.raises(ProtocolError):
+            CellSchedule(0)
+
+    def test_timing_validation(self):
+        with pytest.raises(ProtocolError):
+            CellTiming(t_write=0.0)
+
+    def test_levels_validation(self):
+        with pytest.raises(ProtocolError):
+            CellLevels(v_read=2.0, v_write=1.5)
+        with pytest.raises(ProtocolError):
+            CellLevels(v_write=-1.0)
+
+    def test_write_rejects_bad_cap(self):
+        with pytest.raises(ProtocolError):
+            _schedule().add_write({5: 1})
+
+    def test_write_rejects_bad_bit(self):
+        with pytest.raises(ProtocolError):
+            _schedule().add_write({0: 2})
+
+    def test_write_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            _schedule().add_write({})
+
+    def test_read_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            _schedule().add_read([])
+
+
+class TestWritePhases:
+    def test_single_polarity_one_phase(self):
+        sched = _schedule()
+        sched.add_write({0: 1, 1: 1})
+        names = [p.name for p in sched.phases]
+        assert names == ["write-ones"]
+
+    def test_mixed_polarity_two_phases(self):
+        sched = _schedule()
+        sched.add_write({0: 1, 1: 0})
+        names = [p.name for p in sched.phases]
+        assert names == ["write-ones", "write-zeros"]
+
+    def test_unselected_wbl_tracks_wpl_during_zero_write(self):
+        # Writing a '0' raises WPL; unselected WBLs must follow to avoid
+        # half-select disturb.
+        sched = _schedule()
+        sched.add_write({0: 0})
+        phase = sched.phase("write-zeros")
+        waves = sched.waveforms()
+        t_mid = 0.5 * (phase.t_start + phase.t_end)
+        assert waves["wpl"](t_mid) == sched.levels.v_write
+        assert waves["wbl2"](t_mid) == sched.levels.v_write
+        assert waves["wbl1"](t_mid) == 0.0
+
+    def test_write_ends_with_node_drain(self):
+        # After the zero-write the schedule must hold WWL high with WPL
+        # low before releasing, draining the trapped node charge.
+        sched = _schedule()
+        sched.add_write({0: 0})
+        waves = sched.waveforms()
+        phase = sched.phase("write-zeros")
+        t_drain = phase.t_end + sched.timing.t_edge \
+            + 0.5 * sched.timing.t_reset
+        assert waves["wwl"](t_drain) > 1.0
+        assert waves["wpl"](t_drain) == 0.0
+
+
+class TestReadPhases:
+    def test_qnro_kind_for_single_cap(self):
+        phase = _schedule().add_read([0])
+        assert phase.kind == "qnro"
+
+    def test_tba_kind_for_multiple(self):
+        phase = _schedule().add_read([0, 1, 2])
+        assert phase.kind == "tba"
+
+    def test_read_biases_only_targets(self):
+        sched = _schedule()
+        phase = sched.add_read([0, 2])
+        waves = sched.waveforms()
+        t_mid = 0.5 * (phase.t_start + phase.t_end)
+        assert waves["wbl1"](t_mid) == sched.levels.v_read
+        assert waves["wbl2"](t_mid) == 0.0
+        assert waves["wbl3"](t_mid) == sched.levels.v_read
+        assert waves["wwl"](t_mid) == 0.0
+        assert waves["rbl"](t_mid) == sched.levels.v_rbl
+
+    def test_sense_window_inside_phase(self):
+        phase = _schedule().add_read([0])
+        t0, t1 = phase.sense_window(0.4)
+        assert phase.t_start < t0 < t1 == phase.t_end
+
+    def test_sense_window_validates(self):
+        phase = _schedule().add_read([0])
+        with pytest.raises(ProtocolError):
+            phase.sense_window(0.0)
+
+
+class TestScheduleStructure:
+    def test_phases_ordered_in_time(self):
+        sched = _schedule()
+        sched.add_write({0: 1, 1: 0})
+        sched.add_read([0, 1, 2])
+        sched.add_reset()
+        starts = [p.t_start for p in sched.phases]
+        assert starts == sorted(starts)
+
+    def test_t_stop_after_last_phase(self):
+        sched = _schedule()
+        sched.add_read([0])
+        assert sched.t_stop > sched.phases[-1].t_end
+
+    def test_waveform_times_nondecreasing(self):
+        sched = _schedule()
+        sched.add_write({0: 1, 1: 0, 2: 1})
+        sched.add_read([0, 1, 2])
+        sched.add_reset()
+        for net, wave in sched.waveforms().items():
+            times = [t for t, _ in wave.points]
+            assert times == sorted(times), net
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(ProtocolError):
+            _schedule().phase("nope")
+
+    def test_all_nets_end_at_zero(self):
+        sched = _schedule()
+        sched.add_write({0: 1})
+        sched.add_reset()
+        waves = sched.waveforms()
+        for net, wave in waves.items():
+            assert wave(sched.t_stop) == 0.0, net
+
+    def test_net_names(self):
+        assert CellSchedule.net_names(2) == ["wwl", "wpl", "rbl", "wbl1",
+                                             "wbl2"]

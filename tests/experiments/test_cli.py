@@ -1,0 +1,42 @@
+"""CLI entry-point tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+
+
+class TestCli:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "usage" in out
+
+    def test_runs_named_experiment(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "PASS" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig5", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "fig1" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            main(["not_a_fig"])
+
+
+class TestExtensionExperiments:
+    def test_writeback_passes(self):
+        from repro.experiments.extensions import run_writeback
+        report = run_writeback()
+        assert report.passed
+
+    def test_variation_small_passes(self):
+        from repro.experiments.extensions import run_variation
+        report = run_variation(n_cells=6)
+        assert report.record("yield grows with grain count").passed
+        assert report.record("hard failures at 1024 grains").passed

@@ -1,0 +1,75 @@
+"""Experiment registry and record-type tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.result import ExperimentReport, Record
+
+#: every artefact in DESIGN.md's per-experiment index must be registered
+DESIGN_INDEX = ("fig1", "fig2", "fig3d", "fig3f", "fig4d", "fig4e",
+                "fig4f", "fig4gh", "fig4ij", "fig5", "fig6", "fig7",
+                "energy_params")
+
+
+class TestRegistry:
+    def test_design_index_covered(self):
+        for experiment_id in DESIGN_INDEX:
+            assert experiment_id in EXPERIMENTS
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("nope")
+
+    def test_drivers_are_callable(self):
+        assert all(callable(driver) for driver in EXPERIMENTS.values())
+
+
+class TestRecord:
+    def test_pass_within_tolerance(self):
+        assert Record("x", measured=2.4, paper=2.5, tolerance=0.1).passed
+
+    def test_fail_outside_tolerance(self):
+        assert not Record("x", measured=5.0, paper=2.5,
+                          tolerance=0.1).passed
+
+    def test_shape_only_always_passes(self):
+        assert Record("x", measured=123.0, paper=None).passed
+
+    def test_zero_paper_uses_absolute(self):
+        assert Record("x", measured=0.05, paper=0.0, tolerance=0.1).passed
+        assert not Record("x", measured=0.5, paper=0.0,
+                          tolerance=0.1).passed
+
+    def test_format_shows_status(self):
+        good = Record("metric", measured=1.0, paper=1.0)
+        assert "[ok]" in good.format()
+        bad = Record("metric", measured=9.0, paper=1.0, tolerance=0.1)
+        assert "MISMATCH" in bad.format()
+
+
+class TestReport:
+    def _report(self):
+        report = ExperimentReport("figx", "test")
+        report.add(Record("a", measured=1.0, paper=1.0))
+        report.add(Record("b", measured=2.0, paper=None))
+        return report
+
+    def test_passed_when_all_pass(self):
+        assert self._report().passed
+
+    def test_failed_when_any_fails(self):
+        report = self._report()
+        report.add(Record("c", measured=10.0, paper=1.0, tolerance=0.1))
+        assert not report.passed
+
+    def test_record_lookup(self):
+        report = self._report()
+        assert report.record("a").measured == 1.0
+        with pytest.raises(ExperimentError):
+            report.record("missing")
+
+    def test_format_has_header_and_footer(self):
+        text = self._report().format()
+        assert text.startswith("== figx")
+        assert "PASS" in text

@@ -1,0 +1,109 @@
+"""Switching-dynamics law tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError
+from repro.ferro.dynamics import (
+    minimum_full_switch_pulse,
+    pulse_switched_polarization,
+    switched_fraction,
+    switching_time,
+)
+from repro.ferro.materials import FAB_HZO
+
+
+class TestSwitchingTime:
+    def test_decreases_with_voltage(self):
+        taus = [float(switching_time(v, 3.0, 1e-8, 2.5))
+                for v in (1.0, 2.0, 3.0)]
+        assert taus[0] > taus[1] > taus[2]
+
+    def test_increases_with_activation(self):
+        low = float(switching_time(2.0, 2.0, 1e-8, 2.5))
+        high = float(switching_time(2.0, 4.0, 1e-8, 2.5))
+        assert high > low
+
+    def test_zero_voltage_infinite(self):
+        assert np.isinf(switching_time(0.0, 3.0, 1e-8, 2.5))
+
+    def test_polarity_independent(self):
+        assert float(switching_time(-2.0, 3.0, 1e-8, 2.5)) == pytest.approx(
+            float(switching_time(2.0, 3.0, 1e-8, 2.5)))
+
+    def test_broadcasts_over_domains(self):
+        va = np.array([1.0, 2.0, 3.0])
+        taus = switching_time(2.0, va, 1e-8, 2.5)
+        assert taus.shape == (3,)
+        assert taus[0] < taus[1] < taus[2]
+
+    def test_no_overflow_for_tiny_voltage(self):
+        tau = switching_time(1e-5, 3.0, 1e-8, 2.5)
+        assert np.isfinite(tau) or np.isinf(tau)  # no exception, no nan
+        assert not np.isnan(tau)
+
+
+class TestSwitchedFraction:
+    @given(st.floats(min_value=1e-12, max_value=1.0),
+           st.floats(min_value=1e-12, max_value=1e3))
+    def test_in_unit_interval(self, dt, tau):
+        f = float(switched_fraction(dt, tau))
+        assert 0.0 <= f <= 1.0
+
+    def test_monotone_in_dt(self):
+        fs = [float(switched_fraction(dt, 1e-6))
+              for dt in (1e-8, 1e-7, 1e-6, 1e-5)]
+        assert all(a < b for a, b in zip(fs, fs[1:]))
+
+    def test_infinite_tau_no_switching(self):
+        assert float(switched_fraction(1.0, np.inf)) == 0.0
+
+    def test_exact_exponential(self):
+        assert float(switched_fraction(1e-6, 1e-6)) == pytest.approx(
+            1 - np.exp(-1))
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(DeviceError):
+            switched_fraction(-1.0, 1e-6)
+
+
+class TestPulseSwitching:
+    def test_monotone_in_width(self):
+        widths = np.logspace(-8, -3, 8)
+        dps = [pulse_switched_polarization(FAB_HZO, 3.0, w)
+               for w in widths]
+        assert all(a <= b + 1e-12 for a, b in zip(dps, dps[1:]))
+
+    def test_monotone_in_amplitude(self):
+        dps = [pulse_switched_polarization(FAB_HZO, a, 1e-6)
+               for a in (1.5, 2.0, 2.5, 3.0)]
+        assert all(a <= b + 1e-12 for a, b in zip(dps, dps[1:]))
+
+    def test_saturates_at_2ps(self):
+        dp = pulse_switched_polarization(FAB_HZO, 3.5, 1e-2)
+        assert dp == pytest.approx(2 * FAB_HZO.ps, rel=1e-3)
+
+    def test_negative_amplitude_symmetric(self):
+        pos = pulse_switched_polarization(FAB_HZO, 3.0, 1e-5)
+        neg = pulse_switched_polarization(FAB_HZO, -3.0, 1e-5)
+        assert neg == pytest.approx(pos, rel=1e-6)
+
+
+class TestFullSwitchPulse:
+    def test_paper_300ns_claim(self):
+        t = minimum_full_switch_pulse(FAB_HZO, 3.0)
+        assert t < 300e-9
+
+    def test_lower_voltage_needs_longer(self):
+        t3 = minimum_full_switch_pulse(FAB_HZO, 3.0)
+        t2 = minimum_full_switch_pulse(FAB_HZO, 2.0)
+        assert t2 > t3
+
+    def test_unreachable_returns_inf(self):
+        assert minimum_full_switch_pulse(FAB_HZO, 0.5) == float("inf")
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(DeviceError):
+            minimum_full_switch_pulse(FAB_HZO, 3.0, fraction=1.5)

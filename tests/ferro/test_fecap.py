@@ -1,0 +1,83 @@
+"""FeCap circuit-element tests: companion model, writes, conservation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.ferro.fecap import FeCapacitor
+from repro.ferro.materials import NVDRAM_CAL
+from repro.spice import PWL, Circuit, Resistor, TransientSolver, VoltageSource
+
+
+def _drive_circuit(initial_state=0.0):
+    ckt = Circuit("fe")
+    ckt.add(VoltageSource("vin", "in", "0", 0.0))
+    ckt.add(Resistor("rs", "in", "top", 1e3))
+    cap = FeCapacitor("fe1", "top", "0", NVDRAM_CAL.scaled(n_domains=16),
+                      initial_state=initial_state)
+    ckt.add(cap)
+    return ckt, cap
+
+
+class TestWritesThroughCircuit:
+    def test_positive_write_stores_one(self):
+        ckt, cap = _drive_circuit()
+        ckt.component("vin").waveform = PWL([(0, 0), (1e-9, 1.5)])
+        TransientSolver(ckt).run(100e-9, 5e-10)
+        assert cap.stored_bit() == 1
+        assert cap.polarization() > 0.5 * cap.bank.ps
+
+    def test_negative_write_stores_zero(self):
+        ckt, cap = _drive_circuit(initial_state=1.0)
+        ckt.component("vin").waveform = PWL([(0, 0), (1e-9, -1.5)])
+        TransientSolver(ckt).run(100e-9, 5e-10)
+        assert cap.stored_bit() == 0
+
+    def test_charge_conservation(self):
+        # Integral of source current equals the capacitor charge change.
+        ckt, cap = _drive_circuit()
+        q_start = cap.bank.charge(0.0)
+        ckt.component("vin").waveform = PWL([(0, 0), (1e-9, 1.5)])
+        result = TransientSolver(ckt).run(100e-9, 2e-10)
+        q_in = -result.integrate(result.i("vin"))
+        v_end = result.v("top")[-1]
+        q_end = cap.bank.charge(v_end)
+        assert q_in == pytest.approx(q_end - q_start, rel=0.05)
+
+    def test_small_read_preserves_state(self):
+        ckt, cap = _drive_circuit(initial_state=-1.0)
+        ckt.component("vin").waveform = PWL(
+            [(0, 0), (1e-9, 0.3), (50e-9, 0.3), (51e-9, 0.0)])
+        TransientSolver(ckt).run(60e-9, 5e-10)
+        assert cap.stored_bit() == 0
+
+
+class TestHelpers:
+    def test_write_state_validates(self):
+        _, cap = _drive_circuit()
+        with pytest.raises(DeviceError):
+            cap.write_state(2)
+
+    def test_write_state_sets_polarization(self):
+        _, cap = _drive_circuit()
+        cap.write_state(1)
+        assert cap.polarization_uc_cm2() == pytest.approx(
+            cap.bank.ps * 1e2)
+
+    def test_reset_terminal_rebases(self):
+        _, cap = _drive_circuit()
+        cap.v_prev = 1.0
+        cap.reset_terminal()
+        assert cap.v_prev == 0.0
+        assert cap._q_prev == pytest.approx(cap.bank.charge(0.0))
+
+    def test_initial_state_applied(self):
+        cap = FeCapacitor("f", "a", "b", NVDRAM_CAL, initial_state=-1.0)
+        assert cap.stored_bit() == 0
+
+    def test_trial_charge_does_not_mutate(self):
+        _, cap = _drive_circuit()
+        state_before = cap.bank.snapshot()
+        cap.begin_step(1e-9, 1e-9)
+        cap._trial_charge(1.0, 1e-9)
+        assert np.array_equal(cap.bank.s, state_before)

@@ -1,0 +1,75 @@
+"""Material parameter-set tests."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.ferro.materials import FAB_HZO, NVDRAM_CAL, UC_PER_CM2, FerroMaterial
+
+
+class TestPresets:
+    def test_fab_pr_matches_paper(self):
+        assert FAB_HZO.ps * UC_PER_CM2 == pytest.approx(22.3)
+
+    def test_presets_validate(self):
+        for preset in (FAB_HZO, NVDRAM_CAL):
+            assert preset.vc_mean > 0
+            assert preset.n_domains >= 2
+
+    def test_linear_capacitance_formula(self):
+        eps0 = 8.8541878128e-12
+        expected = (eps0 * NVDRAM_CAL.eps_r * NVDRAM_CAL.area
+                    / NVDRAM_CAL.thickness)
+        assert NVDRAM_CAL.linear_capacitance == pytest.approx(expected)
+
+    def test_full_switching_charge(self):
+        assert FAB_HZO.full_switching_charge == pytest.approx(
+            2 * 0.223 * FAB_HZO.area)
+
+    def test_scaled_override(self):
+        scaled = FAB_HZO.scaled(n_domains=8)
+        assert scaled.n_domains == 8
+        assert scaled.ps == FAB_HZO.ps
+
+
+class TestTemperatureLaws:
+    def test_vc_decreases_with_temperature(self):
+        assert FAB_HZO.vc_at(390.0) < FAB_HZO.vc_at(300.0)
+
+    def test_vc_at_reference_unchanged(self):
+        assert FAB_HZO.vc_at(300.0) == pytest.approx(FAB_HZO.vc_mean)
+
+    def test_ps_nearly_constant(self):
+        drop = 1 - FAB_HZO.ps_at(390.0) / FAB_HZO.ps
+        assert 0 < drop < 0.05
+
+    def test_vc_clamped_at_extreme_temperature(self):
+        assert FAB_HZO.vc_at(5000.0) > 0
+
+
+class TestValidation:
+    def _base(self, **over):
+        kwargs = dict(name="x", ps=0.2, vc_mean=1.0, vc_sigma=0.2,
+                      tau0=1e-8, merz_n=2.0, activation_scale=3.0,
+                      chi_nl=0.05, v_nl=1.5, eps_r=30.0, thickness=1e-8,
+                      area=1e-12)
+        kwargs.update(over)
+        return FerroMaterial(**kwargs)
+
+    def test_valid_base(self):
+        assert self._base().ps == 0.2
+
+    def test_rejects_bad_ps(self):
+        with pytest.raises(DeviceError):
+            self._base(ps=0.0)
+
+    def test_rejects_bad_tau0(self):
+        with pytest.raises(DeviceError):
+            self._base(tau0=-1.0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(DeviceError):
+            self._base(thickness=0.0)
+
+    def test_rejects_too_few_domains(self):
+        with pytest.raises(DeviceError):
+            self._base(n_domains=1)

@@ -1,0 +1,181 @@
+"""Domain-bank (Preisach) invariants and behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError
+from repro.ferro.materials import FAB_HZO, NVDRAM_CAL, UC_PER_CM2
+from repro.ferro.preisach import DomainBank
+
+
+def _bank(material=FAB_HZO, **kwargs) -> DomainBank:
+    return DomainBank(material, **kwargs)
+
+
+class TestStateInvariants:
+    def test_virgin_polarization_zero(self):
+        assert _bank().polarization() == pytest.approx(0.0)
+
+    def test_set_uniform_saturates(self):
+        bank = _bank()
+        bank.set_uniform(1.0)
+        assert bank.polarization() == pytest.approx(bank.ps)
+
+    def test_set_uniform_validates(self):
+        with pytest.raises(DeviceError):
+            _bank().set_uniform(1.5)
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-4.0, max_value=4.0),
+        st.floats(min_value=1e-9, max_value=1e-3)), min_size=1,
+        max_size=12))
+    def test_polarization_always_bounded(self, pulses):
+        bank = _bank(NVDRAM_CAL)
+        for voltage, dt in pulses:
+            bank.apply_voltage(voltage, dt)
+            assert abs(bank.polarization()) <= bank.ps * (1 + 1e-9)
+            assert np.all(np.abs(bank.s) <= 1 + 1e-12)
+
+    def test_snapshot_restore_roundtrip(self):
+        bank = _bank()
+        bank.apply_voltage(2.0, 1e-5)
+        snap = bank.snapshot()
+        p_before = bank.polarization()
+        bank.apply_voltage(-3.0, 1e-4)
+        bank.restore(snap)
+        assert bank.polarization() == pytest.approx(p_before)
+
+    def test_restore_validates_shape(self):
+        bank = _bank()
+        with pytest.raises(DeviceError):
+            bank.restore(np.zeros(3))
+
+    def test_zero_voltage_is_identity(self):
+        bank = _bank()
+        bank.apply_voltage(2.5, 1e-5)
+        p = bank.polarization()
+        bank.apply_voltage(0.0, 1.0)
+        assert bank.polarization() == pytest.approx(p)
+
+    def test_evolved_state_is_pure(self):
+        bank = _bank()
+        before = bank.snapshot()
+        bank.evolved_state(3.0, 1e-3)
+        assert np.array_equal(bank.s, before)
+
+
+class TestSwitching:
+    def test_saturating_pulse_poles_fully(self):
+        bank = _bank()
+        bank.apply_voltage(3.5, 1e-3)
+        assert bank.polarization() == pytest.approx(bank.ps, rel=1e-3)
+
+    def test_opposite_pulse_reverses(self):
+        bank = _bank()
+        bank.apply_voltage(3.5, 1e-3)
+        bank.apply_voltage(-3.5, 1e-3)
+        assert bank.polarization() == pytest.approx(-bank.ps, rel=1e-3)
+
+    def test_small_voltage_negligible_switching(self):
+        bank = _bank()
+        bank.set_uniform(-1.0)
+        bank.apply_voltage(0.3, 1e-6)
+        assert bank.polarization() == pytest.approx(-bank.ps, rel=1e-3)
+
+    def test_aligned_read_no_switching(self):
+        # Reading with the field parallel to polarization changes nothing.
+        bank = _bank(NVDRAM_CAL)
+        bank.set_uniform(1.0)
+        p = bank.polarization()
+        bank.apply_voltage(0.6, 1e-7)
+        assert bank.polarization() == pytest.approx(p, abs=1e-6)
+
+    def test_opposing_read_partial_switching(self):
+        # QNRO asymmetry: a stored '0' loses a little polarization.
+        bank = _bank(NVDRAM_CAL)
+        bank.set_uniform(-1.0)
+        bank.apply_voltage(0.6, 1e-7)
+        delta = bank.polarization() + bank.ps
+        assert 0 < delta < 0.4 * bank.ps
+
+    def test_accumulative_disturb_monotone(self):
+        bank = _bank(NVDRAM_CAL)
+        bank.set_uniform(-1.0)
+        history = []
+        for _ in range(10):
+            history.append(bank.apply_voltage(0.6, 1e-7))
+        assert all(a <= b + 1e-15 for a, b in zip(history, history[1:]))
+
+
+class TestChargeModel:
+    def test_charge_includes_dielectric(self):
+        bank = _bank()
+        q0 = bank.charge(0.0)
+        q1 = bank.charge(1.0)
+        assert q1 > q0
+
+    def test_charge_density_at_saturation(self):
+        bank = _bank(FAB_HZO)
+        bank.apply_voltage(3.0, 1e-3)
+        q = bank.total_charge_density(3.0) * UC_PER_CM2
+        assert q == pytest.approx(38.0, rel=0.05)
+
+
+class TestLoops:
+    def test_loop_is_hysteretic(self):
+        bank = _bank()
+        v, q = bank.quasi_static_loop(3.0)
+        # At V = 0 the two branches must differ by ~2 Pr.
+        near_zero = np.abs(v) < 0.05
+        spread = q[near_zero].max() - q[near_zero].min()
+        assert spread > 1.5 * bank.ps
+
+    def test_loop_closes(self):
+        bank = _bank()
+        v1, q1 = bank.quasi_static_loop(3.0, cycles=2)
+        v2, q2 = bank.quasi_static_loop(3.0, cycles=1)
+        assert np.allclose(q1, q2, atol=0.02 * bank.ps)
+
+    def test_loop_rejects_bad_args(self):
+        with pytest.raises(DeviceError):
+            _bank().quasi_static_loop(-1.0)
+
+    def test_loop_orientation_counterclockwise(self):
+        # Going up in V the charge is lower than coming down (P lags E).
+        bank = _bank()
+        v, q = bank.quasi_static_loop(3.0)
+        dv = np.diff(v)
+        rising = q[1:][dv > 0]
+        falling = q[1:][dv < 0]
+        assert rising.mean() < falling.mean()
+
+
+class TestSamplingModes:
+    def test_quantile_sampling_deterministic(self):
+        b1, b2 = _bank(), _bank()
+        assert np.array_equal(b1.vc, b2.vc)
+
+    def test_rng_sampling_varies(self):
+        b1 = _bank(rng=np.random.default_rng(1))
+        b2 = _bank(rng=np.random.default_rng(2))
+        assert not np.array_equal(b1.vc, b2.vc)
+
+    def test_vc_shift_applies(self):
+        b1 = _bank()
+        b2 = _bank(vc_shift=0.2)
+        assert np.allclose(b2.vc - b1.vc, 0.2)
+
+    def test_temperature_scales_vc(self):
+        hot = _bank(temperature_k=390.0)
+        cold = _bank(temperature_k=300.0)
+        assert hot.vc.mean() < cold.vc.mean()
+
+    def test_apply_waveform_validates(self):
+        bank = _bank()
+        with pytest.raises(DeviceError):
+            bank.apply_waveform(np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(DeviceError):
+            bank.apply_waveform(np.array([1.0, 0.0]),
+                                np.array([0.0, 1.0]))

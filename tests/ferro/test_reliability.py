@@ -1,0 +1,140 @@
+"""Endurance, read-disturb and retention model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.ferro.materials import FAB_HZO, NVDRAM_CAL
+from repro.ferro.reliability import (
+    EnduranceModel,
+    ReadDisturbTracker,
+    endurance_sweep,
+    reads_until_disturb,
+    retention_factor,
+)
+
+
+class TestEnduranceModel:
+    def test_factor_starts_at_one(self):
+        assert EnduranceModel().factor(0) == pytest.approx(1.0)
+
+    def test_wakeup_increases_pr(self):
+        model = EnduranceModel()
+        assert model.factor(1e4) > model.factor(1.0)
+
+    def test_stable_through_1e6(self):
+        assert EnduranceModel().stable_through(1e6)
+
+    def test_fatigue_beyond_onset(self):
+        model = EnduranceModel()
+        assert model.factor(1e8) < model.factor(1e6)
+
+    def test_breakdown_zeroes(self):
+        model = EnduranceModel(n_breakdown=1e7)
+        assert model.factor(1e7) == 0.0
+
+    def test_not_stable_with_aggressive_fatigue(self):
+        model = EnduranceModel(fatigue_rate=0.5, n_fatigue=1e3)
+        assert not model.stable_through(1e6)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(DeviceError):
+            EnduranceModel().factor(-1)
+
+
+class TestEnduranceSweep:
+    def test_shapes_match(self):
+        cycles, pr_plus, pr_minus = endurance_sweep(FAB_HZO)
+        assert cycles.shape == pr_plus.shape == pr_minus.shape
+
+    def test_symmetry(self):
+        _, pr_plus, pr_minus = endurance_sweep(FAB_HZO)
+        assert np.allclose(pr_plus, -pr_minus)
+
+    def test_magnitude_near_pr(self):
+        _, pr_plus, _ = endurance_sweep(FAB_HZO)
+        assert np.all(pr_plus > 0.9 * FAB_HZO.ps)
+        assert np.all(pr_plus < 1.2 * FAB_HZO.ps)
+
+
+class TestReadDisturb:
+    def test_margin_starts_full(self):
+        tracker = ReadDisturbTracker(NVDRAM_CAL, v_read=0.6,
+                                     t_read=100e-9)
+        assert tracker.margin_remaining() == pytest.approx(1.0)
+
+    def test_margin_decreases_with_reads(self):
+        tracker = ReadDisturbTracker(NVDRAM_CAL, v_read=0.6,
+                                     t_read=100e-9)
+        margins = []
+        for _ in range(6):
+            tracker.read(4)
+            margins.append(tracker.margin_remaining())
+        assert all(a >= b - 1e-12 for a, b in zip(margins, margins[1:]))
+        assert margins[-1] < margins[0]
+
+    def test_write_resets(self):
+        tracker = ReadDisturbTracker(NVDRAM_CAL, v_read=0.6,
+                                     t_read=100e-9)
+        tracker.read(20)
+        tracker.write(0)
+        assert tracker.margin_remaining() == pytest.approx(1.0)
+        assert tracker.reads == 0
+
+    def test_validations(self):
+        with pytest.raises(DeviceError):
+            ReadDisturbTracker(NVDRAM_CAL, v_read=0.6, t_read=0.0)
+        tracker = ReadDisturbTracker(NVDRAM_CAL, v_read=0.6,
+                                     t_read=1e-7)
+        with pytest.raises(DeviceError):
+            tracker.read(0)
+        with pytest.raises(DeviceError):
+            tracker.write(5)
+
+
+class TestReadsUntilDisturb:
+    def test_multiple_reads_supported(self):
+        # The paper's QNRO claim: several reads before write-back needed.
+        count = reads_until_disturb(NVDRAM_CAL, v_read=0.6, t_read=50e-9)
+        assert count >= 10
+
+    def test_stronger_read_disturbs_sooner(self):
+        weak = reads_until_disturb(NVDRAM_CAL, v_read=0.5, t_read=50e-9)
+        strong = reads_until_disturb(NVDRAM_CAL, v_read=0.9,
+                                     t_read=50e-9)
+        assert strong < weak
+
+    def test_margin_validation(self):
+        with pytest.raises(DeviceError):
+            reads_until_disturb(NVDRAM_CAL, v_read=0.6, t_read=1e-7,
+                                margin=1.5)
+
+    def test_caps_at_max_reads(self):
+        count = reads_until_disturb(NVDRAM_CAL, v_read=0.05,
+                                    t_read=1e-9, max_reads=100)
+        assert count == 100
+
+
+class TestRetention:
+    def test_full_at_time_zero(self):
+        assert retention_factor(FAB_HZO, time_s=0.0) == 1.0
+
+    def test_decreases_with_time(self):
+        year = 365.25 * 24 * 3600
+        r1 = retention_factor(FAB_HZO, time_s=year)
+        r10 = retention_factor(FAB_HZO, time_s=10 * year)
+        assert r10 < r1
+
+    def test_ten_year_retention_at_85c(self):
+        ten_years = 10 * 365.25 * 24 * 3600
+        assert retention_factor(FAB_HZO, time_s=ten_years,
+                                temperature_k=358.0) > 0.9
+
+    def test_hotter_is_worse(self):
+        t = 3600.0 * 24 * 365
+        assert retention_factor(FAB_HZO, time_s=t, temperature_k=450.0) \
+            < retention_factor(FAB_HZO, time_s=t, temperature_k=300.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(DeviceError):
+            retention_factor(FAB_HZO, time_s=-1.0)

@@ -1,0 +1,80 @@
+"""Temperature-dependence tests (Fig. 4(e) behaviour, §VII stability)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.ferro.materials import FAB_HZO, UC_PER_CM2
+from repro.ferro.thermal_response import (
+    check_thermal_stability,
+    loop_metrics,
+    pv_loop_at_temperature,
+    temperature_family,
+)
+
+
+class TestLoops:
+    def test_loop_crosses_zero(self):
+        v, q = pv_loop_at_temperature(FAB_HZO, 300.0)
+        assert q.min() < 0 < q.max()
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(DeviceError):
+            pv_loop_at_temperature(FAB_HZO, -5.0)
+
+    def test_metrics_extraction(self):
+        v, q = pv_loop_at_temperature(FAB_HZO, 300.0)
+        metrics = loop_metrics(v, q)
+        assert metrics["pr_plus"] > 0 > metrics["pr_minus"]
+        assert metrics["vc_plus"] > 0 > metrics["vc_minus"]
+
+    def test_metrics_on_synthetic_loop(self):
+        # A synthetic square-ish loop with known Pr and Vc.
+        v = np.concatenate([np.linspace(-3, 3, 100),
+                            np.linspace(3, -3, 100)])
+        q = np.where(np.diff(v, prepend=v[0] - 1e-9) > 0,
+                     np.tanh(2 * (v - 1.0)), np.tanh(2 * (v + 1.0)))
+        metrics = loop_metrics(v, q)
+        assert metrics["vc_plus"] == pytest.approx(1.0, abs=0.1)
+        assert metrics["pr_plus"] == pytest.approx(np.tanh(2.0), abs=0.05)
+
+    def test_metrics_validate_input(self):
+        with pytest.raises(DeviceError):
+            loop_metrics(np.zeros(4), np.zeros(4))
+
+
+class TestFamily:
+    def test_paper_pr(self):
+        family = temperature_family(FAB_HZO)
+        assert family[300.0]["pr_plus"] * UC_PER_CM2 == pytest.approx(
+            22.3, rel=0.03)
+
+    def test_vc_monotone_decreasing(self):
+        family = temperature_family(FAB_HZO)
+        vcs = [family[t]["vc_plus"] for t in sorted(family)]
+        assert all(a > b for a, b in zip(vcs, vcs[1:]))
+
+    def test_pr_nearly_constant(self):
+        family = temperature_family(FAB_HZO)
+        prs = [family[t]["pr_plus"] for t in sorted(family)]
+        assert max(prs) / min(prs) < 1.05
+
+
+class TestStability:
+    def test_stable_at_operating_peak(self):
+        report = check_thermal_stability(FAB_HZO, 351.88)
+        assert report.stable
+        assert report.pr_fraction > 0.95
+
+    def test_unstable_near_curie(self):
+        report = check_thermal_stability(FAB_HZO, 0.95 * FAB_HZO.t_curie)
+        assert not report.stable
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(DeviceError):
+            check_thermal_stability(FAB_HZO, 0.0)
+
+    def test_report_fields(self):
+        report = check_thermal_stability(FAB_HZO, 330.0)
+        assert report.temperature_k == 330.0
+        assert 0 < report.vc_fraction <= 1.0

@@ -1,0 +1,103 @@
+"""Area and density model tests (§V anchors)."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.integration.area import (
+    area_report,
+    planar_cell_area_f2,
+    planar_cell_area_nm2,
+    vertical_cell_area_nm2,
+    vertical_reduction_factor,
+)
+from repro.integration.density import density_comparison
+from repro.integration.stack3d import FIG7_DIE, StackedDie, VerticalString
+
+
+class TestAreaAnchors:
+    def test_2t1c_is_30f2(self):
+        assert planar_cell_area_f2(1) == 30.0
+
+    def test_2t3c_is_90f2(self):
+        assert planar_cell_area_f2(3) == 90.0
+
+    def test_planar_nm2_at_28nm(self):
+        assert planar_cell_area_nm2(3) == pytest.approx(90 * 784)
+
+    def test_vertical_footprint(self):
+        assert vertical_cell_area_nm2() == pytest.approx(16900)
+
+    def test_paper_reduction_factor(self):
+        assert vertical_reduction_factor(3) == pytest.approx(4.18,
+                                                             abs=0.01)
+
+    def test_reduction_grows_with_caps(self):
+        assert vertical_reduction_factor(4) > vertical_reduction_factor(3)
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            planar_cell_area_f2(0)
+        with pytest.raises(ArchitectureError):
+            planar_cell_area_nm2(3, f_nm=0.0)
+        with pytest.raises(ArchitectureError):
+            vertical_cell_area_nm2(footprint_nm=-1.0)
+
+    def test_report_per_bit(self):
+        report = area_report(3)
+        assert report.planar_nm2_per_bit == pytest.approx(70560 / 3)
+        assert report.vertical_nm2_per_bit == pytest.approx(16900 / 3)
+
+
+class TestVerticalString:
+    def test_layers_n_plus_2(self):
+        assert VerticalString(n_caps=3).n_layers == 5
+
+    def test_layer_names(self):
+        names = VerticalString(n_caps=3).layer_names()
+        assert names == ["T_R", "C1", "C2", "C3", "T_W"]
+
+    def test_bits_per_string(self):
+        assert VerticalString(n_caps=3).bits == 3
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            VerticalString(n_caps=0)
+
+
+class TestStackedDie:
+    def test_fig7_capacity_near_2gb(self):
+        assert FIG7_DIE.capacity_gb == pytest.approx(2.0, rel=0.1)
+
+    def test_capacity_scales_with_area(self):
+        double = StackedDie(width_mm=28.4, height_mm=10.65)
+        assert double.capacity_bits == pytest.approx(
+            2 * FIG7_DIE.capacity_bits, rel=0.01)
+
+    def test_periphery_reduces_capacity(self):
+        lean = StackedDie(width_mm=14.2, height_mm=10.65,
+                          periphery_overhead=0.0)
+        assert lean.capacity_bits > FIG7_DIE.capacity_bits
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            StackedDie(width_mm=0.0, height_mm=1.0)
+
+
+class TestDensity:
+    def test_single_deck_gain_matches_area(self):
+        assert density_comparison(3).storage_gain == pytest.approx(
+            4.18, abs=0.01)
+
+    def test_decks_multiply(self):
+        d1 = density_comparison(3, n_decks=1)
+        d4 = density_comparison(3, n_decks=4)
+        assert d4.storage_gain == pytest.approx(4 * d1.storage_gain)
+
+    def test_compute_gain_equals_cell_gain(self):
+        d = density_comparison(3)
+        assert d.compute_gain == pytest.approx(
+            d.storage_gain)
+
+    def test_validates_decks(self):
+        with pytest.raises(ArchitectureError):
+            density_comparison(3, n_decks=0)

@@ -1,0 +1,86 @@
+"""Unit tests for the netlist container."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.spice import Circuit, Resistor, VoltageSource
+
+
+def _divider() -> Circuit:
+    ckt = Circuit("div")
+    ckt.add(VoltageSource("vin", "in", "0", 1.0))
+    ckt.add(Resistor("r1", "in", "mid", 1e3))
+    ckt.add(Resistor("r2", "mid", "gnd", 1e3))
+    return ckt
+
+
+class TestConstruction:
+    def test_nodes_created_implicitly(self):
+        ckt = _divider()
+        assert set(ckt.node_names) == {"in", "mid"}
+
+    def test_ground_aliases_are_not_nodes(self):
+        ckt = _divider()
+        assert "0" not in ckt.node_names
+        assert "gnd" not in ckt.node_names
+
+    def test_duplicate_name_rejected(self):
+        ckt = Circuit()
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        with pytest.raises(CircuitError, match="duplicate"):
+            ckt.add(Resistor("r1", "b", "0", 1.0))
+
+    def test_add_after_freeze_rejected(self):
+        ckt = _divider().freeze()
+        with pytest.raises(CircuitError, match="frozen"):
+            ckt.add(Resistor("r3", "x", "0", 1.0))
+
+    def test_len_counts_components(self):
+        assert len(_divider()) == 3
+
+    def test_contains(self):
+        ckt = _divider()
+        assert "r1" in ckt
+        assert "nope" not in ckt
+
+
+class TestFreeze:
+    def test_freeze_assigns_indices(self):
+        ckt = _divider().freeze()
+        r1 = ckt.component("r1")
+        assert r1.node_index == (ckt.node_id("in"), ckt.node_id("mid"))
+
+    def test_ground_index_is_minus_one(self):
+        ckt = _divider().freeze()
+        r2 = ckt.component("r2")
+        assert r2.node_index[1] == -1
+
+    def test_branch_indices_after_nodes(self):
+        ckt = _divider().freeze()
+        vin = ckt.component("vin")
+        assert vin.branch_index == (ckt.n_nodes,)
+
+    def test_n_unknowns(self):
+        ckt = _divider().freeze()
+        assert ckt.n_unknowns == 2 + 1
+
+    def test_n_unknowns_requires_freeze(self):
+        with pytest.raises(CircuitError, match="freeze"):
+            _ = _divider().n_unknowns
+
+    def test_freeze_is_idempotent(self):
+        ckt = _divider().freeze()
+        assert ckt.freeze() is ckt
+
+    def test_unknown_node_raises(self):
+        ckt = _divider().freeze()
+        with pytest.raises(CircuitError, match="unknown node"):
+            ckt.node_id("missing")
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(CircuitError, match="unknown component"):
+            _divider().component("nope")
+
+    def test_repr_mentions_counts(self):
+        text = repr(_divider())
+        assert "components=3" in text

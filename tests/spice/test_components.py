@@ -1,0 +1,95 @@
+"""Component validation and stamp-behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    TransientSolver,
+    VoltageControlledSwitch,
+    VoltageSource,
+)
+
+
+class TestValidation:
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(CircuitError):
+            Resistor("r", "a", "b", 0.0)
+
+    def test_capacitor_rejects_nonpositive(self):
+        with pytest.raises(CircuitError):
+            Capacitor("c", "a", "b", -1e-12)
+
+    def test_switch_rejects_bad_resistances(self):
+        with pytest.raises(CircuitError):
+            VoltageControlledSwitch("s", "a", "b", "c", r_on=10.0,
+                                    r_off=1.0)
+
+    def test_component_requires_name(self):
+        with pytest.raises(CircuitError):
+            Resistor("", "a", "b", 1.0)
+
+
+class TestResistorCurrent:
+    def test_current_helper(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 2.0))
+        r = ckt.add(Resistor("r", "a", "0", 1e3))
+        result = TransientSolver(ckt).run(1e-9, 1e-10)
+        x = result.state_at(1e-9)
+        assert r.current(x) == pytest.approx(2e-3, rel=1e-6)
+
+
+class TestCapacitorState:
+    def test_ic_sets_initial_charge(self):
+        c = Capacitor("c", "a", "0", 1e-9, ic=1.5)
+        assert c.charge() == pytest.approx(1.5e-9)
+
+    def test_commit_updates_voltage(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 1.0))
+        c = ckt.add(Capacitor("c", "a", "0", 1e-12))
+        TransientSolver(ckt).run(1e-9, 1e-11)
+        assert c.v_prev == pytest.approx(1.0, rel=1e-3)
+
+
+class TestSwitchConductance:
+    def test_off_conductance(self):
+        s = VoltageControlledSwitch("s", "a", "b", "c", r_on=100.0,
+                                    r_off=1e12)
+        assert s.conductance(0.0) == pytest.approx(1e-12, rel=1e-3)
+
+    def test_on_conductance(self):
+        s = VoltageControlledSwitch("s", "a", "b", "c", r_on=100.0,
+                                    r_off=1e12)
+        assert s.conductance(1.5) == pytest.approx(1e-2, rel=1e-3)
+
+    def test_monotone_transition(self):
+        s = VoltageControlledSwitch("s", "a", "b", "c", r_on=100.0,
+                                    r_off=1e12)
+        voltages = np.linspace(0.0, 1.5, 40)
+        g = [s.conductance(v) for v in voltages]
+        assert all(a <= b * (1 + 1e-12) for a, b in zip(g, g[1:]))
+
+
+class TestAmmeterConvention:
+    def test_zero_volt_source_measures_current(self):
+        # 1 V across 1 kOhm with a 0 V ammeter in series: i = 1 mA.
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 1.0))
+        ckt.add(Resistor("r", "a", "m", 1e3))
+        ckt.add(VoltageSource("amm", "m", "0", 0.0))
+        result = TransientSolver(ckt).run(1e-9, 1e-10)
+        assert result.i("amm")[-1] == pytest.approx(1e-3, rel=1e-6)
+
+    def test_driving_source_current_is_negative(self):
+        # SPICE convention: the source driving current out of its +
+        # terminal reads a negative branch current.
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 1.0))
+        ckt.add(Resistor("r", "a", "0", 1e3))
+        result = TransientSolver(ckt).run(1e-9, 1e-10)
+        assert result.i("v")[-1] == pytest.approx(-1e-3, rel=1e-6)

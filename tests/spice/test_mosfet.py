@@ -1,0 +1,156 @@
+"""MOSFET model tests: regions, symmetry, derivatives, parameter sets."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError
+from repro.spice import (
+    FAB_NMOS,
+    PTM45_NMOS,
+    PTM45_PMOS,
+    Circuit,
+    Mosfet,
+    MosfetParams,
+    Resistor,
+    TransientSolver,
+    VoltageSource,
+    subthreshold_swing_mv_per_dec,
+)
+
+
+def _nmos() -> Mosfet:
+    return Mosfet("m", "d", "g", "s", PTM45_NMOS)
+
+
+class TestRegions:
+    def test_off_current_small(self):
+        assert _nmos().ids(0.0, 1.0) < 1e-8
+
+    def test_on_current_large(self):
+        assert _nmos().ids(1.0, 1.0) > 1e-5
+
+    def test_monotone_in_vgs(self):
+        m = _nmos()
+        currents = [m.ids(v, 1.0) for v in (0.0, 0.3, 0.5, 0.7, 1.0)]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+
+    def test_monotone_in_vds(self):
+        m = _nmos()
+        currents = [m.ids(1.0, v) for v in (0.05, 0.2, 0.5, 1.0)]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+
+    def test_subthreshold_slope(self):
+        m = _nmos()
+        i1 = m.ids(0.20, 1.0)
+        i2 = m.ids(0.30, 1.0)
+        decades = math.log10(i2 / i1)
+        ss_mv = 100.0 / decades
+        assert ss_mv == pytest.approx(
+            subthreshold_swing_mv_per_dec(PTM45_NMOS), rel=0.12)
+
+    def test_saturation_square_law(self):
+        # In saturation ID ~ (VGS-VT)^2: doubling overdrive ~ 4x current.
+        m = _nmos()
+        p = PTM45_NMOS
+        i1 = m.ids(p.vt + 0.2, 1.2)
+        i2 = m.ids(p.vt + 0.4, 1.2)
+        assert i2 / i1 == pytest.approx(4.0, rel=0.25)
+
+    def test_zero_vds_zero_current(self):
+        assert _nmos().ids(1.0, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSymmetryAndPolarity:
+    def test_reverse_vds_negative_current(self):
+        m = _nmos()
+        assert m.ids(1.0, -0.5) < 0.0
+
+    def test_source_drain_swap_antisymmetry(self):
+        # With gate referenced halfway, I(vds) = -I(-vds).
+        m = _nmos()
+        vg, vd = 1.0, 0.4
+        forward = m.ids(vg, vd)
+        swapped = m.ids(vg - vd, -vd)
+        assert swapped == pytest.approx(-forward, rel=1e-6)
+
+    def test_pmos_conducts_with_negative_vgs(self):
+        mp = Mosfet("mp", "d", "g", "s", PTM45_PMOS)
+        on = mp.ids(-1.0, -1.0)
+        off = mp.ids(0.4, -1.0)
+        assert on < 0.0
+        assert abs(on) > 100 * abs(off)
+
+    def test_pmos_current_sign(self):
+        mp = Mosfet("mp", "d", "g", "s", PTM45_PMOS)
+        assert mp.ids(-1.0, -0.5) < 0.0
+
+
+class TestDerivatives:
+    @given(st.floats(min_value=-0.2, max_value=1.2),
+           st.floats(min_value=-1.0, max_value=1.2))
+    def test_analytic_partials_match_finite_difference(self, vgs, vds):
+        m = _nmos()
+        _, dig, did = m._ids_and_derivs(vgs, vds)
+        h = 1e-6
+        fd_g = (m.ids(vgs + h, vds) - m.ids(vgs - h, vds)) / (2 * h)
+        fd_d = (m.ids(vgs, vds + h) - m.ids(vgs, vds - h)) / (2 * h)
+        assert dig == pytest.approx(fd_g, rel=1e-3, abs=1e-12)
+        assert did == pytest.approx(fd_d, rel=1e-3, abs=1e-12)
+
+
+class TestParams:
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(DeviceError):
+            MosfetParams(polarity=2, vt=0.4, kp=1e-4, n=1.5, lam=0.1,
+                         w=1e-6, l=1e-6)
+
+    def test_rejects_bad_vt(self):
+        with pytest.raises(DeviceError):
+            MosfetParams(polarity=1, vt=-0.4, kp=1e-4, n=1.5, lam=0.1,
+                         w=1e-6, l=1e-6)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(DeviceError):
+            MosfetParams(polarity=1, vt=0.4, kp=1e-4, n=1.5, lam=0.1,
+                         w=0.0, l=1e-6)
+
+    def test_scaled_override(self):
+        p = PTM45_NMOS.scaled(w=180e-9)
+        assert p.w == 180e-9
+        assert p.vt == PTM45_NMOS.vt
+
+    def test_fab_device_ss(self):
+        assert subthreshold_swing_mv_per_dec(FAB_NMOS) == pytest.approx(
+            110.0, rel=0.01)
+
+    def test_fab_device_onoff(self):
+        m = Mosfet("m", "d", "g", "s", FAB_NMOS)
+        on = m.ids(3.0, 0.1)
+        off = m.ids(-1.0, 0.1)
+        assert on / off == pytest.approx(1e7, rel=0.3)
+
+
+class TestInCircuit:
+    def test_common_source_inverter(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("vdd", "vdd", "0", 1.0))
+        ckt.add(VoltageSource("vg", "g", "0", 1.0))
+        ckt.add(Resistor("rl", "vdd", "d", 1e4))
+        ckt.add(Mosfet("m1", "d", "g", "0", PTM45_NMOS))
+        result = TransientSolver(ckt).run(1e-8, 1e-10)
+        # Strong gate drive pulls the drain low through the load.
+        assert result.v("d")[-1] < 0.3
+
+    def test_source_follower_level(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("vdd", "vdd", "0", 1.5))
+        ckt.add(VoltageSource("vg", "g", "0", 1.2))
+        ckt.add(Mosfet("m1", "vdd", "g", "s", PTM45_NMOS))
+        ckt.add(Resistor("rl", "s", "0", 1e5))
+        result = TransientSolver(ckt).run(1e-8, 1e-10)
+        v_s = result.v("s")[-1]
+        # Output sits roughly a VT below the gate.
+        assert 0.3 < v_s < 1.0

@@ -1,0 +1,180 @@
+"""Transient solver accuracy and robustness tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.spice import (
+    PWL,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Resistor,
+    Sinusoid,
+    SolverOptions,
+    TransientSolver,
+    VoltageControlledSwitch,
+    VoltageSource,
+)
+
+
+def _rc_circuit(r=1e3, c=1e-9):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("vin", "in", "0", PWL([(0, 0.0), (1e-12, 1.0)])))
+    ckt.add(Resistor("r1", "in", "out", r))
+    ckt.add(Capacitor("c1", "out", "0", c))
+    return ckt
+
+
+class TestRCAccuracy:
+    def test_rc_step_response_matches_analytic(self):
+        tau = 1e-6
+        result = TransientSolver(_rc_circuit()).run(5 * tau, tau / 200)
+        for frac in (0.5, 1.0, 2.0, 3.0):
+            expected = 1.0 - math.exp(-frac)
+            assert result.v_at("out", frac * tau) == pytest.approx(
+                expected, abs=5e-3)
+
+    def test_rc_final_value(self):
+        result = TransientSolver(_rc_circuit()).run(1e-5, 1e-8)
+        assert result.v("out")[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_source_current_decays(self):
+        result = TransientSolver(_rc_circuit()).run(1e-5, 1e-8)
+        i = result.i("vin")
+        # Current enters the + terminal: charging current is negative.
+        assert abs(i[-1]) < abs(i[1])
+
+    def test_charge_conservation(self):
+        ckt = _rc_circuit()
+        result = TransientSolver(ckt).run(1e-5, 1e-8)
+        # integral of current through source == stored charge on cap
+        q_in = -result.integrate(result.i("vin"))
+        c1 = ckt.component("c1")
+        assert q_in == pytest.approx(c1.charge(), rel=2e-2)
+
+    def test_sine_steady_state_amplitude(self):
+        # RC low-pass driven far above its corner: |H| = 1/sqrt(1+(wRC)^2)
+        ckt = Circuit("lp")
+        freq = 1e6
+        ckt.add(VoltageSource("vin", "in", "0",
+                              Sinusoid(0.0, 1.0, freq)))
+        ckt.add(Resistor("r1", "in", "out", 1e3))
+        ckt.add(Capacitor("c1", "out", "0", 1e-9))
+        result = TransientSolver(ckt).run(8e-6, 2e-9)
+        w = 2 * math.pi * freq
+        expected = 1.0 / math.sqrt(1.0 + (w * 1e3 * 1e-9) ** 2)
+        tail = result.v("out")[result.times > 5e-6]
+        assert np.max(np.abs(tail)) == pytest.approx(expected, rel=0.05)
+
+
+class TestDividerAndSources:
+    def test_resistive_divider(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 2.0))
+        ckt.add(Resistor("r1", "a", "b", 1e3))
+        ckt.add(Resistor("r2", "b", "0", 3e3))
+        result = TransientSolver(ckt).run(1e-9, 1e-10)
+        assert result.v("b")[-1] == pytest.approx(1.5, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit()
+        ckt.add(CurrentSource("i1", "0", "n", 1e-3))
+        ckt.add(Resistor("r1", "n", "0", 1e3))
+        result = TransientSolver(ckt).run(1e-9, 1e-10)
+        assert result.v("n")[-1] == pytest.approx(1.0, rel=1e-6)
+
+    def test_switch_transition(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("vdd", "vdd", "0", 1.5))
+        ckt.add(VoltageSource("vc", "ctl", "0",
+                              PWL([(0, 0.0), (5e-9, 0.0), (6e-9, 1.5)])))
+        ckt.add(VoltageControlledSwitch("s1", "vdd", "out", "ctl",
+                                        r_on=100.0, r_off=1e12))
+        ckt.add(Resistor("rl", "out", "0", 1e4))
+        result = TransientSolver(ckt).run(2e-8, 1e-10)
+        assert result.v_at("out", 4e-9) < 1e-3
+        assert result.v_at("out", 1.8e-8) == pytest.approx(
+            1.5 * 1e4 / (1e4 + 100), rel=1e-3)
+
+
+class TestSolverOptionsAndErrors:
+    def test_rejects_bad_tstop(self):
+        with pytest.raises(CircuitError):
+            TransientSolver(_rc_circuit()).run(0.0, 1e-9)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(CircuitError):
+            TransientSolver(_rc_circuit()).run(1e-6, 0.0)
+
+    def test_rejects_bad_record_every(self):
+        with pytest.raises(CircuitError):
+            TransientSolver(_rc_circuit()).run(1e-6, 1e-9, record_every=0)
+
+    def test_record_every_thins_output(self):
+        full = TransientSolver(_rc_circuit()).run(1e-6, 1e-9)
+        thin = TransientSolver(_rc_circuit()).run(1e-6, 1e-9,
+                                                  record_every=10)
+        assert len(thin) < len(full) / 5
+
+    def test_final_time_always_recorded(self):
+        result = TransientSolver(_rc_circuit()).run(1e-6, 1e-9,
+                                                    record_every=7)
+        assert result.times[-1] == pytest.approx(1e-6, rel=1e-9)
+
+    def test_initial_conditions_applied(self):
+        ckt = Circuit()
+        ckt.add(Resistor("r1", "n", "0", 1e6))
+        ckt.add(Capacitor("c1", "n", "0", 1e-9, ic=2.0))
+        solver = TransientSolver(ckt)
+        result = solver.run(1e-6, 1e-8, initial_conditions={"n": 2.0})
+        # Discharges through R with tau = 1 ms >> 1 us: still ~2 V.
+        assert result.v("n")[-1] == pytest.approx(2.0, rel=1e-2)
+
+    def test_options_validation(self):
+        with pytest.raises(CircuitError):
+            SolverOptions(abstol=0.0)
+        with pytest.raises(CircuitError):
+            SolverOptions(max_newton_iters=1)
+
+    def test_callback_invoked(self):
+        seen = []
+        TransientSolver(_rc_circuit()).run(
+            1e-7, 1e-9, callback=lambda t, x: seen.append(t))
+        assert len(seen) >= 99
+
+
+class TestAnalysisHelpers:
+    def test_mean_in_window(self):
+        result = TransientSolver(_rc_circuit()).run(1e-5, 1e-8)
+        mean = result.mean_in_window(result.v("in"), 5e-6, 9e-6)
+        assert mean == pytest.approx(1.0, rel=1e-6)
+
+    def test_window_errors(self):
+        result = TransientSolver(_rc_circuit()).run(1e-6, 1e-9)
+        with pytest.raises(CircuitError):
+            result.window(1.0, 0.5)
+        with pytest.raises(CircuitError):
+            result.mean_in_window(result.v("in"), 5.0, 6.0)
+
+    def test_first_crossing_rising(self):
+        result = TransientSolver(_rc_circuit()).run(1e-5, 1e-8)
+        t_half = result.first_crossing(result.v("out"), 0.5)
+        tau = 1e-6
+        assert t_half == pytest.approx(tau * math.log(2.0), rel=0.02)
+
+    def test_first_crossing_none_when_never(self):
+        result = TransientSolver(_rc_circuit()).run(1e-6, 1e-9)
+        assert result.first_crossing(result.v("out"), 5.0) is None
+
+    def test_max_in_window(self):
+        result = TransientSolver(_rc_circuit()).run(1e-5, 1e-8)
+        assert result.max_in_window(result.v("out"), 0, 1e-5) <= 1.0
+
+    def test_i_requires_branch(self):
+        ckt = _rc_circuit()
+        result = TransientSolver(ckt).run(1e-7, 1e-9)
+        with pytest.raises(CircuitError, match="branch"):
+            result.i("r1")

@@ -1,0 +1,161 @@
+"""Unit tests for stimulus waveforms."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CircuitError
+from repro.spice.waveform import (
+    DC,
+    PWL,
+    Delayed,
+    Pulse,
+    Scaled,
+    Sinusoid,
+    Sum,
+    as_waveform,
+)
+
+
+class TestDC:
+    def test_constant_everywhere(self):
+        w = DC(1.5)
+        assert w(0.0) == 1.5
+        assert w(1e9) == 1.5
+        assert w(-1.0) == 1.5
+
+    def test_repr_mentions_value(self):
+        assert "1.5" in repr(DC(1.5))
+
+
+class TestPWL:
+    def test_interpolates_linearly(self):
+        w = PWL([(0, 0.0), (1e-9, 1.0)])
+        assert w(0.5e-9) == pytest.approx(0.5)
+
+    def test_holds_before_first_point(self):
+        w = PWL([(1e-9, 2.0), (2e-9, 3.0)])
+        assert w(0.0) == 2.0
+
+    def test_holds_after_last_point(self):
+        w = PWL([(0, 0.0), (1e-9, 1.0)])
+        assert w(5e-9) == 1.0
+
+    def test_vertical_step_takes_new_value(self):
+        w = PWL([(0, 0.0), (1e-9, 0.0), (1e-9, 5.0), (2e-9, 5.0)])
+        assert w(1.5e-9) == 5.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(CircuitError):
+            PWL([])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(CircuitError):
+            PWL([(1e-9, 0.0), (0.5e-9, 1.0)])
+
+    def test_breakpoint_times(self):
+        w = PWL([(0, 0.0), (1e-9, 1.0)])
+        assert w.breakpoint_times() == [0, 1e-9]
+
+    @given(st.floats(min_value=0.0, max_value=1e-9))
+    def test_output_bounded_by_endpoint_values(self, t):
+        w = PWL([(0, -2.0), (1e-9, 3.0)])
+        assert -2.0 <= w(t) <= 3.0
+
+
+class TestPulse:
+    def test_initial_value_before_delay(self):
+        w = Pulse(0.0, 1.5, delay=5e-9, rise=1e-10, fall=1e-10, width=1e-9)
+        assert w(0.0) == 0.0
+
+    def test_plateau_value(self):
+        w = Pulse(0.0, 1.5, rise=1e-10, fall=1e-10, width=1e-9)
+        assert w(5e-10) == pytest.approx(1.5)
+
+    def test_returns_to_initial(self):
+        w = Pulse(0.2, 1.5, rise=1e-10, fall=1e-10, width=1e-9)
+        assert w(1e-8) == pytest.approx(0.2)
+
+    def test_periodic_repeats(self):
+        w = Pulse(0.0, 1.0, rise=1e-10, fall=1e-10, width=1e-9,
+                  period=10e-9)
+        assert w(10.5e-9) == pytest.approx(w(0.5e-9))
+
+    def test_rejects_nonpositive_rise(self):
+        with pytest.raises(CircuitError):
+            Pulse(0, 1, rise=0.0)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(CircuitError):
+            Pulse(0, 1, width=-1e-9)
+
+
+class TestSinusoid:
+    def test_offset_before_delay(self):
+        w = Sinusoid(0.5, 1.0, 1e6, delay=1e-6)
+        assert w(0.0) == 0.5
+
+    def test_quarter_period_peak(self):
+        w = Sinusoid(0.0, 2.0, 1e6)
+        assert w(0.25e-6) == pytest.approx(2.0, rel=1e-6)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(CircuitError):
+            Sinusoid(0.0, 1.0, 0.0)
+
+
+class TestComposition:
+    def test_sum_adds(self):
+        w = DC(1.0) + DC(2.0)
+        assert isinstance(w, Sum)
+        assert w(0.0) == 3.0
+
+    def test_sum_with_scalar(self):
+        w = DC(1.0) + 0.5
+        assert w(0.0) == 1.5
+
+    def test_scaled(self):
+        assert (DC(2.0) * 3)(0.0) == 6.0
+        assert (3 * DC(2.0))(0.0) == 6.0
+
+    def test_delayed_shifts(self):
+        w = Delayed(PWL([(0, 0.0), (1e-9, 1.0)]), 1e-9)
+        assert w(1e-9) == 0.0
+        assert w(2e-9) == pytest.approx(1.0)
+
+    def test_as_waveform_passthrough(self):
+        w = DC(1.0)
+        assert as_waveform(w) is w
+
+    def test_as_waveform_coerces_number(self):
+        assert as_waveform(2).__class__ is DC
+
+    def test_as_waveform_rejects_junk(self):
+        with pytest.raises(CircuitError):
+            as_waveform("not a waveform")
+
+    @given(st.floats(min_value=-1e-6, max_value=1e-6),
+           st.floats(min_value=-5, max_value=5),
+           st.floats(min_value=-5, max_value=5))
+    def test_sum_is_pointwise(self, t, a, b):
+        assert Sum([DC(a), DC(b)])(t) == pytest.approx(a + b)
+
+
+def test_pulse_rise_is_linear():
+    w = Pulse(0.0, 1.0, rise=1e-9, fall=1e-9, width=1e-9)
+    assert w(0.5e-9) == pytest.approx(0.5)
+
+
+def test_pulse_fall_is_linear():
+    w = Pulse(0.0, 1.0, rise=1e-10, fall=1e-9, width=1e-9)
+    t_fall_mid = 1e-10 + 1e-9 + 0.5e-9
+    assert w(t_fall_mid) == pytest.approx(0.5, abs=1e-6)
+
+
+def test_math_consistency_sin():
+    w = Sinusoid(1.0, 0.5, 2e6, delay=0.0)
+    t = 0.1e-6
+    expected = 1.0 + 0.5 * math.sin(2 * math.pi * 2e6 * t)
+    assert w(t) == pytest.approx(expected)

@@ -1,0 +1,145 @@
+"""Cross-module system tests: the full paper pipeline, end to end.
+
+These exercise module *boundaries*: device physics feeding cell sensing,
+cell economics feeding the architecture spec, workload activity feeding
+the thermal solve, and the thermal result feeding back into the device
+stability check — the complete loop the paper's evaluation walks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.primitives import make_engine
+from repro.arch.writeback import compare_writeback_policies
+from repro.core.behavioral import BehavioralCell
+from repro.ferro.materials import FAB_HZO
+from repro.ferro.thermal_response import check_thermal_stability
+from repro.thermal.powermap import (
+    memory_power_maps,
+    tpu_power_map,
+    workload_memory_power,
+)
+from repro.thermal.solver import solve_steady_state
+from repro.thermal.stack import build_fig7_stack
+from repro.workloads import BitmapIndexQuery, run_comparison
+
+GIB = 1 << 30
+
+
+class TestFullPipeline:
+    """Workload → power → temperature → ferroelectric stability."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        comparison = run_comparison(BitmapIndexQuery(GIB))
+        memory_w = workload_memory_power(comparison.feram)
+        stack = build_fig7_stack(3)
+        nx, ny = 24, 18
+        power = {0: tpu_power_map(nx, ny)}
+        layers = [stack.layer_index(n) for n in
+                  ("L1-TR", "L2-C1", "L3-C2", "L4-C3", "L5-TW")]
+        power.update(memory_power_maps(memory_w, layers, nx, ny))
+        result = solve_steady_state(stack, power, nx=nx, ny=ny)
+        return comparison, memory_w, result
+
+    def test_memory_power_is_sub_watt(self, pipeline):
+        _, memory_w, _ = pipeline
+        assert 0.05 < memory_w < 2.0
+
+    def test_peak_in_paper_band(self, pipeline):
+        _, _, result = pipeline
+        assert result.peak_k == pytest.approx(351.88, abs=3.0)
+
+    def test_ferroelectric_survives_operating_point(self, pipeline):
+        _, _, result = pipeline
+        report = check_thermal_stability(FAB_HZO, result.peak_k)
+        assert report.stable
+
+    def test_power_conservation_through_pipeline(self, pipeline):
+        _, memory_w, result = pipeline
+        assert result.total_power_w() == pytest.approx(28.0 + memory_w,
+                                                       rel=1e-6)
+
+    def test_peak_on_compute_die(self, pipeline):
+        _, _, result = pipeline
+        layer, _, _ = result.peak_location
+        assert result.stack.layers[layer].name == "L0-compute"
+
+
+class TestEngineEquivalence:
+    """Both technologies must compute identical logical results."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_program_identical_outputs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 2048
+        bits = [rng.integers(0, 2, n, dtype=np.uint8) for _ in range(4)]
+        outputs = {}
+        for tech in ("dram", "feram-2tnc"):
+            eng = make_engine(tech)
+            first = eng.load(bits[0])
+            vecs = [first] + [eng.load(b, group_with=first)
+                              for b in bits[1:]]
+            t1 = eng.xor(vecs[0], vecs[1])
+            t2 = eng.nand(vecs[2], vecs[3])
+            t3 = eng.majority(t1, t2, vecs[0])
+            out = eng.select(t3, vecs[1], vecs[2])
+            outputs[tech] = out.logical_bits()
+        assert np.array_equal(outputs["dram"], outputs["feram-2tnc"])
+
+    def test_same_seed_same_workload_outputs(self):
+        from repro.workloads import XorCipher
+        results = []
+        for _ in range(2):
+            eng = make_engine("feram-2tnc")
+            wl = XorCipher(1 << 16)
+            result = wl.run(eng, seed=42)
+            results.append(result)
+        assert results[0].energy_j == results[1].energy_j
+        assert results[0].cycles == results[1].cycles
+
+
+class TestDeviceToArchitectureConsistency:
+    """Device-model numbers and architecture-spec constants must agree."""
+
+    def test_control_rewrite_period_within_disturb_budget(self):
+        from repro.arch.spec import FERAM_2TNC_8GB
+        from repro.ferro.materials import NVDRAM_CAL
+        from repro.ferro.reliability import reads_until_disturb
+        budget = reads_until_disturb(NVDRAM_CAL, v_read=0.5,
+                                     t_read=50e-9)
+        assert FERAM_2TNC_8GB.control_rewrite_period < budget
+
+    def test_writeback_period_exceeds_control_period(self):
+        from repro.arch.spec import FERAM_2TNC_8GB
+        _, qnro = compare_writeback_policies()
+        assert qnro.reads_per_writeback \
+            >= FERAM_2TNC_8GB.control_rewrite_period
+
+    def test_qnro_signal_consistent_between_models(self):
+        """SPICE cell and behavioural cell agree on level ordering and
+        rough contrast."""
+        from repro.core.cell import TwoTnCCell
+        from repro.core.operations import CellOperations
+        cell = TwoTnCCell(n_caps=3, n_domains=24)
+        spice_levels = CellOperations(cell, dt=1e-9).tba_level_sweep()
+        behavioral = BehavioralCell(
+            n_caps=3, material=cell.material).level_sweep()
+        for high, low in [((0, 0, 0), (0, 0, 1)), ((0, 0, 1), (0, 1, 1)),
+                          ((0, 1, 1), (1, 1, 1))]:
+            assert spice_levels[high] > spice_levels[low]
+            assert behavioral[high] > behavioral[low]
+        spice_contrast = spice_levels[(0, 0, 0)] / spice_levels[(1, 1, 1)]
+        behav_contrast = behavioral[(0, 0, 0)] / behavioral[(1, 1, 1)]
+        assert spice_contrast == pytest.approx(behav_contrast, rel=1.5)
+
+
+class TestThermalConvergence:
+    def test_grid_refinement_stable_peak(self):
+        stack = build_fig7_stack(3)
+        peaks = []
+        for nx, ny in ((16, 12), (32, 24)):
+            power = {0: tpu_power_map(nx, ny)}
+            result = solve_steady_state(stack, power, nx=nx, ny=ny)
+            peaks.append(result.peak_k)
+        assert peaks[0] == pytest.approx(peaks[1], abs=2.0)

@@ -1,0 +1,94 @@
+"""Power-map generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.powermap import (
+    TPU_POWER_W,
+    memory_power_maps,
+    tpu_power_map,
+    workload_memory_power,
+)
+from repro.workloads.base import WorkloadResult
+
+
+class TestTpuMap:
+    def test_total_power_conserved(self):
+        power = tpu_power_map(32, 24)
+        assert power.sum() == pytest.approx(TPU_POWER_W)
+
+    def test_has_hotspot(self):
+        power = tpu_power_map(32, 24)
+        assert power.max() > 1.3 * power.min()
+
+    def test_hotspot_concentration_configurable(self):
+        sharp = tpu_power_map(32, 24, hotspot_fraction=0.6,
+                              hotspot_extent=0.3)
+        assert sharp.max() > 2 * sharp.min()
+
+    def test_custom_total(self):
+        assert tpu_power_map(16, 16, total_w=10.0).sum() == pytest.approx(
+            10.0)
+
+    def test_all_nonnegative(self):
+        assert np.all(tpu_power_map(32, 24) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ThermalError):
+            tpu_power_map(total_w=-1.0)
+        with pytest.raises(ThermalError):
+            tpu_power_map(hotspot_fraction=0.0)
+
+
+class TestMemoryMaps:
+    def test_power_conserved_across_layers(self):
+        maps = memory_power_maps(1.5, [2, 3, 4, 5, 6], 16, 12)
+        total = sum(pmap.sum() for pmap in maps.values())
+        assert total == pytest.approx(1.5)
+
+    def test_tr_layer_weighted_heaviest(self):
+        maps = memory_power_maps(1.0, [2, 3, 4], 16, 12)
+        assert maps[2].sum() > maps[3].sum()
+
+    def test_single_layer_gets_all(self):
+        maps = memory_power_maps(2.0, [7], 16, 12)
+        assert maps[7].sum() == pytest.approx(2.0)
+
+    def test_custom_weights(self):
+        maps = memory_power_maps(1.0, [1, 2], 16, 12,
+                                 layer_weights=[3.0, 1.0])
+        assert maps[1].sum() == pytest.approx(0.75)
+
+    def test_active_fraction_concentrates(self):
+        full = memory_power_maps(1.0, [1], 16, 12, active_fraction=1.0)
+        partial = memory_power_maps(1.0, [1], 16, 12,
+                                    active_fraction=0.25)
+        assert partial[1].max() > full[1].max()
+        assert partial[1].sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ThermalError):
+            memory_power_maps(-1.0, [1])
+        with pytest.raises(ThermalError):
+            memory_power_maps(1.0, [])
+        with pytest.raises(ThermalError):
+            memory_power_maps(1.0, [1, 2], layer_weights=[1.0])
+
+
+class TestWorkloadPower:
+    def _result(self, energy, wall_cycles):
+        return WorkloadResult(workload="x", technology="feram-2tnc",
+                              n_bytes=1, energy_j=energy,
+                              cycles=wall_cycles,
+                              wall_time_s=wall_cycles * 50e-9,
+                              verified=None)
+
+    def test_power_is_energy_over_time(self):
+        result = self._result(1e-3, 20000)
+        assert workload_memory_power(result) == pytest.approx(
+            1e-3 / (20000 * 50e-9))
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ThermalError):
+            workload_memory_power(self._result(1.0, 0))

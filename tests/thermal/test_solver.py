@@ -1,0 +1,136 @@
+"""Thermal solver tests: analytic checks, linearity, fig-7 behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.materials import SILICON, ThermalLayerSpec
+from repro.thermal.solver import solve_steady_state
+from repro.thermal.stack import ThermalStack, build_fig7_stack
+
+
+def _single_layer_stack(r_pkg=2.0):
+    stack = ThermalStack(width_m=10e-3, height_m=10e-3,
+                         package_resistance_k_w=r_pkg)
+    stack.add_layer(SILICON)
+    return stack
+
+
+class TestAnalyticChecks:
+    def test_uniform_power_matches_lumped_model(self):
+        # Uniform power on one layer: T = ambient + P * R_package
+        # (no lateral gradients, conduction drop internal to layer).
+        stack = _single_layer_stack(r_pkg=2.0)
+        nx, ny = 16, 16
+        power = np.full((ny, nx), 10.0 / (nx * ny))
+        result = solve_steady_state(stack, {0: power}, nx=nx, ny=ny)
+        expected = 300.0 + 10.0 * 2.0
+        assert result.peak_k == pytest.approx(expected, rel=1e-6)
+        # Uniform: no in-plane spread.
+        spread = result.temperatures_k.max() - result.temperatures_k.min()
+        assert spread < 1e-6
+
+    def test_zero_power_is_ambient(self):
+        stack = _single_layer_stack()
+        result = solve_steady_state(stack, {}, nx=8, ny=8)
+        assert np.allclose(result.temperatures_k, 300.0)
+
+    def test_superposition(self):
+        stack = _single_layer_stack()
+        nx = ny = 12
+        rng = np.random.default_rng(0)
+        p1 = rng.random((ny, nx)) * 0.1
+        p2 = rng.random((ny, nx)) * 0.1
+        t1 = solve_steady_state(_single_layer_stack(), {0: p1},
+                                nx=nx, ny=ny).temperatures_k - 300.0
+        t2 = solve_steady_state(_single_layer_stack(), {0: p2},
+                                nx=nx, ny=ny).temperatures_k - 300.0
+        t12 = solve_steady_state(stack, {0: p1 + p2},
+                                 nx=nx, ny=ny).temperatures_k - 300.0
+        assert np.allclose(t12, t1 + t2, atol=1e-9)
+
+    def test_monotone_in_power(self):
+        nx = ny = 10
+        p = np.zeros((ny, nx))
+        p[5, 5] = 1.0
+        low = solve_steady_state(_single_layer_stack(), {0: p},
+                                 nx=nx, ny=ny)
+        high = solve_steady_state(_single_layer_stack(), {0: 2 * p},
+                                  nx=nx, ny=ny)
+        assert np.all(high.temperatures_k >= low.temperatures_k - 1e-12)
+
+    def test_peak_at_hotspot(self):
+        nx = ny = 11
+        p = np.zeros((ny, nx))
+        p[3, 7] = 1.0
+        result = solve_steady_state(_single_layer_stack(), {0: p},
+                                    nx=nx, ny=ny)
+        layer, j, i = result.peak_location
+        assert (j, i) == (3, 7)
+
+    def test_symmetry(self):
+        nx = ny = 11
+        p = np.zeros((ny, nx))
+        p[5, 5] = 1.0  # centre
+        result = solve_steady_state(_single_layer_stack(), {0: p},
+                                    nx=nx, ny=ny)
+        t = result.temperatures_k[0]
+        assert np.allclose(t, t[::-1, :], rtol=1e-9)
+        assert np.allclose(t, t[:, ::-1], rtol=1e-9)
+
+
+class TestValidation:
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ThermalError):
+            solve_steady_state(_single_layer_stack(), {}, nx=1, ny=4)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ThermalError):
+            solve_steady_state(_single_layer_stack(),
+                               {0: np.zeros((3, 3))}, nx=8, ny=8)
+
+    def test_rejects_unknown_layer(self):
+        with pytest.raises(ThermalError):
+            solve_steady_state(_single_layer_stack(),
+                               {5: np.zeros((8, 8))}, nx=8, ny=8)
+
+    def test_rejects_negative_power(self):
+        p = np.full((8, 8), -1.0)
+        with pytest.raises(ThermalError):
+            solve_steady_state(_single_layer_stack(), {0: p}, nx=8, ny=8)
+
+    def test_layer_spec_validation(self):
+        with pytest.raises(ThermalError):
+            ThermalLayerSpec("x", 0.0, 100.0)
+
+    def test_stack_validation(self):
+        with pytest.raises(ThermalError):
+            ThermalStack(width_m=-1.0, height_m=1.0)
+
+
+class TestFig7Stack:
+    def test_layer_order(self):
+        stack = build_fig7_stack(3)
+        names = [layer.name for layer in stack.layers]
+        assert names[0] == "L0-compute"
+        assert "L1-TR" in names
+        assert "L5-TW" in names
+        assert names[-1] == "cu-spreader"
+
+    def test_layer_index_lookup(self):
+        stack = build_fig7_stack(3)
+        assert stack.layer_index("L1-TR") == 2
+        with pytest.raises(ThermalError):
+            stack.layer_index("nope")
+
+    def test_n_caps_changes_layer_count(self):
+        assert build_fig7_stack(4).n_layers == build_fig7_stack(3).n_layers + 1
+
+    def test_vertical_gradient_direction(self):
+        # Heat source at the bottom: layers get cooler toward the sink.
+        stack = build_fig7_stack(3)
+        nx, ny = 8, 6
+        power = {0: np.full((ny, nx), 28.0 / (nx * ny))}
+        result = solve_steady_state(stack, power, nx=nx, ny=ny)
+        means = [result.layer_mean(i) for i in range(stack.n_layers)]
+        assert all(a >= b - 1e-9 for a, b in zip(means, means[1:]))

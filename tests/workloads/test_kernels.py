@@ -1,0 +1,108 @@
+"""Per-workload functional verification against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.arch.primitives import make_engine
+from repro.workloads import (
+    BitmapIndexQuery,
+    BnnInference,
+    Crc8,
+    MaskedInit,
+    SetDifference,
+    SetIntersection,
+    SetUnion,
+    XorCipher,
+    crc8_reference,
+)
+from repro.errors import WorkloadError
+
+SIZE = 48 * 1024  # 48 KB keeps functional runs fast
+
+TECHS = ("dram", "feram-2tnc")
+
+
+def _run_verified(workload, tech, seed=3):
+    engine = make_engine(tech, functional=True)
+    result = workload.run(engine, seed=seed)
+    assert result.verified, f"{workload.name} failed on {tech}"
+    return result
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestFunctionalCorrectness:
+    def test_xor_cipher(self, tech):
+        _run_verified(XorCipher(SIZE), tech)
+
+    def test_set_union(self, tech):
+        _run_verified(SetUnion(SIZE), tech)
+
+    def test_set_intersection(self, tech):
+        _run_verified(SetIntersection(SIZE), tech)
+
+    def test_set_difference(self, tech):
+        _run_verified(SetDifference(SIZE), tech)
+
+    def test_masked_init(self, tech):
+        _run_verified(MaskedInit(SIZE), tech)
+
+    def test_bitmap_index(self, tech):
+        _run_verified(BitmapIndexQuery(SIZE), tech)
+
+    def test_crc8(self, tech):
+        _run_verified(Crc8(SIZE, record_bytes=4), tech)
+
+    def test_bnn(self, tech):
+        _run_verified(BnnInference(SIZE), tech)
+
+
+class TestCrc8Reference:
+    def test_known_check_value(self):
+        # CRC-8 (poly 0x07, init 0x00) of "123456789" is 0xF4.
+        data = np.frombuffer(b"123456789", dtype=np.uint8)
+        assert crc8_reference(data[None, :])[0] == 0xF4
+
+    def test_zero_data_zero_crc(self):
+        records = np.zeros((5, 8), dtype=np.uint8)
+        assert np.all(crc8_reference(records) == 0)
+
+    def test_vectorized_matches_scalar(self, rng):
+        records = rng.integers(0, 256, (16, 6), dtype=np.uint8)
+        batch = crc8_reference(records)
+        for i in range(16):
+            single = crc8_reference(records[i: i + 1])
+            assert batch[i] == single[0]
+
+    def test_different_seeds_different_outputs(self):
+        r1 = _run_verified(Crc8(SIZE, record_bytes=4), "feram-2tnc",
+                           seed=1)
+        r2 = _run_verified(Crc8(SIZE, record_bytes=4), "feram-2tnc",
+                           seed=2)
+        assert r1.verified and r2.verified
+
+
+class TestGeometry:
+    def test_workload_rejects_zero_size(self):
+        with pytest.raises(WorkloadError):
+            XorCipher(0)
+
+    def test_crc_lane_count(self):
+        wl = Crc8(1 << 20, record_bytes=64)
+        assert wl.n_lanes == (1 << 20) // 64
+
+    def test_bnn_lane_count(self):
+        wl = BnnInference(1 << 20)
+        assert wl.n_lanes == (1 << 20) * 8 // wl.n_features
+
+    def test_vector_bits_word_aligned(self):
+        wl = XorCipher(1000)
+        assert wl.vector_bits(0.5) % 64 == 0
+
+    def test_bnn_threshold(self):
+        assert BnnInference(SIZE).threshold == 8
+
+    def test_bnn_custom_shape(self):
+        wl = BnnInference(SIZE, n_features=8, n_neurons=2)
+        assert wl.n_features == 8
+        assert wl.threshold == 4
+        _run_verified(wl, "feram-2tnc")

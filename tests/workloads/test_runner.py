@@ -1,0 +1,119 @@
+"""Fig. 6 runner tests: table structure, ratios, scaling, consistency."""
+
+import numpy as np
+import pytest
+
+from repro.arch.primitives import make_engine
+from repro.errors import WorkloadError
+from repro.workloads import (
+    WORKLOAD_CLASSES,
+    XorCipher,
+    make_workloads,
+    run_comparison,
+    run_fig6,
+)
+
+SMALL = 1 << 20  # 1 MB
+
+
+@pytest.fixture(scope="module")
+def table():
+    # Paper size (1 GB): the refresh share — and thus the headline
+    # energy ratio — grows with runtime x footprint, so Fig. 6 is
+    # regenerated at the size the paper used.  Counting mode is fast.
+    return run_fig6(1 << 30)
+
+
+class TestTable:
+    def test_eight_rows(self, table):
+        assert len(table.rows) == 8
+
+    def test_paper_workload_names(self, table):
+        names = {row.workload for row in table.rows}
+        assert names == {"crc8", "xor_cipher", "set_union",
+                         "set_intersection", "set_difference",
+                         "masked_init", "bitmap_index", "bnn"}
+
+    def test_feram_wins_energy_everywhere(self, table):
+        assert all(row.energy_ratio > 1.5 for row in table.rows)
+
+    def test_feram_wins_cycles_everywhere(self, table):
+        assert all(row.cycle_ratio > 1.3 for row in table.rows)
+
+    def test_geomeans_in_paper_band(self, table):
+        # Paper headline: ~2.5x energy, ~2x cycles.
+        assert 2.1 <= table.mean_energy_ratio() <= 2.9
+        assert 1.7 <= table.mean_cycle_ratio() <= 2.2
+
+    def test_row_lookup(self, table):
+        assert table.row("crc8").workload == "crc8"
+        with pytest.raises(WorkloadError):
+            table.row("nope")
+
+    def test_format_contains_all_titles(self, table):
+        text = table.format()
+        for row in table.rows:
+            assert row.title in text
+        assert "geomean" in text
+
+
+class TestConsistency:
+    def test_counting_equals_functional_accounting(self):
+        """The counting-mode ledger must match the functional run's."""
+        wl = XorCipher(SMALL)
+        functional = run_comparison(wl, functional=True)
+        counting = run_comparison(wl, functional=False)
+        assert functional.dram.cycles == counting.dram.cycles
+        assert functional.feram.cycles == counting.feram.cycles
+        assert functional.dram.energy_j == pytest.approx(
+            counting.dram.energy_j)
+        assert functional.feram.energy_j == pytest.approx(
+            counting.feram.energy_j)
+
+    def test_energy_scales_linearly_with_size(self):
+        small = run_comparison(XorCipher(SMALL)).feram.energy_j
+        large = run_comparison(XorCipher(4 * SMALL)).feram.energy_j
+        assert large / small == pytest.approx(4.0, rel=0.05)
+
+    def test_cycles_scale_linearly_with_size(self):
+        small = run_comparison(XorCipher(SMALL)).feram.cycles
+        large = run_comparison(XorCipher(4 * SMALL)).feram.cycles
+        assert large / small == pytest.approx(4.0, rel=0.05)
+
+    def test_charge_io_increases_cost(self):
+        base = run_comparison(XorCipher(SMALL))
+        with_io = run_comparison(XorCipher(SMALL), charge_io=True)
+        assert with_io.feram.energy_j > base.feram.energy_j
+        assert with_io.feram.cycles > base.feram.cycles
+
+    def test_make_workloads_instantiates_all(self):
+        workloads = make_workloads(SMALL)
+        assert len(workloads) == len(WORKLOAD_CLASSES)
+        assert all(wl.n_bytes == SMALL for wl in workloads)
+
+    def test_detail_categories_present(self, table):
+        detail = table.row("set_union").dram.detail
+        assert detail["energy_refresh_nj"] > 0
+        assert table.row("set_union").feram.detail[
+            "energy_refresh_nj"] == 0
+
+    def test_workload_result_energy_nj(self, table):
+        row = table.row("set_union")
+        assert row.dram.energy_nj == pytest.approx(
+            row.dram.energy_j * 1e9)
+
+    def test_missing_output_raises(self):
+        from repro.workloads.base import Workload
+
+        class Broken(Workload):
+            name = "broken"
+            title = "Broken"
+
+            def execute(self, engine, io):
+                io.input("x", 64)
+
+            def reference(self, inputs):
+                return {"y": np.zeros(64, dtype=np.uint8)}
+
+        with pytest.raises(WorkloadError, match="no output"):
+            Broken(64).run(make_engine("dram", functional=True))

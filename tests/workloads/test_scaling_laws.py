@@ -1,0 +1,61 @@
+"""Workload scaling-law tests: accounting must extrapolate cleanly.
+
+The 1 GB Fig.-6 numbers rest on counting-mode extrapolation; these tests
+pin the scaling structure (linear compute, superlinear refresh) that the
+EXPERIMENTS.md accounting section documents.
+"""
+
+import pytest
+
+from repro.workloads import (
+    BitmapIndexQuery,
+    BnnInference,
+    Crc8,
+    SetUnion,
+    XorCipher,
+    run_comparison,
+)
+
+MB = 1 << 20
+
+
+class TestComputeScaling:
+    @pytest.mark.parametrize("cls", [XorCipher, SetUnion,
+                                     BitmapIndexQuery])
+    def test_feram_cycles_linear(self, cls):
+        small = run_comparison(cls(4 * MB)).feram.cycles
+        large = run_comparison(cls(16 * MB)).feram.cycles
+        assert large / small == pytest.approx(4.0, rel=0.02)
+
+    def test_crc_cycles_scale_with_record_count(self):
+        # Same total bytes, shorter records => more lanes, same bits:
+        # total ops scale with record length x lanes = total bits.
+        short = run_comparison(Crc8(4 * MB, record_bytes=8)).feram
+        long = run_comparison(Crc8(4 * MB, record_bytes=16)).feram
+        assert short.cycles == pytest.approx(long.cycles, rel=0.1)
+
+    def test_bnn_cycles_grow_with_neurons(self):
+        few = run_comparison(BnnInference(4 * MB, n_neurons=2)).feram
+        many = run_comparison(BnnInference(4 * MB, n_neurons=4)).feram
+        assert many.cycles == pytest.approx(2 * few.cycles, rel=0.1)
+
+
+class TestRefreshScaling:
+    def test_dram_refresh_share_grows_with_size(self):
+        shares = []
+        for size in (4 * MB, 64 * MB):
+            result = run_comparison(XorCipher(size)).dram
+            share = result.detail["energy_refresh_nj"] \
+                / result.detail["energy_total_nj"]
+            shares.append(share)
+        assert shares[1] > shares[0]
+
+    def test_energy_ratio_grows_with_size(self):
+        small = run_comparison(XorCipher(4 * MB)).energy_ratio
+        large = run_comparison(XorCipher(256 * MB)).energy_ratio
+        assert large > small
+
+    def test_cycle_ratio_size_stable(self):
+        small = run_comparison(XorCipher(4 * MB)).cycle_ratio
+        large = run_comparison(XorCipher(256 * MB)).cycle_ratio
+        assert large == pytest.approx(small, rel=0.05)
