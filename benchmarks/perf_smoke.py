@@ -1,0 +1,110 @@
+"""Perf smoke: timed hot paths, recorded to BENCH_substrate.json.
+
+Runs the three benchmarks the vectorization work targets — the
+``variation`` Monte-Carlo experiment, the ``fig3f`` SPICE TBA sweep and
+the RC transient solve — and writes wall-clock timings (with the frozen
+seed baselines for trajectory) to ``BENCH_substrate.json`` at the repo
+root.  CI runs this after the test suite so every PR leaves a recorded
+perf data point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.behavioral import BehavioralCell
+from repro.experiments.registry import run_experiment
+from repro.spice import (
+    PWL,
+    Capacitor,
+    Circuit,
+    Resistor,
+    TransientSolver,
+    VoltageSource,
+)
+
+#: wall-clock seconds of the seed implementation (commit 253f800,
+#: measured on the same container class CI uses), kept as the fixed
+#: "before" reference each run is compared against.
+SEED_BASELINE_S = {
+    "variation": 5.22,
+    "fig3f": 2.90,
+    "rc_transient": 0.0393,
+    "behavioral_level_sweep": 0.0358,
+}
+
+
+def _time(fn, *, repeat: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rc_transient():
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("vin", "in", "0", PWL([(0, 0.0), (1e-9, 1.0)])))
+    ckt.add(Resistor("r1", "in", "out", 1e3))
+    ckt.add(Capacitor("c1", "out", "0", 1e-9))
+    result = TransientSolver(ckt).run(1e-6, 1e-9)
+    assert len(result) > 500
+    return result
+
+
+def run_smoke() -> dict:
+    timings = {}
+    # Warm imports/caches once so timings measure the hot paths.
+    _rc_transient()
+    BehavioralCell(n_caps=3).level_sweep()
+
+    report = run_experiment("variation")
+    assert report.passed, "variation experiment regressed"
+    timings["variation"] = _time(lambda: run_experiment("variation"),
+                                 repeat=3)
+
+    report = run_experiment("fig3f")
+    assert report.passed, "fig3f experiment regressed"
+    timings["fig3f"] = _time(lambda: run_experiment("fig3f"), repeat=3)
+
+    timings["rc_transient"] = _time(_rc_transient, repeat=5)
+    timings["behavioral_level_sweep"] = _time(
+        lambda: BehavioralCell(n_caps=3).level_sweep(), repeat=5)
+
+    entries = {}
+    for name, seconds in timings.items():
+        seed = SEED_BASELINE_S[name]
+        entries[name] = {
+            "seed_s": seed,
+            "measured_s": round(seconds, 4),
+            "speedup_vs_seed": round(seed / seconds, 2),
+        }
+    return {
+        "suite": "substrate",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": entries,
+    }
+
+
+def main(argv: list[str]) -> int:
+    out_path = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+    payload = run_smoke()
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload["benchmarks"], indent=2))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

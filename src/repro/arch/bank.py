@@ -91,11 +91,17 @@ class BitVector:
         return ~self.payload if self.complemented else self.payload.copy()
 
     def logical_bits(self) -> np.ndarray | None:
-        """Logical value as a flat 0/1 array (functional mode only)."""
-        value = self.value()
-        if value is None:
+        """Logical value as a flat 0/1 array (functional mode only).
+
+        The complement flag is resolved on the unpacked bits in place,
+        skipping the intermediate packed-word copy of :meth:`value`.
+        """
+        if self.payload is None:
             return None
-        return unpack_bits(value)[: self.n_bits]
+        bits = unpack_bits(self.payload)[: self.n_bits]
+        if self.complemented:
+            np.bitwise_xor(bits, 1, out=bits)
+        return bits
 
 
 class RowAllocator:

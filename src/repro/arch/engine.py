@@ -34,7 +34,6 @@ from repro.arch.bank import BitVector, RowAllocator, pack_bits, unpack_bits
 from repro.arch.commands import Command, CommandType, Stats
 from repro.arch.refresh import RefreshCharge, apply_refresh
 from repro.arch.spec import MemorySpec
-from repro.core.logic import majority_words
 from repro.errors import ArchitectureError
 
 __all__ = ["BulkEngine"]
@@ -50,6 +49,24 @@ class BulkEngine:
         self.stats = Stats()
         self._name_counter = itertools.count()
         self._finalized: RefreshCharge | None = None
+        # Payload scratch pool, keyed by array shape: freed vectors donate
+        # their buffers so op chains stop allocating a fresh payload per
+        # intermediate (all logic writes through np.bitwise_*(..., out=)).
+        self._scratch: dict[tuple[int, ...], list[np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # payload buffer pool
+    # ------------------------------------------------------------------
+    def _take_buffer(self, shape: tuple[int, ...]) -> np.ndarray:
+        """A uint64 buffer of ``shape`` (pooled; contents arbitrary)."""
+        pool = self._scratch.get(shape)
+        if pool:
+            return pool.pop()
+        return np.empty(shape, dtype=np.uint64)
+
+    def _release_buffer(self, buffer: np.ndarray | None) -> None:
+        if buffer is not None:
+            self._scratch.setdefault(buffer.shape, []).append(buffer)
 
     # ------------------------------------------------------------------
     # technology hooks
@@ -90,13 +107,26 @@ class BulkEngine:
         group — the planes of the same physical rows — so TBA operands
         need no relocation (how a host lays out natural operand pairs).
         """
+        vector = self._allocate(n_bits, name, group_with=group_with)
+        if self.functional:
+            vector.payload.fill(0)
+        return vector
+
+    def _allocate(self, n_bits: int, name: str | None = None, *,
+                  group_with: BitVector | None = None) -> BitVector:
+        """Reserve a vector whose payload buffer is pooled, not zeroed.
+
+        Internal fast path for ops that overwrite the whole payload
+        anyway (logic results, copies); :meth:`allocate` adds the
+        zero-fill the public contract promises.
+        """
         vector = self.allocator.allocate(name or self._auto_name("v"),
                                          n_bits)
         if group_with is not None:
             self.allocator.join_group(vector, group_with)
         if self.functional:
-            vector.payload = np.zeros(
-                (vector.n_rows, self.spec.row_bits // 64), dtype=np.uint64)
+            vector.payload = self._take_buffer(
+                (vector.n_rows, self.spec.row_bits // 64))
         return vector
 
     def load(self, bits: np.ndarray, name: str | None = None, *,
@@ -108,11 +138,12 @@ class BulkEngine:
         PiM evaluation setting: the data lives there).
         """
         bits = np.asarray(bits)
-        vector = self.allocate(bits.size, name, group_with=group_with)
+        vector = self._allocate(bits.size, name, group_with=group_with)
         if self.functional:
             padded = np.zeros(vector.n_rows * self.spec.row_bits,
                               dtype=np.uint8)
             padded[: bits.size] = bits.astype(np.uint8)
+            self._release_buffer(vector.payload)
             vector.payload = pack_bits(padded, self.spec.row_bits)
             vector.complemented = False
         if charge:
@@ -135,8 +166,8 @@ class BulkEngine:
         """A vector of all-0s or all-1s (one row-write sweep)."""
         if bit not in (0, 1):
             raise ArchitectureError("constant bit must be 0 or 1")
-        vector = self.allocate(n_bits, name or self._auto_name("const"),
-                               group_with=group_with)
+        vector = self._allocate(n_bits, name or self._auto_name("const"),
+                                group_with=group_with)
         if self.functional:
             fill = np.uint64(0xFFFFFFFFFFFFFFFF) if bit else np.uint64(0)
             vector.payload[:] = fill
@@ -145,7 +176,11 @@ class BulkEngine:
 
     def free(self, *vectors: BitVector) -> None:
         for vector in vectors:
+            payload = vector.payload
             self.allocator.free(vector)
+            # Reclaim the payload buffer for the scratch pool (only after
+            # a successful free, so double frees donate nothing twice).
+            self._release_buffer(payload)
 
     def _check(self, *vectors: BitVector) -> None:
         for vector in vectors:
@@ -174,17 +209,17 @@ class BulkEngine:
             return vector
         self._charge_not(vector.n_rows)
         if self.functional:
-            vector.payload = ~vector.payload
+            np.invert(vector.payload, out=vector.payload)
         vector.complemented = False
         return vector
 
     def copy(self, vector: BitVector, name: str | None = None) -> BitVector:
         """Row copy into a fresh vector (RowClone / tri-state COPY)."""
         self._check(vector)
-        out = self.allocate(vector.n_bits, name or self._auto_name("cp"))
+        out = self._allocate(vector.n_bits, name or self._auto_name("cp"))
         self._charge_copy(vector.n_rows)
         if self.functional:
-            out.payload = vector.payload.copy()
+            np.copyto(out.payload, vector.payload)
         out.complemented = vector.complemented
         self.allocator.join_group(out, vector)
         return out
@@ -196,7 +231,7 @@ class BulkEngine:
             return
         self._charge_not(vector.n_rows)
         if self.functional:
-            vector.payload = ~vector.payload
+            np.invert(vector.payload, out=vector.payload)
         vector.complemented = flag
 
     def _equalize_flags(self, a: BitVector, b: BitVector) -> bool:
@@ -216,20 +251,33 @@ class BulkEngine:
         the payload-level MAJ (DRAM) or MIN (FeRAM) as a fresh vector
         with flag 0 — callers fix up logical flags.
         """
-        out = self.allocate(operands[0].n_bits,
-                            name or self._auto_name("t"))
+        out = self._allocate(operands[0].n_bits,
+                             name or self._auto_name("t"))
         self._before_logic(operands, out)
         self._charge_logic(operands[0].n_rows)
         if self.functional:
+            result = out.payload
             if control_bit is None:
                 pa, pb, pc = (op.payload for op in operands)
+                # MAJ(a, b, c) = (a&b) | (a&c) | (b&c), accumulated into
+                # the result buffer with one pooled scratch temporary.
+                scratch = self._take_buffer(pa.shape)
+                np.bitwise_and(pa, pb, out=result)
+                np.bitwise_and(pa, pc, out=scratch)
+                np.bitwise_or(result, scratch, out=result)
+                np.bitwise_and(pb, pc, out=scratch)
+                np.bitwise_or(result, scratch, out=result)
+                self._release_buffer(scratch)
             else:
+                # Constant third plane folds the majority to a two-input
+                # op: MAJ(a, b, 1) = a|b and MAJ(a, b, 0) = a&b.
                 pa, pb = operands[0].payload, operands[1].payload
-                fill = np.uint64(0xFFFFFFFFFFFFFFFF) if control_bit \
-                    else np.uint64(0)
-                pc = np.full_like(pa, fill)
-            maj = majority_words(pa, pb, pc)
-            out.payload = ~maj if self._native_inverting() else maj
+                if control_bit:
+                    np.bitwise_or(pa, pb, out=result)
+                else:
+                    np.bitwise_and(pa, pb, out=result)
+            if self._native_inverting():
+                np.invert(result, out=result)
         out.complemented = self._native_inverting()
         return out
 

@@ -14,6 +14,13 @@ the measured-device sweeps of Fig. 4(i,j).
 Read disturb is physical here too: each read commits the evolved domain
 states, so repeated reads of a stored '0' accumulate weak-tail switching
 exactly as in the full model.
+
+The charge balance is implemented once, batched: :class:`CellChargeSolver`
+bisects an arbitrary batch of (cell instance, stored state) reads
+simultaneously — each capacitor population is a row of a
+:class:`~repro.ferro.preisach.DomainEnsemble`-style array — so a full
+eight-state level sweep of one cell, or of thousands of Monte-Carlo
+cells, costs the same ~60 vectorized iterations as a single read.
 """
 
 from __future__ import annotations
@@ -23,11 +30,215 @@ import numpy as np
 from repro.core.logic import minority3
 from repro.core.sense_amp import SenseAmp, reference_between
 from repro.errors import ProtocolError
+from repro.ferro.dynamics import evolve_states
 from repro.ferro.materials import NVDRAM_CAL, FerroMaterial
-from repro.ferro.preisach import DomainBank
+from repro.ferro.preisach import DomainBank, charge_density
 from repro.spice.mosfet import PTM45_NMOS, Mosfet, MosfetParams
 
-__all__ = ["BehavioralCell"]
+__all__ = ["BehavioralCell", "CellChargeSolver", "STATE_ORDER"]
+
+#: the eight stored states '000'..'111' in level-sweep order
+STATE_ORDER: tuple[tuple[int, int, int], ...] = tuple(
+    (a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1))
+
+#: V_int convergence tolerance (volts).  1 pV is ~5 decades below any
+#: physical sense margin; the historical fixed-depth bisection resolved
+#: the same bracket to ~1e-19 V in 60 evaluations, the Illinois iteration
+#: reaches 1e-12 V in ~10.
+_VINT_TOL = 1e-12
+#: iteration ceiling (bisection fallback keeps the bracket shrinking, so
+#: this is never reached for the monotone charge balance)
+_MAX_ITERS = 100
+
+
+class CellChargeSolver:
+    """Batched read-phase charge balance for 2T-nC cell populations.
+
+    Holds the per-capacitor hysteron parameters of a batch of cells as
+    arrays of shape ``(..., n_caps, n_domains)`` plus the shared cell
+    electricals, and solves reads/level sweeps for every batch element
+    simultaneously.  Domain *state* is owned by the caller and passed
+    explicitly, so the same solver serves a live single cell (state in
+    its :class:`DomainBank` objects) and throwaway Monte-Carlo batches.
+    """
+
+    def __init__(self, material: FerroMaterial, va: np.ndarray,
+                 weights: np.ndarray, *,
+                 tr_params: MosfetParams = PTM45_NMOS,
+                 temperature_k: float | None = None,
+                 c_node: float = 5e-15,
+                 v_write: float = 1.5, t_write: float = 80e-9,
+                 v_read: float = 0.75, v_rbl: float = 0.5,
+                 t_read: float = 50e-9) -> None:
+        if va.shape != weights.shape or va.ndim < 2:
+            raise ProtocolError(
+                "va/weights must be equal-shape (..., n_caps, n_domains)")
+        self.material = material
+        self.va = va
+        self.weights = weights
+        self.n_caps = va.shape[-2]
+        self.tr = Mosfet("t_r", "d", "g", "s", tr_params)
+        self.c_node = float(c_node)
+        self.v_write = float(v_write)
+        self.t_write = float(t_write)
+        self.v_read = float(v_read)
+        self.v_rbl = float(v_rbl)
+        self.t_read = float(t_read)
+        temperature = (temperature_k if temperature_k is not None
+                       else material.t_ref)
+        self._ps = material.ps_at(float(temperature))
+
+    @classmethod
+    def from_banks(cls, banks: list[DomainBank], **kwargs,
+                   ) -> "CellChargeSolver":
+        """Solver over one cell's capacitors (batch shape ``()``)."""
+        return cls(banks[0].material,
+                   np.stack([bank.va for bank in banks]),
+                   np.stack([bank.weights for bank in banks]),
+                   temperature_k=banks[0].temperature_k, **kwargs)
+
+    # ------------------------------------------------------------------
+    # vectorized primitives
+    # ------------------------------------------------------------------
+    def evolve(self, s: np.ndarray, voltage: np.ndarray | float,
+               dt: float) -> np.ndarray:
+        """Evolve batched states at per-capacitor voltages (pure)."""
+        m = self.material
+        return evolve_states(s, voltage, dt, self.va, m.tau0, m.merz_n)
+
+    def charge(self, voltage: np.ndarray | float,
+               s: np.ndarray) -> np.ndarray:
+        """Per-capacitor device charge (C); result shape ``s.shape[:-1]``."""
+        m = self.material
+        return charge_density(m, self._ps, self.weights, s,
+                              np.asarray(voltage, dtype=float)) * m.area
+
+    # ------------------------------------------------------------------
+    # the batched bisection
+    # ------------------------------------------------------------------
+    def solve_read(self, s: np.ndarray, activated: list[int],
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Bisect the internal-node charge balance for a batch of reads.
+
+        ``s`` has shape ``(..., n_caps, n_domains)``; every leading axis
+        is an independent read (cell instance, stored state, ...).
+        Returns ``(vint, evolved)`` with shapes ``(...)`` and
+        ``s.shape``.
+        """
+        wbl = np.array([self.v_read if i in activated else 0.0
+                        for i in range(self.n_caps)])
+        batch = s.shape[:-2]
+        n = int(np.prod(batch, dtype=int)) if batch else 1
+        s_flat = s.reshape((n,) + s.shape[-2:])
+        va_flat = np.broadcast_to(self.va, s.shape).reshape(s_flat.shape)
+        w_flat = np.broadcast_to(self.weights, s.shape).reshape(s_flat.shape)
+        m = self.material
+        q0 = self.charge(np.zeros(self.n_caps), s).reshape(n, self.n_caps)
+
+        def net_charge(vint: np.ndarray, idx: np.ndarray | None,
+                       ) -> tuple[np.ndarray, np.ndarray]:
+            """Residual for rows ``idx`` (all rows when ``None``)."""
+            s_sub = s_flat if idx is None else s_flat[idx]
+            va_sub = va_flat if idx is None else va_flat[idx]
+            w_sub = w_flat if idx is None else w_flat[idx]
+            q0_sub = q0 if idx is None else q0[idx]
+            v_cap = wbl - vint[:, None]
+            evolved = evolve_states(s_sub, v_cap, self.t_read, va_sub,
+                                    m.tau0, m.merz_n)
+            q = charge_density(m, self._ps, w_sub, evolved, v_cap) * m.area
+            total = -self.c_node * vint + np.sum(q - q0_sub, axis=-1)
+            return total, evolved
+
+        lo = np.zeros(n)
+        hi = np.full(n, max(self.v_read, 0.1))
+        f_lo, _ = net_charge(lo, None)
+        f_hi, _ = net_charge(hi, None)
+        # Expand upward where the node would settle above v_read (it
+        # cannot, physically, but guard the bracket anyway).
+        expand = np.nonzero((f_hi > 0) & (hi < 10.0))[0]
+        while expand.size:
+            hi[expand] *= 2.0
+            f_hi[expand], _ = net_charge(hi[expand], expand)
+            expand = np.nonzero((f_hi > 0) & (hi < 10.0))[0]
+        # The balance is smooth and monotone decreasing in V_int, so a
+        # bracket-preserving Illinois (modified regula falsi) iteration
+        # converges superlinearly; a midpoint fallback guards degenerate
+        # secants so the bracket always shrinks.  Each pass evaluates
+        # only the still-unconverged rows, so stragglers do not drag the
+        # whole batch through extra device evaluations.
+        f_lo_w = f_lo.copy()
+        f_hi_w = f_hi.copy()
+        side = np.zeros(n, dtype=np.int8)  # +1 kept lo, -1 kept hi
+        for _ in range(_MAX_ITERS):
+            idx = np.nonzero(hi - lo > _VINT_TOL)[0]
+            if not idx.size:
+                break
+            lo_a, hi_a = lo[idx], hi[idx]
+            flo_a, fhi_a = f_lo_w[idx], f_hi_w[idx]
+            denom = fhi_a - flo_a
+            with np.errstate(divide="ignore", invalid="ignore"):
+                x = hi_a - fhi_a * (hi_a - lo_a) / denom
+            bad = ~np.isfinite(x) | (x <= lo_a) | (x >= hi_a)
+            x = np.where(bad, 0.5 * (lo_a + hi_a), x)
+            f_x, _ = net_charge(x, idx)
+            above = f_x > 0
+            # Illinois: when the same endpoint survives twice running,
+            # halve its stored residual to force the secant across.
+            side_a = side[idx]
+            fhi_new = np.where(above, fhi_a, f_x)
+            fhi_new = np.where(above & (side_a == 1), 0.5 * fhi_new,
+                               fhi_new)
+            flo_new = np.where(above, f_x, flo_a)
+            flo_new = np.where(~above & (side_a == -1), 0.5 * flo_new,
+                               flo_new)
+            lo[idx] = np.where(above, x, lo_a)
+            hi[idx] = np.where(above, hi_a, x)
+            f_lo_w[idx] = flo_new
+            f_hi_w[idx] = fhi_new
+            side[idx] = np.where(above, 1, -1).astype(np.int8) * \
+                np.where(bad, 0, 1).astype(np.int8)
+        vint = 0.5 * (lo + hi)
+        # Batch elements whose balance is negative even at V_int = 0
+        # clamp there (evolved states then see the full WBL voltages).
+        vint = np.where(f_lo < 0, 0.0, vint)
+        _, evolved = net_charge(vint, None)
+        return vint.reshape(batch), evolved.reshape(s.shape)
+
+    def sense(self, vint: np.ndarray, *, mode: str = "channel",
+              ) -> np.ndarray:
+        """Convert internal-node voltages into sensed levels.
+
+        ``mode="channel"`` is the on-chip RSL channel current;
+        ``mode="charge"`` the probe-station average charging current.
+        """
+        if mode == "channel":
+            return self.tr.ids_array(vint, self.v_rbl)
+        if mode == "charge":
+            return self.c_node * np.asarray(vint) / self.t_read
+        raise ProtocolError("mode must be 'channel' or 'charge'")
+
+    def level_sweep(self, s: np.ndarray, *, mode: str = "channel",
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sense level per stored state '000'..'111' for a batch of cells.
+
+        Writes the eight states sequentially (matching the write-disturb
+        history of per-state programming), then solves all eight reads of
+        every batch element in one bisection.  Returns ``(levels,
+        s_final)`` where ``levels`` has shape ``(8, ...)`` in
+        :data:`STATE_ORDER` and ``s_final`` is the committed state after
+        the last write (reads do not commit their disturb).
+        """
+        post_write = np.empty((len(STATE_ORDER),) + s.shape)
+        current = s
+        volts = np.zeros(self.n_caps)
+        for k, bits in enumerate(STATE_ORDER):
+            # Caps beyond the TBA triple stay unbiased (0 V: no update).
+            volts[:3] = np.where(np.asarray(bits) > 0, 1.0, -1.0) \
+                * self.v_write
+            current = self.evolve(current, volts, self.t_write)
+            post_write[k] = current
+        vint, _ = self.solve_read(post_write, [0, 1, 2])
+        return self.sense(vint, mode=mode), current
 
 
 class BehavioralCell:
@@ -48,7 +259,11 @@ class BehavioralCell:
         self.material = material
         self.banks = [DomainBank(material, temperature_k=temperature_k,
                                  rng=rng) for _ in range(n_caps)]
-        self._tr = Mosfet("t_r", "d", "g", "s", tr_params)
+        self._solver = CellChargeSolver.from_banks(
+            self.banks, tr_params=tr_params, c_node=c_node,
+            v_write=v_write, t_write=t_write, v_read=v_read,
+            v_rbl=v_rbl, t_read=t_read)
+        self._tr = self._solver.tr
         self.c_node = float(c_node)
         self.v_write = float(v_write)
         self.t_write = float(t_write)
@@ -59,6 +274,14 @@ class BehavioralCell:
     # ------------------------------------------------------------------
     # state
     # ------------------------------------------------------------------
+    def _states(self) -> np.ndarray:
+        """Committed capacitor states stacked as ``(n_caps, n_domains)``."""
+        return np.stack([bank.s for bank in self.banks])
+
+    def _commit_states(self, states: np.ndarray) -> None:
+        for bank, state in zip(self.banks, states):
+            bank.s = state
+
     def write(self, bits: dict[int, int]) -> None:
         """Program capacitors by applying the write rail across them."""
         for cap, bit in bits.items():
@@ -81,41 +304,8 @@ class BehavioralCell:
     def _charge_balance_vint(self, activated: list[int]) -> tuple[
             float, list[np.ndarray]]:
         """Solve for V_int; returns (vint, evolved states per cap)."""
-        wbl = [self.v_read if i in activated else 0.0
-               for i in range(self.n_caps)]
-        q0 = [bank.charge(0.0) for bank in self.banks]
-
-        def net_charge(vint: float) -> tuple[float, list[np.ndarray]]:
-            total = -self.c_node * vint
-            evolved = []
-            for i, bank in enumerate(self.banks):
-                v_cap = wbl[i] - vint
-                state = bank.evolved_state(v_cap, self.t_read)
-                evolved.append(state)
-                total += bank.charge(v_cap, state) - q0[i]
-            return total, evolved
-
-        lo, hi = 0.0, max(self.v_read, 0.1)
-        f_lo, _ = net_charge(lo)
-        f_hi, _ = net_charge(hi)
-        # Expand upward if the node would settle above v_read (it cannot,
-        # physically, but guard the bracket anyway).
-        while f_hi > 0 and hi < 10.0:
-            hi *= 2.0
-            f_hi, _ = net_charge(hi)
-        if f_lo < 0:
-            return 0.0, [bank.evolved_state(wbl[i], self.t_read)
-                         for i, bank in enumerate(self.banks)]
-        for _ in range(60):
-            mid = 0.5 * (lo + hi)
-            f_mid, evolved = net_charge(mid)
-            if f_mid > 0:
-                lo = mid
-            else:
-                hi = mid
-        vint = 0.5 * (lo + hi)
-        _, evolved = net_charge(vint)
-        return vint, evolved
+        vint, evolved = self._solver.solve_read(self._states(), activated)
+        return float(vint), list(evolved)
 
     def qnro_read(self, caps: list[int] | None = None,
                   *, commit_disturb: bool = True) -> tuple[float, float]:
@@ -131,8 +321,7 @@ class BehavioralCell:
                 raise ProtocolError(f"capacitor index {cap} out of range")
         vint, evolved = self._charge_balance_vint(caps)
         if commit_disturb:
-            for bank, state in zip(self.banks, evolved):
-                bank.s = state
+            self._commit_states(evolved)
         current = self._tr.ids(vint, self.v_rbl)
         return float(current), float(vint)
 
@@ -158,8 +347,7 @@ class BehavioralCell:
             raise ProtocolError("TBA needs at least 3 capacitors")
         vint, evolved = self._charge_balance_vint([0, 1, 2])
         if commit_disturb:
-            for bank, state in zip(self.banks, evolved):
-                bank.s = state
+            self._commit_states(evolved)
         return self.c_node * vint / self.t_read, vint
 
     # ------------------------------------------------------------------
@@ -172,21 +360,17 @@ class BehavioralCell:
         ``mode="channel"`` senses the T_R channel current (the on-chip
         RSL sensing path); ``mode="charge"`` senses the average read-
         pulse charging current (the probe-station measurement of
-        Fig. 4(i,j)).
+        Fig. 4(i,j)).  All eight states are solved in one batched
+        bisection.
         """
         if mode not in ("channel", "charge"):
             raise ProtocolError("mode must be 'channel' or 'charge'")
-        levels = {}
-        for a in (0, 1):
-            for b in (0, 1):
-                for c in (0, 1):
-                    self.write({0: a, 1: b, 2: c})
-                    if mode == "channel":
-                        current, _ = self.tba_read(commit_disturb=False)
-                    else:
-                        current, _ = self.tba_charge_current()
-                    levels[(a, b, c)] = current
-        return levels
+        if self.n_caps < 3:
+            raise ProtocolError("level sweep needs at least 3 capacitors")
+        levels, s_final = self._solver.level_sweep(self._states(), mode=mode)
+        self._commit_states(s_final)
+        return {state: float(level)
+                for state, level in zip(STATE_ORDER, levels)}
 
     def minority_sense_amp(self, *, offset_sigma: float = 0.0,
                            rng: np.random.Generator | None = None,

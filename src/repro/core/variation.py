@@ -19,11 +19,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.behavioral import BehavioralCell
+from repro.core.behavioral import STATE_ORDER, BehavioralCell, CellChargeSolver
 from repro.core.logic import minority3
 from repro.core.sense_amp import reference_between
 from repro.errors import ProtocolError
 from repro.ferro.materials import NVDRAM_CAL, FerroMaterial
+from repro.ferro.preisach import DomainBank
 from repro.spice.mosfet import PTM45_NMOS, MosfetParams
 
 __all__ = ["MarginSample", "VariationStudy", "run_variation_study"]
@@ -135,15 +136,33 @@ def run_variation_study(n_cells: int = 50, *,
     gap = abs(nominal_levels[(0, 0, 1)] - nominal_levels[(0, 1, 1)])
     offset_sigma = offset_sigma_fraction * gap
 
+    # Draw every instance's hysteron population with the same per-cell
+    # generator discipline a sequential study would use, then stack the
+    # whole Monte-Carlo batch into (n_cells, n_caps, n_domains) arrays
+    # and solve all cells' level sweeps in one batched bisection.
     rng = np.random.default_rng(seed)
+    banks: list[DomainBank] = []
+    for _ in range(n_cells):
+        cell_rng = np.random.default_rng(rng.integers(2**32))
+        banks.extend(DomainBank(material, rng=cell_rng) for _ in range(3))
+    n_domains_eff = material.n_domains
+    solver = CellChargeSolver(
+        material,
+        np.stack([bank.va for bank in banks]).reshape(
+            n_cells, 3, n_domains_eff),
+        np.stack([bank.weights for bank in banks]).reshape(
+            n_cells, 3, n_domains_eff),
+        tr_params=tr_params)
+    s0 = np.stack([bank.s for bank in banks]).reshape(
+        n_cells, 3, n_domains_eff)
+    level_array, _ = solver.level_sweep(s0)  # (8, n_cells)
+
     samples: list[MarginSample] = []
     margins = np.empty(n_cells)
     failures = 0
     for k in range(n_cells):
-        cell = BehavioralCell(n_caps=3, material=material,
-                              tr_params=tr_params,
-                              rng=np.random.default_rng(rng.integers(2**32)))
-        sample = MarginSample(cell.level_sweep())
+        sample = MarginSample({state: float(level_array[j, k])
+                               for j, state in enumerate(STATE_ORDER)})
         samples.append(sample)
         if reference_mode == "tracking":
             reference = reference_between(sample.levels[(0, 1, 1)],

@@ -23,6 +23,7 @@ from repro.ferro.materials import FerroMaterial
 __all__ = [
     "switching_time",
     "switched_fraction",
+    "evolve_states",
     "pulse_switched_polarization",
     "minimum_full_switch_pulse",
 ]
@@ -61,6 +62,48 @@ def switched_fraction(dt: float, tau: np.ndarray | float) -> np.ndarray:
     with np.errstate(divide="ignore"):
         ratio = np.where(np.isinf(tau), 0.0, dt / np.maximum(tau, 1e-300))
     return -np.expm1(-ratio)
+
+
+def evolve_states(state: np.ndarray, voltage: np.ndarray | float, dt: float,
+                  va: np.ndarray, tau0: float, merz_n: float) -> np.ndarray:
+    """Fused NLS update: domain states after holding ``voltage`` for ``dt``.
+
+    ``state`` and ``va`` carry the hysterons along the last axis
+    (``(..., n_domains)``); ``voltage`` broadcasts against the leading
+    axes, so one call advances an arbitrary batch of cells — or one cell
+    at several trial voltages — in single numpy operations.  Pure: a
+    fresh array is returned.
+
+    Identical numerics to composing :func:`switching_time` and
+    :func:`switched_fraction`, with the intermediate temporaries and
+    per-call validation stripped out of the hot path.
+    """
+    state = np.asarray(state, dtype=float)
+    v = np.asarray(voltage, dtype=float)[..., None]
+    if dt < 0:
+        raise DeviceError("dt must be non-negative")
+    if dt == 0.0:
+        shape = np.broadcast_shapes(state.shape, v.shape[:-1] + (1,))
+        return np.broadcast_to(state, shape).copy()
+    target = np.where(v > 0.0, 1.0, -1.0)
+    vabs = np.abs(v)
+    active = vabs > _V_FLOOR
+    vsafe = np.where(active, vabs, 1.0)
+    # In-place chain (the per-domain array is the only full-size buffer):
+    # frac = active * -expm1(-(dt/tau0) * exp(-min((va/v)^n, CAP))).
+    work = va / vsafe
+    np.power(work, merz_n, out=work)
+    np.minimum(work, _EXP_CAP, out=work)
+    np.negative(work, out=work)
+    np.exp(work, out=work)
+    np.multiply(work, -(dt / tau0), out=work)
+    np.expm1(work, out=work)
+    np.negative(work, out=work)
+    np.multiply(work, active, out=work)
+    out = target - state
+    np.multiply(out, work, out=out)
+    np.add(out, state, out=out)
+    return out
 
 
 def pulse_switched_polarization(material: FerroMaterial, amplitude: float,

@@ -16,8 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DeviceError
+from repro.ferro.dynamics import evolve_states
 from repro.ferro.materials import FerroMaterial
-from repro.ferro.preisach import DomainBank
+from repro.ferro.preisach import DomainBank, charge_density
 from repro.spice.components import Component, StampContext
 
 __all__ = ["FeCapacitor"]
@@ -103,21 +104,27 @@ class FeCapacitor(Component):
         evolved = self.bank.evolved_state(voltage, dt)
         return self.bank.charge(voltage, evolved)
 
-    def stamp(self, ctx: StampContext) -> None:
+    def _stamp_from_charges(self, ctx: StampContext, v: float, q0: float,
+                            q_plus: float, q_minus: float) -> None:
+        """Stamp the linearised companion given the trial charges."""
         i, j = self.node_index
-        v = ctx.v(i) - ctx.v(j)
-        dt = ctx.dt
-        q0 = self._trial_charge(v, dt)
-        q_plus = self._trial_charge(v + _DV, dt)
-        q_minus = self._trial_charge(v - _DV, dt)
         c_eff = max((q_plus - q_minus) / (2.0 * _DV), 1e-21)
-        g = c_eff / dt
-        current = (q0 - self._q_prev) / dt
+        g = c_eff / ctx.dt
+        current = (q0 - self._q_prev) / ctx.dt
         # Linearised: i(v') ~= current + g * (v' - v)
         ieq = current - g * v
         ctx.add_conductance(i, j, g)
         ctx.add_current(i, -ieq)
         ctx.add_current(j, ieq)
+
+    def stamp(self, ctx: StampContext) -> None:
+        i, j = self.node_index
+        v = ctx.v(i) - ctx.v(j)
+        # All three numeric-derivative trial points in one vectorized
+        # evolve-and-evaluate call (the transient Newton hot path).
+        q0, q_plus, q_minus = self.bank.evolved_charges(
+            (v, v + _DV, v - _DV), ctx.dt)
+        self._stamp_from_charges(ctx, v, q0, q_plus, q_minus)
 
     def commit(self, x: np.ndarray) -> None:
         i, j = self.node_index
@@ -127,3 +134,87 @@ class FeCapacitor(Component):
         self.bank.s = self.bank.evolved_state(v, self._dt)
         self.v_prev = v
         self._q_prev = self.bank.charge(v)
+
+    # ------------------------------------------------------------------
+    # batched stamping: all FeCaps of a netlist in one kernel call
+    # ------------------------------------------------------------------
+    def group_key(self):
+        """FeCaps sharing device physics batch into one evaluation."""
+        return (self.bank.material, self.bank.temperature_k)
+
+    _TRIAL_OFFSETS = np.array([0.0, _DV, -_DV])
+
+    @staticmethod
+    def _group_workspace(components: list["FeCapacitor"]) -> dict:
+        """Per-group scratch: constant va/weight stacks + state buffers.
+
+        ``va`` and ``weights`` never change after bank construction, so
+        they are stacked once; the state/voltage buffers are refilled
+        (cheaply, per-row) on every evaluation.
+        """
+        first = components[0]
+        ws = getattr(first, "_group_ws", None)
+        if ws is None or ws["n"] != len(components):
+            k = len(components)
+            nd = first.bank.s.size
+            ws = {
+                "n": k,
+                "va3": np.stack([c.bank.va for c in components])[:, None, :],
+                "w3": np.stack(
+                    [c.bank.weights for c in components])[:, None, :],
+                "s": np.empty((k, nd)),
+                "v": np.empty(k),
+            }
+            first._group_ws = ws
+        return ws
+
+    @staticmethod
+    def _group_voltages(x: np.ndarray, components: list["FeCapacitor"],
+                        ws: dict) -> np.ndarray:
+        v = ws["v"]
+        s = ws["s"]
+        for idx, component in enumerate(components):
+            i, j = component.node_index
+            v[idx] = (0.0 if i < 0 else x[i]) - (0.0 if j < 0 else x[j])
+            s[idx] = component.bank.s
+        return v
+
+    @staticmethod
+    def stamp_group(ctx: StampContext, components: list["FeCapacitor"],
+                    ) -> None:
+        """One vectorized evolve-and-evaluate for every FeCap at once.
+
+        Each capacitor contributes its three numeric-derivative trial
+        voltages; the ``(n_caps, 3, n_domains)`` evolution and charge
+        evaluation run as single numpy calls, then the scalar companion
+        stamps are applied per device.
+        """
+        first = components[0]
+        m = first.bank.material
+        ws = FeCapacitor._group_workspace(components)
+        v = FeCapacitor._group_voltages(ctx.x, components, ws)
+        trials = v[:, None] + FeCapacitor._TRIAL_OFFSETS      # (k, 3)
+        evolved = evolve_states(ws["s"][:, None, :], trials, ctx.dt,
+                                ws["va3"], m.tau0, m.merz_n)
+        q = charge_density(m, first.bank.ps, ws["w3"], evolved,
+                           trials) * m.area                   # (k, 3)
+        for idx, component in enumerate(components):
+            q0, q_plus, q_minus = q[idx]
+            component._stamp_from_charges(ctx, v[idx], q0, q_plus, q_minus)
+
+    @staticmethod
+    def commit_group(x: np.ndarray, components: list["FeCapacitor"],
+                     ) -> None:
+        """Batched commit: one evolution call for every FeCap at once."""
+        first = components[0]
+        m = first.bank.material
+        ws = FeCapacitor._group_workspace(components)
+        v = FeCapacitor._group_voltages(x, components, ws)
+        evolved = evolve_states(ws["s"], v, first._dt,
+                                ws["va3"][:, 0, :], m.tau0, m.merz_n)
+        q = charge_density(m, first.bank.ps, ws["w3"][:, 0, :], evolved,
+                           v) * m.area
+        for idx, component in enumerate(components):
+            component.bank.s = evolved[idx]
+            component.v_prev = float(v[idx])
+            component._q_prev = float(q[idx])

@@ -17,18 +17,28 @@ yet short for the weak tail, the same mechanics produce:
   of the weak tail, and only when the stored state opposes the read
   field (the ΔQ0 ≫ ΔQ1 asymmetry behind the paper's QNRO sensing);
 * accumulative read disturb across repeated reads.
+
+Two granularities share the same kernels:
+
+* :class:`DomainEnsemble` holds ``(n_cells, n_domains)`` state arrays and
+  advances/evaluates every cell in single numpy calls — the batched
+  substrate behind Monte-Carlo variation studies and array-scale sweeps;
+* :class:`DomainBank` is the single-cell view (a one-cell ensemble) used
+  by circuit components and device-level experiments.
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 import numpy as np
 from scipy import special
 
 from repro.errors import DeviceError
-from repro.ferro.dynamics import switched_fraction, switching_time
+from repro.ferro.dynamics import evolve_states
 from repro.ferro.materials import FerroMaterial
 
-__all__ = ["DomainBank"]
+__all__ = ["DomainBank", "DomainEnsemble", "charge_density"]
 
 
 def _gaussian_quantiles(n: int) -> np.ndarray:
@@ -37,8 +47,211 @@ def _gaussian_quantiles(n: int) -> np.ndarray:
     return special.ndtri(probs)
 
 
+def charge_density(material: FerroMaterial, ps: float,
+                   weights: np.ndarray, s: np.ndarray,
+                   voltage: np.ndarray | float) -> np.ndarray:
+    """Total surface charge density Q/A (C/m²): the one charge model.
+
+    Sum of the hysteretic domain polarization (``ps`` is the
+    temperature-scaled saturation value), the reversible
+    (non-hysteretic) component and the linear dielectric response.
+    ``weights``/``s`` carry hysterons along the last axis; ``voltage``
+    broadcasts against the remaining axes.  Every charge evaluation in
+    the repository — scalar bank, batched ensemble, SPICE companion
+    model, behavioural charge balance — goes through this formula.
+    """
+    p_fe = ps * np.sum(weights * s, axis=-1)
+    p_rev = material.chi_nl * np.tanh(voltage / material.v_nl)
+    q_lin = material.linear_capacitance * voltage / material.area
+    return p_fe + p_rev + q_lin
+
+
+class DomainEnsemble:
+    """Domain populations of ``n_cells`` ferroelectric capacitors at once.
+
+    All per-domain arrays have shape ``(n_cells, n_domains)``; the dynamics
+    and charge evaluations accept state arrays with arbitrary extra leading
+    batch axes (``(..., n_cells, n_domains)``) and voltages broadcastable
+    to the batch shape, so a caller can probe many trial voltages or
+    protocol branches of the whole ensemble in one vectorized call.
+
+    Parameters
+    ----------
+    material:
+        Device parameters (shared by every cell).
+    n_cells:
+        Number of independent capacitor instances.
+    temperature_k:
+        Operating temperature; scales coercive/activation voltages and
+        the saturation polarization via the material's linear laws.
+    rng:
+        If given, coercive voltages are sampled randomly per cell
+        (device-to-device variation); otherwise every cell uses the
+        deterministic quantile sampling.
+    vc_shift:
+        Additive shift (volts) applied to every coercive voltage.
+    """
+
+    def __init__(self, material: FerroMaterial, n_cells: int = 1, *,
+                 temperature_k: float | None = None,
+                 rng: np.random.Generator | None = None,
+                 vc_shift: float = 0.0) -> None:
+        if n_cells < 1:
+            raise DeviceError("ensemble needs at least one cell")
+        self.material = material
+        self.n_cells = int(n_cells)
+        self.temperature_k = float(temperature_k if temperature_k is not None
+                                   else material.t_ref)
+        n = material.n_domains
+        vc_mean = material.vc_at(self.temperature_k)
+        # Sigma scales proportionally with the mean under temperature.
+        sigma = material.vc_sigma * vc_mean / material.vc_mean
+        if rng is None:
+            z = np.broadcast_to(_gaussian_quantiles(n), (n_cells, n))
+        else:
+            z = rng.standard_normal((n_cells, n))
+        vc = vc_mean + sigma * z + vc_shift
+        self.vc = np.maximum(vc, 0.02)
+        self.va = material.activation_scale * self.vc
+        self.weights = np.full((n_cells, n), 1.0 / n)
+        self.s = np.zeros((n_cells, n))
+        self._ps = material.ps_at(self.temperature_k)
+
+    @classmethod
+    def from_banks(cls, banks: Sequence["DomainBank"]) -> "DomainEnsemble":
+        """Stack single-cell banks into one ensemble (states are copied)."""
+        if not banks:
+            raise DeviceError("from_banks needs at least one bank")
+        first = banks[0]
+        for bank in banks[1:]:
+            if (bank.material != first.material
+                    or bank.temperature_k != first.temperature_k):
+                raise DeviceError(
+                    "ensemble banks must share material and temperature")
+        ens = cls.__new__(cls)
+        ens.material = first.material
+        ens.n_cells = len(banks)
+        ens.temperature_k = first.temperature_k
+        ens.vc = np.stack([bank.vc for bank in banks])
+        ens.va = np.stack([bank.va for bank in banks])
+        ens.weights = np.stack([bank.weights for bank in banks])
+        ens.s = np.stack([bank.s for bank in banks])
+        ens._ps = first.ps
+        return ens
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    @property
+    def ps(self) -> float:
+        """Saturation polarization at the ensemble's temperature, C/m²."""
+        return self._ps
+
+    def polarization(self, s: np.ndarray | None = None) -> np.ndarray:
+        """Per-cell ferroelectric polarization (C/m²), shape ``(...,
+        n_cells)``."""
+        state = self.s if s is None else s
+        return self._ps * np.sum(self.weights * state, axis=-1)
+
+    def set_uniform(self, s_value: np.ndarray | float) -> None:
+        """Pole every domain of every cell (values must lie in [-1, 1]).
+
+        ``s_value`` may be a scalar or a per-cell array of shape
+        ``(n_cells,)``.
+        """
+        values = np.asarray(s_value, dtype=float)
+        if np.any(np.abs(values) > 1.0):
+            raise DeviceError("domain state must lie in [-1, 1]")
+        self.s = np.broadcast_to(
+            values[..., None] if values.ndim else values,
+            self.s.shape).copy()
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the per-cell, per-domain state (for save/restore)."""
+        return self.s.copy()
+
+    def restore(self, snapshot: np.ndarray) -> None:
+        if snapshot.shape != self.s.shape:
+            raise DeviceError("snapshot shape mismatch")
+        self.s = snapshot.copy()
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def evolved_state(self, voltage: np.ndarray | float, dt: float,
+                      s: np.ndarray | None = None) -> np.ndarray:
+        """States after holding per-cell ``voltage`` for ``dt`` (pure).
+
+        ``voltage`` broadcasts against the batch axes of ``s`` (its last
+        axis is the cell axis); the result gains the broadcast shape.
+        """
+        state = self.s if s is None else s
+        m = self.material
+        return evolve_states(state, voltage, dt, self.va, m.tau0, m.merz_n)
+
+    def apply_voltage(self, voltage: np.ndarray | float,
+                      dt: float) -> np.ndarray:
+        """Hold per-cell ``voltage`` for ``dt``; returns the new P array."""
+        self.s = self.evolved_state(voltage, dt)
+        return self.polarization()
+
+    def apply_waveform(self, times: np.ndarray, voltages: np.ndarray,
+                       ) -> np.ndarray:
+        """Apply a sampled waveform to every cell; P at every sample.
+
+        ``times`` must be increasing 1-D; ``voltages`` is either the same
+        shape (shared waveform) or ``(n_samples, n_cells)``.  Returns
+        polarizations of shape ``(n_samples, n_cells)``.
+        """
+        times = np.asarray(times, dtype=float)
+        voltages = np.asarray(voltages, dtype=float)
+        if times.ndim != 1 or voltages.shape[0] != times.size:
+            raise DeviceError("times and voltages must align on axis 0")
+        if voltages.ndim == 1:
+            voltages = np.broadcast_to(voltages[:, None],
+                                       (times.size, self.n_cells))
+        p_out = np.empty((times.size, self.n_cells))
+        p_out[0] = self.polarization()
+        for k in range(1, times.size):
+            dt = times[k] - times[k - 1]
+            if dt < 0:
+                raise DeviceError("times must be non-decreasing")
+            v_mid = 0.5 * (voltages[k] + voltages[k - 1])
+            p_out[k] = self.apply_voltage(v_mid, dt)
+        return p_out
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def total_charge_density(self, voltage: np.ndarray | float,
+                             s: np.ndarray | None = None) -> np.ndarray:
+        """Per-cell surface charge density Q/A (C/m²) at ``voltage``."""
+        return charge_density(self.material, self._ps, self.weights,
+                              self.s if s is None else s,
+                              np.asarray(voltage, dtype=float))
+
+    def charge(self, voltage: np.ndarray | float,
+               s: np.ndarray | None = None) -> np.ndarray:
+        """Per-cell device charge in coulombs at ``voltage``."""
+        return self.total_charge_density(voltage, s) * self.material.area
+
+    def evolved_charge(self, voltage: np.ndarray | float, dt: float,
+                       s: np.ndarray | None = None) -> np.ndarray:
+        """Charge (C) at ``voltage`` after evolving over ``dt`` (pure).
+
+        The one-call combination circuit components and charge-balance
+        solvers need per trial voltage: evolve, then evaluate Q.
+        """
+        evolved = self.evolved_state(voltage, dt, s)
+        return self.charge(voltage, evolved)
+
+
 class DomainBank:
     """State of one ferroelectric capacitor's domain population.
+
+    A thin single-cell view over :class:`DomainEnsemble`: all arrays are
+    the ensemble's row 0, so the scalar API (and its numerics) are
+    exactly the batched kernels evaluated at batch size one.
 
     Parameters
     ----------
@@ -59,23 +272,44 @@ class DomainBank:
                  temperature_k: float | None = None,
                  rng: np.random.Generator | None = None,
                  vc_shift: float = 0.0) -> None:
-        self.material = material
-        self.temperature_k = float(temperature_k if temperature_k is not None
-                                   else material.t_ref)
-        n = material.n_domains
-        vc_mean = material.vc_at(self.temperature_k)
-        # Sigma scales proportionally with the mean under temperature.
-        sigma = material.vc_sigma * vc_mean / material.vc_mean
-        if rng is None:
-            z = _gaussian_quantiles(n)
-        else:
-            z = rng.standard_normal(n)
-        vc = vc_mean + sigma * z + vc_shift
-        self.vc = np.maximum(vc, 0.02)
-        self.va = material.activation_scale * self.vc
-        self.weights = np.full(n, 1.0 / n)
-        self.s = np.zeros(n)
-        self._ps = material.ps_at(self.temperature_k)
+        self._ensemble = DomainEnsemble(material, 1,
+                                        temperature_k=temperature_k,
+                                        rng=rng, vc_shift=vc_shift)
+
+    # ------------------------------------------------------------------
+    # ensemble views
+    # ------------------------------------------------------------------
+    @property
+    def material(self) -> FerroMaterial:
+        return self._ensemble.material
+
+    @property
+    def temperature_k(self) -> float:
+        return self._ensemble.temperature_k
+
+    @property
+    def vc(self) -> np.ndarray:
+        return self._ensemble.vc[0]
+
+    @property
+    def va(self) -> np.ndarray:
+        return self._ensemble.va[0]
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._ensemble.weights[0]
+
+    @property
+    def s(self) -> np.ndarray:
+        return self._ensemble.s[0]
+
+    @s.setter
+    def s(self, value: np.ndarray) -> None:
+        self._ensemble.s[0] = value
+
+    def as_ensemble(self) -> DomainEnsemble:
+        """The backing one-cell ensemble (state is shared, not copied)."""
+        return self._ensemble
 
     # ------------------------------------------------------------------
     # state access
@@ -83,18 +317,18 @@ class DomainBank:
     @property
     def ps(self) -> float:
         """Saturation polarization at the bank's temperature, C/m²."""
-        return self._ps
+        return self._ensemble.ps
 
     def polarization(self, s: np.ndarray | None = None) -> float:
         """Ferroelectric polarization (C/m²) of the given/current state."""
         state = self.s if s is None else s
-        return float(self._ps * np.dot(self.weights, state))
+        return float(self._ensemble.ps * np.dot(self.weights, state))
 
     def set_uniform(self, s_value: float) -> None:
         """Pole every domain to ``s_value`` (must lie in [-1, 1])."""
         if not -1.0 <= s_value <= 1.0:
             raise DeviceError("domain state must lie in [-1, 1]")
-        self.s = np.full(self.material.n_domains, float(s_value))
+        self._ensemble.s[0] = float(s_value)
 
     def snapshot(self) -> np.ndarray:
         """Copy of the per-domain state (for save/restore)."""
@@ -103,7 +337,7 @@ class DomainBank:
     def restore(self, snapshot: np.ndarray) -> None:
         if snapshot.shape != self.s.shape:
             raise DeviceError("snapshot shape mismatch")
-        self.s = snapshot.copy()
+        self.s = snapshot
 
     # ------------------------------------------------------------------
     # dynamics
@@ -114,11 +348,8 @@ class DomainBank:
         state = self.s if s is None else s
         if dt <= 0.0 or abs(voltage) < 1e-9:
             return state.copy()
-        target = 1.0 if voltage > 0 else -1.0
-        tau = switching_time(voltage, self.va, self.material.tau0,
-                             self.material.merz_n)
-        frac = switched_fraction(dt, tau)
-        return state + (target - state) * frac
+        m = self.material
+        return evolve_states(state, voltage, dt, self.va, m.tau0, m.merz_n)
 
     def apply_voltage(self, voltage: float, dt: float) -> float:
         """Hold ``voltage`` for ``dt`` seconds; returns the new P (C/m²)."""
@@ -151,20 +382,30 @@ class DomainBank:
     # ------------------------------------------------------------------
     def total_charge_density(self, voltage: float,
                              s: np.ndarray | None = None) -> float:
-        """Total surface charge density Q/A (C/m²) at ``voltage``.
-
-        Sum of the hysteretic domain polarization, the reversible
-        (non-hysteretic) component and the linear dielectric response.
-        """
-        m = self.material
-        p_fe = self.polarization(s)
-        p_rev = m.chi_nl * np.tanh(voltage / m.v_nl)
-        q_lin = m.linear_capacitance * voltage / m.area
-        return float(p_fe + p_rev + q_lin)
+        """Total surface charge density Q/A (C/m²) at ``voltage``."""
+        return float(charge_density(self.material, self.ps, self.weights,
+                                    self.s if s is None else s, voltage))
 
     def charge(self, voltage: float, s: np.ndarray | None = None) -> float:
         """Total device charge in coulombs at ``voltage``."""
         return self.total_charge_density(voltage, s) * self.material.area
+
+    def evolved_charges(self, voltages, dt: float) -> np.ndarray:
+        """Device charge (C) at each trial voltage after evolving ``dt``.
+
+        One vectorized call replaces a loop of ``evolved_state`` +
+        ``charge`` pairs — the Newton hot path of
+        :class:`~repro.ferro.fecap.FeCapacitor` evaluates all of its
+        numeric-derivative trial points here at once.
+        """
+        v = np.asarray(voltages, dtype=float)
+        m = self.material
+        if dt <= 0.0:
+            s = np.broadcast_to(self.s, v.shape + self.s.shape)
+        else:
+            s = evolve_states(self.s, v, dt, self.va, m.tau0, m.merz_n)
+        return charge_density(m, self._ensemble.ps, self.weights, s,
+                              v) * m.area
 
     def remanent_polarization(self) -> float:
         """Current P at zero volts (the hysteretic part only), C/m²."""

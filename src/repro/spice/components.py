@@ -99,10 +99,24 @@ class Component:
     Subclasses set :attr:`nodes` (terminal node *names*) in ``__init__``;
     the circuit resolves them to indices (ground → ``-1``) at freeze time
     and writes them into :attr:`node_index`.
+
+    Components advertise their MNA behaviour through :attr:`linear`:
+    linear components promise that their matrix stamp depends only on the
+    step size ``dt`` (never on the Newton iterate or on ``t``) and that
+    their right-hand-side stamp depends only on ``(t, dt)`` and committed
+    state.  The solver exploits this by stamping them through
+    :meth:`stamp_matrix` / :meth:`stamp_rhs` once per accepted matrix /
+    once per step instead of once per Newton iteration — and by skipping
+    the Newton loop entirely for circuits with no nonlinear components.
     """
 
     #: number of extra MNA branch unknowns this component needs
     branch_count = 0
+
+    #: True when the matrix stamp depends only on dt and the rhs stamp
+    #: only on (t, dt) and committed state; such components implement
+    #: stamp_matrix/stamp_rhs and are hoisted out of the Newton loop.
+    linear = False
 
     def __init__(self, name: str, nodes: tuple[str, ...]) -> None:
         if not name:
@@ -118,8 +132,40 @@ class Component:
     def stamp(self, ctx: StampContext) -> None:
         raise NotImplementedError
 
+    def stamp_matrix(self, ctx: StampContext) -> None:
+        """Matrix-only stamp (linear components; depends on dt at most)."""
+        raise NotImplementedError
+
+    def stamp_rhs(self, ctx: StampContext) -> None:
+        """RHS-only stamp (linear components; default: no contribution)."""
+
     def commit(self, x: np.ndarray) -> None:
         """Accept the converged solution ``x`` for this step."""
+
+    # ------------------------------------------------------------------
+    # batched stamping (optional)
+    # ------------------------------------------------------------------
+    def group_key(self):
+        """Hashable batching key, or ``None`` to always stamp alone.
+
+        Components of the same type returning equal keys are stamped (and
+        committed) together through :meth:`stamp_group` /
+        :meth:`commit_group`, letting device models with vectorizable
+        evaluations amortize one array call across all instances in a
+        netlist instead of paying per-component numpy overhead.
+        """
+        return None
+
+    @staticmethod
+    def stamp_group(ctx: StampContext, components: list["Component"],
+                    ) -> None:
+        """Stamp several same-key components in one batched evaluation."""
+        raise NotImplementedError
+
+    @staticmethod
+    def commit_group(x: np.ndarray, components: list["Component"]) -> None:
+        """Commit several same-key components in one batched evaluation."""
+        raise NotImplementedError
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"
@@ -127,6 +173,8 @@ class Component:
 
 class Resistor(Component):
     """Linear resistor between two nodes."""
+
+    linear = True
 
     def __init__(self, name: str, node_p: str, node_n: str,
                  resistance: float) -> None:
@@ -136,6 +184,9 @@ class Resistor(Component):
         self.resistance = float(resistance)
 
     def stamp(self, ctx: StampContext) -> None:
+        self.stamp_matrix(ctx)
+
+    def stamp_matrix(self, ctx: StampContext) -> None:
         i, j = self.node_index
         ctx.add_conductance(i, j, 1.0 / self.resistance)
 
@@ -149,6 +200,8 @@ class Resistor(Component):
 
 class Capacitor(Component):
     """Linear capacitor integrated with a backward-Euler companion model."""
+
+    linear = True
 
     def __init__(self, name: str, node_p: str, node_n: str,
                  capacitance: float, *, ic: float = 0.0) -> None:
@@ -165,10 +218,16 @@ class Capacitor(Component):
     def stamp(self, ctx: StampContext) -> None:
         # Backward Euler: i = C/dt * (v(t) - v_prev)  ==> conductance C/dt
         # in parallel with a history current source.
+        self.stamp_matrix(ctx)
+        self.stamp_rhs(ctx)
+
+    def stamp_matrix(self, ctx: StampContext) -> None:
         i, j = self.node_index
-        g = self.capacitance / ctx.dt
-        ctx.add_conductance(i, j, g)
-        ieq = g * self.v_prev
+        ctx.add_conductance(i, j, self.capacitance / ctx.dt)
+
+    def stamp_rhs(self, ctx: StampContext) -> None:
+        i, j = self.node_index
+        ieq = self.capacitance / ctx.dt * self.v_prev
         ctx.add_current(i, ieq)
         ctx.add_current(j, -ieq)
 
@@ -193,6 +252,7 @@ class VoltageSource(Component):
     """
 
     branch_count = 1
+    linear = True
 
     def __init__(self, name: str, node_p: str, node_n: str,
                  value: "Waveform | float") -> None:
@@ -200,6 +260,10 @@ class VoltageSource(Component):
         self.waveform = as_waveform(value)
 
     def stamp(self, ctx: StampContext) -> None:
+        self.stamp_matrix(ctx)
+        self.stamp_rhs(ctx)
+
+    def stamp_matrix(self, ctx: StampContext) -> None:
         i, j = self.node_index
         (br,) = self.branch_index
         if i >= 0:
@@ -208,6 +272,9 @@ class VoltageSource(Component):
         if j >= 0:
             ctx.a[j, br] -= 1.0
             ctx.a[br, j] -= 1.0
+
+    def stamp_rhs(self, ctx: StampContext) -> None:
+        (br,) = self.branch_index
         ctx.z[br] += self.waveform(ctx.t)
 
     def current(self, x: np.ndarray) -> float:
@@ -220,12 +287,20 @@ class CurrentSource(Component):
     """Independent current source driving current from ``node_p`` to
     ``node_n`` through the source (i.e. out of ``p``'s node, into ``n``'s)."""
 
+    linear = True
+
     def __init__(self, name: str, node_p: str, node_n: str,
                  value: "Waveform | float") -> None:
         super().__init__(name, (node_p, node_n))
         self.waveform = as_waveform(value)
 
     def stamp(self, ctx: StampContext) -> None:
+        self.stamp_rhs(ctx)
+
+    def stamp_matrix(self, ctx: StampContext) -> None:
+        """Current sources contribute no matrix entries."""
+
+    def stamp_rhs(self, ctx: StampContext) -> None:
         i, j = self.node_index
         value = self.waveform(ctx.t)
         ctx.add_current(i, -value)

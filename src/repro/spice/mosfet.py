@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.errors import DeviceError
 from repro.spice.components import Component, StampContext
 
@@ -121,6 +123,15 @@ FAB_NMOS = MosfetParams(polarity=+1, vt=0.95, kp=200e-6, n=1.853,
                         temperature_k=300.0)
 
 
+def _f_ekv_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized EKV interpolation function ``F(x) = ln(1+e^{x/2})^2``."""
+    half = 0.5 * np.asarray(x, dtype=float)
+    # Same overflow guard as the scalar path: F ~ (x/2)^2 asymptotically.
+    ln_term = np.where(half > 40.0, half,
+                       np.log1p(np.exp(np.minimum(half, 40.0))))
+    return ln_term * ln_term
+
+
 def _f_ekv(x: float) -> tuple[float, float]:
     """EKV interpolation function ``F(x) = ln(1+e^{x/2})^2`` and dF/dx."""
     half = 0.5 * x
@@ -157,6 +168,31 @@ class Mosfet(Component):
         """
         current, _, _ = self._ids_and_derivs(vgs, vds)
         return current
+
+    def ids_array(self, vgs: np.ndarray | float,
+                  vds: np.ndarray | float) -> np.ndarray:
+        """Vectorized drain current for arrays of terminal voltages.
+
+        Same device equations as :meth:`ids` (polarity, drain/source
+        symmetry, leakage floor) evaluated elementwise over broadcast
+        ``vgs`` / ``vds`` — the batched sense-level path of the
+        behavioural cell model.
+        """
+        p = self.params
+        pol = p.polarity
+        vgs_n = pol * np.asarray(vgs, dtype=float)
+        vds_n = pol * np.asarray(vds, dtype=float)
+        swap = vds_n < 0.0
+        # Swapped terminals: I_ds(vgs, vds) = -I_core(vgs - vds, -vds).
+        vg_eff = np.where(swap, vgs_n - vds_n, vgs_n)
+        vd_eff = np.abs(vds_n)
+        nut = p.n * p.ut
+        ff = _f_ekv_array((vg_eff - p.vt) / nut)
+        fr = _f_ekv_array((vg_eff - p.vt - p.n * vd_eff) / nut)
+        i_core = p.i_spec * (ff - fr) * (1.0 + p.lam * vd_eff)
+        i = np.where(swap, -i_core, i_core)
+        i = i + (p.i_off_floor / self._FLOOR_VDS_REF) * vds_n
+        return pol * i
 
     def _ids_core(self, vgs: float, vds: float) -> tuple[float, float, float]:
         """I_D and partials for vds >= 0, polarity-normalised voltages."""

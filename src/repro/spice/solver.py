@@ -1,23 +1,33 @@
 """Newton-Raphson transient engine for :class:`~repro.spice.circuit.Circuit`.
 
-The solver advances time with a fixed base step, assembling the MNA system
-from component stamps at every Newton iteration.  Capacitive elements use
+The solver advances time with a fixed base step.  Capacitive elements use
 backward-Euler companions (L-stable: the right choice for the stiff,
 switch-driven waveforms of memory-cell protocols).  If an individual step
 fails to converge it is retried with a halved step size, up to
 ``max_step_halvings`` times; component state is only mutated on ``commit``,
 so retries need no rollback.
+
+Assembly is incremental: components are partitioned at construction time
+into a *linear* block (resistors, capacitors, independent sources — matrix
+entries depend only on ``dt``, right-hand sides only on ``(t, dt)`` and
+committed state) and a *nonlinear* block (MOSFETs, ferroelectric
+capacitors, switches).  The linear matrix is stamped once per ``dt`` into
+a cached base matrix and the linear RHS once per step; each Newton
+iteration then copies the bases into preallocated ``A``/``z`` buffers and
+stamps only the nonlinear components.  Circuits with no nonlinear
+components skip the Newton loop entirely: the base matrix is
+LU-factorised once per ``dt`` and every step is a single back-substitution.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-
 import numpy as np
+from scipy import linalg as scipy_linalg
 
 from repro.errors import CircuitError, ConvergenceError
 from repro.spice.analysis import TransientResult
 from repro.spice.circuit import Circuit
+from repro.spice.components import StampContext
 
 __all__ = ["TransientSolver", "SolverOptions"]
 
@@ -65,13 +75,45 @@ class TransientSolver:
                  options: SolverOptions | None = None) -> None:
         self.circuit = circuit.freeze()
         self.options = options or SolverOptions()
+        components = list(self.circuit.components())
+        self._components = components
+        self._linear = [c for c in components if c.linear]
+        nonlinear = [c for c in components if not c.linear]
+        # Same-type nonlinear components with matching group keys stamp
+        # and commit through one batched device evaluation.
+        grouped: dict[tuple, list] = {}
+        plain = []
+        for component in nonlinear:
+            key = component.group_key()
+            if key is None:
+                plain.append(component)
+            else:
+                grouped.setdefault((type(component), key),
+                                   []).append(component)
+        self._groups = []
+        for members in grouped.values():
+            if len(members) > 1:
+                self._groups.append(members)
+            else:
+                plain.extend(members)
+        self._nonlinear = nonlinear
+        self._nonlinear_plain = plain
+        n = self.circuit.n_unknowns
+        # Preallocated assembly buffers, reused across every Newton
+        # iteration of every step.
+        self._a = np.empty((n, n))
+        self._z = np.empty(n)
+        self._a_base = np.zeros((n, n))
+        self._z_base = np.zeros(n)
+        self._base_dt: float | None = None
+        self._lu = None
 
     # ------------------------------------------------------------------
     def run(self, t_stop: float, dt: float, *,
             t_start: float = 0.0,
             initial_conditions: dict[str, float] | None = None,
             record_every: int = 1,
-            callback: Callable[[float, np.ndarray], None] | None = None,
+            callback=None,
             ) -> TransientResult:
         """Integrate from ``t_start`` to ``t_stop`` with base step ``dt``.
 
@@ -107,11 +149,10 @@ class TransientSolver:
         step_index = 0
         base_dt = dt
         current_dt = dt
-        components = list(ckt.components())
 
         while t < t_stop - 1e-21:
             current_dt = min(current_dt, t_stop - t)
-            x_new = self._attempt_step(components, x, t, current_dt)
+            x_new = self._attempt_step(x, t, current_dt)
             halvings = 0
             while x_new is None:
                 halvings += 1
@@ -121,10 +162,14 @@ class TransientSolver:
                         f"after {halvings - 1} step halvings",
                         time=t, iterations=self.options.max_newton_iters)
                 current_dt *= 0.5
-                x_new = self._attempt_step(components, x, t, current_dt)
+                x_new = self._attempt_step(x, t, current_dt)
             t += current_dt
-            for component in components:
+            for component in self._linear:
                 component.commit(x_new)
+            for component in self._nonlinear_plain:
+                component.commit(x_new)
+            for members in self._groups:
+                type(members[0]).commit_group(x_new, members)
             x = x_new
             step_index += 1
             if step_index % record_every == 0 or t >= t_stop - 1e-21:
@@ -140,27 +185,63 @@ class TransientSolver:
                                np.vstack(states))
 
     # ------------------------------------------------------------------
-    def _attempt_step(self, components: Sequence, x_prev: np.ndarray,
-                      t: float, dt: float) -> np.ndarray | None:
-        """One backward-Euler step via Newton; ``None`` if not converged."""
+    def _rebuild_base_matrix(self, x: np.ndarray, t_next: float,
+                             dt: float) -> None:
+        """Stamp the static-linear matrix block for a new step size."""
         opts = self.options
         ckt = self.circuit
-        n = ckt.n_unknowns
-        t_next = t + dt
-        for component in components:
-            component.begin_step(t_next, dt)
-        x = x_prev.copy()
-        from repro.spice.components import StampContext  # cycle-free import
+        self._a_base[:] = 0.0
+        ctx = StampContext(self._a_base, self._z, x, t_next, dt)
+        for component in self._linear:
+            component.stamp_matrix(ctx)
+        # gmin to ground on every node row.
+        idx = np.arange(ckt.n_nodes)
+        self._a_base[idx, idx] += opts.gmin
+        self._base_dt = dt
+        self._lu = None
 
+    def _attempt_step(self, x_prev: np.ndarray, t: float,
+                      dt: float) -> np.ndarray | None:
+        """One backward-Euler step via Newton; ``None`` if not converged."""
+        opts = self.options
+        n = self.circuit.n_unknowns
+        t_next = t + dt
+        for component in self._components:
+            component.begin_step(t_next, dt)
+        if dt != self._base_dt:
+            self._rebuild_base_matrix(x_prev, t_next, dt)
+        # Linear RHS once per step: independent of the Newton iterate.
+        self._z_base[:] = 0.0
+        ctx = StampContext(self._a_base, self._z_base, x_prev, t_next, dt)
+        for component in self._linear:
+            component.stamp_rhs(ctx)
+
+        if not self._nonlinear:
+            # Fully linear circuit: prefactorize once per dt, then each
+            # step is one triangular solve — no Newton iteration at all.
+            if self._lu is None:
+                try:
+                    self._lu = scipy_linalg.lu_factor(self._a_base,
+                                                      check_finite=False)
+                except (scipy_linalg.LinAlgError, ValueError):
+                    return None
+            x = scipy_linalg.lu_solve(self._lu, self._z_base,
+                                      check_finite=False)
+            if not np.all(np.isfinite(x)):
+                return None
+            return x
+
+        x = x_prev.copy()
+        a = self._a
+        z = self._z
         for _ in range(opts.max_newton_iters):
-            a = np.zeros((n, n))
-            z = np.zeros(n)
+            np.copyto(a, self._a_base)
+            np.copyto(z, self._z_base)
             ctx = StampContext(a, z, x, t_next, dt)
-            for component in components:
+            for component in self._nonlinear_plain:
                 component.stamp(ctx)
-            # gmin to ground on every node row.
-            idx = np.arange(ckt.n_nodes)
-            a[idx, idx] += opts.gmin
+            for members in self._groups:
+                type(members[0]).stamp_group(ctx, members)
             try:
                 x_next = np.linalg.solve(a, z)
             except np.linalg.LinAlgError:

@@ -9,6 +9,7 @@ protocol builders in :mod:`repro.core.waveforms`.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from collections.abc import Iterable, Sequence
 
 from repro.errors import CircuitError
@@ -74,21 +75,29 @@ class PWL(Waveform):
                     f"PWL breakpoints must be non-decreasing in time "
                     f"(got {t0:g} then {t1:g})")
         self.points = pts
+        # Precomputed columns: __call__ is evaluated once per transient
+        # step, so segment lookup is a bisection, not a linear scan.
+        self._times = [t for t, _ in pts]
+        self._values = [v for _, v in pts]
 
     def __call__(self, t: float) -> float:
-        pts = self.points
-        if t <= pts[0][0]:
-            return pts[0][1]
-        if t >= pts[-1][0]:
-            return pts[-1][1]
-        # Linear scan is fine: protocol waveforms have a handful of points.
-        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
-            if t0 <= t <= t1:
-                if t1 == t0:
-                    return v1
-                frac = (t - t0) / (t1 - t0)
-                return v0 + frac * (v1 - v0)
-        raise AssertionError("unreachable: PWL scan fell through")
+        times = self._times
+        values = self._values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        # First segment [times[k-1], times[k]] containing t; at an exact
+        # (possibly repeated) breakpoint this yields the segment-end
+        # value, matching the historical first-match linear scan.
+        k = bisect_left(times, t)
+        t0, t1 = times[k - 1], times[k]
+        v1 = values[k]
+        if t1 == t:
+            return v1
+        v0 = values[k - 1]
+        frac = (t - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
 
     def breakpoint_times(self) -> list[float]:
         """Times where the slope may change (used for solver step clamping)."""

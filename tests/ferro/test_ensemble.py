@@ -1,0 +1,136 @@
+"""DomainEnsemble vs per-cell DomainBank equivalence.
+
+The batched ensemble must reproduce the per-cell bank results exactly
+(same kernels at batch size one) so that Monte-Carlo studies built on the
+ensemble are interchangeable with sequential per-cell runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.ferro.materials import FAB_HZO, NVDRAM_CAL
+from repro.ferro.preisach import DomainBank, DomainEnsemble
+
+N_CELLS = 5
+
+
+def _banks(material, n_cells=N_CELLS, seed=7):
+    rng = np.random.default_rng(seed)
+    return [DomainBank(material, rng=np.random.default_rng(rng.integers(
+        2**32))) for _ in range(n_cells)]
+
+
+class TestConstruction:
+    def test_quantile_ensemble_matches_bank(self):
+        ens = DomainEnsemble(NVDRAM_CAL, 3)
+        bank = DomainBank(NVDRAM_CAL)
+        for row in range(3):
+            assert np.array_equal(ens.vc[row], bank.vc)
+            assert np.array_equal(ens.va[row], bank.va)
+
+    def test_rng_ensemble_matches_sequential_banks(self):
+        # One generator, n cells: the ensemble consumes the same stream
+        # as n sequential banks drawing from the same generator.
+        ens = DomainEnsemble(NVDRAM_CAL, N_CELLS,
+                             rng=np.random.default_rng(42))
+        rng = np.random.default_rng(42)
+        for row in range(N_CELLS):
+            bank = DomainBank(NVDRAM_CAL, rng=rng)
+            assert np.array_equal(ens.vc[row], bank.vc)
+
+    def test_from_banks_stacks_state(self):
+        banks = _banks(FAB_HZO)
+        banks[2].set_uniform(1.0)
+        ens = DomainEnsemble.from_banks(banks)
+        assert ens.n_cells == len(banks)
+        for row, bank in enumerate(banks):
+            assert np.array_equal(ens.s[row], bank.s)
+            assert np.array_equal(ens.vc[row], bank.vc)
+
+    def test_from_banks_rejects_mixed_temperature(self):
+        bank_a = DomainBank(FAB_HZO)
+        bank_b = DomainBank(FAB_HZO, temperature_k=350.0)
+        with pytest.raises(DeviceError):
+            DomainEnsemble.from_banks([bank_a, bank_b])
+
+    def test_needs_at_least_one_cell(self):
+        with pytest.raises(DeviceError):
+            DomainEnsemble(NVDRAM_CAL, 0)
+        with pytest.raises(DeviceError):
+            DomainEnsemble.from_banks([])
+
+
+class TestDynamicsEquivalence:
+    def test_apply_voltage_matches_per_cell(self):
+        banks = _banks(NVDRAM_CAL)
+        ens = DomainEnsemble.from_banks(banks)
+        voltages = np.linspace(-2.0, 2.0, N_CELLS)
+        p_batch = ens.apply_voltage(voltages, 5e-8)
+        for row, bank in enumerate(banks):
+            p_cell = bank.apply_voltage(float(voltages[row]), 5e-8)
+            assert p_batch[row] == pytest.approx(p_cell, rel=1e-12)
+            np.testing.assert_allclose(ens.s[row], bank.s, rtol=1e-12)
+
+    def test_pulse_train_stays_equivalent(self):
+        banks = _banks(FAB_HZO, seed=11)
+        ens = DomainEnsemble.from_banks(banks)
+        pulses = [(3.0, 1e-6), (-1.5, 1e-7), (0.9, 1e-5), (-3.0, 1e-6)]
+        for voltage, dt in pulses:
+            ens.apply_voltage(np.full(N_CELLS, voltage), dt)
+            for bank in banks:
+                bank.apply_voltage(voltage, dt)
+        for row, bank in enumerate(banks):
+            np.testing.assert_allclose(ens.s[row], bank.s, rtol=1e-12)
+
+    def test_apply_waveform_matches_per_cell(self):
+        banks = _banks(NVDRAM_CAL, seed=3)
+        ens = DomainEnsemble.from_banks(banks)
+        times = np.linspace(0.0, 1e-4, 200)
+        voltages = 2.5 * np.sin(2 * np.pi * 2e4 * times)
+        p_batch = ens.apply_waveform(times, voltages)
+        assert p_batch.shape == (times.size, N_CELLS)
+        for row, bank in enumerate(banks):
+            p_cell = bank.apply_waveform(times, voltages)
+            np.testing.assert_allclose(p_batch[:, row], p_cell,
+                                       rtol=1e-10, atol=1e-12)
+
+    def test_evolved_state_is_pure(self):
+        ens = DomainEnsemble(NVDRAM_CAL, 3)
+        before = ens.snapshot()
+        ens.evolved_state(np.full(3, 2.0), 1e-6)
+        assert np.array_equal(ens.s, before)
+
+
+class TestChargeEquivalence:
+    def test_charge_matches_per_cell(self):
+        banks = _banks(FAB_HZO, seed=5)
+        ens = DomainEnsemble.from_banks(banks)
+        ens.apply_voltage(np.full(N_CELLS, 2.0), 1e-6)
+        for bank in banks:
+            bank.apply_voltage(2.0, 1e-6)
+        for v in (-1.0, 0.0, 0.4, 3.0):
+            q_batch = ens.charge(np.full(N_CELLS, v))
+            for row, bank in enumerate(banks):
+                assert q_batch[row] == pytest.approx(bank.charge(v),
+                                                     rel=1e-12)
+
+    def test_evolved_charges_matches_scalar_trials(self):
+        bank = DomainBank(NVDRAM_CAL)
+        bank.set_uniform(-1.0)
+        voltages = (0.6, 0.6001, 0.5999)
+        fused = bank.evolved_charges(voltages, 5e-8)
+        for k, v in enumerate(voltages):
+            evolved = bank.evolved_state(v, 5e-8)
+            assert fused[k] == pytest.approx(bank.charge(v, evolved),
+                                             rel=1e-12)
+
+    def test_set_uniform_per_cell_values(self):
+        ens = DomainEnsemble(NVDRAM_CAL, 3)
+        ens.set_uniform(np.array([-1.0, 0.0, 1.0]))
+        p = ens.polarization()
+        assert p[0] == pytest.approx(-ens.ps)
+        assert p[1] == pytest.approx(0.0)
+        assert p[2] == pytest.approx(ens.ps)
+        with pytest.raises(DeviceError):
+            ens.set_uniform(1.5)

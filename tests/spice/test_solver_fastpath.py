@@ -1,0 +1,111 @@
+"""Linear-circuit LU fast path vs the dense Newton path.
+
+Circuits with no nonlinear components skip the Newton loop entirely
+(prefactorized LU per step size).  These tests pin the fast path to the
+Newton path by adding a stamp-free nonlinear dummy that forces the
+general loop on an otherwise identical netlist.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice.components import (
+    Capacitor,
+    Component,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.circuit import Circuit
+from repro.spice.solver import TransientSolver
+from repro.spice.waveform import PWL, Pulse, Sinusoid
+
+
+class _NewtonForcer(Component):
+    """Nonlinear no-op: contributes nothing but disables the fast path."""
+
+    linear = False
+
+    def __init__(self) -> None:
+        super().__init__("newton_forcer", ())
+
+    def stamp(self, ctx) -> None:
+        pass
+
+
+def _rc(newton: bool, source) -> Circuit:
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("vin", "in", "0", source))
+    ckt.add(Resistor("r1", "in", "out", 1e3))
+    ckt.add(Capacitor("c1", "out", "0", 1e-9))
+    if newton:
+        ckt.add(_NewtonForcer())
+    return ckt
+
+
+SOURCES = {
+    "pwl_step": PWL([(0, 0.0), (1e-9, 1.0)]),
+    "pulse": Pulse(0.0, 1.5, delay=5e-8, rise=1e-9, fall=1e-9,
+                   width=2e-7),
+    "sine": Sinusoid(0.2, 0.8, 2e6),
+}
+
+
+class TestFastPathPartition:
+    def test_linear_circuit_has_no_nonlinear_block(self):
+        solver = TransientSolver(_rc(False, SOURCES["pwl_step"]))
+        assert not solver._nonlinear
+        assert len(solver._linear) == 3
+
+    def test_forcer_disables_fast_path(self):
+        solver = TransientSolver(_rc(True, SOURCES["pwl_step"]))
+        assert len(solver._nonlinear) == 1
+
+
+@pytest.mark.parametrize("source_name", sorted(SOURCES))
+class TestFastPathEquivalence:
+    def test_traces_match_newton(self, source_name):
+        source = SOURCES[source_name]
+        fast = TransientSolver(_rc(False, source)).run(1e-6, 1e-9)
+        slow = TransientSolver(_rc(True, source)).run(1e-6, 1e-9)
+        assert np.array_equal(fast.times, slow.times)
+        np.testing.assert_allclose(fast.v("out"), slow.v("out"),
+                                   rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(fast.i("vin"), slow.i("vin"),
+                                   rtol=1e-9, atol=1e-15)
+
+
+class TestFastPathBehaviour:
+    def test_rc_charging_physics(self):
+        result = TransientSolver(_rc(False, SOURCES["pwl_step"])).run(
+            5e-6, 1e-9)
+        v_out = result.v("out")
+        # Monotone charge toward the rail, tau = 1 µs.
+        assert v_out[-1] == pytest.approx(1.0, rel=2e-2)
+        idx = np.searchsorted(result.times, 1e-9 + 1e-6)
+        assert v_out[idx] == pytest.approx(1.0 - np.exp(-1.0), rel=2e-2)
+
+    def test_current_source_circuit_fast_path(self):
+        ckt = Circuit("ic")
+        ckt.add(CurrentSource("iin", "0", "n1", 1e-3))
+        ckt.add(Resistor("r1", "n1", "0", 1e3))
+        ckt.add(Capacitor("c1", "n1", "0", 1e-9))
+        result = TransientSolver(ckt).run(1e-5, 1e-8)
+        assert result.v("n1")[-1] == pytest.approx(1.0, rel=1e-2)
+
+    def test_fast_path_survives_dt_clamping(self):
+        # Final partial step re-factorizes at a new dt; both paths agree.
+        source = SOURCES["pulse"]
+        fast = TransientSolver(_rc(False, source)).run(1.05e-6, 1e-9)
+        slow = TransientSolver(_rc(True, source)).run(1.05e-6, 1e-9)
+        np.testing.assert_allclose(fast.v("out"), slow.v("out"),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_initial_conditions_respected(self):
+        ckt = _rc(False, PWL([(0, 0.0)]))
+        result = TransientSolver(ckt).run(
+            1e-6, 1e-9, initial_conditions={"out": 0.8})
+        v_out = result.v("out")
+        assert v_out[0] == pytest.approx(0.8)
+        # Discharges through the resistor toward the grounded source.
+        assert v_out[-1] < 0.35
