@@ -1,15 +1,22 @@
 """Perf smoke: timed hot paths, recorded to BENCH_substrate.json.
 
-Runs the three benchmarks the vectorization work targets — the
-``variation`` Monte-Carlo experiment, the ``fig3f`` SPICE TBA sweep and
-the RC transient solve — and writes wall-clock timings (with the frozen
-seed baselines for trajectory) to ``BENCH_substrate.json`` at the repo
-root.  CI runs this after the test suite so every PR leaves a recorded
-perf data point.
+Runs the benchmarks the optimization work targets — the ``variation``
+Monte-Carlo experiment, the ``fig3f`` SPICE TBA sweep, the RC transient
+solve, the behavioral level sweep and a sharded-service query batch —
+and writes wall-clock timings (with the frozen seed baselines for
+trajectory) plus the compiler's native-primitive counts to
+``BENCH_substrate.json`` at the repo root.  CI runs this after the test
+suite so every PR leaves a recorded perf data point.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [output.json]
+    PYTHONPATH=src python benchmarks/perf_smoke.py out.json --check BENCH_substrate.json
+
+``--check BASELINE`` turns the run into a regression gate: it fails
+(exit 1) when any timed benchmark is more than ``REGRESSION_TOLERANCE``
+slower than the committed baseline, or when a compiled primitive count
+regresses at all.
 """
 
 from __future__ import annotations
@@ -20,8 +27,12 @@ import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
+from repro.arch.expr import compile_expr
 from repro.core.behavioral import BehavioralCell
 from repro.experiments.registry import run_experiment
+from repro.service import BitwiseService
 from repro.spice import (
     PWL,
     Capacitor,
@@ -33,12 +44,29 @@ from repro.spice import (
 
 #: wall-clock seconds of the seed implementation (commit 253f800,
 #: measured on the same container class CI uses), kept as the fixed
-#: "before" reference each run is compared against.
+#: "before" reference each run is compared against.  Entries introduced
+#: after the seed use their introduction-time measurement as baseline.
 SEED_BASELINE_S = {
     "variation": 5.22,
     "fig3f": 2.90,
     "rc_transient": 0.0393,
     "behavioral_level_sweep": 0.0358,
+    # introduced with the compiler/service PR; baseline = first measure
+    "service_batch": 0.0083,
+}
+
+#: allowed relative slowdown vs the committed baseline (CI gate)
+REGRESSION_TOLERANCE = 0.25
+
+#: absolute grace added on top of the relative tolerance — sub-50 ms
+#: timings routinely jitter more than 25% across shared CI runners, and
+#: a wall-clock gate must not go red on scheduler noise
+REGRESSION_GRACE_S = 0.05
+
+#: queries whose compiled-vs-naive native primitive counts are recorded
+PRIMITIVE_QUERIES = {
+    "fig6_bitmap": "(c0 & c1 & ~c2) | (c3 & c4 & c5)",
+    "cse_3term": "(c0 & c1 & ~c2) | (c0 & c1 & c3) | (c4 & c5)",
 }
 
 
@@ -61,6 +89,41 @@ def _rc_transient():
     return result
 
 
+def _service_batch():
+    """A 1 Mi-bit, 4-shard service answering a five-query batch."""
+    rng = np.random.default_rng(0)
+    n_bits = 1 << 20
+    with BitwiseService("feram-2tnc", n_bits=n_bits, n_shards=4) as svc:
+        for name in ("a", "b", "c", "d"):
+            svc.create_column(
+                name, (rng.random(n_bits) < 0.35).astype(np.uint8))
+        queries = ["a & ~b", "(a & b & ~c) | (c & d)", "a ^ b",
+                   "maj(a, b, c) | ~d", "(a & b & ~c) | (a & b & d)"]
+
+        def run():
+            results = svc.execute(queries, use_cache=False)
+            assert all(result.count is not None for result in results)
+
+        run()  # warm the plan cache; the timing measures execution
+        return _time(run, repeat=3)
+
+
+def primitive_counts() -> dict:
+    """Compiled-vs-naive native primitive counts per row."""
+    record = {}
+    for label, query in PRIMITIVE_QUERIES.items():
+        feram = compile_expr(query, inverting=True)
+        dram = compile_expr(query, inverting=False)
+        record[label] = {
+            "query": query,
+            "feram_acp_per_row": {"naive": feram.naive_primitives,
+                                  "compiled": feram.primitives},
+            "dram_aap_per_row": {"naive": dram.naive_primitives,
+                                 "compiled": dram.primitives},
+        }
+    return record
+
+
 def run_smoke() -> dict:
     timings = {}
     # Warm imports/caches once so timings measure the hot paths.
@@ -79,6 +142,7 @@ def run_smoke() -> dict:
     timings["rc_transient"] = _time(_rc_transient, repeat=5)
     timings["behavioral_level_sweep"] = _time(
         lambda: BehavioralCell(n_caps=3).level_sweep(), repeat=5)
+    timings["service_batch"] = _service_batch()
 
     entries = {}
     for name, seconds in timings.items():
@@ -93,16 +157,71 @@ def run_smoke() -> dict:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "benchmarks": entries,
+        "primitive_counts": primitive_counts(),
     }
 
 
+def check_regression(payload: dict, baseline_path: Path) -> list[str]:
+    """Compare a fresh run against the committed record.
+
+    Timings may drift up to ``REGRESSION_TOLERANCE``; primitive counts
+    are deterministic and must not regress at all.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, entry in baseline.get("benchmarks", {}).items():
+        measured = payload["benchmarks"].get(name)
+        if measured is None:
+            failures.append(f"benchmark {name!r} disappeared")
+            continue
+        limit = entry["measured_s"] * (1.0 + REGRESSION_TOLERANCE) \
+            + REGRESSION_GRACE_S
+        if measured["measured_s"] > limit:
+            failures.append(
+                f"{name}: {measured['measured_s']:.4f}s vs baseline "
+                f"{entry['measured_s']:.4f}s (> {limit:.4f}s allowed)")
+    for label, entry in baseline.get("primitive_counts", {}).items():
+        measured = payload["primitive_counts"].get(label)
+        if measured is None:
+            failures.append(f"primitive record {label!r} disappeared")
+            continue
+        for tech_key in ("feram_acp_per_row", "dram_aap_per_row"):
+            before = entry[tech_key]["compiled"]
+            after = measured[tech_key]["compiled"]
+            if after > before:
+                failures.append(
+                    f"{label}/{tech_key}: compiled primitives "
+                    f"regressed {before} -> {after}")
+    return failures
+
+
 def main(argv: list[str]) -> int:
-    out_path = Path(argv[1]) if len(argv) > 1 else \
+    args = [a for a in argv[1:]]
+    baseline_path = None
+    if "--check" in args:
+        index = args.index("--check")
+        if index + 1 >= len(args):
+            print("usage: perf_smoke.py [output.json] "
+                  "--check BASELINE.json")
+            return 2
+        baseline_path = Path(args[index + 1])
+        del args[index:index + 2]
+    out_path = Path(args[0]) if args else \
         Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
     payload = run_smoke()
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload["benchmarks"], indent=2))
+    print(json.dumps(payload["primitive_counts"], indent=2))
     print(f"wrote {out_path}")
+    if baseline_path is not None:
+        failures = check_regression(payload, baseline_path)
+        if failures:
+            print("PERF REGRESSION GATE FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"perf gate ok (within {REGRESSION_TOLERANCE:.0%} of "
+              f"{baseline_path})")
     return 0
 
 

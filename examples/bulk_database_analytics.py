@@ -1,63 +1,86 @@
-"""Bulk-bitwise database analytics on DRAM vs 2T-nC FeRAM.
+"""Bulk-bitwise database analytics served by the sharded query service.
 
 The workload the paper's intro motivates: bitmap-index analytics over a
-large table.  This example runs a verified (bit-exact) query plus set
-algebra on both technologies at MB scale, then projects the paper's
-1 GB Fig. 6 numbers in counting mode.
+large user table.  This example stands up a :class:`BitwiseService`
+(named bit columns sharded across 2T-nC FeRAM engine instances), runs a
+batch of compiled queries with per-query energy attribution, shows the
+compiler's primitive-count win over naive op chaining and the result
+cache, and finally projects the paper's 1 GB Fig. 6 numbers in counting
+mode.
 
 Run:  python examples/bulk_database_analytics.py
 """
 
 import numpy as np
 
-from repro.arch import make_engine
-from repro.workloads import (
-    BitmapIndexQuery,
-    SetIntersection,
-    SetUnion,
-    run_comparison,
-    run_fig6,
-)
+from repro.arch.expr import compile_expr
+from repro.service import BitwiseService
+from repro.workloads import SetIntersection, SetUnion, run_comparison, run_fig6
+
+N_USERS = 1 << 20  # one million users
 
 
-def verified_query_demo() -> None:
-    print("-- verified bitmap query (4 MB, bit-exact on both techs) --")
-    workload = BitmapIndexQuery(4 << 20)
-    comparison = run_comparison(workload, functional=True)
-    for result in (comparison.dram, comparison.feram):
-        print(f"  {result.technology:<12} energy {result.energy_j * 1e3:8.3f} mJ   "
-              f"cycles {result.cycles:>9}   verified={result.verified}")
-    print(f"  FeRAM advantage: {comparison.energy_ratio:.2f}x energy, "
-          f"{comparison.cycle_ratio:.2f}x cycles\n")
-
-
-def set_algebra_demo() -> None:
-    print("-- set algebra: churned-user analysis --")
+def build_service() -> tuple[BitwiseService, dict[str, np.ndarray]]:
     rng = np.random.default_rng(7)
-    n = 1 << 20  # one million users
-    active_jan = (rng.random(n) < 0.3).astype(np.uint8)
-    active_feb = (rng.random(n) < 0.3).astype(np.uint8)
+    table = {
+        "active_jan": (rng.random(N_USERS) < 0.30).astype(np.uint8),
+        "active_feb": (rng.random(N_USERS) < 0.30).astype(np.uint8),
+        "premium": (rng.random(N_USERS) < 0.10).astype(np.uint8),
+        "eu_region": (rng.random(N_USERS) < 0.40).astype(np.uint8),
+        "beta_optin": (rng.random(N_USERS) < 0.15).astype(np.uint8),
+    }
+    service = BitwiseService("feram-2tnc", n_bits=N_USERS, n_shards=4)
+    for name, bits in table.items():
+        service.create_column(name, bits)
+    return service, table
 
-    eng = make_engine("feram-2tnc", functional=True)
-    jan = eng.load(active_jan, "jan")
-    feb = eng.load(active_feb, "feb", group_with=jan)
-    either = eng.or_(jan, feb, "either")
-    both = eng.and_(jan, feb, "both")
-    churned = eng.andnot(jan, feb, "churned")
-    stats = eng.finalize()
 
-    print(f"  users active either month : {either.logical_bits().sum():>7}")
-    print(f"  users active both months  : {both.logical_bits().sum():>7}")
-    print(f"  churned (jan, not feb)    : {churned.logical_bits().sum():>7}")
-    print(f"  in-memory cost: {stats.total_energy_j * 1e6:.1f} uJ, "
-          f"{stats.total_cycles} cycles "
-          f"({stats.counts} commands)\n")
+def batched_query_demo(service: BitwiseService,
+                       table: dict[str, np.ndarray]) -> None:
+    print("-- batched analytics (1M users x 4 shards, bit-exact) --")
+    queries = [
+        "active_jan | active_feb",                      # any activity
+        "active_jan & active_feb",                      # retained
+        "active_jan & ~active_feb",                     # churned
+        "(active_jan & active_feb & ~beta_optin) | "
+        "(premium & eu_region & beta_optin)",           # campaign target
+    ]
+    for result in service.execute(queries):
+        print(f"  {result.query:<55} {result.count:>7} hits   "
+              f"{result.energy_j * 1e6:7.1f} uJ   "
+              f"{result.primitives_per_row}/row primitives")
+    # Cross-check one against numpy.
+    churned = service.query("active_jan & ~active_feb")
+    expected = int((table["active_jan"] & (1 - table["active_feb"])).sum())
+    assert churned.count == expected
+    stats = service.stats()
+    print(f"  service: {stats['queries_served']} queries, "
+          f"{stats['cache_hits']} cache hits, "
+          f"{stats['energy_total_nj'] / 1e6:.3f} mJ total\n")
 
-    # Cross-check against numpy.
-    assert either.logical_bits().sum() == (active_jan | active_feb).sum()
-    assert both.logical_bits().sum() == (active_jan & active_feb).sum()
-    assert churned.logical_bits().sum() == (
-        active_jan & (1 - active_feb)).sum()
+
+def compiler_win_demo(service: BitwiseService) -> None:
+    print("-- expression compiler vs naive chaining --")
+    cases = {
+        "bitmap predicate":
+            "(active_jan & active_feb & ~premium) | "
+            "(eu_region & beta_optin & premium)",
+        "shared sub-terms":
+            "(active_jan & active_feb & ~premium) | "
+            "(active_jan & active_feb & beta_optin) | "
+            "(eu_region & premium)",
+    }
+    for label, query in cases.items():
+        plan = service.compile(query)
+        print(f"  {label:<18} {plan.primitives:>2} ACPs/row compiled vs "
+              f"{plan.naive_primitives} naive "
+              f"({plan.naive_primitives - plan.primitives} saved)")
+    # The cache serves canonically-equal queries without re-execution.
+    first = service.query("premium & eu_region")
+    again = service.query("eu_region & premium")  # commuted
+    print(f"  commuted re-query  cache_hit={again.cache_hit} "
+          f"(first run cost {first.energy_j * 1e6:.1f} uJ, "
+          f"re-query 0.0 uJ)\n")
 
 
 def paper_scale_projection() -> None:
@@ -70,16 +93,24 @@ def paper_scale_projection() -> None:
 
 
 def main() -> None:
-    print("=== Bulk-bitwise analytics: DRAM/Ambit vs 2T-nC FeRAM ===\n")
-    verified_query_demo()
-    set_algebra_demo()
+    print("=== Bulk-bitwise analytics on 2T-nC FeRAM ===\n")
+    service, table = build_service()
+    try:
+        batched_query_demo(service, table)
+        compiler_win_demo(service)
+    finally:
+        service.close()
     paper_scale_projection()
-    # Also show that individual set ops keep the same advantage.
+    # Individual set operations keep the paper's advantage.
     print("\n-- individual set operations (16 MB, counting mode) --")
     for cls in (SetUnion, SetIntersection):
         comparison = run_comparison(cls(16 << 20))
         print(f"  {cls.name:<18} E {comparison.energy_ratio:.2f}x  "
               f"C {comparison.cycle_ratio:.2f}x")
+    # And the compiler's plan for the Fig. 6 bitmap predicate:
+    plan = compile_expr("(c0 & c1 & ~c2) | (c3 & c4 & c5)")
+    print(f"\n  fig6 bitmap query: {plan.primitives} ACPs/row compiled "
+          f"vs {plan.naive_primitives} naive")
 
 
 if __name__ == "__main__":

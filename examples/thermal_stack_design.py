@@ -8,8 +8,6 @@ design sweep a system architect would run with this library.
 Run:  python examples/thermal_stack_design.py
 """
 
-import numpy as np
-
 from repro.experiments.fig7_thermal import (
     GRID_NX,
     GRID_NY,

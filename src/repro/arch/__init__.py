@@ -15,12 +15,54 @@ from repro.arch.bitwise import (
 )
 from repro.arch.commands import Command, CommandType, Stats, command_cost
 from repro.arch.engine import BulkEngine
+from repro.arch.expr import (
+    And,
+    AndNot,
+    Col,
+    CompiledQuery,
+    Const,
+    Expr,
+    Maj,
+    Nand,
+    Nor,
+    Not,
+    Or,
+    Select,
+    Xnor,
+    Xor,
+    canonical_key,
+    compile_expr,
+    compile_for,
+    naive_run,
+    native_primitives,
+    parse,
+)
 from repro.arch.primitives import DramAmbitEngine, FeramAcpEngine, make_engine
 from repro.arch.refresh import RefreshCharge, apply_refresh
 from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB, MemorySpec, StagingPolicy
 from repro.arch.writeback import WritebackPolicy, compare_writeback_policies
 
 __all__ = [
+    "Expr",
+    "Col",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Nand",
+    "Nor",
+    "Xor",
+    "Xnor",
+    "AndNot",
+    "Maj",
+    "Select",
+    "parse",
+    "canonical_key",
+    "CompiledQuery",
+    "compile_expr",
+    "compile_for",
+    "naive_run",
+    "native_primitives",
     "MemorySpec",
     "DRAM_8GB",
     "FERAM_2TNC_8GB",

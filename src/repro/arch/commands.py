@@ -115,6 +115,38 @@ class Stats:
     def wall_time_s(self, spec: MemorySpec) -> float:
         return self.total_cycles * spec.cycle_time_s
 
+    def copy(self) -> "Stats":
+        """Snapshot of the ledger (used for per-query attribution)."""
+        snap = Stats()
+        snap.energy_j = dict(self.energy_j)
+        snap.cycles = dict(self.cycles)
+        snap.counts = dict(self.counts)
+        snap.staging_aaps = self.staging_aaps
+        snap.relocation_acps = self.relocation_acps
+        snap.control_rewrites = self.control_rewrites
+        return snap
+
+    def minus(self, before: "Stats") -> "Stats":
+        """Ledger delta since a :meth:`copy` snapshot — what one query
+        cost on an engine that keeps running."""
+        delta = Stats()
+        for key in set(self.energy_j) | set(before.energy_j):
+            delta.energy_j[key] = self.energy_j.get(key, 0.0) \
+                - before.energy_j.get(key, 0.0)
+        for key in set(self.cycles) | set(before.cycles):
+            delta.cycles[key] = self.cycles.get(key, 0) \
+                - before.cycles.get(key, 0)
+        for ctype in set(self.counts) | set(before.counts):
+            count = self.counts.get(ctype, 0) - before.counts.get(ctype, 0)
+            if count:
+                delta.counts[ctype] = count
+        delta.staging_aaps = self.staging_aaps - before.staging_aaps
+        delta.relocation_acps = self.relocation_acps \
+            - before.relocation_acps
+        delta.control_rewrites = self.control_rewrites \
+            - before.control_rewrites
+        return delta
+
     def merged_with(self, other: "Stats") -> "Stats":
         """New Stats combining two ledgers."""
         merged = Stats()

@@ -234,6 +234,14 @@ class BulkEngine:
             np.invert(vector.payload, out=vector.payload)
         vector.complemented = flag
 
+    def force_flag(self, vector: BitVector, flag: bool) -> BitVector:
+        """Public flag steering for schedulers (the expression compiler):
+        re-encode the vector so its complement flag equals ``flag``,
+        preserving the logical value (costs one NOT when it differs)."""
+        self._check(vector)
+        self._force_flag(vector, flag)
+        return vector
+
     def _equalize_flags(self, a: BitVector, b: BitVector) -> bool:
         """Make the operand flags agree; returns the common flag."""
         if a.complemented != b.complemented:
@@ -328,10 +336,22 @@ class BulkEngine:
 
     def andnot(self, a: BitVector, b: BitVector,
                name: str | None = None) -> BitVector:
-        """A AND (NOT B) — used by set-difference and masked updates."""
+        """A AND (NOT B) — used by set-difference and masked updates.
+
+        When both operands are the same vector the temporary flag flip
+        would invert *both* sides at once (A AND NOT A would read back
+        as A); the identity result is an all-zeros vector, produced
+        without touching the shared operand.
+        """
+        self._check(a, b)
+        if a is b:
+            return self.constant(a.n_bits, 0,
+                                 name or self._auto_name("zero"))
         self.not_(b)
-        out = self.and_(a, b, name)
-        self.not_(b)  # restore caller's view
+        try:
+            out = self.and_(a, b, name)
+        finally:
+            self.not_(b)  # restore caller's view
         return out
 
     def xor(self, a: BitVector, b: BitVector,
@@ -339,23 +359,28 @@ class BulkEngine:
         """Bulk XOR = AND(OR(a, b), NAND(a, b)) on payloads.
 
         Flags pass through XOR freely — XOR(Va, Vb) = XOR(Pa, Pb)^fa^fb —
-        so the operand flags are stripped around the payload recipe and
-        folded into the result flag.  Chained XORs (CRC, ciphers) then
-        never pay flag-materialization NOTs.
+        so the payload recipe runs on the raw payloads and the operand
+        flags are folded into the result flag.  Chained XORs (CRC,
+        ciphers) then never pay flag-materialization NOTs.
+
+        The operand flags are *read, never written*: the payload-level
+        OR/NAND are issued directly as native triple-activations instead
+        of temporarily clearing ``a.complemented``/``b.complemented``,
+        so concurrent readers of the operands (the service layer runs
+        queries over shared columns) never observe a flipped flag, and
+        aliased operands (``xor(a, a)`` = 0) need no special case.
         """
         self._check(a, b)
-        flag_a, flag_b = a.complemented, b.complemented
-        a.complemented = False
-        b.complemented = False
-        try:
-            t_or = self.or_(a, b)
-            t_nand = self.nand(a, b)
-            out = self.and_(t_or, t_nand, name or self._auto_name("xor"))
-            self.free(t_or, t_nand)
-        finally:
-            a.complemented = flag_a
-            b.complemented = flag_b
-        out.complemented ^= flag_a ^ flag_b
+        flag = a.complemented ^ b.complemented
+        # Payload-level OR: MAJ/MIN with an all-ones control plane; the
+        # native-inversion flag left by _native_logic3 makes the
+        # *logical* value of t_or equal Pa | Pb on both technologies.
+        t_or = self._native_logic3([a, b], 1, None)
+        # Payload-level NAND: the AND primitive plus one free flag flip.
+        t_nand = self.not_(self._native_logic3([a, b], 0, None))
+        out = self.and_(t_or, t_nand, name or self._auto_name("xor"))
+        self.free(t_or, t_nand)
+        out.complemented ^= flag
         return out
 
     def xnor(self, a: BitVector, b: BitVector,

@@ -1,0 +1,1039 @@
+"""Logic-expression AST, optimizer and compiler for the bulk engines.
+
+Multi-term bulk-bitwise queries (bitmap indexes, set algebra, masked
+predicates) are written as expressions over named columns::
+
+    hits = parse("(c0 & c1 & ~c2) | (c3 & c4 & c5)")
+    program = compile_for(engine, hits)
+    result = program.run(engine, columns)
+
+Naive op chaining pays hidden flag-materialization NOTs whenever the
+complement flags of two operands disagree (the engines charge one
+materialized NOT per mismatch), and recomputes repeated sub-terms.  The
+compiler removes both costs:
+
+* **canonicalization** — the AST is lowered to a hash-consed
+  and-inverter graph (AIG): NOTs become edge attributes (double-NOT
+  elimination is inherent), OR/NAND/NOR are De-Morganed onto the native
+  AND/MIN primitive, constants fold, idempotent/contradictory terms
+  collapse, and structurally equal sub-expressions share one node
+  (common-subexpression elimination).  Commutative operands sort by a
+  content key, so ``a & b`` and ``b & a`` compile — and cache — alike.
+* **parity planning** — a dynamic program assigns each node the
+  complement-flag parity that minimizes materialized NOTs, exploiting
+  the technologies' flag algebra (FeRAM's inverting MIN flips parity
+  per level, DRAM's MAJ preserves it).  Mismatches that cannot be
+  planned away are steered to the cheaper operand.
+* **liveness** — intermediate vectors are freed immediately after their
+  last use, so a compiled query's row footprint stays at the live-set
+  peak instead of the term count.
+
+:func:`naive_run` executes the un-optimized AST through the engine's
+compound ops exactly as handwritten kernels chain them, providing the
+before/after primitive counts quoted in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from repro.arch.bank import BitVector
+from repro.arch.commands import CommandType, Stats
+from repro.arch.engine import BulkEngine
+from repro.arch.spec import DRAM_8GB, StagingPolicy
+from repro.errors import QueryError
+
+__all__ = [
+    "Expr", "Col", "Const", "Not", "And", "Or", "Nand", "Nor", "Xor",
+    "Xnor", "AndNot", "Maj", "Select", "parse", "canonical_key",
+    "CompiledQuery", "compile_expr", "compile_for", "naive_run",
+    "native_primitives",
+]
+
+
+# ----------------------------------------------------------------------
+# user-facing AST
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for logic expressions over named bit columns."""
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, other)
+
+    def __xor__(self, other: "Expr") -> "Xor":
+        return Xor(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def cols(self) -> tuple[str, ...]:
+        """Referenced column names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, Col):
+                seen.setdefault(node.name)
+            else:
+                stack = list(node.children()) + stack
+        return tuple(seen)
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Col(Expr):
+    """A named bit column (leaf)."""
+
+    def __init__(self, name: str) -> None:
+        if not re.fullmatch(r"[A-Za-z_]\w*", name):
+            raise QueryError(f"invalid column name {name!r}")
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Const(Expr):
+    """The all-0s or all-1s vector."""
+
+    def __init__(self, bit: int) -> None:
+        if bit not in (0, 1):
+            raise QueryError("constant must be 0 or 1")
+        self.bit = bit
+
+    def __str__(self) -> str:
+        return str(self.bit)
+
+
+class Not(Expr):
+    def __init__(self, x: Expr) -> None:
+        self.x = x
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.x,)
+
+    def __str__(self) -> str:
+        return f"~{self.x}"
+
+
+class _Nary(Expr):
+    op = "?"
+
+    def __init__(self, *xs: Expr) -> None:
+        if len(xs) < 2:
+            raise QueryError(
+                f"{type(self).__name__} needs at least two operands")
+        self.xs = tuple(xs)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.xs
+
+    def __str__(self) -> str:
+        return "(" + f" {self.op} ".join(map(str, self.xs)) + ")"
+
+
+class And(_Nary):
+    op = "&"
+
+
+class Or(_Nary):
+    op = "|"
+
+
+class Xor(_Nary):
+    op = "^"
+
+
+class Nand(_Nary):
+    op = "&"
+
+    def __str__(self) -> str:
+        return "~" + super().__str__()
+
+
+class Nor(_Nary):
+    op = "|"
+
+    def __str__(self) -> str:
+        return "~" + super().__str__()
+
+
+class Xnor(_Nary):
+    op = "^"
+
+    def __str__(self) -> str:
+        return "~" + super().__str__()
+
+
+class AndNot(Expr):
+    """a AND NOT b (set difference)."""
+
+    def __init__(self, a: Expr, b: Expr) -> None:
+        self.a, self.b = a, b
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"({self.a} & ~{self.b})"
+
+
+class Maj(Expr):
+    """Three-input majority (the native triple-activation)."""
+
+    def __init__(self, a: Expr, b: Expr, c: Expr) -> None:
+        self.a, self.b, self.c = a, b, c
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a, self.b, self.c)
+
+    def __str__(self) -> str:
+        return f"maj({self.a}, {self.b}, {self.c})"
+
+
+class Select(Expr):
+    """(mask AND a) OR (NOT mask AND b) — bulk multiplexer."""
+
+    def __init__(self, mask: Expr, a: Expr, b: Expr) -> None:
+        self.mask, self.a, self.b = mask, a, b
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.mask, self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"sel({self.mask}, {self.a}, {self.b})"
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+_TOKEN = re.compile(r"\s*(?:(?P<name>[A-Za-z_]\w*)|(?P<const>[01])"
+                    r"|(?P<op>[&|^~!(),]))")
+
+_KEYWORD_OPS = {"and": "&", "or": "|", "xor": "^", "not": "~"}
+_FUNCTIONS = {
+    "maj": (Maj, 3), "majority": (Maj, 3),
+    "sel": (Select, 3), "select": (Select, 3),
+    "nand": (Nand, None), "nor": (Nor, None), "xnor": (Xnor, None),
+    "andnot": (AndNot, 2),
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise QueryError(
+                    f"bad character {text[pos:].strip()[0]!r} in query")
+            break
+        pos = match.end()
+        tokens.append(match.group("name") or match.group("const")
+                      or match.group("op"))
+    return tokens
+
+
+class _Parser:
+    """Precedence-climbing parser: ``|`` < ``^`` < ``&`` < ``~``."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: str | None = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        if expected is not None and token != expected:
+            raise QueryError(f"expected {expected!r}, got {token!r}")
+        self.pos += 1
+        return token
+
+    def _norm(self, token: str | None) -> str | None:
+        if token is None:
+            return None
+        return _KEYWORD_OPS.get(token.lower(), token)
+
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        if self.peek() is not None:
+            raise QueryError(f"trailing input at {self.peek()!r}")
+        return expr
+
+    def _binary(self, symbol: str, parse_next, cls) -> Expr:
+        parts = [parse_next()]
+        while self._norm(self.peek()) == symbol:
+            self.take()
+            parts.append(parse_next())
+        return parts[0] if len(parts) == 1 else cls(*parts)
+
+    def parse_or(self) -> Expr:
+        return self._binary("|", self.parse_xor, Or)
+
+    def parse_xor(self) -> Expr:
+        return self._binary("^", self.parse_and, Xor)
+
+    def parse_and(self) -> Expr:
+        return self._binary("&", self.parse_unary, And)
+
+    def parse_unary(self) -> Expr:
+        if self._norm(self.peek()) in ("~", "!"):
+            self.take()
+            return Not(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.take()
+        if token == "(":
+            expr = self.parse_or()
+            self.take(")")
+            return expr
+        if token in ("0", "1"):
+            return Const(int(token))
+        lowered = token.lower()
+        if self.peek() == "(" and (lowered in _FUNCTIONS
+                                   or lowered in ("and", "or", "xor")):
+            args = self._arguments()
+            if lowered in ("and", "or", "xor"):
+                cls = {"and": And, "or": Or, "xor": Xor}[lowered]
+                return cls(*args)
+            cls, arity = _FUNCTIONS[lowered]
+            if arity is not None and len(args) != arity:
+                raise QueryError(
+                    f"{lowered}() takes {arity} arguments, got {len(args)}")
+            return cls(*args)
+        if lowered in _KEYWORD_OPS or lowered in _FUNCTIONS:
+            raise QueryError(f"misplaced keyword {token!r}")
+        return Col(token)
+
+    def _arguments(self) -> list[Expr]:
+        self.take("(")
+        args = [self.parse_or()]
+        while self.peek() == ",":
+            self.take()
+            args.append(self.parse_or())
+        self.take(")")
+        return args
+
+
+def parse(text: str) -> Expr:
+    """Parse a query string into an :class:`Expr`.
+
+    Syntax: columns are identifiers; operators ``~ & ^ |`` (or the
+    keywords ``not/and/xor/or``) with conventional precedence;
+    functions ``maj(a,b,c)``, ``sel(m,a,b)``, ``nand(...)``,
+    ``nor(...)``, ``xnor(...)``, ``andnot(a,b)``; constants ``0``/``1``.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens).parse()
+
+
+def _as_expr(expr: "Expr | str") -> Expr:
+    return parse(expr) if isinstance(expr, str) else expr
+
+
+# ----------------------------------------------------------------------
+# AIG lowering with structural hashing
+# ----------------------------------------------------------------------
+# A reference is ``(node_index << 1) | negated``; node 0 is the constant
+# TRUE, so TRUE = 0 and FALSE = 1.
+_TRUE = 0
+_FALSE = 1
+
+
+class _Aig:
+    """Hash-consed and-inverter graph with XOR and MAJ extension nodes."""
+
+    def __init__(self) -> None:
+        self.nodes: list[tuple] = [("true",)]
+        self.keys: list[str] = ["1"]
+        self._table: dict[tuple, int] = {("true",): 0}
+        self.col_order: list[str] = []
+
+    # -- helpers -------------------------------------------------------
+    def ref_key(self, ref: int) -> str:
+        return ("!" if ref & 1 else "") + self.keys[ref >> 1]
+
+    def _intern(self, node: tuple, key: str) -> int:
+        idx = self._table.get(node)
+        if idx is None:
+            idx = len(self.nodes)
+            self.nodes.append(node)
+            self.keys.append(key)
+            self._table[node] = idx
+        return idx << 1
+
+    # -- constructors --------------------------------------------------
+    def col(self, name: str) -> int:
+        if name not in self.col_order:
+            self.col_order.append(name)
+        return self._intern(("col", name), f"c:{name}")
+
+    def and_(self, x: int, y: int) -> int:
+        if x == _TRUE:
+            return y
+        if y == _TRUE:
+            return x
+        if x == _FALSE or y == _FALSE:
+            return _FALSE
+        if x == y:
+            return x
+        if x == y ^ 1:
+            return _FALSE
+        x, y = sorted((x, y), key=self.ref_key)
+        key = f"&({self.ref_key(x)},{self.ref_key(y)})"
+        return self._intern(("and", x, y), key)
+
+    def or_(self, x: int, y: int) -> int:
+        return self.and_(x ^ 1, y ^ 1) ^ 1
+
+    def xor(self, x: int, y: int) -> int:
+        neg = (x & 1) ^ (y & 1)
+        xp, yp = x & ~1, y & ~1
+        if xp == yp:
+            return _TRUE if neg else _FALSE
+        if xp == _TRUE:           # XOR with constant 1 inverts
+            return yp ^ 1 ^ neg
+        if yp == _TRUE:
+            return xp ^ 1 ^ neg
+        xp, yp = sorted((xp, yp), key=self.ref_key)
+        key = f"^({self.ref_key(xp)},{self.ref_key(yp)})"
+        return self._intern(("xor", xp, yp), key) ^ neg
+
+    def maj(self, x: int, y: int, z: int) -> int:
+        # Constant folding: MAJ(1, y, z) = y|z and MAJ(0, y, z) = y&z.
+        for ref, rest in ((x, (y, z)), (y, (x, z)), (z, (x, y))):
+            if ref == _TRUE:
+                return self.or_(*rest)
+            if ref == _FALSE:
+                return self.and_(*rest)
+        # Duplicate / contradictory operand collapse.
+        for a, b, c in ((x, y, z), (x, z, y), (y, z, x)):
+            if a == b:
+                return a
+            if a == b ^ 1:
+                return c
+        # Self-duality: normalize to at most one negated operand.
+        neg = 0
+        if (x & 1) + (y & 1) + (z & 1) >= 2:
+            x, y, z = x ^ 1, y ^ 1, z ^ 1
+            neg = 1
+        x, y, z = sorted((x, y, z), key=self.ref_key)
+        key = (f"m({self.ref_key(x)},{self.ref_key(y)},"
+               f"{self.ref_key(z)})")
+        return self._intern(("maj", x, y, z), key) ^ neg
+
+    # -- lowering ------------------------------------------------------
+    def _balanced(self, refs: list[int], fn) -> int:
+        """Pairwise (balanced) reduction keeps flag parities aligned."""
+        while len(refs) > 1:
+            nxt = [fn(refs[i], refs[i + 1])
+                   for i in range(0, len(refs) - 1, 2)]
+            if len(refs) % 2:
+                nxt.append(refs[-1])
+            refs = nxt
+        return refs[0]
+
+    def lower(self, expr: Expr) -> int:
+        if isinstance(expr, Col):
+            return self.col(expr.name)
+        if isinstance(expr, Const):
+            return _TRUE if expr.bit else _FALSE
+        if isinstance(expr, Not):
+            return self.lower(expr.x) ^ 1
+        if isinstance(expr, (And, Nand)):
+            ref = self._balanced([self.lower(x) for x in expr.xs],
+                                 self.and_)
+            return ref ^ (1 if isinstance(expr, Nand) else 0)
+        if isinstance(expr, (Or, Nor)):
+            ref = self._balanced([self.lower(x) for x in expr.xs],
+                                 self.or_)
+            return ref ^ (1 if isinstance(expr, Nor) else 0)
+        if isinstance(expr, (Xor, Xnor)):
+            ref = self._balanced([self.lower(x) for x in expr.xs],
+                                 self.xor)
+            return ref ^ (1 if isinstance(expr, Xnor) else 0)
+        if isinstance(expr, AndNot):
+            return self.and_(self.lower(expr.a), self.lower(expr.b) ^ 1)
+        if isinstance(expr, Maj):
+            return self.maj(self.lower(expr.a), self.lower(expr.b),
+                            self.lower(expr.c))
+        if isinstance(expr, Select):
+            mask = self.lower(expr.mask)
+            return self.or_(self.and_(mask, self.lower(expr.a)),
+                            self.and_(self.lower(expr.b), mask ^ 1))
+        raise QueryError(f"cannot lower {type(expr).__name__}")
+
+
+def canonical_key(expr: "Expr | str") -> str:
+    """Content-determined key of the optimized expression.
+
+    Equivalent queries — reordered commutative operands, double NOTs,
+    De-Morganed forms, repeated sub-terms — share one key, which is what
+    the service's result cache is keyed on.
+    """
+    aig = _Aig()
+    root = aig.lower(_as_expr(expr))
+    return aig.ref_key(root)
+
+
+# ----------------------------------------------------------------------
+# parity-planning compiler
+# ----------------------------------------------------------------------
+#: planner cost of one engine XOR: 3 logic primitives + 1 internal
+#: materialization (AND/MAJ cost 1 and are inlined in the DP rows)
+_XOR_COST = 4
+
+
+class CompiledQuery:
+    """An optimized, engine-executable query plan.
+
+    Produced by :func:`compile_expr`; run with :meth:`run`.  The plan is
+    specific to a native-primitive polarity (``inverting=True`` for the
+    FeRAM MIN engine, ``False`` for the DRAM MAJ engine) because the
+    flag-parity algebra differs.
+    """
+
+    def __init__(self, expr: Expr, inverting: bool) -> None:
+        self.expr = expr
+        self.inverting = bool(inverting)
+        self._aig = _Aig()
+        self._root = self._aig.lower(expr)
+        self.key = self._aig.ref_key(self._root)
+        self._plan()
+        # Live columns: referenced by the *optimized* graph (folded-away
+        # operands need no binding).
+        self.cols = tuple(
+            name for name in self._aig.col_order
+            if (self._aig.col(name) >> 1) in self._needed)
+        # Ground-truth primitive counts, measured per row on throwaway
+        # counting engines (exact — the executor is deterministic), and
+        # cost-based plan selection: the parity DP is optimal on trees
+        # but approximate once CSE shares a node between consumers that
+        # demand different parities, so on the rare expression where the
+        # naive chain measures cheaper, the plan keeps the naive order.
+        self._use_naive = False
+        self.primitives = _measure(self._run_planned, self.cols,
+                                   self.inverting)
+        self.naive_primitives = _measure(
+            lambda eng, cols: naive_run(self.expr, eng, cols),
+            self.expr.cols(), self.inverting)
+        if self.naive_primitives < self.primitives:
+            self._use_naive = True
+            self.primitives = self.naive_primitives
+            self.cols = self.expr.cols()  # the naive chain binds all
+
+    # -- reachability --------------------------------------------------
+    def _reachable(self) -> list[int]:
+        """Needed node indices, children before parents."""
+        order: list[int] = []
+        seen: set[int] = set()
+        stack: list[tuple[int, bool]] = [(self._root >> 1, False)]
+        while stack:
+            idx, expanded = stack.pop()
+            if expanded:
+                order.append(idx)
+                continue
+            if idx in seen:
+                continue
+            seen.add(idx)
+            stack.append((idx, True))
+            for ref in self._aig.nodes[idx][1:]:
+                if isinstance(ref, int):
+                    stack.append((ref >> 1, False))
+        return order
+
+    # -- planning ------------------------------------------------------
+    def _plan(self) -> None:
+        aig = self._aig
+        inv = 1 if self.inverting else 0
+        order = self._reachable()
+        self._needed = set(order)
+        cost: dict[int, list[int]] = {}
+        xor_choice: dict[tuple[int, int], int] = {}
+
+        def cref(ref: int, parity: int) -> int:
+            return cost[ref >> 1][parity ^ (ref & 1)]
+
+        for idx in order:
+            node = aig.nodes[idx]
+            kind = node[0]
+            if kind == "true":
+                cost[idx] = [0, 0]
+            elif kind == "col":
+                cost[idx] = [0, 1]
+            elif kind == "and":
+                _, r1, r2 = node
+                cost[idx] = [cref(r1, p ^ inv) + cref(r2, p ^ inv) + 1
+                             for p in (0, 1)]
+            elif kind == "xor":
+                _, r1, r2 = node
+                cost[idx] = []
+                for p in (0, 1):
+                    want = p ^ inv  # parity of f1 ^ f2
+                    branches = [cref(r1, 0) + cref(r2, want),
+                                cref(r1, 1) + cref(r2, want ^ 1)]
+                    best = 0 if branches[0] <= branches[1] else 1
+                    xor_choice[(idx, p)] = best
+                    cost[idx].append(branches[best] + _XOR_COST)
+            elif kind == "maj":
+                _, r1, r2, r3 = node
+                cost[idx] = [cref(r1, p ^ inv) + cref(r2, p ^ inv)
+                             + cref(r3, p ^ inv) + 1 for p in (0, 1)]
+        root_idx = self._root >> 1
+        self._root_parity = 0 if cost[root_idx][0] <= cost[root_idx][1] \
+            else 1
+        self.planned_cost = cost[root_idx][self._root_parity]
+
+        # Top-down demand pass: first demand fixes a node's execution
+        # parity; later consumers wanting the other parity re-encode at
+        # run time (one NOT, counted by the measured ground truth).
+        exec_parity: dict[int, int] = {}
+        stack = [(root_idx, self._root_parity)]
+        while stack:
+            idx, parity = stack.pop()
+            if idx in exec_parity:
+                continue
+            exec_parity[idx] = parity
+            node = aig.nodes[idx]
+            kind = node[0]
+            if kind in ("and", "maj"):
+                q = parity ^ inv
+                for ref in node[1:]:
+                    stack.append((ref >> 1, q ^ (ref & 1)))
+            elif kind == "xor":
+                _, r1, r2 = node
+                q1 = xor_choice[(idx, parity)]
+                q2 = (parity ^ inv) ^ q1
+                stack.append((r1 >> 1, q1 ^ (r1 & 1)))
+                stack.append((r2 >> 1, q2 ^ (r2 & 1)))
+        self._exec_parity = exec_parity
+        self._schedule = self._list_schedule(order, exec_parity, inv)
+        # Liveness: uses per node (consumers + root retention).
+        uses: dict[int, int] = {root_idx: 1}
+        for idx in self._schedule:
+            for ref in aig.nodes[idx][1:]:
+                child = ref >> 1
+                uses[child] = uses.get(child, 0) + 1
+        self._uses = uses
+
+    def _list_schedule(self, order: list[int],
+                       exec_parity: dict[int, int],
+                       inv: int) -> list[int]:
+        """Greedy list scheduling of the op nodes.
+
+        Any topological order is correct, but when a shared column is
+        planned at different parities by different consumers, the order
+        decides how many re-encoding NOTs are paid at run time: ops
+        whose operand encodings are already satisfied go first, so a
+        shared leaf is only re-encoded once its natural-parity
+        consumers are done.  The simulated parity state mirrors the
+        executor's runtime checks exactly.
+        """
+        aig = self._aig
+        ops = [idx for idx in order
+               if aig.nodes[idx][0] in ("and", "xor", "maj")]
+        position = {idx: k for k, idx in enumerate(ops)}
+        pending = {idx: sum(1 for ref in aig.nodes[idx][1:]
+                            if (ref >> 1) in position)
+                   for idx in ops}
+        consumers: dict[int, list[int]] = {}
+        for idx in ops:
+            for ref in aig.nodes[idx][1:]:
+                consumers.setdefault(ref >> 1, []).append(idx)
+        parity: dict[int, int] = {}  # simulated current parity
+
+        def cur(ref: int) -> int:
+            return parity.get(ref >> 1, 0) ^ (ref & 1)
+
+        def mismatches(idx: int) -> int:
+            node = aig.nodes[idx]
+            if node[0] == "xor":
+                return 0
+            q = exec_parity[idx] ^ inv
+            return sum(1 for ref in node[1:] if cur(ref) != q)
+
+        schedule: list[int] = []
+        ready = [idx for idx in ops if pending[idx] == 0]
+        while ready:
+            ready.sort(key=lambda idx: (mismatches(idx), position[idx]))
+            idx = ready.pop(0)
+            node = aig.nodes[idx]
+            if node[0] == "xor":
+                parity[idx] = inv ^ cur(node[1]) ^ cur(node[2])
+            else:
+                q = exec_parity[idx] ^ inv
+                for ref in node[1:]:
+                    parity[ref >> 1] = q ^ (ref & 1)
+                parity[idx] = exec_parity[idx]
+            schedule.append(idx)
+            for parent in consumers.get(idx, ()):
+                pending[parent] -= 1
+                if pending[parent] == 0:
+                    ready.append(parent)
+        return schedule
+
+    # -- execution -----------------------------------------------------
+    def run(self, engine: BulkEngine,
+            columns: Mapping[str, BitVector],
+            name: str | None = None, *,
+            n_bits: int | None = None) -> BitVector:
+        """Execute the plan; returns a fresh (owned) result vector.
+
+        ``columns`` maps column names to resident vectors (all the same
+        width).  Columns are only mutated value-preservingly (flag
+        re-encodings); intermediates are freed at their last use.
+        ``n_bits`` fixes the result width when the optimized query
+        references no columns (a fully folded constant).
+        """
+        if self._use_naive:
+            return naive_run(self.expr, engine, columns, name,
+                             n_bits=n_bits)
+        return self._run_planned(engine, columns, name, n_bits=n_bits)
+
+    def _run_planned(self, engine: BulkEngine,
+                     columns: Mapping[str, BitVector],
+                     name: str | None = None, *,
+                     n_bits: int | None = None) -> BitVector:
+        aig = self._aig
+        missing = [c for c in self.cols if c not in columns]
+        if missing:
+            raise QueryError(f"unbound column(s): {missing}")
+        widths = {columns[c].n_bits for c in self.cols}
+        if len(widths) > 1:
+            raise QueryError(f"column width mismatch: {sorted(widths)}")
+        if widths:
+            n_bits = widths.pop()
+        elif n_bits is None:  # fully folded: fall back to bound width
+            n_bits = next(iter(columns.values())).n_bits if columns \
+                else 64
+
+        # Distinct column names must act as distinct storage; if the
+        # caller binds one vector under several referenced names, give
+        # the duplicates owned copies (one honest row copy each) so the
+        # free flag flips below cannot corrupt a shared operand — the
+        # aliasing class the engine ops themselves guard against.
+        bound: dict[str, BitVector] = {}
+        alias_copies: list[BitVector] = []
+        seen: list[BitVector] = []
+        for col in self.cols:
+            vec = columns[col]
+            if any(vec is other for other in seen):
+                vec = engine.copy(vec, col)
+                alias_copies.append(vec)
+            bound[col] = vec
+            seen.append(vec)
+
+        vecs: dict[int, BitVector] = {}
+        uses = dict(self._uses)
+        root_idx = self._root >> 1
+
+        def fetch(idx: int) -> BitVector:
+            vec = vecs.get(idx)
+            if vec is None:  # leaf column, bound lazily
+                vec = bound[aig.nodes[idx][1]]
+                vecs[idx] = vec
+            return vec
+
+        def release(idx: int) -> None:
+            uses[idx] -= 1
+            if (uses[idx] == 0 and aig.nodes[idx][0] not in
+                    ("col", "true") and idx != root_idx):
+                engine.free(vecs[idx])
+
+        for idx in self._schedule:
+            node = aig.nodes[idx]
+            kind = node[0]
+            if kind == "xor":
+                _, r1, r2 = node  # canonically positive references
+                out = engine.xor(fetch(r1 >> 1), fetch(r2 >> 1))
+                release(r1 >> 1)
+                release(r2 >> 1)
+            else:
+                refs = node[1:]
+                q = self._exec_parity[idx] ^ (1 if self.inverting else 0)
+                operands = []
+                flipped = []
+                for ref in refs:
+                    vec = fetch(ref >> 1)
+                    if ref & 1:  # free inverting view of the operand
+                        engine.not_(vec)
+                        flipped.append(vec)
+                    operands.append(vec)
+                try:
+                    # Steer stragglers to the planned common parity so
+                    # the engine op itself never has to equalize.
+                    for vec in operands:
+                        if vec.complemented != q:
+                            engine.force_flag(vec, bool(q))
+                    if kind == "and":
+                        out = engine.and_(*operands)
+                    else:
+                        out = engine.majority(*operands)
+                finally:
+                    for vec in flipped:
+                        engine.not_(vec)
+                for ref in refs:
+                    release(ref >> 1)
+            vecs[idx] = out
+
+        # Root materialization: plain columns/constants are copied so
+        # the caller always owns the returned vector.
+        root_node = aig.nodes[root_idx][0]
+        if root_node == "true":
+            out = engine.constant(n_bits, 0 if self._root & 1 else 1,
+                                  name)
+        elif root_node == "col":
+            out = engine.copy(fetch(root_idx), name)
+            if self._root & 1:
+                engine.not_(out)
+        else:
+            out = vecs[root_idx]
+            if self._root & 1:
+                engine.not_(out)
+            if name is not None:
+                out.name = name
+        engine.free(*alias_copies)
+        return out
+
+
+def compile_expr(expr: "Expr | str", *,
+                 inverting: bool = True) -> CompiledQuery:
+    """Compile an expression (or query string) into an engine plan."""
+    return CompiledQuery(_as_expr(expr), inverting)
+
+
+def compile_for(engine: BulkEngine,
+                expr: "Expr | str") -> CompiledQuery:
+    """Compile for the engine's native primitive polarity."""
+    return CompiledQuery(_as_expr(expr), engine._native_inverting())
+
+
+# ----------------------------------------------------------------------
+# naive baseline
+# ----------------------------------------------------------------------
+def naive_run(expr: "Expr | str", engine: BulkEngine,
+              columns: Mapping[str, BitVector],
+              name: str | None = None, *,
+              n_bits: int | None = None) -> BitVector:
+    """Execute the raw AST through the engine's compound ops, exactly as
+    handwritten kernels chain them: left folds, ``andnot`` for negated
+    AND terms, flip-and-restore for other negated columns, no CSE, no
+    parity planning.  This is the before side of the before/after
+    primitive counts the compiler is benchmarked against.
+
+    A negated view of a resident column only ever exists inside a
+    single engine call (flip, operate, restore), so sibling
+    sub-expressions never observe a flipped column; a column required
+    both plain and negated by the *same* call is copied, since the
+    shared-flag flip is exactly the aliasing corruption the engine ops
+    guard against.
+    """
+    expr = _as_expr(expr)
+
+    def col_vec(name_: str) -> BitVector:
+        try:
+            return columns[name_]
+        except KeyError:
+            raise QueryError(f"unbound column(s): [{name_!r}]") from None
+
+    def _width() -> int:
+        for vec in columns.values():
+            return vec.n_bits
+        return n_bits or 64
+
+    def is_neg_col(node: Expr) -> bool:
+        return isinstance(node, Not) and isinstance(node.x, Col)
+
+    def free_owned(parts) -> None:
+        for vec, owned in parts:
+            if owned:
+                engine.free(vec)
+
+    def apply(op, parts, neg_names) -> BitVector:
+        """One engine call with flip-scoped negated-column views."""
+        resolved = [vec for vec, _ in parts]
+        flips: list[BitVector] = []
+        copies: list[BitVector] = []
+        vecs = list(resolved)
+        for name_ in neg_names:
+            vec = col_vec(name_)
+            if any(vec is other for other in resolved):
+                vec = engine.not_(engine.copy(vec))
+                copies.append(vec)
+            elif not any(vec is f for f in flips):
+                engine.not_(vec)
+                flips.append(vec)
+            vecs.append(vec)
+        try:
+            out = op(*vecs)
+        finally:
+            for vec in flips:
+                engine.not_(vec)
+        for vec in copies:
+            engine.free(vec)
+        free_owned(parts)
+        return out
+
+    def fold(parts, combine) -> tuple[BitVector, bool]:
+        acc, acc_owned = parts[0]
+        for vec, owned in parts[1:]:
+            nxt = combine(acc, vec)
+            if acc_owned:
+                engine.free(acc)
+            if owned:
+                engine.free(vec)
+            acc, acc_owned = nxt, True
+        return acc, acc_owned
+
+    def eval_node(node: Expr) -> tuple[BitVector, bool]:
+        if isinstance(node, Col):
+            return col_vec(node.name), False
+        if isinstance(node, Const):
+            return engine.constant(_width(), node.bit), True
+        if isinstance(node, Not):
+            if isinstance(node.x, Not):  # trivial double-NOT
+                return eval_node(node.x.x)
+            if isinstance(node.x, Col):
+                # Standalone negated column (root position): a durable
+                # owned complement.
+                return engine.not_(engine.copy(col_vec(node.x.name))), True
+            vec, owned = eval_node(node.x)
+            if owned:
+                return engine.not_(vec), True
+            return engine.not_(engine.copy(vec)), True
+        if isinstance(node, (And, Nand)):
+            positives = [x for x in node.xs if not isinstance(x, Not)]
+            negated = [x.x for x in node.xs if isinstance(x, Not)]
+            if positives:
+                acc, acc_owned = fold([eval_node(x) for x in positives],
+                                      engine.and_)
+            else:
+                # All-negated head: ~a & ~b is one native NOR.
+                first = eval_node(negated.pop(0))
+                second = eval_node(negated.pop(0))
+                acc = engine.nor(first[0], second[0])
+                free_owned([first, second])
+                acc_owned = True
+            for inner in negated:
+                part = eval_node(inner)
+                nxt = engine.andnot(acc, part[0])
+                if acc_owned:
+                    engine.free(acc)
+                free_owned([part])
+                acc, acc_owned = nxt, True
+            if isinstance(node, Nand):
+                if not acc_owned:
+                    acc, acc_owned = engine.copy(acc), True
+                engine.not_(acc)
+            return acc, acc_owned
+        if isinstance(node, (Or, Nor)):
+            others = [x for x in node.xs if not is_neg_col(x)]
+            neg_names = [x.x.name for x in node.xs if is_neg_col(x)]
+            if others:
+                acc, acc_owned = fold([eval_node(x) for x in others],
+                                      engine.or_)
+            else:
+                # All-negated head: ~a | ~b is one native NAND.
+                acc = engine.nand(col_vec(neg_names.pop(0)),
+                                  col_vec(neg_names.pop(0)))
+                acc_owned = True
+            for name_ in neg_names:
+                nxt = apply(engine.or_, [(acc, acc_owned)], [name_])
+                acc, acc_owned = nxt, True
+            if isinstance(node, Nor):
+                if not acc_owned:
+                    acc, acc_owned = engine.copy(acc), True
+                engine.not_(acc)
+            return acc, acc_owned
+        if isinstance(node, (Xor, Xnor)):
+            # Complements pass through XOR freely; strip them and fold
+            # the parity into one final free flip.
+            parity = sum(isinstance(x, Not) for x in node.xs) % 2
+            inners = [x.x if isinstance(x, Not) else x for x in node.xs]
+            acc, acc_owned = fold([eval_node(x) for x in inners],
+                                  engine.xor)
+            if not acc_owned:
+                acc, acc_owned = engine.copy(acc), True
+            if parity ^ (1 if isinstance(node, Xnor) else 0):
+                engine.not_(acc)
+            return acc, acc_owned
+        if isinstance(node, AndNot):
+            parts = [eval_node(node.a), eval_node(node.b)]
+            out = engine.andnot(parts[0][0], parts[1][0])
+            free_owned(parts)
+            return out, True
+        if isinstance(node, (Maj, Select)):
+            op = engine.majority if isinstance(node, Maj) \
+                else engine.select
+            kids = node.children()
+            parts = [eval_node(x) for x in kids if not is_neg_col(x)]
+            neg_names = [x.x.name for x in kids if is_neg_col(x)]
+            # apply() appends negated views after the positives, so
+            # re-order arguments to match the op signature.
+            order = ([i for i, x in enumerate(kids) if not is_neg_col(x)]
+                     + [i for i, x in enumerate(kids) if is_neg_col(x)])
+
+            def call(*vecs):
+                slots = [None] * len(kids)
+                for slot, vec in zip(order, vecs):
+                    slots[slot] = vec
+                return op(*slots)
+
+            return apply(call, parts, neg_names), True
+        raise QueryError(f"cannot execute {type(node).__name__}")
+
+    out, owned = eval_node(expr)
+    if not owned:  # bare column query: hand back an owned copy
+        out = engine.copy(out)
+    if name is not None:
+        out.name = name
+    return out
+
+
+# ----------------------------------------------------------------------
+# primitive accounting
+# ----------------------------------------------------------------------
+def native_primitives(stats: Stats) -> int:
+    """Native logic-primitive count in a ledger: triple activations
+    (TBA/TRA), i.e. compute ACPs/AAPs including materialized NOTs."""
+    return (stats.counts.get(CommandType.ACTIVATE_TBA, 0)
+            + stats.counts.get(CommandType.ACTIVATE_TRA, 0))
+
+
+def _measure(run_fn, col_names, inverting: bool) -> int:
+    """Exact per-row primitive count of an executor on dummy columns.
+
+    Uses a counting-mode engine (paper staging policy for DRAM, so one
+    TRA equals one primitive) with co-located single-row columns."""
+    from repro.arch.primitives import make_engine
+
+    if inverting:
+        engine = make_engine("feram-2tnc", functional=False)
+    else:
+        engine = make_engine(
+            "dram", functional=False,
+            spec=DRAM_8GB.with_policy(StagingPolicy.PAPER))
+    columns: dict[str, BitVector] = {}
+    first: BitVector | None = None
+    for col in col_names:
+        vec = engine.allocate(64, col, group_with=first)
+        first = first or vec
+        columns[col] = vec
+    run_fn(engine, columns)
+    return native_primitives(engine.stats)

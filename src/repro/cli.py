@@ -1,22 +1,124 @@
-"""Command-line entry point: ``python -m repro [experiment-id ...]``.
+"""Command-line entry point: ``python -m repro``.
 
-With no arguments, lists available experiments.  ``all`` runs the whole
-registry.
+Three modes:
+
+* ``python -m repro [experiment-id ...|all]`` — run paper experiments
+  (no arguments lists the registry);
+* ``python -m repro query "<expr>" [options]`` — one-shot compiled
+  query over generated columns, with compiled-vs-naive primitive
+  counts;
+* ``python -m repro serve [options]`` — start the bulk-bitwise query
+  service as an interactive console or (``--port``) a JSON-lines TCP
+  server.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
 
+_USAGE = """\
+usage: python -m repro <experiment-id ...|all>
+       python -m repro query "<expr>" [--tech T] [--shards N] [--bits N]
+       python -m repro serve [--tech T] [--shards N] [--bits N] [--port P]
+"""
+
+
+def _service_parser(prog: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, add_help=True)
+    parser.add_argument("--tech", default="feram-2tnc",
+                        choices=("feram-2tnc", "dram"),
+                        help="memory technology (default: feram-2tnc)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="engine shards (default: 4)")
+    parser.add_argument("--bits", type=int, default=1 << 20,
+                        help="table width in bits (default: 1Mi)")
+    parser.add_argument("--counting", action="store_true",
+                        help="counting mode (no payloads; GB-scale)")
+    return parser
+
+
+def _cmd_query(argv: list[str]) -> int:
+    parser = _service_parser("repro query")
+    parser.add_argument("expr", help="query, e.g. '(a & b) | ~c'")
+    parser.add_argument("--density", type=float, default=0.3,
+                        help="1-density of generated columns")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    from repro.arch.expr import parse
+    from repro.service import BitwiseService
+    from repro.service.server import result_payload
+
+    expr = parse(args.expr)
+    with BitwiseService(args.tech, n_bits=args.bits,
+                        n_shards=args.shards,
+                        functional=not args.counting) as service:
+        for index, name in enumerate(expr.cols()):
+            service.random_column(name, args.density,
+                                  seed=args.seed + index)
+        result = service.query(expr)
+        payload = result_payload(result)
+        payload["query"] = args.expr
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"query     : {args.expr}")
+            print(f"tech      : {args.tech}  "
+                  f"({args.bits} bits x {result.shards} shards)")
+            if result.count is not None:
+                print(f"hits      : {result.count}")
+            print(f"primitives: {result.primitives_per_row}/row compiled "
+                  f"vs {result.naive_primitives_per_row}/row naive chain")
+            print(f"energy    : {result.energy_j * 1e9:.1f} nJ   "
+                  f"cycles: {result.cycles}")
+    return 0
+
+
+def _cmd_serve(argv: list[str]) -> int:
+    parser = _service_parser("repro serve")
+    parser.add_argument("--port", type=int, default=None,
+                        help="serve JSON-lines over TCP on this port")
+    parser.add_argument("--host", default="127.0.0.1")
+    args = parser.parse_args(argv)
+
+    from repro.service import BitwiseService, run_repl, serve_tcp
+
+    with BitwiseService(args.tech, n_bits=args.bits,
+                        n_shards=args.shards,
+                        functional=not args.counting) as service:
+        if args.port is None:
+            return run_repl(service)
+        server = serve_tcp(service, args.port, args.host)
+        host, port = server.server_address[:2]
+        print(f"serving bulk-bitwise queries on {host}:{port} "
+              f"({args.tech}, {args.bits} bits x "
+              f"{service.n_shards} shards)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
+
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "query":
+        return _cmd_query(args[1:])
+    if args and args[0] == "serve":
+        return _cmd_serve(args[1:])
     if not args:
-        print("usage: python -m repro <experiment-id ...|all>")
+        print(_USAGE, end="")
         print("available experiments:")
         for experiment_id in EXPERIMENTS:
             print(f"  {experiment_id}")

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.cell import TwoTnCCell
 from repro.core.logic import minority3, not1
 from repro.core.sense_amp import SenseAmp, reference_between

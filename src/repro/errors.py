@@ -50,6 +50,11 @@ class WorkloadError(ReproError):
     """Raised when a workload is configured or planned inconsistently."""
 
 
+class QueryError(ReproError):
+    """Raised for malformed logic expressions or bad query bindings
+    (unknown columns, width mismatches, service misuse)."""
+
+
 class ThermalError(ReproError):
     """Raised for invalid thermal stacks or non-converging solves."""
 

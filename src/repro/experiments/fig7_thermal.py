@@ -12,8 +12,6 @@ index query.  Paper results reproduced:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.result import ExperimentReport, Record
 from repro.ferro.materials import FAB_HZO
 from repro.ferro.thermal_response import check_thermal_stability
@@ -23,7 +21,7 @@ from repro.thermal.powermap import (
     workload_memory_power,
 )
 from repro.thermal.solver import ThermalResult, solve_steady_state
-from repro.thermal.stack import ThermalStack, build_fig7_stack
+from repro.thermal.stack import build_fig7_stack
 from repro.workloads.base import Workload
 from repro.workloads.bitmap_index import BitmapIndexQuery
 from repro.workloads.runner import make_workloads, run_comparison

@@ -1,0 +1,13 @@
+"""Bulk-bitwise analytics service: sharded columns, compiled queries,
+batched execution, per-query cost attribution and result caching."""
+
+from repro.service.server import QueryServer, run_repl, serve_tcp
+from repro.service.service import BitwiseService, QueryResult
+
+__all__ = [
+    "BitwiseService",
+    "QueryResult",
+    "QueryServer",
+    "run_repl",
+    "serve_tcp",
+]

@@ -1,0 +1,205 @@
+"""Front-ends for :class:`~repro.service.BitwiseService`.
+
+Two thin transports over the same service:
+
+* :func:`run_repl` — a line-oriented console (``repro serve``);
+* :func:`serve_tcp` — a JSON-lines TCP endpoint (``repro serve
+  --port N``), one request object per line, threaded per connection.
+
+Both only speak to the public service API, so they are equally usable
+programmatically (the tests drive the REPL through ``io.StringIO`` and
+the TCP server through a socket).
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+
+import numpy as np
+
+from repro.errors import QueryError, ReproError
+from repro.service.service import BitwiseService, QueryResult
+
+__all__ = ["run_repl", "serve_tcp", "result_payload"]
+
+_HELP = """\
+commands:
+  col <name> random [density] [seed]   create a random column
+  col <name> bits <01...>              create a column from a bit string
+  cols                                 list columns
+  drop <name>                          drop a column
+  query <expr>                         run a query (e.g. a & ~b | c)
+  explain <expr>                       show plan cost without running
+  stats                                service counters
+  help                                 this text
+  quit                                 exit
+"""
+
+
+def result_payload(result: QueryResult) -> dict:
+    """JSON-safe summary of a query result (bits elided)."""
+    return {
+        "query": result.query,
+        "key": result.key,
+        "count": result.count,
+        "cache_hit": result.cache_hit,
+        "primitives_per_row": result.primitives_per_row,
+        "naive_primitives_per_row": result.naive_primitives_per_row,
+        "energy_nj": result.energy_j * 1e9,
+        "cycles": result.cycles,
+        "shards": result.shards,
+    }
+
+
+def _dispatch(service: BitwiseService, line: str) -> dict | None:
+    """Execute one REPL command; None means quit."""
+    parts = line.strip().split(None, 1)
+    if not parts:
+        return {}
+    command, rest = parts[0].lower(), parts[1] if len(parts) > 1 else ""
+    if command in ("quit", "exit"):
+        return None
+    if command == "help":
+        return {"help": _HELP}
+    if command == "cols":
+        return {"columns": list(service.columns),
+                "n_bits": service.n_bits}
+    if command == "stats":
+        return {"stats": service.stats()}
+    if command == "drop":
+        service.drop_column(rest.strip())
+        return {"dropped": rest.strip()}
+    if command == "col":
+        args = rest.split()
+        if len(args) < 2:
+            raise QueryError("usage: col <name> random|bits ...")
+        name, mode = args[0], args[1].lower()
+        if mode == "random":
+            density = float(args[2]) if len(args) > 2 else 0.5
+            seed = int(args[3]) if len(args) > 3 else None
+            service.random_column(name, density, seed)
+        elif mode == "bits":
+            if len(args) < 3:
+                raise QueryError("usage: col <name> bits <01...>")
+            if set(args[2]) - {"0", "1"}:
+                raise QueryError(
+                    f"bit string may only contain 0/1, got "
+                    f"{sorted(set(args[2]) - {'0', '1'})}")
+            bits = np.frombuffer(args[2].encode(), dtype=np.uint8) - ord("0")
+            if bits.size != service.n_bits:
+                raise QueryError(
+                    f"need {service.n_bits} bits, got {bits.size}")
+            service.create_column(name, bits)
+        else:
+            raise QueryError(f"unknown col mode {mode!r}")
+        return {"created": name}
+    if command == "explain":
+        plan = service.compile(rest)
+        return {"explain": {
+            "key": plan.key, "columns": list(plan.cols),
+            "primitives_per_row": plan.primitives,
+            "naive_primitives_per_row": plan.naive_primitives,
+        }}
+    if command == "query":
+        return {"result": result_payload(service.query(rest))}
+    raise QueryError(f"unknown command {command!r} (try 'help')")
+
+
+def run_repl(service: BitwiseService, in_stream=None, out_stream=None,
+             *, prompt: str = "repro> ") -> int:
+    """Drive the service from a line stream; returns an exit code."""
+    in_stream = in_stream or sys.stdin
+    out_stream = out_stream or sys.stdout
+
+    def emit(text: str) -> None:
+        print(text, file=out_stream, flush=True)
+
+    emit(f"bitwise service: {service.technology}, "
+         f"{service.n_bits} bits x {service.n_shards} shards "
+         f"(type 'help')")
+    while True:
+        out_stream.write(prompt)
+        out_stream.flush()
+        line = in_stream.readline()
+        if not line:
+            break
+        try:
+            payload = _dispatch(service, line)
+        except (ReproError, ValueError) as exc:
+            # ValueError covers malformed numeric arguments (e.g.
+            # 'col x random abc') — a typo must not kill the console.
+            emit(f"error: {exc}")
+            continue
+        if payload is None:
+            break
+        if "help" in payload:
+            emit(payload["help"])
+        elif payload:
+            emit(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+class _QueryHandler(socketserver.StreamRequestHandler):
+    """One JSON request per line; one JSON response per line."""
+
+    def handle(self) -> None:
+        service: BitwiseService = self.server.service  # type: ignore
+        for raw in self.rfile:
+            try:
+                request = json.loads(raw.decode())
+                response = self._serve(service, request)
+            except ReproError as exc:
+                response = {"ok": False, "error": str(exc)}
+            except (ValueError, KeyError, TypeError) as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            self.wfile.write((json.dumps(response, default=str)
+                              + "\n").encode())
+            self.wfile.flush()
+
+    @staticmethod
+    def _serve(service: BitwiseService, request: dict) -> dict:
+        op = request.get("op")
+        if op == "query":
+            result = service.query(request["expr"])
+            return {"ok": True, **result_payload(result)}
+        if op == "batch":
+            results = service.execute(list(request["exprs"]))
+            return {"ok": True,
+                    "results": [result_payload(r) for r in results]}
+        if op == "create_column":
+            if "bits" in request:
+                service.create_column(request["name"],
+                                      np.asarray(request["bits"]))
+            else:
+                service.random_column(request["name"],
+                                      float(request.get("density", 0.5)),
+                                      request.get("seed"))
+            return {"ok": True, "created": request["name"]}
+        if op == "drop_column":
+            service.drop_column(request["name"])
+            return {"ok": True}
+        if op == "columns":
+            return {"ok": True, "columns": list(service.columns)}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        raise QueryError(f"unknown op {op!r}")
+
+
+class QueryServer(socketserver.ThreadingTCPServer):
+    """Threaded JSON-lines TCP server bound to a BitwiseService."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: BitwiseService,
+                 address: tuple[str, int]) -> None:
+        super().__init__(address, _QueryHandler)
+        self.service = service
+
+
+def serve_tcp(service: BitwiseService, port: int,
+              host: str = "127.0.0.1") -> QueryServer:
+    """Bind a :class:`QueryServer`; caller runs ``serve_forever()``."""
+    return QueryServer(service, (host, port))

@@ -122,6 +122,18 @@ class Pulse(Waveform):
             raise CircuitError("Pulse rise/fall times must be positive")
         if width < 0:
             raise CircuitError("Pulse width must be non-negative")
+        shape = rise + width + fall
+        if period < 0:
+            raise CircuitError(
+                "Pulse period must be non-negative (0 = single pulse)")
+        if period != 0.0 and period < shape * (1.0 - 1e-9):
+            # SPICE semantics: the period must fit the whole trapezoid;
+            # a shorter one would silently truncate the pulse through
+            # the fmod wrap below.  (Relative slack absorbs float
+            # accumulation for period == rise+width+fall.)
+            raise CircuitError(
+                f"Pulse period {period:g}s is shorter than "
+                f"rise+width+fall = {shape:g}s")
         self.v_initial = float(v_initial)
         self.v_pulse = float(v_pulse)
         self.delay = float(delay)

@@ -4,6 +4,12 @@ Sets are bitmaps over a universe of elements (one bit per element); the
 three operations are single bulk OR / AND / AND-NOT sweeps — the purest
 form of the paper's row-parallel MINORITY computation (the AND-NOT's
 inversion is where FeRAM's free inverting read shows up).
+
+Each kernel is expressed as a one-line query for the expression
+compiler; for these single-op sweeps the compiled plan and the naive
+chain coincide (one native primitive, plus the honest materialization
+NOT for the difference), so the Fig. 6 numbers are unchanged —
+``compiled=False`` runs the handwritten chain for comparison.
 """
 
 from __future__ import annotations
@@ -11,30 +17,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.engine import BulkEngine
+from repro.arch.expr import compile_for, naive_run, parse
 from repro.workloads.base import Workload, WorkloadIO
 
 __all__ = ["SetUnion", "SetIntersection", "SetDifference"]
 
 
 class _SetOperation(Workload):
-    """Common two-bitmap structure."""
+    """Common two-bitmap structure: the kernel is a compiled query."""
 
-    def _bitmaps(self, engine: BulkEngine, io: WorkloadIO):
+    #: query over the two set bitmaps; set by subclasses
+    QUERY = ""
+    #: name of the output vector
+    OUTPUT = ""
+
+    def __init__(self, n_bytes: int, *, compiled: bool = True) -> None:
+        super().__init__(n_bytes)
+        self.compiled = compiled
+
+    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
         n_bits = self.vector_bits(0.5)
         set_a = io.input("set_a", n_bits, density=0.3)
         set_b = io.input("set_b", n_bits, density=0.3, group_with=set_a)
-        return set_a, set_b
+        columns = {"set_a": set_a, "set_b": set_b}
+        expr = parse(self.QUERY)
+        if self.compiled:
+            out = compile_for(engine, expr).run(engine, columns,
+                                                self.OUTPUT)
+        else:
+            out = naive_run(expr, engine, columns, self.OUTPUT)
+        io.output(self.OUTPUT, out)
+        engine.free(set_a, set_b, out)
 
 
 class SetUnion(_SetOperation):
     name = "set_union"
     title = "Set Union"
-
-    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
-        set_a, set_b = self._bitmaps(engine, io)
-        union = engine.or_(set_a, set_b, "union")
-        io.output("union", union)
-        engine.free(set_a, set_b, union)
+    QUERY = "set_a | set_b"
+    OUTPUT = "union"
 
     def reference(self, inputs: dict[str, np.ndarray],
                   ) -> dict[str, np.ndarray]:
@@ -44,12 +64,8 @@ class SetUnion(_SetOperation):
 class SetIntersection(_SetOperation):
     name = "set_intersection"
     title = "Set Intersection"
-
-    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
-        set_a, set_b = self._bitmaps(engine, io)
-        inter = engine.and_(set_a, set_b, "intersection")
-        io.output("intersection", inter)
-        engine.free(set_a, set_b, inter)
+    QUERY = "set_a & set_b"
+    OUTPUT = "intersection"
 
     def reference(self, inputs: dict[str, np.ndarray],
                   ) -> dict[str, np.ndarray]:
@@ -59,12 +75,8 @@ class SetIntersection(_SetOperation):
 class SetDifference(_SetOperation):
     name = "set_difference"
     title = "Set Difference"
-
-    def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
-        set_a, set_b = self._bitmaps(engine, io)
-        diff = engine.andnot(set_a, set_b, "difference")
-        io.output("difference", diff)
-        engine.free(set_a, set_b, diff)
+    QUERY = "set_a & ~set_b"
+    OUTPUT = "difference"
 
     def reference(self, inputs: dict[str, np.ndarray],
                   ) -> dict[str, np.ndarray]:

@@ -1,0 +1,181 @@
+"""Aliased-operand matrix: every public engine op called with repeated
+operands, on both technologies, checked bit-exactly against numpy.
+
+The complement-flag algebra mutates operand flags inside compound ops;
+this suite pins down that aliased operands (the same BitVector passed
+twice) and restore-on-exit never corrupt values — the ``andnot(a, a)``
+bug class — and that ``xor`` never mutates its operands at all (the
+service layer runs queries concurrently over shared columns).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.primitives import make_engine
+
+N_BITS = 4096
+
+TECHS = ("dram", "feram-2tnc")
+FLAG_STATES = ("natural", "complemented")
+
+
+def _setup(tech, rng, flag_state):
+    eng = make_engine(tech)
+    a_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+    b_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+    a = eng.load(a_bits)
+    b = eng.load(b_bits, group_with=a)
+    if flag_state == "complemented":
+        eng.not_(a)
+        a_bits = 1 - a_bits
+    return eng, a, b, a_bits, b_bits
+
+
+@pytest.mark.parametrize("flag_state", FLAG_STATES)
+@pytest.mark.parametrize("tech", TECHS)
+class TestAliasedBinaryOps:
+    """op(a, a) for every binary op, in both flag encodings."""
+
+    def test_and_idempotent(self, tech, rng, flag_state):
+        eng, a, _, ab, _ = _setup(tech, rng, flag_state)
+        assert np.array_equal(eng.and_(a, a).logical_bits(), ab)
+        assert np.array_equal(a.logical_bits(), ab)
+
+    def test_or_idempotent(self, tech, rng, flag_state):
+        eng, a, _, ab, _ = _setup(tech, rng, flag_state)
+        assert np.array_equal(eng.or_(a, a).logical_bits(), ab)
+        assert np.array_equal(a.logical_bits(), ab)
+
+    def test_nand_is_not(self, tech, rng, flag_state):
+        eng, a, _, ab, _ = _setup(tech, rng, flag_state)
+        assert np.array_equal(eng.nand(a, a).logical_bits(), 1 - ab)
+        assert np.array_equal(a.logical_bits(), ab)
+
+    def test_nor_is_not(self, tech, rng, flag_state):
+        eng, a, _, ab, _ = _setup(tech, rng, flag_state)
+        assert np.array_equal(eng.nor(a, a).logical_bits(), 1 - ab)
+        assert np.array_equal(a.logical_bits(), ab)
+
+    def test_xor_is_zero(self, tech, rng, flag_state):
+        eng, a, _, ab, _ = _setup(tech, rng, flag_state)
+        assert not eng.xor(a, a).logical_bits().any()
+        assert np.array_equal(a.logical_bits(), ab)
+
+    def test_xnor_is_one(self, tech, rng, flag_state):
+        eng, a, _, ab, _ = _setup(tech, rng, flag_state)
+        assert eng.xnor(a, a).logical_bits().all()
+        assert np.array_equal(a.logical_bits(), ab)
+
+    def test_andnot_is_zero(self, tech, rng, flag_state):
+        """The original corruption: andnot(a, a) returned a."""
+        eng, a, _, ab, _ = _setup(tech, rng, flag_state)
+        assert not eng.andnot(a, a).logical_bits().any()
+        # The shared operand's logical view must be restored.
+        assert np.array_equal(a.logical_bits(), ab)
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestAliasedTernaryOps:
+    def test_majority_duplicate_pairs(self, tech, rng):
+        eng, a, b, ab, bb = _setup(tech, rng, "natural")
+        # maj(x, x, y) = x for every argument position of y.
+        for op_args, expected in (((a, a, b), ab), ((a, b, a), ab),
+                                  ((b, a, a), ab), ((a, a, a), ab)):
+            got = eng.majority(*op_args).logical_bits()
+            assert np.array_equal(got, expected), op_args
+            assert np.array_equal(a.logical_bits(), ab)
+            assert np.array_equal(b.logical_bits(), bb)
+
+    def test_majority_duplicate_with_mixed_flags(self, tech, rng):
+        eng, a, b, ab, bb = _setup(tech, rng, "natural")
+        eng.not_(a)
+        got = eng.majority(a, a, b).logical_bits()
+        assert np.array_equal(got, 1 - ab)
+        assert np.array_equal(b.logical_bits(), bb)
+
+    def test_select_aliased_branches(self, tech, rng):
+        eng, a, b, ab, bb = _setup(tech, rng, "natural")
+        m_bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+        mask = eng.load(m_bits, group_with=a)
+        # select(m, a, a) = a
+        got = eng.select(mask, a, a).logical_bits()
+        assert np.array_equal(got, ab)
+        # select(m, m, b): mask also data
+        got = eng.select(mask, mask, b).logical_bits()
+        assert np.array_equal(got, np.where(m_bits == 1, m_bits,
+                                            bb).astype(np.uint8))
+        # select(m, a, m): the NOT-mask AND mask term must vanish
+        got = eng.select(mask, a, mask).logical_bits()
+        assert np.array_equal(got, np.where(m_bits == 1, ab,
+                                            m_bits).astype(np.uint8))
+        assert np.array_equal(mask.logical_bits(), m_bits)
+        assert np.array_equal(a.logical_bits(), ab)
+        assert np.array_equal(b.logical_bits(), bb)
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestOperandPreservation:
+    """Compound ops must restore every operand's logical view."""
+
+    def test_andnot_restores_on_error(self, tech, rng):
+        from repro.errors import ArchitectureError
+        eng, a, b, ab, bb = _setup(tech, rng, "natural")
+        short = eng.load(rng.integers(0, 2, 64, dtype=np.uint8))
+        with pytest.raises(ArchitectureError):
+            eng.andnot(short, b)  # width mismatch inside and_
+        # The flip of b must have been rolled back.
+        assert np.array_equal(b.logical_bits(), bb)
+
+    def test_xor_never_mutates_operand_state(self, tech, rng):
+        """Re-entrancy: xor computes with local flags — the operands'
+        payloads and flags are unchanged mid-run and after."""
+        eng, a, b, ab, bb = _setup(tech, rng, "natural")
+        eng.not_(a)  # complemented operand
+        payload_a = a.payload.copy()
+        payload_b = b.payload.copy()
+        flags = (a.complemented, b.complemented)
+        observed = []
+        original = eng._charge_logic
+
+        def spy(n_rows):
+            observed.append((a.complemented, b.complemented))
+            return original(n_rows)
+
+        eng._charge_logic = spy
+        out = eng.xor(a, b)
+        eng._charge_logic = original
+        assert np.array_equal(out.logical_bits(), (1 - ab) ^ bb)
+        assert (a.complemented, b.complemented) == flags
+        assert np.array_equal(a.payload, payload_a)
+        assert np.array_equal(b.payload, payload_b)
+        # Mid-op observations: flags never flipped temporarily.
+        assert all(obs == flags for obs in observed[:2])
+
+    def test_xor_all_flag_combinations(self, tech, rng):
+        for fa in (False, True):
+            for fb in (False, True):
+                eng, a, b, ab, bb = _setup(tech, rng, "natural")
+                if fa:
+                    eng.not_(a)
+                    ab = 1 - ab
+                if fb:
+                    eng.not_(b)
+                    bb = 1 - bb
+                assert np.array_equal(eng.xor(a, b).logical_bits(),
+                                      ab ^ bb), (fa, fb)
+                assert np.array_equal(a.logical_bits(), ab)
+                assert np.array_equal(b.logical_bits(), bb)
+
+    def test_equalize_flags_aliased(self, tech, rng):
+        eng, a, _, ab, _ = _setup(tech, rng, "complemented")
+        flag = eng._equalize_flags(a, a)
+        assert flag == a.complemented
+        assert np.array_equal(a.logical_bits(), ab)
+
+    def test_force_flag_preserves_value(self, tech, rng):
+        eng, a, _, ab, _ = _setup(tech, rng, "natural")
+        eng.force_flag(a, True)
+        assert a.complemented
+        assert np.array_equal(a.logical_bits(), ab)
+        eng.force_flag(a, True)  # idempotent, free
+        assert np.array_equal(a.logical_bits(), ab)

@@ -1,0 +1,259 @@
+"""Expression AST, parser, optimizer and compiler tests."""
+
+import numpy as np
+import pytest
+
+from repro.arch import expr as ex
+from repro.arch.primitives import make_engine
+from repro.errors import QueryError
+
+TECHS = ("dram", "feram-2tnc")
+
+N_BITS = 2048
+
+
+def _load_columns(engine, values):
+    first = None
+    columns = {}
+    for name, bits in values.items():
+        columns[name] = engine.load(bits, name, group_with=first)
+        first = first or columns[name]
+    return columns
+
+
+def _random_values(rng, names, n_bits=N_BITS):
+    return {name: rng.integers(0, 2, n_bits, dtype=np.uint8)
+            for name in names}
+
+
+class TestParser:
+    def test_precedence(self):
+        parsed = ex.parse("a | b & c ^ d")
+        assert str(parsed) == "(a | ((b & c) ^ d))"
+
+    def test_keywords_and_functions(self):
+        parsed = ex.parse("not a and b or maj(a, b, c)")
+        assert str(parsed) == "((~a & b) | maj(a, b, c))"
+
+    def test_functions_parse(self):
+        assert isinstance(ex.parse("sel(m, a, b)"), ex.Select)
+        assert isinstance(ex.parse("nand(a, b)"), ex.Nand)
+        assert isinstance(ex.parse("andnot(a, b)"), ex.AndNot)
+
+    def test_constants(self):
+        parsed = ex.parse("a & 1 | 0")
+        assert "1" in str(parsed)
+
+    def test_operator_overloads(self):
+        a, b = ex.Col("a"), ex.Col("b")
+        assert str((a & b) | ~a) == "((a & b) | ~a)"
+
+    @pytest.mark.parametrize("bad", ["", "a &", "(a", "a b", "maj(a, b)",
+                                     "a $ b", "and", "5col"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(QueryError):
+            ex.parse(bad)
+
+    def test_cols_in_order(self):
+        assert ex.parse("b & a | b & c").cols() == ("b", "a", "c")
+
+
+class TestCanonicalization:
+    def test_commutative_key(self):
+        assert ex.canonical_key("a & b") == ex.canonical_key("b & a")
+        assert ex.canonical_key("a | b | c") == \
+            ex.canonical_key("c | (b | a)")
+
+    def test_double_not_elimination(self):
+        assert ex.canonical_key("~~a") == ex.canonical_key("a")
+        assert ex.canonical_key("~~~a") == ex.canonical_key("~a")
+
+    def test_de_morgan(self):
+        assert ex.canonical_key("~(a & b)") == ex.canonical_key("~a | ~b")
+        assert ex.canonical_key("nand(a, b)") == \
+            ex.canonical_key("~a | ~b")
+
+    def test_constant_folding(self):
+        assert ex.canonical_key("a & 1") == ex.canonical_key("a")
+        assert ex.canonical_key("a & 0") == ex.canonical_key("0")
+        assert ex.canonical_key("a ^ 1") == ex.canonical_key("~a")
+        assert ex.canonical_key("maj(a, b, 0)") == \
+            ex.canonical_key("a & b")
+        assert ex.canonical_key("maj(a, b, 1)") == \
+            ex.canonical_key("a | b")
+
+    def test_idempotence_and_annihilation(self):
+        assert ex.canonical_key("a & a") == ex.canonical_key("a")
+        assert ex.canonical_key("a & ~a") == ex.canonical_key("0")
+        assert ex.canonical_key("a ^ a") == ex.canonical_key("0")
+        assert ex.canonical_key("maj(a, ~a, b)") == ex.canonical_key("b")
+
+    def test_xor_negations_cancel(self):
+        assert ex.canonical_key("~a ^ ~b") == ex.canonical_key("a ^ b")
+
+    def test_cse_shares_subterms(self):
+        plan = ex.compile_expr("(a & b & c) | (a & b & d)")
+        # a&b computed once: 2 shared + 2 private + 1 or = 5 ops max.
+        assert plan.primitives < plan.naive_primitives
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestCompiledExecution:
+    def test_bitmap_query(self, tech, rng):
+        values = _random_values(rng, [f"c{k}" for k in range(6)])
+        engine = make_engine(tech)
+        columns = _load_columns(engine, values)
+        plan = ex.compile_for(engine, "(c0 & c1 & ~c2) | (c3 & c4 & c5)")
+        out = plan.run(engine, columns, name="hits")
+        reference = (values["c0"] & values["c1"] & (1 - values["c2"])) \
+            | (values["c3"] & values["c4"] & values["c5"])
+        assert np.array_equal(out.logical_bits(), reference)
+
+    def test_columns_value_preserved(self, tech, rng):
+        values = _random_values(rng, ["a", "b", "c"])
+        engine = make_engine(tech)
+        columns = _load_columns(engine, values)
+        plan = ex.compile_for(engine, "(a & ~b) ^ maj(a, b, c)")
+        plan.run(engine, columns)
+        for name, bits in values.items():
+            assert np.array_equal(columns[name].logical_bits(), bits)
+
+    def test_intermediates_freed(self, tech, rng):
+        values = _random_values(rng, ["a", "b", "c", "d"])
+        engine = make_engine(tech)
+        columns = _load_columns(engine, values)
+        baseline = engine.allocator.rows_used
+        plan = ex.compile_for(engine, "(a & b & ~c) | (c & d) | (a ^ d)")
+        out = plan.run(engine, columns)
+        engine.free(out)
+        assert engine.allocator.rows_used == baseline
+
+    def test_constant_root(self, tech, rng):
+        values = _random_values(rng, ["a"])
+        engine = make_engine(tech)
+        columns = _load_columns(engine, values)
+        out = ex.compile_for(engine, "a | ~a").run(engine, columns)
+        assert out.n_bits == N_BITS
+        assert out.logical_bits().all()
+
+    def test_bare_column_root_is_owned_copy(self, tech, rng):
+        values = _random_values(rng, ["a"])
+        engine = make_engine(tech)
+        columns = _load_columns(engine, values)
+        out = ex.compile_for(engine, "~a").run(engine, columns)
+        assert out is not columns["a"]
+        assert np.array_equal(out.logical_bits(), 1 - values["a"])
+        assert np.array_equal(columns["a"].logical_bits(), values["a"])
+
+    def test_unbound_column_raises(self, tech, rng):
+        engine = make_engine(tech)
+        plan = ex.compile_for(engine, "a & b")
+        with pytest.raises(QueryError, match="unbound"):
+            plan.run(engine, {})
+
+    def test_aliased_column_binding(self, tech, rng):
+        """One vector bound under two names must behave as distinct
+        storage (the executor copies the duplicate): a & ~b with a is b
+        is all-zeros, not ~a."""
+        bits = rng.integers(0, 2, 256, dtype=np.uint8)
+        engine = make_engine(tech)
+        vec = engine.load(bits)
+        plan = ex.compile_for(engine, "a & ~b")
+        out = plan.run(engine, {"a": vec, "b": vec})
+        assert not out.logical_bits().any()
+        assert np.array_equal(vec.logical_bits(), bits)
+
+    def test_constant_root_takes_explicit_width(self, tech, rng):
+        engine = make_engine(tech)
+        out = ex.compile_for(engine, "1").run(engine, {}, n_bits=4096)
+        assert out.n_bits == 4096
+        assert out.logical_bits().all()
+
+    def test_width_mismatch_raises(self, tech, rng):
+        engine = make_engine(tech)
+        columns = {"a": engine.load(rng.integers(0, 2, 64, np.uint8)),
+                   "b": engine.load(rng.integers(0, 2, 128, np.uint8))}
+        plan = ex.compile_for(engine, "a & b")
+        with pytest.raises(QueryError, match="width"):
+            plan.run(engine, columns)
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestCompilerVsNaive:
+    QUERIES = (
+        "a & b",
+        "a & ~b",
+        "~(a | b) & (c ^ d)",
+        "(a & b & ~c) | (a & b & d)",
+        "maj(a, ~b, c) | sel(d, a, b)",
+        "xnor(a, b) ^ nor(c, d)",
+        "(a & b & ~c) | (b & c & d) | ~(a | d)",
+    )
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_equivalence_and_cost(self, tech, rng, query):
+        values = _random_values(rng, ["a", "b", "c", "d"])
+        engine = make_engine(tech)
+        columns = _load_columns(engine, values)
+        plan = ex.compile_for(engine, query)
+        compiled = plan.run(engine, columns).logical_bits()
+        naive = ex.naive_run(query, engine, columns).logical_bits()
+        assert np.array_equal(compiled, naive), query
+        assert plan.primitives <= plan.naive_primitives, query
+        for name, bits in values.items():
+            assert np.array_equal(columns[name].logical_bits(), bits)
+
+    def test_measured_counts_match_runtime(self, tech, rng):
+        """The per-row counts quoted by the plan equal what a real run
+        charges (single-row vectors, co-located)."""
+        engine = make_engine(
+            tech, functional=False,
+            spec=None if tech != "dram" else None)
+        query = "(a & b & ~c) | (c & d)"
+        plan = ex.compile_for(engine, query)
+        values = {}
+        first = None
+        for name in plan.cols:
+            values[name] = engine.allocate(64, name, group_with=first)
+            first = first or values[name]
+        before = ex.native_primitives(engine.stats)
+        plan.run(engine, values)
+        measured = ex.native_primitives(engine.stats) - before
+        if tech == "feram-2tnc":
+            assert measured == plan.primitives
+        else:
+            # staged DRAM charges 2 TRAs per primitive (1 staging AAP).
+            assert measured in (plan.primitives, 2 * plan.primitives)
+
+
+class TestParityPlanning:
+    def test_feram_bitmap_query_beats_naive(self):
+        """The acceptance benchmark: the Fig. 6 bitmap predicate costs
+        fewer native ACPs compiled than naively chained."""
+        plan = ex.compile_expr("(c0 & c1 & ~c2) | (c3 & c4 & c5)",
+                               inverting=True)
+        assert plan.naive_primitives == 7
+        assert plan.primitives == 6
+
+    def test_cse_query_beats_naive_on_both(self):
+        query = "(c0 & c1 & ~c2) | (c0 & c1 & c3) | (c4 & c5)"
+        for inverting in (True, False):
+            plan = ex.compile_expr(query, inverting=inverting)
+            assert plan.primitives < plan.naive_primitives
+
+    def test_plan_selection_never_worse(self):
+        """Pathological shared-parity shapes fall back to the naive
+        order instead of regressing."""
+        query = "((c | b) | sel(b, d, a) | sel(b, c, c)) | (c | a)"
+        for inverting in (True, False):
+            plan = ex.compile_expr(query, inverting=inverting)
+            assert plan.primitives <= plan.naive_primitives
+
+    def test_single_ops_match_naive(self):
+        for query in ("a & b", "a | b", "a ^ b", "maj(a, b, c)"):
+            plan = ex.compile_expr(query)
+            assert plan.primitives == plan.naive_primitives, query
+
+    def test_folded_columns_not_required(self):
+        plan = ex.compile_expr("a & (b | ~b)")
+        assert plan.cols == ("a",)

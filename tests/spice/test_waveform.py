@@ -12,7 +12,6 @@ from repro.spice.waveform import (
     PWL,
     Delayed,
     Pulse,
-    Scaled,
     Sinusoid,
     Sum,
     as_waveform,
@@ -90,6 +89,25 @@ class TestPulse:
     def test_rejects_negative_width(self):
         with pytest.raises(CircuitError):
             Pulse(0, 1, width=-1e-9)
+
+    def test_rejects_period_shorter_than_shape(self):
+        """SPICE semantics: a non-zero period must fit the trapezoid;
+        a shorter one would silently truncate the pulse via fmod."""
+        with pytest.raises(CircuitError, match="period"):
+            Pulse(0, 1, rise=1e-9, fall=1e-9, width=1e-9, period=2e-9)
+
+    def test_accepts_period_equal_to_shape(self):
+        w = Pulse(0.0, 1.0, rise=1e-9, fall=1e-9, width=1e-9,
+                  period=3e-9)
+        assert w(3.5e-9) == pytest.approx(w(0.5e-9))
+
+    def test_rejects_negative_period(self):
+        with pytest.raises(CircuitError, match="non-negative"):
+            Pulse(0, 1, period=-1.0)
+
+    def test_zero_period_still_single_shot(self):
+        w = Pulse(0.0, 1.0, rise=1e-9, fall=1e-9, width=1e-9, period=0.0)
+        assert w(1e-6) == pytest.approx(0.0)
 
 
 class TestSinusoid:
