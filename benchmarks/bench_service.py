@@ -6,7 +6,11 @@ Tracks the tentpole claims of the compiler/service layer:
   than the naive op chain (6 vs 7 ACPs/row on FeRAM);
 * common-subexpression reuse widens the gap on multi-term queries;
 * the sharded service sustains batched query throughput with a working
-  result cache.
+  result cache;
+* the columnar vector backend answers the same batches as the
+  reference engine replay, bit-exactly, from whole-matrix numpy
+  kernels (the `service_batch`/`service_scale` speedups recorded in
+  ``BENCH_substrate.json``).
 """
 
 import numpy as np
@@ -89,6 +93,60 @@ def test_service_batch_throughput(benchmark):
         assert results[0].count == int((a & (1 - b)).sum())
     finally:
         service.close()
+
+
+def test_vector_backend_batch_throughput(benchmark):
+    """The columnar executor on the perf-smoke batch shape."""
+    rng = np.random.default_rng(0)
+    n_bits = 1 << 18
+    service = BitwiseService("feram-2tnc", n_bits=n_bits, n_shards=4,
+                             backend="vector")
+    for name in ("a", "b", "c", "d"):
+        service.create_column(
+            name, (rng.random(n_bits) < 0.35).astype(np.uint8))
+    queries = ["a & ~b", "(a & b & ~c) | (c & d)", "a ^ b ^ c",
+               "maj(a, b, c) | ~d", "sel(a, b, c) & d"]
+    service.execute(queries, use_cache=False)  # warm plans/programs
+
+    try:
+        results = benchmark(service.execute, queries, use_cache=False)
+        assert all(result.count is not None for result in results)
+        a = service.column_bits("a")
+        b = service.column_bits("b")
+        assert results[0].count == int((a & (1 - b)).sum())
+    finally:
+        service.close()
+
+
+def test_vector_backend_matches_reference_batch(benchmark):
+    """Equivalence bench: both backends answer one batch; the vector
+    results must match the replay bit-for-bit and cycle-for-cycle."""
+    n_bits = 1 << 16
+    queries = ["a & ~b", "(a & b & ~c) | (c & d)", "a ^ b ^ c"]
+
+    def both():
+        outputs = {}
+        for backend in ("reference", "vector"):
+            svc = BitwiseService("feram-2tnc", n_bits=n_bits,
+                                 n_shards=4, backend=backend)
+            rng_local = np.random.default_rng(2)
+            for name in ("a", "b", "c", "d"):
+                svc.create_column(
+                    name,
+                    (rng_local.random(n_bits) < 0.4).astype(np.uint8))
+            try:
+                outputs[backend] = [
+                    svc.query(query, use_cache=False)
+                    for query in queries
+                ]
+            finally:
+                svc.close()
+        return outputs
+
+    outputs = benchmark(both)
+    for exp, act in zip(outputs["reference"], outputs["vector"]):
+        assert np.array_equal(exp.bits, act.bits), exp.query
+        assert exp.cycles == act.cycles, exp.query
 
 
 def test_service_cache_serves_repeats(benchmark):

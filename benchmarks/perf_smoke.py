@@ -12,11 +12,14 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [output.json]
     PYTHONPATH=src python benchmarks/perf_smoke.py out.json --check BENCH_substrate.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py --summary-from out.json
 
 ``--check BASELINE`` turns the run into a regression gate: it fails
 (exit 1) when any timed benchmark is more than ``REGRESSION_TOLERANCE``
 slower than the committed baseline, or when a compiled primitive count
-regresses at all.
+regresses at all.  ``--summary-from RECORD`` prints a markdown
+baseline-vs-measured trajectory table from an existing record (used by
+CI to publish the perf history in the job summary) and exits.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from repro.spice import (
     TransientSolver,
     VoltageSource,
 )
+from repro.workloads import bitmap_index, set_ops
 
 #: wall-clock seconds of the seed implementation (commit 253f800,
 #: measured on the same container class CI uses), kept as the fixed
@@ -53,6 +57,10 @@ SEED_BASELINE_S = {
     "behavioral_level_sweep": 0.0358,
     # introduced with the compiler/service PR; baseline = first measure
     "service_batch": 0.0083,
+    # introduced with the columnar executor PR (reference-backend
+    # measure of the same 16Mi-bit mixed batch); baseline = the
+    # engine-replay path the vectorized executor replaces
+    "service_scale": 0.2364,
 }
 
 #: allowed relative slowdown vs the committed baseline (CI gate)
@@ -108,6 +116,50 @@ def _service_batch():
         return _time(run, repeat=3)
 
 
+#: service_scale geometry: a 16 Mi-bit table (≥16M bits per column)
+SCALE_BITS = 1 << 24
+SCALE_SHARDS = 8
+
+
+def _scale_queries() -> list[str]:
+    """Mixed workload batch: bitmap-index predicates + set algebra."""
+    return (bitmap_index.service_queries()
+            + set_ops.service_queries("c0", "c1"))
+
+
+def _service_scale(*, backend: str = "vector") -> dict:
+    """Large-scale serving throughput: mixed queries over 16Mi bits.
+
+    Returns the best batch wall-clock plus derived throughput
+    (table-rows answered per second across the batch) and the mean
+    attributed in-memory energy per query.
+    """
+    rng = np.random.default_rng(1)
+    queries = _scale_queries()
+    with BitwiseService("feram-2tnc", n_bits=SCALE_BITS,
+                        n_shards=SCALE_SHARDS, backend=backend) as svc:
+        for k in range(bitmap_index.N_COLUMNS):
+            svc.create_column(
+                f"c{k}",
+                (rng.random(SCALE_BITS) < 0.4).astype(np.uint8))
+
+        energy: list[float] = []
+
+        def run():
+            results = svc.execute(queries, use_cache=False)
+            assert all(result.count is not None for result in results)
+            energy[:] = [result.energy_j for result in results]
+
+        run()  # warm plans / programs / probed cost events
+        seconds = _time(run, repeat=3)
+    return {
+        "seconds": seconds,
+        "rows_per_s": SCALE_BITS * len(queries) / seconds,
+        "queries": len(queries),
+        "energy_per_query_nj": 1e9 * sum(energy) / len(energy),
+    }
+
+
 def primitive_counts() -> dict:
     """Compiled-vs-naive native primitive counts per row."""
     record = {}
@@ -143,6 +195,8 @@ def run_smoke() -> dict:
     timings["behavioral_level_sweep"] = _time(
         lambda: BehavioralCell(n_caps=3).level_sweep(), repeat=5)
     timings["service_batch"] = _service_batch()
+    scale = _service_scale()
+    timings["service_scale"] = scale["seconds"]
 
     entries = {}
     for name, seconds in timings.items():
@@ -152,6 +206,11 @@ def run_smoke() -> dict:
             "measured_s": round(seconds, 4),
             "speedup_vs_seed": round(seed / seconds, 2),
         }
+    entries["service_scale"].update({
+        "rows_per_s": round(scale["rows_per_s"]),
+        "queries": scale["queries"],
+        "energy_per_query_nj": round(scale["energy_per_query_nj"], 1),
+    })
     return {
         "suite": "substrate",
         "python": platform.python_version(),
@@ -195,8 +254,45 @@ def check_regression(payload: dict, baseline_path: Path) -> list[str]:
     return failures
 
 
+def print_summary(payload: dict) -> None:
+    """Markdown baseline-vs-measured trajectory table (CI job summary)."""
+    print("## Perf trajectory (`BENCH_substrate.json`)")
+    print()
+    print("| benchmark | seed (s) | measured (s) | speedup vs seed |")
+    print("| --- | ---: | ---: | ---: |")
+    for name, entry in payload.get("benchmarks", {}).items():
+        print(f"| {name} | {entry['seed_s']:.4f} "
+              f"| {entry['measured_s']:.4f} "
+              f"| {entry['speedup_vs_seed']:.2f}x |")
+    scale = payload.get("benchmarks", {}).get("service_scale", {})
+    if "rows_per_s" in scale:
+        print()
+        print(f"`service_scale`: {scale['rows_per_s'] / 1e9:.2f} G "
+              f"table-rows/s over {scale['queries']} mixed queries, "
+              f"{scale['energy_per_query_nj'] / 1e6:.2f} mJ "
+              f"attributed per query.")
+    counts = payload.get("primitive_counts", {})
+    if counts:
+        print()
+        print("| query | FeRAM naive | FeRAM compiled "
+              "| DRAM naive | DRAM compiled |")
+        print("| --- | ---: | ---: | ---: | ---: |")
+        for label, entry in counts.items():
+            feram = entry["feram_acp_per_row"]
+            dram = entry["dram_aap_per_row"]
+            print(f"| {label} | {feram['naive']} | {feram['compiled']} "
+                  f"| {dram['naive']} | {dram['compiled']} |")
+
+
 def main(argv: list[str]) -> int:
     args = [a for a in argv[1:]]
+    if "--summary-from" in args:
+        index = args.index("--summary-from")
+        if index + 1 >= len(args):
+            print("usage: perf_smoke.py --summary-from RECORD.json")
+            return 2
+        print_summary(json.loads(Path(args[index + 1]).read_text()))
+        return 0
     baseline_path = None
     if "--check" in args:
         index = args.index("--check")

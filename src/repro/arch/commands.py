@@ -147,21 +147,51 @@ class Stats:
             - before.control_rewrites
         return delta
 
+    def iadd(self, other: "Stats") -> "Stats":
+        """In-place accumulate another ledger (hot-path merge)."""
+        for key, value in other.energy_j.items():
+            self.energy_j[key] = self.energy_j.get(key, 0.0) + value
+        for key, cyc in other.cycles.items():
+            self.cycles[key] = self.cycles.get(key, 0) + cyc
+        for ctype, count in other.counts.items():
+            self.counts[ctype] = self.counts.get(ctype, 0) + count
+        self.staging_aaps += other.staging_aaps
+        self.relocation_acps += other.relocation_acps
+        self.control_rewrites += other.control_rewrites
+        return self
+
     def merged_with(self, other: "Stats") -> "Stats":
         """New Stats combining two ledgers."""
-        merged = Stats()
-        for src in (self, other):
-            for key, value in src.energy_j.items():
-                merged.energy_j[key] = merged.energy_j.get(key, 0.0) + value
-            for key, cyc in src.cycles.items():
-                merged.cycles[key] = merged.cycles.get(key, 0) + cyc
-            for ctype, count in src.counts.items():
-                merged.counts[ctype] = merged.counts.get(ctype, 0) + count
-        merged.staging_aaps = self.staging_aaps + other.staging_aaps
-        merged.relocation_acps = self.relocation_acps + other.relocation_acps
-        merged.control_rewrites = self.control_rewrites \
-            + other.control_rewrites
-        return merged
+        return self.copy().iadd(other)
+
+    def allclose(self, other: "Stats", *, rel_tol: float = 1e-9,
+                 abs_tol: float = 1e-15) -> bool:
+        """Field-for-field equality with float tolerance on energies.
+
+        Command counts, cycles and the integer side-counters
+        (staging/relocation/control) must match **exactly**; energy
+        totals are floating-point accumulations whose grouping differs
+        between a per-op replay and the closed-form coster, so they
+        compare with ``math.isclose`` at a tight tolerance.
+        """
+        import math
+
+        if self.cycles != other.cycles:
+            return False
+        if {k: v for k, v in self.counts.items() if v} != \
+                {k: v for k, v in other.counts.items() if v}:
+            return False
+        if (self.staging_aaps, self.relocation_acps,
+                self.control_rewrites) != \
+                (other.staging_aaps, other.relocation_acps,
+                 other.control_rewrites):
+            return False
+        for key in set(self.energy_j) | set(other.energy_j):
+            if not math.isclose(self.energy_j.get(key, 0.0),
+                                other.energy_j.get(key, 0.0),
+                                rel_tol=rel_tol, abs_tol=abs_tol):
+                return False
+        return True
 
     def summary(self) -> dict[str, float]:
         """Flat report dictionary (used by the fig-6 table printer)."""

@@ -42,6 +42,13 @@ __all__ = ["BulkEngine"]
 class BulkEngine:
     """Technology-independent bulk-bitwise execution engine."""
 
+    #: per-shape cap on pooled scratch payload buffers.  An op chain
+    #: holds at most a few intermediates live at once, so a small pool
+    #: captures all the reuse; without the cap a long-lived service
+    #: would retain one buffer per distinct shape per concurrent chain
+    #: forever (an unbounded leak under mixed-width traffic).
+    SCRATCH_CAP = 4
+
     def __init__(self, spec: MemorySpec, *, functional: bool = True) -> None:
         self.spec = spec
         self.functional = functional
@@ -65,8 +72,11 @@ class BulkEngine:
         return np.empty(shape, dtype=np.uint64)
 
     def _release_buffer(self, buffer: np.ndarray | None) -> None:
-        if buffer is not None:
-            self._scratch.setdefault(buffer.shape, []).append(buffer)
+        if buffer is None:
+            return
+        pool = self._scratch.setdefault(buffer.shape, [])
+        if len(pool) < self.SCRATCH_CAP:  # beyond the cap: drop to GC
+            pool.append(buffer)
 
     # ------------------------------------------------------------------
     # technology hooks

@@ -38,6 +38,8 @@ from __future__ import annotations
 import re
 from collections.abc import Mapping
 
+import numpy as np
+
 from repro.arch.bank import BitVector
 from repro.arch.commands import CommandType, Stats
 from repro.arch.engine import BulkEngine
@@ -47,8 +49,8 @@ from repro.errors import QueryError
 __all__ = [
     "Expr", "Col", "Const", "Not", "And", "Or", "Nand", "Nor", "Xor",
     "Xnor", "AndNot", "Maj", "Select", "parse", "canonical_key",
-    "CompiledQuery", "compile_expr", "compile_for", "naive_run",
-    "native_primitives",
+    "CompiledQuery", "VectorProgram", "compile_expr", "compile_for",
+    "naive_run", "native_primitives",
 ]
 
 
@@ -493,6 +495,232 @@ def canonical_key(expr: "Expr | str") -> str:
 
 
 # ----------------------------------------------------------------------
+# columnar register-machine bytecode
+# ----------------------------------------------------------------------
+class VectorProgram:
+    """Flat register-machine bytecode for the columnar executor.
+
+    Lowered once per :class:`CompiledQuery` from its hash-consed AIG:
+    every AIG op node becomes one *step* whose micro-ops each execute as
+    a single ``np.bitwise_*(..., out=)`` kernel over a whole packed
+    ``(n_shards, words)`` uint64 matrix — all shards advance together,
+    with no per-shard Python dispatch and no locks (numpy releases the
+    GIL inside each kernel).
+
+    Steps carry the AIG node's canonical content key, so a batch-level
+    ``node_cache`` shares computed sub-expression matrices *across*
+    queries in one batch: a node whose key is already cached binds its
+    register to the cached matrix and skips the kernels entirely.
+    Cached and column matrices are never written — every kernel's
+    destination is a scratch register drawn from the caller's pool —
+    so sharing is always safe.
+
+    The program computes **logical values** directly (complement-flag
+    edges of the AIG are folded into fused ``andn``/``nor`` micro-ops
+    or explicit NOTs), which is bit-identical to the engine-replay
+    path's flag algebra by construction.  Cost accounting is *not* part
+    of the program — the analytic coster in
+    :mod:`repro.arch.primitives` charges the plan's engine events in
+    closed form.
+    """
+
+    #: micro-op names (first element of each micro-op tuple)
+    OPS = ("and", "andn", "nor", "xor", "maj", "not", "copy", "const")
+
+    def __init__(self, steps: list[tuple], n_regs: int,
+                 out_reg: int) -> None:
+        #: list of (node_key | None, dst_reg, micro_ops, free_regs)
+        self.steps = steps
+        self.n_regs = n_regs
+        self.out_reg = out_reg
+
+    # -- execution -----------------------------------------------------
+    def run(self, columns: Mapping[str, np.ndarray], *,
+            shape: tuple[int, ...] | None = None,
+            pool=None, node_cache: dict | None = None) -> np.ndarray:
+        """Execute over packed word matrices; returns the result matrix.
+
+        ``columns`` maps names to read-only matrices (all one shape).
+        ``pool`` (optional) provides ``take()``/``give(arr)`` for
+        scratch matrices; ``node_cache`` (optional) is the cross-query
+        sub-expression cache, keyed by AIG content keys.  The returned
+        matrix is owned by the caller unless it was donated to the
+        cache (callers treat results as read-only either way).
+        """
+        if shape is None:
+            try:
+                shape = next(iter(columns.values())).shape
+            except StopIteration:
+                raise QueryError(
+                    "constant-only program needs an explicit shape"
+                ) from None
+        take = pool.take if pool is not None else \
+            (lambda: np.empty(shape, dtype=np.uint64))
+        give = pool.give if pool is not None else (lambda arr: None)
+
+        regs: list[np.ndarray | None] = [None] * self.n_regs
+        # poolable[i]: the register's matrix belongs to this run (not a
+        # column, not borrowed from / donated to the node cache).
+        poolable = [False] * self.n_regs
+
+        def resolve(spec) -> np.ndarray:
+            kind, value = spec
+            return columns[value] if kind == "col" else regs[value]
+
+        for key, dst, micro_ops, free_regs in self.steps:
+            cached = None if (node_cache is None or key is None) \
+                else node_cache.get(key)
+            if cached is not None:
+                regs[dst] = cached
+                poolable[dst] = False
+            else:
+                for op in micro_ops:
+                    name, reg = op[0], op[1]
+                    if regs[reg] is None:
+                        regs[reg] = take()
+                        poolable[reg] = True
+                    out = regs[reg]
+                    if name == "and":
+                        np.bitwise_and(resolve(op[2]), resolve(op[3]),
+                                       out=out)
+                    elif name == "andn":  # op[2] & ~op[3]
+                        np.bitwise_not(resolve(op[3]), out=out)
+                        np.bitwise_and(out, resolve(op[2]), out=out)
+                    elif name == "nor":
+                        np.bitwise_or(resolve(op[2]), resolve(op[3]),
+                                      out=out)
+                        np.bitwise_not(out, out=out)
+                    elif name == "xor":
+                        np.bitwise_xor(resolve(op[2]), resolve(op[3]),
+                                       out=out)
+                    elif name == "maj":
+                        a, b, c = (resolve(op[k]) for k in (2, 3, 4))
+                        scratch = take()
+                        np.bitwise_and(a, b, out=out)
+                        np.bitwise_and(a, c, out=scratch)
+                        np.bitwise_or(out, scratch, out=out)
+                        np.bitwise_and(b, c, out=scratch)
+                        np.bitwise_or(out, scratch, out=out)
+                        give(scratch)
+                    elif name == "not":
+                        np.bitwise_not(resolve(op[2]), out=out)
+                    elif name == "copy":
+                        np.copyto(out, resolve(op[2]))
+                    elif name == "const":
+                        out.fill(np.uint64(0xFFFFFFFFFFFFFFFF)
+                                 if op[2] else np.uint64(0))
+                    else:  # pragma: no cover - lowering emits OPS only
+                        raise QueryError(f"unknown micro-op {name!r}")
+                if node_cache is not None and key is not None:
+                    node_cache[key] = regs[dst]
+                    poolable[dst] = False  # donated: outlives this run
+            for reg in free_regs:
+                if poolable[reg] and regs[reg] is not None:
+                    give(regs[reg])
+                regs[reg] = None
+                poolable[reg] = False
+        out = regs[self.out_reg]
+        poolable[self.out_reg] = False  # result handed to the caller
+        return out
+
+
+def _lower_vector(plan: "CompiledQuery") -> VectorProgram:
+    """Lower a compiled plan's AIG schedule into a VectorProgram."""
+    aig = plan._aig
+    root = plan._root
+    root_idx = root >> 1
+    steps: list[tuple] = []
+    node_reg: dict[int, int] = {}
+    n_regs = 0
+
+    def new_reg() -> int:
+        nonlocal n_regs
+        n_regs += 1
+        return n_regs - 1
+
+    def operand(ref_idx: int):
+        node = aig.nodes[ref_idx]
+        if node[0] == "col":
+            return ("col", node[1])
+        return ("reg", node_reg[ref_idx])
+
+    # Remaining-use counts drive scratch release (root is retained).
+    remaining = dict(plan._uses)
+
+    def consume(ref_idx: int, free_regs: list[int]) -> None:
+        remaining[ref_idx] -= 1
+        if (remaining[ref_idx] == 0 and ref_idx in node_reg
+                and ref_idx != root_idx):
+            free_regs.append(node_reg[ref_idx])
+
+    for idx in plan._schedule:
+        node = aig.nodes[idx]
+        kind = node[0]
+        dst = new_reg()
+        node_reg[idx] = dst
+        micro: list[tuple] = []
+        free_regs: list[int] = []
+        if kind == "and":
+            _, r1, r2 = node
+            a, b = operand(r1 >> 1), operand(r2 >> 1)
+            n1, n2 = r1 & 1, r2 & 1
+            if not n1 and not n2:
+                micro.append(("and", dst, a, b))
+            elif n1 and n2:
+                micro.append(("nor", dst, a, b))
+            elif n1:
+                micro.append(("andn", dst, b, a))
+            else:
+                micro.append(("andn", dst, a, b))
+            consume(r1 >> 1, free_regs)
+            consume(r2 >> 1, free_regs)
+        elif kind == "xor":
+            _, r1, r2 = node  # canonically positive references
+            micro.append(("xor", dst, operand(r1 >> 1),
+                          operand(r2 >> 1)))
+            consume(r1 >> 1, free_regs)
+            consume(r2 >> 1, free_regs)
+        else:  # maj: normalized to at most one negated operand
+            refs = node[1:]
+            specs = []
+            for ref in refs:
+                if ref & 1:
+                    tmp = new_reg()
+                    micro.append(("not", tmp, operand(ref >> 1)))
+                    specs.append(("reg", tmp))
+                    free_regs.append(tmp)
+                else:
+                    specs.append(operand(ref >> 1))
+            micro.append(("maj", dst, *specs))
+            for ref in refs:
+                consume(ref >> 1, free_regs)
+        steps.append((aig.keys[idx], dst, tuple(micro),
+                      tuple(free_regs)))
+
+    # Root materialization (mirrors CompiledQuery._run_planned).
+    root_kind = aig.nodes[root_idx][0]
+    if root_kind == "true":
+        out = new_reg()
+        steps.append((aig.ref_key(root), out,
+                      (("const", out, 0 if root & 1 else 1),), ()))
+    elif root_kind == "col":
+        out = new_reg()
+        op = "not" if root & 1 else "copy"
+        steps.append((aig.ref_key(root), out,
+                      ((op, out, operand(root_idx)),), ()))
+    elif root & 1:
+        # Never invert in place: the node's matrix may be shared via
+        # the batch node cache.
+        out = new_reg()
+        steps.append((aig.ref_key(root), out,
+                      (("not", out, ("reg", node_reg[root_idx])),),
+                      (node_reg[root_idx],)))
+    else:
+        out = node_reg[root_idx]
+    return VectorProgram(steps, n_regs, out)
+
+
+# ----------------------------------------------------------------------
 # parity-planning compiler
 # ----------------------------------------------------------------------
 #: planner cost of one engine XOR: 3 logic primitives + 1 internal
@@ -521,6 +749,12 @@ class CompiledQuery:
         self.cols = tuple(
             name for name in self._aig.col_order
             if (self._aig.col(name) >> 1) in self._needed)
+        # Lazily built columnar artifacts (see vector_program /
+        # cost_events): lowering happens at most once per plan, event
+        # probing at most once per (plan, initial column flags) pair;
+        # both then ride the service's plan cache.
+        self._vector_program: VectorProgram | None = None
+        self._cost_events: dict[tuple, tuple] = {}
         # Ground-truth primitive counts, measured per row on throwaway
         # counting engines (exact — the executor is deterministic), and
         # cost-based plan selection: the parity DP is optimal on trees
@@ -687,6 +921,40 @@ class CompiledQuery:
                 if pending[parent] == 0:
                     ready.append(parent)
         return schedule
+
+    # -- columnar artifacts --------------------------------------------
+    def vector_program(self) -> VectorProgram:
+        """The plan's register-machine bytecode (lowered once, cached).
+
+        Bit-exact with :meth:`run` on any engine: both compute the same
+        logical function of the AIG; the program just does it as one
+        numpy kernel per step over packed word matrices.
+        """
+        if self._vector_program is None:
+            self._vector_program = _lower_vector(self)
+        return self._vector_program
+
+    def cost_events(self, flags: tuple[bool, ...] | None = None,
+                    ) -> tuple:
+        """Per-row engine charge events of this plan (probed once).
+
+        Returns ``(PlanEvents, final_flags)``: the charge events a
+        replay of :meth:`run` fires per table row on a service shard
+        (columns co-located in one cell group), plus the complement
+        flags the bound columns are left with.  Replay costs depend on
+        the columns' *current* flag encodings — parity steering
+        re-encodes operands persistently — so ``flags`` (aligned with
+        :attr:`cols`; default all-plain) selects the initial state and
+        results are memoized per state.
+        """
+        if flags is None:
+            flags = (False,) * len(self.cols)
+        cached = self._cost_events.get(flags)
+        if cached is None:
+            from repro.arch.primitives import probe_plan_events
+            cached = probe_plan_events(self, flags)
+            self._cost_events[flags] = cached
+        return cached
 
     # -- execution -----------------------------------------------------
     def run(self, engine: BulkEngine,

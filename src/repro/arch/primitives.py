@@ -33,13 +33,18 @@ executes *in place*: no staging.  Two honest extras are charged:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.arch.bank import BitVector
-from repro.arch.commands import Command, CommandType
+from repro.arch.commands import Command, CommandType, Stats
 from repro.arch.engine import BulkEngine
-from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB, MemorySpec, StagingPolicy
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB, MemorySpec
 from repro.errors import ArchitectureError
 
-__all__ = ["DramAmbitEngine", "FeramAcpEngine", "make_engine"]
+__all__ = [
+    "DramAmbitEngine", "FeramAcpEngine", "make_engine", "default_spec",
+    "PlanEvents", "probe_plan_events", "plan_stats",
+]
 
 
 class DramAmbitEngine(BulkEngine):
@@ -65,24 +70,19 @@ class DramAmbitEngine(BulkEngine):
                                         repeat=n_rows, tag=tag))
 
     def _charge_logic(self, n_rows: int) -> None:
-        policy = self.spec.staging_policy
-        if policy == StagingPolicy.STAGED:
+        # Policy expansion comes from the spec's costed-plan table so
+        # the replay path and the closed-form coster cannot drift.
+        staging = self.spec.staging_aaps_per_logic
+        for _ in range(staging):  # operand copies (+ control-row init)
             self._aap(n_rows, tag="staging")
-            self.stats.staging_aaps += n_rows
-        elif policy == StagingPolicy.AMBIT:
-            for _ in range(3):  # two operand copies + control-row init
-                self._aap(n_rows, tag="staging")
-            self.stats.staging_aaps += 3 * n_rows
+        self.stats.staging_aaps += staging * n_rows
         self._aap(n_rows, tag="compute")
 
     def _charge_not(self, n_rows: int) -> None:
         # Dual-contact-cell NOT: copy into the DCC, read the negated
         # port back out.  The paper-policy counts the single AAP its
         # text implies; the others count the faithful two.
-        if self.spec.staging_policy == StagingPolicy.PAPER:
-            self._aap(n_rows, tag="not")
-        else:
-            self._aap(n_rows, tag="not")
+        for _ in range(self.spec.aaps_per_not):
             self._aap(n_rows, tag="not")
 
     def _charge_copy(self, n_rows: int) -> None:
@@ -161,3 +161,156 @@ def make_engine(technology: str, *, functional: bool = True,
     if technology == "feram-2tnc":
         return FeramAcpEngine(spec or FERAM_2TNC_8GB, functional=functional)
     raise ArchitectureError(f"unknown technology {technology!r}")
+
+
+def default_spec(technology: str) -> MemorySpec:
+    """The paper-default spec of a technology name."""
+    if technology == "dram":
+        return DRAM_8GB
+    if technology == "feram-2tnc":
+        return FERAM_2TNC_8GB
+    raise ArchitectureError(f"unknown technology {technology!r}")
+
+
+# ----------------------------------------------------------------------
+# costed plans: abstract charge events + closed-form Stats expansion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanEvents:
+    """Per-row engine charge events a compiled plan fires on one shard.
+
+    Every vector in a query spans the same number of rows, so each
+    ``_charge_*`` call (and FeRAM relocation) scales linearly with the
+    shard's row count — the per-row event vector fully determines the
+    replayed :class:`~repro.arch.commands.Stats` delta.  Probed once
+    per plan on a single-row counting engine whose columns are
+    co-located in one cell group, exactly like service shards lay
+    columns out.
+    """
+
+    logic: int = 0        #: _charge_logic calls (native primitives)
+    nots: int = 0         #: _charge_not calls (materialized NOTs)
+    copies: int = 0       #: _charge_copy calls (row copies)
+    constants: int = 0    #: _charge_constant calls (0/1 row inits)
+    relocations: int = 0  #: FeRAM co-location relocation ACPs
+
+
+class _ProbeMixin:
+    """Overrides the charge hooks to tally events instead of stats."""
+
+    def _init_events(self) -> None:
+        self._events = {"logic": 0, "nots": 0, "copies": 0,
+                        "constants": 0, "relocations": 0}
+
+    def events(self) -> PlanEvents:
+        return PlanEvents(**self._events)
+
+    def _charge_logic(self, n_rows: int) -> None:
+        self._events["logic"] += n_rows
+
+    def _charge_not(self, n_rows: int) -> None:
+        self._events["nots"] += n_rows
+
+    def _charge_copy(self, n_rows: int) -> None:
+        self._events["copies"] += n_rows
+
+    def _charge_constant(self, n_rows: int) -> None:
+        self._events["constants"] += n_rows
+
+
+class _FeramEventProbe(_ProbeMixin, FeramAcpEngine):
+    def __init__(self) -> None:
+        super().__init__(functional=False)
+        self._init_events()
+
+    def _before_logic(self, operands: list[BitVector],
+                      result: BitVector) -> None:
+        # Mirror the real engine's co-location bookkeeping, but tally
+        # the relocation instead of charging it.
+        anchor = operands[0]
+        for other in operands[1:]:
+            if not self.allocator.co_located(anchor, other):
+                self._events["relocations"] += other.n_rows
+                self.allocator.unify(anchor, other)
+        self.allocator.join_group(result, anchor)
+
+
+class _DramEventProbe(_ProbeMixin, DramAmbitEngine):
+    def __init__(self) -> None:
+        super().__init__(functional=False)
+        self._init_events()
+
+
+def probe_plan_events(plan, flags: tuple[bool, ...] | None = None,
+                      ) -> tuple[PlanEvents, tuple[bool, ...]]:
+    """Replay a plan once on a 1-row probe engine and tally its events.
+
+    The probe lays columns out like a service shard (all co-located in
+    one cell group), so FeRAM relocation counts match shard execution.
+    ``flags`` sets the columns' initial complement encodings (replay
+    cost is state-dependent: parity steering re-encodes operands
+    persistently); the returned tuple pairs the events with the flags
+    the columns end in, letting callers track the evolution exactly.
+    """
+    engine = _FeramEventProbe() if plan.inverting else _DramEventProbe()
+    if flags is None:
+        flags = (False,) * len(plan.cols)
+    columns: dict[str, BitVector] = {}
+    first: BitVector | None = None
+    for name, flag in zip(plan.cols, flags):
+        vec = engine.allocate(64, name, group_with=first)
+        vec.complemented = bool(flag)
+        first = first or vec
+        columns[name] = vec
+    out = plan.run(engine, columns, n_bits=64)
+    engine.free(out)
+    final = tuple(columns[name].complemented for name in plan.cols)
+    return engine.events(), final
+
+
+def plan_stats(spec: MemorySpec, events: PlanEvents, n_rows: int, *,
+               tba_offset: int = 0) -> tuple[Stats, int]:
+    """Closed-form Stats delta of a plan over ``n_rows`` rows.
+
+    Expands the plan's abstract charge events through the spec's cost
+    tables exactly as an engine replay would — same command counts,
+    cycles and category totals, without issuing a single per-op charge
+    call.  ``tba_offset`` is the FeRAM shard's running
+    TBA-since-control-rewrite counter; the new counter value is
+    returned alongside the delta (control rewrites depend only on the
+    *total* TBA count crossing period boundaries, so the closed form
+    is exact for any interleaving).
+    """
+    stats = Stats()
+    new_offset = tba_offset
+    if spec.technology == "feram-2tnc":
+        acps = (events.logic + events.nots + events.copies
+                + events.relocations) * n_rows
+        if acps:
+            stats.record(spec, Command(CommandType.ACTIVATE_TBA,
+                                       repeat=acps))
+            stats.record(spec, Command(CommandType.COPY, repeat=acps))
+            stats.record(spec, Command(CommandType.PRECHARGE,
+                                       repeat=acps))
+        total_tba = tba_offset + events.logic * n_rows
+        rewrites, new_offset = divmod(total_tba,
+                                      spec.control_rewrite_period)
+        row_writes = rewrites + events.constants * n_rows
+        if row_writes:
+            stats.record(spec, Command(CommandType.ROW_WRITE,
+                                       repeat=row_writes))
+        stats.control_rewrites = rewrites
+        stats.relocation_acps = events.relocations * n_rows
+    else:
+        aaps = (events.logic * spec.aaps_per_logic
+                + events.nots * spec.aaps_per_not
+                + events.copies + events.constants) * n_rows
+        if aaps:
+            stats.record(spec, Command(CommandType.ACTIVATE_TRA,
+                                       repeat=aaps))
+            stats.record(spec, Command(CommandType.COPY, repeat=aaps))
+            stats.record(spec, Command(CommandType.PRECHARGE,
+                                       repeat=aaps))
+        stats.staging_aaps = events.logic * spec.staging_aaps_per_logic \
+            * n_rows
+    return stats, new_offset

@@ -124,6 +124,29 @@ class MemorySpec:
         """Refreshing one row: activate + precharge."""
         return self.e_activate + self.e_precharge
 
+    # ------------------------------------------------------------------
+    # costed-plan table (DRAM staging-policy expansion)
+    # ------------------------------------------------------------------
+    # One source of truth for "how many AAPs does one abstract charge
+    # event expand to" — shared by the DRAM engine's replay charging
+    # and the closed-form plan coster in ``repro.arch.primitives``.
+
+    @property
+    def staging_aaps_per_logic(self) -> int:
+        """Staging AAPs charged before each DRAM logic primitive."""
+        return {StagingPolicy.PAPER: 0, StagingPolicy.STAGED: 1,
+                StagingPolicy.AMBIT: 3}[self.staging_policy]
+
+    @property
+    def aaps_per_logic(self) -> int:
+        """Total AAPs per DRAM logic primitive (staging + compute)."""
+        return self.staging_aaps_per_logic + 1
+
+    @property
+    def aaps_per_not(self) -> int:
+        """AAPs per materialized DRAM NOT (DCC copy + negated read)."""
+        return 1 if self.staging_policy == StagingPolicy.PAPER else 2
+
     def with_policy(self, policy: str) -> "MemorySpec":
         """Copy of this spec under a different staging policy."""
         return replace(self, staging_policy=policy)

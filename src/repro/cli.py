@@ -40,6 +40,10 @@ def _service_parser(prog: str) -> argparse.ArgumentParser:
                         help="table width in bits (default: 1Mi)")
     parser.add_argument("--counting", action="store_true",
                         help="counting mode (no payloads; GB-scale)")
+    parser.add_argument("--backend", default="vector",
+                        choices=("vector", "reference"),
+                        help="columnar numpy executor (default) or the "
+                             "per-shard engine-replay ground truth")
     return parser
 
 
@@ -60,7 +64,8 @@ def _cmd_query(argv: list[str]) -> int:
     expr = parse(args.expr)
     with BitwiseService(args.tech, n_bits=args.bits,
                         n_shards=args.shards,
-                        functional=not args.counting) as service:
+                        functional=not args.counting,
+                        backend=args.backend) as service:
         for index, name in enumerate(expr.cols()):
             service.random_column(name, args.density,
                                   seed=args.seed + index)
@@ -93,7 +98,8 @@ def _cmd_serve(argv: list[str]) -> int:
 
     with BitwiseService(args.tech, n_bits=args.bits,
                         n_shards=args.shards,
-                        functional=not args.counting) as service:
+                        functional=not args.counting,
+                        backend=args.backend) as service:
         if args.port is None:
             return run_repl(service)
         server = serve_tcp(service, args.port, args.host)

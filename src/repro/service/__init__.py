@@ -1,11 +1,32 @@
 """Bulk-bitwise analytics service: sharded columns, compiled queries,
-batched execution, per-query cost attribution and result caching."""
+batched execution, per-query cost attribution and result caching.
 
+Two interchangeable execution backends answer every query:
+
+* **vector** (default) — the columnar plan-vectorized executor: the
+  table lives in a :class:`~repro.service.columnstore.ColumnStore` as
+  packed ``(n_shards, words_per_shard)`` uint64 matrices, compiled
+  plans lower once to register-machine bytecode, and each plan step
+  runs as one whole-matrix numpy kernel (all shards at once, no
+  locks, GIL released).  Energy/cycle/primitive accounting is computed
+  in closed form from the plan's probed charge events
+  (:func:`~repro.arch.primitives.plan_stats`).
+* **reference** — the engine-replay ground truth: one
+  :class:`~repro.arch.engine.BulkEngine` per shard, thread-pool
+  fan-out behind per-shard locks.  The vector backend is pinned
+  bit-exact and Stats-exact against this path in the test suite.
+
+Select with ``BitwiseService(..., backend="vector"|"reference")``.
+"""
+
+from repro.service.columnstore import ColumnStore, MatrixPool
 from repro.service.server import QueryServer, run_repl, serve_tcp
 from repro.service.service import BitwiseService, QueryResult
 
 __all__ = [
     "BitwiseService",
+    "ColumnStore",
+    "MatrixPool",
     "QueryResult",
     "QueryServer",
     "run_repl",

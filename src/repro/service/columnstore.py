@@ -1,0 +1,213 @@
+"""Columnar packed-word storage for the vectorized query backend.
+
+The reference service keeps every column as per-shard engine-resident
+:class:`~repro.arch.bank.BitVector` handles; the vectorized executor
+instead holds each named column as **one contiguous packed-``uint64``
+matrix** of shape ``(n_shards, words_per_shard)``.  A compiled query
+then advances *all* shards together: each plan step is a single
+``np.bitwise_*(..., out=)`` kernel over the whole 2-D matrix — no
+per-shard Python dispatch, no locks, and numpy releases the GIL for the
+duration of every kernel.
+
+Matrices are populated once at ``create_column`` and shared zero-copy
+with query execution (programs only ever *read* column matrices; all
+writes target scratch registers from the :class:`MatrixPool`).
+
+Shard geometry is word-aligned and identical to the reference backend's
+(:func:`shard_spans`), so results sliced per shard are bit-for-bit the
+same on both paths.  Rows beyond a shard's valid span are zero in
+column matrices and masked out of reductions (:meth:`ColumnStore.
+popcounts` applies the precomputed validity mask), so padding garbage
+produced by NOT-like kernels never leaks into counts or readouts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = ["ColumnStore", "MatrixPool", "shard_spans", "popcount_words"]
+
+WORD_BITS = 64
+
+
+def shard_spans(n_bits: int, n_shards: int) -> list[tuple[int, int]]:
+    """Word-aligned contiguous shard spans covering ``n_bits``.
+
+    Widths below ``64 * n_shards`` use fewer shards (one word is the
+    minimum shard); spans differ by at most one word.
+    """
+    n_words = (n_bits + WORD_BITS - 1) // WORD_BITS
+    n_shards = min(n_shards, n_words)
+    base, extra = divmod(n_words, n_shards)
+    spans = []
+    start = 0
+    for index in range(n_shards):
+        words = base + (1 if index < extra else 0)
+        stop = min(start + words * WORD_BITS, n_bits)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (vectorized)."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(words)
+    # Fallback: byte-level table via unpackbits is still one C call.
+    flat = np.ascontiguousarray(words).view(np.uint8)
+    bits = np.unpackbits(flat).reshape(words.size, 8 * words.dtype.itemsize)
+    return bits.sum(axis=1, dtype=np.int64).reshape(words.shape)
+
+
+class MatrixPool:
+    """Thread-safe pool of scratch ``(n_shards, words)`` uint64 matrices.
+
+    The vectorized executor churns through a handful of intermediate
+    matrices per query; pooling them keeps steady-state traffic
+    allocation-free.  The pool is capped (like the engines' payload
+    scratch pool) so a long-lived service cannot grow it without bound.
+    """
+
+    def __init__(self, shape: tuple[int, int], *, cap: int = 16) -> None:
+        self.shape = tuple(shape)
+        self.cap = int(cap)
+        self._free: list[np.ndarray] = []
+        self._lock = threading.Lock()
+
+    def take(self) -> np.ndarray:
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+        return np.empty(self.shape, dtype=np.uint64)
+
+    def give(self, matrix: np.ndarray | None) -> None:
+        if matrix is None or matrix.shape != self.shape:
+            return
+        with self._lock:
+            if len(self._free) < self.cap:
+                self._free.append(matrix)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+
+class ColumnStore:
+    """Named bit columns as packed ``(n_shards, words_per_shard)`` planes.
+
+    Parameters
+    ----------
+    n_bits:
+        Logical table width; every column holds this many bits.
+    n_shards:
+        Requested shard count (clamped to the word count like the
+        reference backend).
+    """
+
+    def __init__(self, n_bits: int, n_shards: int) -> None:
+        if n_bits <= 0:
+            raise QueryError("table width must be positive")
+        self.n_bits = int(n_bits)
+        self.spans = shard_spans(self.n_bits, n_shards)
+        self.n_shards = len(self.spans)
+        #: valid packed words per shard (tail shard may be partial)
+        self.shard_words = [
+            (stop - start + WORD_BITS - 1) // WORD_BITS
+            for start, stop in self.spans
+        ]
+        self.words_per_shard = max(self.shard_words)
+        self.shape = (self.n_shards, self.words_per_shard)
+        self._matrices: dict[str, np.ndarray] = {}
+        # Uniform layout (every shard holds a full words_per_shard run):
+        # the matrix rows concatenate into one contiguous word stream,
+        # so readouts reduce to a single unpackbits over the matrix.
+        self._uniform = all(words == self.words_per_shard
+                            for words in self.shard_words)
+        # Validity mask: 1-bits exactly at positions holding table bits.
+        self._mask = self._pack(np.ones(self.n_bits, dtype=np.uint8))
+        self._full = self._uniform and \
+            self.n_bits == self.n_shards * self.words_per_shard * WORD_BITS
+
+    # ------------------------------------------------------------------
+    # packing / unpacking
+    # ------------------------------------------------------------------
+    def _pack(self, bits: np.ndarray) -> np.ndarray:
+        """Pack a flat 0/1 array into the sharded word matrix."""
+        bits = np.asarray(bits).astype(np.uint8)
+        if bits.ndim != 1 or bits.size != self.n_bits:
+            raise QueryError(
+                f"need a flat array of {self.n_bits} bits, got shape "
+                f"{bits.shape}")
+        n_words = (self.n_bits + WORD_BITS - 1) // WORD_BITS
+        padded = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+        padded[: self.n_bits] = bits
+        words = np.packbits(padded, bitorder="little").view(np.uint64)
+        matrix = np.zeros(self.shape, dtype=np.uint64)
+        for index, (start, _) in enumerate(self.spans):
+            count = self.shard_words[index]
+            first = start // WORD_BITS
+            matrix[index, :count] = words[first:first + count]
+        return matrix
+
+    def unpack(self, matrix: np.ndarray) -> np.ndarray:
+        """Flat 0/1 readout of a result matrix (valid bits only)."""
+        if self._uniform and matrix.flags.c_contiguous:
+            # Rows concatenate into one contiguous word stream: one
+            # unpackbits, sliced to the table width.
+            return np.unpackbits(matrix.view(np.uint8),
+                                 bitorder="little")[: self.n_bits]
+        out = np.empty(self.n_bits, dtype=np.uint8)
+        for index, (start, stop) in enumerate(self.spans):
+            count = self.shard_words[index]
+            bits = np.unpackbits(
+                matrix[index, :count].view(np.uint8), bitorder="little")
+            out[start:stop] = bits[: stop - start]
+        return out
+
+    def popcounts(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-shard popcount of a result matrix (masked, vectorized)."""
+        if not self._full:  # mask padding / tail garbage out
+            matrix = np.bitwise_and(matrix, self._mask)
+        return popcount_words(matrix).sum(axis=1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # column management
+    # ------------------------------------------------------------------
+    def add(self, name: str, bits: np.ndarray) -> None:
+        if name in self._matrices:
+            raise QueryError(f"column {name!r} already exists")
+        self._matrices[name] = self._pack(bits)
+
+    def drop(self, name: str) -> None:
+        if name not in self._matrices:
+            raise QueryError(f"no column {name!r}")
+        del self._matrices[name]
+
+    def matrix(self, name: str) -> np.ndarray:
+        try:
+            return self._matrices[name]
+        except KeyError:
+            raise QueryError(f"no column {name!r}") from None
+
+    def bits(self, name: str) -> np.ndarray:
+        return self.unpack(self.matrix(name))
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Point-in-time binding of every column to its matrix.
+
+        Matrices are immutable once created, so a query holding a
+        snapshot keeps serving a consistent table view even if columns
+        are concurrently dropped/recreated (the service's generation
+        guard keeps such results out of the cache).
+        """
+        return dict(self._matrices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._matrices
+
+    def __len__(self) -> int:
+        return len(self._matrices)

@@ -1,17 +1,45 @@
 """Sharded bulk-bitwise query service over the expression compiler.
 
-:class:`BitwiseService` owns a table of named bit columns sharded
-across independent engine instances (one bank-group-like slice per
-shard), compiles incoming queries once (plan cache keyed on the
-canonicalized expression), executes batches across shards on a thread
-pool, attributes energy/cycle/primitive costs per query, and serves
-repeated queries from an LRU result cache — the production-shape layer
-the ROADMAP's heavy-traffic north star asks for, in the spirit of
-X-SRAM's compound in-memory ops and SLIM's logic-in-memory pipelines.
+:class:`BitwiseService` owns a table of named bit columns, compiles
+incoming queries once (plan cache keyed on the canonicalized
+expression), executes batches, attributes energy/cycle/primitive costs
+per query, and serves repeated queries from an LRU result cache — the
+production-shape layer the ROADMAP's heavy-traffic north star asks
+for, in the spirit of X-SRAM's compound in-memory ops and SLIM's
+logic-in-memory pipelines.
 
-Columns are only ever mutated value-preservingly by queries (complement
--flag re-encodings); per-shard locks serialize engine access, so
-concurrent queries over shared columns are safe.
+Two execution backends answer queries:
+
+* ``backend="vector"`` (default) — the **columnar plan-vectorized
+  executor**: columns live in a :class:`~repro.service.columnstore.
+  ColumnStore` as packed ``(n_shards, words_per_shard)`` uint64
+  matrices, each compiled plan lowers once to register-machine
+  bytecode (:meth:`~repro.arch.expr.CompiledQuery.vector_program`),
+  and every plan step executes as a single ``np.bitwise_*`` kernel
+  over the whole matrix — all shards advance together, lock-free, with
+  numpy releasing the GIL.  Energy/cycle/primitive accounting comes
+  from the closed-form plan coster
+  (:func:`~repro.arch.primitives.plan_stats`), which is Stats-exact
+  against an engine replay.  Shared sub-expressions are deduplicated
+  *across* the queries of a batch through a per-batch node cache
+  (a host-simulation optimization only: attributed costs still model
+  each query's full plan).
+
+* ``backend="reference"`` — the engine-replay path: one
+  :class:`~repro.arch.engine.BulkEngine` per shard, every (query,
+  shard) pair a thread-pool task behind per-shard locks.  Slower by
+  construction (O(plan-steps × shards) interpreted engine calls), but
+  it is the ground truth the vectorized path is pinned against
+  bit-for-bit and Stats-for-Stats in the test suite.  (Replay cost is
+  column-flag-state dependent and reference batches interleave
+  queries across shards nondeterministically, so Stats equality is
+  pinned for serialized execution; the vector backend always charges
+  the batch's deterministic sequential serialization.)
+
+Columns are only ever mutated value-preservingly by queries
+(complement-flag re-encodings on the reference path; the columnar
+store is never written after ingest), so concurrent queries over
+shared columns are safe on both backends.
 """
 
 from __future__ import annotations
@@ -25,7 +53,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.arch.bank import BitVector
-from repro.arch.commands import Stats
+from repro.arch.commands import Command, CommandType, Stats
 from repro.arch.engine import BulkEngine
 from repro.arch.expr import (
     CompiledQuery,
@@ -34,9 +62,10 @@ from repro.arch.expr import (
     canonical_key,
     compile_expr,
 )
-from repro.arch.primitives import make_engine
+from repro.arch.primitives import default_spec, make_engine, plan_stats
 from repro.arch.spec import MemorySpec
 from repro.errors import QueryError
+from repro.service.columnstore import ColumnStore, MatrixPool, shard_spans
 
 __all__ = ["BitwiseService", "QueryResult"]
 
@@ -93,13 +122,18 @@ class BitwiseService:
     n_bits:
         Table width — every column holds this many bits.
     n_shards:
-        Engine slices the table is striped over (word-aligned spans);
-        widths below ``64 * n_shards`` use fewer shards.
+        Slices the table is striped over (word-aligned spans); widths
+        below ``64 * n_shards`` use fewer shards.
     functional:
         Bit-exact payloads (default).  ``False`` runs counting-mode
         accounting only (GB-scale tables).
     cache_size:
         LRU result-cache capacity (0 disables caching).
+    backend:
+        ``"vector"`` (default) executes compiled plans as whole-matrix
+        numpy kernels with closed-form cost accounting;
+        ``"reference"`` replays plans on per-shard engines (the pinned
+        ground truth).
     """
 
     def __init__(self, technology: str = "feram-2tnc", *,
@@ -107,24 +141,61 @@ class BitwiseService:
                  functional: bool = True,
                  spec: MemorySpec | None = None,
                  cache_size: int = 64,
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None,
+                 backend: str = "vector") -> None:
         if n_bits <= 0:
             raise QueryError("table width must be positive")
         if n_shards <= 0:
             raise QueryError("need at least one shard")
+        if backend not in ("vector", "reference"):
+            raise QueryError(f"unknown backend {backend!r} "
+                             "(expected 'vector' or 'reference')")
         self.technology = technology
+        self.backend = backend
         self.n_bits = int(n_bits)
         self.functional = functional
-        self._shards = [
-            _Shard(i, make_engine(technology, functional=functional,
-                                  spec=spec), span)
-            for i, span in enumerate(self._spans(self.n_bits, n_shards))
-        ]
-        self.n_shards = len(self._shards)
-        self._inverting = self._shards[0].engine._native_inverting()
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_workers or self.n_shards,
-            thread_name_prefix="bitwise-shard")
+        self._spec = spec or default_spec(technology)
+        spans = shard_spans(self.n_bits, n_shards)
+        self.n_shards = len(spans)
+        if backend == "reference":
+            self._shards = [
+                _Shard(i, make_engine(technology, functional=functional,
+                                      spec=spec), span)
+                for i, span in enumerate(spans)
+            ]
+            self._inverting = self._shards[0].engine._native_inverting()
+            self._pool = ThreadPoolExecutor(
+                max_workers=max_workers or self.n_shards,
+                thread_name_prefix="bitwise-shard")
+            self._store = None
+        else:
+            # Columnar state: the packed store plus per-shard analytic
+            # ledgers that mirror what per-shard engines would record.
+            if spec is not None and spec.technology != technology:
+                raise QueryError(
+                    f"spec {spec.name!r} is not a {technology!r} spec")
+            self._shards = []
+            self._pool = None
+            self._store = ColumnStore(self.n_bits, n_shards) \
+                if functional else None
+            self._shard_rows = [
+                (stop - start + self._spec.row_bits - 1)
+                // self._spec.row_bits
+                for start, stop in spans
+            ]
+            self._ledger = Stats()  # merged analytic engine ledger
+            self._tba_offsets = [0] * len(spans)
+            # Complement-flag encodings the reference engines would
+            # leave each column in (parity steering re-encodes columns
+            # persistently); evolution is identical on every shard, so
+            # one flag per column drives the state-aware coster.
+            self._col_flags: dict[str, bool] = {}
+            self._stats_lock = threading.Lock()
+            self._rows_used = 0
+            shape = self._store.shape if self._store is not None else \
+                (self.n_shards, 1)
+            self._matrix_pool = MatrixPool(shape)
+            self._inverting = self._spec.technology == "feram-2tnc"
         self._columns: dict[str, int] = {}
         # Serializes table DDL (create/drop): concurrent clients of the
         # threaded TCP server must not interleave the check-then-act on
@@ -132,6 +203,12 @@ class BitwiseService:
         # leak allocator rows).
         self._table_lock = threading.RLock()
         self._plans: dict[str, CompiledQuery] = {}
+        # Text-level shortcut: repeated query strings skip the parse /
+        # canonicalize round-trip entirely (hot for steady traffic).
+        # LRU-bounded: distinct strings must not grow memory forever.
+        self._plans_by_text: OrderedDict[str, CompiledQuery] = \
+            OrderedDict()
+        self._plans_by_text_cap = 1024
         self._plans_lock = threading.Lock()
         self._cache: OrderedDict[str, _CacheEntry] = OrderedDict()
         self._cache_size = int(cache_size)
@@ -148,17 +225,7 @@ class BitwiseService:
     @staticmethod
     def _spans(n_bits: int, n_shards: int) -> list[tuple[int, int]]:
         """Word-aligned contiguous shard spans covering ``n_bits``."""
-        n_words = (n_bits + _WORD_BITS - 1) // _WORD_BITS
-        n_shards = min(n_shards, n_words)
-        base, extra = divmod(n_words, n_shards)
-        spans = []
-        start = 0
-        for index in range(n_shards):
-            words = base + (1 if index < extra else 0)
-            stop = min(start + words * _WORD_BITS, n_bits)
-            spans.append((start, stop))
-            start = stop
-        return spans
+        return shard_spans(n_bits, n_shards)
 
     # ------------------------------------------------------------------
     # column management
@@ -181,17 +248,34 @@ class BitwiseService:
             elif self.functional:
                 raise QueryError(
                     "functional service requires explicit column bits")
-            for shard in self._shards:
-                start, stop = shard.span
-                with shard.lock:
+            if self.backend == "vector":
+                if self._store is not None:
+                    self._store.add(name, bits)
+                with self._stats_lock:
                     if self.functional:
-                        vec = shard.engine.load(bits[start:stop], name,
-                                                group_with=shard.anchor)
-                    else:
-                        vec = shard.engine.allocate(
-                            stop - start, name, group_with=shard.anchor)
-                    shard.anchor = shard.anchor or vec
-                    shard.columns[name] = vec
+                        # Mirror the reference path exactly: only a
+                        # functional load charges host row writes
+                        # (counting-mode allocate charges nothing).
+                        self._ledger.record(
+                            self._spec,
+                            Command(CommandType.ROW_WRITE,
+                                    repeat=sum(self._shard_rows)))
+                    self._rows_used += sum(self._shard_rows)
+                    self._col_flags[name] = False
+            else:
+                for shard in self._shards:
+                    start, stop = shard.span
+                    with shard.lock:
+                        if self.functional:
+                            vec = shard.engine.load(
+                                bits[start:stop], name,
+                                group_with=shard.anchor)
+                        else:
+                            vec = shard.engine.allocate(
+                                stop - start, name,
+                                group_with=shard.anchor)
+                        shard.anchor = shard.anchor or vec
+                        shard.columns[name] = vec
             self._columns[name] = self.n_bits
             self._invalidate_cache()
 
@@ -210,13 +294,20 @@ class BitwiseService:
         with self._table_lock:
             if name not in self._columns:
                 raise QueryError(f"no column {name!r}")
-            for shard in self._shards:
-                with shard.lock:
-                    vec = shard.columns.pop(name)
-                    shard.engine.free(vec)
-                    if shard.anchor is vec:
-                        shard.anchor = next(
-                            iter(shard.columns.values()), None)
+            if self.backend == "vector":
+                if self._store is not None:
+                    self._store.drop(name)
+                with self._stats_lock:
+                    self._rows_used -= sum(self._shard_rows)
+                    self._col_flags.pop(name, None)
+            else:
+                for shard in self._shards:
+                    with shard.lock:
+                        vec = shard.columns.pop(name)
+                        shard.engine.free(vec)
+                        if shard.anchor is vec:
+                            shard.anchor = next(
+                                iter(shard.columns.values()), None)
             del self._columns[name]
             self._invalidate_cache()
 
@@ -230,6 +321,8 @@ class BitwiseService:
             raise QueryError(f"no column {name!r}")
         if not self.functional:
             return None
+        if self.backend == "vector":
+            return self._store.bits(name)
         parts = []
         for shard in self._shards:
             with shard.lock:
@@ -242,6 +335,13 @@ class BitwiseService:
     # ------------------------------------------------------------------
     def compile(self, query: "Expr | str") -> CompiledQuery:
         """Compile (or fetch the cached plan for) a query."""
+        text = query if isinstance(query, str) else None
+        if text is not None:
+            with self._plans_lock:
+                plan = self._plans_by_text.get(text)
+                if plan is not None:
+                    self._plans_by_text.move_to_end(text)
+                    return plan
         expr = _as_expr(query)
         key = canonical_key(expr)
         with self._plans_lock:
@@ -249,7 +349,14 @@ class BitwiseService:
         if plan is None:
             plan = compile_expr(expr, inverting=self._inverting)
             with self._plans_lock:
-                self._plans.setdefault(key, plan)
+                plan = self._plans.setdefault(key, plan)
+        if text is not None:
+            with self._plans_lock:
+                self._plans_by_text.setdefault(text, plan)
+                self._plans_by_text.move_to_end(text)
+                while len(self._plans_by_text) > \
+                        self._plans_by_text_cap:
+                    self._plans_by_text.popitem(last=False)
         return plan
 
     def query(self, query: "Expr | str", *,
@@ -259,13 +366,15 @@ class BitwiseService:
 
     def execute(self, queries, *,
                 use_cache: bool = True) -> list[QueryResult]:
-        """Execute a batch of queries, fanned out across the shards.
+        """Execute a batch of queries.
 
-        Every (query, shard) pair is a thread-pool task; per-shard
-        locks serialize engine access, so distinct shards run in
-        parallel while queries sharing a shard pipeline behind each
-        other.  Results are attributed per query (energy, cycles,
-        native primitives) and cached by canonical key.
+        The vector backend runs each distinct uncached plan as one
+        sequence of whole-matrix numpy kernels (all shards at once,
+        sub-expressions shared across the batch); the reference
+        backend fans every (query, shard) pair onto a thread pool
+        behind per-shard locks.  Results are attributed per query
+        (energy, cycles, native primitives) and cached by canonical
+        key on both paths.
         """
         self._ensure_open()
         plans: list[tuple[str, CompiledQuery | None, QueryResult | None]]
@@ -296,36 +405,21 @@ class BitwiseService:
             plans.append((text, plan, None))
             pending.setdefault(plan.key, []).append(position)
 
-        # Fan out: one task per (distinct uncached query, shard).  The
-        # generation snapshot keeps a result computed before a
+        # The generation snapshot keeps a result computed before a
         # concurrent column mutation out of the (already invalidated)
         # cache.
         with self._cache_lock:
             generation = self._generation
-        futures: dict[str, list] = {}
-        for key, positions in pending.items():
-            plan = plans[positions[0]][1]
-            futures[key] = [
-                self._pool.submit(self._run_on_shard, shard, plan)
-                for shard in self._shards
-            ]
+        if self.backend == "vector":
+            outputs = self._run_batch_vector(pending, plans)
+        else:
+            outputs = self._run_batch_reference(pending, plans)
 
         results: list[QueryResult | None] = [entry[2] for entry in plans]
         for key, positions in pending.items():
             text = plans[positions[0]][0]
             plan = plans[positions[0]][1]
-            start = time.perf_counter()
-            shard_outputs = [future.result() for future in futures[key]]
-            elapsed = time.perf_counter() - start
-            delta = Stats()
-            for _, shard_delta in shard_outputs:
-                delta = delta.merged_with(shard_delta)
-            if self.functional:
-                bits = np.concatenate(
-                    [bits for bits, _ in shard_outputs])
-                count = int(bits.sum())
-            else:
-                bits, count = None, None
+            bits, count, delta, elapsed = outputs[key]
             result = QueryResult(
                 query=text, key=plan.key, count=count, bits=bits,
                 cache_hit=False,
@@ -334,7 +428,7 @@ class BitwiseService:
                 energy_j=delta.total_energy_j,
                 cycles=delta.total_cycles,
                 elapsed_s=elapsed,
-                shards=len(shard_outputs),
+                shards=self.n_shards,
                 detail=delta.summary(),
             )
             if use_cache:
@@ -353,6 +447,102 @@ class BitwiseService:
         with self._cache_lock:
             self.queries_served += len(plans)
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # vector backend
+    # ------------------------------------------------------------------
+    def _run_batch_vector(self, pending: dict[str, list[int]],
+                          plans) -> dict[str, tuple]:
+        """Columnar execution: O(plan-steps) kernels per distinct query.
+
+        Every distinct plan runs once over the full column matrices;
+        the per-batch ``node_cache`` shares identical sub-expressions
+        across the batch's queries (attributed costs still model each
+        plan standalone, matching the reference replay exactly).
+        """
+        snapshot = self._store.snapshot() if self._store is not None \
+            else {}
+        node_cache: dict[str, np.ndarray] = {}
+        outputs: dict[str, tuple] = {}
+        for key, positions in pending.items():
+            plan = plans[positions[0]][1]
+            start = time.perf_counter()
+            bits = count = None
+            if self.functional:
+                missing = [c for c in plan.cols if c not in snapshot]
+                if missing:
+                    raise QueryError(f"unbound column(s): {missing}")
+                matrix = plan.vector_program().run(
+                    snapshot, shape=self._store.shape,
+                    pool=self._matrix_pool, node_cache=node_cache)
+                count = int(self._store.popcounts(matrix).sum())
+                bits = self._store.unpack(matrix)
+            delta = self._charge_vector(plan)
+            outputs[key] = (bits, count, delta,
+                            time.perf_counter() - start)
+        return outputs
+
+    def _charge_vector(self, plan: CompiledQuery) -> Stats:
+        """Closed-form per-shard Stats for one plan execution.
+
+        Shards with equal (rows, control-counter) state share one
+        closed-form evaluation — in the common equal-width layout the
+        whole query is costed with a single :func:`plan_stats` call.
+        """
+        delta = Stats()
+        with self._stats_lock:
+            # .get(): a column dropped while this query was in flight
+            # charges from the plain encoding and must not resurrect a
+            # flag entry (a recreated column starts plain, like a
+            # fresh engine vector).
+            flags = tuple(self._col_flags.get(col, False)
+                          for col in plan.cols)
+            events, final = plan.cost_events(flags)
+            for col, flag in zip(plan.cols, final):
+                if col in self._col_flags:
+                    self._col_flags[col] = flag
+            memo: dict[tuple[int, int], tuple[Stats, int]] = {}
+            for index, n_rows in enumerate(self._shard_rows):
+                state = (n_rows, self._tba_offsets[index])
+                costed = memo.get(state)
+                if costed is None:
+                    costed = plan_stats(self._spec, events, n_rows,
+                                        tba_offset=state[1])
+                    memo[state] = costed
+                shard_delta, self._tba_offsets[index] = costed
+                delta.iadd(shard_delta)
+            self._ledger.iadd(delta)
+        return delta
+
+    # ------------------------------------------------------------------
+    # reference backend
+    # ------------------------------------------------------------------
+    def _run_batch_reference(self, pending: dict[str, list[int]],
+                             plans) -> dict[str, tuple]:
+        """Engine replay: one thread-pool task per (query, shard)."""
+        futures: dict[str, list] = {}
+        for key, positions in pending.items():
+            plan = plans[positions[0]][1]
+            futures[key] = [
+                self._pool.submit(self._run_on_shard, shard, plan)
+                for shard in self._shards
+            ]
+        outputs: dict[str, tuple] = {}
+        for key in pending:
+            start = time.perf_counter()
+            shard_outputs = [future.result() for future in futures[key]]
+            elapsed = time.perf_counter() - start
+            delta = Stats()
+            for _, shard_delta in shard_outputs:
+                delta.iadd(shard_delta)
+            if self.functional:
+                bits = np.concatenate(
+                    [bits for bits, _ in shard_outputs])
+                count = int(bits.sum())
+            else:
+                bits, count = None, None
+            outputs[key] = (bits, count, delta, elapsed)
+        return outputs
 
     def _run_on_shard(self, shard: _Shard, plan: CompiledQuery):
         with shard.lock:
@@ -413,13 +603,19 @@ class BitwiseService:
     def stats(self) -> dict:
         """Aggregate service counters and the merged engine ledger."""
         merged = Stats()
-        rows_used = 0
-        for shard in self._shards:
-            with shard.lock:
-                merged = merged.merged_with(shard.engine.stats)
-                rows_used += shard.engine.allocator.rows_used
+        if self.backend == "vector":
+            with self._stats_lock:
+                merged = self._ledger.copy()
+                rows_used = self._rows_used
+        else:
+            rows_used = 0
+            for shard in self._shards:
+                with shard.lock:
+                    merged.iadd(shard.engine.stats)
+                    rows_used += shard.engine.allocator.rows_used
         return {
             "technology": self.technology,
+            "backend": self.backend,
             "n_bits": self.n_bits,
             "n_shards": self.n_shards,
             "columns": len(self._columns),
@@ -435,7 +631,8 @@ class BitwiseService:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
-            self._pool.shutdown(wait=True)
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
 
     def _ensure_open(self) -> None:
         if self._closed:

@@ -21,13 +21,33 @@ from repro.arch.engine import BulkEngine
 from repro.arch.expr import compile_for, naive_run, parse
 from repro.workloads.base import Workload, WorkloadIO
 
-__all__ = ["BitmapIndexQuery"]
+__all__ = ["BitmapIndexQuery", "service_queries"]
 
 #: number of attribute bitmaps the query touches
 N_COLUMNS = 6
 
 #: the evaluated predicate (Fig. 6 / §VII workload)
 QUERY = "(c0 & c1 & ~c2) | (c3 & c4 & c5)"
+
+
+def service_queries(columns: list[str] | None = None) -> list[str]:
+    """Bitmap-index predicate mix for the serving benchmarks.
+
+    The Fig. 6 conjunctive/disjunctive predicate plus CSE-heavy and
+    majority variants over the same attribute bitmaps — the query
+    shapes a bitmap-indexed table answers under real traffic.  Used by
+    the ``service_scale`` benchmark and the analytics example.
+    """
+    c = list(columns) if columns is not None \
+        else [f"c{k}" for k in range(N_COLUMNS)]
+    if len(c) < N_COLUMNS:
+        raise ValueError(f"need {N_COLUMNS} columns, got {len(c)}")
+    return [
+        f"({c[0]} & {c[1]} & ~{c[2]}) | ({c[3]} & {c[4]} & {c[5]})",
+        f"({c[0]} & {c[1]} & ~{c[2]}) | ({c[0]} & {c[1]} & {c[3]})",
+        f"maj({c[0]}, {c[1]}, {c[2]}) & ~{c[5]}",
+        f"sel({c[0]}, {c[1]}, {c[2]}) | ({c[3]} & ~{c[4]})",
+    ]
 
 
 class BitmapIndexQuery(Workload):

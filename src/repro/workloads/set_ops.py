@@ -20,7 +20,18 @@ from repro.arch.engine import BulkEngine
 from repro.arch.expr import compile_for, naive_run, parse
 from repro.workloads.base import Workload, WorkloadIO
 
-__all__ = ["SetUnion", "SetIntersection", "SetDifference"]
+__all__ = ["SetUnion", "SetIntersection", "SetDifference",
+           "service_queries"]
+
+
+def service_queries(a: str = "set_a", b: str = "set_b") -> list[str]:
+    """Set-algebra query mix for the serving benchmarks.
+
+    Union / intersection / difference / symmetric difference over two
+    bitmap sets — the single-sweep kernels of this module expressed as
+    service queries (used by the ``service_scale`` benchmark).
+    """
+    return [f"{a} | {b}", f"{a} & {b}", f"{a} & ~{b}", f"{a} ^ {b}"]
 
 
 class _SetOperation(Workload):

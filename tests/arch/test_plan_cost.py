@@ -1,0 +1,170 @@
+"""Closed-form plan coster == engine replay, field for field.
+
+The columnar backend never issues per-op charge calls: it expands each
+plan's probed charge events (:meth:`CompiledQuery.cost_events`)
+through :func:`repro.arch.primitives.plan_stats`.  These property
+tests pin that expansion against the ground truth — an actual engine
+replay's ``Stats`` delta — over random expressions, both
+technologies, every DRAM staging policy, and chained queries (replay
+cost is column-flag-state dependent and FeRAM's control-rewrite
+counter carries across queries, so sequences are the hard case).
+
+Integer fields (command counts, cycles, staging/relocation/control
+counters) must match exactly; energy totals accumulate in a different
+floating-point order, so they compare at 1e-9 relative tolerance via
+``Stats.allclose``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import expr as e
+from repro.arch.primitives import default_spec, make_engine, plan_stats
+from repro.arch.spec import StagingPolicy
+
+COLS = ("a", "b", "c", "d")
+N_ROWS = 2  # multi-row shard: exercises per-row scaling
+
+
+def _leaf():
+    return st.one_of(
+        st.sampled_from(COLS).map(e.Col),
+        st.sampled_from([0, 1]).map(e.Const),
+    )
+
+
+def _combine(children):
+    two = st.tuples(children, children)
+    three = st.tuples(children, children, children)
+    return st.one_of(
+        children.map(e.Not),
+        two.map(lambda t: e.And(*t)),
+        two.map(lambda t: e.Or(*t)),
+        two.map(lambda t: e.Xor(*t)),
+        two.map(lambda t: e.Nand(*t)),
+        two.map(lambda t: e.Nor(*t)),
+        two.map(lambda t: e.Xnor(*t)),
+        two.map(lambda t: e.AndNot(*t)),
+        three.map(lambda t: e.Maj(*t)),
+        three.map(lambda t: e.Select(*t)),
+    )
+
+
+expressions = st.recursive(_leaf(), _combine, max_leaves=8)
+
+SPECS = [default_spec("feram-2tnc")] + [
+    default_spec("dram").with_policy(policy)
+    for policy in StagingPolicy.ALL
+]
+
+
+def _shard_engine(spec):
+    """A counting engine laid out like a service shard."""
+    engine = make_engine(spec.technology, functional=False, spec=spec)
+    columns = {}
+    first = None
+    for name in COLS:
+        vec = engine.allocate(N_ROWS * spec.row_bits, name,
+                              group_with=first)
+        first = first or vec
+        columns[name] = vec
+    return engine, columns
+
+
+def _replay(engine, plan, columns):
+    before = engine.stats.copy()
+    out = plan.run(engine, columns)
+    engine.free(out)
+    return engine.stats.minus(before)
+
+
+def _analytic(engine, spec, plan, columns):
+    flags = tuple(columns[name].complemented for name in plan.cols)
+    offset = getattr(engine, "_tba_since_control_rewrite", 0)
+    events, final = plan.cost_events(flags)
+    stats, new_offset = plan_stats(spec, events, N_ROWS,
+                                   tba_offset=offset)
+    return stats, new_offset, final
+
+
+class TestAnalyticEqualsReplay:
+    @settings(max_examples=60)
+    @given(expr=expressions, spec=st.sampled_from(SPECS))
+    def test_single_query(self, expr, spec):
+        engine, columns = _shard_engine(spec)
+        plan = e.compile_expr(expr,
+                              inverting=engine._native_inverting())
+        analytic, new_offset, final = _analytic(engine, spec, plan,
+                                                columns)
+        replayed = _replay(engine, plan, columns)
+        assert analytic.allclose(replayed), (
+            str(expr), analytic, replayed)
+        assert new_offset == getattr(engine,
+                                     "_tba_since_control_rewrite", 0)
+        # Predicted column flag evolution matches the engine's.
+        for name, flag in zip(plan.cols, final):
+            assert columns[name].complemented == flag, str(expr)
+
+    @settings(max_examples=25)
+    @given(exprs=st.lists(expressions, min_size=2, max_size=4),
+           spec=st.sampled_from(SPECS))
+    def test_chained_queries(self, exprs, spec):
+        """Sequences: flag state and the control-rewrite counter carry
+        across queries; every per-query delta must still match."""
+        engine, columns = _shard_engine(spec)
+        for expr in exprs:
+            plan = e.compile_expr(expr,
+                                  inverting=engine._native_inverting())
+            analytic, _, _ = _analytic(engine, spec, plan, columns)
+            replayed = _replay(engine, plan, columns)
+            assert analytic.allclose(replayed), (
+                str(expr), analytic, replayed)
+
+
+class TestControlRewriteCarry:
+    def test_offsets_cross_period_boundaries(self):
+        """Repeated queries accumulate TBA reads past the FeRAM
+        control-rewrite period; the closed form tracks the counter
+        exactly (totals depend only on the running sum)."""
+        spec = default_spec("feram-2tnc")
+        engine, columns = _shard_engine(spec)
+        plan = e.compile_expr("(a & b & ~c) | (c & d)", inverting=True)
+        rewrites_analytic = 0
+        rewrites_replayed = 0
+        for _ in range(30):
+            analytic, _, _ = _analytic(engine, spec, plan, columns)
+            replayed = _replay(engine, plan, columns)
+            assert analytic.allclose(replayed)
+            rewrites_analytic += analytic.control_rewrites
+            rewrites_replayed += replayed.control_rewrites
+        assert rewrites_analytic == rewrites_replayed > 0
+
+
+class TestAllclose:
+    def test_detects_count_mismatch(self):
+        from repro.arch.commands import Command, CommandType, Stats
+
+        spec = default_spec("feram-2tnc")
+        a, b = Stats(), Stats()
+        a.record(spec, Command(CommandType.ACTIVATE_TBA, repeat=2))
+        b.record(spec, Command(CommandType.ACTIVATE_TBA, repeat=3))
+        assert not a.allclose(b)
+        assert a.allclose(a.copy())
+
+
+def test_probe_is_memoized_per_flag_state():
+    plan = e.compile_expr("a & ~b", inverting=True)
+    first = plan.cost_events((False, False))
+    assert plan.cost_events((False, False)) is first
+    other = plan.cost_events((True, False))
+    assert other is not first
+
+
+def test_events_match_primitive_counts():
+    """The probe's logic events agree with the plan's measured
+    primitive count minus materialized NOTs (sanity tie-in with the
+    benchmark numbers)."""
+    plan = e.compile_expr("(c0 & c1 & ~c2) | (c3 & c4 & c5)",
+                          inverting=True)
+    events, _ = plan.cost_events()
+    assert events.logic + events.nots == plan.primitives == 6

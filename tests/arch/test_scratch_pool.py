@@ -1,0 +1,53 @@
+"""Engine payload scratch pool: reuse works, growth is bounded."""
+
+import numpy as np
+
+from repro.arch.primitives import make_engine
+
+
+def _pool_size(engine) -> int:
+    return sum(len(buffers) for buffers in engine._scratch.values())
+
+
+class TestScratchPoolCap:
+    def test_freed_buffers_are_reused(self):
+        engine = make_engine("feram-2tnc")
+        vec = engine.allocate(64)
+        buffer = vec.payload
+        engine.free(vec)
+        again = engine.allocate(64)
+        assert again.payload is buffer
+
+    def test_per_shape_growth_is_capped(self):
+        """A burst of frees must not retain more than SCRATCH_CAP
+        buffers per shape (regression: the pool grew without bound,
+        leaking one buffer per distinct shape per concurrent chain in
+        a long-lived service)."""
+        engine = make_engine("feram-2tnc")
+        vectors = [engine.load(np.zeros(64, dtype=np.uint8))
+                   for _ in range(3 * engine.SCRATCH_CAP)]
+        engine.free(*vectors)
+        assert len(engine._scratch) == 1  # one shape in play
+        assert _pool_size(engine) == engine.SCRATCH_CAP
+
+    def test_cap_applies_per_shape(self):
+        engine = make_engine("feram-2tnc")
+        row_bits = engine.spec.row_bits
+        for n_rows in (1, 2):
+            vectors = [engine.load(np.zeros(n_rows * row_bits,
+                                            dtype=np.uint8))
+                       for _ in range(2 * engine.SCRATCH_CAP)]
+            engine.free(*vectors)
+        assert len(engine._scratch) == 2
+        for buffers in engine._scratch.values():
+            assert len(buffers) == engine.SCRATCH_CAP
+
+    def test_op_chains_stay_bounded(self):
+        """Long op chains over one width keep a small steady pool."""
+        engine = make_engine("feram-2tnc")
+        a = engine.load(np.ones(128, dtype=np.uint8))
+        b = engine.load(np.zeros(128, dtype=np.uint8))
+        for _ in range(50):
+            out = engine.xor(a, b)
+            engine.free(out)
+        assert _pool_size(engine) <= engine.SCRATCH_CAP
