@@ -2,11 +2,12 @@
 
 Runs the benchmarks the optimization work targets — the ``variation``
 Monte-Carlo experiment, the ``fig3f`` SPICE TBA sweep, the RC transient
-solve, the behavioral level sweep and a sharded-service query batch —
-and writes wall-clock timings (with the frozen seed baselines for
-trajectory) plus the compiler's native-primitive counts to
-``BENCH_substrate.json`` at the repo root.  CI runs this after the test
-suite so every PR leaves a recorded perf data point.
+solve, the behavioral level sweep, a sharded-service query batch and
+the 16Mi-lane BNN program (``workload_scale``) — and writes wall-clock
+timings (with the frozen seed baselines for trajectory) plus the
+compiler's native-primitive counts to ``BENCH_substrate.json`` at the
+repo root.  CI runs this after the test suite so every PR leaves a
+recorded perf data point.
 
 Usage::
 
@@ -61,6 +62,10 @@ SEED_BASELINE_S = {
     # measure of the same 16Mi-bit mixed batch); baseline = the
     # engine-replay path the vectorized executor replaces
     "service_scale": 0.2364,
+    # introduced with the program-executor PR: 16Mi-lane BNN inference
+    # as a 252-statement program; baseline = the interpreted per-shard
+    # engine replay of the same program (backend="reference")
+    "workload_scale": 0.573,
 }
 
 #: allowed relative slowdown vs the committed baseline (CI gate)
@@ -160,6 +165,49 @@ def _service_scale(*, backend: str = "vector") -> dict:
     }
 
 
+#: workload_scale geometry: BNN inference over 16 Mi lanes (16
+#: features, 4 neurons -> a 252-statement popcount/threshold program)
+WORKLOAD_SCALE_LANES = 1 << 24
+WORKLOAD_SCALE_SHARDS = 8
+
+
+def _workload_scale(*, backend: str = "vector") -> dict:
+    """Program-executor throughput: 16Mi-lane BNN on the service.
+
+    The whole dense layer runs as one multi-statement program
+    (XNOR + popcount adder trees + thresholds); returns the best
+    program wall-clock plus lanes/s and the attributed in-memory
+    energy per lane.
+    """
+    from repro.workloads.bnn import BnnInference
+    from repro.workloads.programs import generate_inputs
+
+    workload = BnnInference(WORKLOAD_SCALE_LANES * 16 // 8)
+    program = workload.as_program(seed=1)
+    assert program.n_lanes == WORKLOAD_SCALE_LANES
+    inputs = generate_inputs(program, seed=1)
+    with BitwiseService("feram-2tnc", n_bits=program.n_lanes,
+                        n_shards=WORKLOAD_SCALE_SHARDS,
+                        backend=backend) as svc:
+        for name, bits in inputs.items():
+            svc.create_column(name, bits)
+        last = {}
+
+        def run():
+            last["result"] = svc.run_program(program.program)
+
+        run()  # warm: program compile + cost-event probe
+        seconds = _time(run, repeat=3)
+        energy_j = last["result"].energy_j
+    return {
+        "seconds": seconds,
+        "lanes": program.n_lanes,
+        "statements": len(program.program),
+        "rows_per_s": program.n_lanes / seconds,
+        "energy_per_lane_nj": energy_j * 1e9 / program.n_lanes,
+    }
+
+
 def primitive_counts() -> dict:
     """Compiled-vs-naive native primitive counts per row."""
     record = {}
@@ -197,6 +245,8 @@ def run_smoke() -> dict:
     timings["service_batch"] = _service_batch()
     scale = _service_scale()
     timings["service_scale"] = scale["seconds"]
+    workload = _workload_scale()
+    timings["workload_scale"] = workload["seconds"]
 
     entries = {}
     for name, seconds in timings.items():
@@ -210,6 +260,12 @@ def run_smoke() -> dict:
         "rows_per_s": round(scale["rows_per_s"]),
         "queries": scale["queries"],
         "energy_per_query_nj": round(scale["energy_per_query_nj"], 1),
+    })
+    entries["workload_scale"].update({
+        "lanes": workload["lanes"],
+        "statements": workload["statements"],
+        "rows_per_s": round(workload["rows_per_s"]),
+        "energy_per_lane_nj": round(workload["energy_per_lane_nj"], 4),
     })
     return {
         "suite": "substrate",
@@ -271,6 +327,15 @@ def print_summary(payload: dict) -> None:
               f"table-rows/s over {scale['queries']} mixed queries, "
               f"{scale['energy_per_query_nj'] / 1e6:.2f} mJ "
               f"attributed per query.")
+    workload = payload.get("benchmarks", {}).get("workload_scale", {})
+    if "rows_per_s" in workload:
+        print()
+        print(f"`workload_scale`: {workload['rows_per_s'] / 1e6:.0f} M "
+              f"BNN lanes/s ({workload['lanes'] >> 20} Mi lanes, "
+              f"{workload['statements']}-statement program), "
+              f"{workload['energy_per_lane_nj']:.3f} nJ attributed "
+              f"per lane; speedup is vs the interpreted engine-replay "
+              f"backend on the same program.")
     counts = payload.get("primitive_counts", {})
     if counts:
         print()

@@ -38,6 +38,13 @@ from repro.arch.expr import (
     parse,
 )
 from repro.arch.primitives import DramAmbitEngine, FeramAcpEngine, make_engine
+from repro.arch.program import (
+    CompiledProgram,
+    Program,
+    ProgramBuilder,
+    compile_program,
+    parse_program,
+)
 from repro.arch.refresh import RefreshCharge, apply_refresh
 from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB, MemorySpec, StagingPolicy
 from repro.arch.writeback import WritebackPolicy, compare_writeback_policies
@@ -61,6 +68,11 @@ __all__ = [
     "CompiledQuery",
     "compile_expr",
     "compile_for",
+    "Program",
+    "ProgramBuilder",
+    "CompiledProgram",
+    "compile_program",
+    "parse_program",
     "naive_run",
     "native_primitives",
     "MemorySpec",

@@ -358,6 +358,14 @@ _TRUE = 0
 _FALSE = 1
 
 
+#: content keys longer than this are replaced by a digest.  Keys stay
+#: human-readable for ordinary queries; deep programs (a CRC feedback
+#: chain re-reads its own outputs, so the *tree* expansion of the
+#: shared DAG grows exponentially) would otherwise spend quadratic-plus
+#: time and memory materializing structural strings.
+_KEY_CAP = 96
+
+
 class _Aig:
     """Hash-consed and-inverter graph with XOR and MAJ extension nodes."""
 
@@ -368,6 +376,19 @@ class _Aig:
         self.col_order: list[str] = []
 
     # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _cap_key(key: str) -> str:
+        """Bound a content key's length, preserving content equality.
+
+        Equal structures build equal strings and therefore equal
+        digests; children are already capped, so every key is computed
+        in O(1) regardless of graph depth.
+        """
+        if len(key) <= _KEY_CAP:
+            return key
+        import hashlib
+        return "#" + hashlib.sha256(key.encode()).hexdigest()
+
     def ref_key(self, ref: int) -> str:
         return ("!" if ref & 1 else "") + self.keys[ref >> 1]
 
@@ -398,7 +419,7 @@ class _Aig:
         if x == y ^ 1:
             return _FALSE
         x, y = sorted((x, y), key=self.ref_key)
-        key = f"&({self.ref_key(x)},{self.ref_key(y)})"
+        key = self._cap_key(f"&({self.ref_key(x)},{self.ref_key(y)})")
         return self._intern(("and", x, y), key)
 
     def or_(self, x: int, y: int) -> int:
@@ -414,7 +435,7 @@ class _Aig:
         if yp == _TRUE:
             return xp ^ 1 ^ neg
         xp, yp = sorted((xp, yp), key=self.ref_key)
-        key = f"^({self.ref_key(xp)},{self.ref_key(yp)})"
+        key = self._cap_key(f"^({self.ref_key(xp)},{self.ref_key(yp)})")
         return self._intern(("xor", xp, yp), key) ^ neg
 
     def maj(self, x: int, y: int, z: int) -> int:
@@ -436,8 +457,8 @@ class _Aig:
             x, y, z = x ^ 1, y ^ 1, z ^ 1
             neg = 1
         x, y, z = sorted((x, y, z), key=self.ref_key)
-        key = (f"m({self.ref_key(x)},{self.ref_key(y)},"
-               f"{self.ref_key(z)})")
+        key = self._cap_key(f"m({self.ref_key(x)},{self.ref_key(y)},"
+                            f"{self.ref_key(z)})")
         return self._intern(("maj", x, y, z), key) ^ neg
 
     # -- lowering ------------------------------------------------------
@@ -451,34 +472,50 @@ class _Aig:
             refs = nxt
         return refs[0]
 
-    def lower(self, expr: Expr) -> int:
+    def lower(self, expr: Expr,
+              env: Mapping[str, int] | None = None) -> int:
+        """Lower an expression to an AIG reference.
+
+        ``env`` (the :class:`~repro.arch.program.Program` layer's
+        statement environment) maps already-assigned names to their AIG
+        references: a :class:`Col` whose name is bound resolves to the
+        bound sub-graph instead of a fresh column leaf, which is what
+        makes cross-statement common-subexpression elimination fall out
+        of the ordinary hash-consing.
+        """
         if isinstance(expr, Col):
+            if env is not None:
+                ref = env.get(expr.name)
+                if ref is not None:
+                    return ref
             return self.col(expr.name)
         if isinstance(expr, Const):
             return _TRUE if expr.bit else _FALSE
         if isinstance(expr, Not):
-            return self.lower(expr.x) ^ 1
+            return self.lower(expr.x, env) ^ 1
         if isinstance(expr, (And, Nand)):
-            ref = self._balanced([self.lower(x) for x in expr.xs],
+            ref = self._balanced([self.lower(x, env) for x in expr.xs],
                                  self.and_)
             return ref ^ (1 if isinstance(expr, Nand) else 0)
         if isinstance(expr, (Or, Nor)):
-            ref = self._balanced([self.lower(x) for x in expr.xs],
+            ref = self._balanced([self.lower(x, env) for x in expr.xs],
                                  self.or_)
             return ref ^ (1 if isinstance(expr, Nor) else 0)
         if isinstance(expr, (Xor, Xnor)):
-            ref = self._balanced([self.lower(x) for x in expr.xs],
+            ref = self._balanced([self.lower(x, env) for x in expr.xs],
                                  self.xor)
             return ref ^ (1 if isinstance(expr, Xnor) else 0)
         if isinstance(expr, AndNot):
-            return self.and_(self.lower(expr.a), self.lower(expr.b) ^ 1)
+            return self.and_(self.lower(expr.a, env),
+                             self.lower(expr.b, env) ^ 1)
         if isinstance(expr, Maj):
-            return self.maj(self.lower(expr.a), self.lower(expr.b),
-                            self.lower(expr.c))
+            return self.maj(self.lower(expr.a, env),
+                            self.lower(expr.b, env),
+                            self.lower(expr.c, env))
         if isinstance(expr, Select):
-            mask = self.lower(expr.mask)
-            return self.or_(self.and_(mask, self.lower(expr.a)),
-                            self.and_(self.lower(expr.b), mask ^ 1))
+            mask = self.lower(expr.mask, env)
+            return self.or_(self.and_(mask, self.lower(expr.a, env)),
+                            self.and_(self.lower(expr.b, env), mask ^ 1))
         raise QueryError(f"cannot lower {type(expr).__name__}")
 
 
@@ -528,11 +565,15 @@ class VectorProgram:
     OPS = ("and", "andn", "nor", "xor", "maj", "not", "copy", "const")
 
     def __init__(self, steps: list[tuple], n_regs: int,
-                 out_reg: int) -> None:
+                 out_reg: int | None,
+                 out_regs: Mapping[str, int] | None = None) -> None:
         #: list of (node_key | None, dst_reg, micro_ops, free_regs)
         self.steps = steps
         self.n_regs = n_regs
+        #: single-expression result register (compiled queries)
         self.out_reg = out_reg
+        #: named output registers (multi-statement programs)
+        self.out_regs = dict(out_regs) if out_regs is not None else None
 
     # -- execution -----------------------------------------------------
     def run(self, columns: Mapping[str, np.ndarray], *,
@@ -547,6 +588,32 @@ class VectorProgram:
         matrix is owned by the caller unless it was donated to the
         cache (callers treat results as read-only either way).
         """
+        if self.out_reg is None:
+            raise QueryError("multi-output program: use run_outputs()")
+        regs = self._execute(columns, shape=shape, pool=pool,
+                             node_cache=node_cache)
+        return regs[self.out_reg]
+
+    def run_outputs(self, columns: Mapping[str, np.ndarray], *,
+                    shape: tuple[int, ...] | None = None,
+                    pool=None, node_cache: dict | None = None,
+                    ) -> dict[str, np.ndarray]:
+        """Execute a multi-output program; returns ``{name: matrix}``.
+
+        Two output names whose final values coincide in the optimized
+        graph map to the *same* matrix object — callers treat result
+        matrices as read-only.
+        """
+        if self.out_regs is None:
+            raise QueryError("single-output program: use run()")
+        regs = self._execute(columns, shape=shape, pool=pool,
+                             node_cache=node_cache)
+        return {name: regs[reg] for name, reg in self.out_regs.items()}
+
+    def _execute(self, columns: Mapping[str, np.ndarray], *,
+                 shape: tuple[int, ...] | None = None,
+                 pool=None, node_cache: dict | None = None,
+                 ) -> list:
         if shape is None:
             try:
                 shape = next(iter(columns.values())).shape
@@ -619,9 +686,7 @@ class VectorProgram:
                     give(regs[reg])
                 regs[reg] = None
                 poolable[reg] = False
-        out = regs[self.out_reg]
-        poolable[self.out_reg] = False  # result handed to the caller
-        return out
+        return regs
 
 
 def _lower_vector(plan: "CompiledQuery") -> VectorProgram:

@@ -43,7 +43,8 @@ from repro.errors import ArchitectureError
 
 __all__ = [
     "DramAmbitEngine", "FeramAcpEngine", "make_engine", "default_spec",
-    "PlanEvents", "probe_plan_events", "plan_stats",
+    "PlanEvents", "probe_plan_events", "probe_program_events",
+    "plan_stats",
 ]
 
 
@@ -241,6 +242,34 @@ class _DramEventProbe(_ProbeMixin, DramAmbitEngine):
         self._init_events()
 
 
+def _probe_layout(inverting: bool, cols: tuple[str, ...],
+                  flags: tuple[bool, ...] | None):
+    """A 1-row probe engine with columns laid out like a service shard.
+
+    All columns are co-located in one cell group (so FeRAM relocation
+    counts match shard execution) with their initial complement
+    encodings taken from ``flags`` (default all-plain).  Shared by the
+    single-plan and whole-program probes so the two cost paths cannot
+    drift.
+    """
+    engine = _FeramEventProbe() if inverting else _DramEventProbe()
+    if flags is None:
+        flags = (False,) * len(cols)
+    columns: dict[str, BitVector] = {}
+    first: BitVector | None = None
+    for name, flag in zip(cols, flags):
+        vec = engine.allocate(64, name, group_with=first)
+        vec.complemented = bool(flag)
+        first = first or vec
+        columns[name] = vec
+    return engine, columns
+
+
+def _final_flags(columns: dict[str, BitVector],
+                 cols: tuple[str, ...]) -> tuple[bool, ...]:
+    return tuple(columns[name].complemented for name in cols)
+
+
 def probe_plan_events(plan, flags: tuple[bool, ...] | None = None,
                       ) -> tuple[PlanEvents, tuple[bool, ...]]:
     """Replay a plan once on a 1-row probe engine and tally its events.
@@ -252,20 +281,39 @@ def probe_plan_events(plan, flags: tuple[bool, ...] | None = None,
     persistently); the returned tuple pairs the events with the flags
     the columns end in, letting callers track the evolution exactly.
     """
-    engine = _FeramEventProbe() if plan.inverting else _DramEventProbe()
-    if flags is None:
-        flags = (False,) * len(plan.cols)
-    columns: dict[str, BitVector] = {}
-    first: BitVector | None = None
-    for name, flag in zip(plan.cols, flags):
-        vec = engine.allocate(64, name, group_with=first)
-        vec.complemented = bool(flag)
-        first = first or vec
-        columns[name] = vec
+    engine, columns = _probe_layout(plan.inverting, plan.cols, flags)
     out = plan.run(engine, columns, n_bits=64)
     engine.free(out)
-    final = tuple(columns[name].complemented for name in plan.cols)
-    return engine.events(), final
+    return engine.events(), _final_flags(columns, plan.cols)
+
+
+def probe_program_events(cprog, flags: tuple[bool, ...] | None = None,
+                         ) -> tuple[tuple[PlanEvents, ...],
+                                    tuple[bool, ...]]:
+    """Replay a compiled program once on a 1-row probe engine.
+
+    Statement-by-statement analog of :func:`probe_plan_events`: the
+    probe lays the program's table columns out like a service shard
+    (co-located in one cell group, initial complement encodings from
+    ``flags``) and replays the *reference* execution path — the same
+    :meth:`~repro.arch.program.CompiledProgram.replay` loop a shard
+    runs, including intermediate bindings and liveness frees — tallying
+    one :class:`PlanEvents` per statement.  Returns the per-statement
+    events plus the final complement flags of the table columns.
+    """
+    engine, columns = _probe_layout(cprog.inverting, cprog.cols, flags)
+
+    def snapshot() -> dict:
+        return dict(engine._events)
+
+    def delta(before: dict) -> PlanEvents:
+        return PlanEvents(**{key: engine._events[key] - before[key]
+                             for key in engine._events})
+
+    outputs, per_statement = cprog.replay(
+        engine, columns, n_bits=64, snapshot=snapshot, delta=delta)
+    engine.free(*outputs.values())
+    return tuple(per_statement), _final_flags(columns, cprog.cols)
 
 
 def plan_stats(spec: MemorySpec, events: PlanEvents, n_rows: int, *,

@@ -1,12 +1,16 @@
 """Command-line entry point: ``python -m repro``.
 
-Three modes:
+Four modes:
 
 * ``python -m repro [experiment-id ...|all]`` — run paper experiments
   (no arguments lists the registry);
 * ``python -m repro query "<expr>" [options]`` — one-shot compiled
   query over generated columns, with compiled-vs-naive primitive
   counts;
+* ``python -m repro workload <name|all> [options]`` — run a dataflow
+  workload (BNN, CRC8, XOR cipher, masked init) as a multi-statement
+  program on the service, on either execution backend, with
+  verification and per-statement cost attribution;
 * ``python -m repro serve [options]`` — start the bulk-bitwise query
   service as an interactive console or (``--port``) a JSON-lines TCP
   server.
@@ -25,6 +29,7 @@ __all__ = ["main"]
 _USAGE = """\
 usage: python -m repro <experiment-id ...|all>
        python -m repro query "<expr>" [--tech T] [--shards N] [--bits N]
+       python -m repro workload <name|all> [--backend B] [--bytes N]
        python -m repro serve [--tech T] [--shards N] [--bits N] [--port P]
 """
 
@@ -87,6 +92,87 @@ def _cmd_query(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_workload(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="repro workload", add_help=True)
+    parser.add_argument("name",
+                        help="bnn | crc8 | xor_cipher | masked_init "
+                             "| all")
+    parser.add_argument("--tech", default="feram-2tnc",
+                        choices=("feram-2tnc", "dram"),
+                        help="memory technology (default: feram-2tnc)")
+    parser.add_argument("--backend", default="vector",
+                        choices=("vector", "reference"),
+                        help="columnar numpy executor (default) or the "
+                             "per-shard engine-replay ground truth")
+    parser.add_argument("--bytes", type=int, default=1 << 20,
+                        help="workload data size (default: 1 MiB)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--counting", action="store_true",
+                        help="counting mode (no payloads; GB-scale)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--per-statement", action="store_true",
+                        help="print the per-statement cost attribution")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    from repro.workloads import PROGRAM_WORKLOADS, run_workload
+
+    names = sorted(PROGRAM_WORKLOADS) if args.name == "all" \
+        else [args.name]
+    for name in names:
+        run = run_workload(
+            name, n_bytes=args.bytes, technology=args.tech,
+            backend=args.backend, n_shards=args.shards,
+            functional=not args.counting, seed=args.seed)
+        payload = {
+            "workload": run.workload,
+            "technology": run.technology,
+            "backend": run.backend,
+            "lanes": run.n_lanes,
+            "statements": run.statements,
+            "verified": run.verified,
+            "energy_nj": run.energy_j * 1e9,
+            "energy_per_lane_nj": run.energy_per_lane_nj,
+            "cycles": run.cycles,
+            "elapsed_s": run.elapsed_s,
+            "lanes_per_s": run.lanes_per_s,
+        }
+        if args.json:
+            if args.per_statement:
+                payload["per_statement"] = [
+                    {"index": s.index, "name": s.name,
+                     "query": s.query, "energy_nj": s.energy_j * 1e9,
+                     "cycles": s.cycles}
+                    for s in run.result.statements
+                ]
+            print(json.dumps(payload, indent=2))
+            if run.verified is False:
+                return 1
+            continue
+        print(f"workload  : {run.workload}  ({run.technology}, "
+              f"backend={run.backend})")
+        print(f"lanes     : {run.n_lanes}  "
+              f"({run.statements} program statements)")
+        if run.verified is not None:
+            print(f"verified  : {run.verified}")
+        print(f"energy    : {run.energy_j * 1e9:.1f} nJ   "
+              f"({run.energy_per_lane_nj:.3f} nJ/lane)")
+        print(f"cycles    : {run.cycles}")
+        print(f"throughput: {run.lanes_per_s / 1e6:.1f} M lanes/s "
+              f"({run.elapsed_s * 1e3:.2f} ms)")
+        if args.per_statement:
+            print(f"{'#':>5} {'name':<14}{'cycles':>9}{'nJ':>12}  query")
+            for s in run.result.statements:
+                print(f"{s.index:>5} {s.name:<14}{s.cycles:>9}"
+                      f"{s.energy_j * 1e9:>12.1f}  {s.query}")
+        if run.verified is False:
+            return 1
+        if len(names) > 1:
+            print()
+    return 0
+
+
 def _cmd_serve(argv: list[str]) -> int:
     parser = _service_parser("repro serve")
     parser.add_argument("--port", type=int, default=None,
@@ -121,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] == "query":
         return _cmd_query(args[1:])
+    if args and args[0] == "workload":
+        return _cmd_workload(args[1:])
     if args and args[0] == "serve":
         return _cmd_serve(args[1:])
     if not args:

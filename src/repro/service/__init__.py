@@ -21,14 +21,21 @@ Select with ``BitwiseService(..., backend="vector"|"reference")``.
 
 from repro.service.columnstore import ColumnStore, MatrixPool
 from repro.service.server import QueryServer, run_repl, serve_tcp
-from repro.service.service import BitwiseService, QueryResult
+from repro.service.service import (
+    BitwiseService,
+    ProgramResult,
+    QueryResult,
+    StatementStats,
+)
 
 __all__ = [
     "BitwiseService",
     "ColumnStore",
     "MatrixPool",
+    "ProgramResult",
     "QueryResult",
     "QueryServer",
+    "StatementStats",
     "run_repl",
     "serve_tcp",
 ]

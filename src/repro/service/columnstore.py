@@ -91,6 +91,20 @@ class MatrixPool:
             if len(self._free) < self.cap:
                 self._free.append(matrix)
 
+    def give_unique(self, matrices) -> None:
+        """Return matrices, de-duplicated by identity.
+
+        A multi-output program may bind several output names to one
+        matrix (their final values coincide in the optimized graph);
+        donating it twice would hand the same buffer to two takers.
+        """
+        seen: list[np.ndarray] = []
+        for matrix in matrices:
+            if matrix is not None and \
+                    not any(matrix is other for other in seen):
+                seen.append(matrix)
+                self.give(matrix)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._free)

@@ -63,11 +63,14 @@ from repro.arch.expr import (
     compile_expr,
 )
 from repro.arch.primitives import default_spec, make_engine, plan_stats
+from repro.arch.program import CompiledProgram, Program
+from repro.arch.program import compile_program as _compile_program
 from repro.arch.spec import MemorySpec
 from repro.errors import QueryError
 from repro.service.columnstore import ColumnStore, MatrixPool, shard_spans
 
-__all__ = ["BitwiseService", "QueryResult"]
+__all__ = ["BitwiseService", "QueryResult", "ProgramResult",
+           "StatementStats"]
 
 _WORD_BITS = 64
 
@@ -87,6 +90,36 @@ class QueryResult:
     cycles: int                     #: attributed command cycles
     elapsed_s: float                #: host wall-clock (all shards)
     shards: int                     #: shards that executed the query
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class StatementStats:
+    """Attributed cost of one program statement (all shards)."""
+
+    index: int                  #: statement position in the program
+    name: str                   #: assigned name
+    query: str                  #: statement expression as compiled
+    energy_j: float
+    cycles: int
+    stats: Stats                #: full attributed ledger delta
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of one multi-statement program run."""
+
+    key: str                        #: canonical program key
+    outputs: dict | None            #: output bits per name (functional)
+    counts: dict | None             #: output popcounts per name
+    statements: list[StatementStats]
+    primitives_per_row: int         #: compiled native primitives / row
+    naive_primitives_per_row: int   #: naive-chaining baseline / row
+    energy_j: float                 #: attributed in-memory energy
+    cycles: int                     #: attributed command cycles
+    elapsed_s: float                #: host wall-clock
+    shards: int
+    backend: str
     detail: dict = field(default_factory=dict)
 
 
@@ -210,6 +243,12 @@ class BitwiseService:
             OrderedDict()
         self._plans_by_text_cap = 1024
         self._plans_lock = threading.Lock()
+        # Compiled multi-statement programs, keyed by the program's
+        # structural signature.  Small LRU: programs are large (one
+        # CompiledQuery per statement) but few and long-lived.
+        self._program_plans: OrderedDict[tuple, CompiledProgram] = \
+            OrderedDict()
+        self._program_plans_cap = 8
         self._cache: OrderedDict[str, _CacheEntry] = OrderedDict()
         self._cache_size = int(cache_size)
         self._cache_lock = threading.Lock()
@@ -217,6 +256,7 @@ class BitwiseService:
         self.cache_hits = 0
         self.cache_misses = 0
         self.queries_served = 0
+        self.programs_run = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -449,6 +489,165 @@ class BitwiseService:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # multi-statement programs
+    # ------------------------------------------------------------------
+    def compile_program(self, program: Program) -> CompiledProgram:
+        """Compile (or fetch the cached plan for) a program."""
+        signature = (
+            tuple((name, str(expr)) for name, expr in program.statements),
+            program.outputs,
+        )
+        with self._plans_lock:
+            cprog = self._program_plans.get(signature)
+            if cprog is not None:
+                self._program_plans.move_to_end(signature)
+                return cprog
+        cprog = _compile_program(program, inverting=self._inverting)
+        with self._plans_lock:
+            cprog = self._program_plans.setdefault(signature, cprog)
+            self._program_plans.move_to_end(signature)
+            while len(self._program_plans) > self._program_plans_cap:
+                self._program_plans.popitem(last=False)
+        return cprog
+
+    def run_program(self, program: "Program | CompiledProgram",
+                    ) -> ProgramResult:
+        """Execute a multi-statement program over the table.
+
+        The vector backend runs the program's multi-output bytecode as
+        whole-matrix numpy kernels (cross-statement CSE, registers
+        recycled at last use) and expands the probed per-statement
+        charge events in closed form; the reference backend replays
+        every statement on each shard engine.  Both attribute one
+        Stats delta per statement and are pinned bit- and Stats-exact
+        against each other in the test suite.
+        """
+        self._ensure_open()
+        cprog = program if isinstance(program, CompiledProgram) \
+            else self.compile_program(program)
+        if cprog.inverting != self._inverting:
+            raise QueryError("program compiled for the other polarity")
+        unknown = [c for c in cprog.cols if c not in self._columns]
+        if unknown:
+            raise QueryError(f"unbound column(s): {unknown}")
+        start = time.perf_counter()
+        if self.backend == "vector":
+            outputs, counts, per_stmt = self._run_program_vector(cprog)
+        else:
+            outputs, counts, per_stmt = self._run_program_reference(
+                cprog)
+        elapsed = time.perf_counter() - start
+        total = Stats()
+        statements = []
+        for index, ((name, plan), stats) in enumerate(
+                zip(cprog.stmt_plans, per_stmt)):
+            total.iadd(stats)
+            statements.append(StatementStats(
+                index=index, name=name, query=str(plan.expr),
+                energy_j=stats.total_energy_j,
+                cycles=stats.total_cycles, stats=stats))
+        with self._cache_lock:
+            self.programs_run += 1
+        return ProgramResult(
+            key=cprog.key, outputs=outputs, counts=counts,
+            statements=statements,
+            primitives_per_row=cprog.primitives,
+            naive_primitives_per_row=cprog.naive_primitives,
+            energy_j=total.total_energy_j, cycles=total.total_cycles,
+            elapsed_s=elapsed, shards=self.n_shards,
+            backend=self.backend, detail=total.summary())
+
+    def _run_program_vector(self, cprog: CompiledProgram):
+        """Columnar program execution + closed-form attribution."""
+        outputs = counts = None
+        if self.functional:
+            snapshot = self._store.snapshot()
+            missing = [c for c in cprog.cols if c not in snapshot]
+            if missing:
+                raise QueryError(f"unbound column(s): {missing}")
+            matrices = cprog.vector_program().run_outputs(
+                snapshot, shape=self._store.shape,
+                pool=self._matrix_pool)
+            outputs = {name: self._store.unpack(matrix)
+                       for name, matrix in matrices.items()}
+            counts = {name: int(self._store.popcounts(matrix).sum())
+                      for name, matrix in matrices.items()}
+            self._matrix_pool.give_unique(matrices.values())
+        per_stmt = self._charge_program(cprog)
+        return outputs, counts, per_stmt
+
+    def _charge_program(self, cprog: CompiledProgram) -> list[Stats]:
+        """Closed-form per-statement Stats for one program execution.
+
+        Statement events expand per shard with the running FeRAM
+        control-rewrite counter threaded through the statements in
+        order — exactly the interleaving a shard replay produces.
+        """
+        per_stmt = [Stats() for _ in cprog.stmt_plans]
+        with self._stats_lock:
+            flags = tuple(self._col_flags.get(col, False)
+                          for col in cprog.cols)
+            events, final = cprog.cost_events(flags)
+            for col, flag in zip(cprog.cols, final):
+                if col in self._col_flags:
+                    self._col_flags[col] = flag
+            memo: dict[tuple[int, int], tuple[list[Stats], int]] = {}
+            for index, n_rows in enumerate(self._shard_rows):
+                state = (n_rows, self._tba_offsets[index])
+                costed = memo.get(state)
+                if costed is None:
+                    offset = state[1]
+                    deltas = []
+                    for stmt_events in events:
+                        stats, offset = plan_stats(
+                            self._spec, stmt_events, n_rows,
+                            tba_offset=offset)
+                        deltas.append(stats)
+                    costed = (deltas, offset)
+                    memo[state] = costed
+                deltas, self._tba_offsets[index] = costed
+                for target, delta in zip(per_stmt, deltas):
+                    target.iadd(delta)
+            for stats in per_stmt:
+                self._ledger.iadd(stats)
+        return per_stmt
+
+    def _run_program_reference(self, cprog: CompiledProgram):
+        """Engine replay: the whole program on every shard."""
+        futures = [
+            self._pool.submit(self._run_program_on_shard, shard, cprog)
+            for shard in self._shards
+        ]
+        shard_outputs = [future.result() for future in futures]
+        per_stmt = [Stats() for _ in cprog.stmt_plans]
+        for _, deltas in shard_outputs:
+            for target, delta in zip(per_stmt, deltas):
+                target.iadd(delta)
+        outputs = counts = None
+        if self.functional:
+            outputs = {
+                name: np.concatenate(
+                    [bits[name] for bits, _ in shard_outputs])
+                for name in cprog.program.outputs
+            }
+            counts = {name: int(arr.sum())
+                      for name, arr in outputs.items()}
+        return outputs, counts, per_stmt
+
+    def _run_program_on_shard(self, shard: _Shard,
+                              cprog: CompiledProgram):
+        with shard.lock:
+            engine = shard.engine
+            vectors, deltas = cprog.run(engine, shard.columns,
+                                        n_bits=shard.n_bits)
+            bits = None
+            if self.functional:
+                bits = {name: vec.logical_bits()[: shard.n_bits]
+                        for name, vec in vectors.items()}
+            engine.free(*vectors.values())
+        return bits, deltas
+
+    # ------------------------------------------------------------------
     # vector backend
     # ------------------------------------------------------------------
     def _run_batch_vector(self, pending: dict[str, list[int]],
@@ -621,6 +820,7 @@ class BitwiseService:
             "columns": len(self._columns),
             "rows_used": rows_used,
             "queries_served": self.queries_served,
+            "programs_run": self.programs_run,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cached_results": len(self._cache),

@@ -10,13 +10,17 @@ from repro.workloads.bitmap_index import BitmapIndexQuery
 from repro.workloads.bnn import BnnInference
 from repro.workloads.crc8 import Crc8, crc8_reference
 from repro.workloads.masked_init import MaskedInit
+from repro.workloads.programs import WorkloadProgram, generate_inputs
 from repro.workloads.runner import (
+    PROGRAM_WORKLOADS,
     WORKLOAD_CLASSES,
     Fig6Table,
     WorkloadComparison,
+    WorkloadServiceRun,
     make_workloads,
     run_comparison,
     run_fig6,
+    run_workload,
 )
 from repro.workloads.set_ops import SetDifference, SetIntersection, SetUnion
 from repro.workloads.xor_cipher import XorCipher
@@ -35,9 +39,14 @@ __all__ = [
     "BitmapIndexQuery",
     "BnnInference",
     "WORKLOAD_CLASSES",
+    "PROGRAM_WORKLOADS",
     "WorkloadComparison",
+    "WorkloadProgram",
+    "WorkloadServiceRun",
     "Fig6Table",
+    "generate_inputs",
     "make_workloads",
     "run_comparison",
     "run_fig6",
+    "run_workload",
 ]

@@ -122,6 +122,17 @@ class Workload:
                   ) -> dict[str, np.ndarray]:
         raise NotImplementedError
 
+    def as_program(self, *, seed: int = 0):
+        """The workload as a multi-statement service program.
+
+        Dataflow workloads (BNN, CRC8, XOR cipher, masked init)
+        override this to return a :class:`~repro.workloads.programs.
+        WorkloadProgram` executable by ``BitwiseService.run_program``;
+        the rest raise.
+        """
+        raise WorkloadError(
+            f"workload {self.name!r} has no program form")
+
     # ------------------------------------------------------------------
     def run(self, engine: BulkEngine, *, seed: int = 0,
             charge_io: bool = False) -> WorkloadResult:

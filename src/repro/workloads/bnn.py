@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.arch.bitwise import greater_equal_const, popcount
 from repro.arch.engine import BulkEngine
+from repro.arch.expr import Col, Expr, Not
+from repro.arch.program import ProgramBuilder
 from repro.workloads.base import Workload, WorkloadIO
+from repro.workloads.programs import (
+    WorkloadProgram,
+    emit_greater_equal_const,
+    emit_popcount,
+)
 
 __all__ = ["BnnInference"]
 
@@ -72,6 +79,42 @@ class BnnInference(Workload):
             io.output(f"neuron{j}", out)
             engine.free(out, *counts)
         engine.free(*acts)
+
+    def as_program(self, *, seed: int = 0) -> WorkloadProgram:
+        """The dense layer as one program: per neuron, XNOR against the
+        constant weight row (a free expression-level complement),
+        popcount adder tree, and the ``>= T`` threshold carry.
+
+        Neurons whose weight rows agree on a prefix of features share
+        their partial-count sub-trees through the program compiler's
+        cross-statement CSE — sharing the engine-loop kernel cannot
+        express.
+        """
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(
+            0, 2, (self.n_neurons, self.n_features), dtype=np.uint8)
+        builder = ProgramBuilder()
+        outputs = []
+        for j in range(self.n_neurons):
+            # XNOR with a constant weight bit: w=1 -> x, w=0 -> NOT x.
+            planes: list[Expr] = [
+                Col(f"x{k}") if weights[j, k] else Not(Col(f"x{k}"))
+                for k in range(self.n_features)
+            ]
+            counts = emit_popcount(builder, planes, f"n{j}")
+            hit = emit_greater_equal_const(
+                builder, counts, self.threshold, f"n{j}_ge")
+            builder.let(f"neuron{j}", hit)
+            outputs.append(f"neuron{j}")
+        program = builder.build(outputs)
+
+        def reference(inputs: dict[str, np.ndarray],
+                      ) -> dict[str, np.ndarray]:
+            return self.reference(
+                {**inputs, "weights": weights.reshape(-1)})
+
+        return WorkloadProgram(self.name, self.n_lanes, program,
+                               reference)
 
     def reference(self, inputs: dict[str, np.ndarray],
                   ) -> dict[str, np.ndarray]:

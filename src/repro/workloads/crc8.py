@@ -19,7 +19,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.engine import BulkEngine
+from repro.arch.expr import Col, Const, Expr, Xor
+from repro.arch.program import ProgramBuilder
 from repro.workloads.base import Workload, WorkloadIO
+from repro.workloads.programs import WorkloadProgram
 
 __all__ = ["Crc8", "crc8_reference"]
 
@@ -80,6 +83,29 @@ class Crc8(Workload):
         for k in range(CRC_BITS):
             io.output(f"crc{k}", crc[k])
         engine.free(*crc)
+
+    def as_program(self, *, seed: int = 0) -> WorkloadProgram:
+        """The feedback recurrence as a program: three XOR statements
+        per input bit; the plane shift stays a builder-level rename
+        (free, exactly like the engine kernel's row renaming), and the
+        zero-initialized state planes are ``Const(0)`` expressions the
+        compiler folds out of the first round entirely.
+        """
+        builder = ProgramBuilder()
+        planes: list[Expr] = [Const(0)] * CRC_BITS
+        for byte_idx in range(self.record_bytes):
+            for bit in range(7, -1, -1):  # MSB-first within each byte
+                data = Col(f"byte{byte_idx}_bit{bit}")
+                fb = builder.emit("fb", Xor(planes[7], data))
+                new_crc1 = builder.emit("c1", Xor(planes[0], fb))
+                new_crc2 = builder.emit("c2", Xor(planes[1], fb))
+                planes = [fb, new_crc1, new_crc2] + planes[2:7]
+        outputs = []
+        for k in range(CRC_BITS):
+            builder.let(f"crc{k}", planes[k])
+            outputs.append(f"crc{k}")
+        return WorkloadProgram(self.name, self.n_lanes,
+                               builder.build(outputs), self.reference)
 
     def reference(self, inputs: dict[str, np.ndarray],
                   ) -> dict[str, np.ndarray]:

@@ -10,7 +10,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.engine import BulkEngine
+from repro.arch.program import Program
 from repro.workloads.base import Workload, WorkloadIO
+from repro.workloads.programs import WorkloadProgram
 
 __all__ = ["MaskedInit"]
 
@@ -18,6 +20,12 @@ __all__ = ["MaskedInit"]
 class MaskedInit(Workload):
     name = "masked_init"
     title = "Masked Initialization"
+
+    def as_program(self, *, seed: int = 0) -> WorkloadProgram:
+        program = Program([("updated", "sel(mask, init, data)")])
+        return WorkloadProgram(self.name, self.vector_bits(1.0 / 3.0),
+                               program, self.reference,
+                               densities={"mask": 0.25})
 
     def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
         n_bits = self.vector_bits(1.0 / 3.0)

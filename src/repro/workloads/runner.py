@@ -7,7 +7,8 @@ factors (paper headline: ≈2.5× lower energy, ≈2× fewer cycles).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -19,11 +20,14 @@ from repro.workloads.bitmap_index import BitmapIndexQuery
 from repro.workloads.bnn import BnnInference
 from repro.workloads.crc8 import Crc8
 from repro.workloads.masked_init import MaskedInit
+from repro.workloads.programs import WorkloadProgram, generate_inputs
 from repro.workloads.set_ops import SetDifference, SetIntersection, SetUnion
 from repro.workloads.xor_cipher import XorCipher
 
-__all__ = ["WORKLOAD_CLASSES", "WorkloadComparison", "Fig6Table",
-           "make_workloads", "run_comparison", "run_fig6"]
+__all__ = ["WORKLOAD_CLASSES", "PROGRAM_WORKLOADS",
+           "WorkloadComparison", "Fig6Table", "WorkloadServiceRun",
+           "make_workloads", "run_comparison", "run_fig6",
+           "run_workload"]
 
 GIB = 1 << 30
 
@@ -40,10 +44,116 @@ WORKLOAD_CLASSES: tuple[type[Workload], ...] = (
 )
 
 
+#: workloads with a multi-statement program form (service-executable)
+PROGRAM_WORKLOADS: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (BnnInference, Crc8, XorCipher, MaskedInit)
+}
+
+
 def make_workloads(n_bytes: int = GIB,
                    ) -> list[Workload]:
     """Instantiate all eight workloads at the given data size."""
     return [cls(n_bytes) for cls in WORKLOAD_CLASSES]
+
+
+@dataclass
+class WorkloadServiceRun:
+    """Outcome of one program workload on a service backend."""
+
+    workload: str
+    technology: str
+    backend: str
+    n_lanes: int
+    statements: int
+    verified: bool | None        #: outputs vs numpy reference (None in
+                                 #: counting mode or verify=False)
+    energy_j: float              #: attributed in-memory energy
+    cycles: int
+    elapsed_s: float             #: program wall-clock (excl. ingest)
+    ingest_s: float              #: column generation + load wall-clock
+    result: object = field(repr=False, default=None)  #: ProgramResult
+
+    @property
+    def lanes_per_s(self) -> float:
+        return self.n_lanes / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def energy_per_lane_nj(self) -> float:
+        return self.energy_j * 1e9 / self.n_lanes
+
+
+def run_workload(workload: "Workload | str", *,
+                 n_bytes: int = 1 << 20,
+                 technology: str = "feram-2tnc",
+                 backend: str = "vector",
+                 n_shards: int = 4,
+                 functional: bool = True,
+                 seed: int = 0,
+                 verify: bool = True,
+                 service=None) -> WorkloadServiceRun:
+    """Run a dataflow workload as a program on the bitwise service.
+
+    ``workload`` is a :class:`Workload` instance or one of the
+    :data:`PROGRAM_WORKLOADS` names (instantiated at ``n_bytes``).
+    A fresh service is provisioned at the workload's lane count unless
+    ``service`` is given (its table must be ``n_lanes`` wide and will
+    gain the input columns).  In functional mode the outputs are
+    verified bit-exactly against the workload's numpy reference unless
+    ``verify=False`` (useful when benchmarking at GB scale).
+    """
+    if isinstance(workload, str):
+        try:
+            workload = PROGRAM_WORKLOADS[workload](n_bytes)
+        except KeyError:
+            raise WorkloadError(
+                f"no program workload {workload!r} "
+                f"(have {sorted(PROGRAM_WORKLOADS)})") from None
+    workload_program: WorkloadProgram = workload.as_program(seed=seed)
+
+    from repro.service import BitwiseService
+
+    owns_service = service is None
+    if owns_service:
+        service = BitwiseService(
+            technology, n_bits=workload_program.n_lanes,
+            n_shards=n_shards, functional=functional, backend=backend)
+    try:
+        if service.n_bits != workload_program.n_lanes:
+            raise WorkloadError(
+                f"service width {service.n_bits} != workload lanes "
+                f"{workload_program.n_lanes}")
+        ingest_start = time.perf_counter()
+        inputs = generate_inputs(workload_program, seed=seed) \
+            if service.functional else \
+            dict.fromkeys(workload_program.input_columns)
+        for name, bits in inputs.items():
+            service.create_column(name, bits)
+        ingest_s = time.perf_counter() - ingest_start
+        result = service.run_program(workload_program.program)
+        verified: bool | None = None
+        if service.functional and verify:
+            expected = workload_program.reference(inputs)
+            verified = all(
+                np.array_equal(result.outputs[name][: ref.size],
+                               ref.astype(np.uint8))
+                for name, ref in expected.items())
+        return WorkloadServiceRun(
+            workload=workload.name,
+            technology=service.technology,
+            backend=service.backend,
+            n_lanes=workload_program.n_lanes,
+            statements=len(workload_program.program),
+            verified=verified,
+            energy_j=result.energy_j,
+            cycles=result.cycles,
+            elapsed_s=result.elapsed_s,
+            ingest_s=ingest_s,
+            result=result,
+        )
+    finally:
+        if owns_service:
+            service.close()
 
 
 @dataclass

@@ -10,7 +10,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.engine import BulkEngine
+from repro.arch.program import Program
 from repro.workloads.base import Workload, WorkloadIO
+from repro.workloads.programs import WorkloadProgram
 
 __all__ = ["XorCipher"]
 
@@ -18,6 +20,11 @@ __all__ = ["XorCipher"]
 class XorCipher(Workload):
     name = "xor_cipher"
     title = "XOR Cipher"
+
+    def as_program(self, *, seed: int = 0) -> WorkloadProgram:
+        program = Program([("ciphertext", "plaintext ^ keystream")])
+        return WorkloadProgram(self.name, self.vector_bits(0.5),
+                               program, self.reference)
 
     def execute(self, engine: BulkEngine, io: WorkloadIO) -> None:
         n_bits = self.vector_bits(0.5)  # half data, half keystream

@@ -1,0 +1,248 @@
+"""Program layer: construction, compilation, shadowing, liveness."""
+
+import numpy as np
+import pytest
+
+from repro.arch.expr import Col, Xor
+from repro.arch.primitives import make_engine, probe_program_events
+from repro.arch.program import (
+    CompiledProgram,
+    Program,
+    ProgramBuilder,
+    compile_program,
+    parse_program,
+)
+from repro.errors import QueryError
+
+N_BITS = 300
+
+
+@pytest.fixture
+def table(rng):
+    return {name: rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            for name in "abcd"}
+
+
+def _load(engine, table):
+    columns = {}
+    first = None
+    for name, bits in table.items():
+        columns[name] = engine.load(bits, name, group_with=first,
+                                    charge=False)
+        first = first or columns[name]
+    return columns
+
+
+class TestProgramConstruction:
+    def test_cols_are_reads_before_assignment(self):
+        program = Program([("t", "a & b"), ("u", "t | c")])
+        assert program.cols() == ("a", "b", "c")
+        assert program.outputs == ("u",)
+
+    def test_assigned_name_is_not_a_column(self):
+        program = Program([("t", "a"), ("u", "t & t")])
+        assert "t" not in program.cols()
+
+    def test_shadowed_table_column_reads_old_then_new(self):
+        # 'a' is a table column until the second statement rebinds it.
+        program = Program([("t", "a & b"), ("a", "~a"), ("u", "a & t")],
+                          outputs=["u"])
+        assert program.cols() == ("a", "b")
+
+    def test_output_must_be_assigned(self):
+        with pytest.raises(QueryError, match="never assigned"):
+            Program([("t", "a & b")], outputs=["missing"])
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            Program([("t", "a")], outputs=["t", "t"])
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(QueryError, match="at least one"):
+            Program([])
+
+    def test_bad_statement_name_rejected(self):
+        with pytest.raises(QueryError, match="invalid"):
+            Program([("2bad", "a & b")])
+
+    def test_parse_program(self):
+        program = parse_program("""
+            t = a & b     # conjunction
+            u = t | ~c;  v = t ^ u
+        """, outputs=["u", "v"])
+        assert len(program) == 3
+        assert program.cols() == ("a", "b", "c")
+        assert program.outputs == ("u", "v")
+
+    def test_parse_program_rejects_bare_expression(self):
+        with pytest.raises(QueryError, match="name = expr"):
+            parse_program("a & b")
+
+    def test_builder_fresh_names_unique(self):
+        builder = ProgramBuilder()
+        first = builder.emit("t", "a & b")
+        second = builder.emit("t", "a | b")
+        assert first.name != second.name
+        program = builder.build()
+        assert len(program) == 2
+
+
+class TestShadowingRegression:
+    """Reassigning a name must not corrupt earlier readers — the
+    program-layer mirror of the PR 2 aliased-operand bug class."""
+
+    PROGRAM = Program([
+        ("t", "a & b"),
+        ("u", "t | c"),     # reads the OLD t
+        ("t", "~t"),        # rebinds t (reading the old binding)
+        ("v", "t ^ u"),     # reads the NEW t and the old-t-based u
+    ], outputs=["u", "v"])
+
+    def _expected(self, table):
+        t_old = table["a"] & table["b"]
+        u = t_old | table["c"]
+        v = (1 - t_old) ^ u
+        return {"u": u, "v": v}
+
+    @pytest.mark.parametrize("inverting", [True, False])
+    def test_engine_replay_reads_pre_shadow_value(self, inverting,
+                                                  table):
+        engine = make_engine(
+            "feram-2tnc" if inverting else "dram")
+        columns = _load(engine, table)
+        outputs, stats = compile_program(
+            self.PROGRAM, inverting=inverting).run(engine, columns)
+        expected = self._expected(table)
+        for name in ("u", "v"):
+            assert np.array_equal(
+                outputs[name].logical_bits()[:N_BITS], expected[name])
+        assert len(stats) == 4
+        engine.free(*outputs.values())
+
+    @pytest.mark.parametrize("inverting", [True, False])
+    def test_vector_bytecode_reads_pre_shadow_value(self, inverting,
+                                                    table):
+        cprog = compile_program(self.PROGRAM, inverting=inverting)
+        words = {
+            name: np.packbits(
+                np.pad(bits, (0, 320 - N_BITS)),
+                bitorder="little").view(np.uint64).reshape(1, -1)
+            for name, bits in table.items()
+        }
+        matrices = cprog.vector_program().run_outputs(words)
+        expected = self._expected(table)
+        for name in ("u", "v"):
+            got = np.unpackbits(matrices[name].view(np.uint8),
+                                bitorder="little")[:N_BITS]
+            assert np.array_equal(got, expected[name])
+
+    def test_shadowed_table_column_not_mutated(self, table):
+        """Rebinding a *table column's* name must leave the column's
+        stored value untouched (later programs still see it)."""
+        program = Program([("a", "~a"), ("out", "a & b")],
+                          outputs=["out"])
+        engine = make_engine("feram-2tnc")
+        columns = _load(engine, table)
+        cprog = compile_program(program, inverting=True)
+        outputs, _ = cprog.run(engine, columns)
+        expected = (1 - table["a"]) & table["b"]
+        assert np.array_equal(outputs["out"].logical_bits()[:N_BITS],
+                              expected)
+        # The resident column still holds its original logical value.
+        assert np.array_equal(columns["a"].logical_bits()[:N_BITS],
+                              table["a"])
+        engine.free(*outputs.values())
+
+
+class TestCompiledProgram:
+    def test_cross_statement_cse_shares_nodes(self):
+        # Both statements compute a & b: one AIG node, one kernel step.
+        program = Program([("t", "a & b"), ("u", "b & a"),
+                           ("v", "t ^ u")], outputs=["v"])
+        cprog = compile_program(program, inverting=True)
+        # t ^ u == x ^ x == 0: the whole program folds to a constant.
+        assert cprog.key.endswith("v=!1")
+        vector = cprog.vector_program()
+        assert vector.steps[-1][2][0][0] == "const"
+
+    def test_dead_statements_not_executed_on_vector_path(self):
+        program = Program([("dead", "a ^ b"), ("live", "a & b")],
+                          outputs=["live"])
+        cprog = compile_program(program, inverting=True)
+        vector = cprog.vector_program()
+        assert len(vector.steps) == 1  # only the AND
+        # ...but the cost model still charges the full replay.
+        events, _ = cprog.cost_events()
+        assert len(events) == 2
+        assert events[0].logic > events[1].logic  # XOR costs 3 ACPs
+
+    def test_register_recycling_bounds_register_count(self):
+        # A long dependent chain keeps at most a couple of live values.
+        builder = ProgramBuilder()
+        acc = Col("a")
+        for _ in range(24):
+            acc = builder.emit("t", Xor(acc, Col("b")))
+        cprog = compile_program(builder.build(), inverting=True)
+        vector = cprog.vector_program()
+        assert len(vector.steps) >= 24
+        assert vector.n_regs <= 4
+
+    def test_primitives_never_exceed_naive(self, table):
+        program = Program([
+            ("t", "(a & b & ~c) | (c & d)"),
+            ("u", "(a & b & ~c) | (a & b & d)"),
+            ("v", "t ^ u"),
+        ], outputs=["v"])
+        for inverting in (True, False):
+            cprog = compile_program(program, inverting=inverting)
+            assert cprog.primitives <= cprog.naive_primitives
+
+    def test_probe_tracks_column_flag_evolution(self):
+        # A FeRAM plan that re-encodes a column leaves a flag behind;
+        # probing twice from the evolved state must change the events.
+        program = Program([("t", "~a & ~b")])
+        cprog = compile_program(program, inverting=True)
+        events_plain, final = probe_program_events(cprog)
+        assert len(events_plain) == 1
+        events_evolved, _ = probe_program_events(cprog, final)
+        if final != (False, False):
+            assert events_evolved != events_plain
+
+    def test_replay_frees_intermediates_at_last_use(self, table):
+        engine = make_engine("feram-2tnc")
+        columns = _load(engine, table)
+        baseline = engine.allocator.rows_used
+        builder = ProgramBuilder()
+        acc = Col("a")
+        for _ in range(12):
+            acc = builder.emit("t", Xor(acc, Col("b")))
+        builder.let("out", acc)
+        cprog = compile_program(builder.build(), inverting=True)
+        outputs, _ = cprog.run(engine, columns)
+        # Only the output survives the run.
+        rows_per_vec = outputs["out"].n_rows
+        assert engine.allocator.rows_used == baseline + rows_per_vec
+        engine.free(*outputs.values())
+        assert engine.allocator.rows_used == baseline
+
+    def test_unbound_column_raises(self, table):
+        cprog = compile_program(Program([("t", "a & missing")]),
+                                inverting=True)
+        engine = make_engine("feram-2tnc")
+        columns = _load(engine, table)
+        with pytest.raises(QueryError, match="missing"):
+            cprog.run(engine, columns)
+
+    def test_constant_only_program(self, table):
+        cprog = compile_program(Program([("t", "a & ~a")]),
+                                inverting=True)
+        engine = make_engine("feram-2tnc")
+        columns = _load(engine, table)
+        outputs, _ = cprog.run(engine, columns, n_bits=N_BITS)
+        assert int(outputs["t"].logical_bits()[:N_BITS].sum()) == 0
+        engine.free(*outputs.values())
+
+    def test_compiled_program_type(self):
+        cprog = compile_program(Program([("t", "a & b")]))
+        assert isinstance(cprog, CompiledProgram)
+        assert cprog.cols == ("a", "b")

@@ -1,0 +1,105 @@
+"""Hypothesis: random multi-statement programs are backend-equivalent.
+
+Generates random DAGs of assignments — random expressions over the
+table columns and previously assigned names, including aliased reads
+and shadowed (re-assigned) names — and checks, on both technologies:
+
+* vector-vs-reference bit- and per-statement-Stats equivalence (the
+  differential harness), plus numpy ground truth;
+* compiled program cost never exceeds the naive chain.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.expr import (
+    And,
+    AndNot,
+    Col,
+    Const,
+    Maj,
+    Nand,
+    Nor,
+    Not,
+    Or,
+    Select,
+    Xnor,
+    Xor,
+)
+from repro.arch.program import Program, compile_program
+from tests.support.differential import assert_program_equivalent
+
+N_BITS = 257  # non-multiple of 64: exercises masking/tails
+TABLE_COLS = ("a", "b", "c")
+#: assignable names: fresh intermediates plus 'a' (column shadowing)
+STMT_NAMES = ("t0", "t1", "t2", "a")
+
+
+def expressions(names: list[str]) -> st.SearchStrategy:
+    leaves = st.one_of(
+        st.sampled_from(names).map(Col),
+        st.sampled_from([0, 1]).map(Const),
+    )
+
+    def extend(children):
+        binary = st.tuples(children, children)
+        ternary = st.tuples(children, children, children)
+        return st.one_of(
+            children.map(Not),
+            binary.map(lambda xs: And(*xs)),
+            binary.map(lambda xs: Or(*xs)),
+            binary.map(lambda xs: Xor(*xs)),
+            binary.map(lambda xs: Nand(*xs)),
+            binary.map(lambda xs: Nor(*xs)),
+            binary.map(lambda xs: Xnor(*xs)),
+            binary.map(lambda xs: AndNot(*xs)),
+            ternary.map(lambda xs: Maj(*xs)),
+            ternary.map(lambda xs: Select(*xs)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+@st.composite
+def programs(draw) -> Program:
+    n_statements = draw(st.integers(min_value=1, max_value=5))
+    statements = []
+    available = list(TABLE_COLS)
+    assigned: list[str] = []
+    for _ in range(n_statements):
+        name = draw(st.sampled_from(STMT_NAMES))
+        statements.append((name, draw(expressions(available))))
+        if name not in available:
+            available.append(name)
+        assigned.append(name)
+    output_pool = sorted(set(assigned))
+    n_outputs = draw(st.integers(min_value=1,
+                                 max_value=len(output_pool)))
+    outputs = draw(st.permutations(output_pool))[:n_outputs]
+    return Program(statements, outputs)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(987)
+    return {name: rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            for name in TABLE_COLS}
+
+
+@pytest.mark.parametrize("technology", ["feram-2tnc", "dram"])
+@given(program=programs())
+@settings(max_examples=25, deadline=None)
+def test_random_programs_backend_equivalent(technology, program,
+                                            table):
+    assert_program_equivalent(program, table, technology=technology,
+                              n_shards=2)
+
+
+@given(program=programs())
+@settings(max_examples=25, deadline=None)
+def test_random_programs_cost_at_most_naive(program):
+    for inverting in (True, False):  # FeRAM MIN / DRAM MAJ polarity
+        cprog = compile_program(program, inverting=inverting)
+        assert cprog.primitives <= cprog.naive_primitives

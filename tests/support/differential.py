@@ -1,0 +1,149 @@
+"""Differential-testing harness: vector vs reference program execution.
+
+One reusable assertion pins the whole equivalence contract of the
+multi-statement program executor: for any program and table, the
+columnar vector backend must be indistinguishable from the engine
+replay — same output bits, same popcounts, the same attributed
+:class:`~repro.arch.commands.Stats` *per statement*
+(``Stats.allclose``: integer counts/cycles exact, energies at float
+tolerance), and the same aggregate service ledgers.  Every workload
+and property test routes through here instead of re-implementing the
+comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.service import BitwiseService
+
+
+def numpy_program_eval(program, table):
+    """Ground-truth evaluation of a program on plain numpy bit arrays.
+
+    Statements execute sequentially over an environment seeded with the
+    table columns; shadowing rebinds for subsequent statements only.
+    Returns the final bindings of the program outputs.
+    """
+    from repro.arch import expr as e
+
+    width = len(next(iter(table.values())))
+
+    def eval_expr(node, env):
+        if isinstance(node, e.Col):
+            return env[node.name]
+        if isinstance(node, e.Const):
+            return np.full(width, node.bit, dtype=np.uint8)
+        kids = [eval_expr(k, env) for k in node.children()]
+        if isinstance(node, e.Not):
+            return 1 - kids[0]
+        if isinstance(node, (e.And, e.Nand)):
+            out = kids[0]
+            for k in kids[1:]:
+                out = out & k
+            return 1 - out if isinstance(node, e.Nand) else out
+        if isinstance(node, (e.Or, e.Nor)):
+            out = kids[0]
+            for k in kids[1:]:
+                out = out | k
+            return 1 - out if isinstance(node, e.Nor) else out
+        if isinstance(node, (e.Xor, e.Xnor)):
+            out = kids[0]
+            for k in kids[1:]:
+                out = out ^ k
+            return 1 - out if isinstance(node, e.Xnor) else out
+        if isinstance(node, e.AndNot):
+            return kids[0] & (1 - kids[1])
+        if isinstance(node, e.Maj):
+            return ((kids[0].astype(int) + kids[1] + kids[2]) >= 2
+                    ).astype(np.uint8)
+        if isinstance(node, e.Select):
+            return (kids[0] & kids[1]) | ((1 - kids[0]) & kids[2])
+        raise AssertionError(type(node))
+
+    env = {name: np.asarray(bits, dtype=np.uint8)
+           for name, bits in table.items()}
+    for name, expr in program.statements:
+        env[name] = eval_expr(expr, env)
+    return {name: env[name] for name in program.outputs}
+
+
+def run_program_on_backends(program, table, *,
+                            technology="feram-2tnc", n_shards=3,
+                            functional=True, warmup_queries=()):
+    """Run one program on a fresh service pair; returns
+    ``(reference_result, vector_result, reference_stats, vector_stats)``.
+
+    ``warmup_queries`` run first on both services (uncached) so the
+    equivalence is also exercised from evolved column-flag state.
+    """
+    n_bits = len(next(iter(table.values())))
+    results = {}
+    ledgers = {}
+    for backend in ("reference", "vector"):
+        service = BitwiseService(technology, n_bits=n_bits,
+                                 n_shards=n_shards,
+                                 functional=functional, backend=backend)
+        try:
+            for name, bits in table.items():
+                service.create_column(
+                    name, bits if functional else None)
+            for query in warmup_queries:
+                service.query(query, use_cache=False)
+            results[backend] = service.run_program(program)
+            ledgers[backend] = service.stats()
+        finally:
+            service.close()
+    return (results["reference"], results["vector"],
+            ledgers["reference"], ledgers["vector"])
+
+
+def assert_program_equivalent(program, table, *,
+                              technology="feram-2tnc", n_shards=3,
+                              functional=True, warmup_queries=(),
+                              check_ground_truth=True):
+    """THE differential assertion (see module docstring).
+
+    Returns ``(reference_result, vector_result)`` for further checks.
+    """
+    ref, vec, ref_ledger, vec_ledger = run_program_on_backends(
+        program, table, technology=technology, n_shards=n_shards,
+        functional=functional, warmup_queries=warmup_queries)
+
+    # --- bits ---------------------------------------------------------
+    if functional:
+        expected = numpy_program_eval(program, table) \
+            if check_ground_truth else None
+        for name in program.outputs:
+            assert np.array_equal(ref.outputs[name],
+                                  vec.outputs[name]), \
+                f"{technology}: output {name!r} bits diverge"
+            assert ref.counts[name] == vec.counts[name], name
+            if expected is not None:
+                assert np.array_equal(vec.outputs[name],
+                                      expected[name]), \
+                    f"{technology}: output {name!r} != numpy truth"
+    else:
+        assert ref.outputs is None and vec.outputs is None
+
+    # --- per-statement Stats ------------------------------------------
+    assert len(ref.statements) == len(vec.statements) == len(program)
+    for rs, vs in zip(ref.statements, vec.statements):
+        assert rs.name == vs.name and rs.index == vs.index
+        assert rs.stats.allclose(vs.stats), (
+            f"{technology}: statement {rs.index} ({rs.name!r}) Stats "
+            f"diverge:\n  reference={rs.stats}\n  vector={vs.stats}")
+
+    # --- totals and service ledgers -----------------------------------
+    assert ref.cycles == vec.cycles
+    assert math.isclose(ref.energy_j, vec.energy_j,
+                        rel_tol=1e-9, abs_tol=1e-15)
+    assert ref.primitives_per_row == vec.primitives_per_row
+    assert ref_ledger["rows_used"] == vec_ledger["rows_used"]
+    assert ref_ledger["cycles_total"] == vec_ledger["cycles_total"]
+    assert math.isclose(ref_ledger["energy_total_nj"],
+                        vec_ledger["energy_total_nj"],
+                        rel_tol=1e-9, abs_tol=1e-12)
+    return ref, vec

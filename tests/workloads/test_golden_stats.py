@@ -1,0 +1,133 @@
+"""Golden-stats regression: frozen cost figures for fig6 + programs.
+
+The analytic cost model is the paper-facing output of this repo; a
+refactor that silently shifts an energy or primitive count is a
+correctness bug even when every bit still verifies.  This suite pins
+per-workload energy/cycle figures (the Fig. 6 counting-mode table at a
+fixed small geometry, both technologies) and the program-form
+workloads' per-row ACP/AAP primitives and attributed service costs
+against a checked-in fixture, failing on any drift.
+
+Regenerate intentionally with::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest \
+        tests/workloads/test_golden_stats.py -q
+"""
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.arch.program import compile_program
+from repro.workloads import run_fig6, run_workload
+from repro.workloads.bnn import BnnInference
+from repro.workloads.crc8 import Crc8
+from repro.workloads.masked_init import MaskedInit
+from repro.workloads.xor_cipher import XorCipher
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_stats.json"
+
+#: fixed fig6 geometry (counting mode: deterministic, payload-free)
+FIG6_BYTES = 1 << 13
+
+#: fixed program-workload geometries (functional, seed-pinned)
+PROGRAM_CASES = {
+    "bnn": lambda: BnnInference(1 << 12, n_features=8, n_neurons=2),
+    "crc8": lambda: Crc8(1 << 11, record_bytes=4),
+    "xor_cipher": lambda: XorCipher(1 << 11),
+    "masked_init": lambda: MaskedInit(3 << 10),
+}
+
+
+def compute_golden() -> dict:
+    table = run_fig6(FIG6_BYTES, functional=False)
+    fig6 = {
+        row.workload: {
+            "dram": {"energy_j": row.dram.energy_j,
+                     "cycles": row.dram.cycles},
+            "feram": {"energy_j": row.feram.energy_j,
+                      "cycles": row.feram.cycles},
+        }
+        for row in table.rows
+    }
+    programs = {}
+    for name, make in PROGRAM_CASES.items():
+        workload = make()
+        program = workload.as_program(seed=1).program
+        entry = {
+            "statements": len(program),
+            "per_row": {
+                "feram_acp":
+                    compile_program(program, inverting=True).primitives,
+                "dram_aap":
+                    compile_program(program,
+                                    inverting=False).primitives,
+            },
+        }
+        for technology in ("feram-2tnc", "dram"):
+            run = run_workload(make(), technology=technology,
+                               n_shards=3, seed=1)
+            assert run.verified is True, (name, technology)
+            entry[technology] = {
+                "energy_j": run.energy_j,
+                "cycles": run.cycles,
+                "lanes": run.n_lanes,
+            }
+        programs[name] = entry
+    return {"fig6_bytes": FIG6_BYTES, "fig6": fig6,
+            "programs": programs}
+
+
+def _assert_matches(golden, fresh, path=""):
+    """Exact integers; energies at 1e-9 rtol (float accumulation)."""
+    assert type(golden) is type(fresh) or \
+        isinstance(golden, (int, float)), path
+    if isinstance(golden, dict):
+        assert set(golden) == set(fresh), path
+        for key in golden:
+            _assert_matches(golden[key], fresh[key], f"{path}/{key}")
+    elif isinstance(golden, float):
+        assert math.isclose(golden, fresh, rel_tol=1e-9,
+                            abs_tol=1e-18), \
+            f"{path}: {golden!r} -> {fresh!r} (silent cost drift)"
+    else:
+        assert golden == fresh, \
+            f"{path}: {golden!r} -> {fresh!r} (silent cost drift)"
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return compute_golden()
+
+
+def test_golden_stats_frozen(fresh):
+    if os.environ.get("GOLDEN_REGEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(fresh, indent=2,
+                                          sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), \
+        "golden fixture missing - run with GOLDEN_REGEN=1"
+    golden = json.loads(GOLDEN_PATH.read_text())
+    _assert_matches(golden, fresh)
+
+
+def test_golden_covers_required_workloads():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert {"bnn", "crc8"} <= set(golden["programs"])
+    assert {"bnn", "crc8"} <= set(golden["fig6"])
+    for entry in golden["programs"].values():
+        assert entry["per_row"]["feram_acp"] > 0
+        assert entry["per_row"]["dram_aap"] > 0
+
+
+def test_fig6_feram_beats_dram_in_golden():
+    """The paper's headline direction is part of the frozen contract."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    ratios = [entry["dram"]["energy_j"] / entry["feram"]["energy_j"]
+              for entry in golden["fig6"].values()]
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    assert geomean > 1.5
