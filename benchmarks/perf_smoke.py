@@ -47,6 +47,9 @@ from repro.spice import (
 )
 from repro.workloads import bitmap_index, set_ops
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_serving import serving_latency  # noqa: E402
+
 #: wall-clock seconds of the seed implementation (commit 253f800,
 #: measured on the same container class CI uses), kept as the fixed
 #: "before" reference each run is compared against.  Entries introduced
@@ -66,6 +69,10 @@ SEED_BASELINE_S = {
     # as a 252-statement program; baseline = the interpreted per-shard
     # engine replay of the same program (backend="reference")
     "workload_scale": 0.573,
+    # introduced with the async serving PR: closed-loop mixed
+    # query/mutation load from 6 concurrent TCP clients (240 requests)
+    # through the batching scheduler; baseline = introduction measure
+    "serving_latency": 0.0654,
 }
 
 #: allowed relative slowdown vs the committed baseline (CI gate)
@@ -247,6 +254,9 @@ def run_smoke() -> dict:
     timings["service_scale"] = scale["seconds"]
     workload = _workload_scale()
     timings["workload_scale"] = workload["seconds"]
+    serving = min((serving_latency() for _ in range(3)),
+                  key=lambda record: record["seconds"])
+    timings["serving_latency"] = serving["seconds"]
 
     entries = {}
     for name, seconds in timings.items():
@@ -266,6 +276,17 @@ def run_smoke() -> dict:
         "statements": workload["statements"],
         "rows_per_s": round(workload["rows_per_s"]),
         "energy_per_lane_nj": round(workload["energy_per_lane_nj"], 4),
+    })
+    entries["serving_latency"].update({
+        "clients": serving["clients"],
+        "requests": serving["requests"],
+        "mutation_share": serving["mutation_share"],
+        "p50_ms": round(serving["p50_ms"], 3),
+        "p99_ms": round(serving["p99_ms"], 3),
+        "qps": round(serving["qps"]),
+        "batches": serving["batches"],
+        "cache_hits": serving["cache_hits"],
+        "mutations": serving["mutations"],
     })
     return {
         "suite": "substrate",
@@ -336,6 +357,17 @@ def print_summary(payload: dict) -> None:
               f"{workload['energy_per_lane_nj']:.3f} nJ attributed "
               f"per lane; speedup is vs the interpreted engine-replay "
               f"backend on the same program.")
+    serving = payload.get("benchmarks", {}).get("serving_latency", {})
+    if "qps" in serving:
+        print()
+        print(f"`serving_latency`: {serving['qps']} req/s from "
+              f"{serving['clients']} closed-loop clients "
+              f"({serving['mutation_share']:.0%} mutations), "
+              f"p50 {serving['p50_ms']:.2f} ms / "
+              f"p99 {serving['p99_ms']:.2f} ms; "
+              f"{serving['cache_hits']} cache hits survived "
+              f"{serving['mutations']} in-place column mutations "
+              f"(dependency-aware invalidation).")
     counts = payload.get("primitive_counts", {})
     if counts:
         print()

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.arch.commands import Command, CommandType, Stats
 from repro.arch.spec import FERAM_2TNC_8GB, MemorySpec
 from repro.errors import ArchitectureError
 from repro.ferro.materials import NVDRAM_CAL, FerroMaterial
 from repro.ferro.reliability import reads_until_disturb
 
-__all__ = ["WritebackPolicy", "compare_writeback_policies"]
+__all__ = ["WritebackPolicy", "ScrubAccountant",
+           "compare_writeback_policies", "policy_for_spec"]
 
 
 @dataclass(frozen=True)
@@ -83,3 +85,123 @@ def compare_writeback_policies(
         write_cycles_per_read=1.0 / period,
     )
     return destructive, qnro
+
+
+def policy_for_spec(spec: MemorySpec, **condition) -> WritebackPolicy:
+    """The write-back discipline a technology actually runs under.
+
+    DRAM (and 1T-1C FeRAM) sensing is destructive — every read
+    restores the row; a 2T-nC QNRO memory scrubs only as accumulated
+    disturb approaches the sense margin.  ``condition`` forwards the
+    read-condition keywords of :func:`compare_writeback_policies`.
+    """
+    destructive, qnro = compare_writeback_policies(spec=spec,
+                                                   **condition)
+    return destructive if spec.technology == "dram" else qnro
+
+
+class ScrubAccountant:
+    """Mutation-path energy ledger for a served, *mutable* column table.
+
+    The query executors charge compute reads (ACPs/AAPs); this class
+    charges the **data-maintenance** side the paper's QNRO claim is
+    about, per column and per shard:
+
+    * **writes** — an in-place column mutation dirties only the rows
+      its bit span touches on each shard; every dirty row costs one
+      ``ROW_WRITE`` (a TBA write burst on FeRAM, a restore write on
+      DRAM) and freshly rewrites the cells' polarization, so the
+      shard's read-disturb counter resets;
+    * **read disturb** — each query execution that references a column
+      activates its rows once; after
+      :attr:`WritebackPolicy.reads_per_writeback` accumulated reads a
+      shard must be scrubbed (``ROW_WRITE`` per row).  Under the
+      destructive policy the period is 1 — the DRAM restore-every-read
+      baseline — while QNRO amortizes one scrub over hundreds of
+      reads.
+
+    All charges land in :attr:`stats`, a ledger the service reports
+    *separately* from the compute ledger (maintenance energy is not
+    attributed to individual queries).
+    """
+
+    def __init__(self, spec: MemorySpec, shard_rows: list[int], *,
+                 policy: WritebackPolicy | None = None) -> None:
+        self.spec = spec
+        self.shard_rows = list(shard_rows)
+        self.policy = policy or policy_for_spec(spec)
+        self.stats = Stats()
+        #: column -> per-shard reads since that shard's last scrub/write
+        self._reads: dict[str, list[int]] = {}
+        self.reads_noted = 0
+        self.rows_written = 0
+        self.scrubs = 0           #: (column, shard) scrub events
+        self.scrub_rows = 0
+        self.write_energy_j = 0.0
+        self.scrub_energy_j = 0.0
+
+    def _counters(self, column: str) -> list[int]:
+        return self._reads.setdefault(column, [0] * len(self.shard_rows))
+
+    def forget(self, column: str) -> None:
+        """Drop a column's disturb counters (the column was dropped)."""
+        self._reads.pop(column, None)
+
+    def note_write(self, column: str, rows_by_shard: list[int],
+                   ) -> Stats:
+        """Charge a mutation that dirtied ``rows_by_shard[i]`` rows on
+        shard ``i``; returns the Stats delta of this write alone."""
+        delta = Stats()
+        counters = self._counters(column)
+        for index, n_rows in enumerate(rows_by_shard):
+            if n_rows:
+                counters[index] = 0  # fresh polarization on this shard
+        total = sum(rows_by_shard)
+        if total:
+            delta.record(self.spec,
+                         Command(CommandType.ROW_WRITE, repeat=total))
+            self.rows_written += total
+            self.write_energy_j += delta.total_energy_j
+            self.stats.iadd(delta)
+        return delta
+
+    def note_read(self, column: str, n: int = 1) -> int:
+        """Accrue ``n`` row activations of every shard of ``column``;
+        charges (and returns the count of) any scrubs now due."""
+        period = self.policy.reads_per_writeback
+        counters = self._counters(column)
+        self.reads_noted += n
+        scrubbed = 0
+        for index, rows in enumerate(self.shard_rows):
+            counters[index] += n
+            due, counters[index] = divmod(counters[index], period)
+            if due:
+                scrubbed += due
+                self.scrubs += due
+                self.scrub_rows += due * rows
+                delta = Stats()
+                delta.record(self.spec,
+                             Command(CommandType.ROW_WRITE,
+                                     repeat=due * rows))
+                self.scrub_energy_j += delta.total_energy_j
+                self.stats.iadd(delta)
+        return scrubbed
+
+    def reads_since_scrub(self, column: str) -> list[int]:
+        """Per-shard accumulated disturb reads (introspection)."""
+        return list(self._counters(column))
+
+    def summary(self) -> dict:
+        """JSON-safe ledger snapshot for service counters."""
+        return {
+            "policy": self.policy.name,
+            "reads_per_writeback": self.policy.reads_per_writeback,
+            "reads_noted": self.reads_noted,
+            "rows_written": self.rows_written,
+            "scrubs": self.scrubs,
+            "scrub_rows": self.scrub_rows,
+            "write_energy_nj": self.write_energy_j * 1e9,
+            "scrub_energy_nj": self.scrub_energy_j * 1e9,
+            "energy_nj": self.stats.total_energy_j * 1e9,
+            "cycles": self.stats.total_cycles,
+        }

@@ -49,6 +49,9 @@ def _service_parser(prog: str) -> argparse.ArgumentParser:
                         choices=("vector", "reference"),
                         help="columnar numpy executor (default) or the "
                              "per-shard engine-replay ground truth")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="physical table width; rows can be "
+                             "appended up to this (default: --bits)")
     return parser
 
 
@@ -70,7 +73,8 @@ def _cmd_query(argv: list[str]) -> int:
     with BitwiseService(args.tech, n_bits=args.bits,
                         n_shards=args.shards,
                         functional=not args.counting,
-                        backend=args.backend) as service:
+                        backend=args.backend,
+                        capacity=args.capacity) as service:
         for index, name in enumerate(expr.cols()):
             service.random_column(name, args.density,
                                   seed=args.seed + index)
@@ -178,6 +182,16 @@ def _cmd_serve(argv: list[str]) -> int:
     parser.add_argument("--port", type=int, default=None,
                         help="serve JSON-lines over TCP on this port")
     parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--batch-window-ms", type=float, default=1.0,
+                        help="scheduler batching window: concurrent "
+                             "queries arriving within it coalesce "
+                             "into one vector batch (default: 1 ms)")
+    parser.add_argument("--max-batch", type=int, default=128,
+                        help="max queries per coalesced batch")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="per-tenant admission limit (in-flight "
+                             "requests; override per tenant via "
+                             "register_tenant)")
     args = parser.parse_args(argv)
 
     from repro.service import BitwiseService, run_repl, serve_tcp
@@ -185,14 +199,19 @@ def _cmd_serve(argv: list[str]) -> int:
     with BitwiseService(args.tech, n_bits=args.bits,
                         n_shards=args.shards,
                         functional=not args.counting,
-                        backend=args.backend) as service:
+                        backend=args.backend,
+                        capacity=args.capacity) as service:
         if args.port is None:
             return run_repl(service)
-        server = serve_tcp(service, args.port, args.host)
+        server = serve_tcp(service, args.port, args.host,
+                           batch_window_s=args.batch_window_ms / 1e3,
+                           max_batch=args.max_batch,
+                           max_pending=args.max_pending)
         host, port = server.server_address[:2]
         print(f"serving bulk-bitwise queries on {host}:{port} "
               f"({args.tech}, {args.bits} bits x "
-              f"{service.n_shards} shards)")
+              f"{service.n_shards} shards, "
+              f"{args.batch_window_ms:g} ms batch window)")
         try:
             server.serve_forever()
         except KeyboardInterrupt:

@@ -17,25 +17,53 @@ Two interchangeable execution backends answer every query:
   bit-exact and Stats-exact against this path in the test suite.
 
 Select with ``BitwiseService(..., backend="vector"|"reference")``.
+
+The serving stack on top is async and multi-tenant: an asyncio
+JSON-lines TCP server (:class:`QueryServer`) funnels every
+connection through a central :class:`RequestScheduler` that coalesces
+concurrent queries into vector batches, admission-controls and
+fair-schedules per tenant (:mod:`repro.service.tenancy`), and
+serializes column mutations (``update_column`` / ``write_slice`` /
+``append_rows``) as barriers.  Mutations charge TBA-write / restore
+energy per dirty row and query reads accrue QNRO disturb-scrub costs
+(:class:`repro.arch.writeback.ScrubAccountant`); the result cache is
+dependency-indexed, so a mutation only evicts the plans that read the
+mutated column.
 """
 
 from repro.service.columnstore import ColumnStore, MatrixPool
-from repro.service.server import QueryServer, run_repl, serve_tcp
+from repro.service.scheduler import AdmissionError, RequestScheduler
+from repro.service.server import (
+    QueryServer,
+    mutation_payload,
+    result_payload,
+    run_repl,
+    serve_tcp,
+)
 from repro.service.service import (
     BitwiseService,
+    MutationResult,
     ProgramResult,
     QueryResult,
     StatementStats,
 )
+from repro.service.tenancy import TenantState, TenantView
 
 __all__ = [
+    "AdmissionError",
     "BitwiseService",
     "ColumnStore",
     "MatrixPool",
+    "MutationResult",
     "ProgramResult",
     "QueryResult",
     "QueryServer",
+    "RequestScheduler",
     "StatementStats",
+    "TenantState",
+    "TenantView",
+    "mutation_payload",
+    "result_payload",
     "run_repl",
     "serve_tcp",
 ]

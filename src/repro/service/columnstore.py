@@ -9,9 +9,12 @@ then advances *all* shards together: each plan step is a single
 per-shard Python dispatch, no locks, and numpy releases the GIL for the
 duration of every kernel.
 
-Matrices are populated once at ``create_column`` and shared zero-copy
-with query execution (programs only ever *read* column matrices; all
-writes target scratch registers from the :class:`MatrixPool`).
+Matrices are populated at ``create_column`` and shared zero-copy with
+query execution (programs only ever *read* column matrices; all writes
+target scratch registers from the :class:`MatrixPool`).  Mutations
+rebind a column to a freshly packed matrix (:meth:`ColumnStore.set`,
+copy-on-write), so a query holding a :meth:`ColumnStore.snapshot`
+keeps serving a consistent pre-mutation view.
 
 Shard geometry is word-aligned and identical to the reference backend's
 (:func:`shard_spans`), so results sliced per shard are bit-for-bit the
@@ -29,9 +32,31 @@ import numpy as np
 
 from repro.errors import QueryError
 
-__all__ = ["ColumnStore", "MatrixPool", "shard_spans", "popcount_words"]
+__all__ = ["ColumnStore", "MatrixPool", "shard_spans", "popcount_words",
+           "dirty_word_indices"]
 
 WORD_BITS = 64
+
+
+def dirty_word_indices(old_bits: np.ndarray, new_bits: np.ndarray,
+                       lo: int, hi: int) -> np.ndarray:
+    """Indices of 64-bit words whose value differs inside ``[lo, hi)``.
+
+    ``old_bits``/``new_bits`` are full-width flat 0/1 arrays; only the
+    word-aligned region covering ``[lo, hi)`` is compared, so a
+    mutation is charged exactly the rows whose content actually
+    changed (rewriting identical data dirties nothing).
+    """
+    lo_w = lo // WORD_BITS
+    hi_w = (hi + WORD_BITS - 1) // WORD_BITS
+    start, stop = lo_w * WORD_BITS, min(hi_w * WORD_BITS, old_bits.size)
+    changed = old_bits[start:stop] != new_bits[start:stop]
+    if changed.size % WORD_BITS:
+        changed = np.concatenate([
+            changed, np.zeros(WORD_BITS - changed.size % WORD_BITS,
+                              dtype=bool)])
+    words = changed.reshape(-1, WORD_BITS).any(axis=1)
+    return lo_w + np.flatnonzero(words)
 
 
 def shard_spans(n_bits: int, n_shards: int) -> list[tuple[int, int]]:
@@ -120,13 +145,23 @@ class ColumnStore:
     n_shards:
         Requested shard count (clamped to the word count like the
         reference backend).
+    capacity:
+        Physical table width the shard geometry is laid out over
+        (default: ``n_bits``).  The logical width may later grow up to
+        the capacity via :meth:`resize` (row appends) without
+        re-sharding — bits beyond ``n_bits`` are zero in every column
+        matrix and masked out of reductions.
     """
 
-    def __init__(self, n_bits: int, n_shards: int) -> None:
+    def __init__(self, n_bits: int, n_shards: int, *,
+                 capacity: int | None = None) -> None:
         if n_bits <= 0:
             raise QueryError("table width must be positive")
-        self.n_bits = int(n_bits)
-        self.spans = shard_spans(self.n_bits, n_shards)
+        self.capacity = int(capacity if capacity is not None else n_bits)
+        if self.capacity < n_bits:
+            raise QueryError(
+                f"capacity {self.capacity} < table width {n_bits}")
+        self.spans = shard_spans(self.capacity, n_shards)
         self.n_shards = len(self.spans)
         #: valid packed words per shard (tail shard may be partial)
         self.shard_words = [
@@ -141,10 +176,23 @@ class ColumnStore:
         # so readouts reduce to a single unpackbits over the matrix.
         self._uniform = all(words == self.words_per_shard
                             for words in self.shard_words)
+        self.resize(int(n_bits))
+
+    def resize(self, n_bits: int) -> None:
+        """Set the logical width (grows toward capacity on appends).
+
+        Column matrices are already zero beyond the old width, so only
+        the validity mask needs rebuilding; callers write appended
+        values afterwards via :meth:`set`.
+        """
+        if not 0 < n_bits <= self.capacity:
+            raise QueryError(
+                f"logical width {n_bits} outside (0, {self.capacity}]")
+        self.n_bits = int(n_bits)
         # Validity mask: 1-bits exactly at positions holding table bits.
         self._mask = self._pack(np.ones(self.n_bits, dtype=np.uint8))
-        self._full = self._uniform and \
-            self.n_bits == self.n_shards * self.words_per_shard * WORD_BITS
+        self._full = self._uniform and self.n_bits == \
+            self.n_shards * self.words_per_shard * WORD_BITS
 
     # ------------------------------------------------------------------
     # packing / unpacking
@@ -156,7 +204,7 @@ class ColumnStore:
             raise QueryError(
                 f"need a flat array of {self.n_bits} bits, got shape "
                 f"{bits.shape}")
-        n_words = (self.n_bits + WORD_BITS - 1) // WORD_BITS
+        n_words = (self.capacity + WORD_BITS - 1) // WORD_BITS
         padded = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
         padded[: self.n_bits] = bits
         words = np.packbits(padded, bitorder="little").view(np.uint64)
@@ -176,6 +224,9 @@ class ColumnStore:
                                  bitorder="little")[: self.n_bits]
         out = np.empty(self.n_bits, dtype=np.uint8)
         for index, (start, stop) in enumerate(self.spans):
+            stop = min(stop, self.n_bits)
+            if stop <= start:
+                break
             count = self.shard_words[index]
             bits = np.unpackbits(
                 matrix[index, :count].view(np.uint8), bitorder="little")
@@ -194,6 +245,16 @@ class ColumnStore:
     def add(self, name: str, bits: np.ndarray) -> None:
         if name in self._matrices:
             raise QueryError(f"column {name!r} already exists")
+        self._matrices[name] = self._pack(bits)
+
+    def set(self, name: str, bits: np.ndarray) -> None:
+        """Rebind a column to a freshly packed matrix (copy-on-write).
+
+        The old matrix is never written in place: queries holding a
+        :meth:`snapshot` keep serving the pre-mutation table view.
+        """
+        if name not in self._matrices:
+            raise QueryError(f"no column {name!r}")
         self._matrices[name] = self._pack(bits)
 
     def drop(self, name: str) -> None:

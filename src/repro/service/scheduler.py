@@ -1,0 +1,264 @@
+"""Central asyncio request scheduler for the serving front-end.
+
+The async server funnels every connection's requests through one
+:class:`RequestScheduler`, which
+
+* **coalesces** concurrent queries from all connections into the
+  service's vector batches: the first arrival opens a small batching
+  window (``window_s``); everything that lands inside it executes as
+  ONE :meth:`BitwiseService.execute` call (one set of whole-matrix
+  kernels, cross-query CSE within each tenant);
+* enforces **per-tenant admission control**: a tenant may hold at most
+  ``max_pending`` requests in flight (its
+  :attr:`~repro.service.tenancy.TenantState.max_pending` overrides the
+  server default); excess requests are rejected immediately with an
+  :class:`AdmissionError` instead of growing the queue without bound;
+* schedules **fairly**: batches are filled round-robin across tenant
+  queues (one query per tenant per rotation), so a flooding tenant
+  cannot starve the others — and per-tenant FIFO order is preserved;
+* serializes **mutations as barriers**: a tenant's mutation waits for
+  the current batch, then runs exclusively before the tenant's later
+  requests (read-your-writes per tenant).
+
+The scheduler owns no sockets and is directly testable from asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import QueryError
+
+__all__ = ["AdmissionError", "RequestScheduler"]
+
+
+class AdmissionError(QueryError):
+    """Per-tenant admission limit exceeded; retry after back-off."""
+
+
+@dataclass
+class _Item:
+    kind: str                    # "query" | "exclusive"
+    tenant: str | None
+    payload: Any                 # query text | zero-arg callable
+    future: asyncio.Future = field(repr=False, default=None)
+    #: False for members of a batch submission, which holds ONE
+    #: admission slot for the whole batch (wire compatibility: the old
+    #: threaded server executed a batch as a single request)
+    counted: bool = True
+
+
+class RequestScheduler:
+    """Batching, admission-controlled front door to a BitwiseService."""
+
+    def __init__(self, service, *, window_s: float = 0.001,
+                 max_batch: int = 128, max_pending: int = 64) -> None:
+        self.service = service
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self.max_pending = int(max_pending)
+        self._queues: dict[str | None, deque[_Item]] = {}
+        self._rotation: deque[str | None] = deque()
+        self._pending: dict[str | None, int] = {}
+        self._wakeup = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._stopped = False
+        self.metrics = {
+            "batches": 0,            #: execute() calls issued
+            "batched_queries": 0,    #: queries answered through them
+            "largest_batch": 0,
+            "exclusives": 0,         #: mutations/barrier ops run
+            "admission_rejections": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="request-scheduler")
+
+    async def stop(self) -> None:
+        self._stopped = True
+        self._wakeup.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for queue in self._queues.values():
+            for item in queue:
+                if not item.future.done():
+                    item.future.set_exception(
+                        QueryError("server shutting down"))
+        self._queues.clear()
+
+    # -- submission ----------------------------------------------------
+    def _limit(self, tenant: str | None) -> int:
+        state = self.service.tenant_state(tenant)
+        return state.max_pending if state.max_pending is not None \
+            else self.max_pending
+
+    def _check_admission(self, tenant: str | None) -> None:
+        if self._pending.get(tenant, 0) >= self._limit(tenant):
+            self.metrics["admission_rejections"] += 1
+            raise AdmissionError(
+                f"tenant {tenant!r} over admission limit "
+                f"({self._limit(tenant)} requests in flight)")
+
+    def _enqueue(self, item: _Item) -> None:
+        item.future = asyncio.get_running_loop().create_future()
+        queue = self._queues.get(item.tenant)
+        if queue is None:
+            queue = self._queues[item.tenant] = deque()
+            self._rotation.append(item.tenant)
+        queue.append(item)
+        self._wakeup.set()
+
+    def _admit(self, item: _Item) -> None:
+        self._check_admission(item.tenant)
+        self._pending[item.tenant] = \
+            self._pending.get(item.tenant, 0) + 1
+        self._enqueue(item)
+
+    def _settle(self, item: _Item, value=None, error=None) -> None:
+        if item.counted:
+            self._pending[item.tenant] -= 1
+        if item.future.done():
+            return
+        if error is not None:
+            item.future.set_exception(error)
+        else:
+            item.future.set_result(value)
+
+    async def submit_query(self, tenant: str | None, query: str):
+        """Queue one query; resolves to its QueryResult."""
+        item = _Item("query", tenant, query)
+        self._admit(item)
+        return await item.future
+
+    async def submit_batch(self, tenant: str | None, queries):
+        """Queue a client batch under ONE admission slot.
+
+        The member queries still coalesce individually (and with other
+        connections' traffic) into vector batches; admission counts the
+        submission as a single in-flight request, matching the old
+        threaded server's one-request batch semantics."""
+        queries = list(queries)
+        if not queries:
+            return []
+        self._check_admission(tenant)
+        self._pending[tenant] = self._pending.get(tenant, 0) + 1
+        items = [_Item("query", tenant, query, counted=False)
+                 for query in queries]
+        try:
+            for item in items:
+                self._enqueue(item)
+            results = await asyncio.gather(
+                *[item.future for item in items],
+                return_exceptions=True)
+        finally:
+            self._pending[tenant] -= 1
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return results
+
+    async def submit_exclusive(self, tenant: str | None,
+                               fn: Callable[[], Any]):
+        """Queue a barrier op (mutation/DDL); resolves to fn()."""
+        item = _Item("exclusive", tenant, fn)
+        self._admit(item)
+        return await item.future
+
+    # -- the scheduling loop -------------------------------------------
+    def _backlog(self) -> bool:
+        return any(self._queues.values())
+
+    def _drain_round(self) -> tuple[list[_Item], list[_Item]]:
+        """One fair round: a query batch plus due barrier ops.
+
+        Queries are taken round-robin, one per tenant per rotation,
+        never past a tenant's first barrier (per-tenant FIFO).  Then
+        each tenant whose queue now fronts a barrier contributes that
+        one barrier op.
+        """
+        batch: list[_Item] = []
+        progress = True
+        while progress and len(batch) < self.max_batch:
+            progress = False
+            for _ in range(len(self._rotation)):
+                tenant = self._rotation[0]
+                self._rotation.rotate(-1)
+                queue = self._queues.get(tenant)
+                if queue and queue[0].kind == "query":
+                    batch.append(queue.popleft())
+                    progress = True
+                    if len(batch) >= self.max_batch:
+                        break
+        exclusives: list[_Item] = []
+        for _ in range(len(self._rotation)):
+            tenant = self._rotation[0]
+            self._rotation.rotate(-1)
+            queue = self._queues.get(tenant)
+            if queue and queue[0].kind == "exclusive":
+                exclusives.append(queue.popleft())
+        return batch, exclusives
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopped:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if not self._backlog():
+                continue
+            if self.window_s > 0:
+                # Batching window: let concurrent arrivals coalesce.
+                await asyncio.sleep(self.window_s)
+            while self._backlog():
+                batch, exclusives = self._drain_round()
+                if batch:
+                    await self._execute_batch(loop, batch)
+                for item in exclusives:
+                    await self._execute_exclusive(loop, item)
+
+    async def _execute_batch(self, loop, batch: list[_Item]) -> None:
+        queries = [item.payload for item in batch]
+        tenants = [item.tenant for item in batch]
+        self.metrics["batches"] += 1
+        self.metrics["batched_queries"] += len(batch)
+        self.metrics["largest_batch"] = max(
+            self.metrics["largest_batch"], len(batch))
+        try:
+            results = await loop.run_in_executor(
+                None, lambda: self.service.execute(queries,
+                                                   tenants=tenants))
+        except Exception:
+            # One bad query fails a whole execute(); fall back to
+            # per-item execution so errors attribute to their request.
+            for item in batch:
+                await self._execute_single(loop, item)
+            return
+        for item, result in zip(batch, results):
+            self._settle(item, result)
+
+    async def _execute_single(self, loop, item: _Item) -> None:
+        try:
+            result = await loop.run_in_executor(
+                None, lambda: self.service.query(item.payload,
+                                                 tenant=item.tenant))
+        except Exception as exc:
+            self._settle(item, error=exc)
+        else:
+            self._settle(item, result)
+
+    async def _execute_exclusive(self, loop, item: _Item) -> None:
+        self.metrics["exclusives"] += 1
+        try:
+            value = await loop.run_in_executor(None, item.payload)
+        except Exception as exc:
+            self._settle(item, error=exc)
+        else:
+            self._settle(item, value)

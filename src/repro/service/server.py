@@ -1,45 +1,60 @@
 """Front-ends for :class:`~repro.service.BitwiseService`.
 
-Two thin transports over the same service:
+Two transports over the same service:
 
-* :func:`run_repl` — a line-oriented console (``repro serve``);
-* :func:`serve_tcp` — a JSON-lines TCP endpoint (``repro serve
-  --port N``), one request object per line, threaded per connection.
+* :func:`run_repl` — a line-oriented console (``repro serve``) with
+  tenant switching and column/result payload readout;
+* :func:`serve_tcp` — an **asyncio** JSON-lines TCP endpoint (``repro
+  serve --port N``), wire-compatible with the original threaded
+  server: one JSON request object per line, one JSON response per
+  line, in order.
 
-Both only speak to the public service API, so they are equally usable
-programmatically (the tests drive the REPL through ``io.StringIO`` and
-the TCP server through a socket).
+The TCP server is a thin sync facade (:class:`QueryServer`) over an
+asyncio event loop running in a dedicated thread.  Every connection's
+requests flow through one central
+:class:`~repro.service.scheduler.RequestScheduler`, which coalesces
+concurrent queries from *all* connections into single
+:meth:`~repro.service.BitwiseService.execute` vector batches inside a
+small batching window, enforces per-tenant admission control, fills
+batches fairly (round-robin across tenants), and serializes mutations
+as per-tenant barriers.
+
+Protocol ops (all may carry ``"tenant": "<name>"``; a connection can
+also set a default namespace once via ``{"op": "hello", "tenant":
+...}``):
+
+``query``/``batch``/``explain``/``create_column``/``drop_column``/
+``columns``/``stats`` (unchanged wire shapes), plus the mutation path
+``update_column``/``write_slice``/``append_rows`` and the paginated
+payload readout ``bits`` (``{"op": "bits", "name": ..., "offset": N,
+"limit": N}`` — ``name`` is a column or the ``key`` of a cached query
+result).
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
-import socketserver
 import sys
+import threading
 
 import numpy as np
 
 from repro.errors import QueryError, ReproError
-from repro.service.service import BitwiseService, QueryResult
+from repro.service.scheduler import AdmissionError, RequestScheduler
+from repro.service.service import (
+    BitwiseService,
+    MutationResult,
+    QueryResult,
+)
 
-__all__ = ["run_repl", "serve_tcp", "result_payload"]
-
-_HELP = """\
-commands:
-  col <name> random [density] [seed]   create a random column
-  col <name> bits <01...>              create a column from a bit string
-  cols                                 list columns
-  drop <name>                          drop a column
-  query <expr>                         run a query (e.g. a & ~b | c)
-  explain <expr>                       show plan cost without running
-  stats                                service counters
-  help                                 this text
-  quit                                 exit
-"""
+__all__ = ["run_repl", "serve_tcp", "QueryServer", "result_payload",
+           "mutation_payload"]
 
 
 def result_payload(result: QueryResult) -> dict:
-    """JSON-safe summary of a query result (bits elided)."""
+    """JSON-safe summary of a query result (bits elided; fetch pages
+    via the ``bits`` op / REPL command using the returned ``key``)."""
     return {
         "query": result.query,
         "key": result.key,
@@ -53,58 +68,153 @@ def result_payload(result: QueryResult) -> dict:
     }
 
 
-def _dispatch(service: BitwiseService, line: str) -> dict | None:
-    """Execute one REPL command; None means quit."""
-    parts = line.strip().split(None, 1)
-    if not parts:
-        return {}
-    command, rest = parts[0].lower(), parts[1] if len(parts) > 1 else ""
-    if command in ("quit", "exit"):
-        return None
-    if command == "help":
-        return {"help": _HELP}
-    if command == "cols":
-        return {"columns": list(service.columns),
-                "n_bits": service.n_bits}
-    if command == "stats":
-        return {"stats": service.stats()}
-    if command == "drop":
-        service.drop_column(rest.strip())
-        return {"dropped": rest.strip()}
-    if command == "col":
-        args = rest.split()
-        if len(args) < 2:
-            raise QueryError("usage: col <name> random|bits ...")
-        name, mode = args[0], args[1].lower()
-        if mode == "random":
-            density = float(args[2]) if len(args) > 2 else 0.5
-            seed = int(args[3]) if len(args) > 3 else None
-            service.random_column(name, density, seed)
-        elif mode == "bits":
-            if len(args) < 3:
-                raise QueryError("usage: col <name> bits <01...>")
-            if set(args[2]) - {"0", "1"}:
+def mutation_payload(result: MutationResult) -> dict:
+    """JSON-safe summary of a column mutation."""
+    return {
+        "op": result.op,
+        "column": result.column,
+        "offset": result.offset,
+        "n_bits": result.n_bits,
+        "rows_written": result.rows_written,
+        "dirty_shards": result.dirty_shards,
+        "energy_nj": result.energy_j * 1e9,
+        "cycles": result.cycles,
+        "invalidated": result.invalidated,
+        "columns_written": list(result.columns_written),
+    }
+
+
+def _parse_bitstring(text: str) -> np.ndarray:
+    if set(text) - {"0", "1"}:
+        raise QueryError(
+            f"bit string may only contain 0/1, got "
+            f"{sorted(set(text) - {'0', '1'})}")
+    return np.frombuffer(text.encode(), dtype=np.uint8) - ord("0")
+
+
+# ----------------------------------------------------------------------
+# REPL
+# ----------------------------------------------------------------------
+_HELP = """\
+commands:
+  col <name> random [density] [seed]   create a random column
+  col <name> bits <01...>              create a column from a bit string
+  cols                                 list columns
+  drop <name>                          drop a column
+  set <name> <01...>                   overwrite a column in place
+  write <name> <offset> <01...>        overwrite a slice of a column
+  append <name> <01...> [...]          append rows (named columns get
+                                       the bits, others zero-fill)
+  bits <name> <offset> <limit>         page a column's (or a cached
+                                       result key's) payload
+  tenant [<name>|-]                    switch namespace (- = default)
+  query <expr>                         run a query (e.g. a & ~b | c)
+  explain <expr>                       show plan cost without running
+  stats                                service counters
+  help                                 this text
+  quit                                 exit
+"""
+
+
+class _Repl:
+    """REPL state: the bound service plus the active tenant."""
+
+    def __init__(self, service: BitwiseService) -> None:
+        self.service = service
+        self.tenant: str | None = None
+
+    def dispatch(self, line: str) -> dict | None:
+        """Execute one REPL command; None means quit."""
+        service, tenant = self.service, self.tenant
+        parts = line.strip().split(None, 1)
+        if not parts:
+            return {}
+        command = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if command in ("quit", "exit"):
+            return None
+        if command == "help":
+            return {"help": _HELP}
+        if command == "tenant":
+            name = rest.strip()
+            self.tenant = None if name in ("", "-") else name
+            if self.tenant is not None:
+                service.tenant(self.tenant)  # auto-register
+            return {"tenant": self.tenant}
+        if command == "cols":
+            return {"columns": list(service.tenant_columns(tenant)),
+                    "n_bits": service.n_bits,
+                    "tenant": tenant}
+        if command == "stats":
+            return {"stats": service.stats()}
+        if command == "drop":
+            service.drop_column(rest.strip(), tenant=tenant)
+            return {"dropped": rest.strip()}
+        if command == "col":
+            args = rest.split()
+            if len(args) < 2:
+                raise QueryError("usage: col <name> random|bits ...")
+            name, mode = args[0], args[1].lower()
+            if mode == "random":
+                density = float(args[2]) if len(args) > 2 else 0.5
+                seed = int(args[3]) if len(args) > 3 else None
+                service.random_column(name, density, seed,
+                                      tenant=tenant)
+            elif mode == "bits":
+                if len(args) < 3:
+                    raise QueryError("usage: col <name> bits <01...>")
+                bits = _parse_bitstring(args[2])
+                if bits.size != service.n_bits:
+                    raise QueryError(
+                        f"need {service.n_bits} bits, got {bits.size}")
+                service.create_column(name, bits, tenant=tenant)
+            else:
+                raise QueryError(f"unknown col mode {mode!r}")
+            return {"created": name}
+        if command == "set":
+            args = rest.split()
+            if len(args) != 2:
+                raise QueryError("usage: set <name> <01...>")
+            result = service.update_column(
+                args[0], _parse_bitstring(args[1]), tenant=tenant)
+            return {"mutation": mutation_payload(result)}
+        if command == "write":
+            args = rest.split()
+            if len(args) != 3:
+                raise QueryError("usage: write <name> <offset> <01...>")
+            result = service.write_slice(
+                args[0], int(args[1]), _parse_bitstring(args[2]),
+                tenant=tenant)
+            return {"mutation": mutation_payload(result)}
+        if command == "append":
+            args = rest.split()
+            if len(args) % 2 or not args:
                 raise QueryError(
-                    f"bit string may only contain 0/1, got "
-                    f"{sorted(set(args[2]) - {'0', '1'})}")
-            bits = np.frombuffer(args[2].encode(), dtype=np.uint8) - ord("0")
-            if bits.size != service.n_bits:
-                raise QueryError(
-                    f"need {service.n_bits} bits, got {bits.size}")
-            service.create_column(name, bits)
-        else:
-            raise QueryError(f"unknown col mode {mode!r}")
-        return {"created": name}
-    if command == "explain":
-        plan = service.compile(rest)
-        return {"explain": {
-            "key": plan.key, "columns": list(plan.cols),
-            "primitives_per_row": plan.primitives,
-            "naive_primitives_per_row": plan.naive_primitives,
-        }}
-    if command == "query":
-        return {"result": result_payload(service.query(rest))}
-    raise QueryError(f"unknown command {command!r} (try 'help')")
+                    "usage: append <name> <01...> [<name> <01...> ...]")
+            values = {args[i]: _parse_bitstring(args[i + 1])
+                      for i in range(0, len(args), 2)}
+            result = service.append_rows(values, tenant=tenant)
+            return {"mutation": mutation_payload(result),
+                    "n_bits": service.n_bits}
+        if command == "bits":
+            args = rest.split()
+            if not 1 <= len(args) <= 3:
+                raise QueryError("usage: bits <name> <offset> <limit>")
+            offset = int(args[1]) if len(args) > 1 else 0
+            limit = int(args[2]) if len(args) > 2 else 64
+            return {"bits": service.read_bits(args[0], offset, limit,
+                                              tenant=tenant)}
+        if command == "explain":
+            plan = service.compile(rest)
+            return {"explain": {
+                "key": plan.key, "columns": list(plan.cols),
+                "primitives_per_row": plan.primitives,
+                "naive_primitives_per_row": plan.naive_primitives,
+            }}
+        if command == "query":
+            return {"result": result_payload(
+                service.query(rest, tenant=tenant))}
+        raise QueryError(f"unknown command {command!r} (try 'help')")
 
 
 def run_repl(service: BitwiseService, in_stream=None, out_stream=None,
@@ -112,6 +222,7 @@ def run_repl(service: BitwiseService, in_stream=None, out_stream=None,
     """Drive the service from a line stream; returns an exit code."""
     in_stream = in_stream or sys.stdin
     out_stream = out_stream or sys.stdout
+    repl = _Repl(service)
 
     def emit(text: str) -> None:
         print(text, file=out_stream, flush=True)
@@ -126,7 +237,7 @@ def run_repl(service: BitwiseService, in_stream=None, out_stream=None,
         if not line:
             break
         try:
-            payload = _dispatch(service, line)
+            payload = repl.dispatch(line)
         except (ReproError, ValueError) as exc:
             # ValueError covers malformed numeric arguments (e.g.
             # 'col x random abc') — a typo must not kill the console.
@@ -141,65 +252,228 @@ def run_repl(service: BitwiseService, in_stream=None, out_stream=None,
     return 0
 
 
-class _QueryHandler(socketserver.StreamRequestHandler):
-    """One JSON request per line; one JSON response per line."""
+# ----------------------------------------------------------------------
+# asyncio JSON-lines TCP server
+# ----------------------------------------------------------------------
+class QueryServer:
+    """Async multi-tenant JSON-lines TCP server (sync facade).
 
-    def handle(self) -> None:
-        service: BitwiseService = self.server.service  # type: ignore
-        for raw in self.rfile:
-            try:
-                request = json.loads(raw.decode())
-                response = self._serve(service, request)
-            except ReproError as exc:
-                response = {"ok": False, "error": str(exc)}
-            except (ValueError, KeyError, TypeError) as exc:
-                response = {"ok": False, "error": f"bad request: {exc}"}
-            self.wfile.write((json.dumps(response, default=str)
+    The asyncio event loop, the listening server, and the central
+    :class:`RequestScheduler` live in a dedicated daemon thread;
+    ``serve_forever()``/``shutdown()``/``server_close()`` keep the
+    original threaded server's control surface so callers (CLI,
+    tests) are unchanged.
+    """
+
+    def __init__(self, service: BitwiseService,
+                 address: tuple[str, int], *,
+                 batch_window_s: float = 0.001,
+                 max_batch: int = 128,
+                 max_pending: int = 64,
+                 max_line_bytes: int = 1 << 26) -> None:
+        self.service = service
+        self._batch_window_s = batch_window_s
+        self._max_batch = max_batch
+        self._max_pending = max_pending
+        # JSON lines carry whole column payloads; the default asyncio
+        # stream limit (64 KiB) truncates them mid-frame.
+        self._max_line_bytes = max_line_bytes
+        self._shutdown = threading.Event()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="query-server-loop", daemon=True)
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(
+            self._start(address), self._loop)
+        try:
+            self.server_address: tuple = future.result(timeout=30)
+        except BaseException:
+            # Bind failed (port in use, permission, ...): stop the
+            # loop thread instead of leaking it and the scheduler.
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop.close()
+            raise
+
+    async def _start(self, address: tuple[str, int]) -> tuple:
+        self.scheduler = RequestScheduler(
+            self.service, window_s=self._batch_window_s,
+            max_batch=self._max_batch, max_pending=self._max_pending)
+        self.scheduler.start()
+        self._conn_tasks: set[asyncio.Task] = set()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, address[0], address[1],
+                limit=self._max_line_bytes)
+        except BaseException:
+            await self.scheduler.stop()
+            raise
+        return self._server.sockets[0].getsockname()[:2]
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        tenant: list[str | None] = [None]  # connection default
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except ValueError:
+                    # Oversized line: framing is lost, close politely.
+                    writer.write((json.dumps({
+                        "ok": False,
+                        "error": "request line exceeds server limit",
+                    }) + "\n").encode())
+                    await writer.drain()
+                    break
+                if not raw:
+                    break
+                try:
+                    request = json.loads(raw.decode())
+                    response = await self._serve(request, tenant)
+                except AdmissionError as exc:
+                    response = {"ok": False, "error": str(exc),
+                                "code": "admission"}
+                except ReproError as exc:
+                    response = {"ok": False, "error": str(exc)}
+                except (ValueError, KeyError, TypeError) as exc:
+                    response = {"ok": False,
+                                "error": f"bad request: {exc}"}
+                writer.write((json.dumps(response, default=str)
                               + "\n").encode())
-            self.wfile.flush()
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server teardown closes live connections
+        finally:
+            writer.close()
 
-    @staticmethod
-    def _serve(service: BitwiseService, request: dict) -> dict:
+    async def _serve(self, request: dict, conn_tenant: list) -> dict:
+        service = self.service
+        loop = asyncio.get_running_loop()
         op = request.get("op")
+        tenant = request.get("tenant", conn_tenant[0])
+        if op == "hello":
+            conn_tenant[0] = request.get("tenant")
+            if conn_tenant[0] is not None:
+                service.tenant(conn_tenant[0])  # auto-register
+            return {"ok": True, "tenant": conn_tenant[0],
+                    "technology": service.technology,
+                    "n_bits": service.n_bits,
+                    "n_shards": service.n_shards}
         if op == "query":
-            result = service.query(request["expr"])
+            result = await self.scheduler.submit_query(
+                tenant, request["expr"])
             return {"ok": True, **result_payload(result)}
         if op == "batch":
-            results = service.execute(list(request["exprs"]))
+            results = await self.scheduler.submit_batch(
+                tenant, list(request["exprs"]))
             return {"ok": True,
                     "results": [result_payload(r) for r in results]}
         if op == "create_column":
-            if "bits" in request:
-                service.create_column(request["name"],
-                                      np.asarray(request["bits"]))
-            else:
-                service.random_column(request["name"],
-                                      float(request.get("density", 0.5)),
-                                      request.get("seed"))
+            def create():
+                if "bits" in request:
+                    service.create_column(
+                        request["name"], np.asarray(request["bits"]),
+                        tenant=tenant)
+                else:
+                    service.random_column(
+                        request["name"],
+                        float(request.get("density", 0.5)),
+                        request.get("seed"), tenant=tenant)
+            await self.scheduler.submit_exclusive(tenant, create)
             return {"ok": True, "created": request["name"]}
         if op == "drop_column":
-            service.drop_column(request["name"])
+            await self.scheduler.submit_exclusive(
+                tenant, lambda: service.drop_column(request["name"],
+                                                    tenant=tenant))
             return {"ok": True}
+        if op == "update_column":
+            result = await self.scheduler.submit_exclusive(
+                tenant, lambda: service.update_column(
+                    request["name"], np.asarray(request["bits"]),
+                    tenant=tenant))
+            return {"ok": True, **mutation_payload(result)}
+        if op == "write_slice":
+            result = await self.scheduler.submit_exclusive(
+                tenant, lambda: service.write_slice(
+                    request["name"], int(request["offset"]),
+                    np.asarray(request["bits"]), tenant=tenant))
+            return {"ok": True, **mutation_payload(result)}
+        if op == "append_rows":
+            values = {name: np.asarray(bits) for name, bits in
+                      dict(request.get("values") or {}).items()}
+            result = await self.scheduler.submit_exclusive(
+                tenant, lambda: service.append_rows(
+                    values, request.get("n"), tenant=tenant))
+            return {"ok": True, **mutation_payload(result),
+                    "table_bits": service.n_bits}
+        if op == "bits":
+            page = await self.scheduler.submit_exclusive(
+                tenant, lambda: service.read_bits(
+                    request["name"], int(request.get("offset", 0)),
+                    int(request.get("limit", 64)), tenant=tenant))
+            return {"ok": True, **page}
+        if op == "explain":
+            plan = await loop.run_in_executor(
+                None, lambda: service.compile(request["expr"]))
+            return {"ok": True, "key": plan.key,
+                    "columns": list(plan.cols),
+                    "primitives_per_row": plan.primitives,
+                    "naive_primitives_per_row": plan.naive_primitives}
         if op == "columns":
-            return {"ok": True, "columns": list(service.columns)}
+            columns = await loop.run_in_executor(
+                None, lambda: list(service.tenant_columns(tenant)))
+            return {"ok": True, "columns": columns}
         if op == "stats":
-            return {"ok": True, "stats": service.stats()}
+            stats = await loop.run_in_executor(None, service.stats)
+            stats["scheduler"] = dict(self.scheduler.metrics)
+            return {"ok": True, "stats": stats}
         raise QueryError(f"unknown op {op!r}")
 
+    # -- sync control surface (wire-compatible with socketserver) ------
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` (interruptible)."""
+        while not self._shutdown.wait(timeout=0.2):
+            pass
 
-class QueryServer(socketserver.ThreadingTCPServer):
-    """Threaded JSON-lines TCP server bound to a BitwiseService."""
+    def shutdown(self) -> None:
+        self._shutdown.set()
 
-    allow_reuse_address = True
-    daemon_threads = True
+    def server_close(self) -> None:
+        self._shutdown.set()
+        if self._loop.is_closed():
+            return
 
-    def __init__(self, service: BitwiseService,
-                 address: tuple[str, int]) -> None:
-        super().__init__(address, _QueryHandler)
-        self.service = service
+        async def teardown():
+            await self.scheduler.stop()
+            self._server.close()
+            await self._server.wait_closed()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+
+        try:
+            asyncio.run_coroutine_threadsafe(
+                teardown(), self._loop).result(timeout=10)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop.close()
 
 
 def serve_tcp(service: BitwiseService, port: int,
-              host: str = "127.0.0.1") -> QueryServer:
+              host: str = "127.0.0.1", *,
+              batch_window_s: float = 0.001,
+              max_batch: int = 128,
+              max_pending: int = 64) -> QueryServer:
     """Bind a :class:`QueryServer`; caller runs ``serve_forever()``."""
-    return QueryServer(service, (host, port))
+    return QueryServer(service, (host, port),
+                       batch_window_s=batch_window_s,
+                       max_batch=max_batch, max_pending=max_pending)

@@ -36,10 +36,30 @@ Two execution backends answer queries:
   pinned for serialized execution; the vector backend always charges
   the batch's deterministic sequential serialization.)
 
-Columns are only ever mutated value-preservingly by queries
-(complement-flag re-encodings on the reference path; the columnar
-store is never written after ingest), so concurrent queries over
-shared columns are safe on both backends.
+The table is **mutable and multi-tenant**:
+
+* :meth:`BitwiseService.update_column` / :meth:`~BitwiseService.
+  write_slice` / :meth:`~BitwiseService.append_rows` mutate column
+  values in place.  Mutations are charged through the
+  :class:`~repro.arch.writeback.ScrubAccountant` — dirty rows cost
+  FeRAM TBA-write / DRAM restore energy, and query reads accrue
+  disturb that triggers QNRO scrubs per the §II write-back economics —
+  on a maintenance ledger separate from per-query compute costs.
+  Values are applied copy-on-write (vector backend) or under a
+  writer-preferring table lock whose read side spans each query
+  batch's whole shard fan-out (reference backend), so concurrent
+  queries keep serving a consistent pre-mutation snapshot — never a
+  torn cross-shard mix.
+* Result caching is **dependency-aware**: every cached result is
+  indexed by the physical columns its plan reads, and a mutation only
+  evicts dependent entries — cache hits survive writes to unrelated
+  columns.  Per-column generation counters (plus a table-wide epoch
+  bumped by row appends) keep results computed from a pre-mutation
+  snapshot out of the cache.
+* Tenant namespaces (:mod:`repro.service.tenancy`) map logical column
+  names onto disjoint physical names in the shared store, with
+  per-tenant bit/cache quotas; compiled plans are shared across
+  tenants, caches and accounting are isolated.
 """
 
 from __future__ import annotations
@@ -48,11 +68,12 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.arch.bank import BitVector
+from repro.arch.bank import BitVector, pack_bits
 from repro.arch.commands import Command, CommandType, Stats
 from repro.arch.engine import BulkEngine
 from repro.arch.expr import (
@@ -66,11 +87,23 @@ from repro.arch.primitives import default_spec, make_engine, plan_stats
 from repro.arch.program import CompiledProgram, Program
 from repro.arch.program import compile_program as _compile_program
 from repro.arch.spec import MemorySpec
+from repro.arch.writeback import ScrubAccountant
 from repro.errors import QueryError
-from repro.service.columnstore import ColumnStore, MatrixPool, shard_spans
+from repro.service.columnstore import (
+    ColumnStore,
+    MatrixPool,
+    dirty_word_indices,
+    shard_spans,
+)
+from repro.service.tenancy import (
+    TenantState,
+    TenantView,
+    check_tenant_name,
+    physical_name,
+)
 
 __all__ = ["BitwiseService", "QueryResult", "ProgramResult",
-           "StatementStats"]
+           "StatementStats", "MutationResult"]
 
 _WORD_BITS = 64
 
@@ -124,8 +157,79 @@ class ProgramResult:
 
 
 @dataclass
+class MutationResult:
+    """Outcome of one column mutation (update / slice write / append).
+
+    ``rows_written`` counts the physical rows actually dirtied (a
+    write of identical data dirties nothing); ``energy_j`` is the
+    attributed TBA-write / restore energy of exactly those rows on the
+    maintenance ledger.
+    """
+
+    op: str                          #: update | write_slice | append_rows
+    column: str | None               #: logical name (None for appends)
+    tenant: str | None
+    offset: int                      #: first logical bit written
+    n_bits: int                      #: logical bits covered by the write
+    rows_written: int                #: dirty rows charged
+    dirty_shards: int                #: shards with at least one dirty row
+    energy_j: float                  #: maintenance energy of this write
+    cycles: int
+    invalidated: int                 #: cached results evicted
+    columns_written: tuple[str, ...] = ()
+
+
+@dataclass
 class _CacheEntry:
     result: QueryResult
+    tenant: str | None = None
+    cols: tuple[str, ...] = ()       #: physical column dependencies
+
+
+class _RWLock:
+    """Writer-preferring readers/writer lock.
+
+    Reference-backend query batches hold the read side across their
+    whole per-shard fan-out, so an in-place payload mutation (the
+    write side) can never interleave mid-batch and hand a query a
+    torn cross-shard mix of old and new bits.  Waiting writers block
+    new readers, so a mutation cannot be starved by a query stream.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._readers or self._writer:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
 
 
 class _Shard:
@@ -175,7 +279,8 @@ class BitwiseService:
                  spec: MemorySpec | None = None,
                  cache_size: int = 64,
                  max_workers: int | None = None,
-                 backend: str = "vector") -> None:
+                 backend: str = "vector",
+                 capacity: int | None = None) -> None:
         if n_bits <= 0:
             raise QueryError("table width must be positive")
         if n_shards <= 0:
@@ -186,10 +291,22 @@ class BitwiseService:
         self.technology = technology
         self.backend = backend
         self.n_bits = int(n_bits)
+        #: physical table width the shard geometry covers; the logical
+        #: width can grow up to this via append_rows without resharding
+        self.capacity = int(capacity if capacity is not None else n_bits)
+        if self.capacity < self.n_bits:
+            raise QueryError(
+                f"capacity {self.capacity} < table width {n_bits}")
         self.functional = functional
         self._spec = spec or default_spec(technology)
-        spans = shard_spans(self.n_bits, n_shards)
+        spans = shard_spans(self.capacity, n_shards)
+        self._spans = spans
         self.n_shards = len(spans)
+        self._shard_rows = [
+            (stop - start + self._spec.row_bits - 1)
+            // self._spec.row_bits
+            for start, stop in spans
+        ]
         if backend == "reference":
             self._shards = [
                 _Shard(i, make_engine(technology, functional=functional,
@@ -209,13 +326,9 @@ class BitwiseService:
                     f"spec {spec.name!r} is not a {technology!r} spec")
             self._shards = []
             self._pool = None
-            self._store = ColumnStore(self.n_bits, n_shards) \
+            self._store = ColumnStore(self.n_bits, n_shards,
+                                      capacity=self.capacity) \
                 if functional else None
-            self._shard_rows = [
-                (stop - start + self._spec.row_bits - 1)
-                // self._spec.row_bits
-                for start, stop in spans
-            ]
             self._ledger = Stats()  # merged analytic engine ledger
             self._tba_offsets = [0] * len(spans)
             # Complement-flag encodings the reference engines would
@@ -223,13 +336,26 @@ class BitwiseService:
             # persistently); evolution is identical on every shard, so
             # one flag per column drives the state-aware coster.
             self._col_flags: dict[str, bool] = {}
-            self._stats_lock = threading.Lock()
             self._rows_used = 0
             shape = self._store.shape if self._store is not None else \
                 (self.n_shards, 1)
             self._matrix_pool = MatrixPool(shape)
             self._inverting = self._spec.technology == "feram-2tnc"
+        self._stats_lock = threading.Lock()
+        # Guards reference-backend payloads: query batches read, in-
+        # place mutations write (vector mutations are copy-on-write
+        # and need no read side).
+        self._table_rw = _RWLock()
+        # Mutation-path maintenance ledger: dirty-row write charges and
+        # read-disturb scrub economics (see arch/writeback.py), kept
+        # separate from the compute ledger and identical on both
+        # backends (guarded by _stats_lock).
+        self._writeback = ScrubAccountant(self._spec, self._shard_rows)
+        #: physical column registry (all tenants)
         self._columns: dict[str, int] = {}
+        #: tenant namespaces; None is the default/public namespace
+        self._tenants: dict[str | None, TenantState] = {
+            None: TenantState(None)}
         # Serializes table DDL (create/drop): concurrent clients of the
         # threaded TCP server must not interleave the check-then-act on
         # self._columns (a lost race would overwrite shard vectors and
@@ -252,11 +378,18 @@ class BitwiseService:
         self._cache: OrderedDict[str, _CacheEntry] = OrderedDict()
         self._cache_size = int(cache_size)
         self._cache_lock = threading.Lock()
-        self._generation = 0  # bumped on every column mutation
+        # Dependency-aware invalidation state (all under _cache_lock):
+        # mutations bump the mutated column's generation and evict only
+        # the cached results whose plans read it; appends bump the
+        # table-wide epoch (every column's value/width changes).
+        self._dep_index: dict[str, set[str]] = {}
+        self._col_generation: dict[str, int] = {}
+        self._epoch = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.queries_served = 0
         self.programs_run = 0
+        self.mutations_applied = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -268,17 +401,78 @@ class BitwiseService:
         return shard_spans(n_bits, n_shards)
 
     # ------------------------------------------------------------------
+    # tenants
+    # ------------------------------------------------------------------
+    def register_tenant(self, name: str, *,
+                        quota_bits: int | None = None,
+                        cache_entries: int | None = None,
+                        max_pending: int | None = None) -> TenantState:
+        """Create (or re-configure) a tenant namespace with quotas."""
+        check_tenant_name(name)
+        with self._table_lock:
+            state = self._tenants.setdefault(name, TenantState(name))
+            state.quota_bits = quota_bits
+            state.cache_entries = cache_entries
+            state.max_pending = max_pending
+            return state
+
+    def tenant(self, name: str | None = None) -> TenantView:
+        """A facade binding the service API to one tenant namespace."""
+        if name is not None:
+            self.tenant_state(name)  # validate + auto-register
+        return TenantView(self, name)
+
+    def tenant_state(self, tenant: str | None) -> TenantState:
+        """The (auto-created) bookkeeping record of a namespace.
+
+        Lock-free fast path for known tenants: the async server calls
+        this from the event-loop thread (admission checks), which must
+        never queue behind a long-running mutation's table lock.
+        States are created once and never removed, so the dict read is
+        safe without the lock."""
+        state = self._tenants.get(tenant)
+        if state is not None:
+            return state
+        with self._table_lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                check_tenant_name(tenant)
+                state = self._tenants[tenant] = TenantState(tenant)
+            return state
+
+    def tenant_columns(self, tenant: str | None) -> tuple[str, ...]:
+        return tuple(self.tenant_state(tenant).columns)
+
+    def _resolve(self, tenant: str | None, name: str) -> str:
+        """Physical name of an existing tenant column."""
+        return self.tenant_state(tenant).resolve(name)
+
+    def _colmap(self, tenant: str | None, cols) -> dict[str, str]:
+        """logical -> physical map for a plan's columns (all bound)."""
+        state = self.tenant_state(tenant)
+        unknown = [c for c in cols if c not in state.columns]
+        if unknown:
+            label = "" if tenant is None else f" for tenant {tenant!r}"
+            raise QueryError(f"unbound column(s){label}: {unknown}")
+        return {c: state.columns[c] for c in cols}
+
+    # ------------------------------------------------------------------
     # column management
     # ------------------------------------------------------------------
     def create_column(self, name: str, bits: np.ndarray | None = None,
-                      ) -> None:
+                      *, tenant: str | None = None) -> None:
         """Ingest a column (host row writes are charged to each shard).
 
-        ``bits`` may be omitted in counting mode (placeholder rows)."""
+        ``bits`` may be omitted in counting mode (placeholder rows).
+        Creation never invalidates cached results: no cached plan can
+        reference a column that did not exist when it was compiled."""
         self._ensure_open()
         with self._table_lock:
-            if name in self._columns:
+            state = self.tenant_state(tenant)
+            physical = physical_name(tenant, name)
+            if name in state.columns or physical in self._columns:
                 raise QueryError(f"column {name!r} already exists")
+            state.check_bit_quota(self.capacity)
             if bits is not None:
                 bits = np.asarray(bits).astype(np.uint8)
                 if bits.ndim != 1 or bits.size != self.n_bits:
@@ -290,7 +484,7 @@ class BitwiseService:
                     "functional service requires explicit column bits")
             if self.backend == "vector":
                 if self._store is not None:
-                    self._store.add(name, bits)
+                    self._store.add(physical, bits)
                 with self._stats_lock:
                     if self.functional:
                         # Mirror the reference path exactly: only a
@@ -301,74 +495,405 @@ class BitwiseService:
                             Command(CommandType.ROW_WRITE,
                                     repeat=sum(self._shard_rows)))
                     self._rows_used += sum(self._shard_rows)
-                    self._col_flags[name] = False
+                    self._col_flags[physical] = False
             else:
+                padded = None
+                if self.functional:
+                    padded = np.zeros(self.capacity, dtype=np.uint8)
+                    padded[: self.n_bits] = bits
                 for shard in self._shards:
                     start, stop = shard.span
                     with shard.lock:
                         if self.functional:
                             vec = shard.engine.load(
-                                bits[start:stop], name,
+                                padded[start:stop], physical,
                                 group_with=shard.anchor)
                         else:
                             vec = shard.engine.allocate(
-                                stop - start, name,
+                                stop - start, physical,
                                 group_with=shard.anchor)
                         shard.anchor = shard.anchor or vec
-                        shard.columns[name] = vec
-            self._columns[name] = self.n_bits
-            self._invalidate_cache()
+                        shard.columns[physical] = vec
+            self._columns[physical] = self.n_bits
+            state.columns[name] = physical
 
     def random_column(self, name: str, density: float = 0.5,
-                      seed: int | None = None) -> None:
+                      seed: int | None = None, *,
+                      tenant: str | None = None) -> None:
         """Convenience: a random column with the given 1-density."""
         if self.functional:
             rng = np.random.default_rng(seed)
             self.create_column(
-                name, (rng.random(self.n_bits) < density).astype(np.uint8))
+                name, (rng.random(self.n_bits) < density).astype(np.uint8),
+                tenant=tenant)
         else:
-            self.create_column(name)
+            self.create_column(name, tenant=tenant)
 
-    def drop_column(self, name: str) -> None:
+    def drop_column(self, name: str, *,
+                    tenant: str | None = None) -> None:
         self._ensure_open()
         with self._table_lock:
-            if name not in self._columns:
-                raise QueryError(f"no column {name!r}")
+            state = self.tenant_state(tenant)
+            physical = state.resolve(name)
             if self.backend == "vector":
                 if self._store is not None:
-                    self._store.drop(name)
+                    self._store.drop(physical)
                 with self._stats_lock:
                     self._rows_used -= sum(self._shard_rows)
-                    self._col_flags.pop(name, None)
+                    self._col_flags.pop(physical, None)
             else:
                 for shard in self._shards:
                     with shard.lock:
-                        vec = shard.columns.pop(name)
+                        vec = shard.columns.pop(physical)
                         shard.engine.free(vec)
                         if shard.anchor is vec:
                             shard.anchor = next(
                                 iter(shard.columns.values()), None)
-            del self._columns[name]
-            self._invalidate_cache()
+            del self._columns[physical]
+            del state.columns[name]
+            with self._stats_lock:
+                self._writeback.forget(physical)
+            self._invalidate_columns((physical,))
 
     @property
     def columns(self) -> tuple[str, ...]:
-        return tuple(self._columns)
+        """Logical column names of the default (public) namespace."""
+        return self.tenant_columns(None)
 
-    def column_bits(self, name: str) -> np.ndarray | None:
+    def column_bits(self, name: str, *, tenant: str | None = None,
+                    ) -> np.ndarray | None:
         """Current logical value of a column (functional mode)."""
-        if name not in self._columns:
-            raise QueryError(f"no column {name!r}")
+        physical = self._resolve(tenant, name)
         if not self.functional:
             return None
         if self.backend == "vector":
-            return self._store.bits(name)
+            return self._store.bits(physical)
+        return self._physical_bits(physical)
+
+    def _physical_bits(self, physical: str) -> np.ndarray:
+        """Reference-backend readout, sliced to the logical width."""
         parts = []
+        with self._table_rw.read():
+            for shard in self._shards:
+                with shard.lock:
+                    parts.append(shard.columns[physical].logical_bits()
+                                 [: shard.n_bits])
+        return np.concatenate(parts)[: self.n_bits]
+
+    # ------------------------------------------------------------------
+    # column mutation
+    # ------------------------------------------------------------------
+    def update_column(self, name: str,
+                      bits: np.ndarray | None = None, *,
+                      tenant: str | None = None) -> MutationResult:
+        """Replace a column's value in place.
+
+        Only the rows whose content actually changes are dirtied and
+        charged (TBA-write / restore energy on the maintenance
+        ledger); cached results whose plans read this column are
+        evicted, everything else survives.  In counting mode ``bits``
+        is omitted and the full width is charged."""
+        if self.functional:
+            if bits is None:
+                raise QueryError(
+                    "functional service requires explicit column bits")
+            return self._mutate("update", name, 0, bits, tenant=tenant)
+        return self._mutate("update", name, 0, self.n_bits,
+                            tenant=tenant)
+
+    def write_slice(self, name: str, offset: int,
+                    bits: "np.ndarray | int", *,
+                    tenant: str | None = None) -> MutationResult:
+        """Overwrite ``bits`` starting at logical position ``offset``.
+
+        ``bits`` is a 0/1 array (functional mode) or a plain bit count
+        (counting mode, where only the touched rows are charged)."""
+        return self._mutate("write_slice", name, offset, bits,
+                            tenant=tenant)
+
+    def _mutate(self, op: str, name: str, offset: int,
+                bits: "np.ndarray | int", *,
+                tenant: str | None) -> MutationResult:
+        self._ensure_open()
+        with self._table_lock:
+            state = self.tenant_state(tenant)
+            physical = state.resolve(name)
+            if isinstance(bits, (int, np.integer)):
+                if self.functional:
+                    raise QueryError(
+                        "functional service requires explicit bits")
+                size = int(bits)
+                values = None
+            else:
+                values = np.asarray(bits).astype(np.uint8)
+                if values.ndim != 1:
+                    raise QueryError(
+                        f"write needs a flat 0/1 array, got shape "
+                        f"{values.shape}")
+                size = values.size
+            offset = int(offset)
+            if size <= 0 or offset < 0 or offset + size > self.n_bits:
+                raise QueryError(
+                    f"write [{offset}, {offset + size}) outside table "
+                    f"[0, {self.n_bits})")
+            if self.functional:
+                old = self._current_bits(physical)
+                new = old.copy()
+                new[offset:offset + size] = values
+                words = dirty_word_indices(old, new, offset,
+                                           offset + size)
+                rows_by_shard = self._rows_by_shard_words(words)
+                self._apply_bits(physical, new)
+            else:
+                rows_by_shard = self._rows_by_shard_span(
+                    offset, offset + size)
+                self._normalize_encoding((physical,))
+            with self._stats_lock:
+                delta = self._writeback.note_write(physical,
+                                                   rows_by_shard)
+            evicted = self._invalidate_columns((physical,))
+            self.mutations_applied += 1
+        return MutationResult(
+            op=op, column=name, tenant=tenant, offset=offset,
+            n_bits=size, rows_written=sum(rows_by_shard),
+            dirty_shards=sum(1 for rows in rows_by_shard if rows),
+            energy_j=delta.total_energy_j,
+            cycles=delta.total_cycles, invalidated=evicted,
+            columns_written=(name,))
+
+    def append_rows(self, values=None, n: int | None = None, *,
+                    tenant: str | None = None) -> MutationResult:
+        """Grow the table by ``n`` logical rows (up to the capacity).
+
+        Every column gains ``n`` bits: columns named in ``values``
+        (logical name -> appended 0/1 array) get those bits; all
+        others are zero-filled (free — the allocator hands out erased
+        rows).  Only explicitly written rows are charged.  Appends
+        re-encode every column to the plain polarity and invalidate
+        the whole result cache (every column's width changed)."""
+        self._ensure_open()
+        with self._table_lock:
+            state = self.tenant_state(tenant)
+            arrays: dict[str, np.ndarray | None] = {}
+            for logical, bits in dict(values or {}).items():
+                physical = state.resolve(logical)
+                if bits is None:
+                    arrays[physical] = None
+                else:
+                    arr = np.asarray(bits).astype(np.uint8)
+                    if arr.ndim != 1:
+                        raise QueryError(
+                            f"appended bits for {logical!r} must be a "
+                            f"flat 0/1 array, got shape {arr.shape}")
+                    arrays[physical] = arr
+            sizes = {arr.size for arr in arrays.values()
+                     if arr is not None}
+            if n is None:
+                if len(sizes) != 1:
+                    raise QueryError(
+                        "append_rows needs n= or uniformly sized "
+                        "values")
+                n = sizes.pop()
+            n = int(n)
+            if n <= 0:
+                raise QueryError("must append at least one row")
+            if sizes and sizes != {n}:
+                raise QueryError(
+                    f"appended value sizes {sorted(sizes)} != n={n}")
+            if self.functional and any(arr is None
+                                       for arr in arrays.values()):
+                raise QueryError(
+                    "functional service requires explicit bits")
+            old_n, new_n = self.n_bits, self.n_bits + n
+            if new_n > self.capacity:
+                raise QueryError(
+                    f"append of {n} rows exceeds capacity "
+                    f"{self.capacity} (logical width {old_n})")
+            per_column: dict[str, list[int]] = {}
+            news: dict[str, np.ndarray] = {}
+            if self.functional:
+                for physical, arr in arrays.items():
+                    old_full = np.zeros(new_n, dtype=np.uint8)
+                    old_full[:old_n] = self._current_bits(physical)
+                    new_full = old_full.copy()
+                    new_full[old_n:new_n] = arr
+                    words = dirty_word_indices(old_full, new_full,
+                                               old_n, new_n)
+                    per_column[physical] = \
+                        self._rows_by_shard_words(words)
+                    news[physical] = new_full
+            else:
+                span_rows = self._rows_by_shard_span(old_n, new_n)
+                per_column = dict.fromkeys(arrays, span_rows)
+            self.n_bits = new_n
+            if self._store is not None:
+                self._store.resize(new_n)
+            self._apply_append(news)
+            for physical in self._columns:
+                self._columns[physical] = new_n
+            total = Stats()
+            with self._stats_lock:
+                for physical, rows_by_shard in per_column.items():
+                    total.iadd(self._writeback.note_write(
+                        physical, rows_by_shard))
+            evicted = self._invalidate_all()
+            self.mutations_applied += 1
+        rows_by_shard = [0] * self.n_shards
+        for shard_rows in per_column.values():
+            for index, rows in enumerate(shard_rows):
+                rows_by_shard[index] += rows
+        return MutationResult(
+            op="append_rows", column=None, tenant=tenant,
+            offset=old_n, n_bits=n,
+            rows_written=sum(rows_by_shard),
+            dirty_shards=sum(1 for rows in rows_by_shard if rows),
+            energy_j=total.total_energy_j,
+            cycles=total.total_cycles, invalidated=evicted,
+            columns_written=tuple(dict(values or {})))
+
+    # -- mutation plumbing ---------------------------------------------
+    def _current_bits(self, physical: str) -> np.ndarray:
+        if self.backend == "vector":
+            return self._store.bits(physical)
+        return self._physical_bits(physical)
+
+    def _rewrite_reference_payload(self, physical: str,
+                                   padded: np.ndarray) -> None:
+        """In-place payload rewrite, plain-encoded (write lock held)."""
+        row_bits = self._spec.row_bits
         for shard in self._shards:
-            with shard.lock:
-                parts.append(shard.columns[name].logical_bits()
-                             [: shard.n_bits])
-        return np.concatenate(parts)
+            start, stop = shard.span
+            vec = shard.columns[physical]
+            grid = np.zeros(vec.n_rows * row_bits, dtype=np.uint8)
+            grid[: stop - start] = padded[start:stop]
+            vec.payload = pack_bits(grid, row_bits)
+            vec.complemented = False
+
+    def _apply_bits(self, physical: str, new: np.ndarray) -> None:
+        """Bind a column to a new logical value, plain-encoded.
+
+        Vector backend: copy-on-write matrix rebind (snapshots keep
+        the old view).  Reference backend: in-place payload rewrite
+        under the table write lock — stat-neutral (host simulation of
+        the TBA write whose energy the accountant charges
+        analytically), and atomic against in-flight query batches,
+        which hold the read side across their whole shard fan-out."""
+        if self.backend == "vector":
+            self._store.set(physical, new)
+            with self._stats_lock:
+                self._col_flags[physical] = False
+            return
+        padded = np.zeros(self.capacity, dtype=np.uint8)
+        padded[: new.size] = new
+        with self._table_rw.write():
+            self._rewrite_reference_payload(physical, padded)
+
+    def _normalize_encoding(self, physicals) -> None:
+        """Force columns to the plain (non-complemented) encoding."""
+        if self.backend == "vector":
+            with self._stats_lock:
+                for physical in physicals:
+                    if physical in self._col_flags:
+                        self._col_flags[physical] = False
+            return
+        with self._table_rw.write():
+            for shard in self._shards:
+                for physical in physicals:
+                    vec = shard.columns.get(physical)
+                    if vec is not None and vec.complemented:
+                        if vec.payload is not None:
+                            vec.payload = ~vec.payload
+                        vec.complemented = False
+
+    def _apply_append(self, news: dict[str, np.ndarray]) -> None:
+        """Write appended values and re-encode every column plain."""
+        if self.backend == "vector":
+            for physical, new in news.items():
+                self._apply_bits(physical, new)
+        else:
+            # One atomic critical section for the whole append.
+            with self._table_rw.write():
+                for physical, new in news.items():
+                    padded = np.zeros(self.capacity, dtype=np.uint8)
+                    padded[: new.size] = new
+                    self._rewrite_reference_payload(physical, padded)
+        others = [physical for physical in self._columns
+                  if physical not in news]
+        self._normalize_encoding(others)
+
+    def _rows_by_shard_words(self, words: np.ndarray) -> list[int]:
+        """Dirty physical rows per shard for changed word indices."""
+        rows = [0] * self.n_shards
+        if len(words) == 0:
+            return rows
+        starts = np.array([start for start, _ in self._spans],
+                          dtype=np.int64)
+        bitpos = np.asarray(words, dtype=np.int64) * _WORD_BITS
+        shard = np.searchsorted(starts, bitpos, side="right") - 1
+        row = (bitpos - starts[shard]) // self._spec.row_bits
+        keys = shard * (self.capacity // self._spec.row_bits + 2) + row
+        fresh = np.ones(len(keys), dtype=bool)
+        fresh[1:] = keys[1:] != keys[:-1]
+        for index in shard[fresh]:
+            rows[index] += 1
+        return rows
+
+    def _rows_by_shard_span(self, lo: int, hi: int) -> list[int]:
+        """Rows per shard overlapping logical bit span ``[lo, hi)``."""
+        rows = []
+        row_bits = self._spec.row_bits
+        for start, stop in self._spans:
+            a, b = max(lo, start), min(hi, stop)
+            rows.append(0 if a >= b else
+                        (b - 1 - start) // row_bits
+                        - (a - start) // row_bits + 1)
+        return rows
+
+    # ------------------------------------------------------------------
+    # payload readout
+    # ------------------------------------------------------------------
+    #: max bits per read_bits page — a readout op must stay cheap (it
+    #: serializes behind the tenant's scheduler barrier); clients page
+    MAX_PAGE_BITS = 1 << 20
+
+    def read_bits(self, name: str, offset: int = 0, limit: int = 64,
+                  *, tenant: str | None = None) -> dict:
+        """Paginated payload readout of a column or cached result.
+
+        ``name`` is a tenant-logical column name, or the canonical
+        ``key`` of a previously returned (and still cached) query
+        result.  Returns a JSON-safe page: the bits as a ``"0101..."``
+        string plus the total payload width."""
+        self._ensure_open()
+        offset, limit = int(offset), int(limit)
+        if offset < 0 or limit < 0:
+            raise QueryError("offset and limit must be non-negative")
+        if limit > self.MAX_PAGE_BITS:
+            raise QueryError(
+                f"page limit {limit} > {self.MAX_PAGE_BITS}; "
+                f"fetch payloads in pages")
+        state = self.tenant_state(tenant)
+        if name in state.columns:
+            bits = self.column_bits(name, tenant=tenant)
+            source = "column"
+        else:
+            entry = self._cache_peek(self._cache_scope(tenant, name))
+            if entry is None:
+                raise QueryError(
+                    f"no column or cached result {name!r}")
+            bits = entry.result.bits
+            source = "result"
+        if bits is None:
+            raise QueryError(
+                f"{name!r} has no payload (counting mode)")
+        page = bits[offset:offset + limit]
+        text = (np.minimum(page.astype(np.uint8), 1)
+                + ord("0")).tobytes().decode("ascii")
+        return {
+            "name": name, "source": source, "offset": offset,
+            "limit": limit, "total": int(bits.size),
+            "bits": text,
+        }
 
     # ------------------------------------------------------------------
     # query execution
@@ -400,33 +925,49 @@ class BitwiseService:
         return plan
 
     def query(self, query: "Expr | str", *,
-              use_cache: bool = True) -> QueryResult:
+              use_cache: bool = True,
+              tenant: str | None = None) -> QueryResult:
         """Execute one query (see :meth:`execute` for batches)."""
-        return self.execute([query], use_cache=use_cache)[0]
+        return self.execute([query], use_cache=use_cache,
+                            tenant=tenant)[0]
 
     def execute(self, queries, *,
-                use_cache: bool = True) -> list[QueryResult]:
+                use_cache: bool = True,
+                tenant: str | None = None,
+                tenants=None) -> list[QueryResult]:
         """Execute a batch of queries.
 
         The vector backend runs each distinct uncached plan as one
         sequence of whole-matrix numpy kernels (all shards at once,
-        sub-expressions shared across the batch); the reference
-        backend fans every (query, shard) pair onto a thread pool
-        behind per-shard locks.  Results are attributed per query
-        (energy, cycles, native primitives) and cached by canonical
-        key on both paths.
+        sub-expressions shared across the batch within each tenant);
+        the reference backend fans every (query, shard) pair onto a
+        thread pool behind per-shard locks.  Results are attributed
+        per query (energy, cycles, native primitives) and cached by
+        canonical key (tenant-scoped) on both paths.
+
+        ``tenant`` binds the whole batch to one namespace;
+        ``tenants`` (aligned with ``queries``) lets the async
+        scheduler coalesce queries from different tenants into one
+        vector batch.
         """
         self._ensure_open()
+        queries = list(queries)
+        if tenants is None:
+            tenant_list: list[str | None] = [tenant] * len(queries)
+        else:
+            tenant_list = list(tenants)
+            if len(tenant_list) != len(queries):
+                raise QueryError("tenants must align with queries")
         plans: list[tuple[str, CompiledQuery | None, QueryResult | None]]
         plans = []
-        pending: dict[str, list[int]] = {}
-        for position, query in enumerate(queries):
+        pending: dict[str, dict] = {}
+        for position, (query, owner) in enumerate(
+                zip(queries, tenant_list)):
             text = query if isinstance(query, str) else str(query)
             plan = self.compile(query)
-            unknown = [c for c in plan.cols if c not in self._columns]
-            if unknown:
-                raise QueryError(f"unbound column(s): {unknown}")
-            cached = self._cache_get(plan.key) if use_cache else None
+            colmap = self._colmap(owner, plan.cols)
+            ckey = self._cache_scope(owner, plan.key)
+            cached = self._cache_get(ckey) if use_cache else None
             if cached is not None:
                 entry = cached.result
                 # Fresh bits/detail per hit: a caller mutating its
@@ -443,23 +984,31 @@ class BitwiseService:
                 plans.append((text, None, result))
                 continue
             plans.append((text, plan, None))
-            pending.setdefault(plan.key, []).append(position)
+            item = pending.setdefault(ckey, {
+                "plan": plan, "tenant": owner, "colmap": colmap,
+                "positions": []})
+            item["positions"].append(position)
 
-        # The generation snapshot keeps a result computed before a
-        # concurrent column mutation out of the (already invalidated)
-        # cache.
+        # The snapshot keeps a result computed before a concurrent
+        # column mutation out of the (already invalidated) cache:
+        # epoch catches table-wide appends, per-column generations
+        # catch drops/updates of exactly the columns this plan read.
         with self._cache_lock:
-            generation = self._generation
+            snapshot = (self._epoch, {
+                physical: self._col_generation.get(physical, 0)
+                for item in pending.values()
+                for physical in item["colmap"].values()})
         if self.backend == "vector":
-            outputs = self._run_batch_vector(pending, plans)
+            outputs = self._run_batch_vector(pending)
         else:
-            outputs = self._run_batch_reference(pending, plans)
+            outputs = self._run_batch_reference(pending)
 
         results: list[QueryResult | None] = [entry[2] for entry in plans]
-        for key, positions in pending.items():
+        for ckey, item in pending.items():
+            positions = item["positions"]
+            plan = item["plan"]
             text = plans[positions[0]][0]
-            plan = plans[positions[0]][1]
-            bits, count, delta, elapsed = outputs[key]
+            bits, count, delta, elapsed = outputs[ckey]
             result = QueryResult(
                 query=text, key=plan.key, count=count, bits=bits,
                 cache_hit=False,
@@ -472,7 +1021,8 @@ class BitwiseService:
                 detail=delta.summary(),
             )
             if use_cache:
-                self._cache_put(plan.key, result, generation)
+                self._cache_put(ckey, result, snapshot, item["tenant"],
+                                tuple(item["colmap"].values()))
             results[positions[0]] = result
             # Canonically-equal duplicates in the batch get their own
             # result objects: correct query label, private bits.
@@ -484,6 +1034,14 @@ class BitwiseService:
                     else result.bits.copy(),
                     "detail": dict(result.detail),
                 })
+        # Disturb accounting: each executed plan activates its
+        # referenced columns' rows once (cache hits are served from
+        # the host cache and accrue no disturb — the QNRO win).
+        if pending:
+            with self._stats_lock:
+                for item in pending.values():
+                    for physical in item["colmap"].values():
+                        self._writeback.note_read(physical)
         with self._cache_lock:
             self.queries_served += len(plans)
         return results  # type: ignore[return-value]
@@ -510,8 +1068,8 @@ class BitwiseService:
                 self._program_plans.popitem(last=False)
         return cprog
 
-    def run_program(self, program: "Program | CompiledProgram",
-                    ) -> ProgramResult:
+    def run_program(self, program: "Program | CompiledProgram", *,
+                    tenant: str | None = None) -> ProgramResult:
         """Execute a multi-statement program over the table.
 
         The vector backend runs the program's multi-output bytecode as
@@ -527,16 +1085,25 @@ class BitwiseService:
             else self.compile_program(program)
         if cprog.inverting != self._inverting:
             raise QueryError("program compiled for the other polarity")
-        unknown = [c for c in cprog.cols if c not in self._columns]
-        if unknown:
-            raise QueryError(f"unbound column(s): {unknown}")
+        colmap = self._colmap(tenant, cprog.cols)
         start = time.perf_counter()
         if self.backend == "vector":
-            outputs, counts, per_stmt = self._run_program_vector(cprog)
+            outputs, counts, per_stmt = self._run_program_vector(
+                cprog, colmap)
         else:
             outputs, counts, per_stmt = self._run_program_reference(
-                cprog)
+                cprog, colmap)
         elapsed = time.perf_counter() - start
+        # Disturb accounting: every statement activates the external
+        # columns it references once (a name shadowed by an earlier
+        # statement reads the intermediate, not the column).
+        with self._stats_lock:
+            shadowed: set[str] = set()
+            for name, plan in cprog.stmt_plans:
+                for col in plan.cols:
+                    if col not in shadowed and col in colmap:
+                        self._writeback.note_read(colmap[col])
+                shadowed.add(name)
         total = Stats()
         statements = []
         for index, ((name, plan), stats) in enumerate(
@@ -557,26 +1124,31 @@ class BitwiseService:
             elapsed_s=elapsed, shards=self.n_shards,
             backend=self.backend, detail=total.summary())
 
-    def _run_program_vector(self, cprog: CompiledProgram):
+    def _run_program_vector(self, cprog: CompiledProgram,
+                            colmap: dict[str, str]):
         """Columnar program execution + closed-form attribution."""
         outputs = counts = None
         if self.functional:
             snapshot = self._store.snapshot()
-            missing = [c for c in cprog.cols if c not in snapshot]
+            missing = [physical for physical in colmap.values()
+                       if physical not in snapshot]
             if missing:
                 raise QueryError(f"unbound column(s): {missing}")
+            columns = {logical: snapshot[physical]
+                       for logical, physical in colmap.items()}
             matrices = cprog.vector_program().run_outputs(
-                snapshot, shape=self._store.shape,
+                columns, shape=self._store.shape,
                 pool=self._matrix_pool)
             outputs = {name: self._store.unpack(matrix)
                        for name, matrix in matrices.items()}
             counts = {name: int(self._store.popcounts(matrix).sum())
                       for name, matrix in matrices.items()}
             self._matrix_pool.give_unique(matrices.values())
-        per_stmt = self._charge_program(cprog)
+        per_stmt = self._charge_program(cprog, colmap)
         return outputs, counts, per_stmt
 
-    def _charge_program(self, cprog: CompiledProgram) -> list[Stats]:
+    def _charge_program(self, cprog: CompiledProgram,
+                        colmap: dict[str, str]) -> list[Stats]:
         """Closed-form per-statement Stats for one program execution.
 
         Statement events expand per shard with the running FeRAM
@@ -585,12 +1157,13 @@ class BitwiseService:
         """
         per_stmt = [Stats() for _ in cprog.stmt_plans]
         with self._stats_lock:
-            flags = tuple(self._col_flags.get(col, False)
+            flags = tuple(self._col_flags.get(colmap[col], False)
                           for col in cprog.cols)
             events, final = cprog.cost_events(flags)
             for col, flag in zip(cprog.cols, final):
-                if col in self._col_flags:
-                    self._col_flags[col] = flag
+                physical = colmap[col]
+                if physical in self._col_flags:
+                    self._col_flags[physical] = flag
             memo: dict[tuple[int, int], tuple[list[Stats], int]] = {}
             for index, n_rows in enumerate(self._shard_rows):
                 state = (n_rows, self._tba_offsets[index])
@@ -612,13 +1185,16 @@ class BitwiseService:
                 self._ledger.iadd(stats)
         return per_stmt
 
-    def _run_program_reference(self, cprog: CompiledProgram):
+    def _run_program_reference(self, cprog: CompiledProgram,
+                               colmap: dict[str, str]):
         """Engine replay: the whole program on every shard."""
-        futures = [
-            self._pool.submit(self._run_program_on_shard, shard, cprog)
-            for shard in self._shards
-        ]
-        shard_outputs = [future.result() for future in futures]
+        with self._table_rw.read():
+            futures = [
+                self._pool.submit(self._run_program_on_shard, shard,
+                                  cprog, colmap)
+                for shard in self._shards
+            ]
+            shard_outputs = [future.result() for future in futures]
         per_stmt = [Stats() for _ in cprog.stmt_plans]
         for _, deltas in shard_outputs:
             for target, delta in zip(per_stmt, deltas):
@@ -627,7 +1203,8 @@ class BitwiseService:
         if self.functional:
             outputs = {
                 name: np.concatenate(
-                    [bits[name] for bits, _ in shard_outputs])
+                    [bits[name] for bits, _ in shard_outputs]
+                )[: self.n_bits]
                 for name in cprog.program.outputs
             }
             counts = {name: int(arr.sum())
@@ -635,10 +1212,13 @@ class BitwiseService:
         return outputs, counts, per_stmt
 
     def _run_program_on_shard(self, shard: _Shard,
-                              cprog: CompiledProgram):
+                              cprog: CompiledProgram,
+                              colmap: dict[str, str]):
         with shard.lock:
             engine = shard.engine
-            vectors, deltas = cprog.run(engine, shard.columns,
+            columns = {logical: shard.columns[physical]
+                       for logical, physical in colmap.items()}
+            vectors, deltas = cprog.run(engine, columns,
                                         n_bits=shard.n_bits)
             bits = None
             if self.functional:
@@ -650,38 +1230,47 @@ class BitwiseService:
     # ------------------------------------------------------------------
     # vector backend
     # ------------------------------------------------------------------
-    def _run_batch_vector(self, pending: dict[str, list[int]],
-                          plans) -> dict[str, tuple]:
+    def _run_batch_vector(self, pending: dict[str, dict],
+                          ) -> dict[str, tuple]:
         """Columnar execution: O(plan-steps) kernels per distinct query.
 
         Every distinct plan runs once over the full column matrices;
         the per-batch ``node_cache`` shares identical sub-expressions
         across the batch's queries (attributed costs still model each
         plan standalone, matching the reference replay exactly).
+        Node caches are scoped per tenant — the same structural
+        sub-expression names different data in different namespaces.
         """
         snapshot = self._store.snapshot() if self._store is not None \
             else {}
-        node_cache: dict[str, np.ndarray] = {}
+        node_caches: dict[str | None, dict[str, np.ndarray]] = {}
         outputs: dict[str, tuple] = {}
-        for key, positions in pending.items():
-            plan = plans[positions[0]][1]
+        for ckey, item in pending.items():
+            plan = item["plan"]
+            colmap = item["colmap"]
             start = time.perf_counter()
             bits = count = None
             if self.functional:
-                missing = [c for c in plan.cols if c not in snapshot]
+                missing = [physical for physical in colmap.values()
+                           if physical not in snapshot]
                 if missing:
                     raise QueryError(f"unbound column(s): {missing}")
+                columns = {logical: snapshot[physical]
+                           for logical, physical in colmap.items()}
                 matrix = plan.vector_program().run(
-                    snapshot, shape=self._store.shape,
-                    pool=self._matrix_pool, node_cache=node_cache)
+                    columns, shape=self._store.shape,
+                    pool=self._matrix_pool,
+                    node_cache=node_caches.setdefault(
+                        item["tenant"], {}))
                 count = int(self._store.popcounts(matrix).sum())
                 bits = self._store.unpack(matrix)
-            delta = self._charge_vector(plan)
-            outputs[key] = (bits, count, delta,
-                            time.perf_counter() - start)
+            delta = self._charge_vector(plan, colmap)
+            outputs[ckey] = (bits, count, delta,
+                             time.perf_counter() - start)
         return outputs
 
-    def _charge_vector(self, plan: CompiledQuery) -> Stats:
+    def _charge_vector(self, plan: CompiledQuery,
+                       colmap: dict[str, str]) -> Stats:
         """Closed-form per-shard Stats for one plan execution.
 
         Shards with equal (rows, control-counter) state share one
@@ -694,12 +1283,13 @@ class BitwiseService:
             # charges from the plain encoding and must not resurrect a
             # flag entry (a recreated column starts plain, like a
             # fresh engine vector).
-            flags = tuple(self._col_flags.get(col, False)
+            flags = tuple(self._col_flags.get(colmap[col], False)
                           for col in plan.cols)
             events, final = plan.cost_events(flags)
             for col, flag in zip(plan.cols, final):
-                if col in self._col_flags:
-                    self._col_flags[col] = flag
+                physical = colmap[col]
+                if physical in self._col_flags:
+                    self._col_flags[physical] = flag
             memo: dict[tuple[int, int], tuple[Stats, int]] = {}
             for index, n_rows in enumerate(self._shard_rows):
                 state = (n_rows, self._tba_offsets[index])
@@ -716,38 +1306,47 @@ class BitwiseService:
     # ------------------------------------------------------------------
     # reference backend
     # ------------------------------------------------------------------
-    def _run_batch_reference(self, pending: dict[str, list[int]],
-                             plans) -> dict[str, tuple]:
-        """Engine replay: one thread-pool task per (query, shard)."""
+    def _run_batch_reference(self, pending: dict[str, dict],
+                             ) -> dict[str, tuple]:
+        """Engine replay: one thread-pool task per (query, shard).
+
+        The whole fan-out holds the table read lock, so an in-place
+        mutation can never land between two shards of one query."""
         futures: dict[str, list] = {}
-        for key, positions in pending.items():
-            plan = plans[positions[0]][1]
-            futures[key] = [
-                self._pool.submit(self._run_on_shard, shard, plan)
-                for shard in self._shards
-            ]
         outputs: dict[str, tuple] = {}
-        for key in pending:
-            start = time.perf_counter()
-            shard_outputs = [future.result() for future in futures[key]]
-            elapsed = time.perf_counter() - start
-            delta = Stats()
-            for _, shard_delta in shard_outputs:
-                delta.iadd(shard_delta)
-            if self.functional:
-                bits = np.concatenate(
-                    [bits for bits, _ in shard_outputs])
-                count = int(bits.sum())
-            else:
-                bits, count = None, None
-            outputs[key] = (bits, count, delta, elapsed)
+        with self._table_rw.read():
+            for ckey, item in pending.items():
+                futures[ckey] = [
+                    self._pool.submit(self._run_on_shard, shard,
+                                      item["plan"], item["colmap"])
+                    for shard in self._shards
+                ]
+            for ckey in pending:
+                start = time.perf_counter()
+                shard_outputs = [future.result()
+                                 for future in futures[ckey]]
+                elapsed = time.perf_counter() - start
+                delta = Stats()
+                for _, shard_delta in shard_outputs:
+                    delta.iadd(shard_delta)
+                if self.functional:
+                    bits = np.concatenate(
+                        [bits for bits, _ in shard_outputs]
+                    )[: self.n_bits]
+                    count = int(bits.sum())
+                else:
+                    bits, count = None, None
+                outputs[ckey] = (bits, count, delta, elapsed)
         return outputs
 
-    def _run_on_shard(self, shard: _Shard, plan: CompiledQuery):
+    def _run_on_shard(self, shard: _Shard, plan: CompiledQuery,
+                      colmap: dict[str, str]):
         with shard.lock:
             engine = shard.engine
+            columns = {logical: shard.columns[physical]
+                       for logical, physical in colmap.items()}
             before = engine.stats.copy()
-            vec = plan.run(engine, shard.columns, n_bits=shard.n_bits)
+            vec = plan.run(engine, columns, n_bits=shard.n_bits)
             bits = None
             if self.functional:
                 bits = vec.logical_bits()[: shard.n_bits]
@@ -756,8 +1355,14 @@ class BitwiseService:
         return bits, delta
 
     # ------------------------------------------------------------------
-    # result cache
+    # result cache (dependency-indexed)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _cache_scope(tenant: str | None, plan_key: str) -> str:
+        """Tenant-scoped cache key (``\\0`` never appears in keys)."""
+        return plan_key if tenant is None else \
+            f"{tenant}\x00{plan_key}"
+
     def _cache_get(self, key: str) -> _CacheEntry | None:
         if self._cache_size <= 0:
             return None
@@ -770,13 +1375,24 @@ class BitwiseService:
                 self.cache_misses += 1
             return entry
 
+    def _cache_peek(self, key: str) -> _CacheEntry | None:
+        """Cache lookup without touching hit/miss counters or LRU."""
+        with self._cache_lock:
+            return self._cache.get(key)
+
     def _cache_put(self, key: str, result: QueryResult,
-                   generation: int) -> None:
+                   snapshot: tuple[int, dict[str, int]],
+                   tenant: str | None,
+                   cols: tuple[str, ...]) -> None:
         if self._cache_size <= 0:
             return
+        epoch, generations = snapshot
         with self._cache_lock:
-            if generation != self._generation:
-                return  # table mutated while executing: result is stale
+            if epoch != self._epoch:
+                return  # table resized while executing: stale width
+            if any(self._col_generation.get(physical, 0) != generation
+                   for physical, generation in generations.items()):
+                return  # a read column mutated while executing
             # Cache a private copy: the caller keeps (and may mutate)
             # the returned result object.
             entry = QueryResult(**{
@@ -785,16 +1401,68 @@ class BitwiseService:
                 else result.bits.copy(),
                 "detail": dict(result.detail),
             })
-            self._cache[key] = _CacheEntry(entry)
-            self._cache.move_to_end(key)
+            if key in self._cache:
+                self._evict_locked(key)
+            self._cache[key] = _CacheEntry(entry, tenant, cols)
+            for physical in cols:
+                self._dep_index.setdefault(physical, set()).add(key)
+            state = self._tenants.get(tenant)
+            if state is not None:
+                state.cached += 1
+                quota = state.cache_entries
+                if quota is not None and state.cached > quota:
+                    # Evict the tenant's own LRU entry.
+                    for candidate, held in self._cache.items():
+                        if held.tenant == tenant and candidate != key:
+                            self._evict_locked(candidate)
+                            break
             while len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
+                self._evict_locked(next(iter(self._cache)))
 
-    def _invalidate_cache(self) -> None:
-        """Any column mutation invalidates cached results."""
+    def _evict_locked(self, key: str) -> int:
+        """Remove one entry + its dependency-index edges (lock held)."""
+        entry = self._cache.pop(key, None)
+        if entry is None:
+            return 0
+        for physical in entry.cols:
+            keys = self._dep_index.get(physical)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._dep_index[physical]
+        state = self._tenants.get(entry.tenant)
+        if state is not None and state.cached > 0:
+            state.cached -= 1
+        return 1
+
+    def _invalidate_columns(self, physicals) -> int:
+        """Evict exactly the results whose plans read these columns.
+
+        Bumps each column's generation (so in-flight results that read
+        it cannot land in the cache) and returns the eviction count.
+        Cached results over *other* columns survive — the
+        dependency-aware contract."""
         with self._cache_lock:
-            self._generation += 1
+            keys: set[str] = set()
+            for physical in physicals:
+                self._col_generation[physical] = \
+                    self._col_generation.get(physical, 0) + 1
+                keys |= self._dep_index.pop(physical, set())
+            evicted = 0
+            for key in keys:
+                evicted += self._evict_locked(key)
+            return evicted
+
+    def _invalidate_all(self) -> int:
+        """Table-wide invalidation (row appends change every width)."""
+        with self._cache_lock:
+            self._epoch += 1
+            evicted = len(self._cache)
             self._cache.clear()
+            self._dep_index.clear()
+            for state in self._tenants.values():
+                state.cached = 0
+            return evicted
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -812,20 +1480,26 @@ class BitwiseService:
                 with shard.lock:
                     merged.iadd(shard.engine.stats)
                     rows_used += shard.engine.allocator.rows_used
+        with self._stats_lock:
+            writeback = self._writeback.summary()
         return {
             "technology": self.technology,
             "backend": self.backend,
             "n_bits": self.n_bits,
+            "capacity": self.capacity,
             "n_shards": self.n_shards,
             "columns": len(self._columns),
+            "tenants": len(self._tenants),
             "rows_used": rows_used,
             "queries_served": self.queries_served,
             "programs_run": self.programs_run,
+            "mutations_applied": self.mutations_applied,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cached_results": len(self._cache),
             "energy_total_nj": merged.total_energy_j * 1e9,
             "cycles_total": merged.total_cycles,
+            "writeback": writeback,
         }
 
     def close(self) -> None:

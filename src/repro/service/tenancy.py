@@ -1,0 +1,148 @@
+"""Tenant namespaces over one shared :class:`BitwiseService` table.
+
+A *tenant* is a named namespace of logical column names mapped onto
+physical column names in the shared store (``"<tenant>::<name>"``;
+the default ``None`` tenant is unprefixed, which keeps the pre-tenancy
+wire protocol and API bit-compatible).  Because the query language
+only admits ``[A-Za-z_]\\w*`` identifiers, a tenant can never name —
+and therefore never read or mutate — another tenant's physical
+columns.
+
+Compiled plans are keyed on *logical* expressions and therefore shared
+across tenants (the same query text compiles once for everyone);
+result caching, dependency-based invalidation, disturb/scrub
+accounting and quotas all operate on physical names and are fully
+isolated per tenant.
+
+Quotas (enforced by the service / scheduler):
+
+* ``quota_bits`` — total physical bits the tenant's columns may pin
+  (each column pins the table's full capacity width);
+* ``cache_entries`` — result-cache entries the tenant may hold (its
+  own LRU within the shared cache);
+* ``max_pending`` — concurrent in-flight requests the async server
+  admits for the tenant (admission control).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+
+__all__ = ["TenantState", "TenantView", "physical_name"]
+
+_NAME = re.compile(r"[A-Za-z_]\w*")
+
+#: separator between tenant and logical column name; unreachable from
+#: the query language, so namespaces cannot be escaped via a query.
+SEP = "::"
+
+
+def physical_name(tenant: str | None, name: str) -> str:
+    """Mangle a tenant-logical column name into the shared store key."""
+    if not isinstance(name, str) or not _NAME.fullmatch(name):
+        raise QueryError(f"invalid column name {name!r}")
+    return name if tenant is None else f"{tenant}{SEP}{name}"
+
+
+def check_tenant_name(tenant: str) -> str:
+    if not isinstance(tenant, str) or not _NAME.fullmatch(tenant):
+        raise QueryError(f"invalid tenant name {tenant!r}")
+    return tenant
+
+
+@dataclass
+class TenantState:
+    """Service-side bookkeeping for one tenant namespace."""
+
+    name: str | None
+    quota_bits: int | None = None     #: max total physical column bits
+    cache_entries: int | None = None  #: max result-cache entries
+    max_pending: int | None = None    #: admission-control concurrency
+    #: logical -> physical column names
+    columns: dict[str, str] = field(default_factory=dict)
+    cached: int = 0                   #: live result-cache entries
+
+    def resolve(self, name: str) -> str:
+        """Physical name of an *existing* column (raises otherwise)."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            label = "" if self.name is None else \
+                f" for tenant {self.name!r}"
+            raise QueryError(f"no column {name!r}{label}") from None
+
+    def check_bit_quota(self, capacity: int, new_columns: int = 1,
+                        ) -> None:
+        if self.quota_bits is None:
+            return
+        needed = (len(self.columns) + new_columns) * capacity
+        if needed > self.quota_bits:
+            raise QueryError(
+                f"tenant {self.name!r} over bit quota: {needed} bits "
+                f"needed > {self.quota_bits} allowed")
+
+
+class TenantView:
+    """A tenant-scoped facade over a shared :class:`BitwiseService`.
+
+    Exposes the service's column/query/mutation API with every call
+    bound to one tenant namespace; obtained via
+    :meth:`BitwiseService.tenant`.
+    """
+
+    def __init__(self, service, tenant: str | None) -> None:
+        self._service = service
+        self.tenant = tenant
+
+    # -- columns -------------------------------------------------------
+    def create_column(self, name, bits=None):
+        return self._service.create_column(name, bits,
+                                           tenant=self.tenant)
+
+    def random_column(self, name, density=0.5, seed=None):
+        return self._service.random_column(name, density, seed,
+                                           tenant=self.tenant)
+
+    def drop_column(self, name):
+        return self._service.drop_column(name, tenant=self.tenant)
+
+    def column_bits(self, name):
+        return self._service.column_bits(name, tenant=self.tenant)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._service.tenant_columns(self.tenant)
+
+    # -- mutations -----------------------------------------------------
+    def update_column(self, name, bits=None):
+        return self._service.update_column(name, bits,
+                                           tenant=self.tenant)
+
+    def write_slice(self, name, offset, bits):
+        return self._service.write_slice(name, offset, bits,
+                                         tenant=self.tenant)
+
+    def append_rows(self, values=None, n=None):
+        return self._service.append_rows(values, n, tenant=self.tenant)
+
+    # -- queries -------------------------------------------------------
+    def compile(self, query):
+        return self._service.compile(query)
+
+    def query(self, query, *, use_cache=True):
+        return self._service.query(query, use_cache=use_cache,
+                                   tenant=self.tenant)
+
+    def execute(self, queries, *, use_cache=True):
+        return self._service.execute(queries, use_cache=use_cache,
+                                     tenant=self.tenant)
+
+    def run_program(self, program):
+        return self._service.run_program(program, tenant=self.tenant)
+
+    def read_bits(self, name, offset=0, limit=64):
+        return self._service.read_bits(name, offset, limit,
+                                       tenant=self.tenant)

@@ -91,16 +91,20 @@ def run_workload(workload: "Workload | str", *,
                  functional: bool = True,
                  seed: int = 0,
                  verify: bool = True,
-                 service=None) -> WorkloadServiceRun:
+                 service=None,
+                 tenant: str | None = None) -> WorkloadServiceRun:
     """Run a dataflow workload as a program on the bitwise service.
 
     ``workload`` is a :class:`Workload` instance or one of the
     :data:`PROGRAM_WORKLOADS` names (instantiated at ``n_bytes``).
     A fresh service is provisioned at the workload's lane count unless
     ``service`` is given (its table must be ``n_lanes`` wide and will
-    gain the input columns).  In functional mode the outputs are
-    verified bit-exactly against the workload's numpy reference unless
-    ``verify=False`` (useful when benchmarking at GB scale).
+    gain the input columns).  ``tenant`` runs the whole workload
+    inside that namespace of the (typically shared) service — input
+    columns, program execution and accounting are tenant-isolated.
+    In functional mode the outputs are verified bit-exactly against
+    the workload's numpy reference unless ``verify=False`` (useful
+    when benchmarking at GB scale).
     """
     if isinstance(workload, str):
         try:
@@ -128,9 +132,10 @@ def run_workload(workload: "Workload | str", *,
             if service.functional else \
             dict.fromkeys(workload_program.input_columns)
         for name, bits in inputs.items():
-            service.create_column(name, bits)
+            service.create_column(name, bits, tenant=tenant)
         ingest_s = time.perf_counter() - ingest_start
-        result = service.run_program(workload_program.program)
+        result = service.run_program(workload_program.program,
+                                     tenant=tenant)
         verified: bool | None = None
         if service.functional and verify:
             expected = workload_program.reference(inputs)

@@ -1,0 +1,343 @@
+"""Async serving stack: scheduler coalescing/fairness/admission and
+the JSON-lines TCP wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AdmissionError,
+    BitwiseService,
+    RequestScheduler,
+    serve_tcp,
+)
+
+N_BITS = 512
+
+pytestmark = pytest.mark.timeout(60)
+
+
+@pytest.fixture
+def service(rng):
+    svc = BitwiseService(n_bits=N_BITS, n_shards=2,
+                         capacity=N_BITS + 64)
+    for name in ("a", "b", "c"):
+        svc.create_column(
+            name, (rng.random(N_BITS) < 0.5).astype(np.uint8))
+    yield svc
+    svc.close()
+
+
+# ----------------------------------------------------------------------
+# scheduler unit tests (no sockets)
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def test_concurrent_queries_coalesce_into_one_batch(self, service):
+        async def scenario():
+            scheduler = RequestScheduler(service, window_s=0.05,
+                                         max_batch=16)
+            scheduler.start()
+            try:
+                tasks = [asyncio.ensure_future(
+                    scheduler.submit_query(None, "a & b"))
+                    for _ in range(6)]
+                tasks += [asyncio.ensure_future(
+                    scheduler.submit_query(None, "a ^ c"))
+                    for _ in range(2)]
+                results = await asyncio.gather(*tasks)
+                return results, dict(scheduler.metrics)
+            finally:
+                await scheduler.stop()
+
+        results, metrics = asyncio.run(scenario())
+        assert len(results) == 8
+        assert len({r.count for r in results[:6]}) == 1
+        # All eight queries arrived inside one batching window.
+        assert metrics["batches"] == 1
+        assert metrics["largest_batch"] == 8
+
+    def test_admission_limit_rejects_excess(self, service):
+        async def scenario():
+            scheduler = RequestScheduler(service, window_s=0.2,
+                                         max_pending=4)
+            scheduler.start()
+            try:
+                tasks = [asyncio.ensure_future(
+                    scheduler.submit_query(None, "a & b"))
+                    for _ in range(4)]
+                await asyncio.sleep(0)  # let submissions enqueue
+                with pytest.raises(AdmissionError):
+                    await scheduler.submit_query(None, "a & b")
+                rejections = scheduler.metrics["admission_rejections"]
+                results = await asyncio.gather(*tasks)
+                return results, rejections
+            finally:
+                await scheduler.stop()
+
+        results, rejections = asyncio.run(scenario())
+        assert len(results) == 4 and rejections == 1
+
+    def test_per_tenant_admission_override(self, service):
+        service.register_tenant("small", max_pending=1)
+
+        async def scenario():
+            scheduler = RequestScheduler(service, window_s=0.2,
+                                         max_pending=64)
+            scheduler.start()
+            try:
+                task = asyncio.ensure_future(
+                    scheduler.submit_query(None, "a & b"))
+                await asyncio.sleep(0)
+                # Default tenant: far below its limit of 64...
+                second = asyncio.ensure_future(
+                    scheduler.submit_query(None, "a | b"))
+                await asyncio.sleep(0)
+                # ...but "small" holds one slot only.
+                service.tenant("small").create_column(
+                    "x", np.ones(N_BITS, dtype=np.uint8))
+                blocked = asyncio.ensure_future(
+                    scheduler.submit_query("small", "x"))
+                await asyncio.sleep(0)
+                with pytest.raises(AdmissionError):
+                    await scheduler.submit_query("small", "x")
+                await asyncio.gather(task, second, blocked)
+            finally:
+                await scheduler.stop()
+
+        asyncio.run(scenario())
+
+    def test_round_robin_fairness(self, service):
+        """A flooding tenant cannot fill the whole batch: round-robin
+        draining interleaves one query per tenant per rotation."""
+        service.tenant("loud").create_column(
+            "x", np.ones(N_BITS, dtype=np.uint8))
+
+        async def scenario():
+            scheduler = RequestScheduler(service, window_s=0.0,
+                                         max_batch=2)
+            # No started task: drive _drain_round directly.
+            for _ in range(3):
+                item_future = scheduler.submit_query("loud", "x")
+                asyncio.ensure_future(item_future)
+            asyncio.ensure_future(
+                scheduler.submit_query(None, "a & b"))
+            await asyncio.sleep(0)  # enqueue all four
+            batch, exclusives = scheduler._drain_round()
+            assert not exclusives
+            tenants = sorted(item.tenant or "-" for item in batch)
+            # One from each tenant, despite loud's 3 queued.
+            assert tenants == ["-", "loud"]
+            for item in batch:
+                item.future.cancel()
+            for queue in scheduler._queues.values():
+                for item in queue:
+                    item.future.cancel()
+
+        asyncio.run(scenario())
+
+    def test_mutation_is_a_tenant_barrier(self, service):
+        """A tenant's mutation waits for the batch, runs exclusively,
+        and its later queries see the write (read-your-writes)."""
+        original_count = int(service.column_bits("a").sum())
+        assert original_count not in (0, N_BITS)
+
+        async def scenario():
+            scheduler = RequestScheduler(service, window_s=0.02)
+            scheduler.start()
+            try:
+                ones = np.ones(N_BITS, dtype=np.uint8)
+                first = asyncio.ensure_future(
+                    scheduler.submit_query(None, "a"))
+                mutation = asyncio.ensure_future(
+                    scheduler.submit_exclusive(
+                        None,
+                        lambda: service.update_column("a", ones)))
+                second = asyncio.ensure_future(
+                    scheduler.submit_query(None, "a"))
+                before, _, after = await asyncio.gather(
+                    first, mutation, second)
+                return before, after
+            finally:
+                await scheduler.stop()
+
+        before, after = asyncio.run(scenario())
+        # FIFO per tenant: the first query ran pre-mutation, the
+        # second sees the all-ones update.
+        assert before.count == original_count
+        assert after.count == N_BITS
+
+    def test_bad_query_error_attributes_to_its_request(self, service):
+        async def scenario():
+            scheduler = RequestScheduler(service, window_s=0.02)
+            scheduler.start()
+            try:
+                good = asyncio.ensure_future(
+                    scheduler.submit_query(None, "a & b"))
+                bad = asyncio.ensure_future(
+                    scheduler.submit_query(None, "zzz"))
+                results = await asyncio.gather(good, bad,
+                                               return_exceptions=True)
+                return results
+            finally:
+                await scheduler.stop()
+
+        good, bad = asyncio.run(scenario())
+        assert good.count >= 0
+        assert isinstance(bad, Exception) and "unbound" in str(bad)
+
+
+# ----------------------------------------------------------------------
+# TCP integration
+# ----------------------------------------------------------------------
+class _Client:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=10)
+        self.stream = self.sock.makefile("rw")
+
+    def call(self, request: dict) -> dict:
+        self.stream.write(json.dumps(request) + "\n")
+        self.stream.flush()
+        return json.loads(self.stream.readline())
+
+    def close(self):
+        self.sock.close()
+
+
+@pytest.fixture
+def server(service):
+    srv = serve_tcp(service, 0, batch_window_s=0.002)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+class TestWireProtocol:
+    def test_legacy_ops_unchanged(self, server, service):
+        client = _Client(server.server_address[1])
+        try:
+            assert client.call({"op": "create_column", "name": "x",
+                                "seed": 1})["ok"]
+            response = client.call({"op": "query", "expr": "x ^ a"})
+            assert response["ok"] and response["count"] >= 0
+            batch = client.call({"op": "batch",
+                                 "exprs": ["a & b", "a | b"]})
+            assert batch["ok"] and len(batch["results"]) == 2
+            cols = client.call({"op": "columns"})
+            assert set(cols["columns"]) == {"a", "b", "c", "x"}
+            stats = client.call({"op": "stats"})
+            assert stats["ok"] and "scheduler" in stats["stats"]
+            error = client.call({"op": "query", "expr": "zzz"})
+            assert not error["ok"] and "unbound" in error["error"]
+            assert not client.call({"op": "nope"})["ok"]
+        finally:
+            client.close()
+
+    def test_mutations_and_bits_over_the_wire(self, server, service):
+        client = _Client(server.server_address[1])
+        try:
+            ones = [1] * N_BITS
+            response = client.call({"op": "update_column", "name": "a",
+                                    "bits": ones})
+            assert response["ok"] and response["rows_written"] > 0
+            query = client.call({"op": "query", "expr": "a"})
+            assert query["count"] == N_BITS
+            # Paginated column payload.
+            page = client.call({"op": "bits", "name": "a",
+                                "offset": 10, "limit": 16})
+            assert page["ok"] and page["bits"] == "1" * 16
+            assert page["total"] == N_BITS
+            # Result payloads are fetchable by the returned key.
+            page = client.call({"op": "bits", "name": query["key"],
+                                "offset": 0, "limit": 8})
+            assert page["ok"] and page["source"] == "result"
+            assert page["bits"] == "1" * 8
+            # Slice write, then append.
+            response = client.call({"op": "write_slice", "name": "a",
+                                    "offset": 0,
+                                    "bits": [0] * 64})
+            assert response["ok"] and response["rows_written"] == 1
+            response = client.call({"op": "append_rows",
+                                    "values": {"a": [1] * 64}})
+            assert response["ok"]
+            assert response["table_bits"] == N_BITS + 64
+        finally:
+            client.close()
+
+    def test_large_batch_is_one_admission_unit(self, server, service):
+        """Regression: a client batch wider than the per-tenant
+        admission limit must still execute (the old threaded server
+        ran batches as a single request)."""
+        client = _Client(server.server_address[1])
+        try:
+            exprs = ["a & b", "a | b", "a ^ b"] * 30  # 90 > 64 limit
+            response = client.call({"op": "batch", "exprs": exprs})
+            assert response["ok"]
+            assert len(response["results"]) == len(exprs)
+        finally:
+            client.close()
+
+    def test_oversized_bits_page_rejected(self, server, service):
+        client = _Client(server.server_address[1])
+        try:
+            response = client.call({"op": "bits", "name": "a",
+                                    "limit": 1 << 30})
+            assert not response["ok"] and "page" in response["error"]
+        finally:
+            client.close()
+
+    def test_hello_pins_connection_tenant(self, server, service):
+        alice = _Client(server.server_address[1])
+        public = _Client(server.server_address[1])
+        try:
+            hello = alice.call({"op": "hello", "tenant": "alice"})
+            assert hello["ok"] and hello["tenant"] == "alice"
+            assert alice.call({"op": "create_column", "name": "a",
+                               "bits": [1] * N_BITS})["ok"]
+            assert alice.call({"op": "query", "expr": "a"})["count"] \
+                == N_BITS
+            # The public namespace still sees its own column `a`.
+            count = public.call({"op": "query", "expr": "a"})["count"]
+            assert count == int(service.column_bits("a").sum())
+            # Per-request tenant override beats the connection default.
+            override = alice.call({"op": "columns", "tenant": None})
+            assert set(override["columns"]) >= {"a", "b", "c"}
+        finally:
+            alice.close()
+            public.close()
+
+    def test_concurrent_clients_coalesce(self, server, service):
+        """Queries from parallel connections land in shared batches."""
+        n_clients, per_client = 8, 5
+        errors = []
+
+        def worker(index: int):
+            client = _Client(server.server_address[1])
+            try:
+                for _ in range(per_client):
+                    response = client.call({"op": "query",
+                                            "expr": "a & b"})
+                    if not response.get("ok"):
+                        errors.append(response)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        metrics = server.scheduler.metrics
+        assert metrics["batched_queries"] == n_clients * per_client
+        # Coalescing happened: strictly fewer executes than queries.
+        assert metrics["batches"] < metrics["batched_queries"]

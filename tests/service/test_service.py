@@ -160,8 +160,15 @@ class TestCache:
 
     def test_invalidated_on_column_change(self, service, table):
         service.query("a & b")
-        service.drop_column("c")
+        service.drop_column("a")
+        service.create_column("a", table["a"])
         assert not service.query("a & b").cache_hit
+
+    def test_unrelated_drop_preserves_cache(self, service):
+        """Dependency-aware invalidation: dropping c keeps a&b hot."""
+        service.query("a & b")
+        service.drop_column("c")
+        assert service.query("a & b").cache_hit
 
     def test_lru_eviction(self, table):
         svc = BitwiseService(n_bits=N_BITS, n_shards=2, cache_size=2)
@@ -217,12 +224,15 @@ class TestCache:
     def test_stale_result_not_cached_across_mutation(self, service,
                                                      table):
         """A result computed before a column mutation must not land in
-        the freshly invalidated cache (generation check)."""
-        generation = service._generation
+        the freshly invalidated cache (per-column generation check)."""
+        with service._cache_lock:
+            snapshot = (service._epoch,
+                        {"a": service._col_generation.get("a", 0),
+                         "b": service._col_generation.get("b", 0)})
         stale = service.query("a & b", use_cache=False)
         service.drop_column("b")
         service.create_column("b", 1 - table["b"])
-        service._cache_put(stale.key, stale, generation)
+        service._cache_put(stale.key, stale, snapshot, None, ("a", "b"))
         fresh = service.query("a & b")
         assert not fresh.cache_hit
         expected = int((table["a"] & (1 - table["b"])).sum())

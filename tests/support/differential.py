@@ -1,14 +1,22 @@
-"""Differential-testing harness: vector vs reference program execution.
+"""Differential-testing harness: vector vs reference execution.
 
-One reusable assertion pins the whole equivalence contract of the
-multi-statement program executor: for any program and table, the
-columnar vector backend must be indistinguishable from the engine
-replay — same output bits, same popcounts, the same attributed
-:class:`~repro.arch.commands.Stats` *per statement*
-(``Stats.allclose``: integer counts/cycles exact, energies at float
-tolerance), and the same aggregate service ledgers.  Every workload
-and property test routes through here instead of re-implementing the
-comparison.
+Two reusable assertions pin the equivalence contract of the service:
+
+* :func:`assert_program_equivalent` — for any program and table, the
+  columnar vector backend must be indistinguishable from the engine
+  replay — same output bits, same popcounts, the same attributed
+  :class:`~repro.arch.commands.Stats` *per statement*
+  (``Stats.allclose``: integer counts/cycles exact, energies at float
+  tolerance), and the same aggregate service ledgers.
+* :func:`assert_ops_equivalent` — for any serialized **op script**
+  interleaving queries with column mutations (update / slice write /
+  append / drop / create), both backends must agree with each other
+  *and* with a plain-numpy shadow table after every step — bits,
+  counts, per-query Stats, mutation dirty-row accounting, and the
+  disturb/scrub maintenance ledger.
+
+Every workload, mutation and property test routes through here
+instead of re-implementing the comparison.
 """
 
 from __future__ import annotations
@@ -147,3 +155,122 @@ def assert_program_equivalent(program, table, *,
                         vec_ledger["energy_total_nj"],
                         rel_tol=1e-9, abs_tol=1e-12)
     return ref, vec
+
+
+# ----------------------------------------------------------------------
+# mutation op scripts
+# ----------------------------------------------------------------------
+def numpy_query_eval(expr, table):
+    """Ground-truth evaluation of one query on plain numpy bit arrays."""
+    from repro.arch.program import Program
+
+    return numpy_program_eval(
+        Program([("__q", expr)]), table)["__q"]
+
+
+def apply_op_to_shadow(shadow: dict, op: tuple) -> None:
+    """Mirror one mutation op onto the plain-numpy shadow table."""
+    kind = op[0]
+    if kind == "create":
+        shadow[op[1]] = np.asarray(op[2], dtype=np.uint8).copy()
+    elif kind == "drop":
+        del shadow[op[1]]
+    elif kind == "update":
+        shadow[op[1]] = np.asarray(op[2], dtype=np.uint8).copy()
+    elif kind == "write":
+        _, name, offset, bits = op
+        bits = np.asarray(bits, dtype=np.uint8)
+        shadow[name][offset:offset + bits.size] = bits
+    elif kind == "append":
+        values = {name: np.asarray(bits, dtype=np.uint8)
+                  for name, bits in op[1].items()}
+        n = next(iter(values.values())).size
+        for name in list(shadow):
+            extra = values.get(name, np.zeros(n, dtype=np.uint8))
+            shadow[name] = np.concatenate([shadow[name], extra])
+    elif kind != "query":
+        raise AssertionError(f"unknown op {kind!r}")
+
+
+def apply_op_to_service(service: BitwiseService, op: tuple):
+    """Apply one op; returns the QueryResult / MutationResult."""
+    kind = op[0]
+    if kind == "create":
+        return service.create_column(op[1], op[2])
+    if kind == "drop":
+        return service.drop_column(op[1])
+    if kind == "update":
+        return service.update_column(op[1], op[2])
+    if kind == "write":
+        return service.write_slice(op[1], op[2], op[3])
+    if kind == "append":
+        return service.append_rows(op[1])
+    if kind == "query":
+        return service.query(op[1])
+    raise AssertionError(f"unknown op {kind!r}")
+
+
+def assert_ops_equivalent(initial_table: dict, ops, *,
+                          technology="feram-2tnc", n_shards=3,
+                          capacity=None, cache_size=64):
+    """Differential assertion for serialized mutation/query scripts.
+
+    Runs the same op script on a vector-backend service, a
+    reference-backend service, and a plain-numpy shadow table; after
+    every op, queries must return identical bits/counts/Stats on both
+    backends and match the shadow; mutations must charge identical
+    dirty rows/energy.  Finally the column states and the full service
+    ledgers (compute + writeback maintenance) must agree.
+    """
+    n_bits = len(next(iter(initial_table.values())))
+    services = {
+        backend: BitwiseService(technology, n_bits=n_bits,
+                                n_shards=n_shards, backend=backend,
+                                capacity=capacity,
+                                cache_size=cache_size)
+        for backend in ("reference", "vector")
+    }
+    shadow = {name: np.asarray(bits, dtype=np.uint8).copy()
+              for name, bits in initial_table.items()}
+    try:
+        for name, bits in initial_table.items():
+            for service in services.values():
+                service.create_column(name, bits)
+        for step, op in enumerate(ops):
+            ref = apply_op_to_service(services["reference"], op)
+            vec = apply_op_to_service(services["vector"], op)
+            apply_op_to_shadow(shadow, op)
+            label = f"op {step} {op[0]!r}"
+            if op[0] == "query":
+                truth = numpy_query_eval(op[1], shadow)
+                assert np.array_equal(vec.bits, truth), \
+                    f"{label}: vector bits != shadow"
+                assert np.array_equal(ref.bits, truth), \
+                    f"{label}: reference bits != shadow"
+                assert ref.count == vec.count == int(truth.sum()), label
+                assert ref.cache_hit == vec.cache_hit, label
+                assert ref.cycles == vec.cycles, label
+                assert math.isclose(ref.energy_j, vec.energy_j,
+                                    rel_tol=1e-9, abs_tol=1e-15), label
+            elif op[0] not in ("create", "drop"):
+                assert ref.rows_written == vec.rows_written, label
+                assert ref.dirty_shards == vec.dirty_shards, label
+                assert ref.invalidated == vec.invalidated, label
+                assert math.isclose(ref.energy_j, vec.energy_j,
+                                    rel_tol=1e-9, abs_tol=1e-15), label
+        for name, bits in shadow.items():
+            for backend, service in services.items():
+                got = service.column_bits(name)
+                assert np.array_equal(got, bits), \
+                    f"final state of {name!r} diverges on {backend}"
+        ref_stats = services["reference"].stats()
+        vec_stats = services["vector"].stats()
+        assert ref_stats["cycles_total"] == vec_stats["cycles_total"]
+        assert math.isclose(ref_stats["energy_total_nj"],
+                            vec_stats["energy_total_nj"],
+                            rel_tol=1e-9, abs_tol=1e-12)
+        assert ref_stats["writeback"] == vec_stats["writeback"]
+        return ref_stats, vec_stats
+    finally:
+        for service in services.values():
+            service.close()
