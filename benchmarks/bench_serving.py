@@ -1,11 +1,17 @@
 """Async serving-stack load generator and benchmarks.
 
-Closed-loop multi-client load against the asyncio JSON-lines server:
-each client opens its own TCP connection and issues its next request
-as soon as the previous response arrives, mixing queries with
-in-place column mutations.  Per-request latencies aggregate into
-p50/p99 and total queries/s — the ``serving_latency`` entry recorded
-in ``BENCH_substrate.json`` and gated by ``perf_smoke --check``.
+Closed-loop multi-client load against the asyncio TCP server: each
+client opens its own connection and issues its next request as soon
+as the previous response arrives, mixing queries with in-place column
+mutations.  Per-request latencies aggregate into p50/p99 and total
+queries/s — the ``serving_latency`` entry recorded in
+``BENCH_substrate.json`` and gated by ``perf_smoke --check``.
+
+Clients speak either wire: JSON-lines (default) or the negotiated
+binary ``REPB`` frames (``wire="binary"``), with mutation payloads
+shipped as packed words.  Client-side wire-encode time (JSON dumps /
+frame packing) is measured separately from round-trip latency so the
+record splits serialization cost from server time.
 
 The same run demonstrates dependency-aware invalidation at the
 system level: mutation clients write column ``m`` only, so the
@@ -23,6 +29,7 @@ import time
 import numpy as np
 
 from repro.service import BitwiseService, serve_tcp
+from repro.service import wire as wire_codec
 
 N_BITS = 1 << 16
 N_SHARDS = 4
@@ -43,30 +50,70 @@ def _make_service() -> BitwiseService:
 
 
 class _LoadClient(threading.Thread):
-    """One closed-loop client; records per-request latencies."""
+    """One closed-loop client; records per-request latencies and the
+    client-side wire-encode share separately."""
 
-    def __init__(self, port: int, requests: list[dict]) -> None:
+    def __init__(self, port: int, requests: list[dict],
+                 wire: str = "json") -> None:
         super().__init__(daemon=True)
         self.port = port
         self.requests = requests
+        self.wire = wire
         self.latencies: list[float] = []
+        self.encode_s = 0.0
         self.error: Exception | None = None
 
     def run(self) -> None:
         try:
-            sock = socket.create_connection(("127.0.0.1", self.port),
-                                            timeout=30)
-            stream = sock.makefile("rw")
-            for request in self.requests:
-                start = time.perf_counter()
-                stream.write(json.dumps(request) + "\n")
-                stream.flush()
-                response = json.loads(stream.readline())
-                self.latencies.append(time.perf_counter() - start)
-                assert response.get("ok"), response
-            sock.close()
+            if self.wire == "binary":
+                self._run_binary()
+            else:
+                self._run_json()
         except Exception as exc:
             self.error = exc
+
+    def _run_json(self) -> None:
+        sock = socket.create_connection(("127.0.0.1", self.port),
+                                        timeout=30)
+        stream = sock.makefile("rw")
+        for request in self.requests:
+            start = time.perf_counter()
+            line = json.dumps(request) + "\n"
+            self.encode_s += time.perf_counter() - start
+            stream.write(line)
+            stream.flush()
+            response = json.loads(stream.readline())
+            self.latencies.append(time.perf_counter() - start)
+            assert response.get("ok"), response
+        sock.close()
+
+    def _run_binary(self) -> None:
+        sock = socket.create_connection(("127.0.0.1", self.port),
+                                        timeout=30)
+        stream = sock.makefile("rb")
+        sock.sendall((json.dumps({"op": "hello", "wire": "binary"})
+                      + "\n").encode())
+        hello = json.loads(stream.readline())
+        assert hello.get("ok"), hello
+        for request in self.requests:
+            start = time.perf_counter()
+            meta = dict(request)
+            bits = meta.pop("bits", None)
+            if bits is not None:  # one flat payload, not segments
+                bits = np.asarray(bits, dtype=np.uint8)
+            frame = wire_codec.encode_frame(
+                wire_codec.KIND_REQUEST, meta, bits)
+            self.encode_s += time.perf_counter() - start
+            sock.sendall(frame)
+            header = wire_codec.decode_header(
+                stream.read(wire_codec.HEADER_SIZE))
+            meta_bytes = stream.read(header.meta_len)
+            payload = stream.read(header.payload_bytes)
+            response, _ = wire_codec.decode_frame(
+                header, meta_bytes, payload)
+            self.latencies.append(time.perf_counter() - start)
+            assert response.get("ok"), response
+        sock.close()
 
 
 def _client_requests(index: int, n_requests: int,
@@ -88,7 +135,8 @@ def _client_requests(index: int, n_requests: int,
 
 def serving_latency(*, n_clients: int = 6, requests_per_client: int = 40,
                     mutation_share: float = 0.2,
-                    batch_window_s: float = 0.0005) -> dict:
+                    batch_window_s: float = 0.0005,
+                    wire: str = "json") -> dict:
     """Closed-loop mixed query/mutation load; p50/p99 and queries/s."""
     service = _make_service()
     server = serve_tcp(service, 0, batch_window_s=batch_window_s)
@@ -98,7 +146,8 @@ def serving_latency(*, n_clients: int = 6, requests_per_client: int = 40,
         clients = [
             _LoadClient(server.server_address[1],
                         _client_requests(index, requests_per_client,
-                                         mutation_share))
+                                         mutation_share),
+                        wire=wire)
             for index in range(n_clients)
         ]
         start = time.perf_counter()
@@ -115,16 +164,20 @@ def serving_latency(*, n_clients: int = 6, requests_per_client: int = 40,
             latency for client in clients
             for latency in client.latencies))
         total = n_clients * requests_per_client
+        encode_s = sum(client.encode_s for client in clients)
         metrics = dict(server.scheduler.metrics)
         stats = service.stats()
         return {
             "seconds": elapsed,
+            "wire": wire,
             "clients": n_clients,
             "requests": total,
             "mutation_share": mutation_share,
             "p50_ms": float(np.percentile(latencies, 50) * 1e3),
             "p99_ms": float(np.percentile(latencies, 99) * 1e3),
             "qps": total / elapsed,
+            "encode_s": encode_s,
+            "encode_ms_per_request": encode_s * 1e3 / total,
             "batches": metrics["batches"],
             "batched_queries": metrics["batched_queries"],
             "cache_hits": stats["cache_hits"],
@@ -146,6 +199,8 @@ def test_serving_latency_under_mixed_load(benchmark):
     assert record["clients"] >= 4
     assert record["mutations"] > 0
     assert record["p50_ms"] <= record["p99_ms"]
+    # The encode split is a strict share of total wall-clock.
+    assert 0.0 <= record["encode_s"] < record["seconds"]
     # Coalescing: strictly fewer vector batches than queries answered.
     assert record["batches"] < record["batched_queries"]
     # Dependency-aware invalidation at the system level: with only
@@ -153,5 +208,19 @@ def test_serving_latency_under_mixed_load(benchmark):
     # hit despite the interleaved mutations.
     assert record["cache_hits"] > record["batched_queries"] // 2
     benchmark.extra_info["serving_latency"] = {
+        key: round(value, 4) if isinstance(value, float) else value
+        for key, value in record.items()}
+
+
+def test_serving_latency_binary_wire(benchmark):
+    """The same closed loop over negotiated REPB frames: every
+    request answered, mutations land, and the recorded encode share
+    stays split out."""
+    record = benchmark(lambda: serving_latency(wire="binary"))
+    assert record["wire"] == "binary"
+    assert record["requests"] == record["clients"] * 40
+    assert record["mutations"] > 0
+    assert 0.0 <= record["encode_s"] < record["seconds"]
+    benchmark.extra_info["serving_latency_binary"] = {
         key: round(value, 4) if isinstance(value, float) else value
         for key, value in record.items()}

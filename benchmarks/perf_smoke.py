@@ -139,17 +139,21 @@ def _scale_queries() -> list[str]:
             + set_ops.service_queries("c0", "c1"))
 
 
-def _service_scale(*, backend: str = "vector") -> dict:
+def _service_scale(*, backend: str = "vector", fuse: bool = True,
+                   workers: int | None = None,
+                   repeat: int = 3) -> dict:
     """Large-scale serving throughput: mixed queries over 16Mi bits.
 
     Returns the best batch wall-clock plus derived throughput
     (table-rows answered per second across the batch) and the mean
-    attributed in-memory energy per query.
+    attributed in-memory energy per query.  ``fuse``/``workers``
+    select the vector executor tier for variant records.
     """
     rng = np.random.default_rng(1)
     queries = _scale_queries()
     with BitwiseService("feram-2tnc", n_bits=SCALE_BITS,
-                        n_shards=SCALE_SHARDS, backend=backend) as svc:
+                        n_shards=SCALE_SHARDS, backend=backend,
+                        fuse=fuse, workers=workers) as svc:
         for k in range(bitmap_index.N_COLUMNS):
             svc.create_column(
                 f"c{k}",
@@ -163,7 +167,7 @@ def _service_scale(*, backend: str = "vector") -> dict:
             energy[:] = [result.energy_j for result in results]
 
         run()  # warm plans / programs / probed cost events
-        seconds = _time(run, repeat=3)
+        seconds = _time(run, repeat=repeat)
     return {
         "seconds": seconds,
         "rows_per_s": SCALE_BITS * len(queries) / seconds,
@@ -178,7 +182,9 @@ WORKLOAD_SCALE_LANES = 1 << 24
 WORKLOAD_SCALE_SHARDS = 8
 
 
-def _workload_scale(*, backend: str = "vector") -> dict:
+def _workload_scale(*, backend: str = "vector", fuse: bool = True,
+                    workers: int | None = None,
+                    repeat: int = 3) -> dict:
     """Program-executor throughput: 16Mi-lane BNN on the service.
 
     The whole dense layer runs as one multi-statement program
@@ -195,7 +201,8 @@ def _workload_scale(*, backend: str = "vector") -> dict:
     inputs = generate_inputs(program, seed=1)
     with BitwiseService("feram-2tnc", n_bits=program.n_lanes,
                         n_shards=WORKLOAD_SCALE_SHARDS,
-                        backend=backend) as svc:
+                        backend=backend, fuse=fuse,
+                        workers=workers) as svc:
         for name, bits in inputs.items():
             svc.create_column(name, bits)
         last = {}
@@ -204,7 +211,7 @@ def _workload_scale(*, backend: str = "vector") -> dict:
             last["result"] = svc.run_program(program.program)
 
         run()  # warm: program compile + cost-event probe
-        seconds = _time(run, repeat=3)
+        seconds = _time(run, repeat=repeat)
         energy_j = last["result"].energy_j
     return {
         "seconds": seconds,
@@ -250,13 +257,19 @@ def run_smoke() -> dict:
     timings["behavioral_level_sweep"] = _time(
         lambda: BehavioralCell(n_caps=3).level_sweep(), repeat=5)
     timings["service_batch"] = _service_batch()
-    scale = _service_scale()
+    scale = _service_scale(repeat=5)
     timings["service_scale"] = scale["seconds"]
-    workload = _workload_scale()
+    # Executor-tier variants: same batch with the fuser off and with
+    # shard-parallel workers (nested records; not part of the gate).
+    scale_unfused = _service_scale(fuse=False, repeat=1)
+    scale_workers = _service_scale(workers=2, repeat=1)
+    workload = _workload_scale(repeat=5)
     timings["workload_scale"] = workload["seconds"]
+    workload_unfused = _workload_scale(fuse=False, repeat=1)
     serving = min((serving_latency() for _ in range(3)),
                   key=lambda record: record["seconds"])
     timings["serving_latency"] = serving["seconds"]
+    serving_binary = serving_latency(wire="binary")
 
     entries = {}
     for name, seconds in timings.items():
@@ -270,12 +283,23 @@ def run_smoke() -> dict:
         "rows_per_s": round(scale["rows_per_s"]),
         "queries": scale["queries"],
         "energy_per_query_nj": round(scale["energy_per_query_nj"], 1),
+        "variants": {
+            "unfused_s": round(scale_unfused["seconds"], 4),
+            "workers2_s": round(scale_workers["seconds"], 4),
+            "fuse_speedup": round(
+                scale_unfused["seconds"] / scale["seconds"], 2),
+        },
     })
     entries["workload_scale"].update({
         "lanes": workload["lanes"],
         "statements": workload["statements"],
         "rows_per_s": round(workload["rows_per_s"]),
         "energy_per_lane_nj": round(workload["energy_per_lane_nj"], 4),
+        "variants": {
+            "unfused_s": round(workload_unfused["seconds"], 4),
+            "fuse_speedup": round(
+                workload_unfused["seconds"] / workload["seconds"], 2),
+        },
     })
     entries["serving_latency"].update({
         "clients": serving["clients"],
@@ -284,9 +308,21 @@ def run_smoke() -> dict:
         "p50_ms": round(serving["p50_ms"], 3),
         "p99_ms": round(serving["p99_ms"], 3),
         "qps": round(serving["qps"]),
+        "encode_ms_per_request": round(
+            serving["encode_ms_per_request"], 4),
         "batches": serving["batches"],
         "cache_hits": serving["cache_hits"],
         "mutations": serving["mutations"],
+        "variants": {
+            "binary_wire": {
+                "seconds": round(serving_binary["seconds"], 4),
+                "p50_ms": round(serving_binary["p50_ms"], 3),
+                "p99_ms": round(serving_binary["p99_ms"], 3),
+                "qps": round(serving_binary["qps"]),
+                "encode_ms_per_request": round(
+                    serving_binary["encode_ms_per_request"], 4),
+            },
+        },
     })
     return {
         "suite": "substrate",
@@ -348,6 +384,14 @@ def print_summary(payload: dict) -> None:
               f"table-rows/s over {scale['queries']} mixed queries, "
               f"{scale['energy_per_query_nj'] / 1e6:.2f} mJ "
               f"attributed per query.")
+    variants = scale.get("variants", {})
+    if "fuse_speedup" in variants:
+        print()
+        print(f"Fused vs unfused (`service_scale`): "
+              f"{variants['unfused_s']:.4f}s unfused -> "
+              f"{scale['measured_s']:.4f}s fused "
+              f"({variants['fuse_speedup']:.2f}x); "
+              f"workers=2 variant {variants['workers2_s']:.4f}s.")
     workload = payload.get("benchmarks", {}).get("workload_scale", {})
     if "rows_per_s" in workload:
         print()
@@ -368,6 +412,14 @@ def print_summary(payload: dict) -> None:
               f"{serving['cache_hits']} cache hits survived "
               f"{serving['mutations']} in-place column mutations "
               f"(dependency-aware invalidation).")
+    binary = serving.get("variants", {}).get("binary_wire", {})
+    if "qps" in binary:
+        print()
+        print(f"Binary wire (`serving_latency` variant): "
+              f"{binary['qps']} req/s, p50 {binary['p50_ms']:.2f} ms, "
+              f"client encode {binary['encode_ms_per_request']:.4f} "
+              f"ms/req vs {serving['encode_ms_per_request']:.4f} "
+              f"ms/req over JSON.")
     counts = payload.get("primitive_counts", {})
     if counts:
         print()

@@ -12,7 +12,10 @@ stream clients:
   `write_slice`) — dirty rows are charged TBA-write energy through
   the QNRO write-back economics, and *only* the plans reading that
   column lose their cache entries (dependency-aware invalidation);
-* result payloads are paged back over the wire with the ``bits`` op.
+* result payloads are paged back over the wire with the ``bits`` op;
+* a second connection negotiates the **binary wire** (``hello`` with
+  ``"wire": "binary"``) and moves the same bulk payloads as packed
+  little-endian words instead of JSON digit arrays.
 
 Run:  PYTHONPATH=src python examples/serving_client.py
 """
@@ -25,22 +28,38 @@ import time
 import numpy as np
 
 from repro.service import BitwiseService, serve_tcp
+from repro.service import wire
 
 N_BITS = 1 << 16
 
 
 class Client:
-    """A tiny asyncio JSON-lines client bound to one tenant."""
+    """A tiny asyncio client bound to one tenant.
 
-    def __init__(self, port: int, tenant: str | None = None):
+    Speaks JSON-lines by default; pass ``wire="binary"`` to negotiate
+    the packed-word frame protocol during the hello (the hello itself
+    always flows as a JSON line).
+    """
+
+    def __init__(self, port: int, tenant: str | None = None,
+                 wire_mode: str = "json"):
         self.port = port
         self.tenant = tenant
+        self.wire = wire_mode
         self.latencies: list[float] = []
+        self.encode_s = 0.0  # client-side wire-encode time
 
     async def __aenter__(self):
         self.reader, self.writer = await asyncio.open_connection(
             "127.0.0.1", self.port, limit=1 << 26)
-        await self.call({"op": "hello", "tenant": self.tenant})
+        hello = {"op": "hello", "tenant": self.tenant}
+        if self.wire != "json":
+            hello["wire"] = self.wire
+        self.writer.write((json.dumps(hello) + "\n").encode())
+        await self.writer.drain()
+        response = json.loads(await self.reader.readline())
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error"))
         return self
 
     async def __aexit__(self, *exc_info):
@@ -48,12 +67,37 @@ class Client:
 
     async def call(self, request: dict) -> dict:
         start = time.perf_counter()
-        self.writer.write((json.dumps(request) + "\n").encode())
-        await self.writer.drain()
-        response = json.loads(await self.reader.readline())
+        if self.wire == "binary":
+            response = await self._call_binary(request)
+        else:
+            encode_start = time.perf_counter()
+            line = (json.dumps(request) + "\n").encode()
+            self.encode_s += time.perf_counter() - encode_start
+            self.writer.write(line)
+            await self.writer.drain()
+            response = json.loads(await self.reader.readline())
         self.latencies.append(time.perf_counter() - start)
         if not response.get("ok"):
             raise RuntimeError(response.get("error"))
+        return response
+
+    async def _call_binary(self, request: dict) -> dict:
+        meta = dict(request)
+        bits = meta.pop("bits", None)
+        if bits is not None:  # one flat payload, not segments
+            bits = np.asarray(bits, dtype=np.uint8)
+        if meta.get("op") == "append_rows" and meta.get("values"):
+            values = meta.pop("values")
+            meta["value_names"] = list(values)
+            bits = [np.asarray(v) for v in values.values()]
+        encode_start = time.perf_counter()
+        frame = wire.encode_frame(wire.KIND_REQUEST, meta, bits)
+        self.encode_s += time.perf_counter() - encode_start
+        self.writer.write(frame)
+        await self.writer.drain()
+        response, page = await wire.read_frame_async(self.reader)
+        if page is not None:
+            response["bits"] = page  # 0/1 ndarray, not text
         return response
 
 
@@ -96,6 +140,31 @@ async def mutation_session(port: int) -> None:
         print(f"  bits m[120:136] -> {page['bits']}")
 
 
+async def binary_session(port: int) -> None:
+    """The same bulk ops over the negotiated binary wire."""
+    rng = np.random.default_rng(7)
+    payload = (rng.random(N_BITS) < 0.5).astype(np.uint8)
+    async with Client(port, wire_mode="binary") as client:
+        response = await client.call({"op": "create_column",
+                                      "name": "bw", "bits": payload})
+        print(f"  create_column(bw): {response['created']!r} via "
+              f"{N_BITS // 8} payload bytes "
+              f"(JSON ships ~{2 * N_BITS} bytes of digits)")
+        await client.call({"op": "write_slice", "name": "bw",
+                           "offset": 64, "bits": 1 - payload[64:128]})
+        payload[64:128] = 1 - payload[64:128]
+        page = await client.call({"op": "bits", "name": "bw",
+                                  "offset": 0, "limit": 4096})
+        assert np.array_equal(page["bits"], payload[:4096])
+    # Byte-identical to what a JSON-lines client reads back.
+    async with Client(port) as json_client:
+        json_page = await json_client.call(
+            {"op": "bits", "name": "bw", "offset": 0, "limit": 4096})
+    text = (page["bits"] + ord("0")).tobytes().decode("ascii")
+    assert text == json_page["bits"]
+    print("  bits bw[0:4096]: binary page matches the JSON read-back")
+
+
 async def main_async(port: int) -> None:
     print("-- two tenants, concurrent query streams --")
     sessions = [tenant_session(port, "acme", seed=1),
@@ -110,6 +179,9 @@ async def main_async(port: int) -> None:
 
     print("-- in-place mutation with dependency-aware invalidation --")
     await mutation_session(port)
+
+    print("-- binary wire: packed-word frames for bulk payloads --")
+    await binary_session(port)
 
 
 def main() -> None:

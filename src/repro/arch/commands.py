@@ -160,6 +160,21 @@ class Stats:
         self.control_rewrites += other.control_rewrites
         return self
 
+    def iadd_scaled(self, other: "Stats", k: int) -> "Stats":
+        """Accumulate ``other`` ``k`` times in one pass — the cost of
+        ``k`` identical shards (same row count and TBA offset) without
+        ``k`` separate merges."""
+        for key, value in other.energy_j.items():
+            self.energy_j[key] = self.energy_j.get(key, 0.0) + value * k
+        for key, cyc in other.cycles.items():
+            self.cycles[key] = self.cycles.get(key, 0) + cyc * k
+        for ctype, count in other.counts.items():
+            self.counts[ctype] = self.counts.get(ctype, 0) + count * k
+        self.staging_aaps += other.staging_aaps * k
+        self.relocation_acps += other.relocation_acps * k
+        self.control_rewrites += other.control_rewrites * k
+        return self
+
     def merged_with(self, other: "Stats") -> "Stats":
         """New Stats combining two ledgers."""
         return self.copy().iadd(other)

@@ -563,22 +563,31 @@ class VectorProgram:
 
     #: micro-op names (first element of each micro-op tuple)
     OPS = ("and", "andn", "nor", "xor", "maj", "not", "copy", "const")
+    #: compound micro-ops emitted only by the peephole fuser (:meth:`fuse`)
+    FUSED_OPS = ("or", "nand", "xnor", "ornot", "andor", "noror", "maj4")
 
     def __init__(self, steps: list[tuple], n_regs: int,
                  out_reg: int | None,
-                 out_regs: Mapping[str, int] | None = None) -> None:
+                 out_regs: Mapping[str, int] | None = None, *,
+                 fused: bool = False) -> None:
         #: list of (node_key | None, dst_reg, micro_ops, free_regs)
+        #: — fused programs append a fifth element, the *steal*
+        #: register: a dying operand whose buffer the step may reuse
+        #: as its destination instead of allocating a fresh matrix.
         self.steps = steps
         self.n_regs = n_regs
         #: single-expression result register (compiled queries)
         self.out_reg = out_reg
         #: named output registers (multi-statement programs)
         self.out_regs = dict(out_regs) if out_regs is not None else None
+        #: True for programs produced by :meth:`fuse`
+        self.fused = fused
 
     # -- execution -----------------------------------------------------
     def run(self, columns: Mapping[str, np.ndarray], *,
             shape: tuple[int, ...] | None = None,
-            pool=None, node_cache: dict | None = None) -> np.ndarray:
+            pool=None, node_cache: dict | None = None,
+            executor=None, blocks: int = 1) -> np.ndarray:
         """Execute over packed word matrices; returns the result matrix.
 
         ``columns`` maps names to read-only matrices (all one shape).
@@ -587,16 +596,25 @@ class VectorProgram:
         sub-expression cache, keyed by AIG content keys.  The returned
         matrix is owned by the caller unless it was donated to the
         cache (callers treat results as read-only either way).
+
+        ``executor``/``blocks`` select shard-parallel execution: the
+        matrix rows are split into ``blocks`` contiguous row-blocks and
+        the recorded kernel sequence replays on each block concurrently
+        (numpy releases the GIL inside bitwise kernels).  Bit-identical
+        to serial execution — every kernel is elementwise, so row
+        blocks never interact.
         """
         if self.out_reg is None:
             raise QueryError("multi-output program: use run_outputs()")
         regs = self._execute(columns, shape=shape, pool=pool,
-                             node_cache=node_cache)
+                             node_cache=node_cache,
+                             executor=executor, blocks=blocks)
         return regs[self.out_reg]
 
     def run_outputs(self, columns: Mapping[str, np.ndarray], *,
                     shape: tuple[int, ...] | None = None,
                     pool=None, node_cache: dict | None = None,
+                    executor=None, blocks: int = 1,
                     ) -> dict[str, np.ndarray]:
         """Execute a multi-output program; returns ``{name: matrix}``.
 
@@ -607,13 +625,14 @@ class VectorProgram:
         if self.out_regs is None:
             raise QueryError("single-output program: use run()")
         regs = self._execute(columns, shape=shape, pool=pool,
-                             node_cache=node_cache)
+                             node_cache=node_cache,
+                             executor=executor, blocks=blocks)
         return {name: regs[reg] for name, reg in self.out_regs.items()}
 
     def _execute(self, columns: Mapping[str, np.ndarray], *,
                  shape: tuple[int, ...] | None = None,
                  pool=None, node_cache: dict | None = None,
-                 ) -> list:
+                 executor=None, blocks: int = 1) -> list:
         if shape is None:
             try:
                 shape = next(iter(columns.values())).shape
@@ -621,26 +640,65 @@ class VectorProgram:
                 raise QueryError(
                     "constant-only program needs an explicit shape"
                 ) from None
-        take = pool.take if pool is not None else \
+        parallel = executor is not None and blocks > 1 and shape[0] > 1
+        pool_take = pool.take if pool is not None else \
             (lambda: np.empty(shape, dtype=np.uint64))
-        give = pool.give if pool is not None else (lambda arr: None)
+        if parallel:
+            # Bind pass: kernels are recorded, not executed.  Buffers
+            # freed during binding must stay run-local — giving them to
+            # the shared pool mid-bind would let a concurrent run
+            # scribble on a matrix the replay workers still read.
+            kernels: list[tuple] = []
+            local_free: list[np.ndarray] = []
+
+            def take() -> np.ndarray:
+                return local_free.pop() if local_free else pool_take()
+
+            def give(arr) -> None:
+                local_free.append(arr)
+
+            def emit(op, out, a=None, b=None) -> None:
+                kernels.append((op, out, a, b))
+        else:
+            take = pool_take
+            give = pool.give if pool is not None else (lambda arr: None)
+
+            def emit(op, out, a=None, b=None) -> None:
+                _SERIAL_KERNELS[op](out, a, b)
 
         regs: list[np.ndarray | None] = [None] * self.n_regs
         # poolable[i]: the register's matrix belongs to this run (not a
         # column, not borrowed from / donated to the node cache).
         poolable = [False] * self.n_regs
+        donations: list[tuple[str, np.ndarray]] = []
 
         def resolve(spec) -> np.ndarray:
             kind, value = spec
             return columns[value] if kind == "col" else regs[value]
 
-        for key, dst, micro_ops, free_regs in self.steps:
+        for step in self.steps:
+            key, dst, micro_ops, free_regs = step[0], step[1], \
+                step[2], step[3]
+            steal = step[4] if len(step) > 4 else None
             cached = None if (node_cache is None or key is None) \
                 else node_cache.get(key)
             if cached is not None:
                 regs[dst] = cached
                 poolable[dst] = False
             else:
+                stole = False
+                if (steal is not None and regs[dst] is None
+                        and regs[steal] is not None
+                        and poolable[steal]):
+                    # The dying operand's buffer becomes the step
+                    # output.  The fuser only annotates steals whose
+                    # kernel order reads the stolen register at or
+                    # before the first write to the destination, where
+                    # elementwise aliasing is exact.
+                    regs[dst] = regs[steal]
+                    poolable[dst] = True
+                    poolable[steal] = False
+                    stole = True
                 for op in micro_ops:
                     name, reg = op[0], op[1]
                     if regs[reg] is None:
@@ -648,45 +706,315 @@ class VectorProgram:
                         poolable[reg] = True
                     out = regs[reg]
                     if name == "and":
-                        np.bitwise_and(resolve(op[2]), resolve(op[3]),
-                                       out=out)
+                        emit("and", out, resolve(op[2]), resolve(op[3]))
                     elif name == "andn":  # op[2] & ~op[3]
-                        np.bitwise_not(resolve(op[3]), out=out)
-                        np.bitwise_and(out, resolve(op[2]), out=out)
+                        emit("not", out, resolve(op[3]))
+                        emit("and", out, out, resolve(op[2]))
                     elif name == "nor":
-                        np.bitwise_or(resolve(op[2]), resolve(op[3]),
-                                      out=out)
-                        np.bitwise_not(out, out=out)
+                        emit("or", out, resolve(op[2]), resolve(op[3]))
+                        emit("not", out, out)
                     elif name == "xor":
-                        np.bitwise_xor(resolve(op[2]), resolve(op[3]),
-                                       out=out)
+                        emit("xor", out, resolve(op[2]), resolve(op[3]))
+                    elif name == "or":
+                        emit("or", out, resolve(op[2]), resolve(op[3]))
+                    elif name == "nand":
+                        emit("and", out, resolve(op[2]), resolve(op[3]))
+                        emit("not", out, out)
+                    elif name == "xnor":
+                        emit("xor", out, resolve(op[2]), resolve(op[3]))
+                        emit("not", out, out)
+                    elif name == "ornot":  # op[2] | ~op[3]
+                        emit("not", out, resolve(op[3]))
+                        emit("or", out, out, resolve(op[2]))
+                    elif name == "andor":  # (op[2] | op[3]) & op[4]
+                        emit("or", out, resolve(op[2]), resolve(op[3]))
+                        emit("and", out, out, resolve(op[4]))
+                    elif name == "noror":  # ~(op[2] | op[3] | op[4])
+                        emit("or", out, resolve(op[2]), resolve(op[3]))
+                        emit("or", out, out, resolve(op[4]))
+                        emit("not", out, out)
                     elif name == "maj":
                         a, b, c = (resolve(op[k]) for k in (2, 3, 4))
                         scratch = take()
-                        np.bitwise_and(a, b, out=out)
-                        np.bitwise_and(a, c, out=scratch)
-                        np.bitwise_or(out, scratch, out=out)
-                        np.bitwise_and(b, c, out=scratch)
-                        np.bitwise_or(out, scratch, out=out)
+                        emit("and", out, a, b)
+                        emit("and", scratch, a, c)
+                        emit("or", out, out, scratch)
+                        emit("and", scratch, b, c)
+                        emit("or", out, out, scratch)
+                        give(scratch)
+                    elif name == "maj4":
+                        # Fused 4-kernel majority:
+                        #   maj(a,b,c) == ((a|b) & c) | (a & b)
+                        a, b, c = (resolve(op[k]) for k in (2, 3, 4))
+                        csteal = op[5]
+                        if (not stole and csteal is not None
+                                and regs[csteal] is not None
+                                and poolable[csteal]):
+                            # c's dying buffer is the scratch — safe
+                            # because c's last read precedes the first
+                            # write to the scratch.
+                            scratch = regs[csteal]
+                            poolable[csteal] = False
+                            emit("or", out, a, b)
+                            emit("and", out, out, c)
+                            emit("and", scratch, a, b)
+                            emit("or", out, out, scratch)
+                        else:
+                            # Pooled scratch; all reads of a/b happen
+                            # at or before the first write to out, so
+                            # out may alias a stolen a/b.
+                            scratch = take()
+                            emit("and", scratch, a, b)
+                            emit("or", out, a, b)
+                            emit("and", out, out, c)
+                            emit("or", out, out, scratch)
                         give(scratch)
                     elif name == "not":
-                        np.bitwise_not(resolve(op[2]), out=out)
+                        emit("not", out, resolve(op[2]))
                     elif name == "copy":
-                        np.copyto(out, resolve(op[2]))
+                        emit("copy", out, resolve(op[2]))
                     elif name == "const":
-                        out.fill(np.uint64(0xFFFFFFFFFFFFFFFF)
-                                 if op[2] else np.uint64(0))
+                        emit("fill", out,
+                             np.uint64(0xFFFFFFFFFFFFFFFF)
+                             if op[2] else np.uint64(0))
                     else:  # pragma: no cover - lowering emits OPS only
                         raise QueryError(f"unknown micro-op {name!r}")
                 if node_cache is not None and key is not None:
-                    node_cache[key] = regs[dst]
                     poolable[dst] = False  # donated: outlives this run
+                    if parallel:
+                        # Donate only after the kernels actually ran —
+                        # the cache must never expose a matrix whose
+                        # contents don't exist yet.
+                        donations.append((key, regs[dst]))
+                    else:
+                        node_cache[key] = regs[dst]
             for reg in free_regs:
                 if poolable[reg] and regs[reg] is not None:
                     give(regs[reg])
                 regs[reg] = None
                 poolable[reg] = False
+
+        if parallel:
+            rows = shape[0]
+            n = max(1, min(int(blocks), rows))
+            bounds = [rows * i // n for i in range(n + 1)]
+            spans = [(lo, hi) for lo, hi in zip(bounds, bounds[1:])
+                     if hi > lo]
+            futures = [executor.submit(_replay, kernels, lo, hi)
+                       for lo, hi in spans[1:]]
+            _replay(kernels, *spans[0])
+            for future in futures:
+                future.result()
+            for key, matrix in donations:
+                node_cache[key] = matrix
+            if pool is not None:
+                for arr in local_free:
+                    pool.give(arr)
         return regs
+
+
+    # -- peephole fusion -----------------------------------------------
+    def fuse(self) -> "VectorProgram":
+        """Peephole-fused, allocation-recycling copy of this program.
+
+        Two rewrites, both bit-exact by construction:
+
+        * **pair fusion** — a single-micro ``and``/``andn``/``nor``/
+          ``xor`` step whose destination is consumed exactly once by
+          the immediately following step (and dies there) merges into
+          one compound micro-op (``nand``/``or``/``xnor``/``ornot``/
+          ``andor``/``noror``), eliminating the intermediate register's
+          matrix and one or more kernels;
+        * **steal annotation** — every step whose kernel order permits
+          it reuses a dying operand's buffer as its destination
+          (``steal``), and 5-kernel ``maj`` becomes the 4-kernel
+          ``maj4`` form.
+
+        Fusion changes *how* kernels execute, never which charge
+        events the plan models — analytic cost accounting is computed
+        from the plan, not the bytecode.  The fused program keeps the
+        consumer's node key, so batch node-cache hits still short the
+        whole fused computation; the producer's intermediate value is
+        simply no longer donated.
+        """
+        protected: set[int] = set()
+        if self.out_reg is not None:
+            protected.add(self.out_reg)
+        if self.out_regs:
+            protected.update(self.out_regs.values())
+
+        fused_steps: list[tuple] = []
+        i = 0
+        while i < len(self.steps):
+            step = self.steps[i]
+            merged = None
+            if (i + 1 < len(self.steps) and len(step[2]) == 1
+                    and step[2][0][0] in ("and", "andn", "nor", "xor")
+                    and step[1] not in protected):
+                merged = _fuse_pair(step, self.steps[i + 1])
+            if merged is not None:
+                fused_steps.append(merged)
+                i += 2
+            else:
+                fused_steps.append(_annotate_step(step))
+                i += 1
+        return VectorProgram(fused_steps, self.n_regs, self.out_reg,
+                             self.out_regs, fused=True)
+
+
+# -- primitive kernels (shared by serial and block-replay modes) -------
+def _k_and(out, a, b):
+    np.bitwise_and(a, b, out=out)
+
+
+def _k_or(out, a, b):
+    np.bitwise_or(a, b, out=out)
+
+
+def _k_xor(out, a, b):
+    np.bitwise_xor(a, b, out=out)
+
+
+def _k_not(out, a, _b):
+    np.bitwise_not(a, out=out)
+
+
+def _k_copy(out, a, _b):
+    np.copyto(out, a)
+
+
+def _k_fill(out, a, _b):
+    out.fill(a)
+
+
+_SERIAL_KERNELS = {"and": _k_and, "or": _k_or, "xor": _k_xor,
+                   "not": _k_not, "copy": _k_copy, "fill": _k_fill}
+
+
+def _replay(kernels: list[tuple], lo: int, hi: int) -> None:
+    """Re-run a recorded kernel sequence on row-block ``[lo:hi)``.
+
+    Every kernel is elementwise over matrix rows, so disjoint blocks
+    replaying the *whole* sequence concurrently never interact — even
+    through buffers that are reused across steps, because each block's
+    kernel order is the program order.
+    """
+    for op, out, a, b in kernels:
+        o = out[lo:hi]
+        if op == "and":
+            np.bitwise_and(a[lo:hi], b[lo:hi], out=o)
+        elif op == "or":
+            np.bitwise_or(a[lo:hi], b[lo:hi], out=o)
+        elif op == "xor":
+            np.bitwise_xor(a[lo:hi], b[lo:hi], out=o)
+        elif op == "not":
+            np.bitwise_not(a[lo:hi], out=o)
+        elif op == "copy":
+            np.copyto(o, a[lo:hi])
+        else:  # fill
+            o.fill(a)
+
+
+# -- fusion helpers ----------------------------------------------------
+def _steal_positions(op: tuple) -> tuple[int, ...]:
+    """Operand positions of ``op`` whose register may donate its buffer
+    to the destination: the kernel order reads them no later than the
+    first write to the destination, so in-place aliasing is exact."""
+    name = op[0]
+    if name in ("and", "xor", "nor", "or", "nand", "xnor"):
+        return (2, 3)
+    if name in ("andn", "ornot"):
+        return (3,)  # the negated operand is written first
+    if name in ("andor", "noror"):
+        return (2, 3)  # never the second-kernel operand
+    if name in ("maj4",):
+        return (2, 3)  # never c: it is read after out's first write
+    if name in ("not", "copy"):
+        return (2,)
+    return ()
+
+
+def _pick_steal(op: tuple, free: set[int],
+                written: set[int]) -> int | None:
+    """A dying register (not written earlier in this step) whose buffer
+    the destination may take over, or None."""
+    for pos in _steal_positions(op):
+        spec = op[pos]
+        if (spec[0] == "reg" and spec[1] in free
+                and spec[1] not in written):
+            return spec[1]
+    return None
+
+
+def _annotate_step(step: tuple) -> tuple:
+    """Steal-annotate one unmerged step; rewrites ``maj`` to ``maj4``."""
+    key, dst, micro_ops, free_regs = step[0], step[1], step[2], step[3]
+    free = set(free_regs)
+    written: set[int] = set()
+    out_micro: list[tuple] = []
+    steal = None
+    for op in micro_ops:
+        if op[0] == "maj":
+            steal = _pick_steal(("maj4",) + op[1:], free, written)
+            csteal = None
+            if steal is None and op[4][0] == "reg" \
+                    and op[4][1] in free:
+                # No a/b steal available: let the scratch matrix take
+                # over c's dying buffer instead.
+                csteal = op[4][1]
+            out_micro.append(("maj4",) + op[1:] + (csteal,))
+        else:
+            if len(micro_ops) == 1:
+                steal = _pick_steal(op, free, written)
+            out_micro.append(op)
+        written.add(op[1])
+    return (key, dst, tuple(out_micro), free_regs, steal)
+
+
+def _fuse_pair(producer: tuple, consumer: tuple) -> tuple | None:
+    """Merge ``producer`` (single and/andn/nor/xor micro) into
+    ``consumer`` when the produced value dies there; returns the merged
+    5-tuple step or None when no rewrite applies."""
+    pkey, pdst, pmicro, pfree = producer[0], producer[1], \
+        producer[2], producer[3]
+    ckey, cdst, cmicro, cfree = consumer[0], consumer[1], \
+        consumer[2], consumer[3]
+    if len(cmicro) != 1 or cdst == pdst:
+        return None
+    if cdst in pfree:
+        # Register recycling: cdst's buffer would alias a producer
+        # operand that dies here, and the fused kernel order could
+        # write it before that operand's last read.
+        return None
+    if pdst not in cfree:
+        return None  # producer's value outlives the consumer
+    pk = pmicro[0][0]
+    pargs = pmicro[0][2:]
+    cop = cmicro[0]
+    ck = cop[0]
+    pref = ("reg", pdst)
+    if sum(1 for spec in cop[2:] if spec == pref) != 1:
+        return None
+    new = None
+    if ck == "not" and cop[2] == pref:
+        if pk == "and":
+            new = ("nand", cdst) + pargs
+        elif pk == "nor":
+            new = ("or", cdst) + pargs
+        elif pk == "xor":
+            new = ("xnor", cdst) + pargs
+        elif pk == "andn":  # ~(x & ~y) == y | ~x
+            new = ("ornot", cdst, pargs[1], pargs[0])
+    elif ck == "andn" and pk == "nor":
+        if cop[3] == pref:  # A & ~nor(x,y) == (x | y) & A
+            new = ("andor", cdst, pargs[0], pargs[1], cop[2])
+        elif cop[2] == pref:  # nor(x,y) & ~B == ~(x | y | B)
+            new = ("noror", cdst, pargs[0], pargs[1], cop[3])
+    if new is None:
+        return None
+    free = set(pfree) | set(cfree)
+    steal = _pick_steal(new, free, set())
+    return (ckey, cdst, (new,), tuple(sorted(free)), steal)
 
 
 def _lower_vector(plan: "CompiledQuery") -> VectorProgram:
@@ -819,6 +1147,7 @@ class CompiledQuery:
         # probing at most once per (plan, initial column flags) pair;
         # both then ride the service's plan cache.
         self._vector_program: VectorProgram | None = None
+        self._vector_program_fused: VectorProgram | None = None
         self._cost_events: dict[tuple, tuple] = {}
         # Ground-truth primitive counts, measured per row on throwaway
         # counting engines (exact — the executor is deterministic), and
@@ -988,16 +1317,23 @@ class CompiledQuery:
         return schedule
 
     # -- columnar artifacts --------------------------------------------
-    def vector_program(self) -> VectorProgram:
+    def vector_program(self, *, fused: bool = False) -> VectorProgram:
         """The plan's register-machine bytecode (lowered once, cached).
 
         Bit-exact with :meth:`run` on any engine: both compute the same
         logical function of the AIG; the program just does it as one
-        numpy kernel per step over packed word matrices.
+        numpy kernel per step over packed word matrices.  With
+        ``fused=True``, returns the peephole-fused form (see
+        :meth:`VectorProgram.fuse`) — same bits, fewer kernels and
+        fewer scratch matrices.
         """
         if self._vector_program is None:
             self._vector_program = _lower_vector(self)
-        return self._vector_program
+        if not fused:
+            return self._vector_program
+        if self._vector_program_fused is None:
+            self._vector_program_fused = self._vector_program.fuse()
+        return self._vector_program_fused
 
     def cost_events(self, flags: tuple[bool, ...] | None = None,
                     ) -> tuple:

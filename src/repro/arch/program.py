@@ -239,7 +239,14 @@ class CompiledProgram:
             for name, ref in self._out_refs.items())
         self._liveness()
         self._vector_program: VectorProgram | None = None
+        self._vector_program_fused: VectorProgram | None = None
         self._cost_events: dict[tuple, tuple] = {}
+        #: (spec, flags, n_rows, tba_offset) ->
+        #: (per-stmt Stats, final offset)
+        #: — the plan_stats expansion for one shard state, reused across
+        #: executions (cached entries are read-only; accumulate via
+        #: Stats.iadd/iadd_scaled, never mutate them)
+        self._plan_stats_memo: dict[tuple, tuple] = {}
 
     # -- liveness ------------------------------------------------------
     def _liveness(self) -> None:
@@ -345,11 +352,20 @@ class CompiledProgram:
         return cached
 
     # -- vector lowering -----------------------------------------------
-    def vector_program(self) -> VectorProgram:
-        """Multi-output register-machine bytecode (lowered once)."""
+    def vector_program(self, *, fused: bool = False) -> VectorProgram:
+        """Multi-output register-machine bytecode (lowered once).
+
+        ``fused=True`` returns the peephole-fused form (see
+        :meth:`VectorProgram.fuse`): same bits, fewer kernels and
+        fewer scratch matrices.
+        """
         if self._vector_program is None:
             self._vector_program = _lower_program_vector(self)
-        return self._vector_program
+        if not fused:
+            return self._vector_program
+        if self._vector_program_fused is None:
+            self._vector_program_fused = self._vector_program.fuse()
+        return self._vector_program_fused
 
 
 def compile_program(program: Program, *,

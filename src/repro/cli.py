@@ -52,6 +52,13 @@ def _service_parser(prog: str) -> argparse.ArgumentParser:
     parser.add_argument("--capacity", type=int, default=None,
                         help="physical table width; rows can be "
                              "appended up to this (default: --bits)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="thread-pool size for shard-parallel "
+                             "vector execution; large plans split "
+                             "into row blocks (default: 1, serial)")
+    parser.add_argument("--no-fuse", action="store_true",
+                        help="disable the peephole fuser on vector "
+                             "programs (run the unfused bytecode)")
     return parser
 
 
@@ -74,7 +81,9 @@ def _cmd_query(argv: list[str]) -> int:
                         n_shards=args.shards,
                         functional=not args.counting,
                         backend=args.backend,
-                        capacity=args.capacity) as service:
+                        capacity=args.capacity,
+                        fuse=not args.no_fuse,
+                        workers=args.workers) as service:
         for index, name in enumerate(expr.cols()):
             service.random_column(name, args.density,
                                   seed=args.seed + index)
@@ -200,7 +209,9 @@ def _cmd_serve(argv: list[str]) -> int:
                         n_shards=args.shards,
                         functional=not args.counting,
                         backend=args.backend,
-                        capacity=args.capacity) as service:
+                        capacity=args.capacity,
+                        fuse=not args.no_fuse,
+                        workers=args.workers) as service:
         if args.port is None:
             return run_repl(service)
         server = serve_tcp(service, args.port, args.host,

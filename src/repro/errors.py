@@ -39,7 +39,10 @@ class DeviceError(ReproError):
 
 
 class ProtocolError(ReproError):
-    """Raised when a cell-operation protocol is mis-specified."""
+    """Raised when a protocol is violated: a mis-specified
+    cell-operation protocol, a malformed or oversized binary wire
+    frame, or a server response that cannot be serialized to the
+    wire format."""
 
 
 class ArchitectureError(ReproError):

@@ -32,8 +32,8 @@ import numpy as np
 
 from repro.errors import QueryError
 
-__all__ = ["ColumnStore", "MatrixPool", "shard_spans", "popcount_words",
-           "dirty_word_indices"]
+__all__ = ["ColumnStore", "MatrixPool", "PackedBits", "shard_spans",
+           "popcount_words", "dirty_word_indices"]
 
 WORD_BITS = 64
 
@@ -102,11 +102,21 @@ class MatrixPool:
         self.cap = int(cap)
         self._free: list[np.ndarray] = []
         self._lock = threading.Lock()
+        #: take() served from the free list
+        self.hits = 0
+        #: take() that had to allocate a fresh matrix
+        self.misses = 0
+        #: give() dropped because the pool was at capacity
+        self.evictions = 0
+        #: give() accepted back into the free list
+        self.returns = 0
 
     def take(self) -> np.ndarray:
         with self._lock:
             if self._free:
+                self.hits += 1
                 return self._free.pop()
+            self.misses += 1
         return np.empty(self.shape, dtype=np.uint64)
 
     def give(self, matrix: np.ndarray | None) -> None:
@@ -115,6 +125,16 @@ class MatrixPool:
         with self._lock:
             if len(self._free) < self.cap:
                 self._free.append(matrix)
+                self.returns += 1
+            else:
+                self.evictions += 1
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (hit/miss/evict/return plus free size)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions, "returns": self.returns,
+                    "free": len(self._free)}
 
     def give_unique(self, matrices) -> None:
         """Return matrices, de-duplicated by identity.
@@ -133,6 +153,28 @@ class MatrixPool:
     def __len__(self) -> int:
         with self._lock:
             return len(self._free)
+
+
+class PackedBits:
+    """Deferred readout of a result matrix (8x smaller than flat bits).
+
+    Query results carry one of these instead of an eagerly unpacked
+    0/1 array: benchmarks and counting clients never pay the unpack,
+    while ``.bits`` consumers materialize on first access.  The logical
+    width is captured at execution time, so results stay stable across
+    later row appends.  :meth:`unpack` returns a **fresh** array every
+    call — holders sharing one ``PackedBits`` each get their own copy.
+    """
+
+    __slots__ = ("store", "matrix", "n_bits")
+
+    def __init__(self, store: ColumnStore, matrix: np.ndarray) -> None:
+        self.store = store
+        self.matrix = matrix
+        self.n_bits = store.n_bits
+
+    def unpack(self) -> np.ndarray:
+        return self.store.unpack(self.matrix, self.n_bits)
 
 
 class ColumnStore:
@@ -215,16 +257,25 @@ class ColumnStore:
             matrix[index, :count] = words[first:first + count]
         return matrix
 
-    def unpack(self, matrix: np.ndarray) -> np.ndarray:
-        """Flat 0/1 readout of a result matrix (valid bits only)."""
+    def unpack(self, matrix: np.ndarray,
+               n_bits: int | None = None) -> np.ndarray:
+        """Flat 0/1 readout of a result matrix (valid bits only).
+
+        ``n_bits`` overrides the store's *current* logical width —
+        deferred readouts (:class:`PackedBits`) pass the width captured
+        at execution time, so a later row append cannot change what an
+        already-computed result reads back as.
+        """
+        if n_bits is None:
+            n_bits = self.n_bits
         if self._uniform and matrix.flags.c_contiguous:
             # Rows concatenate into one contiguous word stream: one
             # unpackbits, sliced to the table width.
             return np.unpackbits(matrix.view(np.uint8),
-                                 bitorder="little")[: self.n_bits]
-        out = np.empty(self.n_bits, dtype=np.uint8)
+                                 bitorder="little")[:n_bits]
+        out = np.empty(n_bits, dtype=np.uint8)
         for index, (start, stop) in enumerate(self.spans):
-            stop = min(stop, self.n_bits)
+            stop = min(stop, n_bits)
             if stop <= start:
                 break
             count = self.shard_words[index]

@@ -29,6 +29,14 @@ also set a default namespace once via ``{"op": "hello", "tenant":
 payload readout ``bits`` (``{"op": "bits", "name": ..., "offset": N,
 "limit": N}`` — ``name`` is a column or the ``key`` of a cached query
 result).
+
+A connection may opt into the **binary wire** with ``{"op": "hello",
+"wire": "binary"}``: the hello response is still a JSON line, then
+both directions switch to the length-prefixed ``REPB`` frames of
+:mod:`repro.service.wire` — request/response metadata as compact
+JSON, bulk bit payloads (``bits`` pages, ``create_column``/
+``update_column``/``write_slice`` bits, ``append_rows`` values) as
+raw little-endian packed words.  JSON-only clients are unaffected.
 """
 
 from __future__ import annotations
@@ -40,8 +48,15 @@ import threading
 
 import numpy as np
 
-from repro.errors import QueryError, ReproError
+from repro.errors import ProtocolError, QueryError, ReproError
 from repro.service.scheduler import AdmissionError, RequestScheduler
+from repro.service.wire import (
+    HEADER_SIZE,
+    KIND_RESPONSE,
+    decode_frame,
+    decode_header,
+    encode_frame,
+)
 from repro.service.service import (
     BitwiseService,
     MutationResult,
@@ -82,6 +97,26 @@ def mutation_payload(result: MutationResult) -> dict:
         "invalidated": result.invalidated,
         "columns_written": list(result.columns_written),
     }
+
+
+def _json_default(value):
+    """Wire-safe conversion for non-JSON-native response values.
+
+    Accepts exactly the numpy scalar/array types the service is known
+    to emit; anything else is a server bug that must surface as a
+    typed :class:`ProtocolError` (and an error response), not be
+    silently stringified into the payload."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise ProtocolError(
+        f"response value of type {type(value).__name__} is not "
+        f"JSON-serializable")
 
 
 def _parse_bitstring(text: str) -> np.ndarray:
@@ -316,35 +351,19 @@ class QueryServer:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
         task.add_done_callback(self._conn_tasks.discard)
-        tenant: list[str | None] = [None]  # connection default
+        # Per-connection state: default tenant namespace plus the
+        # negotiated wire ("json" until a hello opts into "binary").
+        conn: dict = {"tenant": None, "wire": "json"}
         try:
             while True:
-                try:
-                    raw = await reader.readline()
-                except ValueError:
-                    # Oversized line: framing is lost, close politely.
-                    writer.write((json.dumps({
-                        "ok": False,
-                        "error": "request line exceeds server limit",
-                    }) + "\n").encode())
-                    await writer.drain()
+                if conn["wire"] == "binary":
+                    done = await self._serve_frame_once(
+                        reader, writer, conn)
+                else:
+                    done = await self._serve_line_once(
+                        reader, writer, conn)
+                if done:
                     break
-                if not raw:
-                    break
-                try:
-                    request = json.loads(raw.decode())
-                    response = await self._serve(request, tenant)
-                except AdmissionError as exc:
-                    response = {"ok": False, "error": str(exc),
-                                "code": "admission"}
-                except ReproError as exc:
-                    response = {"ok": False, "error": str(exc)}
-                except (ValueError, KeyError, TypeError) as exc:
-                    response = {"ok": False,
-                                "error": f"bad request: {exc}"}
-                writer.write((json.dumps(response, default=str)
-                              + "\n").encode())
-                await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -352,16 +371,117 @@ class QueryServer:
         finally:
             writer.close()
 
-    async def _serve(self, request: dict, conn_tenant: list) -> dict:
+    async def _serve_line_once(self, reader, writer,
+                               conn: dict) -> bool:
+        """One JSON-lines request/response; True means close."""
+        try:
+            raw = await reader.readline()
+        except ValueError:
+            # Oversized line: framing is lost, close politely.
+            writer.write((json.dumps({
+                "ok": False,
+                "error": "request line exceeds server limit",
+            }) + "\n").encode())
+            await writer.drain()
+            return True
+        if not raw:
+            return True
+        try:
+            request = json.loads(raw.decode())
+            response = await self._serve(request, conn)
+        except AdmissionError as exc:
+            response = {"ok": False, "error": str(exc),
+                        "code": "admission"}
+        except ProtocolError as exc:
+            response = {"ok": False, "error": str(exc),
+                        "code": "protocol"}
+        except ReproError as exc:
+            response = {"ok": False, "error": str(exc)}
+        except (ValueError, KeyError, TypeError) as exc:
+            response = {"ok": False,
+                        "error": f"bad request: {exc}"}
+        try:
+            line = json.dumps(response, default=_json_default)
+        except ProtocolError as exc:
+            line = json.dumps({"ok": False, "error": str(exc),
+                               "code": "protocol"})
+        writer.write((line + "\n").encode())
+        await writer.drain()
+        return False
+
+    async def _serve_frame_once(self, reader, writer,
+                                conn: dict) -> bool:
+        """One binary-frame request/response; True means close."""
+        try:
+            header_bytes = await reader.readexactly(HEADER_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return True  # clean EOF between frames
+            raise
+        try:
+            header = decode_header(header_bytes)
+            meta_bytes = (await reader.readexactly(header.meta_len)
+                          if header.meta_len else b"")
+            payload = (await reader.readexactly(header.payload_bytes)
+                       if header.payload_bytes else b"")
+            request, bits = decode_frame(header, meta_bytes, payload)
+        except ProtocolError as exc:
+            # Header/metadata corruption: framing cannot be trusted,
+            # report once and close.
+            writer.write(encode_frame(KIND_RESPONSE, {
+                "ok": False, "error": str(exc), "code": "protocol"}))
+            await writer.drain()
+            return True
+        try:
+            if isinstance(bits, list):
+                names = request.pop("value_names", None) or []
+                if len(names) != len(bits):
+                    raise ProtocolError(
+                        f"{len(names)} value_names for "
+                        f"{len(bits)} payload segments")
+                request["values"] = dict(zip(names, bits))
+            elif bits is not None:
+                request["bits"] = bits
+            response = await self._serve(request, conn)
+        except AdmissionError as exc:
+            response = {"ok": False, "error": str(exc),
+                        "code": "admission"}
+        except ProtocolError as exc:
+            response = {"ok": False, "error": str(exc),
+                        "code": "protocol"}
+        except ReproError as exc:
+            response = {"ok": False, "error": str(exc)}
+        except (ValueError, KeyError, TypeError) as exc:
+            response = {"ok": False, "error": f"bad request: {exc}"}
+        bits_out = None
+        if isinstance(response.get("bits"), np.ndarray):
+            bits_out = response.pop("bits")
+        try:
+            frame = encode_frame(KIND_RESPONSE, response, bits_out,
+                                 default=_json_default)
+        except ProtocolError as exc:
+            frame = encode_frame(KIND_RESPONSE, {
+                "ok": False, "error": str(exc), "code": "protocol"})
+        writer.write(frame)
+        await writer.drain()
+        return False
+
+    async def _serve(self, request: dict, conn: dict) -> dict:
         service = self.service
         loop = asyncio.get_running_loop()
         op = request.get("op")
-        tenant = request.get("tenant", conn_tenant[0])
+        tenant = request.get("tenant", conn["tenant"])
         if op == "hello":
-            conn_tenant[0] = request.get("tenant")
-            if conn_tenant[0] is not None:
-                service.tenant(conn_tenant[0])  # auto-register
-            return {"ok": True, "tenant": conn_tenant[0],
+            conn["tenant"] = request.get("tenant")
+            if conn["tenant"] is not None:
+                service.tenant(conn["tenant"])  # auto-register
+            wire = request.get("wire", "json")
+            if wire not in ("json", "binary"):
+                raise QueryError(
+                    f"unknown wire {wire!r} (json or binary)")
+            conn["wire"] = wire
+            return {"ok": True, "tenant": conn["tenant"],
+                    "wire": wire,
                     "technology": service.technology,
                     "n_bits": service.n_bits,
                     "n_shards": service.n_shards}
@@ -413,8 +533,13 @@ class QueryServer:
             return {"ok": True, **mutation_payload(result),
                     "table_bits": service.n_bits}
         if op == "bits":
+            # Binary connections get the page as a raw array (packed
+            # straight into the response frame's payload); JSON keeps
+            # the "0101..." text shape.
+            read = (service.read_bits_array
+                    if conn["wire"] == "binary" else service.read_bits)
             page = await self.scheduler.submit_exclusive(
-                tenant, lambda: service.read_bits(
+                tenant, lambda: read(
                     request["name"], int(request.get("offset", 0)),
                     int(request.get("limit", 64)), tenant=tenant))
             return {"ok": True, **page}

@@ -92,6 +92,7 @@ from repro.errors import QueryError
 from repro.service.columnstore import (
     ColumnStore,
     MatrixPool,
+    PackedBits,
     dirty_word_indices,
     shard_spans,
 )
@@ -110,12 +111,19 @@ _WORD_BITS = 64
 
 @dataclass
 class QueryResult:
-    """Outcome of one query against the service."""
+    """Outcome of one query against the service.
+
+    ``payload`` holds the result bits either as a flat 0/1 array or as
+    a deferred :class:`~repro.service.columnstore.PackedBits` readout
+    (the vector backend's native form — 8x smaller, and counting-only
+    consumers never pay the unpack).  Access :attr:`bits` to
+    materialize; the property memoizes in place.
+    """
 
     query: str                      #: query as submitted
     key: str                        #: canonical (cache) key
     count: int | None               #: popcount of the result (functional)
-    bits: np.ndarray | None         #: result bits (functional mode)
+    payload: object | None          #: result bits, flat or packed-lazy
     cache_hit: bool
     primitives_per_row: int         #: compiled native primitives / row
     naive_primitives_per_row: int   #: naive-chaining baseline / row
@@ -124,6 +132,13 @@ class QueryResult:
     elapsed_s: float                #: host wall-clock (all shards)
     shards: int                     #: shards that executed the query
     detail: dict = field(default_factory=dict)
+
+    @property
+    def bits(self) -> np.ndarray | None:
+        """Result bits (functional mode); unpacks lazily, memoized."""
+        if isinstance(self.payload, PackedBits):
+            self.payload = self.payload.unpack()
+        return self.payload
 
 
 @dataclass
@@ -140,10 +155,15 @@ class StatementStats:
 
 @dataclass
 class ProgramResult:
-    """Outcome of one multi-statement program run."""
+    """Outcome of one multi-statement program run.
+
+    ``payloads`` maps output names to flat 0/1 arrays or deferred
+    :class:`~repro.service.columnstore.PackedBits` readouts; access
+    :attr:`outputs` to materialize (memoized in place).
+    """
 
     key: str                        #: canonical program key
-    outputs: dict | None            #: output bits per name (functional)
+    payloads: dict | None           #: output bits per name, maybe packed
     counts: dict | None             #: output popcounts per name
     statements: list[StatementStats]
     primitives_per_row: int         #: compiled native primitives / row
@@ -154,6 +174,15 @@ class ProgramResult:
     shards: int
     backend: str
     detail: dict = field(default_factory=dict)
+
+    @property
+    def outputs(self) -> dict | None:
+        """Output bits per name (functional); unpacks lazily."""
+        if self.payloads is not None:
+            for name, value in self.payloads.items():
+                if isinstance(value, PackedBits):
+                    self.payloads[name] = value.unpack()
+        return self.payloads
 
 
 @dataclass
@@ -177,6 +206,19 @@ class MutationResult:
     cycles: int
     invalidated: int                 #: cached results evicted
     columns_written: tuple[str, ...] = ()
+
+
+def _payload_copy(payload):
+    """Private copy of a result payload.
+
+    Flat arrays are copied (holders may mutate them); a
+    :class:`PackedBits` holder is shared as-is — its matrix is
+    read-only and every ``.bits`` access materializes a fresh array,
+    so sharers can never see each other's mutations.
+    """
+    if payload is None or isinstance(payload, PackedBits):
+        return payload
+    return payload.copy()
 
 
 @dataclass
@@ -280,7 +322,9 @@ class BitwiseService:
                  cache_size: int = 64,
                  max_workers: int | None = None,
                  backend: str = "vector",
-                 capacity: int | None = None) -> None:
+                 capacity: int | None = None,
+                 fuse: bool = True,
+                 workers: int | None = None) -> None:
         if n_bits <= 0:
             raise QueryError("table width must be positive")
         if n_shards <= 0:
@@ -341,6 +385,16 @@ class BitwiseService:
                 (self.n_shards, 1)
             self._matrix_pool = MatrixPool(shape)
             self._inverting = self._spec.technology == "feram-2tnc"
+        #: run peephole-fused bytecode on the vector backend
+        self.fuse = bool(fuse)
+        #: shard-parallel row-block workers (1 = always serial)
+        self.workers = max(1, int(workers)) if workers is not None else 1
+        self._exec_pool: ThreadPoolExecutor | None = None
+        self._exec_pool_lock = threading.Lock()
+        # Cost heuristic floor for going parallel: matrix bytes × plan
+        # steps must clear this before thread fan-out pays for itself.
+        # Instance attribute so tests/benchmarks can force either mode.
+        self._parallel_min_work = 64 << 20
         self._stats_lock = threading.Lock()
         # Guards reference-backend payloads: query batches read, in-
         # place mutations write (vector mutations are copy-on-write
@@ -856,14 +910,9 @@ class BitwiseService:
     #: serializes behind the tenant's scheduler barrier); clients page
     MAX_PAGE_BITS = 1 << 20
 
-    def read_bits(self, name: str, offset: int = 0, limit: int = 64,
-                  *, tenant: str | None = None) -> dict:
-        """Paginated payload readout of a column or cached result.
-
-        ``name`` is a tenant-logical column name, or the canonical
-        ``key`` of a previously returned (and still cached) query
-        result.  Returns a JSON-safe page: the bits as a ``"0101..."``
-        string plus the total payload width."""
+    def _read_page(self, name: str, offset: int, limit: int,
+                   tenant: str | None) -> tuple[np.ndarray, int, str]:
+        """Shared page readout core: ``(page_bits, total, source)``."""
         self._ensure_open()
         offset, limit = int(offset), int(limit)
         if offset < 0 or limit < 0:
@@ -886,13 +935,39 @@ class BitwiseService:
         if bits is None:
             raise QueryError(
                 f"{name!r} has no payload (counting mode)")
-        page = bits[offset:offset + limit]
+        return bits[offset:offset + limit], int(bits.size), source
+
+    def read_bits(self, name: str, offset: int = 0, limit: int = 64,
+                  *, tenant: str | None = None) -> dict:
+        """Paginated payload readout of a column or cached result.
+
+        ``name`` is a tenant-logical column name, or the canonical
+        ``key`` of a previously returned (and still cached) query
+        result.  Returns a JSON-safe page: the bits as a ``"0101..."``
+        string plus the total payload width."""
+        page, total, source = self._read_page(name, offset, limit,
+                                              tenant)
         text = (np.minimum(page.astype(np.uint8), 1)
                 + ord("0")).tobytes().decode("ascii")
         return {
-            "name": name, "source": source, "offset": offset,
-            "limit": limit, "total": int(bits.size),
+            "name": name, "source": source, "offset": int(offset),
+            "limit": int(limit), "total": total,
             "bits": text,
+        }
+
+    def read_bits_array(self, name: str, offset: int = 0,
+                        limit: int = 64, *,
+                        tenant: str | None = None) -> dict:
+        """Like :meth:`read_bits`, but the page stays a 0/1 array.
+
+        Serving path for the binary wire protocol: the page is packed
+        straight into a frame payload with no text round-trip."""
+        page, total, source = self._read_page(name, offset, limit,
+                                              tenant)
+        return {
+            "name": name, "source": source, "offset": int(offset),
+            "limit": int(limit), "total": total,
+            "bits": np.minimum(page.astype(np.uint8), 1),
         }
 
     # ------------------------------------------------------------------
@@ -976,8 +1051,7 @@ class BitwiseService:
                 result = QueryResult(**{
                     **entry.__dict__,
                     "query": text, "cache_hit": True,
-                    "bits": None if entry.bits is None
-                    else entry.bits.copy(),
+                    "payload": _payload_copy(entry.payload),
                     "detail": dict(entry.detail),
                     "energy_j": 0.0, "cycles": 0, "elapsed_s": 0.0,
                 })
@@ -1008,9 +1082,9 @@ class BitwiseService:
             positions = item["positions"]
             plan = item["plan"]
             text = plans[positions[0]][0]
-            bits, count, delta, elapsed = outputs[ckey]
+            payload, count, delta, elapsed = outputs[ckey]
             result = QueryResult(
-                query=text, key=plan.key, count=count, bits=bits,
+                query=text, key=plan.key, count=count, payload=payload,
                 cache_hit=False,
                 primitives_per_row=plan.primitives,
                 naive_primitives_per_row=plan.naive_primitives,
@@ -1030,8 +1104,7 @@ class BitwiseService:
                 results[position] = QueryResult(**{
                     **result.__dict__,
                     "query": plans[position][0],
-                    "bits": None if result.bits is None
-                    else result.bits.copy(),
+                    "payload": _payload_copy(result.payload),
                     "detail": dict(result.detail),
                 })
         # Disturb accounting: each executed plan activates its
@@ -1116,7 +1189,7 @@ class BitwiseService:
         with self._cache_lock:
             self.programs_run += 1
         return ProgramResult(
-            key=cprog.key, outputs=outputs, counts=counts,
+            key=cprog.key, payloads=outputs, counts=counts,
             statements=statements,
             primitives_per_row=cprog.primitives,
             naive_primitives_per_row=cprog.naive_primitives,
@@ -1136,14 +1209,17 @@ class BitwiseService:
                 raise QueryError(f"unbound column(s): {missing}")
             columns = {logical: snapshot[physical]
                        for logical, physical in colmap.items()}
-            matrices = cprog.vector_program().run_outputs(
+            program = cprog.vector_program(fused=self.fuse)
+            matrices = program.run_outputs(
                 columns, shape=self._store.shape,
-                pool=self._matrix_pool)
-            outputs = {name: self._store.unpack(matrix)
+                pool=self._matrix_pool,
+                **self._vector_exec_opts(program))
+            # Output matrices stay owned by the result (deferred
+            # readout) — they must NOT go back to the pool.
+            outputs = {name: PackedBits(self._store, matrix)
                        for name, matrix in matrices.items()}
             counts = {name: int(self._store.popcounts(matrix).sum())
                       for name, matrix in matrices.items()}
-            self._matrix_pool.give_unique(matrices.values())
         per_stmt = self._charge_program(cprog, colmap)
         return outputs, counts, per_stmt
 
@@ -1164,23 +1240,39 @@ class BitwiseService:
                 physical = colmap[col]
                 if physical in self._col_flags:
                     self._col_flags[physical] = flag
-            memo: dict[tuple[int, int], tuple[list[Stats], int]] = {}
+            memo = cprog._plan_stats_memo
+            shard_counts: dict[tuple, int] = {}
             for index, n_rows in enumerate(self._shard_rows):
-                state = (n_rows, self._tba_offsets[index])
+                # Keyed by spec too: a CompiledProgram can be handed to
+                # services running different technologies.
+                state = (self._spec, flags, n_rows,
+                         self._tba_offsets[index])
                 costed = memo.get(state)
                 if costed is None:
-                    offset = state[1]
+                    offset = state[3]
                     deltas = []
                     for stmt_events in events:
                         stats, offset = plan_stats(
                             self._spec, stmt_events, n_rows,
                             tba_offset=offset)
                         deltas.append(stats)
-                    costed = (deltas, offset)
+                    if len(memo) >= 256:  # offsets cycle; stay bounded
+                        memo.clear()
+                    costed = (tuple(deltas), offset)
                     memo[state] = costed
-                deltas, self._tba_offsets[index] = costed
-                for target, delta in zip(per_stmt, deltas):
-                    target.iadd(delta)
+                self._tba_offsets[index] = costed[1]
+                shard_counts[state] = shard_counts.get(state, 0) + 1
+            # Shards in the same (rows, tba_offset) state replay the
+            # exact same deltas — accumulate each distinct state once,
+            # scaled by its shard count, instead of merging per shard.
+            for state, n_shards in shard_counts.items():
+                deltas = memo[state][0]
+                if n_shards == 1:
+                    for target, delta in zip(per_stmt, deltas):
+                        target.iadd(delta)
+                else:
+                    for target, delta in zip(per_stmt, deltas):
+                        target.iadd_scaled(delta, n_shards)
             for stats in per_stmt:
                 self._ledger.iadd(stats)
         return per_stmt
@@ -1249,7 +1341,7 @@ class BitwiseService:
             plan = item["plan"]
             colmap = item["colmap"]
             start = time.perf_counter()
-            bits = count = None
+            payload = count = None
             if self.functional:
                 missing = [physical for physical in colmap.values()
                            if physical not in snapshot]
@@ -1257,17 +1349,49 @@ class BitwiseService:
                     raise QueryError(f"unbound column(s): {missing}")
                 columns = {logical: snapshot[physical]
                            for logical, physical in colmap.items()}
-                matrix = plan.vector_program().run(
+                program = plan.vector_program(fused=self.fuse)
+                matrix = program.run(
                     columns, shape=self._store.shape,
                     pool=self._matrix_pool,
                     node_cache=node_caches.setdefault(
-                        item["tenant"], {}))
+                        item["tenant"], {}),
+                    **self._vector_exec_opts(program))
                 count = int(self._store.popcounts(matrix).sum())
-                bits = self._store.unpack(matrix)
+                # The matrix stays owned by the result; .bits unpacks
+                # on first access (counting clients never pay it).
+                payload = PackedBits(self._store, matrix)
             delta = self._charge_vector(plan, colmap)
-            outputs[ckey] = (bits, count, delta,
+            outputs[ckey] = (payload, count, delta,
                              time.perf_counter() - start)
         return outputs
+
+    def _vector_exec_opts(self, program) -> dict:
+        """Executor/blocks kwargs for one bytecode run.
+
+        Goes shard-parallel only when configured (``workers > 1``),
+        the matrix has at least two rows to split, and the total work
+        — matrix bytes × steps — clears ``_parallel_min_work`` (thread
+        fan-out costs more than it saves on small tables).
+        """
+        if self.workers <= 1 or self._store is None:
+            return {}
+        shape = self._store.shape
+        if shape[0] < 2:
+            return {}
+        work = shape[0] * shape[1] * 8 * max(1, len(program.steps))
+        if work < self._parallel_min_work:
+            return {}
+        blocks = min(self.workers, shape[0])
+        pool = self._exec_pool
+        if pool is None:
+            with self._exec_pool_lock:
+                pool = self._exec_pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="vector-block")
+                    self._exec_pool = pool
+        return {"executor": pool, "blocks": blocks}
 
     def _charge_vector(self, plan: CompiledQuery,
                        colmap: dict[str, str]) -> Stats:
@@ -1397,8 +1521,7 @@ class BitwiseService:
             # the returned result object.
             entry = QueryResult(**{
                 **result.__dict__,
-                "bits": None if result.bits is None
-                else result.bits.copy(),
+                "payload": _payload_copy(result.payload),
                 "detail": dict(result.detail),
             })
             if key in self._cache:
@@ -1500,6 +1623,13 @@ class BitwiseService:
             "energy_total_nj": merged.total_energy_j * 1e9,
             "cycles_total": merged.total_cycles,
             "writeback": writeback,
+            "executor": {
+                "fuse": self.fuse,
+                "workers": self.workers,
+                "parallel_min_work": self._parallel_min_work,
+                "matrix_pool": self._matrix_pool.stats()
+                if self.backend == "vector" else None,
+            },
         }
 
     def close(self) -> None:
@@ -1507,6 +1637,8 @@ class BitwiseService:
             self._closed = True
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
+            if self._exec_pool is not None:
+                self._exec_pool.shutdown(wait=True)
 
     def _ensure_open(self) -> None:
         if self._closed:

@@ -88,13 +88,14 @@ def table():
             for name in TABLE_COLS}
 
 
+@pytest.mark.parametrize("fused", [False, True])
 @pytest.mark.parametrize("technology", ["feram-2tnc", "dram"])
 @given(program=programs())
 @settings(max_examples=25, deadline=None)
-def test_random_programs_backend_equivalent(technology, program,
-                                            table):
+def test_random_programs_backend_equivalent(technology, fused,
+                                            program, table):
     assert_program_equivalent(program, table, technology=technology,
-                              n_shards=2)
+                              n_shards=2, fused=fused)
 
 
 @given(program=programs())

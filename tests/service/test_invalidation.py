@@ -152,8 +152,8 @@ class TestInFlightMutationRace:
             resume = threading.Event()
             original = CompiledQuery.vector_program
 
-            def gated(plan):
-                program = original(plan)
+            def gated(plan, **kwargs):
+                program = original(plan, **kwargs)
                 entered.set()
                 assert resume.wait(timeout=10)
                 return program

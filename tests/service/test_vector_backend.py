@@ -220,8 +220,8 @@ class TestGenerationRace:
             resume = threading.Event()
             original = CompiledQuery.vector_program
 
-            def gated(plan):
-                program = original(plan)
+            def gated(plan, **kwargs):
+                program = original(plan, **kwargs)
                 entered.set()
                 assert resume.wait(timeout=10)
                 return program
@@ -271,8 +271,8 @@ class TestGenerationRace:
             resume = threading.Event()
             original = CompiledQuery.vector_program
 
-            def gated(plan):
-                program = original(plan)
+            def gated(plan, **kwargs):
+                program = original(plan, **kwargs)
                 entered.set()
                 assert resume.wait(timeout=10)
                 return program

@@ -1,0 +1,422 @@
+"""Binary wire protocol: frame codec, negotiation, and JSON parity.
+
+The ``REPB`` frame layer must round-trip every bulk payload bit-
+exactly, reject structural corruption with typed
+:class:`ProtocolError`, and — once negotiated per-connection — serve
+the same ops byte-identically to what a JSON-lines client reads,
+while JSON-only clients on the same server stay completely
+unaffected.  Also pins the server-side serialization contract: a
+response value the wire cannot represent is a ``protocol``-coded
+error response, never a silently stringified payload.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import BitwiseService, serve_tcp
+from repro.service import wire
+from repro.service.server import _json_default
+
+N_BITS = 512
+
+pytestmark = pytest.mark.timeout(60)
+
+
+@pytest.fixture
+def service(rng):
+    svc = BitwiseService(n_bits=N_BITS, n_shards=2,
+                         capacity=N_BITS + 128)
+    for name in ("a", "b", "c"):
+        svc.create_column(
+            name, (rng.random(N_BITS) < 0.5).astype(np.uint8))
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def server(service):
+    srv = serve_tcp(service, 0, batch_window_s=0.002)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+# ----------------------------------------------------------------------
+# frame codec
+# ----------------------------------------------------------------------
+class TestFrameCodec:
+    def _round_trip(self, frame):
+        header = wire.decode_header(frame[:wire.HEADER_SIZE])
+        rest = frame[wire.HEADER_SIZE:]
+        meta_bytes = rest[:header.meta_len]
+        payload = rest[header.meta_len:]
+        assert len(payload) == header.payload_bytes
+        return wire.decode_frame(header, meta_bytes, payload)
+
+    def test_meta_only_round_trip(self):
+        frame = wire.encode_frame(
+            wire.KIND_REQUEST, {"op": "query", "expr": "a & b"})
+        meta, bits = self._round_trip(frame)
+        assert meta == {"op": "query", "expr": "a & b"}
+        assert bits is None
+
+    @pytest.mark.parametrize("width", [1, 63, 64, 65, 777, 4096])
+    def test_bits_round_trip(self, rng, width):
+        original = rng.integers(0, 2, width, dtype=np.uint8)
+        frame = wire.encode_frame(wire.KIND_RESPONSE,
+                                  {"total": width}, original)
+        meta, bits = self._round_trip(frame)
+        assert meta == {"total": width}
+        assert bits.dtype == np.uint8 and bits.size == width
+        assert np.array_equal(bits, original)
+
+    def test_multi_segment_round_trip(self, rng):
+        segments = [rng.integers(0, 2, width, dtype=np.uint8)
+                    for width in (65, 1, 128)]
+        frame = wire.encode_frame(
+            wire.KIND_REQUEST,
+            {"op": "append_rows", "value_names": ["x", "y", "z"]},
+            segments)
+        meta, bits = self._round_trip(frame)
+        assert meta["value_names"] == ["x", "y", "z"]
+        assert "segment_bits" not in meta  # consumed by the decoder
+        assert isinstance(bits, list) and len(bits) == 3
+        for got, want in zip(bits, segments):
+            assert np.array_equal(got, want)
+
+    def test_payload_is_word_padded(self):
+        frame = wire.encode_frame(wire.KIND_REQUEST, {},
+                                  np.ones(65, dtype=np.uint8))
+        header = wire.decode_header(frame[:wire.HEADER_SIZE])
+        assert header.n_bits == 65
+        assert header.payload_bytes == 16  # two uint64 words
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(wire.encode_frame(wire.KIND_REQUEST, {}))
+        frame[:4] = b"JUNK"
+        with pytest.raises(ProtocolError, match="magic"):
+            wire.decode_header(bytes(frame[:wire.HEADER_SIZE]))
+
+    def test_unsupported_version_rejected(self):
+        frame = bytearray(wire.encode_frame(wire.KIND_REQUEST, {}))
+        frame[4] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            wire.decode_header(bytes(frame[:wire.HEADER_SIZE]))
+
+    def test_unknown_kind_rejected(self):
+        frame = bytearray(wire.encode_frame(wire.KIND_REQUEST, {}))
+        frame[5] = 7
+        with pytest.raises(ProtocolError, match="kind"):
+            wire.decode_header(bytes(frame[:wire.HEADER_SIZE]))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError, match="header"):
+            wire.decode_header(b"REPB\x01\x01")
+
+    def test_oversized_frame_rejected(self):
+        header = wire.HEADER.pack(wire.MAGIC, wire.VERSION,
+                                  wire.KIND_REQUEST, 0, 0,
+                                  wire.MAX_FRAME_BYTES, 1)
+        with pytest.raises(ProtocolError, match="limit"):
+            wire.decode_header(header)
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="bits"):
+            wire.unpack_bits(b"\x00" * 8, 65)
+
+    def test_non_object_metadata_rejected(self):
+        frame = wire.encode_frame(wire.KIND_REQUEST, {})
+        header = wire.decode_header(frame[:wire.HEADER_SIZE])
+        with pytest.raises(ProtocolError, match="object"):
+            wire.decode_frame(header, b"[1, 2]", b"")
+
+    def test_unserializable_metadata_raises(self):
+        with pytest.raises(ProtocolError, match="serializable"):
+            wire.encode_frame(wire.KIND_REQUEST, {"x": object()})
+
+    def test_json_default_converts_numpy_scalars(self):
+        encoded = json.dumps(
+            {"i": np.int64(3), "f": np.float64(0.5),
+             "b": np.bool_(True), "a": np.arange(3)},
+            default=_json_default)
+        assert json.loads(encoded) == \
+            {"i": 3, "f": 0.5, "b": True, "a": [0, 1, 2]}
+
+    def test_json_default_rejects_everything_else(self):
+        with pytest.raises(ProtocolError, match="serializable"):
+            json.dumps({"x": object()}, default=_json_default)
+
+
+# ----------------------------------------------------------------------
+# TCP integration
+# ----------------------------------------------------------------------
+class _JsonClient:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=10)
+        self.stream = self.sock.makefile("rw")
+
+    def call(self, request: dict) -> dict:
+        self.stream.write(json.dumps(request) + "\n")
+        self.stream.flush()
+        return json.loads(self.stream.readline())
+
+    def close(self):
+        self.sock.close()
+
+
+class _BinaryClient:
+    """Sync binary-wire client: JSON hello, then frames both ways."""
+
+    def __init__(self, port: int, tenant: str | None = None):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=10)
+        self.stream = self.sock.makefile("rb")
+        hello = {"op": "hello", "tenant": tenant, "wire": "binary"}
+        self.sock.sendall((json.dumps(hello) + "\n").encode())
+        self.hello = json.loads(self.stream.readline())
+        assert self.hello["ok"] and self.hello["wire"] == "binary"
+
+    def _read_exact(self, n: int) -> bytes:
+        data = self.stream.read(n)
+        if len(data) != n:
+            raise ConnectionError(f"short read ({len(data)}/{n})")
+        return data
+
+    def read_frame(self):
+        header = wire.decode_header(
+            self._read_exact(wire.HEADER_SIZE))
+        meta_bytes = self._read_exact(header.meta_len) \
+            if header.meta_len else b""
+        payload = self._read_exact(header.payload_bytes) \
+            if header.payload_bytes else b""
+        return wire.decode_frame(header, meta_bytes, payload)
+
+    def call(self, request: dict, bits=None) -> dict:
+        self.sock.sendall(
+            wire.encode_frame(wire.KIND_REQUEST, request, bits))
+        response, page = self.read_frame()
+        if page is not None:
+            response["bits"] = page
+        return response
+
+    def close(self):
+        self.sock.close()
+
+
+def _page_text(page: np.ndarray) -> str:
+    return (page + ord("0")).tobytes().decode("ascii")
+
+
+class TestBinaryServer:
+    def test_negotiation_and_meta_ops(self, server):
+        client = _BinaryClient(server.server_address[1])
+        try:
+            assert client.hello["n_bits"] == N_BITS
+            response = client.call({"op": "query", "expr": "a & b"})
+            assert response["ok"] and response["count"] >= 0
+            batch = client.call({"op": "batch",
+                                 "exprs": ["a | b", "a ^ c"]})
+            assert batch["ok"] and len(batch["results"]) == 2
+            stats = client.call({"op": "stats"})
+            assert stats["ok"] and "scheduler" in stats["stats"]
+        finally:
+            client.close()
+
+    def test_bulk_ops_round_trip(self, server, service, rng):
+        client = _BinaryClient(server.server_address[1])
+        try:
+            payload = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            assert client.call({"op": "create_column", "name": "x"},
+                               payload)["ok"]
+            assert np.array_equal(service.column_bits("x"), payload)
+            # Paged readout comes back as a raw array.
+            page = client.call({"op": "bits", "name": "x",
+                                "offset": 0, "limit": N_BITS})
+            assert page["ok"] and page["total"] == N_BITS
+            assert np.array_equal(page["bits"], payload)
+            # Slice write via frame payload.
+            patch = 1 - payload[32:96]
+            result = client.call({"op": "write_slice", "name": "x",
+                                  "offset": 32}, patch)
+            assert result["ok"] and result["rows_written"] >= 1
+            payload[32:96] = patch
+            assert np.array_equal(service.column_bits("x"), payload)
+            # Multi-segment append.
+            extra = {"x": rng.integers(0, 2, 64, dtype=np.uint8),
+                     "a": rng.integers(0, 2, 64, dtype=np.uint8)}
+            result = client.call(
+                {"op": "append_rows", "value_names": list(extra)},
+                list(extra.values()))
+            assert result["ok"]
+            assert result["table_bits"] == N_BITS + 64
+            got = service.column_bits("x")
+            assert np.array_equal(got[N_BITS:], extra["x"])
+        finally:
+            client.close()
+
+    def test_binary_page_byte_identical_to_json(self, server, rng):
+        port = server.server_address[1]
+        binary = _BinaryClient(port)
+        json_client = _JsonClient(port)
+        try:
+            payload = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            assert binary.call({"op": "create_column", "name": "y"},
+                               payload)["ok"]
+            request = {"op": "bits", "name": "y", "offset": 0,
+                       "limit": N_BITS}
+            binary_page = binary.call(dict(request))
+            json_page = json_client.call(dict(request))
+            assert json_page["ok"] and binary_page["ok"]
+            assert _page_text(binary_page["bits"]) == json_page["bits"]
+            assert binary_page["total"] == json_page["total"]
+            assert binary_page["source"] == json_page["source"]
+        finally:
+            binary.close()
+            json_client.close()
+
+    def test_json_only_clients_unchanged(self, server):
+        """A JSON-lines client sharing the server with a binary one
+        sees exactly the legacy shapes."""
+        port = server.server_address[1]
+        binary = _BinaryClient(port)
+        legacy = _JsonClient(port)
+        try:
+            binary.call({"op": "query", "expr": "a ^ b"})
+            page = legacy.call({"op": "bits", "name": "a",
+                                "offset": 0, "limit": 16})
+            assert page["ok"] and isinstance(page["bits"], str)
+            assert set(page["bits"]) <= {"0", "1"}
+            response = legacy.call({"op": "query", "expr": "a & b"})
+            assert response["ok"] and "count" in response
+        finally:
+            binary.close()
+            legacy.close()
+
+    def test_corrupt_frame_reports_and_closes(self, server):
+        client = _BinaryClient(server.server_address[1])
+        try:
+            client.sock.sendall(b"X" * wire.HEADER_SIZE)
+            response, _ = client.read_frame()
+            assert not response["ok"]
+            assert response["code"] == "protocol"
+            # Framing is lost: the server hangs up.
+            assert client.stream.read(1) == b""
+        finally:
+            client.close()
+
+    def test_soak_json_and_binary_agree(self, server, service, rng):
+        """Concurrent JSON and binary clients hammer mutations and
+        page reads; every page read on either wire must match the
+        service's ground truth at the end."""
+        port = server.server_address[1]
+        errors: list = []
+        base = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+
+        def binary_worker(index: int):
+            worker_rng = np.random.default_rng(1000 + index)
+            client = _BinaryClient(port)
+            try:
+                name = f"bw{index}"
+                client.call({"op": "create_column", "name": name},
+                            base)
+                for round_no in range(5):
+                    patch = worker_rng.integers(0, 2, 64,
+                                                dtype=np.uint8)
+                    offset = 64 * round_no
+                    result = client.call(
+                        {"op": "write_slice", "name": name,
+                         "offset": offset}, patch)
+                    if not result.get("ok"):
+                        errors.append(result)
+                    page = client.call(
+                        {"op": "bits", "name": name,
+                         "offset": offset, "limit": 64})
+                    if not np.array_equal(page["bits"], patch):
+                        errors.append((name, offset))
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+            finally:
+                client.close()
+
+        def json_worker():
+            client = _JsonClient(port)
+            try:
+                for _ in range(10):
+                    response = client.call({"op": "query",
+                                            "expr": "a & b"})
+                    if not response.get("ok"):
+                        errors.append(response)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=binary_worker, args=(i,))
+                   for i in range(3)]
+        threads += [threading.Thread(target=json_worker)
+                    for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors[:3]
+
+
+class TestProtocolErrorSurface:
+    def test_unserializable_response_is_protocol_error(
+            self, server, service, monkeypatch):
+        """Satellite regression: a stats object the wire cannot
+        serialize must produce a typed error response (code
+        "protocol"), not a default=str mangled payload — and the
+        connection must survive."""
+        class Opaque:
+            pass
+
+        original = service.stats
+
+        def poisoned():
+            stats = original()
+            stats["opaque"] = Opaque()
+            return stats
+
+        monkeypatch.setattr(service, "stats", poisoned)
+        client = _JsonClient(server.server_address[1])
+        try:
+            response = client.call({"op": "stats"})
+            assert not response["ok"]
+            assert response["code"] == "protocol"
+            assert "Opaque" in response["error"]
+            # The connection is still healthy afterwards.
+            follow_up = client.call({"op": "query", "expr": "a"})
+            assert follow_up["ok"]
+        finally:
+            client.close()
+
+    def test_binary_wire_surfaces_protocol_error(
+            self, server, service, monkeypatch):
+        class Opaque:
+            pass
+
+        original = service.stats
+        monkeypatch.setattr(
+            service, "stats",
+            lambda: {**original(), "opaque": Opaque()})
+        client = _BinaryClient(server.server_address[1])
+        try:
+            response = client.call({"op": "stats"})
+            assert not response["ok"]
+            assert response["code"] == "protocol"
+            follow_up = client.call({"op": "query", "expr": "a"})
+            assert follow_up["ok"]
+        finally:
+            client.close()

@@ -80,12 +80,16 @@ def numpy_program_eval(program, table):
 
 def run_program_on_backends(program, table, *,
                             technology="feram-2tnc", n_shards=3,
-                            functional=True, warmup_queries=()):
+                            functional=True, warmup_queries=(),
+                            fused=True, workers=None,
+                            parallel_min_work=None):
     """Run one program on a fresh service pair; returns
     ``(reference_result, vector_result, reference_stats, vector_stats)``.
 
     ``warmup_queries`` run first on both services (uncached) so the
     equivalence is also exercised from evolved column-flag state.
+    ``fused``/``workers``/``parallel_min_work`` select the vector
+    backend's executor tier (the reference replay ignores them).
     """
     n_bits = len(next(iter(table.values())))
     results = {}
@@ -93,7 +97,10 @@ def run_program_on_backends(program, table, *,
     for backend in ("reference", "vector"):
         service = BitwiseService(technology, n_bits=n_bits,
                                  n_shards=n_shards,
-                                 functional=functional, backend=backend)
+                                 functional=functional, backend=backend,
+                                 fuse=fused, workers=workers)
+        if parallel_min_work is not None:
+            service._parallel_min_work = parallel_min_work
         try:
             for name, bits in table.items():
                 service.create_column(
@@ -111,14 +118,18 @@ def run_program_on_backends(program, table, *,
 def assert_program_equivalent(program, table, *,
                               technology="feram-2tnc", n_shards=3,
                               functional=True, warmup_queries=(),
-                              check_ground_truth=True):
+                              check_ground_truth=True,
+                              fused=True, workers=None,
+                              parallel_min_work=None):
     """THE differential assertion (see module docstring).
 
     Returns ``(reference_result, vector_result)`` for further checks.
     """
     ref, vec, ref_ledger, vec_ledger = run_program_on_backends(
         program, table, technology=technology, n_shards=n_shards,
-        functional=functional, warmup_queries=warmup_queries)
+        functional=functional, warmup_queries=warmup_queries,
+        fused=fused, workers=workers,
+        parallel_min_work=parallel_min_work)
 
     # --- bits ---------------------------------------------------------
     if functional:
@@ -212,7 +223,8 @@ def apply_op_to_service(service: BitwiseService, op: tuple):
 
 def assert_ops_equivalent(initial_table: dict, ops, *,
                           technology="feram-2tnc", n_shards=3,
-                          capacity=None, cache_size=64):
+                          capacity=None, cache_size=64,
+                          fused=True, workers=None):
     """Differential assertion for serialized mutation/query scripts.
 
     Runs the same op script on a vector-backend service, a
@@ -227,7 +239,8 @@ def assert_ops_equivalent(initial_table: dict, ops, *,
         backend: BitwiseService(technology, n_bits=n_bits,
                                 n_shards=n_shards, backend=backend,
                                 capacity=capacity,
-                                cache_size=cache_size)
+                                cache_size=cache_size,
+                                fuse=fused, workers=workers)
         for backend in ("reference", "vector")
     }
     shadow = {name: np.asarray(bits, dtype=np.uint8).copy()
