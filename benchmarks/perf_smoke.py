@@ -73,6 +73,10 @@ SEED_BASELINE_S = {
     # query/mutation load from 6 concurrent TCP clients (240 requests)
     # through the batching scheduler; baseline = introduction measure
     "serving_latency": 0.0654,
+    # introduced with the component-registry PR: the default 12-point
+    # design-space sweep (closed-form plan_stats re-costing + Pareto
+    # extraction); baseline = introduction measure
+    "explore_sweep": 0.0275,
 }
 
 #: allowed relative slowdown vs the committed baseline (CI gate)
@@ -222,6 +226,27 @@ def _workload_scale(*, backend: str = "vector", fuse: bool = True,
     }
 
 
+def _explore_sweep(*, repeat: int = 5) -> dict:
+    """Design-space sweep throughput: the default grid re-costed in
+    closed form (the warm-up probes the workload suite once; the
+    timing measures per-point spec assembly + ``plan_stats`` expansion
+    + Pareto extraction across all points)."""
+    from repro.explore import default_sweep_geometries, run_explore
+
+    geometries = default_sweep_geometries()
+    last = {}
+
+    def run():
+        last["payload"] = run_explore(geometries)
+
+    run()  # warm: compile + probe the workload suite
+    seconds = _time(run, repeat=repeat)
+    payload = last["payload"]
+    return {"seconds": seconds,
+            "points": len(payload["points"]),
+            "pareto": payload["pareto"]}
+
+
 def primitive_counts() -> dict:
     """Compiled-vs-naive native primitive counts per row."""
     record = {}
@@ -270,6 +295,8 @@ def run_smoke() -> dict:
                   key=lambda record: record["seconds"])
     timings["serving_latency"] = serving["seconds"]
     serving_binary = serving_latency(wire="binary")
+    explore = _explore_sweep(repeat=5)
+    timings["explore_sweep"] = explore["seconds"]
 
     entries = {}
     for name, seconds in timings.items():
@@ -323,6 +350,18 @@ def run_smoke() -> dict:
                     serving_binary["encode_ms_per_request"], 4),
             },
         },
+    })
+    entries["explore_sweep"].update({
+        "points": explore["points"],
+        "pareto": [
+            {"technology": point["technology"],
+             "f_nm": point["f_nm"],
+             "n_caps": point["n_caps"],
+             "energy_pj_per_bit": round(
+                 point["energy_pj_per_bit"], 3),
+             "area_nm2_per_bit": round(
+                 point["area_nm2_per_bit"], 1)}
+            for point in explore["pareto"]],
     })
     return {
         "suite": "substrate",
@@ -420,6 +459,21 @@ def print_summary(payload: dict) -> None:
               f"client encode {binary['encode_ms_per_request']:.4f} "
               f"ms/req vs {serving['encode_ms_per_request']:.4f} "
               f"ms/req over JSON.")
+    explore = payload.get("benchmarks", {}).get("explore_sweep", {})
+    if explore.get("pareto"):
+        print()
+        print(f"`explore_sweep`: {explore['points']}-point "
+              f"design-space sweep in "
+              f"{explore['measured_s'] * 1e3:.1f} ms; "
+              f"energy/area Pareto front:")
+        print()
+        print("| technology | f (nm) | caps | pJ/bit | nm2/bit |")
+        print("| --- | ---: | ---: | ---: | ---: |")
+        for point in explore["pareto"]:
+            print(f"| {point['technology']} | {point['f_nm']:.0f} "
+                  f"| {point['n_caps']} "
+                  f"| {point['energy_pj_per_bit']:.3f} "
+                  f"| {point['area_nm2_per_bit']:.1f} |")
     counts = payload.get("primitive_counts", {})
     if counts:
         print()

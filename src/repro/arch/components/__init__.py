@@ -1,0 +1,81 @@
+"""Component-level energy/area estimator registry.
+
+An Accelergy-style registry of named per-component estimators — sense
+amp, row decoder, wordline/plateline driver, cell array bank,
+interconnect — each exposing ``action_energy("read"|"write"|"update")``
+and ``get_area()``, with technology-specific subclasses for 2T-nC
+FeRAM and DRAM.  :func:`assemble_memory_spec` sums a component list
+into a :class:`~repro.arch.spec.MemorySpec`; the paper's default
+specs are assembled this way and remain bit-exact against the
+calibrated §VI constants.
+"""
+
+from repro.arch.components.assemble import (
+    assemble_memory_spec,
+    build_components,
+    component_breakdown,
+    exact_partition,
+    paper_memory_spec,
+)
+from repro.arch.components.base import (
+    ACTIONS,
+    COMPONENT_REGISTRY,
+    Component,
+    component_class,
+    component_classes,
+    component_kinds,
+    register,
+    technologies,
+)
+from repro.arch.components.geometry import (
+    DRAM_F2_PER_CELL,
+    PERIPHERY_OVERHEAD,
+    PLANAR_F2_PER_CAP,
+    TECH_F_NM,
+    VERTICAL_FOOTPRINT_NM,
+    CellGeometry,
+    reference_geometry,
+)
+from repro.arch.components.library import (
+    DRAM_COSTS,
+    FERAM_2TNC_COSTS,
+    CellArrayBank,
+    Interconnect,
+    RowDecoder,
+    RowDriver,
+    SenseAmp,
+    TechnologyCosts,
+    technology_costs,
+)
+
+__all__ = [
+    "ACTIONS",
+    "COMPONENT_REGISTRY",
+    "Component",
+    "register",
+    "component_class",
+    "component_classes",
+    "component_kinds",
+    "technologies",
+    "CellGeometry",
+    "reference_geometry",
+    "TECH_F_NM",
+    "PLANAR_F2_PER_CAP",
+    "VERTICAL_FOOTPRINT_NM",
+    "PERIPHERY_OVERHEAD",
+    "DRAM_F2_PER_CELL",
+    "TechnologyCosts",
+    "DRAM_COSTS",
+    "FERAM_2TNC_COSTS",
+    "technology_costs",
+    "SenseAmp",
+    "RowDecoder",
+    "RowDriver",
+    "CellArrayBank",
+    "Interconnect",
+    "exact_partition",
+    "build_components",
+    "assemble_memory_spec",
+    "paper_memory_spec",
+    "component_breakdown",
+]

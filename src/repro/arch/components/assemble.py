@@ -1,0 +1,187 @@
+"""Assemble a :class:`~repro.arch.spec.MemorySpec` from components.
+
+The spec's per-row command energies are the **sums of the component
+estimators' action energies**, and the paper's default specs
+(``DRAM_8GB`` / ``FERAM_2TNC_8GB``) are built this way at import time.
+The hard constraint is bit-exactness: the assembled defaults must
+reproduce the calibrated constants to the last float bit, so every
+golden fixture and differential suite keeps passing unchanged.  The
+:func:`exact_partition` helper guarantees it — it splits a calibrated
+total by the component shares and then nudges the largest part by the
+(sub-ulp) residual until the left-to-right float sum reproduces the
+total exactly; at the reference geometry every scaling factor is
+exactly 1.0, so the assembled spec's energies are bitwise equal to the
+cost-table constants.
+"""
+
+from __future__ import annotations
+
+from repro.arch.components.base import (
+    ACTIONS,
+    Component,
+    component_classes,
+)
+from repro.arch.components.geometry import CellGeometry, reference_geometry
+from repro.arch.components.library import technology_costs
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "exact_partition",
+    "build_components",
+    "assemble_memory_spec",
+    "paper_memory_spec",
+    "component_breakdown",
+]
+
+#: DRAM refresh interval of the paper's evaluation (§VI)
+DRAM_REFRESH_INTERVAL_S = 64e-3
+
+
+def _chain_sum(values) -> float:
+    """Plain left-to-right float sum — THE summation order assembly
+    uses everywhere, which :func:`exact_partition` calibrates against."""
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
+def exact_partition(total: float, shares) -> list[float]:
+    """Split ``total`` into parts proportional to ``shares`` whose
+    left-to-right float sum equals ``total`` **exactly**.
+
+    Shares must be non-negative and sum to 1; the residual (at most a
+    few ulps from the share multiplications) is folded into the
+    largest part, iterating until the chain sum lands bit-exactly.
+    """
+    shares = list(shares)
+    if not shares or any(share < 0 for share in shares):
+        raise ArchitectureError("shares must be non-negative")
+    parts = [total * share for share in shares]
+    largest = max(range(len(parts)), key=lambda i: parts[i])
+    for _ in range(64):
+        err = total - _chain_sum(parts)
+        if err == 0.0:
+            return parts
+        parts[largest] += err
+    raise ArchitectureError(
+        f"exact partition failed to converge for total {total!r}")
+
+
+def build_components(technology: str,
+                     geometry: CellGeometry | None = None,
+                     ) -> tuple[Component, ...]:
+    """Instantiate a technology's component list at a geometry point.
+
+    Each calibrated action total is exact-partitioned across the
+    registered classes at the *reference* geometry, then every part is
+    scaled by its class's geometry law — so at the reference the parts
+    sum bit-exactly to the calibrated constants, and away from it the
+    totals follow the per-component physics.
+    """
+    geometry = geometry if geometry is not None \
+        else reference_geometry(technology)
+    if geometry.technology != technology:
+        raise ArchitectureError(
+            f"geometry is for {geometry.technology!r}, "
+            f"not {technology!r}")
+    classes = component_classes(technology)
+    costs = technology_costs(technology)
+    energies: dict[str, list[float]] = {}
+    for action in ACTIONS:
+        parts = exact_partition(
+            costs.action_total(action),
+            [cls.energy_share(action) for cls in classes])
+        energies[action] = [
+            part * cls.energy_scale(action, geometry)
+            for part, cls in zip(parts, classes)]
+    return tuple(
+        cls(read_j=energies["read"][i],
+            write_j=energies["write"][i],
+            update_j=energies["update"][i],
+            area_nm2=cls.area_nm2_for(geometry))
+        for i, cls in enumerate(classes))
+
+
+def assemble_memory_spec(technology: str,
+                         geometry: CellGeometry | None = None, *,
+                         name: str | None = None,
+                         staging_policy: str | None = None,
+                         refresh_interval_s: float | None = None,
+                         control_rewrite_period: int | None = None):
+    """A :class:`~repro.arch.spec.MemorySpec` summed from components.
+
+    ``e_activate``/``e_row_read`` are the component ``read`` energies,
+    ``e_copy``/``e_row_write`` the ``write`` energies and
+    ``e_precharge`` the ``update`` energies, summed in registry order;
+    geometry fields come from the :class:`CellGeometry` point.
+    """
+    # Imported lazily: spec.py builds its default constants through
+    # this module at import time, so a module-level import would be
+    # circular whichever side loads first.
+    from repro.arch.spec import MemorySpec, StagingPolicy
+
+    geometry = geometry if geometry is not None \
+        else reference_geometry(technology)
+    components = build_components(technology, geometry)
+    e_read = _chain_sum(c.action_energy("read") for c in components)
+    e_write = _chain_sum(c.action_energy("write") for c in components)
+    e_update = _chain_sum(c.action_energy("update") for c in components)
+    if staging_policy is None:
+        staging_policy = StagingPolicy.STAGED \
+            if technology == "dram" else StagingPolicy.PAPER
+    if refresh_interval_s is None and technology == "dram":
+        refresh_interval_s = DRAM_REFRESH_INTERVAL_S
+    extra = {}
+    if control_rewrite_period is not None:
+        extra["control_rewrite_period"] = control_rewrite_period
+    return MemorySpec(
+        name=name or f"{technology}-assembled",
+        technology=technology,
+        capacity_bytes=geometry.capacity_bytes,
+        row_bytes=geometry.row_bytes,
+        n_banks=geometry.n_banks,
+        n_planes=geometry.n_caps,
+        e_activate=e_read,
+        e_precharge=e_update,
+        e_copy=e_write,
+        e_row_write=e_write,
+        e_row_read=e_read,
+        refresh_interval_s=refresh_interval_s,
+        staging_policy=staging_policy,
+        components=components,
+        **extra,
+    )
+
+
+def paper_memory_spec(technology: str):
+    """The paper's §VI default spec, assembled from the registry.
+
+    Bit-exact against the historical hand-written constants — pinned
+    by the component test suite and the golden fixtures.
+    """
+    if technology == "dram":
+        return assemble_memory_spec("dram", name="dram-8gb")
+    if technology == "feram-2tnc":
+        return assemble_memory_spec("feram-2tnc",
+                                    name="feram-2tnc-8gb")
+    raise ArchitectureError(f"unknown technology {technology!r}")
+
+
+def component_breakdown(technology: str,
+                        geometry: CellGeometry | None = None,
+                        ) -> list[dict]:
+    """Per-component energy/area table (report + experiment view)."""
+    geometry = geometry if geometry is not None \
+        else reference_geometry(technology)
+    rows = []
+    for component in build_components(technology, geometry):
+        rows.append({
+            "kind": component.kind,
+            "label": component.label or component.kind,
+            "read_nj": component.action_energy("read") * 1e9,
+            "write_nj": component.action_energy("write") * 1e9,
+            "update_nj": component.action_energy("update") * 1e9,
+            "area_nm2": component.get_area(),
+        })
+    return rows

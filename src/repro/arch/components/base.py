@@ -1,0 +1,166 @@
+"""Component estimator base class and registry (Accelergy shape).
+
+A *component* is one named piece of the memory periphery or array —
+sense amp, row decoder, wordline/plateline driver, cell array bank,
+interconnect — exposing per-row-command action energies
+(``action_energy("read"|"write"|"update")``) and a silicon footprint
+(``get_area()``).  Technology-specific subclasses (2T-nC FeRAM, DRAM)
+carry the decomposition shares and geometry scaling laws; the
+:mod:`~repro.arch.components.assemble` module instantiates a component
+list for a technology/geometry pair and sums it into a
+:class:`~repro.arch.spec.MemorySpec`.
+
+Actions map onto the row-command vocabulary of the spec:
+
+* ``read``   — one row ACTIVATE (QNRO minority sense for FeRAM,
+  destructive read + restore for DRAM); sums to ``e_activate``;
+* ``write``  — one full row write / COPY drive (FeRAM programs the FE
+  capacitors through the complementary WBL/WPL rails); sums to
+  ``e_copy`` / ``e_row_write``;
+* ``update`` — the precharge/equalize of the array between commands;
+  sums to ``e_precharge``.
+
+Classes register themselves under ``(technology, kind)`` via the
+:func:`register` decorator, in declaration order — the order the
+assembler sums them in, which the exact-partition guarantee depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Mapping
+
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "ACTIONS",
+    "Component",
+    "COMPONENT_REGISTRY",
+    "register",
+    "component_classes",
+    "component_class",
+    "component_kinds",
+    "technologies",
+]
+
+#: the action vocabulary every estimator answers
+ACTIONS = ("read", "write", "update")
+
+#: ``(technology, kind) -> component class``, in registration order
+COMPONENT_REGISTRY: dict[tuple[str, str], type["Component"]] = {}
+
+
+def register(cls: type["Component"]) -> type["Component"]:
+    """Class decorator: file a component under ``(technology, kind)``."""
+    if not cls.kind or not cls.technology:
+        raise ArchitectureError(
+            f"component {cls.__name__} needs kind and technology")
+    key = (cls.technology, cls.kind)
+    if key in COMPONENT_REGISTRY:
+        raise ArchitectureError(
+            f"duplicate component registration {key!r}")
+    COMPONENT_REGISTRY[key] = cls
+    return cls
+
+
+def component_classes(technology: str) -> tuple[type["Component"], ...]:
+    """All component classes of one technology, registration order."""
+    classes = tuple(cls for (tech, _), cls in COMPONENT_REGISTRY.items()
+                    if tech == technology)
+    if not classes:
+        raise ArchitectureError(
+            f"no components registered for technology {technology!r}")
+    return classes
+
+
+def component_class(technology: str, kind: str) -> type["Component"]:
+    """Look up one registered component class."""
+    try:
+        return COMPONENT_REGISTRY[(technology, kind)]
+    except KeyError:
+        raise ArchitectureError(
+            f"no component {kind!r} for technology {technology!r}"
+        ) from None
+
+
+def component_kinds(technology: str) -> tuple[str, ...]:
+    return tuple(cls.kind for cls in component_classes(technology))
+
+
+def technologies() -> tuple[str, ...]:
+    """Technologies with at least one registered component."""
+    seen: list[str] = []
+    for tech, _ in COMPONENT_REGISTRY:
+        if tech not in seen:
+            seen.append(tech)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Component:
+    """One instantiated estimator: concrete joules and nm² for a
+    technology/geometry point.
+
+    Instances are produced by the assembler, which partitions the
+    calibrated per-row command energies across a technology's component
+    list according to each class's ``ENERGY_SHARES`` and scales them
+    with the class's geometry laws (:meth:`energy_scale`).  They are
+    frozen (hashable) so an assembled spec can carry its component list
+    through the service's memoization keys.
+    """
+
+    read_j: float      #: share of one row ACTIVATE (J)
+    write_j: float     #: share of one full row write / COPY (J)
+    update_j: float    #: share of one PRECHARGE (J)
+    area_nm2: float    #: footprint per cell-site (nm²)
+
+    #: registry key within a technology (stable across technologies)
+    kind: ClassVar[str] = ""
+    #: technology this class estimates ("feram-2tnc" | "dram")
+    technology: ClassVar[str] = ""
+    #: human label (e.g. "wordline/plateline driver")
+    label: ClassVar[str] = ""
+    #: fraction of each calibrated per-row action energy this
+    #: component carries (dyadic rationals summing to 1 per action
+    #: across a technology's component list)
+    ENERGY_SHARES: ClassVar[Mapping[str, float]] = {}
+    #: fraction of the periphery area budget (the cell array overrides
+    #: :meth:`cell_area_nm2` instead and keeps this at 0)
+    AREA_SHARE: ClassVar[float] = 0.0
+
+    # ------------------------------------------------------------------
+    def action_energy(self, action: str) -> float:
+        """Energy (J) this component contributes to one row command."""
+        if action == "read":
+            return self.read_j
+        if action == "write":
+            return self.write_j
+        if action == "update":
+            return self.update_j
+        raise ArchitectureError(
+            f"unknown action {action!r} (expected one of {ACTIONS})")
+
+    def get_area(self) -> float:
+        """Footprint (nm²) per cell-site, periphery share included."""
+        return self.area_nm2
+
+    # -- class-level hooks the assembler drives ------------------------
+    @classmethod
+    def energy_share(cls, action: str) -> float:
+        return cls.ENERGY_SHARES.get(action, 0.0)
+
+    @classmethod
+    def energy_scale(cls, action: str, geometry) -> float:
+        """Geometry scaling factor relative to the paper's reference
+        point (== 1.0 exactly at the reference, preserving bit-exact
+        default specs).  Subclasses override per component physics."""
+        return 1.0
+
+    @classmethod
+    def area_nm2_for(cls, geometry) -> float:
+        """Footprint (nm²) per cell-site at a geometry point.
+
+        Periphery components take their ``AREA_SHARE`` of the
+        technology's periphery budget (a fixed overhead fraction of
+        the cell array, §VII); the cell array overrides this."""
+        return cls.AREA_SHARE * geometry.periphery_budget_nm2()

@@ -1,0 +1,155 @@
+"""Cell/array geometry: the knobs the design-space explorer sweeps.
+
+This module is the single home of the paper's geometry and area
+anchors (§V/§VI/§VII) — ``integration.area`` re-exports them — plus
+the :class:`CellGeometry` point the component estimators scale their
+energies and footprints against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TECH_F_NM",
+    "PLANAR_F2_PER_CAP",
+    "VERTICAL_FOOTPRINT_NM",
+    "PERIPHERY_OVERHEAD",
+    "DRAM_F2_PER_CELL",
+    "CellGeometry",
+    "reference_geometry",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: feature size of the paper's area comparison (nm)
+TECH_F_NM = 28.0
+#: planar 2T-nC area scales ~30 F² per capacitor (2T-1C anchor)
+PLANAR_F2_PER_CAP = 30.0
+#: vertical 2T-nC string footprint (nm per side)
+VERTICAL_FOOTPRINT_NM = 130.0
+#: peripheral circuitry overhead fraction (§VII, consistent with [15])
+PERIPHERY_OVERHEAD = 0.5
+#: standard folded-bitline DRAM cell (1T-1C), one bit per cell
+DRAM_F2_PER_CELL = 6.0
+
+#: §VI evaluation geometry shared by both technologies
+REF_CAPACITY_BYTES = 8 * GIB
+REF_ROW_BYTES = 8 * KIB
+REF_N_BANKS = 64
+
+
+@dataclass(frozen=True)
+class CellGeometry:
+    """One design point: array geometry + cell technology knobs.
+
+    ``stacking`` selects the 2T-nC cell style: ``"vertical"`` (the
+    paper's BEOL capacitor string, footprint independent of the plane
+    count) or ``"planar"`` (30 F² per capacitor).  DRAM ignores it.
+    """
+
+    technology: str               # "dram" | "feram-2tnc"
+    capacity_bytes: int = REF_CAPACITY_BYTES
+    row_bytes: int = REF_ROW_BYTES
+    n_banks: int = REF_N_BANKS
+    n_caps: int = 1               # capacitors (planes) per cell
+    f_nm: float = TECH_F_NM
+    footprint_nm: float = VERTICAL_FOOTPRINT_NM
+    stacking: str = "vertical"
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.row_bytes <= 0:
+            raise ArchitectureError(
+                "capacity and row size must be positive")
+        if self.capacity_bytes % self.row_bytes:
+            raise ArchitectureError(
+                "capacity must be a whole number of rows")
+        if self.n_banks < 1 or self.n_caps < 1:
+            raise ArchitectureError(
+                "need at least one bank and one capacitor")
+        if self.f_nm <= 0 or self.footprint_nm <= 0:
+            raise ArchitectureError(
+                "feature size and footprint must be positive")
+        if self.stacking not in ("vertical", "planar"):
+            raise ArchitectureError(
+                f"unknown stacking {self.stacking!r}")
+
+    # -- derived array shape (mirrors MemorySpec) ----------------------
+    @property
+    def row_bits(self) -> int:
+        return self.row_bytes * 8
+
+    @property
+    def n_rows(self) -> int:
+        """Physical cell rows (planes share a row)."""
+        return self.capacity_bytes // (self.row_bytes * self.n_caps)
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.n_rows // self.n_banks
+
+    @property
+    def bits_per_cell(self) -> int:
+        return self.n_caps
+
+    # -- area model (§V anchors) ---------------------------------------
+    def cell_area_nm2(self) -> float:
+        """Footprint of one cell-site (nm²), all planes included."""
+        if self.technology == "dram":
+            return DRAM_F2_PER_CELL * self.f_nm * self.f_nm
+        if self.stacking == "vertical":
+            # capacitors stack in the BEOL between T_R and T_W,
+            # costing no lateral area
+            return self.footprint_nm * self.footprint_nm
+        return PLANAR_F2_PER_CAP * self.n_caps * self.f_nm * self.f_nm
+
+    def periphery_budget_nm2(self) -> float:
+        """Periphery area budget per cell-site the periphery
+        components split between themselves (§VII overhead)."""
+        return PERIPHERY_OVERHEAD * self.cell_area_nm2()
+
+    # -- sweep constructors --------------------------------------------
+    def with_rows_per_bank(self, rows_per_bank: int) -> "CellGeometry":
+        """Same point with the bank resized to ``rows_per_bank`` rows
+        (capacity follows; the sweep's bank-depth knob)."""
+        if rows_per_bank < 1:
+            raise ArchitectureError("rows_per_bank must be >= 1")
+        capacity = (self.row_bytes * self.n_caps * rows_per_bank
+                    * self.n_banks)
+        return replace(self, capacity_bytes=capacity)
+
+    def scaled(self, **overrides) -> "CellGeometry":
+        return replace(self, **overrides)
+
+    # -- scaling ratios vs the technology reference --------------------
+    def ratios(self) -> dict[str, float]:
+        """Geometry ratios vs the paper's reference point.
+
+        All exactly 1.0 at the reference, which the bit-exact default
+        spec assembly depends on."""
+        ref = reference_geometry(self.technology)
+        return {
+            "row_bits": self.row_bits / ref.row_bits,
+            "feature": self.f_nm / ref.f_nm,
+            "decode": (math.log2(max(self.rows_per_bank, 2))
+                       / math.log2(max(ref.rows_per_bank, 2))),
+        }
+
+
+def reference_geometry(technology: str) -> CellGeometry:
+    """The paper's §VI evaluation geometry for one technology."""
+    if technology == "dram":
+        return CellGeometry(technology="dram", n_caps=1,
+                            stacking="planar")
+    if technology == "feram-2tnc":
+        return CellGeometry(technology="feram-2tnc", n_caps=3,
+                            stacking="vertical")
+    raise ArchitectureError(f"unknown technology {technology!r}")

@@ -3,16 +3,19 @@
 The paper's evaluation (§VI) fixes: 8 GB memory, 8 KB rows, ACTIVATE
 energy 22.6 nJ (DRAM) / 16.6 nJ (2T-nC FeRAM) per row, PRECHARGE 0.32 nJ
 per row, uniform 1-cycle latency per command phase, and a 64 ms DRAM
-refresh interval.  These constants live here, as do the structural
-differences: DRAM logic ops use the Ambit AAP (ACTIVATE-ACTIVATE-
-PRECHARGE) primitive with destructive triple-row activation, while 2T-nC
-FeRAM uses the ACP (ACTIVATE-COPY-PRECHARGE) primitive with in-place,
-quasi-nondestructive TBA.
+refresh interval.  The calibrated scalars live in the component
+estimator registry (:mod:`repro.arch.components`) and the default
+specs below are *assembled* from per-component estimators — this
+module keeps the structural differences: DRAM logic ops use the Ambit
+AAP (ACTIVATE-ACTIVATE-PRECHARGE) primitive with destructive
+triple-row activation, while 2T-nC FeRAM uses the ACP
+(ACTIVATE-COPY-PRECHARGE) primitive with in-place, quasi-nondestructive
+TBA.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ArchitectureError
 
@@ -70,6 +73,11 @@ class MemorySpec:
     refresh_interval_s: float | None = None
     staging_policy: str = StagingPolicy.PAPER
     control_rewrite_period: int = 32   # TBA reads per control-row rewrite
+    #: the component estimators this spec was assembled from (None for
+    #: hand-written specs); excluded from equality/hash so assembled
+    #: specs compare by their physical parameters alone
+    components: tuple | None = field(default=None, compare=False,
+                                     repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0 or self.row_bytes <= 0:
@@ -152,47 +160,29 @@ class MemorySpec:
         return replace(self, staging_policy=policy)
 
     def scaled(self, **overrides) -> "MemorySpec":
+        # A parameter override invalidates the assembled breakdown:
+        # drop the component list unless the caller re-supplies one.
+        overrides.setdefault("components", None)
         return replace(self, **overrides)
 
 
+# Imported here (not at the top) because the assembler constructs
+# MemorySpec instances: whichever module loads first, the class above
+# is fully defined before the assembler needs it.
+from repro.arch.components.assemble import paper_memory_spec  # noqa: E402
+
 #: The paper's DRAM baseline: 8 GB, 8 KB rows, Ambit AAP primitives,
-#: 64 ms refresh.  The second ACTIVATE of an AAP (the RowClone) costs a
-#: full row activation.
-DRAM_8GB = MemorySpec(
-    name="dram-8gb",
-    technology="dram",
-    capacity_bytes=8 * GIB,
-    row_bytes=8 * KIB,
-    n_banks=64,
-    n_planes=1,
-    e_activate=22.6e-9,
-    e_precharge=0.32e-9,
-    e_copy=22.6e-9,
-    e_row_write=22.6e-9,
-    e_row_read=22.6e-9,
-    refresh_interval_s=64e-3,
-    staging_policy=StagingPolicy.STAGED,
-)
+#: 64 ms refresh, assembled from the DRAM component estimators.  The
+#: second ACTIVATE of an AAP (the RowClone) costs a full row
+#: activation.
+DRAM_8GB = paper_memory_spec("dram")
 
 #: The paper's 2T-nC FeRAM: same geometry, QNRO activation at 16.6 nJ,
-#: in-place TBA logic, no refresh.  Each cell row carries n = 3 planes.
-#: The COPY/write energy exceeds the QNRO activate: reading avoids full
-#: polarization reversal (the paper's low-energy mechanism), while the
-#: destination write must fully program the FE capacitors through *two*
-#: driven rails (complementary WBL/WPL) plus the boosted WWL.  The
-#: 16.6/28 nJ split is derived bottom-up in
-#: ``repro.experiments.energy_params``.
-FERAM_2TNC_8GB = MemorySpec(
-    name="feram-2tnc-8gb",
-    technology="feram-2tnc",
-    capacity_bytes=8 * GIB,
-    row_bytes=8 * KIB,
-    n_banks=64,
-    n_planes=3,
-    e_activate=16.6e-9,
-    e_precharge=0.32e-9,
-    e_copy=28e-9,
-    e_row_write=28e-9,
-    e_row_read=16.6e-9,
-    refresh_interval_s=None,
-)
+#: in-place TBA logic, no refresh, assembled from the 2T-nC component
+#: estimators.  Each cell row carries n = 3 planes.  The COPY/write
+#: energy exceeds the QNRO activate: reading avoids full polarization
+#: reversal (the paper's low-energy mechanism), while the destination
+#: write must fully program the FE capacitors through *two* driven
+#: rails (complementary WBL/WPL) plus the boosted WWL.  The 16.6/28 nJ
+#: split is derived bottom-up in ``repro.experiments.energy_params``.
+FERAM_2TNC_8GB = paper_memory_spec("feram-2tnc")

@@ -13,7 +13,10 @@ Four modes:
   verification and per-statement cost attribution;
 * ``python -m repro serve [options]`` — start the bulk-bitwise query
   service as an interactive console or (``--port``) a JSON-lines TCP
-  server.
+  server;
+* ``python -m repro explore [options]`` — closed-form design-space
+  sweep over the component registry's geometry/technology knobs,
+  reporting energy/area Pareto fronts.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ usage: python -m repro <experiment-id ...|all>
        python -m repro query "<expr>" [--tech T] [--shards N] [--bits N]
        python -m repro workload <name|all> [--backend B] [--bytes N]
        python -m repro serve [--tech T] [--shards N] [--bits N] [--port P]
+       python -m repro explore [--tech T] [--feature NM ...] [--json]
 """
 
 
@@ -241,6 +245,9 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_workload(args[1:])
     if args and args[0] == "serve":
         return _cmd_serve(args[1:])
+    if args and args[0] == "explore":
+        from repro.explore import main as explore_main
+        return explore_main(args[1:])
     if not args:
         print(_USAGE, end="")
         print("available experiments:")

@@ -1,0 +1,321 @@
+"""Design-space explorer: ``repro explore``.
+
+Sweeps the component estimator registry's geometry/technology knobs —
+rows per bank, capacitors per cell, feature size, row (word) width —
+and re-costs a fixed workload suite at every point through the
+**closed-form** ``plan_stats`` accounting.  The workload programs are
+compiled and probed exactly once per technology polarity (a single
+1-row probe replay yields per-statement :class:`PlanEvents`); each
+sweep point then only assembles a :class:`MemorySpec` from the
+registry and expands the cached events through its cost tables, so a
+sweep over dozens of points costs milliseconds, not replays.
+
+Two figures of merit per point, both minimized:
+
+* ``energy_pj_per_bit`` — suite energy per processed row, normalized
+  by the row width;
+* ``area_nm2_per_bit`` — the assembled components' footprint per
+  stored bit (cell area + periphery budget, over ``n_caps`` bits).
+
+The Pareto front is the non-dominated subset across *all* swept
+technologies — the cross-technology front is the headline result (the
+paper's 2T-nC FeRAM should dominate the DRAM baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.arch.components import (
+    CellGeometry,
+    assemble_memory_spec,
+    reference_geometry,
+)
+from repro.arch.primitives import plan_stats
+from repro.arch.program import compile_program
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "DesignPoint",
+    "SWEEP_WORKLOADS",
+    "default_sweep_geometries",
+    "sweep_geometries",
+    "evaluate_point",
+    "run_explore",
+    "pareto_front",
+    "format_table",
+    "main",
+]
+
+TECHNOLOGIES = ("feram-2tnc", "dram")
+
+#: default knob values (the reference point is always included)
+DEFAULT_FEATURES_NM = (28.0, 22.0, 16.0)
+DEFAULT_FERAM_CAPS = (2, 3, 4)
+
+
+def _suite_factories() -> dict:
+    # Imported lazily: the workload modules pull in numpy and the full
+    # service stack, which ``repro.explore`` otherwise never needs.
+    from repro.workloads.bnn import BnnInference
+    from repro.workloads.crc8 import Crc8
+    from repro.workloads.masked_init import MaskedInit
+    from repro.workloads.xor_cipher import XorCipher
+
+    return {
+        "bnn": lambda: BnnInference(1 << 12, n_features=8, n_neurons=2),
+        "crc8": lambda: Crc8(1 << 11, record_bytes=4),
+        "xor_cipher": lambda: XorCipher(1 << 11),
+        "masked_init": lambda: MaskedInit(3 << 10),
+    }
+
+
+#: the sweep's workload suite (same shapes the golden fixtures pin)
+SWEEP_WORKLOADS = ("bnn", "crc8", "xor_cipher", "masked_init")
+
+#: per-(workload, polarity) probed events — filled on first use
+_EVENT_CACHE: dict[tuple[str, bool], tuple] = {}
+
+
+def _program_events(name: str, inverting: bool) -> tuple:
+    """Per-statement ``PlanEvents`` of one suite workload (cached)."""
+    key = (name, inverting)
+    cached = _EVENT_CACHE.get(key)
+    if cached is None:
+        factories = _suite_factories()
+        if name not in factories:
+            raise ArchitectureError(f"unknown workload {name!r}")
+        program = factories[name]().as_program(seed=1).program
+        cprog = compile_program(program, inverting=inverting)
+        cached, _ = cprog.cost_events()
+        _EVENT_CACHE[key] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# one design point
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated sweep point (energies per processed table row)."""
+
+    technology: str
+    f_nm: float
+    n_caps: int
+    rows_per_bank: int
+    row_bytes: int
+    stacking: str
+    energy_nj_per_row: float
+    energy_pj_per_bit: float
+    cycles_per_row: int
+    area_nm2_per_bit: float
+    workload_nj: dict[str, float]
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Strict Pareto dominance on (energy/bit, area/bit)."""
+        no_worse = (self.energy_pj_per_bit <= other.energy_pj_per_bit
+                    and self.area_nm2_per_bit <= other.area_nm2_per_bit)
+        better = (self.energy_pj_per_bit < other.energy_pj_per_bit
+                  or self.area_nm2_per_bit < other.area_nm2_per_bit)
+        return no_worse and better
+
+    def as_dict(self) -> dict:
+        return {
+            "technology": self.technology,
+            "f_nm": self.f_nm,
+            "n_caps": self.n_caps,
+            "rows_per_bank": self.rows_per_bank,
+            "row_bytes": self.row_bytes,
+            "stacking": self.stacking,
+            "energy_nj_per_row": self.energy_nj_per_row,
+            "energy_pj_per_bit": self.energy_pj_per_bit,
+            "cycles_per_row": self.cycles_per_row,
+            "area_nm2_per_bit": self.area_nm2_per_bit,
+            "workload_nj": dict(self.workload_nj),
+        }
+
+
+def evaluate_point(geometry: CellGeometry,
+                   workloads=SWEEP_WORKLOADS) -> DesignPoint:
+    """Cost the workload suite at one geometry point (closed form).
+
+    Assembles a spec from the registry at ``geometry`` and expands the
+    suite's cached per-statement events through ``plan_stats`` with
+    ``n_rows=1`` — per-row figures, no replay.
+    """
+    spec = assemble_memory_spec(geometry.technology, geometry,
+                                name=f"{geometry.technology}-sweep")
+    inverting = geometry.technology == "feram-2tnc"
+    workload_nj: dict[str, float] = {}
+    total_energy = 0.0
+    total_cycles = 0
+    for name in workloads:
+        energy = 0.0
+        offset = 0
+        for events in _program_events(name, inverting):
+            stats, offset = plan_stats(spec, events, 1,
+                                       tba_offset=offset)
+            energy += stats.total_energy_j
+            total_cycles += stats.total_cycles
+        workload_nj[name] = energy * 1e9
+        total_energy += energy
+    area_per_bit = (sum(c.get_area() for c in spec.components)
+                    / geometry.bits_per_cell)
+    return DesignPoint(
+        technology=geometry.technology,
+        f_nm=geometry.f_nm,
+        n_caps=geometry.n_caps,
+        rows_per_bank=geometry.rows_per_bank,
+        row_bytes=geometry.row_bytes,
+        stacking=geometry.stacking,
+        energy_nj_per_row=total_energy * 1e9,
+        energy_pj_per_bit=total_energy * 1e12 / geometry.row_bits,
+        cycles_per_row=total_cycles,
+        area_nm2_per_bit=area_per_bit,
+        workload_nj=workload_nj,
+    )
+
+
+# ----------------------------------------------------------------------
+# sweep grid
+# ----------------------------------------------------------------------
+def sweep_geometries(technologies=TECHNOLOGIES, *,
+                     features_nm=DEFAULT_FEATURES_NM,
+                     n_caps_values=None,
+                     rows_per_bank_values=None,
+                     row_bytes_values=None) -> list[CellGeometry]:
+    """The sweep grid: cross product of the knob values per technology.
+
+    ``n_caps`` applies to 2T-nC FeRAM only (a DRAM cell has one
+    capacitor by construction); ``rows_per_bank`` and ``row_bytes``
+    default to the technology reference when not given.
+    """
+    points: list[CellGeometry] = []
+    for technology in technologies:
+        ref = reference_geometry(technology)
+        caps = ((1,) if technology == "dram"
+                else tuple(n_caps_values) if n_caps_values
+                else DEFAULT_FERAM_CAPS)
+        rows = tuple(rows_per_bank_values) if rows_per_bank_values \
+            else (None,)
+        widths = tuple(row_bytes_values) if row_bytes_values \
+            else (ref.row_bytes,)
+        for f_nm in features_nm:
+            for n_caps in caps:
+                for row_bytes in widths:
+                    geometry = ref.scaled(f_nm=float(f_nm),
+                                          n_caps=n_caps,
+                                          row_bytes=row_bytes)
+                    for rpb in rows:
+                        points.append(
+                            geometry if rpb is None
+                            else geometry.with_rows_per_bank(rpb))
+    return points
+
+
+def default_sweep_geometries() -> list[CellGeometry]:
+    """The default grid: both technologies, 3 feature sizes, and the
+    FeRAM plane-count variants — 12 points."""
+    return sweep_geometries()
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated subset, sorted by ascending energy per bit."""
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points)]
+    return sorted(front, key=lambda p: (p.energy_pj_per_bit,
+                                        p.area_nm2_per_bit))
+
+
+def run_explore(geometries=None, *,
+                workloads=SWEEP_WORKLOADS) -> dict:
+    """Evaluate a sweep and return the full JSON-ready payload."""
+    if geometries is None:
+        geometries = default_sweep_geometries()
+    if not geometries:
+        raise ArchitectureError("sweep needs at least one point")
+    points = [evaluate_point(g, workloads) for g in geometries]
+    front = pareto_front(points)
+    front_keys = {id(p) for p in front}
+    return {
+        "suite": list(workloads),
+        "technologies": sorted({p.technology for p in points}),
+        "points": [dict(p.as_dict(), pareto=(id(p) in front_keys))
+                   for p in points],
+        "pareto": [p.as_dict() for p in front],
+    }
+
+
+# ----------------------------------------------------------------------
+# presentation
+# ----------------------------------------------------------------------
+def format_table(payload: dict) -> str:
+    """Fixed-width sweep table (the ``*`` column marks the front)."""
+    header = (f"{'technology':<12} {'f(nm)':>6} {'caps':>4} "
+              f"{'rows/bank':>9} {'rowB':>6} {'pJ/bit':>9} "
+              f"{'nm2/bit':>9}  front")
+    lines = [header, "-" * len(header)]
+    for point in payload["points"]:
+        lines.append(
+            f"{point['technology']:<12} {point['f_nm']:>6.1f} "
+            f"{point['n_caps']:>4d} {point['rows_per_bank']:>9d} "
+            f"{point['row_bytes']:>6d} "
+            f"{point['energy_pj_per_bit']:>9.3f} "
+            f"{point['area_nm2_per_bit']:>9.1f}  "
+            f"{'*' if point['pareto'] else ''}")
+    lines.append(f"pareto front: {len(payload['pareto'])} of "
+                 f"{len(payload['points'])} points "
+                 f"(suite: {', '.join(payload['suite'])})")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro explore`` entry point (see ``repro.cli``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro explore",
+                                     add_help=True)
+    parser.add_argument("--tech", default="both",
+                        choices=("both",) + TECHNOLOGIES,
+                        help="technologies to sweep (default: both)")
+    parser.add_argument("--feature", type=float, nargs="+",
+                        default=list(DEFAULT_FEATURES_NM),
+                        metavar="NM",
+                        help="feature sizes in nm "
+                             f"(default: {list(DEFAULT_FEATURES_NM)})")
+    parser.add_argument("--caps", type=int, nargs="+", default=None,
+                        metavar="N",
+                        help="FeRAM capacitors per cell "
+                             f"(default: {list(DEFAULT_FERAM_CAPS)})")
+    parser.add_argument("--rows-per-bank", type=int, nargs="+",
+                        default=None, metavar="N",
+                        help="bank depths (default: reference)")
+    parser.add_argument("--row-bytes", type=int, nargs="+",
+                        default=None, metavar="B",
+                        help="row (word) widths in bytes "
+                             "(default: reference 8 KiB)")
+    parser.add_argument("--workloads", nargs="+",
+                        default=list(SWEEP_WORKLOADS),
+                        choices=list(SWEEP_WORKLOADS),
+                        help="workload suite subset")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    technologies = TECHNOLOGIES if args.tech == "both" \
+        else (args.tech,)
+    geometries = sweep_geometries(
+        technologies,
+        features_nm=tuple(args.feature),
+        n_caps_values=args.caps,
+        rows_per_bank_values=args.rows_per_bank,
+        row_bytes_values=args.row_bytes,
+    )
+    payload = run_explore(geometries,
+                          workloads=tuple(args.workloads))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(payload))
+    return 0

@@ -8,12 +8,23 @@ Anchors from the paper:
 * the vertically stacked 2T-3C string achieves a ≈ 130 × 130 nm²
   footprint, a 4.18× reduction;
 * peripheral circuitry adds ≈ 50 % area overhead (used by §VII).
+
+The anchor constants live in the component estimator registry
+(:mod:`repro.arch.components.geometry`) — re-exported here for the 3D
+integration stack — so every area number has exactly one source of
+truth shared with the per-component area estimators.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.arch.components.geometry import (
+    PERIPHERY_OVERHEAD,
+    PLANAR_F2_PER_CAP,
+    TECH_F_NM,
+    VERTICAL_FOOTPRINT_NM,
+)
 from repro.errors import ArchitectureError
 
 __all__ = [
@@ -28,16 +39,6 @@ __all__ = [
     "CellAreaReport",
     "area_report",
 ]
-
-#: feature size of the paper's area comparison (nm)
-TECH_F_NM = 28.0
-#: planar 2T-nC area scales ~30 F² per capacitor (2T-1C anchor)
-PLANAR_F2_PER_CAP = 30.0
-#: vertical 2T-nC string footprint (nm per side)
-VERTICAL_FOOTPRINT_NM = 130.0
-#: peripheral circuitry overhead fraction (§VII, consistent with [15])
-PERIPHERY_OVERHEAD = 0.5
-
 
 def planar_cell_area_f2(n_caps: int) -> float:
     """Planar 2T-nC cell area in F² (the paper's 30 F² → 90 F² scaling)."""

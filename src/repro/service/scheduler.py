@@ -13,6 +13,12 @@ The async server funnels every connection's requests through one
   :attr:`~repro.service.tenancy.TenantState.max_pending` overrides the
   server default); excess requests are rejected immediately with an
   :class:`AdmissionError` instead of growing the queue without bound;
+* enforces **energy-denominated quotas**: a tenant whose attributed
+  in-memory energy spend has reached its
+  :attr:`~repro.service.tenancy.TenantState.quota_energy_nj` budget is
+  rejected at admission, and already-queued requests are shed per item
+  when the batch executes (the charge is post-hoc, so exhaustion can
+  land mid-batch) — co-batched tenants keep executing;
 * schedules **fairly**: batches are filled round-robin across tenant
   queues (one query per tenant per rotation), so a flooding tenant
   cannot starve the others — and per-tenant FIFO order is preserved;
@@ -102,6 +108,13 @@ class RequestScheduler:
             else self.max_pending
 
     def _check_admission(self, tenant: str | None) -> None:
+        state = self.service.tenant_state(tenant)
+        if state.energy_exhausted():
+            self.metrics["admission_rejections"] += 1
+            raise AdmissionError(
+                f"tenant {tenant!r} energy quota exhausted "
+                f"({state.energy_spent_nj:.1f} nJ spent of "
+                f"{state.quota_energy_nj:.1f} nJ)")
         if self._pending.get(tenant, 0) >= self._limit(tenant):
             self.metrics["admission_rejections"] += 1
             raise AdmissionError(
@@ -224,7 +237,31 @@ class RequestScheduler:
                 for item in exclusives:
                     await self._execute_exclusive(loop, item)
 
+    def _reject_exhausted(self, items: list[_Item]) -> list[_Item]:
+        """Settle already-admitted items whose tenant has since spent
+        its energy budget; returns the still-eligible remainder.
+
+        Charging is post-hoc, so a tenant can exhaust its quota while
+        requests are queued; shedding them here (instead of letting
+        ``execute`` raise) keeps the rejection per-item — co-batched
+        tenants are untouched and never starve."""
+        eligible: list[_Item] = []
+        for item in items:
+            state = self.service.tenant_state(item.tenant)
+            if state.energy_exhausted():
+                self.metrics["admission_rejections"] += 1
+                self._settle(item, error=AdmissionError(
+                    f"tenant {item.tenant!r} energy quota exhausted "
+                    f"({state.energy_spent_nj:.1f} nJ spent of "
+                    f"{state.quota_energy_nj:.1f} nJ)"))
+            else:
+                eligible.append(item)
+        return eligible
+
     async def _execute_batch(self, loop, batch: list[_Item]) -> None:
+        batch = self._reject_exhausted(batch)
+        if not batch:
+            return
         queries = [item.payload for item in batch]
         tenants = [item.tenant for item in batch]
         self.metrics["batches"] += 1
@@ -255,6 +292,8 @@ class RequestScheduler:
             self._settle(item, result)
 
     async def _execute_exclusive(self, loop, item: _Item) -> None:
+        if not self._reject_exhausted([item]):
+            return
         self.metrics["exclusives"] += 1
         try:
             value = await loop.run_in_executor(None, item.payload)

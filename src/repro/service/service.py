@@ -459,6 +459,7 @@ class BitwiseService:
     # ------------------------------------------------------------------
     def register_tenant(self, name: str, *,
                         quota_bits: int | None = None,
+                        quota_energy_nj: float | None = None,
                         cache_entries: int | None = None,
                         max_pending: int | None = None) -> TenantState:
         """Create (or re-configure) a tenant namespace with quotas."""
@@ -466,6 +467,7 @@ class BitwiseService:
         with self._table_lock:
             state = self._tenants.setdefault(name, TenantState(name))
             state.quota_bits = quota_bits
+            state.quota_energy_nj = quota_energy_nj
             state.cache_entries = cache_entries
             state.max_pending = max_pending
             return state
@@ -705,6 +707,7 @@ class BitwiseService:
             with self._stats_lock:
                 delta = self._writeback.note_write(physical,
                                                    rows_by_shard)
+                state.charge_energy(delta.total_energy_j)
             evicted = self._invalidate_columns((physical,))
             self.mutations_applied += 1
         return MutationResult(
@@ -790,6 +793,7 @@ class BitwiseService:
                 for physical, rows_by_shard in per_column.items():
                     total.iadd(self._writeback.note_write(
                         physical, rows_by_shard))
+                state.charge_energy(total.total_energy_j)
             evicted = self._invalidate_all()
             self.mutations_applied += 1
         rows_by_shard = [0] * self.n_shards
@@ -1110,11 +1114,16 @@ class BitwiseService:
         # Disturb accounting: each executed plan activates its
         # referenced columns' rows once (cache hits are served from
         # the host cache and accrue no disturb — the QNRO win).
+        # Energy quotas accrue here too: one charge per *executed*
+        # plan to its owner (batch duplicates share the execution;
+        # cache hits spend nothing).
         if pending:
             with self._stats_lock:
-                for item in pending.values():
+                for ckey, item in pending.items():
                     for physical in item["colmap"].values():
                         self._writeback.note_read(physical)
+                    self.tenant_state(item["tenant"]).charge_energy(
+                        outputs[ckey][2].total_energy_j)
         with self._cache_lock:
             self.queries_served += len(plans)
         return results  # type: ignore[return-value]
@@ -1186,6 +1195,9 @@ class BitwiseService:
                 index=index, name=name, query=str(plan.expr),
                 energy_j=stats.total_energy_j,
                 cycles=stats.total_cycles, stats=stats))
+        with self._stats_lock:
+            self.tenant_state(tenant).charge_energy(
+                total.total_energy_j)
         with self._cache_lock:
             self.programs_run += 1
         return ProgramResult(

@@ -18,6 +18,9 @@ Quotas (enforced by the service / scheduler):
 
 * ``quota_bits`` — total physical bits the tenant's columns may pin
   (each column pins the table's full capacity width);
+* ``quota_energy_nj`` — total attributed in-memory energy (nJ) the
+  tenant's executed queries, programs and mutations may spend; cache
+  hits are served from the host cache and spend nothing;
 * ``cache_entries`` — result-cache entries the tenant may hold (its
   own LRU within the shared cache);
 * ``max_pending`` — concurrent in-flight requests the async server
@@ -59,11 +62,13 @@ class TenantState:
 
     name: str | None
     quota_bits: int | None = None     #: max total physical column bits
+    quota_energy_nj: float | None = None  #: max attributed energy (nJ)
     cache_entries: int | None = None  #: max result-cache entries
     max_pending: int | None = None    #: admission-control concurrency
     #: logical -> physical column names
     columns: dict[str, str] = field(default_factory=dict)
     cached: int = 0                   #: live result-cache entries
+    energy_spent_nj: float = 0.0      #: attributed energy spent (nJ)
 
     def resolve(self, name: str) -> str:
         """Physical name of an *existing* column (raises otherwise)."""
@@ -83,6 +88,21 @@ class TenantState:
             raise QueryError(
                 f"tenant {self.name!r} over bit quota: {needed} bits "
                 f"needed > {self.quota_bits} allowed")
+
+    # -- energy quota (spent post-hoc, gated at admission) -------------
+    def charge_energy(self, joules: float) -> None:
+        """Accrue attributed in-memory energy against the quota.
+
+        Charging is post-hoc (the cost of a request is only known
+        after its closed-form attribution), so a request may overdraw
+        the budget once; the scheduler then rejects further work."""
+        self.energy_spent_nj += joules * 1e9
+
+    def energy_exhausted(self) -> bool:
+        """True once the tenant has spent its energy budget (a zero
+        quota is exhausted from the start)."""
+        return (self.quota_energy_nj is not None
+                and self.energy_spent_nj >= self.quota_energy_nj)
 
 
 class TenantView:

@@ -1,0 +1,286 @@
+"""Component estimator registry: contents, exact assembly, areas.
+
+The hard contract of the refactor: the paper's default specs are now
+*assembled* from per-component estimators, and the assembled energies
+must be **bitwise** equal to the historical hand-written constants —
+``==``, not ``approx`` — so every golden fixture and differential
+suite keeps passing unchanged.
+"""
+
+import ast
+import inspect
+
+import pytest
+
+from repro.arch.components import (
+    ACTIONS,
+    CellGeometry,
+    Component,
+    DRAM_COSTS,
+    FERAM_2TNC_COSTS,
+    PERIPHERY_OVERHEAD,
+    assemble_memory_spec,
+    build_components,
+    component_breakdown,
+    component_class,
+    component_classes,
+    component_kinds,
+    exact_partition,
+    paper_memory_spec,
+    reference_geometry,
+    register,
+    technologies,
+    technology_costs,
+)
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB
+from repro.errors import ArchitectureError
+
+KINDS = {"sense_amp", "row_decoder", "row_driver", "cell_array",
+         "interconnect"}
+
+
+# ----------------------------------------------------------------------
+# registry contents
+# ----------------------------------------------------------------------
+def test_registry_covers_both_technologies():
+    assert set(technologies()) == {"dram", "feram-2tnc"}
+    for technology in technologies():
+        assert set(component_kinds(technology)) == KINDS
+        classes = component_classes(technology)
+        assert len(classes) == len(KINDS)
+        for cls in classes:
+            assert cls.technology == technology
+            assert component_class(technology, cls.kind) is cls
+
+
+def test_register_rejects_duplicates_and_anonymous():
+    class Nameless(Component):
+        technology = "dram"
+
+    with pytest.raises(ArchitectureError):
+        register(Nameless)
+
+    class DuplicateSenseAmp(Component):
+        kind = "sense_amp"
+        technology = "dram"
+
+    with pytest.raises(ArchitectureError):
+        register(DuplicateSenseAmp)
+
+
+def test_unknown_lookups_raise():
+    with pytest.raises(ArchitectureError):
+        component_classes("sram")
+    with pytest.raises(ArchitectureError):
+        component_class("dram", "flux_capacitor")
+    with pytest.raises(ArchitectureError):
+        technology_costs("sram")
+    with pytest.raises(ArchitectureError):
+        reference_geometry("sram")
+
+
+def test_shares_are_complete_partitions():
+    """Energy shares sum to 1 per action; periphery areas split the
+    whole §VII overhead budget."""
+    for technology in technologies():
+        classes = component_classes(technology)
+        for action in ACTIONS:
+            total = sum(cls.energy_share(action) for cls in classes)
+            assert total == 1.0, (technology, action)
+        assert sum(cls.AREA_SHARE for cls in classes) == 1.0
+
+
+# ----------------------------------------------------------------------
+# exact partition
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("total", [22.6e-9, 16.6e-9, 28e-9, 0.32e-9,
+                                   1.0, 3.3333e-7, 7e-21])
+@pytest.mark.parametrize("shares", [
+    (0.5, 0.25, 0.125, 0.0625, 0.0625),
+    (0.3, 0.3, 0.4),
+    (1.0,),
+    (0.0, 1.0, 0.0),
+])
+def test_exact_partition_chain_sum_is_bitwise(total, shares):
+    parts = exact_partition(total, shares)
+    acc = 0.0
+    for part in parts:
+        acc += part
+    assert acc == total
+    for part, share in zip(parts, shares):
+        assert part == pytest.approx(total * share, rel=1e-9)
+
+
+def test_exact_partition_rejects_negative_shares():
+    with pytest.raises(ArchitectureError):
+        exact_partition(1.0, (0.5, -0.5))
+    with pytest.raises(ArchitectureError):
+        exact_partition(1.0, ())
+
+
+# ----------------------------------------------------------------------
+# bit-exact default assembly (the refactor's hard constraint)
+# ----------------------------------------------------------------------
+def test_assembled_defaults_bitwise_equal_constants():
+    """Registry-assembled specs reproduce the calibrated §VI scalars
+    to the last float bit."""
+    feram = paper_memory_spec("feram-2tnc")
+    dram = paper_memory_spec("dram")
+    assert feram.e_activate == 16.6e-9
+    assert feram.e_copy == 28e-9
+    assert feram.e_row_write == 28e-9
+    assert feram.e_row_read == 16.6e-9
+    assert feram.e_precharge == 0.32e-9
+    assert dram.e_activate == 22.6e-9
+    assert dram.e_copy == 22.6e-9
+    assert dram.e_row_write == 22.6e-9
+    assert dram.e_row_read == 22.6e-9
+    assert dram.e_precharge == 0.32e-9
+    # dataclass equality ignores the component list by design, so a
+    # fresh assembly compares equal to the module-level constants
+    assert feram == FERAM_2TNC_8GB
+    assert dram == DRAM_8GB
+    assert hash(feram) == hash(FERAM_2TNC_8GB)
+
+
+def test_assembled_defaults_keep_paper_structure():
+    assert FERAM_2TNC_8GB.n_planes == 3
+    assert FERAM_2TNC_8GB.refresh_interval_s is None
+    assert DRAM_8GB.n_planes == 1
+    assert DRAM_8GB.refresh_interval_s == 64e-3
+    assert FERAM_2TNC_8GB.components is not None
+    assert DRAM_8GB.components is not None
+    assert len(FERAM_2TNC_8GB.components) == len(KINDS)
+
+
+def test_component_energies_chain_sum_to_spec_fields():
+    for spec in (FERAM_2TNC_8GB, DRAM_8GB):
+        for action, field in (("read", spec.e_activate),
+                              ("write", spec.e_copy),
+                              ("update", spec.e_precharge)):
+            acc = 0.0
+            for component in spec.components:
+                acc += component.action_energy(action)
+            assert acc == field, (spec.name, action)
+
+
+def test_action_energy_rejects_unknown_action():
+    component = FERAM_2TNC_8GB.components[0]
+    with pytest.raises(ArchitectureError):
+        component.action_energy("erase")
+
+
+def test_scaled_override_drops_component_list():
+    scaled = FERAM_2TNC_8GB.scaled(e_activate=1e-9)
+    assert scaled.components is None
+    assert scaled.e_activate == 1e-9
+
+
+# ----------------------------------------------------------------------
+# areas
+# ----------------------------------------------------------------------
+def test_component_areas_match_integration_area_model():
+    """The per-component footprints reproduce ``integration.area``'s
+    §V numbers: the cell array is the cell footprint, the periphery
+    splits exactly the 50 % overhead budget."""
+    from repro.integration.area import (
+        planar_cell_area_nm2,
+        vertical_cell_area_nm2,
+    )
+
+    feram = build_components("feram-2tnc")
+    by_kind = {c.kind: c for c in feram}
+    cell = vertical_cell_area_nm2()
+    assert by_kind["cell_array"].get_area() == cell
+    periphery = sum(c.get_area() for c in feram
+                    if c.kind != "cell_array")
+    assert periphery == pytest.approx(PERIPHERY_OVERHEAD * cell)
+
+    planar = build_components(
+        "feram-2tnc",
+        reference_geometry("feram-2tnc").scaled(stacking="planar"))
+    by_kind = {c.kind: c for c in planar}
+    assert by_kind["cell_array"].get_area() == \
+        planar_cell_area_nm2(3)
+
+
+def test_dram_cell_area_follows_6f2():
+    geometry = reference_geometry("dram")
+    assert geometry.cell_area_nm2() == 6.0 * 28.0 * 28.0
+
+
+def test_component_breakdown_shape():
+    rows = component_breakdown("feram-2tnc")
+    assert {row["kind"] for row in rows} == KINDS
+    labels = {row["label"] for row in rows}
+    assert "QNRO minority sense amp" in labels
+    assert "wordline/plateline driver" in labels
+    for row in rows:
+        assert row["area_nm2"] > 0
+
+
+# ----------------------------------------------------------------------
+# geometry scaling
+# ----------------------------------------------------------------------
+def test_reference_ratios_are_exactly_one():
+    for technology in technologies():
+        ratios = reference_geometry(technology).ratios()
+        assert all(value == 1.0 for value in ratios.values()), ratios
+
+
+def test_off_reference_assembly_scales_energies():
+    ref = reference_geometry("feram-2tnc")
+    small = assemble_memory_spec("feram-2tnc",
+                                 ref.scaled(f_nm=14.0))
+    assert small.e_activate < FERAM_2TNC_8GB.e_activate
+    wide = assemble_memory_spec(
+        "feram-2tnc", ref.scaled(row_bytes=2 * ref.row_bytes))
+    assert wide.e_activate > FERAM_2TNC_8GB.e_activate
+    assert wide.row_bytes == 2 * ref.row_bytes
+
+
+def test_geometry_validation():
+    with pytest.raises(ArchitectureError):
+        CellGeometry(technology="dram", n_caps=0)
+    with pytest.raises(ArchitectureError):
+        CellGeometry(technology="dram", f_nm=0.0)
+    with pytest.raises(ArchitectureError):
+        CellGeometry(technology="dram", stacking="diagonal")
+    with pytest.raises(ArchitectureError):
+        reference_geometry("dram").with_rows_per_bank(0)
+    with pytest.raises(ArchitectureError):
+        build_components("dram", reference_geometry("feram-2tnc"))
+
+
+def test_with_rows_per_bank_resizes_capacity():
+    geometry = reference_geometry("feram-2tnc").with_rows_per_bank(64)
+    assert geometry.rows_per_bank == 64
+    assert geometry.capacity_bytes == \
+        geometry.row_bytes * geometry.n_caps * 64 * geometry.n_banks
+
+
+# ----------------------------------------------------------------------
+# satellite: no stray literals left behind in integration/area.py
+# ----------------------------------------------------------------------
+def test_area_module_has_no_stray_numeric_literals():
+    """``integration.area`` must source every anchor from the registry:
+    its code may keep trivial structural ints (defaults/validation)
+    but no numeric constants — 28.0, 30.0, 130.0, 0.5 all live in
+    ``repro.arch.components.geometry`` now."""
+    from repro import integration
+
+    source = inspect.getsource(integration.area)
+    tree = ast.parse(source)
+    stray = [node.value for node in ast.walk(tree)
+             if isinstance(node, ast.Constant)
+             and isinstance(node.value, (int, float))
+             and not isinstance(node.value, bool)
+             and node.value not in (0, 1, 3)]
+    assert stray == [], f"stray numeric literals in area.py: {stray}"
+
+
+def test_energy_cost_tables_single_source():
+    assert DRAM_COSTS.row_read_j == 22.6e-9
+    assert FERAM_2TNC_COSTS.row_read_j == 16.6e-9
+    assert FERAM_2TNC_COSTS.row_write_j == 28e-9
+    assert FERAM_2TNC_COSTS.row_update_j == 0.32e-9

@@ -1,0 +1,175 @@
+"""Energy-denominated tenant quotas.
+
+``TenantState.quota_energy_nj`` caps the attributed in-memory energy a
+tenant may spend; the service charges each executed plan/program/
+mutation to its owner, and the scheduler rejects an exhausted tenant
+at admission and sheds its already-queued items per batch — without
+touching co-batched tenants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AdmissionError,
+    BitwiseService,
+    RequestScheduler,
+)
+
+N_BITS = 512
+
+pytestmark = pytest.mark.timeout(60)
+
+
+@pytest.fixture
+def service(rng):
+    svc = BitwiseService(n_bits=N_BITS, n_shards=2,
+                         capacity=N_BITS + 64)
+    for tenant in ("capped", "free"):
+        svc.register_tenant(tenant)
+        view = svc.tenant(tenant)
+        for name in ("a", "b"):
+            view.create_column(
+                name, (rng.random(N_BITS) < 0.5).astype(np.uint8))
+    yield svc
+    svc.close()
+
+
+# ----------------------------------------------------------------------
+# service-side accrual
+# ----------------------------------------------------------------------
+def test_queries_accrue_energy_to_their_tenant(service):
+    state = service.tenant_state("capped")
+    assert state.energy_spent_nj == 0.0
+    result = service.query("a & b", tenant="capped")
+    assert state.energy_spent_nj == result.energy_j * 1e9
+    assert state.energy_spent_nj > 0
+    # The other namespace is untouched.
+    assert service.tenant_state("free").energy_spent_nj == 0.0
+
+
+def test_cache_hits_accrue_no_quota_spend(service):
+    first = service.query("a & b", tenant="capped")
+    state = service.tenant_state("capped")
+    spent = state.energy_spent_nj
+    assert not first.cache_hit and spent > 0
+    second = service.query("a & b", tenant="capped")
+    assert second.cache_hit
+    assert second.energy_j == 0.0
+    assert state.energy_spent_nj == spent
+
+
+def test_batch_duplicates_charge_once(service):
+    results = service.execute(["a ^ b", "a ^ b"], tenant="capped")
+    assert [r.cache_hit for r in results] == [False, False]
+    assert service.tenant_state("capped").energy_spent_nj == \
+        results[0].energy_j * 1e9
+
+
+def test_mutations_accrue_energy(service):
+    state = service.tenant_state("capped")
+    result = service.update_column(
+        "a", np.ones(N_BITS, dtype=np.uint8), tenant="capped")
+    assert result.energy_j > 0
+    assert state.energy_spent_nj == result.energy_j * 1e9
+
+
+# ----------------------------------------------------------------------
+# scheduler enforcement
+# ----------------------------------------------------------------------
+def test_zero_quota_tenant_rejected_at_admission(service):
+    service.register_tenant("capped", quota_energy_nj=0.0)
+
+    async def scenario():
+        scheduler = RequestScheduler(service, window_s=0.01)
+        scheduler.start()
+        try:
+            with pytest.raises(AdmissionError, match="energy quota"):
+                await scheduler.submit_query("capped", "a & b")
+            # The un-quota'd tenant is admitted and served normally.
+            return await scheduler.submit_query("free", "a & b")
+        finally:
+            await scheduler.stop()
+
+    result = asyncio.run(scenario())
+    assert result.count is not None
+    assert service.tenant_state("capped").energy_spent_nj == 0.0
+
+
+def test_exhaustion_mid_queue_sheds_without_starving_others(service):
+    """A tenant that overdraws its budget while requests are still
+    queued gets those requests back as ``AdmissionError``; co-queued
+    tenants keep executing."""
+    # Budget covers (part of) one query: the first executes and
+    # overdraws, anything still queued after that must be shed.
+    service.register_tenant("capped", quota_energy_nj=1.0)
+
+    async def scenario():
+        # max_batch=1 forces one query per execute() round, so the
+        # charge from the first capped query lands while the second
+        # is still queued — the per-item shed path, not admission.
+        scheduler = RequestScheduler(service, window_s=0.05,
+                                     max_batch=1)
+        scheduler.start()
+        try:
+            tasks = [
+                asyncio.ensure_future(
+                    scheduler.submit_query("capped", "a & b")),
+                asyncio.ensure_future(
+                    scheduler.submit_query("capped", "a | b")),
+                asyncio.ensure_future(
+                    scheduler.submit_query("free", "a ^ b")),
+            ]
+            return await asyncio.gather(*tasks,
+                                        return_exceptions=True)
+        finally:
+            await scheduler.stop()
+
+    first, second, other = asyncio.run(scenario())
+    assert first.count is not None          # ran, overdrew the budget
+    assert isinstance(second, AdmissionError)
+    assert "energy quota" in str(second)
+    assert other.count is not None          # free tenant untouched
+    state = service.tenant_state("capped")
+    assert state.energy_spent_nj >= state.quota_energy_nj
+
+
+def test_exhausted_tenant_mutation_is_shed(service):
+    service.register_tenant("capped", quota_energy_nj=0.0)
+
+    async def scenario():
+        scheduler = RequestScheduler(service, window_s=0.01)
+        scheduler.start()
+        try:
+            with pytest.raises(AdmissionError, match="energy quota"):
+                await scheduler.submit_exclusive(
+                    "capped",
+                    lambda: service.update_column(
+                        "a", np.zeros(N_BITS, dtype=np.uint8),
+                        tenant="capped"))
+        finally:
+            await scheduler.stop()
+
+    asyncio.run(scenario())
+    assert service.mutations_applied == 0
+
+
+def test_reconfigured_quota_reopens_admission(service):
+    service.register_tenant("capped", quota_energy_nj=0.0)
+    assert service.tenant_state("capped").energy_exhausted()
+    service.register_tenant("capped", quota_energy_nj=None)
+    assert not service.tenant_state("capped").energy_exhausted()
+
+    async def scenario():
+        scheduler = RequestScheduler(service, window_s=0.01)
+        scheduler.start()
+        try:
+            return await scheduler.submit_query("capped", "a & b")
+        finally:
+            await scheduler.stop()
+
+    assert asyncio.run(scenario()).count is not None

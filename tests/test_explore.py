@@ -1,0 +1,149 @@
+"""``repro explore``: closed-form design-space sweep + Pareto front."""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    DesignPoint,
+    SWEEP_WORKLOADS,
+    default_sweep_geometries,
+    evaluate_point,
+    format_table,
+    main,
+    pareto_front,
+    run_explore,
+    sweep_geometries,
+)
+from repro.arch.components import reference_geometry
+from repro.errors import ArchitectureError
+
+
+def _point(energy: float, area: float) -> DesignPoint:
+    return DesignPoint(
+        technology="feram-2tnc", f_nm=28.0, n_caps=3,
+        rows_per_bank=64, row_bytes=8192, stacking="vertical",
+        energy_nj_per_row=energy * 65.536,
+        energy_pj_per_bit=energy, cycles_per_row=100,
+        area_nm2_per_bit=area, workload_nj={})
+
+
+# ----------------------------------------------------------------------
+# Pareto mechanics
+# ----------------------------------------------------------------------
+def test_pareto_front_excludes_dominated_points():
+    cheap = _point(1.0, 9.0)
+    small = _point(9.0, 1.0)
+    dominated = _point(5.0, 5.0)   # beaten by `balanced`
+    balanced = _point(4.0, 4.0)
+    front = pareto_front([cheap, small, dominated, balanced])
+    assert front == [cheap, balanced, small]  # ascending energy
+    assert dominated not in front
+
+
+def test_pareto_keeps_duplicate_optima():
+    a, b = _point(1.0, 1.0), _point(1.0, 1.0)
+    assert len(pareto_front([a, b])) == 2  # equal, neither dominates
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def test_default_grid_covers_acceptance_floor():
+    """≥ 2 technologies × ≥ 3 geometry points each."""
+    geometries = default_sweep_geometries()
+    by_tech = {}
+    for g in geometries:
+        by_tech.setdefault(g.technology, []).append(g)
+    assert set(by_tech) == {"dram", "feram-2tnc"}
+    assert all(len(points) >= 3 for points in by_tech.values())
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # Small fixed grid: both technologies, three feature sizes at the
+    # reference plane counts (6 points, cached probe events shared).
+    geometries = sweep_geometries(
+        features_nm=(28.0, 22.0, 16.0), n_caps_values=(3,))
+    return run_explore(geometries)
+
+
+def test_payload_is_valid_and_json_serializable(payload):
+    encoded = json.loads(json.dumps(payload))
+    assert encoded["suite"] == list(SWEEP_WORKLOADS)
+    assert encoded["technologies"] == ["dram", "feram-2tnc"]
+    assert len(encoded["points"]) == 6
+    for point in encoded["points"]:
+        assert point["energy_pj_per_bit"] > 0
+        assert point["area_nm2_per_bit"] > 0
+        assert set(point["workload_nj"]) == set(SWEEP_WORKLOADS)
+    front = encoded["pareto"]
+    assert front
+    marked = [p for p in encoded["points"] if p["pareto"]]
+    assert len(marked) == len(front)
+
+
+def test_front_members_are_mutually_nondominated(payload):
+    front = payload["pareto"]
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            assert not (
+                a["energy_pj_per_bit"] <= b["energy_pj_per_bit"]
+                and a["area_nm2_per_bit"] <= b["area_nm2_per_bit"]
+                and (a["energy_pj_per_bit"] < b["energy_pj_per_bit"]
+                     or a["area_nm2_per_bit"]
+                     < b["area_nm2_per_bit"]))
+
+
+def test_feram_beats_dram_on_energy_at_reference(payload):
+    """The paper's headline direction survives the sweep: at the same
+    feature size, 2T-nC FeRAM spends less energy per bit than DRAM."""
+    by_key = {(p["technology"], p["f_nm"]): p
+              for p in payload["points"]}
+    for f_nm in (28.0, 22.0, 16.0):
+        assert (by_key[("feram-2tnc", f_nm)]["energy_pj_per_bit"]
+                < by_key[("dram", f_nm)]["energy_pj_per_bit"])
+
+
+def test_reference_point_costing_uses_assembled_spec():
+    """The sweep's reference point is costed through a spec that is
+    equal to the default constant — no parallel cost model."""
+    from repro.arch.spec import FERAM_2TNC_8GB
+    point = evaluate_point(reference_geometry("feram-2tnc"))
+    assert point.energy_nj_per_row > 0
+    assert point.rows_per_bank == FERAM_2TNC_8GB.rows_per_bank
+    assert point.row_bytes == FERAM_2TNC_8GB.row_bytes
+
+
+def test_empty_sweep_rejected():
+    with pytest.raises(ArchitectureError):
+        run_explore([])
+
+
+def test_format_table_lists_every_point(payload):
+    table = format_table(payload)
+    assert table.count("\n") >= len(payload["points"]) + 2
+    assert "pJ/bit" in table and "pareto front:" in table
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_json_emits_valid_pareto_front(capsys):
+    code = main(["--json", "--feature", "28", "22", "16",
+                 "--caps", "3"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["technologies"]) >= 2
+    assert len(payload["points"]) >= 6
+    assert payload["pareto"]
+
+
+def test_cli_table_output(capsys):
+    code = main(["--tech", "feram-2tnc", "--feature", "28",
+                 "--caps", "2", "3", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "feram-2tnc" in out and "pareto front:" in out

@@ -1,0 +1,67 @@
+"""Golden-fixture guard for the registry-assembled default specs.
+
+Rebuilds ``FERAM_2TNC_8GB`` / ``DRAM_8GB`` **from the component
+registry** and asserts the Fig. 6 energies and the program workloads'
+per-row ACP/AAP primitive counts against the checked-in
+``tests/data/golden_stats.json`` — deliberately with no
+``GOLDEN_REGEN`` escape hatch: if assembly ever drifts off the
+calibrated constants, this fails and the registry (not the fixture)
+must be fixed.
+"""
+
+import json
+import math
+
+from repro.arch.components import paper_memory_spec
+from repro.arch.program import compile_program
+from repro.arch.spec import DRAM_8GB, FERAM_2TNC_8GB
+from repro.workloads import run_fig6
+
+from tests.workloads.test_golden_stats import (
+    GOLDEN_PATH,
+    PROGRAM_CASES,
+)
+
+
+def _golden() -> dict:
+    assert GOLDEN_PATH.exists(), "golden fixture missing"
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_rebuilt_specs_match_module_constants():
+    """A fresh registry assembly equals the import-time constants."""
+    assert paper_memory_spec("dram") == DRAM_8GB
+    assert paper_memory_spec("feram-2tnc") == FERAM_2TNC_8GB
+
+
+def test_fig6_from_rebuilt_specs_matches_golden():
+    """Fig. 6 recomputed through freshly assembled specs reproduces
+    the frozen energies and cycle counts."""
+    golden = _golden()
+    table = run_fig6(golden["fig6_bytes"], functional=False,
+                     dram_spec=paper_memory_spec("dram"),
+                     feram_spec=paper_memory_spec("feram-2tnc"))
+    assert {row.workload for row in table.rows} == set(golden["fig6"])
+    for row in table.rows:
+        entry = golden["fig6"][row.workload]
+        assert math.isclose(row.dram.energy_j,
+                            entry["dram"]["energy_j"],
+                            rel_tol=1e-9), row.workload
+        assert math.isclose(row.feram.energy_j,
+                            entry["feram"]["energy_j"],
+                            rel_tol=1e-9), row.workload
+        assert row.dram.cycles == entry["dram"]["cycles"]
+        assert row.feram.cycles == entry["feram"]["cycles"]
+
+
+def test_program_primitives_match_golden():
+    """Per-row ACP/AAP counts of the program workloads stay frozen."""
+    golden = _golden()
+    for name, make in PROGRAM_CASES.items():
+        program = make().as_program(seed=1).program
+        entry = golden["programs"][name]
+        assert len(program) == entry["statements"], name
+        assert compile_program(program, inverting=True).primitives \
+            == entry["per_row"]["feram_acp"], name
+        assert compile_program(program, inverting=False).primitives \
+            == entry["per_row"]["dram_aap"], name
