@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import json
 import socket
+import tempfile
 import threading
 import time
 
 import numpy as np
 
-from repro.service import BitwiseService, serve_tcp
+from repro.service import BitwiseService, DurabilityManager, serve_tcp
 from repro.service import wire as wire_codec
 
 N_BITS = 1 << 16
@@ -136,9 +137,23 @@ def _client_requests(index: int, n_requests: int,
 def serving_latency(*, n_clients: int = 6, requests_per_client: int = 40,
                     mutation_share: float = 0.2,
                     batch_window_s: float = 0.0005,
-                    wire: str = "json") -> dict:
-    """Closed-loop mixed query/mutation load; p50/p99 and queries/s."""
+                    wire: str = "json",
+                    durable: bool = False) -> dict:
+    """Closed-loop mixed query/mutation load; p50/p99 and queries/s.
+
+    ``durable=True`` runs the identical load with a write-ahead log
+    attached (``sync="batch"``: one fsync per mutation barrier), so
+    the recorded delta against the plain run is the end-to-end WAL
+    overhead on the serving path.
+    """
     service = _make_service()
+    data_dir = None
+    if durable:
+        data_dir = tempfile.TemporaryDirectory(prefix="repro-wal-")
+        manager = DurabilityManager(data_dir.name, snapshot_every=256,
+                                    sync="batch")
+        manager.open(manager.load_base()[0])
+        service.attach_durability(manager)
     server = serve_tcp(service, 0, batch_window_s=batch_window_s)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

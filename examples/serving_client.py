@@ -15,7 +15,11 @@ stream clients:
 * result payloads are paged back over the wire with the ``bits`` op;
 * a second connection negotiates the **binary wire** (``hello`` with
   ``"wire": "binary"``) and moves the same bulk payloads as packed
-  little-endian words instead of JSON digit arrays.
+  little-endian words instead of JSON digit arrays;
+* a flooding client overruns its admission limit and recovers by
+  honoring the server's machine-readable ``retry_after_ms`` hint with
+  jittered exponential backoff (the sync :class:`repro.client.
+  ServiceClient` packages the same loop, plus reconnect).
 
 Run:  PYTHONPATH=src python examples/serving_client.py
 """
@@ -66,6 +70,13 @@ class Client:
         self.writer.close()
 
     async def call(self, request: dict) -> dict:
+        response = await self.call_raw(request)
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error"))
+        return response
+
+    async def call_raw(self, request: dict) -> dict:
+        """One exchange; error responses return instead of raising."""
         start = time.perf_counter()
         if self.wire == "binary":
             response = await self._call_binary(request)
@@ -77,9 +88,30 @@ class Client:
             await self.writer.drain()
             response = json.loads(await self.reader.readline())
         self.latencies.append(time.perf_counter() - start)
-        if not response.get("ok"):
-            raise RuntimeError(response.get("error"))
         return response
+
+    async def call_with_retry(self, request: dict, *,
+                              max_attempts: int = 8,
+                              base_ms: float = 2.0,
+                              rng: np.random.Generator | None = None,
+                              ) -> tuple[dict, int]:
+        """Retry loop honoring the server's retry_after_ms hint.
+
+        Admission rejections back off for the hinted duration (or
+        jittered exponential growth when no hint arrives) and retry;
+        anything else is final.  Returns (response, retries)."""
+        rng = rng or np.random.default_rng()
+        for attempt in range(max_attempts):
+            response = await self.call_raw(request)
+            if response.get("ok"):
+                return response, attempt
+            if response.get("code") != "admission":
+                raise RuntimeError(response.get("error"))
+            hint_ms = response.get("retry_after_ms",
+                                   base_ms * 2 ** attempt)
+            jitter = 1.0 + rng.uniform(-0.2, 0.2)
+            await asyncio.sleep(hint_ms * jitter / 1e3)
+        raise RuntimeError(f"gave up after {max_attempts} attempts")
 
     async def _call_binary(self, request: dict) -> dict:
         meta = dict(request)
@@ -165,6 +197,38 @@ async def binary_session(port: int) -> None:
     print("  bits bw[0:4096]: binary page matches the JSON read-back")
 
 
+async def backoff_session(port: int) -> None:
+    """Flood past the admission limit, then recover via backoff.
+
+    The "bursty" tenant allows 2 in-flight requests; 12 concurrent
+    connections flooding it must see typed admission rejections
+    carrying ``retry_after_ms`` — and the retry loop turns every one
+    of them into an eventual success."""
+    rng = np.random.default_rng(11)
+
+    async def one_shot(expr: str) -> dict:
+        async with Client(port, "bursty") as client:
+            return await client.call_raw({"op": "query", "expr": expr})
+
+    responses = await asyncio.gather(
+        *[one_shot(f"q & {'~' * (i % 2)}q") for i in range(12)])
+    rejected = [r for r in responses if not r.get("ok")]
+    hints = {r.get("retry_after_ms") for r in rejected}
+    print(f"  flood of 12: {len(rejected)} admission rejections, "
+          f"retry_after_ms hint(s): {sorted(hints)}")
+
+    async def persistent(expr: str) -> int:
+        async with Client(port, "bursty") as client:
+            _, retries = await client.call_with_retry(
+                {"op": "query", "expr": expr}, rng=rng)
+            return retries
+
+    retries = await asyncio.gather(
+        *[persistent(f"q | {'~' * (i % 2)}q") for i in range(12)])
+    print(f"  12 retried queries all succeeded "
+          f"({sum(retries)} backoff retries)")
+
+
 async def main_async(port: int) -> None:
     print("-- two tenants, concurrent query streams --")
     sessions = [tenant_session(port, "acme", seed=1),
@@ -183,6 +247,9 @@ async def main_async(port: int) -> None:
     print("-- binary wire: packed-word frames for bulk payloads --")
     await binary_session(port)
 
+    print("-- admission backoff: retry_after_ms-guided recovery --")
+    await backoff_session(port)
+
 
 def main() -> None:
     rng = np.random.default_rng(0)
@@ -192,6 +259,11 @@ def main() -> None:
             name, (rng.random(N_BITS) < 0.4).astype(np.uint8))
     # Warm a public plan over q only: it must survive the m mutations.
     service.query("q | ~q")
+    # A deliberately tight tenant for the backoff demo.
+    service.register_tenant("bursty", max_pending=2)
+    service.create_column(
+        "q", (rng.random(N_BITS) < 0.4).astype(np.uint8),
+        tenant="bursty")
 
     server = serve_tcp(service, 0, batch_window_s=0.001)
     thread = threading.Thread(target=server.serve_forever, daemon=True)

@@ -205,33 +205,117 @@ def _cmd_serve(argv: list[str]) -> int:
                         help="per-tenant admission limit (in-flight "
                              "requests; override per tenant via "
                              "register_tenant)")
+    parser.add_argument("--data-dir", default=None,
+                        help="durable state directory: recover the "
+                             "store/tenants from its snapshot + WAL "
+                             "on startup, log every mutation barrier "
+                             "before acknowledging it")
+    parser.add_argument("--snapshot-every", type=int, default=256,
+                        help="mutation barriers between automatic "
+                             "snapshots (0 = only on shutdown; "
+                             "default: 256)")
+    parser.add_argument("--wal-sync", default="batch",
+                        choices=("always", "batch", "none"),
+                        help="WAL fsync policy: every record / "
+                             "mutation barriers only (default) / "
+                             "never (tests, benchmarks)")
+    parser.add_argument("--request-timeout-ms", type=float,
+                        default=None,
+                        help="per-batch executor deadline; a slow "
+                             "batch errors out, the connection and "
+                             "co-tenants survive (default: off)")
+    parser.add_argument("--inject", default=None,
+                        help="fault-injection spec, e.g. "
+                             "'wal.fsync:after=3,batch.delay:"
+                             "param=0.05' (env: REPRO_FAULTS)")
     args = parser.parse_args(argv)
 
-    from repro.service import BitwiseService, run_repl, serve_tcp
+    import os
+    import signal
 
-    with BitwiseService(args.tech, n_bits=args.bits,
-                        n_shards=args.shards,
-                        functional=not args.counting,
-                        backend=args.backend,
-                        capacity=args.capacity,
-                        fuse=not args.no_fuse,
-                        workers=args.workers) as service:
+    from repro.service import (
+        BitwiseService,
+        FaultInjector,
+        run_repl,
+        serve_tcp,
+    )
+    from repro.service.durability import (
+        DurabilityManager,
+        recover_service,
+    )
+
+    injector = FaultInjector.from_spec(
+        args.inject or os.environ.get("REPRO_FAULTS"))
+    if args.data_dir is not None:
+        if args.counting or args.backend != "vector":
+            parser.error("--data-dir requires the functional "
+                         "vector backend")
+        service = recover_service(
+            args.data_dir, technology=args.tech, n_bits=args.bits,
+            n_shards=args.shards, capacity=args.capacity,
+            snapshot_every=args.snapshot_every or None,
+            sync=args.wal_sync, injector=injector,
+            fuse=not args.no_fuse, workers=args.workers)
+        recovery = service.durability.last_recovery
+        print(f"recovered from {args.data_dir}: "
+              f"generation {recovery['generation']}, "
+              f"{recovery['records_replayed']} WAL records replayed"
+              + (", torn tail discarded"
+                 if recovery['torn_tail_discarded'] else "")
+              + f" ({recovery['elapsed_s'] * 1e3:.0f} ms)")
+    else:
+        service = BitwiseService(args.tech, n_bits=args.bits,
+                                 n_shards=args.shards,
+                                 functional=not args.counting,
+                                 backend=args.backend,
+                                 capacity=args.capacity,
+                                 fuse=not args.no_fuse,
+                                 workers=args.workers)
+    with service:
         if args.port is None:
-            return run_repl(service)
-        server = serve_tcp(service, args.port, args.host,
-                           batch_window_s=args.batch_window_ms / 1e3,
-                           max_batch=args.max_batch,
-                           max_pending=args.max_pending)
+            try:
+                return run_repl(service)
+            finally:
+                if service.durability is not None:
+                    service.checkpoint()
+        server = serve_tcp(
+            service, args.port, args.host,
+            batch_window_s=args.batch_window_ms / 1e3,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+            request_timeout_s=(args.request_timeout_ms / 1e3
+                               if args.request_timeout_ms else None),
+            injector=injector)
         host, port = server.server_address[:2]
         print(f"serving bulk-bitwise queries on {host}:{port} "
               f"({args.tech}, {args.bits} bits x "
               f"{service.n_shards} shards, "
-              f"{args.batch_window_ms:g} ms batch window)")
+              f"{args.batch_window_ms:g} ms batch window"
+              + (f", durable in {args.data_dir}"
+                 if args.data_dir else "") + ")")
+
+        # SIGTERM/SIGINT drain in-flight batches, flush the WAL,
+        # write a final snapshot, and notify connections with a
+        # typed shutting_down error (server_close does all four).
+        def _graceful(signum, frame):
+            server.shutdown()
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _graceful)
+            except (ValueError, OSError):
+                pass  # not the main thread / unsupported platform
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            for signum, handler in previous.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, OSError):
+                    pass
             server.shutdown()
             server.server_close()
     return 0

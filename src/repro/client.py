@@ -1,0 +1,288 @@
+"""Synchronous TCP client for the bulk-bitwise query service with
+retry, backoff and reconnect.
+
+:class:`ServiceClient` speaks both wires (JSON-lines and the binary
+``REPB`` frames of :mod:`repro.service.wire`) and layers fault
+tolerance over the raw socket:
+
+* **retry with exponential backoff + jitter** for retryable failures
+  (connection drops, ``shutting_down``, ``admission`` rejections);
+* a server-provided ``retry_after_ms`` hint — attached to admission
+  and quota rejections — overrides the computed backoff, so clients
+  wait exactly as long as the server asks instead of guessing;
+* **reconnect**: a dropped or drained connection is transparently
+  re-established (including the hello handshake) before the retry;
+* non-retryable errors (bad query, unknown column, protocol misuse)
+  raise :class:`ServiceError` immediately — retrying cannot fix them.
+
+The backoff schedule is deterministic when seeded, so tests assert
+exact wait sequences.  ``sleep`` is injectable for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError, ReproError
+from repro.service.wire import (
+    HEADER_SIZE,
+    KIND_REQUEST,
+    decode_frame,
+    decode_header,
+    encode_frame,
+)
+
+__all__ = ["RetryPolicy", "RetriesExhausted", "ServiceClient",
+           "ServiceError"]
+
+#: response codes worth retrying (with reconnect where noted)
+_RETRYABLE_CODES = ("admission", "shutting_down")
+
+
+class ServiceError(ReproError):
+    """The server answered with a non-retryable error response."""
+
+    def __init__(self, message: str, *, code: str | None = None,
+                 ) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class RetriesExhausted(ServiceError):
+    """Every attempt failed; ``last_error`` holds the final cause."""
+
+    def __init__(self, message: str, *, last_error=None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with full-range jitter.
+
+    ``delay_s(attempt)`` grows ``base_ms * multiplier**attempt`` up to
+    ``max_ms``; a server ``retry_after_ms`` hint replaces the computed
+    base outright.  Jitter multiplies by ``1 ± jitter`` so synchronized
+    clients spread out.  Seed the policy for deterministic tests."""
+
+    max_attempts: int = 5
+    base_ms: float = 10.0
+    multiplier: float = 2.0
+    max_ms: float = 2000.0
+    jitter: float = 0.2
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def delay_s(self, attempt: int,
+                hint_ms: float | None = None) -> float:
+        if hint_ms is not None:
+            base = float(hint_ms)
+        else:
+            base = min(self.max_ms,
+                       self.base_ms * self.multiplier ** attempt)
+        if self.jitter:
+            base *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return max(base, 0.0) / 1e3
+
+
+def _read_exact(stream, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class ServiceClient:
+    """Retrying, reconnecting client for one server endpoint.
+
+    ``call()`` is the primitive: send one request dict (plus optional
+    bit payload on the binary wire), return the ``ok`` response dict,
+    retrying per the policy.  Convenience wrappers cover the common
+    ops.  ``metrics`` counts retries/reconnects/backoff for tests and
+    benchmarks."""
+
+    def __init__(self, host: str, port: int, *,
+                 tenant: str | None = None, wire: str = "json",
+                 policy: RetryPolicy | None = None,
+                 timeout_s: float = 10.0, sleep=None) -> None:
+        if wire not in ("json", "binary"):
+            raise ServiceError(f"unknown wire {wire!r}")
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.wire = wire
+        self.policy = policy or RetryPolicy()
+        self.timeout_s = timeout_s
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._sock: socket.socket | None = None
+        self._stream = None
+        self.hello: dict | None = None
+        self.metrics = {"requests": 0, "retries": 0, "reconnects": 0,
+                        "backoff_s": 0.0}
+
+    # -- connection management -----------------------------------------
+    def connect(self) -> dict:
+        """(Re)establish the connection and run the hello handshake."""
+        self.disconnect()
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout_s)
+        stream = sock.makefile("rwb")
+        hello = {"op": "hello", "tenant": self.tenant,
+                 "wire": self.wire}
+        stream.write((json.dumps(hello) + "\n").encode())
+        stream.flush()
+        line = stream.readline()
+        if not line:
+            sock.close()
+            raise ConnectionError("server closed during hello")
+        reply = json.loads(line.decode())
+        if not reply.get("ok"):
+            sock.close()
+            raise ServiceError(reply.get("error", "hello rejected"),
+                               code=reply.get("code"))
+        self._sock, self._stream, self.hello = sock, stream, reply
+        return reply
+
+    def disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._stream.close()
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._stream = None
+
+    close = disconnect
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.disconnect()
+
+    # -- one request/response exchange ---------------------------------
+    def _send_recv(self, request: dict, bits=None) -> dict:
+        if self.wire == "binary":
+            self._stream.write(encode_frame(KIND_REQUEST, request,
+                                            bits))
+            self._stream.flush()
+            header = decode_header(_read_exact(self._stream,
+                                               HEADER_SIZE))
+            meta_bytes = _read_exact(self._stream, header.meta_len)
+            payload = _read_exact(self._stream, header.payload_bytes)
+            response, page = decode_frame(header, meta_bytes, payload)
+            if page is not None:
+                response["bits"] = page
+            return response
+        if bits is not None:
+            request = {**request,
+                       "bits": np.asarray(bits).astype(int).tolist()}
+        self._stream.write((json.dumps(request) + "\n").encode())
+        self._stream.flush()
+        line = self._stream.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode())
+
+    # -- the retry loop ------------------------------------------------
+    def call(self, request: dict, bits=None) -> dict:
+        """Send one request, retrying per the policy; returns the
+        ``ok`` response dict or raises :class:`ServiceError` /
+        :class:`RetriesExhausted`."""
+        self.metrics["requests"] += 1
+        attempt = 0
+        last_error: BaseException | None = None
+        while True:
+            hint_ms = None
+            response = None
+            try:
+                if self._sock is None:
+                    if self.hello is not None:
+                        self.metrics["reconnects"] += 1
+                    self.connect()
+                response = self._send_recv(request, bits)
+            except (OSError, ConnectionError, EOFError,
+                    ProtocolError, json.JSONDecodeError) as exc:
+                # Transport-level failure: reconnect on next attempt.
+                self.disconnect()
+                last_error = exc
+            if response is not None:
+                if response.get("ok"):
+                    return response
+                code = response.get("code")
+                if code not in _RETRYABLE_CODES:
+                    raise ServiceError(
+                        response.get("error", "request failed"),
+                        code=code)
+                last_error = ServiceError(
+                    response.get("error", "rejected"), code=code)
+                if code == "shutting_down":
+                    self.disconnect()
+                else:
+                    hint_ms = response.get("retry_after_ms")
+            attempt += 1
+            if attempt >= self.policy.max_attempts:
+                raise RetriesExhausted(
+                    f"request failed after {attempt} attempts: "
+                    f"{last_error}", last_error=last_error)
+            delay = self.policy.delay_s(attempt - 1, hint_ms)
+            self.metrics["retries"] += 1
+            self.metrics["backoff_s"] += delay
+            self._sleep(delay)
+
+    # -- convenience ops -----------------------------------------------
+    def query(self, expr: str) -> dict:
+        return self.call({"op": "query", "expr": expr})
+
+    def batch(self, exprs) -> list[dict]:
+        return self.call({"op": "batch",
+                          "exprs": list(exprs)})["results"]
+
+    def create_column(self, name: str, bits) -> dict:
+        return self.call({"op": "create_column", "name": name},
+                         np.asarray(bits))
+
+    def update_column(self, name: str, bits) -> dict:
+        return self.call({"op": "update_column", "name": name},
+                         np.asarray(bits))
+
+    def write_slice(self, name: str, offset: int, bits) -> dict:
+        return self.call({"op": "write_slice", "name": name,
+                          "offset": int(offset)}, np.asarray(bits))
+
+    def append_rows(self, values: dict, n: int | None = None) -> dict:
+        if self.wire == "binary":
+            names = list(values)
+            return self.call(
+                {"op": "append_rows", "n": n, "value_names": names},
+                [np.asarray(values[name]) for name in names])
+        return self.call({
+            "op": "append_rows", "n": n,
+            "values": {name: np.asarray(bits).astype(int).tolist()
+                       for name, bits in values.items()}})
+
+    def bits(self, name: str, offset: int = 0, limit: int = 64,
+             ) -> dict:
+        return self.call({"op": "bits", "name": name,
+                          "offset": int(offset),
+                          "limit": int(limit)})
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})["stats"]
+
+    def columns(self) -> list[str]:
+        return self.call({"op": "columns"})["columns"]

@@ -29,10 +29,29 @@ energy per dirty row and query reads accrue QNRO disturb-scrub costs
 (:class:`repro.arch.writeback.ScrubAccountant`); the result cache is
 dependency-indexed, so a mutation only evicts the plans that read the
 mutated column.
+
+Durability (:mod:`repro.service.durability`): a checksummed
+write-ahead log records every mutation barrier and tenant-state delta
+before it applies, periodic snapshots pack the whole store + tenant
+state into one generation file, and :func:`recover_service` replays
+the log for bit-exact recovery on restart.  A :class:`FaultInjector`
+arms deterministic faults (torn WAL tails, failed fsyncs, slow or
+failing batches) for chaos testing, and the scheduler degrades
+gracefully under per-request timeouts.
 """
 
 from repro.service.columnstore import ColumnStore, MatrixPool
-from repro.service.scheduler import AdmissionError, RequestScheduler
+from repro.service.durability import (
+    DurabilityManager,
+    FaultInjector,
+    InjectedFault,
+    recover_service,
+)
+from repro.service.scheduler import (
+    AdmissionError,
+    RequestScheduler,
+    ShuttingDownError,
+)
 from repro.service.server import (
     QueryServer,
     mutation_payload,
@@ -53,16 +72,21 @@ __all__ = [
     "AdmissionError",
     "BitwiseService",
     "ColumnStore",
+    "DurabilityManager",
+    "FaultInjector",
+    "InjectedFault",
     "MatrixPool",
     "MutationResult",
     "ProgramResult",
     "QueryResult",
     "QueryServer",
     "RequestScheduler",
+    "ShuttingDownError",
     "StatementStats",
     "TenantState",
     "TenantView",
     "mutation_payload",
+    "recover_service",
     "result_payload",
     "run_repl",
     "serve_tcp",

@@ -24,7 +24,28 @@ The async server funnels every connection's requests through one
   cannot starve the others — and per-tenant FIFO order is preserved;
 * serializes **mutations as barriers**: a tenant's mutation waits for
   the current batch, then runs exclusively before the tenant's later
-  requests (read-your-writes per tenant).
+  requests (read-your-writes per tenant) — and when a durability
+  manager is attached, barrier ops **group-commit**: a dedicated
+  committer thread fsyncs every queued round under one
+  ``fdatasync`` while the scheduler keeps serving, and no op is
+  acknowledged before its group is on disk.
+
+Fault tolerance (graceful degradation):
+
+* rejections carry a machine-readable **retry_after_ms** hint so
+  clients back off intelligently instead of blind-retrying;
+* an optional **per-request timeout** (``request_timeout_s``) bounds
+  each batch / barrier executor call: a slow batch settles *its own*
+  items with a :class:`~repro.errors.QueryError` while the
+  connection, the scheduler loop and co-tenant traffic all survive;
+* an armed :class:`~repro.service.durability.FaultInjector` can
+  delay or fail batches (``batch.delay`` / ``batch.exec``) and
+  barrier ops (``exclusive.*``) for deterministic chaos tests — an
+  injected batch failure takes the existing per-item fallback path,
+  so errors attribute to individual requests;
+* **drain** support for graceful shutdown: :meth:`begin_drain`
+  rejects new submissions with :class:`ShuttingDownError` while
+  :meth:`drain` awaits the in-flight work.
 
 The scheduler owns no sockets and is directly testable from asyncio.
 """
@@ -32,17 +53,40 @@ The scheduler owns no sockets and is directly testable from asyncio.
 from __future__ import annotations
 
 import asyncio
+import queue as _queue
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import QueryError
 
-__all__ = ["AdmissionError", "RequestScheduler"]
+__all__ = ["AdmissionError", "RequestScheduler", "ShuttingDownError",
+           "ENERGY_RETRY_AFTER_MS"]
+
+#: sentinel telling the committer thread to exit once drained
+_COMMIT_STOP = object()
+
+#: hint handed to energy-exhausted tenants — quota refills are an
+#: operator action, so the backoff is a coarse constant, not a window
+ENERGY_RETRY_AFTER_MS = 1000.0
 
 
 class AdmissionError(QueryError):
-    """Per-tenant admission limit exceeded; retry after back-off."""
+    """Per-tenant admission limit exceeded; retry after back-off.
+
+    ``retry_after_ms`` is a machine-readable hint surfaced on both
+    wires: roughly two batching windows for queue-full rejections,
+    :data:`ENERGY_RETRY_AFTER_MS` for exhausted energy quotas."""
+
+    def __init__(self, message: str, *,
+                 retry_after_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class ShuttingDownError(QueryError):
+    """The server is draining; reconnect and retry elsewhere/later."""
 
 
 @dataclass
@@ -61,29 +105,60 @@ class RequestScheduler:
     """Batching, admission-controlled front door to a BitwiseService."""
 
     def __init__(self, service, *, window_s: float = 0.001,
-                 max_batch: int = 128, max_pending: int = 64) -> None:
+                 max_batch: int = 128, max_pending: int = 64,
+                 request_timeout_s: float | None = None,
+                 injector=None) -> None:
         self.service = service
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
         self.max_pending = int(max_pending)
+        #: executor-side deadline per batch / barrier op (None = off)
+        self.request_timeout_s = request_timeout_s
+        #: optional FaultInjector consulted inside executor calls
+        self.injector = injector
         self._queues: dict[str | None, deque[_Item]] = {}
         self._rotation: deque[str | None] = deque()
         self._pending: dict[str | None, int] = {}
         self._wakeup = asyncio.Event()
         self._task: asyncio.Task | None = None
+        #: rounds of barrier outcomes awaiting their WAL group fsync;
+        #: a dedicated committer thread drains the whole queue under
+        #: ONE fsync (started lazily on the first durable round), so
+        #: the commit rate self-clocks to what the disk sustains
+        self._commit_q: _queue.SimpleQueue = _queue.SimpleQueue()
+        self._commit_thread: threading.Thread | None = None
         self._stopped = False
+        self._draining = False
         self.metrics = {
             "batches": 0,            #: execute() calls issued
             "batched_queries": 0,    #: queries answered through them
             "largest_batch": 0,
             "exclusives": 0,         #: mutations/barrier ops run
+            "wal_group_commits": 0,  #: mutation rounds fsynced once
             "admission_rejections": 0,
+            "timeouts": 0,           #: batches/barriers past deadline
+            "drain_rejections": 0,   #: submissions refused mid-drain
         }
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
         self._task = asyncio.get_running_loop().create_task(
             self._run(), name="request-scheduler")
+
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight and queued work still completes."""
+        self._draining = True
+        self._wakeup.set()
+
+    async def drain(self, timeout_s: float = 5.0) -> bool:
+        """Await quiescence (no pending requests); False on timeout."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while sum(self._pending.values()) > 0 or self._backlog():
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
 
     async def stop(self) -> None:
         self._stopped = True
@@ -94,11 +169,21 @@ class RequestScheduler:
                 await self._task
             except (asyncio.CancelledError, Exception):
                 pass
+        # Let the committer thread fsync and settle any queued groups
+        # before failing whatever is still in the request queues; it
+        # exits once it has drained everything up to the sentinel.
+        if self._commit_thread is not None:
+            self._commit_q.put(_COMMIT_STOP)
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._commit_thread.join)
+            self._commit_thread = None
+            # One tick for the settle callbacks it posted on exit.
+            await asyncio.sleep(0)
         for queue in self._queues.values():
             for item in queue:
                 if not item.future.done():
                     item.future.set_exception(
-                        QueryError("server shutting down"))
+                        ShuttingDownError("server shutting down"))
         self._queues.clear()
 
     # -- submission ----------------------------------------------------
@@ -107,19 +192,28 @@ class RequestScheduler:
         return state.max_pending if state.max_pending is not None \
             else self.max_pending
 
+    def _retry_hint_ms(self) -> float:
+        """Queue-full backoff: about two batching windows."""
+        return max(1.0, self.window_s * 2e3)
+
     def _check_admission(self, tenant: str | None) -> None:
+        if self._draining:
+            self.metrics["drain_rejections"] += 1
+            raise ShuttingDownError("server shutting down")
         state = self.service.tenant_state(tenant)
         if state.energy_exhausted():
             self.metrics["admission_rejections"] += 1
             raise AdmissionError(
                 f"tenant {tenant!r} energy quota exhausted "
                 f"({state.energy_spent_nj:.1f} nJ spent of "
-                f"{state.quota_energy_nj:.1f} nJ)")
+                f"{state.quota_energy_nj:.1f} nJ)",
+                retry_after_ms=ENERGY_RETRY_AFTER_MS)
         if self._pending.get(tenant, 0) >= self._limit(tenant):
             self.metrics["admission_rejections"] += 1
             raise AdmissionError(
                 f"tenant {tenant!r} over admission limit "
-                f"({self._limit(tenant)} requests in flight)")
+                f"({self._limit(tenant)} requests in flight)",
+                retry_after_ms=self._retry_hint_ms())
 
     def _enqueue(self, item: _Item) -> None:
         item.future = asyncio.get_running_loop().create_future()
@@ -195,8 +289,9 @@ class RequestScheduler:
 
         Queries are taken round-robin, one per tenant per rotation,
         never past a tenant's first barrier (per-tenant FIFO).  Then
-        each tenant whose queue now fronts a barrier contributes that
-        one barrier op.
+        each tenant whose queue now fronts barriers contributes its
+        consecutive run of them — the round's barrier ops execute in
+        order and group-commit under one WAL fsync.
         """
         batch: list[_Item] = []
         progress = True
@@ -211,14 +306,18 @@ class RequestScheduler:
                     progress = True
                     if len(batch) >= self.max_batch:
                         break
+        return batch, self._drain_barriers()
+
+    def _drain_barriers(self) -> list[_Item]:
+        """Every tenant's consecutive run of front-of-queue barriers."""
         exclusives: list[_Item] = []
         for _ in range(len(self._rotation)):
             tenant = self._rotation[0]
             self._rotation.rotate(-1)
             queue = self._queues.get(tenant)
-            if queue and queue[0].kind == "exclusive":
+            while queue and queue[0].kind == "exclusive":
                 exclusives.append(queue.popleft())
-        return batch, exclusives
+        return exclusives
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
@@ -234,8 +333,13 @@ class RequestScheduler:
                 batch, exclusives = self._drain_round()
                 if batch:
                     await self._execute_batch(loop, batch)
-                for item in exclusives:
-                    await self._execute_exclusive(loop, item)
+                    # Mutations that queued while the batch executed
+                    # join this round's group commit (one shared
+                    # fsync) instead of each paying their own next
+                    # round.
+                    exclusives.extend(self._drain_barriers())
+                if exclusives:
+                    await self._execute_exclusives(loop, exclusives)
 
     def _reject_exhausted(self, items: list[_Item]) -> list[_Item]:
         """Settle already-admitted items whose tenant has since spent
@@ -253,10 +357,42 @@ class RequestScheduler:
                 self._settle(item, error=AdmissionError(
                     f"tenant {item.tenant!r} energy quota exhausted "
                     f"({state.energy_spent_nj:.1f} nJ spent of "
-                    f"{state.quota_energy_nj:.1f} nJ)"))
+                    f"{state.quota_energy_nj:.1f} nJ)",
+                    retry_after_ms=ENERGY_RETRY_AFTER_MS))
             else:
                 eligible.append(item)
         return eligible
+
+    # -- executor-side wrappers (fault injection lives in the worker
+    # thread, exactly where a real stall/exception would strike) ------
+    def _batch_fn(self, queries, tenants):
+        if self.injector is not None:
+            self.injector.delay("batch.delay")
+            self.injector.check("batch.exec")
+        return self.service.execute(queries, tenants=tenants)
+
+    def _single_fn(self, item: _Item):
+        if self.injector is not None:
+            self.injector.delay("batch.delay")
+        return self.service.query(item.payload, tenant=item.tenant)
+
+    def _exclusive_fn(self, fn: Callable[[], Any]):
+        if self.injector is not None:
+            self.injector.delay("exclusive.delay")
+            self.injector.check("exclusive.exec")
+        return fn()
+
+    async def _bounded(self, future):
+        """Apply the per-request deadline to one executor future.
+
+        On timeout the worker thread keeps running to completion (we
+        cannot kill it), but its requests settle with an error now —
+        the caller's latency is bounded and the event loop, other
+        tenants and the connection all keep going."""
+        if self.request_timeout_s:
+            return await asyncio.wait_for(future,
+                                          self.request_timeout_s)
+        return await future
 
     async def _execute_batch(self, loop, batch: list[_Item]) -> None:
         batch = self._reject_exhausted(batch)
@@ -269,9 +405,18 @@ class RequestScheduler:
         self.metrics["largest_batch"] = max(
             self.metrics["largest_batch"], len(batch))
         try:
-            results = await loop.run_in_executor(
-                None, lambda: self.service.execute(queries,
-                                                   tenants=tenants))
+            results = await self._bounded(loop.run_in_executor(
+                None, lambda: self._batch_fn(queries, tenants)))
+        except asyncio.TimeoutError:
+            # Degrade gracefully: THIS batch errors out, nothing else.
+            # No per-item fallback — re-running a stalled batch item
+            # by item would multiply the stall by the batch size.
+            self.metrics["timeouts"] += 1
+            for item in batch:
+                self._settle(item, error=QueryError(
+                    f"request timed out after "
+                    f"{self.request_timeout_s:g}s"))
+            return
         except Exception:
             # One bad query fails a whole execute(); fall back to
             # per-item execution so errors attribute to their request.
@@ -283,21 +428,125 @@ class RequestScheduler:
 
     async def _execute_single(self, loop, item: _Item) -> None:
         try:
-            result = await loop.run_in_executor(
-                None, lambda: self.service.query(item.payload,
-                                                 tenant=item.tenant))
+            result = await self._bounded(loop.run_in_executor(
+                None, lambda: self._single_fn(item)))
+        except asyncio.TimeoutError:
+            self.metrics["timeouts"] += 1
+            self._settle(item, error=QueryError(
+                f"request timed out after {self.request_timeout_s:g}s"))
         except Exception as exc:
             self._settle(item, error=exc)
         else:
             self._settle(item, result)
 
-    async def _execute_exclusive(self, loop, item: _Item) -> None:
-        if not self._reject_exhausted([item]):
+    async def _execute_exclusives(self, loop,
+                                  items: list[_Item]) -> None:
+        """Run one round's barrier ops, group-committing the WAL.
+
+        Each op's record is written (and the op applied) in order —
+        the WAL-before-apply invariant holds record by record — but
+        the round's per-barrier fsyncs are deferred: the outcomes go
+        to the *committer thread's* queue and the scheduler moves on
+        to the next round while the group's ``fdatasync`` is in
+        flight.
+        No op is acknowledged before its group is on disk; if the
+        group fsync fails, every op it covered settles with that
+        error."""
+        items = self._reject_exhausted(items)
+        if not items:
             return
-        self.metrics["exclusives"] += 1
+        manager = getattr(self.service, "durability", None)
+        grouped = manager is not None and manager.sync == "batch"
+        if grouped:
+            self.metrics["wal_group_commits"] += 1
+            manager.begin_group()
+        outcomes: list[tuple[_Item, Any, Exception | None]] = []
         try:
-            value = await loop.run_in_executor(None, item.payload)
-        except Exception as exc:
-            self._settle(item, error=exc)
-        else:
-            self._settle(item, value)
+            for item in items:
+                self.metrics["exclusives"] += 1
+                try:
+                    value = await self._bounded(loop.run_in_executor(
+                        None,
+                        lambda fn=item.payload:
+                            self._exclusive_fn(fn)))
+                except asyncio.TimeoutError:
+                    self.metrics["timeouts"] += 1
+                    outcomes.append((item, None, QueryError(
+                        f"request timed out after "
+                        f"{self.request_timeout_s:g}s")))
+                except Exception as exc:
+                    outcomes.append((item, None, exc))
+                else:
+                    outcomes.append((item, value, None))
+        finally:
+            if grouped:
+                # Settle off the scheduling loop: acks wait for the
+                # group fsync, queries of the next round do not.
+                self._ensure_committer(loop)
+                self._commit_q.put(outcomes)
+            else:
+                self._settle_outcomes(outcomes)
+
+    def _ensure_committer(self, loop) -> None:
+        if self._commit_thread is None \
+                or not self._commit_thread.is_alive():
+            self._commit_thread = threading.Thread(
+                target=self._committer_main, args=(loop,),
+                name="wal-committer", daemon=True)
+            self._commit_thread.start()
+
+    def _committer_main(self, loop) -> None:
+        """Group-commit fsync pump (dedicated thread).
+
+        Drains every queued round under ONE WAL fsync, then posts
+        their acknowledgments back to the event loop.  Rounds that
+        arrive while an fsync is in flight pile up and share the next
+        one, so the fsync rate self-clocks to what the disk sustains
+        instead of serializing one sync per mutation round — and the
+        fsync starts immediately even while the loop is busy with the
+        next round's query batches.  A failed fsync withholds the
+        acknowledgment of every op it covered."""
+        while True:
+            entry = self._commit_q.get()
+            stopping = entry is _COMMIT_STOP
+            groups = [] if stopping else [entry]
+            while True:
+                try:
+                    entry = self._commit_q.get_nowait()
+                except _queue.Empty:
+                    break
+                if entry is _COMMIT_STOP:
+                    stopping = True
+                else:
+                    groups.append(entry)
+            if groups:
+                manager = getattr(self.service, "durability", None)
+                failure = None
+                try:
+                    manager.commit_groups(len(groups))
+                except Exception as exc:
+                    # The groups never reached the disk: none of
+                    # their ops is durable, none may be acknowledged.
+                    failure = exc
+                try:
+                    loop.call_soon_threadsafe(
+                        self._settle_groups, groups, failure)
+                except RuntimeError:
+                    return  # loop already closed (teardown race)
+            if stopping:
+                return
+
+    def _settle_groups(self, groups, failure) -> None:
+        for outcomes in groups:
+            if failure is not None:
+                outcomes = [(item, None,
+                             error if error is not None else failure)
+                            for item, value, error in outcomes]
+            self._settle_outcomes(outcomes)
+
+    def _settle_outcomes(self, outcomes) -> None:
+        for item, value, error in outcomes:
+            if error is not None:
+                self._settle(item, error=error)
+            else:
+                self._settle(item, value)

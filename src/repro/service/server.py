@@ -49,7 +49,11 @@ import threading
 import numpy as np
 
 from repro.errors import ProtocolError, QueryError, ReproError
-from repro.service.scheduler import AdmissionError, RequestScheduler
+from repro.service.scheduler import (
+    AdmissionError,
+    RequestScheduler,
+    ShuttingDownError,
+)
 from repro.service.wire import (
     HEADER_SIZE,
     KIND_RESPONSE,
@@ -117,6 +121,27 @@ def _json_default(value):
     raise ProtocolError(
         f"response value of type {type(value).__name__} is not "
         f"JSON-serializable")
+
+
+def _error_payload(exc: ReproError) -> dict:
+    """Typed wire shape for a service-level error (both wires).
+
+    ``shutting_down`` wins over ``admission`` (it subclasses
+    QueryError directly, but keep the order explicit); admission
+    rejections attach their machine-readable ``retry_after_ms`` hint
+    so clients can back off intelligently."""
+    if isinstance(exc, ShuttingDownError):
+        return {"ok": False, "error": str(exc),
+                "code": "shutting_down"}
+    if isinstance(exc, AdmissionError):
+        payload = {"ok": False, "error": str(exc),
+                   "code": "admission"}
+        if exc.retry_after_ms is not None:
+            payload["retry_after_ms"] = float(exc.retry_after_ms)
+        return payload
+    if isinstance(exc, ProtocolError):
+        return {"ok": False, "error": str(exc), "code": "protocol"}
+    return {"ok": False, "error": str(exc)}
 
 
 def _parse_bitstring(text: str) -> np.ndarray:
@@ -305,11 +330,17 @@ class QueryServer:
                  batch_window_s: float = 0.001,
                  max_batch: int = 128,
                  max_pending: int = 64,
-                 max_line_bytes: int = 1 << 26) -> None:
+                 max_line_bytes: int = 1 << 26,
+                 request_timeout_s: float | None = None,
+                 injector=None,
+                 drain_timeout_s: float = 5.0) -> None:
         self.service = service
         self._batch_window_s = batch_window_s
         self._max_batch = max_batch
         self._max_pending = max_pending
+        self._request_timeout_s = request_timeout_s
+        self._injector = injector
+        self._drain_timeout_s = drain_timeout_s
         # JSON lines carry whole column payloads; the default asyncio
         # stream limit (64 KiB) truncates them mid-frame.
         self._max_line_bytes = max_line_bytes
@@ -334,9 +365,14 @@ class QueryServer:
     async def _start(self, address: tuple[str, int]) -> tuple:
         self.scheduler = RequestScheduler(
             self.service, window_s=self._batch_window_s,
-            max_batch=self._max_batch, max_pending=self._max_pending)
+            max_batch=self._max_batch, max_pending=self._max_pending,
+            request_timeout_s=self._request_timeout_s,
+            injector=self._injector)
         self.scheduler.start()
         self._conn_tasks: set[asyncio.Task] = set()
+        #: live connections (task -> (writer, conn state)) so graceful
+        #: shutdown can say goodbye on the right wire
+        self._conns: dict[asyncio.Task, tuple] = {}
         try:
             self._server = await asyncio.start_server(
                 self._handle_connection, address[0], address[1],
@@ -354,6 +390,7 @@ class QueryServer:
         # Per-connection state: default tenant namespace plus the
         # negotiated wire ("json" until a hello opts into "binary").
         conn: dict = {"tenant": None, "wire": "json"}
+        self._conns[task] = (writer, conn)
         try:
             while True:
                 if conn["wire"] == "binary":
@@ -369,6 +406,7 @@ class QueryServer:
         except asyncio.CancelledError:
             pass  # server teardown closes live connections
         finally:
+            self._conns.pop(task, None)
             writer.close()
 
     async def _serve_line_once(self, reader, writer,
@@ -389,14 +427,8 @@ class QueryServer:
         try:
             request = json.loads(raw.decode())
             response = await self._serve(request, conn)
-        except AdmissionError as exc:
-            response = {"ok": False, "error": str(exc),
-                        "code": "admission"}
-        except ProtocolError as exc:
-            response = {"ok": False, "error": str(exc),
-                        "code": "protocol"}
         except ReproError as exc:
-            response = {"ok": False, "error": str(exc)}
+            response = _error_payload(exc)
         except (ValueError, KeyError, TypeError) as exc:
             response = {"ok": False,
                         "error": f"bad request: {exc}"}
@@ -443,14 +475,8 @@ class QueryServer:
             elif bits is not None:
                 request["bits"] = bits
             response = await self._serve(request, conn)
-        except AdmissionError as exc:
-            response = {"ok": False, "error": str(exc),
-                        "code": "admission"}
-        except ProtocolError as exc:
-            response = {"ok": False, "error": str(exc),
-                        "code": "protocol"}
         except ReproError as exc:
-            response = {"ok": False, "error": str(exc)}
+            response = _error_payload(exc)
         except (ValueError, KeyError, TypeError) as exc:
             response = {"ok": False, "error": f"bad request: {exc}"}
         bits_out = None
@@ -569,14 +595,40 @@ class QueryServer:
     def shutdown(self) -> None:
         self._shutdown.set()
 
+    async def _notify_shutdown(self) -> None:
+        """Tell every live connection the server is going away.
+
+        A typed ``{"code": "shutting_down"}`` error on the
+        connection's negotiated wire beats an abrupt RST: retrying
+        clients reconnect instead of surfacing a transport error."""
+        message = {"ok": False, "error": "server shutting down",
+                   "code": "shutting_down"}
+        for writer, conn in list(self._conns.values()):
+            try:
+                if conn["wire"] == "binary":
+                    writer.write(encode_frame(KIND_RESPONSE, message))
+                else:
+                    writer.write(
+                        (json.dumps(message) + "\n").encode())
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, RuntimeError, OSError):
+                pass
+
     def server_close(self) -> None:
+        """Graceful teardown: stop accepting, drain in-flight batches,
+        notify connections, then (if durable) flush the WAL and write
+        a final snapshot."""
         self._shutdown.set()
         if self._loop.is_closed():
             return
 
         async def teardown():
+            self._server.close()            # stop accepting
+            self.scheduler.begin_drain()    # reject new submissions
+            await self.scheduler.drain(self._drain_timeout_s)
+            await self._notify_shutdown()
             await self.scheduler.stop()
-            self._server.close()
             await self._server.wait_closed()
             for task in list(self._conn_tasks):
                 task.cancel()
@@ -591,14 +643,27 @@ class QueryServer:
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=10)
             self._loop.close()
+            manager = getattr(self.service, "_durability", None)
+            if manager is not None:
+                try:
+                    manager.flush()
+                    self.service.checkpoint()
+                except ReproError:
+                    pass  # keep teardown robust; WAL already flushed
 
 
 def serve_tcp(service: BitwiseService, port: int,
               host: str = "127.0.0.1", *,
               batch_window_s: float = 0.001,
               max_batch: int = 128,
-              max_pending: int = 64) -> QueryServer:
+              max_pending: int = 64,
+              request_timeout_s: float | None = None,
+              injector=None,
+              drain_timeout_s: float = 5.0) -> QueryServer:
     """Bind a :class:`QueryServer`; caller runs ``serve_forever()``."""
     return QueryServer(service, (host, port),
                        batch_window_s=batch_window_s,
-                       max_batch=max_batch, max_pending=max_pending)
+                       max_batch=max_batch, max_pending=max_pending,
+                       request_timeout_s=request_timeout_s,
+                       injector=injector,
+                       drain_timeout_s=drain_timeout_s)

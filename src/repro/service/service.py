@@ -96,6 +96,7 @@ from repro.service.columnstore import (
     dirty_word_indices,
     shard_spans,
 )
+from repro.service.durability import stats_to_dict
 from repro.service.tenancy import (
     TenantState,
     TenantView,
@@ -444,6 +445,10 @@ class BitwiseService:
         self.queries_served = 0
         self.programs_run = 0
         self.mutations_applied = 0
+        # Durability: attach_durability() installs a DurabilityManager
+        # that logs every mutation barrier / tenant delta ahead of its
+        # state change and snapshots the packed store periodically.
+        self._durability = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -465,6 +470,12 @@ class BitwiseService:
         """Create (or re-configure) a tenant namespace with quotas."""
         check_tenant_name(name)
         with self._table_lock:
+            self._log_wal({
+                "kind": "tenant", "name": name,
+                "quota_bits": quota_bits,
+                "quota_energy_nj": quota_energy_nj,
+                "cache_entries": cache_entries,
+                "max_pending": max_pending})
             state = self._tenants.setdefault(name, TenantState(name))
             state.quota_bits = quota_bits
             state.quota_energy_nj = quota_energy_nj
@@ -538,6 +549,8 @@ class BitwiseService:
             elif self.functional:
                 raise QueryError(
                     "functional service requires explicit column bits")
+            self._log_wal({"kind": "create", "tenant": tenant,
+                           "name": name}, bits)
             if self.backend == "vector":
                 if self._store is not None:
                     self._store.add(physical, bits)
@@ -572,6 +585,7 @@ class BitwiseService:
                         shard.columns[physical] = vec
             self._columns[physical] = self.n_bits
             state.columns[name] = physical
+            self._maybe_checkpoint()
 
     def random_column(self, name: str, density: float = 0.5,
                       seed: int | None = None, *,
@@ -591,6 +605,8 @@ class BitwiseService:
         with self._table_lock:
             state = self.tenant_state(tenant)
             physical = state.resolve(name)
+            self._log_wal({"kind": "drop", "tenant": tenant,
+                           "name": name})
             if self.backend == "vector":
                 if self._store is not None:
                     self._store.drop(physical)
@@ -610,6 +626,7 @@ class BitwiseService:
             with self._stats_lock:
                 self._writeback.forget(physical)
             self._invalidate_columns((physical,))
+            self._maybe_checkpoint()
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -692,6 +709,8 @@ class BitwiseService:
                 raise QueryError(
                     f"write [{offset}, {offset + size}) outside table "
                     f"[0, {self.n_bits})")
+            self._log_wal({"kind": op, "tenant": tenant, "name": name,
+                           "offset": offset}, values)
             if self.functional:
                 old = self._current_bits(physical)
                 new = old.copy()
@@ -710,6 +729,7 @@ class BitwiseService:
                 state.charge_energy(delta.total_energy_j)
             evicted = self._invalidate_columns((physical,))
             self.mutations_applied += 1
+            self._maybe_checkpoint()
         return MutationResult(
             op=op, column=name, tenant=tenant, offset=offset,
             n_bits=size, rows_written=sum(rows_by_shard),
@@ -766,6 +786,13 @@ class BitwiseService:
                 raise QueryError(
                     f"append of {n} rows exceeds capacity "
                     f"{self.capacity} (logical width {old_n})")
+            if self._durability is not None:
+                logicals = list(dict(values or {}))
+                self._log_wal(
+                    {"kind": "append", "tenant": tenant, "n": n,
+                     "names": logicals},
+                    [arrays[state.resolve(logical)]
+                     for logical in logicals] or None)
             per_column: dict[str, list[int]] = {}
             news: dict[str, np.ndarray] = {}
             if self.functional:
@@ -796,6 +823,7 @@ class BitwiseService:
                 state.charge_energy(total.total_energy_j)
             evicted = self._invalidate_all()
             self.mutations_applied += 1
+            self._maybe_checkpoint()
         rows_by_shard = [0] * self.n_shards
         for shard_rows in per_column.values():
             for index, rows in enumerate(shard_rows):
@@ -1119,11 +1147,19 @@ class BitwiseService:
         # cache hits spend nothing).
         if pending:
             with self._stats_lock:
+                charged = []
                 for ckey, item in pending.items():
                     for physical in item["colmap"].values():
                         self._writeback.note_read(physical)
+                    energy = outputs[ckey][2].total_energy_j
                     self.tenant_state(item["tenant"]).charge_energy(
-                        outputs[ckey][2].total_energy_j)
+                        energy)
+                    charged.append({
+                        "tenant": item["tenant"],
+                        "energy_j": energy,
+                        "cols": list(item["colmap"].values())})
+                if self._durability is not None:
+                    self._log_charges_locked(charged, pending, outputs)
         with self._cache_lock:
             self.queries_served += len(plans)
         return results  # type: ignore[return-value]
@@ -1179,12 +1215,14 @@ class BitwiseService:
         # Disturb accounting: every statement activates the external
         # columns it references once (a name shadowed by an earlier
         # statement reads the intermediate, not the column).
+        read_cols: list[str] = []
         with self._stats_lock:
             shadowed: set[str] = set()
             for name, plan in cprog.stmt_plans:
                 for col in plan.cols:
                     if col not in shadowed and col in colmap:
                         self._writeback.note_read(colmap[col])
+                        read_cols.append(colmap[col])
                 shadowed.add(name)
         total = Stats()
         statements = []
@@ -1198,6 +1236,20 @@ class BitwiseService:
         with self._stats_lock:
             self.tenant_state(tenant).charge_energy(
                 total.total_energy_j)
+            if self._durability is not None:
+                flags = {
+                    physical: self._col_flags.get(physical, False)
+                    for physical in colmap.values()
+                    if physical in self._col_flags}
+                self._log_wal(
+                    {"kind": "charges",
+                     "items": [{"tenant": tenant,
+                                "energy_j": total.total_energy_j,
+                                "cols": read_cols}],
+                     "flags": flags,
+                     "tba": list(self._tba_offsets),
+                     "ledger": stats_to_dict(total)},
+                    barrier=False)
         with self._cache_lock:
             self.programs_run += 1
         return ProgramResult(
@@ -1600,6 +1652,137 @@ class BitwiseService:
             return evicted
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def attach_durability(self, manager) -> None:
+        """Install a :class:`~repro.service.durability.
+        DurabilityManager`: every subsequent mutation barrier and
+        tenant-state delta is WAL-logged before it is applied, and
+        snapshots rotate the log every ``snapshot_every`` barriers.
+
+        Requires the functional vector backend — the reference
+        backend keeps its payloads inside per-shard engines and the
+        counting mode has no payloads to persist."""
+        if self.backend != "vector" or not self.functional:
+            raise QueryError(
+                "durability requires the functional vector backend")
+        self._durability = manager
+        if manager.bootstrap_needed():
+            # A fresh generation-0 log opens with the geometry, so a
+            # crash before the first snapshot recovers from the data
+            # dir alone (no CLI flags to get wrong).
+            manager.log({"kind": "geometry",
+                         "technology": self.technology,
+                         "n_bits": self.n_bits,
+                         "n_shards": self.n_shards,
+                         "capacity": self.capacity}, barrier=False)
+
+    @property
+    def durability(self):
+        return self._durability
+
+    def _log_wal(self, meta: dict, bits=None, *,
+                 barrier: bool = True) -> None:
+        if self._durability is not None:
+            self._durability.log(meta, bits, barrier=barrier)
+
+    def _log_charges_locked(self, charged: list, pending: dict,
+                            outputs: dict) -> None:
+        """Append one per-batch accounting record (_stats_lock held).
+
+        Cache hits never reach here — only executed plans advance the
+        tenant energy, disturb counters, column flags, TBA offsets and
+        the compute ledger, and those are exactly what the record
+        carries (final flag/TBA values; the ledger as one summed
+        delta, Stats-allclose under float reassociation)."""
+        delta = Stats()
+        for ckey in pending:
+            delta.iadd(outputs[ckey][2])
+        flags = {
+            physical: self._col_flags.get(physical, False)
+            for item in pending.values()
+            for physical in item["colmap"].values()
+            if physical in self._col_flags}
+        self._log_wal(
+            {"kind": "charges", "items": charged, "flags": flags,
+             "tba": list(self._tba_offsets),
+             "ledger": stats_to_dict(delta)},
+            barrier=False)
+
+    def _maybe_checkpoint(self) -> None:
+        """Auto-snapshot after ``snapshot_every`` barriers
+        (_table_lock held — called at the end of each mutation)."""
+        manager = self._durability
+        if manager is not None and not manager.replaying \
+                and manager.snapshot_due():
+            self._checkpoint_locked()
+
+    def checkpoint(self) -> dict:
+        """Write a snapshot generation now and rotate the WAL."""
+        if self._durability is None:
+            raise QueryError("no durability manager attached")
+        with self._table_lock:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> dict:
+        manager = self._durability
+        columns = {physical: self._store.bits(physical)
+                   for physical in self._columns}
+        # State capture and WAL rotation share one _stats_lock hold:
+        # a concurrent per-batch charge must land entirely in the
+        # snapshot or entirely in the new generation's WAL, never
+        # both and never neither.
+        with self._stats_lock:
+            meta = self._durable_state_locked()
+            generation = manager.write_snapshot(meta, columns)
+        return {"generation": generation,
+                "columns": len(columns), "n_bits": self.n_bits}
+
+    def _durable_state_locked(self) -> dict:
+        """JSON-safe durable state (_table_lock + _stats_lock held)."""
+        return {
+            "version": 1,
+            "technology": self.technology,
+            "n_bits": self.n_bits,
+            "capacity": self.capacity,
+            "n_shards": self.n_shards,
+            "rows_used": self._rows_used,
+            "columns": {physical: int(width) for physical, width
+                        in self._columns.items()},
+            "col_flags": {physical: bool(flag) for physical, flag
+                          in self._col_flags.items()},
+            "tba_offsets": [int(x) for x in self._tba_offsets],
+            "ledger": stats_to_dict(self._ledger),
+            "writeback": {
+                "reads": {column: [int(x) for x in counters]
+                          for column, counters
+                          in self._writeback._reads.items()},
+                "reads_noted": self._writeback.reads_noted,
+                "rows_written": self._writeback.rows_written,
+                "scrubs": self._writeback.scrubs,
+                "scrub_rows": self._writeback.scrub_rows,
+                "write_energy_j": self._writeback.write_energy_j,
+                "scrub_energy_j": self._writeback.scrub_energy_j,
+                "stats": stats_to_dict(self._writeback.stats),
+            },
+            "tenants": [
+                {"name": state.name,
+                 "quota_bits": state.quota_bits,
+                 "quota_energy_nj": state.quota_energy_nj,
+                 "cache_entries": state.cache_entries,
+                 "max_pending": state.max_pending,
+                 "columns": dict(state.columns),
+                 "energy_spent_nj": state.energy_spent_nj}
+                for state in self._tenants.values()
+            ],
+            "counters": {
+                "queries_served": self.queries_served,
+                "programs_run": self.programs_run,
+                "mutations_applied": self.mutations_applied,
+            },
+        }
+
+    # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -1642,11 +1825,15 @@ class BitwiseService:
                 "matrix_pool": self._matrix_pool.stats()
                 if self.backend == "vector" else None,
             },
+            "durability": self._durability.stats()
+            if self._durability is not None else None,
         }
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            if self._durability is not None:
+                self._durability.close()
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
             if self._exec_pool is not None:

@@ -1,0 +1,108 @@
+"""Shared helpers for the durability and chaos suites.
+
+* :func:`durable_state` / :func:`assert_recovered_equal` pin the
+  recovery contract — bit-exact column payloads, exact tenant and
+  write-back state, Stats-allclose compute ledger (WAL replay folds a
+  batch's per-item charges into one summed delta, so the ledger is
+  compared under float reassociation tolerance).
+* :func:`setup_soak` / :func:`op_for` / :func:`apply_op` define the
+  deterministic multi-tenant mutation stream used by the chaos soak
+  and the kill -9 child process — both sides regenerate the exact
+  same ops from the step index alone, so the parent can rebuild the
+  uninterrupted reference for any crash point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.service.durability import stats_from_dict
+
+SOAK_TENANTS = (None, "t1", "t2")
+SOAK_COLUMNS = ("x", "y")
+
+
+def durable_state(service) -> tuple[dict, dict]:
+    """The service's durable meta + raw column payloads."""
+    with service._table_lock:
+        with service._stats_lock:
+            meta = service._durable_state_locked()
+        columns = {physical: np.asarray(
+                       service._store.bits(physical)).copy()
+                   for physical in service._columns}
+    return meta, columns
+
+
+def assert_recovered_equal(expected, recovered) -> None:
+    a, a_cols = durable_state(expected)
+    b, b_cols = durable_state(recovered)
+    assert set(a_cols) == set(b_cols)
+    for name in a_cols:
+        assert np.array_equal(a_cols[name], b_cols[name]), \
+            f"column {name!r} bits diverge after recovery"
+    a_tenants = {t["name"]: t for t in a.pop("tenants")}
+    b_tenants = {t["name"]: t for t in b.pop("tenants")}
+    assert a_tenants == b_tenants
+    assert stats_from_dict(a.pop("ledger")).allclose(
+        stats_from_dict(b.pop("ledger")))
+    a_wb, b_wb = a.pop("writeback"), b.pop("writeback")
+    assert stats_from_dict(a_wb.pop("stats")).allclose(
+        stats_from_dict(b_wb.pop("stats")))
+    assert a_wb == b_wb
+    # Served-traffic counters are observability, not durable state:
+    # only the mutation counter is recovered exactly (cache hits log
+    # nothing, so queries_served freezes at the snapshot).
+    a_counters, b_counters = a.pop("counters"), b.pop("counters")
+    assert a_counters["mutations_applied"] == \
+        b_counters["mutations_applied"]
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# deterministic multi-tenant mutation stream
+# ----------------------------------------------------------------------
+def setup_soak(service, width: int) -> None:
+    """Tenants + columns every soak op targets (all barriers logged)."""
+    rng = np.random.default_rng(99)
+    service.register_tenant("t1", quota_energy_nj=None)
+    service.register_tenant("t2", max_pending=16)
+    for tenant in SOAK_TENANTS:
+        for name in SOAK_COLUMNS:
+            service.create_column(
+                name, (rng.random(width) < 0.5).astype(np.uint8),
+                tenant=tenant)
+
+
+def op_for(index: int, width: int) -> tuple:
+    """The ``index``-th soak op for a table currently ``width`` wide.
+
+    Purely a function of its arguments — the reference run regenerates
+    the identical op sequence after a crash."""
+    rng = np.random.default_rng(7_000_000 + index)
+    tenant = SOAK_TENANTS[index % len(SOAK_TENANTS)]
+    name = SOAK_COLUMNS[index % len(SOAK_COLUMNS)]
+    kind = ("update", "write", "append")[int(rng.integers(3))]
+    if kind == "update":
+        return ("update", tenant, name,
+                (rng.random(width) < 0.5).astype(np.uint8))
+    if kind == "write":
+        offset = int(rng.integers(0, width - 8))
+        length = int(rng.integers(1, min(64, width - offset) + 1))
+        return ("write", tenant, name, offset,
+                (rng.random(length) < 0.5).astype(np.uint8))
+    n = int(rng.integers(1, 9))
+    return ("append", tenant, name,
+            (rng.random(n) < 0.5).astype(np.uint8))
+
+
+def apply_op(service, op: tuple) -> int:
+    """Apply one soak op; returns the table's width delta."""
+    kind, tenant, name = op[0], op[1], op[2]
+    if kind == "update":
+        service.update_column(name, op[3], tenant=tenant)
+        return 0
+    if kind == "write":
+        service.write_slice(name, op[3], op[4], tenant=tenant)
+        return 0
+    service.append_rows({name: op[3]}, len(op[3]), tenant=tenant)
+    return len(op[3])
