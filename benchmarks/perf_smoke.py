@@ -48,6 +48,7 @@ from repro.spice import (
 from repro.workloads import bitmap_index, set_ops
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_cam import MIN_ROWS_PER_S, cam_scale  # noqa: E402
 from bench_durability import recovery_time, wal_overhead  # noqa: E402
 from bench_serving import serving_latency  # noqa: E402
 
@@ -83,6 +84,12 @@ SEED_BASELINE_S = {
     # baseline = introduction measure.  Cold recovery of the 16Mi-bit
     # store rides along as a nested (ungated) record.
     "durability": 0.032,
+    # introduced with the CAM search PR: four exact/ternary searches
+    # over a 16Mi-row, 16-bit key field through service.match
+    # (vectorized AND-of-literals + closed-form read-path energy);
+    # baseline = introduction measure.  Also gated by a hard
+    # MIN_ROWS_PER_S throughput floor.
+    "cam_scale": 0.0139,
 }
 
 #: allowed relative slowdown vs the committed baseline (CI gate)
@@ -314,6 +321,11 @@ def run_smoke() -> dict:
                      key=lambda record: record["seconds"])
     timings["durability"] = durability["seconds"]
     recovery = recovery_time()
+    cam = cam_scale(repeat=3)
+    timings["cam_scale"] = cam["seconds"]
+    assert cam["rows_per_s"] >= MIN_ROWS_PER_S, (
+        f"cam_scale throughput {cam['rows_per_s']:.3g} row-matches/s "
+        f"fell below the {MIN_ROWS_PER_S:.0e} floor")
 
     entries = {}
     for name, seconds in timings.items():
@@ -397,6 +409,15 @@ def run_smoke() -> dict:
             "wal_records_replayed": recovery["wal_records_replayed"],
             "mbits_per_s": round(recovery["mbits_per_s"], 1),
         },
+    })
+    entries["cam_scale"].update({
+        "searches": cam["searches"],
+        "key_width": cam["key_width"],
+        "rows_per_s": round(cam["rows_per_s"]),
+        "energy_per_search_nj": round(cam["energy_per_search_nj"], 1),
+        "floor_rows_per_s": MIN_ROWS_PER_S,
+        # Raw packed-word kernel rate (no service/plan overhead)
+        "kernel_rows_per_s": cam["kernel"]["rows_per_s"],
     })
     entries["explore_sweep"].update({
         "points": explore["points"],
@@ -525,6 +546,16 @@ def print_summary(payload: dict) -> None:
               f"in {recovery.get('seconds', 0.0):.2f} s "
               f"({recovery.get('wal_records_replayed', 0)} WAL "
               f"records replayed).")
+    cam = payload.get("benchmarks", {}).get("cam_scale", {})
+    if "rows_per_s" in cam:
+        print()
+        print(f"`cam_scale`: {cam['rows_per_s'] / 1e9:.2f} G "
+              f"row-matches/s across {cam['searches']} exact/ternary "
+              f"searches of a {cam['key_width']}-bit key field "
+              f"(floor {cam['floor_rows_per_s']:.0e}), "
+              f"{cam['energy_per_search_nj'] / 1e3:.1f} uJ attributed "
+              f"per search; raw kernel "
+              f"{cam['kernel_rows_per_s'] / 1e9:.2f} G rows/s.")
     explore = payload.get("benchmarks", {}).get("explore_sweep", {})
     if explore.get("pareto"):
         print()

@@ -429,6 +429,64 @@ class BulkEngine:
         self.free(picked_a, picked_b)
         return out
 
+    def match(self, columns, key, mask=None,
+              name: str | None = None) -> BitVector:
+        """CAM search over a column group: result bit *i* is 1 when
+        every cared column's bit *i* equals its key bit (an XNOR-reduce
+        over the key).
+
+        XNOR against a constant key bit degenerates to the column
+        itself (key 1) or its complement (key 0, a free flag flip), so
+        the search is an AND-fold of literals: positives chain through
+        ``and_``, negated literals through ``andnot``/``nor``.  Every
+        step charges native read primitives through the ordinary
+        compound ops, so the ledger prices a search exactly as the
+        2T-nC read path does.  ``mask`` selects compared positions
+        (1 = compare); an all-masked search is the all-ones vector.
+        """
+        columns = list(columns)
+        if not columns:
+            raise ArchitectureError("match needs at least one column")
+        self._check(*columns)
+        key = [int(k) for k in key]
+        mask = [1] * len(columns) if mask is None else [int(m) for m in mask]
+        if len(key) != len(columns) or len(mask) != len(columns):
+            raise ArchitectureError(
+                f"match key/mask length must equal the {len(columns)} "
+                f"columns, got {len(key)}/{len(mask)}")
+        if any(k not in (0, 1) for k in key + mask):
+            raise ArchitectureError("match key/mask bits must be 0 or 1")
+        positives = [v for v, k, m in zip(columns, key, mask) if m and k]
+        negatives = [v for v, k, m in zip(columns, key, mask)
+                     if m and not k]
+        if not positives and not negatives:
+            return self.constant(columns[0].n_bits, 1,
+                                 name or self._auto_name("match"))
+        if positives:
+            acc, owned = positives[0], False
+            for vec in positives[1:]:
+                nxt = self.and_(acc, vec)
+                if owned:
+                    self.free(acc)
+                acc, owned = nxt, True
+        elif len(negatives) >= 2:
+            # All-negated head: ~a & ~b is one native NOR.
+            acc = self.nor(negatives.pop(0), negatives.pop(0))
+            owned = True
+        else:
+            acc = self.not_(self.copy(negatives.pop(0)))
+            owned = True
+        for vec in negatives:
+            nxt = self.andnot(acc, vec)
+            if owned:
+                self.free(acc)
+            acc, owned = nxt, True
+        if not owned:
+            acc = self.copy(acc)
+        if name is not None:
+            acc.name = name
+        return acc
+
     # ------------------------------------------------------------------
     # finalize / report
     # ------------------------------------------------------------------

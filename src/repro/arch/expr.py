@@ -48,9 +48,9 @@ from repro.errors import QueryError
 
 __all__ = [
     "Expr", "Col", "Const", "Not", "And", "Or", "Nand", "Nor", "Xor",
-    "Xnor", "AndNot", "Maj", "Select", "parse", "canonical_key",
-    "CompiledQuery", "VectorProgram", "compile_expr", "compile_for",
-    "naive_run", "native_primitives",
+    "Xnor", "AndNot", "Maj", "Select", "Match", "parse",
+    "canonical_key", "CompiledQuery", "VectorProgram", "compile_expr",
+    "compile_for", "naive_run", "native_primitives",
 ]
 
 
@@ -214,11 +214,103 @@ class Select(Expr):
         return f"sel({self.mask}, {self.a}, {self.b})"
 
 
+def _parse_key_bits(value, n: int, *, what: str = "key",
+                    allow_x: bool = True) -> tuple[tuple, tuple]:
+    """Normalize a key/mask literal to ``(bits, care)`` tuples.
+
+    Accepts a ``0b``-style string (``x`` marks a don't-care position
+    when ``allow_x``) or any bit sequence (``None`` = don't care).
+    The literal maps positionally: first element ↔ first column.
+    """
+    bits: list[int] = []
+    care: list[int] = []
+    if isinstance(value, str):
+        text = value[2:] if value[:2].lower() == "0b" else value
+        for ch in text:
+            if ch in "01":
+                bits.append(int(ch))
+                care.append(1)
+            elif ch in "xX" and allow_x:
+                bits.append(0)
+                care.append(0)
+            else:
+                raise QueryError(
+                    f"bad {what} literal character {ch!r}")
+    else:
+        try:
+            items = list(value)
+        except TypeError:
+            raise QueryError(
+                f"match() {what} must be a string or bit sequence, "
+                f"got {type(value).__name__}") from None
+        for item in items:
+            if item is None:
+                if not allow_x:
+                    raise QueryError(
+                        f"match() {what} does not take don't-cares")
+                bits.append(0)
+                care.append(0)
+                continue
+            bit = int(item)
+            if bit not in (0, 1):
+                raise QueryError(
+                    f"match() {what} bit must be 0 or 1, got {item!r}")
+            bits.append(bit)
+            care.append(1)
+    if len(bits) != n:
+        raise QueryError(
+            f"match() {what} has {len(bits)} bits for {n} columns")
+    return tuple(bits), tuple(care)
+
+
+class Match(Expr):
+    """CAM search: a row hits when every cared column equals its key bit.
+
+    ``key`` maps positionally onto the columns (first column ↔ leftmost
+    literal bit) and may be a ``0b``-style string with ``x`` don't-care
+    positions (``match(a, b, c, key="1x0")``) or a bit sequence with
+    ``None`` for don't-cares.  ``mask`` optionally selects the compared
+    positions (1 = compare); it intersects with the key's own ``x``
+    positions.  An all-don't-care key matches every row.
+    """
+
+    def __init__(self, *xs: Expr, key, mask=None) -> None:
+        if not xs:
+            raise QueryError("match() needs at least one column")
+        self.xs = tuple(xs)
+        bits, care = _parse_key_bits(key, len(xs), what="key")
+        if mask is not None:
+            mbits, _ = _parse_key_bits(mask, len(xs), what="mask",
+                                       allow_x=False)
+            care = tuple(c & m for c, m in zip(care, mbits))
+        # Canonical form: key bits at don't-care positions read as 0.
+        self.key = tuple(b & c for b, c in zip(bits, care))
+        self.mask = care
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.xs
+
+    def __str__(self) -> str:
+        literal = "".join("x" if not c else str(b)
+                          for b, c in zip(self.key, self.mask))
+        return (f"match({', '.join(map(str, self.xs))}, 0b{literal})")
+
+    def as_logic(self) -> Expr:
+        """Equivalent plain-logic form: AND over cared (col XNOR bit)."""
+        lits = [x if b else Not(x)
+                for x, b, c in zip(self.xs, self.key, self.mask) if c]
+        if not lits:
+            return Const(1)
+        if len(lits) == 1:
+            return lits[0]
+        return And(*lits)
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
-_TOKEN = re.compile(r"\s*(?:(?P<name>[A-Za-z_]\w*)|(?P<const>[01])"
-                    r"|(?P<op>[&|^~!(),]))")
+_TOKEN = re.compile(r"\s*(?:(?P<name>[A-Za-z_]\w*)|(?P<key>0b[01xX]+)"
+                    r"|(?P<const>[01])|(?P<op>[&|^~!(),]))")
 
 _KEYWORD_OPS = {"and": "&", "or": "|", "xor": "^", "not": "~"}
 _FUNCTIONS = {
@@ -240,8 +332,8 @@ def _tokenize(text: str) -> list[str]:
                     f"bad character {text[pos:].strip()[0]!r} in query")
             break
         pos = match.end()
-        tokens.append(match.group("name") or match.group("const")
-                      or match.group("op"))
+        tokens.append(match.group("name") or match.group("key")
+                      or match.group("const") or match.group("op"))
     return tokens
 
 
@@ -305,7 +397,12 @@ class _Parser:
             return expr
         if token in ("0", "1"):
             return Const(int(token))
+        if token.startswith("0b"):
+            raise QueryError(
+                f"key literal {token!r} is only valid inside match()")
         lowered = token.lower()
+        if lowered == "match" and self.peek() == "(":
+            return self._match_call()
         if self.peek() == "(" and (lowered in _FUNCTIONS
                                    or lowered in ("and", "or", "xor")):
             args = self._arguments()
@@ -330,6 +427,36 @@ class _Parser:
         self.take(")")
         return args
 
+    def _match_call(self) -> Expr:
+        """``match(cols..., 0b<key>[, 0b<mask>])`` — key/mask literals
+        trail the column expressions; ``x`` in the key is a don't-care.
+        """
+        self.take("(")
+        cols: list[Expr] = []
+        literals: list[str] = []
+        while True:
+            token = self.peek()
+            if token is not None and token.startswith("0b"):
+                literals.append(self.take())
+            elif literals:
+                raise QueryError(
+                    "match() key/mask literals must come last")
+            else:
+                cols.append(self.parse_or())
+            if self.peek() == ",":
+                self.take()
+                continue
+            break
+        self.take(")")
+        if not literals:
+            raise QueryError(
+                "match() needs a key literal like 0b1x0")
+        if len(literals) > 2:
+            raise QueryError(
+                "match() takes one key and at most one mask literal")
+        mask = literals[1] if len(literals) == 2 else None
+        return Match(*cols, key=literals[0], mask=mask)
+
 
 def parse(text: str) -> Expr:
     """Parse a query string into an :class:`Expr`.
@@ -337,7 +464,9 @@ def parse(text: str) -> Expr:
     Syntax: columns are identifiers; operators ``~ & ^ |`` (or the
     keywords ``not/and/xor/or``) with conventional precedence;
     functions ``maj(a,b,c)``, ``sel(m,a,b)``, ``nand(...)``,
-    ``nor(...)``, ``xnor(...)``, ``andnot(a,b)``; constants ``0``/``1``.
+    ``nor(...)``, ``xnor(...)``, ``andnot(a,b)``; constants ``0``/``1``;
+    CAM search ``match(cols..., 0b<key>[, 0b<mask>])`` where the key
+    maps left-to-right onto the columns and ``x`` marks a don't-care.
     """
     tokens = _tokenize(text)
     if not tokens:
@@ -516,6 +645,16 @@ class _Aig:
             mask = self.lower(expr.mask, env)
             return self.or_(self.and_(mask, self.lower(expr.a, env)),
                             self.and_(self.lower(expr.b, env), mask ^ 1))
+        if isinstance(expr, Match):
+            # XNOR against a constant key bit degenerates to the column
+            # or its complement, so a CAM match is an AND of (possibly
+            # negated) literals over the cared positions.
+            refs = [self.lower(x, env) ^ (0 if bit else 1)
+                    for x, bit, care
+                    in zip(expr.xs, expr.key, expr.mask) if care]
+            if not refs:
+                return _TRUE
+            return self._balanced(refs, self.and_)
         raise QueryError(f"cannot lower {type(expr).__name__}")
 
 
@@ -1665,6 +1804,13 @@ def naive_run(expr: "Expr | str", engine: BulkEngine,
                 return op(*slots)
 
             return apply(call, parts, neg_names), True
+        if isinstance(node, Match):
+            if all(isinstance(x, Col) for x in node.xs):
+                # CAM search through the engine's compound match op.
+                vecs = [col_vec(x.name) for x in node.xs]
+                return engine.match(vecs, node.key, node.mask), True
+            # Non-column operands: fall back to the desugared form.
+            return eval_node(node.as_logic())
         raise QueryError(f"cannot execute {type(node).__name__}")
 
     out, owned = eval_node(expr)

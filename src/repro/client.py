@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arch.expr import _parse_key_bits
 from repro.errors import ProtocolError, ReproError
 from repro.service.wire import (
     HEADER_SIZE,
@@ -251,6 +252,31 @@ class ServiceClient:
     def batch(self, exprs) -> list[dict]:
         return self.call({"op": "batch",
                           "exprs": list(exprs)})["results"]
+
+    def match(self, cols, key, mask=None) -> dict:
+        """CAM search over a column group.
+
+        ``key``/``mask`` follow the ``match()`` grammar — ``"1x0"``
+        strings (``x`` = don't care) or bit sequences.  On the binary
+        wire the key and mask travel as packed payload segments; the
+        JSON wire inlines the ternary literal as text.
+        """
+        cols = [str(c) for c in cols]
+        bits, care = _parse_key_bits(key, len(cols), what="key")
+        if mask is not None:
+            mbits, _ = _parse_key_bits(mask, len(cols), what="mask",
+                                       allow_x=False)
+            care = tuple(c & m for c, m in zip(care, mbits))
+        if self.wire == "binary":
+            return self.call(
+                {"op": "match", "cols": cols,
+                 "value_names": ["key", "mask"]},
+                [np.asarray(bits, dtype=np.uint8),
+                 np.asarray(care, dtype=np.uint8)])
+        literal = "".join("x" if not c else str(b)
+                          for b, c in zip(bits, care))
+        return self.call({"op": "match", "cols": cols,
+                          "key": literal})
 
     def create_column(self, name: str, bits) -> dict:
         return self.call({"op": "create_column", "name": name},

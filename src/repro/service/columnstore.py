@@ -290,6 +290,50 @@ class ColumnStore:
             matrix = np.bitwise_and(matrix, self._mask)
         return popcount_words(matrix).sum(axis=1, dtype=np.int64)
 
+    def match(self, names, key, mask=None, *,
+              out: np.ndarray | None = None) -> np.ndarray:
+        """One-pass CAM search of a key against a column group.
+
+        Treats the columns in ``names`` as bit positions of row-major
+        records (record *i* = bit *i* of each column) and returns the
+        packed hit matrix: bit *i* is 1 when every cared column equals
+        its key bit.  ``key``/``mask`` follow the positional convention
+        of :class:`repro.arch.expr.Match` (``mask`` bit 1 = compare;
+        a key bit masked out is ignored).  The whole search is an
+        AND-fold of ``np.bitwise_*`` kernels over the packed matrices —
+        no per-row work, one pass over each cared column.
+        """
+        from repro.arch.expr import _parse_key_bits
+
+        names = list(names)
+        key, care = _parse_key_bits(key, len(names), what="key")
+        if mask is not None:
+            mbits, _ = _parse_key_bits(mask, len(names), what="mask",
+                                       allow_x=False)
+            care = tuple(c & m for c, m in zip(care, mbits))
+        literals = [(self.matrix(name), k)
+                    for name, k, m in zip(names, key, care) if m]
+        if out is None:
+            out = np.empty(self.shape, dtype=np.uint64)
+        if not literals:  # all-masked key matches every record
+            out.fill(np.uint64(0xFFFFFFFFFFFFFFFF))
+            return out
+        first, k0 = literals[0]
+        if k0:
+            np.copyto(out, first)
+        else:
+            np.bitwise_not(first, out=out)
+        scratch = None
+        for matrix, k in literals[1:]:
+            if k:
+                np.bitwise_and(out, matrix, out=out)
+            else:
+                if scratch is None:
+                    scratch = np.empty(self.shape, dtype=np.uint64)
+                np.bitwise_not(matrix, out=scratch)
+                np.bitwise_and(out, scratch, out=out)
+        return out
+
     # ------------------------------------------------------------------
     # column management
     # ------------------------------------------------------------------

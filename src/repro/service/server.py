@@ -23,8 +23,8 @@ Protocol ops (all may carry ``"tenant": "<name>"``; a connection can
 also set a default namespace once via ``{"op": "hello", "tenant":
 ...}``):
 
-``query``/``batch``/``explain``/``create_column``/``drop_column``/
-``columns``/``stats`` (unchanged wire shapes), plus the mutation path
+``query``/``batch``/``match``/``explain``/``create_column``/
+``drop_column``/``columns``/``stats``, plus the mutation path
 ``update_column``/``write_slice``/``append_rows`` and the paginated
 payload readout ``bits`` (``{"op": "bits", "name": ..., "offset": N,
 "limit": N}`` — ``name`` is a column or the ``key`` of a cached query
@@ -48,6 +48,7 @@ import threading
 
 import numpy as np
 
+from repro.arch.expr import Col, Match
 from repro.errors import ProtocolError, QueryError, ReproError
 from repro.service.scheduler import (
     AdmissionError,
@@ -141,6 +142,8 @@ def _error_payload(exc: ReproError) -> dict:
         return payload
     if isinstance(exc, ProtocolError):
         return {"ok": False, "error": str(exc), "code": "protocol"}
+    if isinstance(exc, QueryError):
+        return {"ok": False, "error": str(exc), "code": "query"}
     return {"ok": False, "error": str(exc)}
 
 
@@ -169,6 +172,8 @@ commands:
                                        result key's) payload
   tenant [<name>|-]                    switch namespace (- = default)
   query <expr>                         run a query (e.g. a & ~b | c)
+  match <col,col,...> <0bkey> [0bmask] CAM search over a column group
+                                       (x in the key = don't care)
   explain <expr>                       show plan cost without running
   stats                                service counters
   help                                 this text
@@ -274,6 +279,16 @@ class _Repl:
         if command == "query":
             return {"result": result_payload(
                 service.query(rest, tenant=tenant))}
+        if command == "match":
+            args = rest.split()
+            if not 2 <= len(args) <= 3:
+                raise QueryError(
+                    "usage: match <col,col,...> <0bkey> [0bmask]")
+            cols = [c for c in args[0].split(",") if c]
+            expr = Match(*(Col(c) for c in cols), key=args[1],
+                         mask=args[2] if len(args) > 2 else None)
+            return {"result": result_payload(
+                service.query(expr, tenant=tenant))}
         raise QueryError(f"unknown command {command!r} (try 'help')")
 
 
@@ -456,14 +471,23 @@ class QueryServer:
                           if header.meta_len else b"")
             payload = (await reader.readexactly(header.payload_bytes)
                        if header.payload_bytes else b"")
-            request, bits = decode_frame(header, meta_bytes, payload)
         except ProtocolError as exc:
-            # Header/metadata corruption: framing cannot be trusted,
-            # report once and close.
+            # Header corruption: framing cannot be trusted, report
+            # once and close.
             writer.write(encode_frame(KIND_RESPONSE, {
                 "ok": False, "error": str(exc), "code": "protocol"}))
             await writer.drain()
             return True
+        try:
+            request, bits = decode_frame(header, meta_bytes, payload)
+        except ProtocolError as exc:
+            # Metadata-level violation (bad segment_bits, short
+            # payload): the frame was consumed in full, so framing is
+            # intact — report and keep serving the connection.
+            writer.write(encode_frame(KIND_RESPONSE, {
+                "ok": False, "error": str(exc), "code": "protocol"}))
+            await writer.drain()
+            return False
         try:
             if isinstance(bits, list):
                 names = request.pop("value_names", None) or []
@@ -514,6 +538,22 @@ class QueryServer:
         if op == "query":
             result = await self.scheduler.submit_query(
                 tenant, request["expr"])
+            return {"ok": True, **result_payload(result)}
+        if op == "match":
+            # CAM search; JSON clients inline key/mask as "1x0"-style
+            # strings, binary clients ship them as packed payload
+            # segments named "key"/"mask".
+            cols = [str(c) for c in request.get("cols") or []]
+            values = request.get("values") or {}
+            key = request.get("key", values.get("key"))
+            mask = request.get("mask", values.get("mask"))
+            if key is None:
+                key = request.get("bits")
+            if not cols or key is None:
+                raise QueryError("match needs cols and a key")
+            expr = Match(*(Col(c) for c in cols), key=key, mask=mask)
+            result = await self.scheduler.submit_query(
+                tenant, str(expr))
             return {"ok": True, **result_payload(result)}
         if op == "batch":
             results = await self.scheduler.submit_batch(

@@ -77,8 +77,10 @@ from repro.arch.bank import BitVector, pack_bits
 from repro.arch.commands import Command, CommandType, Stats
 from repro.arch.engine import BulkEngine
 from repro.arch.expr import (
+    Col,
     CompiledQuery,
     Expr,
+    Match,
     _as_expr,
     canonical_key,
     compile_expr,
@@ -1037,6 +1039,22 @@ class BitwiseService:
         """Execute one query (see :meth:`execute` for batches)."""
         return self.execute([query], use_cache=use_cache,
                             tenant=tenant)[0]
+
+    def match(self, cols, key, mask=None, *,
+              use_cache: bool = True,
+              tenant: str | None = None) -> QueryResult:
+        """CAM search: rows where the named columns equal ``key``.
+
+        ``key``/``mask`` follow :class:`repro.arch.expr.Match` — the
+        key maps positionally onto ``cols`` (``"1x0"``-style strings
+        use ``x`` for don't-care; bit sequences use ``None``), and
+        ``mask`` bit 1 marks a compared position.  The search lowers
+        to the ordinary AIG/bytecode pipeline, so caching, batching,
+        and the closed-form per-search energy all apply unchanged.
+        """
+        exprs = [Col(c) if isinstance(c, str) else c for c in cols]
+        return self.query(Match(*exprs, key=key, mask=mask),
+                          use_cache=use_cache, tenant=tenant)
 
     def execute(self, queries, *,
                 use_cache: bool = True,

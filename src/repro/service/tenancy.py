@@ -160,6 +160,11 @@ class TenantView:
         return self._service.execute(queries, use_cache=use_cache,
                                      tenant=self.tenant)
 
+    def match(self, cols, key, mask=None, *, use_cache=True):
+        return self._service.match(cols, key, mask,
+                                   use_cache=use_cache,
+                                   tenant=self.tenant)
+
     def run_program(self, program):
         return self._service.run_program(program, tenant=self.tenant)
 

@@ -29,7 +29,10 @@ internally, making server-side decode a straight ``frombuffer``.
 Multi-segment payloads (``append_rows`` with several columns) carry a
 ``"segment_bits": [n0, n1, ...]`` list in the metadata; each segment
 is padded independently to a word boundary so segment offsets stay
-word-aligned.
+word-aligned.  The decoder treats ``segment_bits`` as untrusted: each
+count must be a non-negative integer, the counts must sum to the
+header's ``n_bits``, and the padded widths must cover the payload
+exactly — anything else raises :class:`ProtocolError`.
 
 A connection starts in JSON-lines and opts in per-connection via
 ``{"op": "hello", "wire": "binary"}`` — the hello response is still a
@@ -119,6 +122,11 @@ def encode_frame(kind: int, meta: dict, bits=None, *,
     """
     if bits is None:
         payload, n_bits = b"", 0
+    elif isinstance(bits, (list, tuple)) and bits and all(
+            np.ndim(segment) == 0 for segment in bits):
+        # A flat list of scalar bits is ONE logical array, not a run
+        # of one-bit segments.
+        payload, n_bits = pack_bits(bits)
     elif isinstance(bits, (list, tuple)):
         parts, counts = [], []
         for segment in bits:
@@ -184,6 +192,21 @@ def decode_frame(header: FrameHeader, meta_bytes: bytes,
         raise ProtocolError("frame metadata must be a JSON object")
     segments = meta.pop("segment_bits", None)
     if segments is not None:
+        if not isinstance(segments, list):
+            raise ProtocolError(
+                "segment_bits must be a list of bit counts, got "
+                f"{type(segments).__name__}")
+        for count in segments:
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise ProtocolError(
+                    f"segment_bits count {count!r} is not an integer")
+            if count < 0:
+                raise ProtocolError(
+                    f"segment_bits count {count} is negative")
+        if sum(segments) != header.n_bits:
+            raise ProtocolError(
+                f"segment widths sum to {sum(segments)} bits, "
+                f"header claims {header.n_bits}")
         bits, offset = [], 0
         for count in segments:
             size = _words_for(count) * 8

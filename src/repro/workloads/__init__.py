@@ -8,6 +8,17 @@ verification.
 from repro.workloads.base import Workload, WorkloadIO, WorkloadResult
 from repro.workloads.bitmap_index import BitmapIndexQuery
 from repro.workloads.bnn import BnnInference
+from repro.workloads.cam import (
+    TopKResult,
+    classify_packets,
+    hamming_topk,
+    key_value_lookup,
+    load_records,
+    oracle_classify,
+    oracle_lookup,
+    oracle_match,
+    oracle_topk,
+)
 from repro.workloads.crc8 import Crc8, crc8_reference
 from repro.workloads.masked_init import MaskedInit
 from repro.workloads.programs import WorkloadProgram, generate_inputs
@@ -38,6 +49,15 @@ __all__ = [
     "MaskedInit",
     "BitmapIndexQuery",
     "BnnInference",
+    "TopKResult",
+    "classify_packets",
+    "hamming_topk",
+    "key_value_lookup",
+    "load_records",
+    "oracle_classify",
+    "oracle_lookup",
+    "oracle_match",
+    "oracle_topk",
     "WORKLOAD_CLASSES",
     "PROGRAM_WORKLOADS",
     "WorkloadComparison",

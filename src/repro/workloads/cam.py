@@ -1,0 +1,205 @@
+"""CAM search scenarios over the bulk-bitwise service.
+
+Three applications of the ``match`` primitive (exact and ternary
+content-addressable search), each with a plain-numpy oracle for
+bit-exact differential testing:
+
+* **key-value lookup** — records stored column-per-bit-position; an
+  exact match over the key columns returns the hit rows, whose value
+  columns are then read out host-side;
+* **packet / rule classification** — a TCAM-style ACL: ordered ternary
+  rules (key + care mask) matched first-match-wins over packet field
+  columns;
+* **Hamming nearest neighbor** — the BNN retrieval trick: a ternary
+  match with ``r`` key positions masked hits exactly the rows within
+  Hamming distance ``r`` at those positions, so the union over all
+  C(w, r) position subsets is the radius-``r`` ball.  Expanding
+  ``r = 0, 1, ...`` until at least ``k`` rows are inside yields an
+  exact top-k (with ties at the final radius) using only CAM
+  searches, and the per-search energies from the closed-form ledger
+  sum to the retrieval cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.expr import _parse_key_bits
+from repro.errors import QueryError
+
+__all__ = [
+    "TopKResult", "classify_packets", "hamming_topk",
+    "key_value_lookup", "load_records", "oracle_classify",
+    "oracle_lookup", "oracle_match", "oracle_topk",
+]
+
+
+def load_records(service, records, prefix="f", *, tenant=None):
+    """Install a record matrix column-per-bit-position.
+
+    ``records`` is ``(n_records, width)`` 0/1; column ``{prefix}{j}``
+    holds bit *j* of every record (the service table width must equal
+    ``n_records``).  Returns the column names in bit order.
+    """
+    records = np.asarray(records, dtype=np.uint8)
+    if records.ndim != 2:
+        raise QueryError("records must be a (n_records, width) matrix")
+    names = [f"{prefix}{j}" for j in range(records.shape[1])]
+    for j, name in enumerate(names):
+        service.create_column(name, records[:, j], tenant=tenant)
+    return names
+
+
+def oracle_match(records, key, mask=None) -> np.ndarray:
+    """Plain-numpy ternary match: 0/1 hit vector over record rows."""
+    records = np.asarray(records, dtype=np.uint8)
+    bits, care = _parse_key_bits(key, records.shape[1], what="key")
+    if mask is not None:
+        mbits, _ = _parse_key_bits(mask, records.shape[1],
+                                   what="mask", allow_x=False)
+        care = tuple(c & m for c, m in zip(care, mbits))
+    out = np.ones(records.shape[0], dtype=np.uint8)
+    for j, (bit, cared) in enumerate(zip(bits, care)):
+        if cared:
+            out &= records[:, j] ^ (1 - bit)
+    return out
+
+
+# ----------------------------------------------------------------------
+# key-value lookup
+# ----------------------------------------------------------------------
+def key_value_lookup(service, key_cols, value_cols, key, *,
+                     tenant=None):
+    """Exact-match lookup of ``key`` against the key column group.
+
+    Returns ``(rows, values, result)``: hit row indices, each hit's
+    value word (value columns little-endian: column *j* is bit *j*),
+    and the underlying :class:`QueryResult` (count, energy, cycles).
+    """
+    result = service.match(key_cols, key, tenant=tenant)
+    rows = np.flatnonzero(np.asarray(result.bits)).astype(np.int64)
+    values = np.zeros(rows.size, dtype=np.int64)
+    for j, name in enumerate(value_cols):
+        bits = np.asarray(service.column_bits(name, tenant=tenant))
+        values |= bits[rows].astype(np.int64) << j
+    return rows, values, result
+
+
+def oracle_lookup(keys, values, key):
+    """Numpy oracle for :func:`key_value_lookup`.
+
+    ``keys``/``values`` are ``(n, w)`` record matrices; returns the
+    same ``(rows, value_words)`` pair.
+    """
+    hits = oracle_match(keys, key)
+    rows = np.flatnonzero(hits).astype(np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    weights = np.int64(1) << np.arange(values.shape[1], dtype=np.int64)
+    return rows, (values[rows] * weights).sum(axis=1)
+
+
+# ----------------------------------------------------------------------
+# packet / rule classification
+# ----------------------------------------------------------------------
+def classify_packets(service, field_cols, rules, *, tenant=None):
+    """First-match-wins ternary rule classification (TCAM ACL).
+
+    ``rules`` is an ordered sequence of keys or ``(key, mask)`` pairs
+    over the field columns.  Returns ``(assigned, results)`` where
+    ``assigned[i]`` is the index of the first rule matching row *i*
+    (-1 when none do) and ``results`` holds each rule's QueryResult.
+    """
+    assigned = np.full(service.n_bits, -1, dtype=np.int64)
+    results = []
+    for index, rule in enumerate(rules):
+        key, mask = rule if isinstance(rule, tuple) else (rule, None)
+        result = service.match(field_cols, key, mask, tenant=tenant)
+        results.append(result)
+        hits = np.asarray(result.bits).astype(bool)
+        assigned = np.where((assigned < 0) & hits, index, assigned)
+    return assigned, results
+
+
+def oracle_classify(records, rules) -> np.ndarray:
+    """Numpy oracle for :func:`classify_packets`."""
+    records = np.asarray(records, dtype=np.uint8)
+    assigned = np.full(records.shape[0], -1, dtype=np.int64)
+    for index, rule in enumerate(rules):
+        key, mask = rule if isinstance(rule, tuple) else (rule, None)
+        hits = oracle_match(records, key, mask).astype(bool)
+        assigned = np.where((assigned < 0) & hits, index, assigned)
+    return assigned
+
+
+# ----------------------------------------------------------------------
+# Hamming nearest neighbor (BNN retrieval)
+# ----------------------------------------------------------------------
+@dataclass
+class TopKResult:
+    """Exact radius-bounded top-k: all rows within ``radius`` of the
+    key (ties included), with exact distances."""
+
+    rows: np.ndarray
+    distances: np.ndarray
+    radius: int
+    searches: int
+    energy_j: float
+
+
+def hamming_topk(service, cols, key, k, *, tenant=None,
+                 max_radius=None) -> TopKResult:
+    """Top-k nearest rows to ``key`` via iterative threshold match.
+
+    Radius ``r`` is explored as the union of masked matches over all
+    C(width, r) position subsets; a row first appears at exactly its
+    Hamming distance, so distances are exact.  Stops at the first
+    radius holding at least ``k`` rows (or at ``max_radius``/the key
+    width).  ``energy_j`` sums the per-search energies charged by the
+    closed-form plan ledger.
+    """
+    cols = list(cols)
+    width = len(cols)
+    bits, care = _parse_key_bits(key, width, what="key")
+    if not all(care):
+        raise QueryError("hamming_topk needs a fully-specified key")
+    limit = width if max_radius is None else min(int(max_radius), width)
+    found: dict[int, int] = {}
+    searches = 0
+    energy = 0.0
+    radius = 0
+    for radius in range(limit + 1):
+        for positions in itertools.combinations(range(width), radius):
+            mask = [0 if j in positions else 1 for j in range(width)]
+            result = service.match(cols, bits, mask, tenant=tenant)
+            searches += 1
+            energy += result.energy_j
+            for row in np.flatnonzero(np.asarray(result.bits)):
+                found.setdefault(int(row), radius)
+        if len(found) >= k:
+            break
+    rows = np.array(sorted(found), dtype=np.int64)
+    distances = np.array([found[int(row)] for row in rows],
+                         dtype=np.int64)
+    return TopKResult(rows, distances, radius, searches, energy)
+
+
+def oracle_topk(records, key, k, *, max_radius=None):
+    """Numpy oracle for :func:`hamming_topk`: ``(rows, distances,
+    radius)`` for the smallest radius holding at least ``k`` rows."""
+    records = np.asarray(records, dtype=np.uint8)
+    bits, care = _parse_key_bits(key, records.shape[1], what="key")
+    if not all(care):
+        raise QueryError("oracle_topk needs a fully-specified key")
+    distances = (records ^ np.asarray(bits, dtype=np.uint8)
+                 ).sum(axis=1, dtype=np.int64)
+    limit = records.shape[1] if max_radius is None \
+        else min(int(max_radius), records.shape[1])
+    radius = 0
+    for radius in range(limit + 1):
+        if int((distances <= radius).sum()) >= k:
+            break
+    rows = np.flatnonzero(distances <= radius).astype(np.int64)
+    return rows, distances[rows], radius

@@ -1,0 +1,214 @@
+"""CAM match primitive: parser, AIG lowering, engine kernel.
+
+The design invariant under test: ``match(cols..., key, mask)`` is the
+XNOR-reduce of the 2T-nC read path, and because each XNOR is against a
+*constant* key bit it degenerates to an AND of (possibly negated)
+column literals — so it canonicalizes, caches, compiles and costs
+exactly like the equivalent hand-written boolean query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import expr as ex
+from repro.arch.primitives import make_engine
+from repro.errors import ArchitectureError, QueryError
+
+TECHS = ("dram", "feram-2tnc")
+
+N_BITS = 2048
+
+
+def _oracle(values, key, care):
+    out = np.ones(len(next(iter(values.values()))), dtype=np.uint8)
+    for bits, k, c in zip(values.values(), key, care):
+        if c:
+            out &= bits ^ (1 - k)
+    return out
+
+
+class TestKeyParsing:
+    def test_string_forms(self):
+        assert ex._parse_key_bits("0b1x0", 3) == ((1, 0, 0), (1, 0, 1))
+        assert ex._parse_key_bits("1X0", 3) == ((1, 0, 0), (1, 0, 1))
+
+    def test_sequence_forms(self):
+        assert ex._parse_key_bits([1, None, 0], 3) == \
+            ((1, 0, 0), (1, 0, 1))
+        assert ex._parse_key_bits((0, 1), 2) == ((0, 1), (1, 1))
+
+    def test_mask_rejects_x(self):
+        with pytest.raises(QueryError, match="mask"):
+            ex._parse_key_bits("0b1x", 2, what="mask", allow_x=False)
+
+    @pytest.mark.parametrize("bad,n", [
+        ("0b12", 2), ("0b1", 2), ([2, 0], 2), ("", 1), ("0bzz", 2),
+    ])
+    def test_rejects_malformed(self, bad, n):
+        with pytest.raises(QueryError):
+            ex._parse_key_bits(bad, n)
+
+
+class TestMatchExpr:
+    def test_parse_roundtrip(self):
+        parsed = ex.parse("match(a, b, c, 0b1x0)")
+        assert isinstance(parsed, ex.Match)
+        assert parsed.key == (1, 0, 0)
+        assert parsed.mask == (1, 0, 1)
+        assert str(parsed) == "match(a, b, c, 0b1x0)"
+        assert str(ex.parse(str(parsed))) == str(parsed)
+
+    def test_mask_literal_intersects(self):
+        with_mask = ex.parse("match(a, b, c, 0b110, 0b101)")
+        assert str(with_mask) == "match(a, b, c, 0b1x0)"
+
+    def test_key_canonicalized_at_dont_cares(self):
+        # A masked position's key bit must not affect identity.
+        ternary = ex.Match(ex.Col("a"), ex.Col("b"), key="0b1x")
+        masked = ex.Match(ex.Col("a"), ex.Col("b"), key="11", mask="10")
+        assert str(ternary) == str(masked)
+        assert ternary.key == masked.key == (1, 0)
+        assert ex.canonical_key(ternary) == ex.canonical_key(masked)
+
+    @pytest.mark.parametrize("bad", [
+        "match(a, b)",                    # no key literal
+        "match(0b10)",                    # no columns
+        "match(a, 0b1, 0b1, 0b1)",        # too many literals
+        "match(a, 0b10)",                 # width mismatch
+        "match(a, 0b1x, b)",              # literal not last
+        "match(a, b, 0b1x, 0b1x)",        # x in mask
+        "0b10 & a",                       # key literal outside match
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(QueryError):
+            ex.parse(bad)
+
+    def test_bare_match_is_still_a_column(self):
+        assert str(ex.parse("match & a")) == \
+            str(ex.And(ex.Col("match"), ex.Col("a")))
+
+    def test_canonical_key_equals_desugared_and(self):
+        assert ex.canonical_key("match(a, b, c, 0b1x0)") == \
+            ex.canonical_key("a & ~c")
+        assert ex.canonical_key("match(a, b, 0b11)") == \
+            ex.canonical_key("a & b")
+        assert ex.canonical_key("match(a, 0bx)") == ex.canonical_key("1")
+
+    def test_as_logic(self):
+        assert str(ex.parse("match(a, b, 0b10)").as_logic()) == \
+            str(ex.And(ex.Col("a"), ex.Not(ex.Col("b"))))
+        assert isinstance(ex.parse("match(a, 0bx)").as_logic(), ex.Const)
+        assert str(ex.parse("match(a, 0b0)").as_logic()) == "~a"
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestEngineMatch:
+    @pytest.mark.parametrize("key", [
+        "0b101",        # mixed literals
+        "0b111",        # all positive
+        "0b000",        # all negated
+        "0b1x0",        # ternary: mask excludes the middle column
+        "0bxxx",        # fully masked -> all ones
+    ])
+    def test_matches_oracle(self, tech, rng, key):
+        # The engine layer takes parsed 0/1 bits; the expr layer owns
+        # the string forms.
+        bits, care = ex._parse_key_bits(key, 3)
+        engine = make_engine(tech)
+        values = {n: rng.integers(0, 2, N_BITS, dtype=np.uint8)
+                  for n in "abc"}
+        columns = _load_columns_list(engine, values)
+        result = engine.match(columns, bits, care)
+        assert np.array_equal(result.logical_bits(),
+                              _oracle(values, bits, care))
+
+    def test_aliased_columns(self, tech, rng):
+        engine = make_engine(tech)
+        a = engine.load(rng.integers(0, 2, N_BITS, dtype=np.uint8), "a")
+        same = engine.match([a, a], [1, 1])
+        assert np.array_equal(same.logical_bits(), a.logical_bits())
+        clash = engine.match([a, a], [1, 0])
+        assert not clash.logical_bits().any()
+        inverse = engine.match([a, a], [0, 0])
+        assert np.array_equal(inverse.logical_bits(),
+                              1 - a.logical_bits())
+
+    def test_counting_mode_charges_energy(self, tech, rng):
+        engine = make_engine(tech, functional=False)
+        first = engine.allocate(N_BITS)
+        cols = [first] + [engine.allocate(N_BITS, group_with=first)
+                          for _ in "bc"]
+        before = engine.stats.total_energy_j
+        engine.match(cols, [1, 0, 1])
+        assert engine.stats.total_energy_j > before
+
+    @pytest.mark.parametrize("key,mask", [
+        ([1], None),           # wrong arity
+        ([1, 2], None),        # bad bit
+        ([1, 1], [1]),         # mask arity
+        ([1, 1], [1, 3]),      # bad mask bit
+        ([], None),            # empty key
+    ])
+    def test_rejects_malformed(self, tech, rng, key, mask):
+        engine = make_engine(tech)
+        values = {n: rng.integers(0, 2, N_BITS, dtype=np.uint8)
+                  for n in "ab"}
+        columns = _load_columns_list(engine, values)
+        with pytest.raises(ArchitectureError):
+            engine.match(columns, key, mask)
+
+    def test_no_columns_rejected(self, tech):
+        engine = make_engine(tech)
+        with pytest.raises(ArchitectureError):
+            engine.match([], [])
+
+
+def _load_columns_list(engine, values):
+    first = None
+    columns = []
+    for name, bits in values.items():
+        vec = engine.load(bits, name, group_with=first)
+        columns.append(vec)
+        first = first or vec
+    return columns
+
+
+@pytest.mark.parametrize("tech", TECHS)
+class TestCompiledMatch:
+    QUERIES = [
+        "match(a, b, c, 0b1x0)",
+        "match(a, b, c, 0b111)",
+        "match(a, b, c, 0b000)",
+        "match(a, b, 0b10) | match(b, c, 0b01)",
+        "match(a, b, c, 0bxxx)",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_naive_and_compiled_match_oracle(self, tech, rng, query):
+        engine = make_engine(tech)
+        values = {n: rng.integers(0, 2, N_BITS, dtype=np.uint8)
+                  for n in "abc"}
+        columns = {}
+        first = None
+        for name, bits in values.items():
+            columns[name] = engine.load(bits, name, group_with=first)
+            first = first or columns[name]
+        naive = ex.naive_run(query, engine, columns).logical_bits()
+        plan = ex.compile_for(engine, query)
+        compiled = plan.run(engine, columns).logical_bits()
+        truth = _truth(query, values)
+        assert np.array_equal(naive, truth)
+        assert np.array_equal(compiled, truth)
+
+    def test_match_hits_cache_of_desugared_form(self, tech, rng):
+        engine = make_engine(tech)
+        assert ex.compile_for(engine, "match(a, b, c, 0b1x0)").key == \
+            ex.compile_for(engine, "a & ~c").key
+
+
+def _truth(query, values):
+    from repro.arch.program import Program
+    from tests.support.differential import numpy_program_eval
+
+    program = Program([("__q", ex.parse(query))])
+    return numpy_program_eval(program, values)["__q"]

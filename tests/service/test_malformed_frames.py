@@ -1,0 +1,219 @@
+"""Malformed-frame regression matrix over both wires.
+
+Pins the PR 9 validation fixes:
+
+* ``decode_frame`` treats ``segment_bits`` as untrusted — non-list,
+  non-int, bool, and negative counts, and counts inconsistent with the
+  header's ``n_bits``, all raise typed :class:`ProtocolError` instead
+  of escaping as raw ``ValueError``;
+* ``encode_frame`` recognizes a flat Python list of scalar bits as ONE
+  logical array, not a run of one-bit segments;
+* a metadata-level frame violation (the frame was consumed in full)
+  is answered with ``{"code": "protocol"}`` and the connection
+  **survives** — only header corruption, where framing is lost,
+  closes the connection;
+* negative readout offsets/limits answer ``{"code": "query"}`` on
+  both wires and the connection survives.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import BitwiseService, serve_tcp
+from repro.service import wire
+from tests.service.test_wire import _BinaryClient, _JsonClient
+
+N_BITS = 512
+
+pytestmark = pytest.mark.timeout(60)
+
+
+@pytest.fixture
+def service(rng):
+    svc = BitwiseService(n_bits=N_BITS, n_shards=2)
+    for name in ("a", "b"):
+        svc.create_column(
+            name, (rng.random(N_BITS) < 0.5).astype(np.uint8))
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def server(service):
+    srv = serve_tcp(service, 0, batch_window_s=0.002)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def _raw_frame(meta: dict, payload: bytes, n_bits: int) -> bytes:
+    """Hand-craft a frame with a *valid* header but arbitrary meta."""
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode()
+    header = wire.HEADER.pack(wire.MAGIC, wire.VERSION,
+                              wire.KIND_REQUEST, 0, n_bits,
+                              len(meta_bytes), len(payload) // 8)
+    return header + meta_bytes + payload
+
+
+# ----------------------------------------------------------------------
+# codec level
+# ----------------------------------------------------------------------
+class TestSegmentBitsValidation:
+    def _decode(self, meta: dict, payload: bytes, n_bits: int):
+        frame = _raw_frame(meta, payload, n_bits)
+        header = wire.decode_header(frame[:wire.HEADER_SIZE])
+        rest = frame[wire.HEADER_SIZE:]
+        return wire.decode_frame(header, rest[:header.meta_len],
+                                 rest[header.meta_len:])
+
+    @pytest.mark.parametrize("counts", [
+        ["oops"],          # non-int count
+        [None],            # null count
+        [True],            # bool is not an integer count
+        [64.0],            # float count
+        [[64]],            # nested list
+    ])
+    def test_non_int_count_is_typed_error(self, counts):
+        with pytest.raises(ProtocolError, match="integer"):
+            self._decode({"segment_bits": counts}, b"\x00" * 8, 64)
+
+    def test_negative_count_is_typed_error(self):
+        with pytest.raises(ProtocolError, match="negative"):
+            self._decode({"segment_bits": [-64]}, b"\x00" * 8, 64)
+
+    @pytest.mark.parametrize("segments", ["64", {"n": 64}, 64])
+    def test_non_list_segments_is_typed_error(self, segments):
+        with pytest.raises(ProtocolError, match="list"):
+            self._decode({"segment_bits": segments}, b"\x00" * 8, 64)
+
+    def test_counts_must_sum_to_header_n_bits(self):
+        with pytest.raises(ProtocolError, match="sum"):
+            self._decode({"segment_bits": [32, 16]}, b"\x00" * 16, 64)
+
+    def test_tampered_header_n_bits_is_typed_error(self):
+        # Header claims more bits than the payload words can hold.
+        with pytest.raises(ProtocolError, match="header claims"):
+            self._decode({}, b"\x00" * 8, 128)
+
+    def test_consistent_segments_still_decode(self, rng):
+        segments = [rng.integers(0, 2, width, dtype=np.uint8)
+                    for width in (65, 64)]
+        frame = wire.encode_frame(wire.KIND_REQUEST, {}, segments)
+        header = wire.decode_header(frame[:wire.HEADER_SIZE])
+        rest = frame[wire.HEADER_SIZE:]
+        _, bits = wire.decode_frame(header, rest[:header.meta_len],
+                                    rest[header.meta_len:])
+        assert len(bits) == 2
+        for got, want in zip(bits, segments):
+            assert np.array_equal(got, want)
+
+
+class TestFlatListEncoding:
+    def test_flat_scalar_list_is_one_segment(self):
+        """Regression: ``[1, 0, 1, 1]`` used to encode as four one-bit
+        segments; it must be a single 4-bit payload."""
+        frame = wire.encode_frame(wire.KIND_REQUEST,
+                                  {"op": "x"}, [1, 0, 1, 1])
+        header = wire.decode_header(frame[:wire.HEADER_SIZE])
+        assert header.n_bits == 4
+        rest = frame[wire.HEADER_SIZE:]
+        meta, bits = wire.decode_frame(header, rest[:header.meta_len],
+                                       rest[header.meta_len:])
+        assert "segment_bits" not in meta
+        assert isinstance(bits, np.ndarray)
+        assert np.array_equal(bits, [1, 0, 1, 1])
+
+    def test_numpy_scalar_list_is_one_segment(self):
+        values = [np.uint8(1), np.uint8(1), np.uint8(0)]
+        frame = wire.encode_frame(wire.KIND_REQUEST, {}, values)
+        header = wire.decode_header(frame[:wire.HEADER_SIZE])
+        assert header.n_bits == 3
+
+    def test_array_list_still_multi_segment(self, rng):
+        segments = [rng.integers(0, 2, 64, dtype=np.uint8)
+                    for _ in range(3)]
+        frame = wire.encode_frame(wire.KIND_REQUEST, {}, segments)
+        header = wire.decode_header(frame[:wire.HEADER_SIZE])
+        assert header.n_bits == 192
+        rest = frame[wire.HEADER_SIZE:]
+        _, bits = wire.decode_frame(header, rest[:header.meta_len],
+                                    rest[header.meta_len:])
+        assert isinstance(bits, list) and len(bits) == 3
+
+
+# ----------------------------------------------------------------------
+# server level: the connection must survive
+# ----------------------------------------------------------------------
+class TestMalformedFrameMatrix:
+    def _send_raw(self, client, meta, payload, n_bits):
+        client.sock.sendall(_raw_frame(meta, payload, n_bits))
+        response, _ = client.read_frame()
+        return response
+
+    @pytest.mark.parametrize("meta,payload,n_bits", [
+        ({"op": "bits", "segment_bits": ["oops"]}, b"\x00" * 8, 64),
+        ({"op": "bits", "segment_bits": [-64]}, b"\x00" * 8, 64),
+        ({"op": "bits", "segment_bits": "64"}, b"\x00" * 8, 64),
+        ({"op": "bits", "segment_bits": [True]}, b"\x00" * 8, 64),
+        ({"op": "bits", "segment_bits": [32, 16]}, b"\x00" * 16, 64),
+        ({"op": "bits"}, b"\x00" * 8, 128),  # tampered n_bits
+    ])
+    def test_bad_frame_reports_protocol_and_survives(
+            self, server, meta, payload, n_bits):
+        client = _BinaryClient(server.server_address[1])
+        try:
+            response = self._send_raw(client, meta, payload, n_bits)
+            assert not response["ok"]
+            assert response["code"] == "protocol"
+            # The frame was consumed in full: the connection survives.
+            follow_up = client.call({"op": "query", "expr": "a & b"})
+            assert follow_up["ok"]
+        finally:
+            client.close()
+
+    def test_header_corruption_still_closes(self, server):
+        client = _BinaryClient(server.server_address[1])
+        try:
+            client.sock.sendall(b"Y" * wire.HEADER_SIZE)
+            response, _ = client.read_frame()
+            assert response["code"] == "protocol"
+            assert client.stream.read(1) == b""  # framing lost: close
+        finally:
+            client.close()
+
+    @pytest.mark.parametrize("request_", [
+        {"op": "bits", "name": "a", "offset": -5},
+        {"op": "bits", "name": "a", "offset": 0, "limit": -1},
+        {"op": "bits", "name": "a", "offset": -1, "limit": -1},
+    ])
+    def test_negative_readout_is_query_error_both_wires(
+            self, server, request_):
+        port = server.server_address[1]
+        for client in (_JsonClient(port), _BinaryClient(port)):
+            try:
+                response = client.call(dict(request_))
+                assert not response["ok"]
+                assert response["code"] == "query"
+                assert "non-negative" in response["error"]
+                follow_up = client.call({"op": "query",
+                                         "expr": "a | b"})
+                assert follow_up["ok"]
+            finally:
+                client.close()
+
+    def test_unknown_column_is_query_error(self, server):
+        client = _JsonClient(server.server_address[1])
+        try:
+            response = client.call({"op": "query", "expr": "nope"})
+            assert not response["ok"]
+            assert response["code"] == "query"
+        finally:
+            client.close()

@@ -69,6 +69,12 @@ def numpy_program_eval(program, table):
                     ).astype(np.uint8)
         if isinstance(node, e.Select):
             return (kids[0] & kids[1]) | ((1 - kids[0]) & kids[2])
+        if isinstance(node, e.Match):
+            out = np.ones(width, dtype=np.uint8)
+            for kid, bit, care in zip(kids, node.key, node.mask):
+                if care:
+                    out &= kid ^ (1 - bit)
+            return out
         raise AssertionError(type(node))
 
     env = {name: np.asarray(bits, dtype=np.uint8)
