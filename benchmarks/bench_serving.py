@@ -40,10 +40,17 @@ N_SHARDS = 4
 QUERY_MIX = ["a & b", "(a & b) | ~c", "a ^ c", "maj(a, b, c)"]
 
 
-def _make_service() -> BitwiseService:
+def _make_service(*, workers: int = 1,
+                  replicas: int = 0) -> BitwiseService:
     rng = np.random.default_rng(7)
     service = BitwiseService("feram-2tnc", n_bits=N_BITS,
-                             n_shards=N_SHARDS)
+                             n_shards=N_SHARDS, workers=workers,
+                             replicas=replicas)
+    if workers > 1:
+        # The 64Ki-bit bench table is far below the default
+        # work threshold; drop it so the process tier actually
+        # executes the scattered jobs being measured.
+        service._parallel_min_work = 0
     for name in ("a", "b", "c", "m"):
         service.create_column(
             name, (rng.random(N_BITS) < 0.4).astype(np.uint8))
@@ -138,15 +145,19 @@ def serving_latency(*, n_clients: int = 6, requests_per_client: int = 40,
                     mutation_share: float = 0.2,
                     batch_window_s: float = 0.0005,
                     wire: str = "json",
-                    durable: bool = False) -> dict:
+                    durable: bool = False,
+                    workers: int = 1, replicas: int = 0) -> dict:
     """Closed-loop mixed query/mutation load; p50/p99 and queries/s.
 
     ``durable=True`` runs the identical load with a write-ahead log
     attached (``sync="batch"``: one fsync per mutation barrier), so
     the recorded delta against the plain run is the end-to-end WAL
-    overhead on the serving path.
+    overhead on the serving path.  ``workers>1`` serves through the
+    multi-process shard-worker tier over the shared-memory store;
+    ``replicas>0`` adds asynchronously-fed read replicas (queries
+    route to them under the generation-fence staleness contract).
     """
-    service = _make_service()
+    service = _make_service(workers=workers, replicas=replicas)
     data_dir = None
     if durable:
         data_dir = tempfile.TemporaryDirectory(prefix="repro-wal-")
@@ -185,6 +196,10 @@ def serving_latency(*, n_clients: int = 6, requests_per_client: int = 40,
         return {
             "seconds": elapsed,
             "wire": wire,
+            "workers": workers,
+            "replicas": replicas,
+            "replica_reads": stats.get("executor", {}).get(
+                "replica_reads", 0),
             "clients": n_clients,
             "requests": total,
             "mutation_share": mutation_share,

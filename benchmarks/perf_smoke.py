@@ -26,6 +26,7 @@ CI to publish the perf history in the job summary) and exits.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -171,6 +172,10 @@ def _service_scale(*, backend: str = "vector", fuse: bool = True,
     with BitwiseService("feram-2tnc", n_bits=SCALE_BITS,
                         n_shards=SCALE_SHARDS, backend=backend,
                         fuse=fuse, workers=workers) as svc:
+        if workers is not None and workers > 1:
+            # Worker variants measure the process tier itself: drop
+            # the work threshold so every query scatters.
+            svc._parallel_min_work = 0
         for k in range(bitmap_index.N_COLUMNS):
             svc.create_column(
                 f"c{k}",
@@ -297,10 +302,21 @@ def run_smoke() -> dict:
     timings["service_batch"] = _service_batch()
     scale = _service_scale(repeat=5)
     timings["service_scale"] = scale["seconds"]
-    # Executor-tier variants: same batch with the fuser off and with
-    # shard-parallel workers (nested records; not part of the gate).
+    # Executor-tier variants: same batch with the fuser off and across
+    # process-worker counts (nested records; not part of the gate).
     scale_unfused = _service_scale(fuse=False, repeat=1)
-    scale_workers = _service_scale(workers=2, repeat=1)
+    cores = len(os.sched_getaffinity(0))
+    scale_procs = {n: _service_scale(workers=n, repeat=1)
+                   for n in (1, 2, 4)}
+    if cores >= 4:
+        # The serving-scale acceptance gate: four process workers must
+        # at least halve the single-process batch time.  Only
+        # meaningful where the container actually exposes the cores.
+        assert scale_procs[4]["seconds"] * 2.0 <= \
+            scale_procs[1]["seconds"], (
+                f"service_scale w4 {scale_procs[4]['seconds']:.4f}s "
+                f"is not >=2x faster than w1 "
+                f"{scale_procs[1]['seconds']:.4f}s on {cores} cores")
     workload = _workload_scale(repeat=5)
     timings["workload_scale"] = workload["seconds"]
     workload_unfused = _workload_scale(fuse=False, repeat=1)
@@ -308,6 +324,15 @@ def run_smoke() -> dict:
                   key=lambda record: record["seconds"])
     timings["serving_latency"] = serving["seconds"]
     serving_binary = serving_latency(wire="binary")
+    serving_procs = {n: serving_latency(workers=n) for n in (1, 2, 4)}
+    serving_replica = serving_latency(replicas=2)
+    if cores >= 4:
+        # More workers must never cost throughput on a real multicore.
+        assert serving_procs[1]["qps"] <= serving_procs[2]["qps"] <= \
+            serving_procs[4]["qps"], (
+                "serving_latency qps not monotone across workers: "
+                + ", ".join(f"w{n}={serving_procs[n]['qps']:.0f}"
+                            for n in (1, 2, 4)))
     # Best-of-3 like the plain run, so overhead_vs_plain compares
     # like with like (the closed loop jitters ~15% run to run).
     serving_durable = min((serving_latency(durable=True)
@@ -341,9 +366,19 @@ def run_smoke() -> dict:
         "energy_per_query_nj": round(scale["energy_per_query_nj"], 1),
         "variants": {
             "unfused_s": round(scale_unfused["seconds"], 4),
-            "workers2_s": round(scale_workers["seconds"], 4),
             "fuse_speedup": round(
                 scale_unfused["seconds"] / scale["seconds"], 2),
+            # Multi-process shard workers over the shared-memory
+            # store (w1 = same coordinator, serial execution).
+            "process_workers": {
+                "cores_visible": cores,
+                **{f"w{n}_s": round(record["seconds"], 4)
+                   for n, record in scale_procs.items()},
+                "scaling_w2": round(scale_procs[1]["seconds"]
+                                    / scale_procs[2]["seconds"], 2),
+                "scaling_w4": round(scale_procs[1]["seconds"]
+                                    / scale_procs[4]["seconds"], 2),
+            },
         },
     })
     entries["workload_scale"].update({
@@ -388,6 +423,25 @@ def run_smoke() -> dict:
                 "qps": round(serving_durable["qps"]),
                 "overhead_vs_plain": round(
                     serving_durable["seconds"] / serving["seconds"], 3),
+            },
+            # Same closed loop through the multi-process shard-worker
+            # tier (shared-memory store, scatter/gather coordinator).
+            "multiprocess": {
+                "cores_visible": cores,
+                **{f"w{n}": {
+                    "seconds": round(record["seconds"], 4),
+                    "qps": round(record["qps"]),
+                    "p50_ms": round(record["p50_ms"], 3),
+                } for n, record in serving_procs.items()},
+            },
+            # Closed loop with two async read replicas; queries route
+            # to them under the generation-fence staleness contract.
+            "replicas": {
+                "n": serving_replica["replicas"],
+                "seconds": round(serving_replica["seconds"], 4),
+                "qps": round(serving_replica["qps"]),
+                "p50_ms": round(serving_replica["p50_ms"], 3),
+                "replica_reads": serving_replica["replica_reads"],
             },
         },
     })
@@ -497,8 +551,17 @@ def print_summary(payload: dict) -> None:
         print(f"Fused vs unfused (`service_scale`): "
               f"{variants['unfused_s']:.4f}s unfused -> "
               f"{scale['measured_s']:.4f}s fused "
-              f"({variants['fuse_speedup']:.2f}x); "
-              f"workers=2 variant {variants['workers2_s']:.4f}s.")
+              f"({variants['fuse_speedup']:.2f}x).")
+    procs = variants.get("process_workers", {})
+    if "w4_s" in procs:
+        print()
+        print(f"Process-worker scaling (`service_scale`, "
+              f"{procs['cores_visible']} cores visible): "
+              f"w1 {procs['w1_s']:.4f}s -> w2 {procs['w2_s']:.4f}s "
+              f"({procs['scaling_w2']:.2f}x) -> "
+              f"w4 {procs['w4_s']:.4f}s "
+              f"({procs['scaling_w4']:.2f}x); efficiency "
+              f"{procs['scaling_w4'] / 4:.0%} at 4 workers.")
     workload = payload.get("benchmarks", {}).get("workload_scale", {})
     if "rows_per_s" in workload:
         print()
@@ -527,6 +590,24 @@ def print_summary(payload: dict) -> None:
               f"client encode {binary['encode_ms_per_request']:.4f} "
               f"ms/req vs {serving['encode_ms_per_request']:.4f} "
               f"ms/req over JSON.")
+    multiproc = serving.get("variants", {}).get("multiprocess", {})
+    if "w4" in multiproc:
+        print()
+        print(f"Multi-process serving (`serving_latency` variants, "
+              f"{multiproc['cores_visible']} cores visible): "
+              + " -> ".join(
+                  f"w{n} {multiproc[f'w{n}']['qps']} req/s "
+                  f"(p50 {multiproc[f'w{n}']['p50_ms']:.2f} ms)"
+                  for n in (1, 2, 4)) + ".")
+    replicas = serving.get("variants", {}).get("replicas", {})
+    if "qps" in replicas:
+        print()
+        print(f"Read replicas (`serving_latency` variant, "
+              f"n={replicas['n']}): {replicas['qps']} req/s, "
+              f"p50 {replicas['p50_ms']:.2f} ms, "
+              f"{replicas['replica_reads']} queries served from "
+              f"replicas under the generation-fence staleness "
+              f"contract.")
     durable = serving.get("variants", {}).get("durable_wal", {})
     if "qps" in durable:
         print()

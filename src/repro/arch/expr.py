@@ -722,6 +722,30 @@ class VectorProgram:
         #: True for programs produced by :meth:`fuse`
         self.fused = fused
 
+    # -- picklable transport ------------------------------------------
+    def spec(self) -> tuple:
+        """Self-contained, picklable payload describing this bytecode.
+
+        Steps, register specs and micro-ops are pure nested tuples of
+        primitives, so the spec round-trips through ``pickle`` (or a
+        ``multiprocessing`` pipe) without dragging along the compiler,
+        the AIG, or any numpy state.  :meth:`from_spec` rebuilds an
+        equivalent program that executes bit-identically.
+        """
+        out_regs = None if self.out_regs is None else \
+            tuple(sorted(self.out_regs.items()))
+        return (tuple(tuple(step) for step in self.steps),
+                int(self.n_regs), self.out_reg, out_regs,
+                bool(self.fused))
+
+    @classmethod
+    def from_spec(cls, spec: tuple) -> "VectorProgram":
+        """Rebuild a program from a :meth:`spec` payload."""
+        steps, n_regs, out_reg, out_regs, fused = spec
+        return cls([tuple(step) for step in steps], n_regs, out_reg,
+                   dict(out_regs) if out_regs is not None else None,
+                   fused=fused)
+
     # -- execution -----------------------------------------------------
     def run(self, columns: Mapping[str, np.ndarray], *,
             shape: tuple[int, ...] | None = None,

@@ -367,6 +367,28 @@ class CompiledProgram:
             self._vector_program_fused = self._vector_program.fuse()
         return self._vector_program_fused
 
+    def vector_payload(self, *, fused: bool = False
+                       ) -> tuple[str, tuple]:
+        """``(plan id, picklable bytecode spec)`` for shard workers.
+
+        The id keys worker-side program caches (one entry per plan and
+        fusion mode); the spec rebuilds the exact bytecode via
+        :meth:`VectorProgram.from_spec` inside the worker process —
+        plan compilation itself never leaves the coordinator.
+        """
+        return vector_payload(self, fused=fused)
+
+
+def vector_payload(plan, *, fused: bool = False) -> tuple[str, tuple]:
+    """``(plan id, picklable bytecode spec)`` for any compiled plan.
+
+    Works for :class:`CompiledProgram` and
+    :class:`~repro.arch.expr.CompiledQuery` alike — both expose a
+    canonical ``key`` and a ``vector_program(fused=)`` lowering.
+    """
+    program = plan.vector_program(fused=fused)
+    return f"{plan.key}|f{int(bool(fused))}", program.spec()
+
 
 def compile_program(program: Program, *,
                     inverting: bool = True) -> CompiledProgram:

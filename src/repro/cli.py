@@ -57,9 +57,16 @@ def _service_parser(prog: str) -> argparse.ArgumentParser:
                         help="physical table width; rows can be "
                              "appended up to this (default: --bits)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="thread-pool size for shard-parallel "
-                             "vector execution; large plans split "
-                             "into row blocks (default: 1, serial)")
+                        help="shard-worker processes over a shared-"
+                             "memory column store; >1 scatters each "
+                             "large plan's row blocks across pinned "
+                             "processes (default: 1, serial "
+                             "in-process execution)")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="asynchronously-fed read replicas of "
+                             "the shared-memory store; reads route "
+                             "to them under the generation-fence "
+                             "staleness contract (default: 0)")
     parser.add_argument("--no-fuse", action="store_true",
                         help="disable the peephole fuser on vector "
                              "programs (run the unfused bytecode)")
@@ -87,7 +94,8 @@ def _cmd_query(argv: list[str]) -> int:
                         backend=args.backend,
                         capacity=args.capacity,
                         fuse=not args.no_fuse,
-                        workers=args.workers) as service:
+                        workers=args.workers,
+                        replicas=args.replicas) as service:
         for index, name in enumerate(expr.cols()):
             service.random_column(name, args.density,
                                   seed=args.seed + index)
@@ -255,7 +263,8 @@ def _cmd_serve(argv: list[str]) -> int:
             n_shards=args.shards, capacity=args.capacity,
             snapshot_every=args.snapshot_every or None,
             sync=args.wal_sync, injector=injector,
-            fuse=not args.no_fuse, workers=args.workers)
+            fuse=not args.no_fuse, workers=args.workers,
+            replicas=args.replicas)
         recovery = service.durability.last_recovery
         print(f"recovered from {args.data_dir}: "
               f"generation {recovery['generation']}, "
@@ -270,7 +279,8 @@ def _cmd_serve(argv: list[str]) -> int:
                                  backend=args.backend,
                                  capacity=args.capacity,
                                  fuse=not args.no_fuse,
-                                 workers=args.workers)
+                                 workers=args.workers,
+                                 replicas=args.replicas)
     with service:
         if args.port is None:
             try:

@@ -95,8 +95,17 @@ class RetryPolicy:
 
 
 def _read_exact(stream, n: int) -> bytes:
-    chunks = []
-    remaining = n
+    if not n:
+        return b""
+    # The buffered stream satisfies the whole read in one call unless
+    # the connection drops mid-frame; keep that path allocation-free.
+    first = stream.read(n)
+    if len(first) == n:
+        return first
+    if not first:
+        raise ConnectionError("server closed the connection")
+    chunks = [first]
+    remaining = n - len(first)
     while remaining:
         chunk = stream.read(remaining)
         if not chunk:
@@ -190,8 +199,8 @@ class ServiceClient:
                 response["bits"] = page
             return response
         if bits is not None:
-            request = {**request,
-                       "bits": np.asarray(bits).astype(int).tolist()}
+            request = {**request, "bits": np.asarray(
+                bits).astype(int, copy=False).tolist()}
         self._stream.write((json.dumps(request) + "\n").encode())
         self._stream.flush()
         line = self._stream.readline()

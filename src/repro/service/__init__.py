@@ -10,7 +10,12 @@ Two interchangeable execution backends answer every query:
   runs as one whole-matrix numpy kernel (all shards at once, no
   locks, GIL released).  Energy/cycle/primitive accounting is computed
   in closed form from the plan's probed charge events
-  (:func:`~repro.arch.primitives.plan_stats`).
+  (:func:`~repro.arch.primitives.plan_stats`).  With ``workers=N`` the
+  matrices live in shared memory and pinned worker processes
+  (:mod:`repro.service.shard_workers`) each execute their own block of
+  shard rows, returning only popcounts; ``replicas=R`` adds
+  asynchronously-fed read replicas served under a generation-fence
+  staleness contract (read-your-writes per tenant).
 * **reference** — the engine-replay ground truth: one
   :class:`~repro.arch.engine.BulkEngine` per shard, thread-pool
   fan-out behind per-shard locks.  The vector backend is pinned
@@ -66,6 +71,12 @@ from repro.service.service import (
     QueryResult,
     StatementStats,
 )
+from repro.service.shard_workers import (
+    ReplicaSet,
+    ReplicaStore,
+    SharedColumnStore,
+    WorkerPool,
+)
 from repro.service.tenancy import TenantState, TenantView
 
 __all__ = [
@@ -80,9 +91,13 @@ __all__ = [
     "ProgramResult",
     "QueryResult",
     "QueryServer",
+    "ReplicaSet",
+    "ReplicaStore",
     "RequestScheduler",
+    "SharedColumnStore",
     "ShuttingDownError",
     "StatementStats",
+    "WorkerPool",
     "TenantState",
     "TenantView",
     "mutation_payload",

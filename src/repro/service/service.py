@@ -88,6 +88,7 @@ from repro.arch.expr import (
 from repro.arch.primitives import default_spec, make_engine, plan_stats
 from repro.arch.program import CompiledProgram, Program
 from repro.arch.program import compile_program as _compile_program
+from repro.arch.program import vector_payload
 from repro.arch.spec import MemorySpec
 from repro.arch.writeback import ScrubAccountant
 from repro.errors import QueryError
@@ -96,9 +97,15 @@ from repro.service.columnstore import (
     MatrixPool,
     PackedBits,
     dirty_word_indices,
+    popcount_words,
     shard_spans,
 )
 from repro.service.durability import stats_to_dict
+from repro.service.shard_workers import (
+    ReplicaSet,
+    SharedColumnStore,
+    WorkerPool,
+)
 from repro.service.tenancy import (
     TenantState,
     TenantView,
@@ -327,7 +334,8 @@ class BitwiseService:
                  backend: str = "vector",
                  capacity: int | None = None,
                  fuse: bool = True,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 replicas: int = 0) -> None:
         if n_bits <= 0:
             raise QueryError("table width must be positive")
         if n_shards <= 0:
@@ -337,6 +345,10 @@ class BitwiseService:
                              "(expected 'vector' or 'reference')")
         self.technology = technology
         self.backend = backend
+        #: multi-process shard workers (1 = in-process serial)
+        self.workers = max(1, int(workers)) if workers is not None else 1
+        #: read replicas of the shared store (0 = primary-only reads)
+        self.replicas = max(0, int(replicas))
         self.n_bits = int(n_bits)
         #: physical table width the shard geometry covers; the logical
         #: width can grow up to this via append_rows without resharding
@@ -373,9 +385,17 @@ class BitwiseService:
                     f"spec {spec.name!r} is not a {technology!r} spec")
             self._shards = []
             self._pool = None
-            self._store = ColumnStore(self.n_bits, n_shards,
-                                      capacity=self.capacity) \
-                if functional else None
+            # Shared-memory store when process workers or replicas are
+            # requested: same geometry and packing, but matrices live
+            # in shm segments that worker processes map zero-copy.
+            if functional:
+                store_cls = SharedColumnStore \
+                    if (self.workers > 1 or self.replicas > 0) \
+                    else ColumnStore
+                self._store = store_cls(self.n_bits, n_shards,
+                                        capacity=self.capacity)
+            else:
+                self._store = None
             self._ledger = Stats()  # merged analytic engine ledger
             self._tba_offsets = [0] * len(spans)
             # Complement-flag encodings the reference engines would
@@ -390,19 +410,33 @@ class BitwiseService:
             self._inverting = self._spec.technology == "feram-2tnc"
         #: run peephole-fused bytecode on the vector backend
         self.fuse = bool(fuse)
-        #: shard-parallel row-block workers (1 = always serial)
-        self.workers = max(1, int(workers)) if workers is not None else 1
-        self._exec_pool: ThreadPoolExecutor | None = None
-        self._exec_pool_lock = threading.Lock()
-        # Cost heuristic floor for going parallel: matrix bytes × plan
-        # steps must clear this before thread fan-out pays for itself.
-        # Instance attribute so tests/benchmarks can force either mode.
+        #: the store is a SharedColumnStore (process workers/replicas)
+        self._shared_store = isinstance(self._store, SharedColumnStore)
+        self._worker_pool: WorkerPool | None = None
+        self._worker_pool_lock = threading.Lock()
+        # Cost heuristic floor for going multi-process: matrix bytes ×
+        # plan steps must clear this before scatter/gather pays for
+        # itself.  Instance attribute so tests/benchmarks can force
+        # either mode.
         self._parallel_min_work = 64 << 20
         self._stats_lock = threading.Lock()
-        # Guards reference-backend payloads: query batches read, in-
-        # place mutations write (vector mutations are copy-on-write
-        # and need no read side).
+        # Guards table payloads: query batches hold the read side
+        # across execution, in-place mutations the write side.  The
+        # plain (non-shared) vector store mutates copy-on-write and
+        # needs no read side; the shared store writes dirty words in
+        # place and reuses this lock as its snapshot barrier.
         self._table_rw = _RWLock()
+        #: per-tenant generation fences: tenant -> {physical: last
+        #: write generation} — a replica may serve the tenant only at
+        #: or past its own writes (read-your-writes)
+        self._fences: dict[str | None, dict[str, int]] = {}
+        self.replica_reads = 0
+        self._replica_set: ReplicaSet | None = None
+        if self._shared_store and self.replicas > 0:
+            self._replica_set = ReplicaSet(
+                self._store, self.replicas,
+                read_lock=self._table_rw.read,
+                forget=self._forget_segment)
         # Mutation-path maintenance ledger: dirty-row write charges and
         # read-disturb scrub economics (see arch/writeback.py), kept
         # separate from the compute ledger and identical on both
@@ -553,9 +587,10 @@ class BitwiseService:
                     "functional service requires explicit column bits")
             self._log_wal({"kind": "create", "tenant": tenant,
                            "name": name}, bits)
+            event = None
             if self.backend == "vector":
                 if self._store is not None:
-                    self._store.add(physical, bits)
+                    event = self._store.add(physical, bits)
                 with self._stats_lock:
                     if self.functional:
                         # Mirror the reference path exactly: only a
@@ -587,6 +622,7 @@ class BitwiseService:
                         shard.columns[physical] = vec
             self._columns[physical] = self.n_bits
             state.columns[name] = physical
+            self._publish_event(event)
             self._maybe_checkpoint()
 
     def random_column(self, name: str, density: float = 0.5,
@@ -609,9 +645,10 @@ class BitwiseService:
             physical = state.resolve(name)
             self._log_wal({"kind": "drop", "tenant": tenant,
                            "name": name})
+            event = None
             if self.backend == "vector":
                 if self._store is not None:
-                    self._store.drop(physical)
+                    event = self._store.drop(physical)
                 with self._stats_lock:
                     self._rows_used -= sum(self._shard_rows)
                     self._col_flags.pop(physical, None)
@@ -628,6 +665,7 @@ class BitwiseService:
             with self._stats_lock:
                 self._writeback.forget(physical)
             self._invalidate_columns((physical,))
+            self._publish_event(event)
             self._maybe_checkpoint()
 
     @property
@@ -720,7 +758,9 @@ class BitwiseService:
                 words = dirty_word_indices(old, new, offset,
                                            offset + size)
                 rows_by_shard = self._rows_by_shard_words(words)
-                self._apply_bits(physical, new)
+                event = self._apply_bits(physical, new)
+                self._publish_event(event, tenant=tenant,
+                                    physical=physical)
             else:
                 rows_by_shard = self._rows_by_shard_span(
                     offset, offset + size)
@@ -812,9 +852,20 @@ class BitwiseService:
                 span_rows = self._rows_by_shard_span(old_n, new_n)
                 per_column = dict.fromkeys(arrays, span_rows)
             self.n_bits = new_n
+            resize_event = None
             if self._store is not None:
-                self._store.resize(new_n)
-            self._apply_append(news)
+                if self._shared_store:
+                    # Readers consult the mask during popcounts; the
+                    # in-place mask rewrite needs the write barrier.
+                    with self._table_rw.write():
+                        resize_event = self._store.resize(new_n)
+                else:
+                    self._store.resize(new_n)
+            set_events = self._apply_append(news)
+            self._publish_event(resize_event)
+            for physical, event in set_events:
+                self._publish_event(event, tenant=tenant,
+                                    physical=physical)
             for physical in self._columns:
                 self._columns[physical] = new_n
             total = Stats()
@@ -857,24 +908,35 @@ class BitwiseService:
             vec.payload = pack_bits(grid, row_bits)
             vec.complemented = False
 
-    def _apply_bits(self, physical: str, new: np.ndarray) -> None:
+    def _apply_bits(self, physical: str, new: np.ndarray):
         """Bind a column to a new logical value, plain-encoded.
 
         Vector backend: copy-on-write matrix rebind (snapshots keep
-        the old view).  Reference backend: in-place payload rewrite
-        under the table write lock — stat-neutral (host simulation of
-        the TBA write whose energy the accountant charges
-        analytically), and atomic against in-flight query batches,
-        which hold the read side across their whole shard fan-out."""
+        the old view) — except the shared store, which writes the
+        dirty-word diff in place under the table write lock (query
+        batches hold the read side across execution) and returns the
+        replica event for the caller to publish *after* this returns,
+        outside the write lock.  Reference backend: in-place payload
+        rewrite under the same write lock — stat-neutral (host
+        simulation of the TBA write whose energy the accountant
+        charges analytically), and atomic against in-flight query
+        batches, which hold the read side across their whole shard
+        fan-out."""
         if self.backend == "vector":
-            self._store.set(physical, new)
+            if self._shared_store:
+                with self._table_rw.write():
+                    event = self._store.set(physical, new)
+            else:
+                self._store.set(physical, new)
+                event = None
             with self._stats_lock:
                 self._col_flags[physical] = False
-            return
+            return event
         padded = np.zeros(self.capacity, dtype=np.uint8)
         padded[: new.size] = new
         with self._table_rw.write():
             self._rewrite_reference_payload(physical, padded)
+        return None
 
     def _normalize_encoding(self, physicals) -> None:
         """Force columns to the plain (non-complemented) encoding."""
@@ -893,11 +955,17 @@ class BitwiseService:
                             vec.payload = ~vec.payload
                         vec.complemented = False
 
-    def _apply_append(self, news: dict[str, np.ndarray]) -> None:
-        """Write appended values and re-encode every column plain."""
+    def _apply_append(self, news: dict[str, np.ndarray]
+                      ) -> list[tuple[str, tuple | None]]:
+        """Write appended values and re-encode every column plain.
+
+        Returns the shared-store replica events (empty otherwise)."""
+        events: list[tuple[str, tuple | None]] = []
         if self.backend == "vector":
             for physical, new in news.items():
-                self._apply_bits(physical, new)
+                event = self._apply_bits(physical, new)
+                if event is not None:
+                    events.append((physical, event))
         else:
             # One atomic critical section for the whole append.
             with self._table_rw.write():
@@ -908,6 +976,54 @@ class BitwiseService:
         others = [physical for physical in self._columns
                   if physical not in news]
         self._normalize_encoding(others)
+        return events
+
+    def _publish_event(self, event: tuple | None, *,
+                       tenant: str | None = None,
+                       physical: str | None = None) -> None:
+        """Forward a shared-store mutation event to the replicas.
+
+        Must be called with the table write lock *released*: a full
+        replica queue blocks the publisher until the applier drains,
+        and the applier takes the table read lock for structural
+        catch-up copies.  ``set`` events also advance the mutating
+        tenant's generation fence (read-your-writes)."""
+        if event is None or not self._shared_store:
+            return
+        if self._replica_set is not None:
+            if event[0] == "set" and physical is not None:
+                self._fences.setdefault(tenant, {})[physical] = event[2]
+            self._replica_set.publish(event)
+        elif event[0] == "drop":
+            self._forget_segment(event[3])
+
+    def _forget_segment(self, segment_name: str) -> None:
+        pool = self._worker_pool
+        if pool is not None:
+            pool.forget(segment_name)
+
+    def _get_worker_pool(self) -> WorkerPool:
+        pool = self._worker_pool
+        if pool is None:
+            with self._worker_pool_lock:
+                pool = self._worker_pool
+                if pool is None:
+                    pool = WorkerPool(self._store.shape,
+                                      workers=self.workers)
+                    self._worker_pool = pool
+        return pool
+
+    def _use_process_pool(self, program) -> bool:
+        """Scatter to shard workers only when configured and worth it:
+        matrix bytes × plan steps must clear ``_parallel_min_work`` —
+        below that, pipe round-trips cost more than they save."""
+        if self.workers <= 1 or not self._shared_store:
+            return False
+        shape = self._store.shape
+        if shape[0] < 2:
+            return False
+        work = shape[0] * shape[1] * 8 * max(1, len(program.steps))
+        return work >= self._parallel_min_work
 
     def _rows_by_shard_words(self, words: np.ndarray) -> list[int]:
         """Dirty physical rows per shard for changed word indices."""
@@ -1132,7 +1248,11 @@ class BitwiseService:
             positions = item["positions"]
             plan = item["plan"]
             text = plans[positions[0]][0]
-            payload, count, delta, elapsed = outputs[ckey]
+            payload, count, delta, elapsed = outputs[ckey][:4]
+            # Bounded-stale replica reads append cacheable=False: the
+            # cache snapshot carries primary generations, so caching
+            # them would make the staleness permanent.
+            cacheable = len(outputs[ckey]) < 5 or outputs[ckey][4]
             result = QueryResult(
                 query=text, key=plan.key, count=count, payload=payload,
                 cache_hit=False,
@@ -1144,7 +1264,7 @@ class BitwiseService:
                 shards=self.n_shards,
                 detail=delta.summary(),
             )
-            if use_cache:
+            if use_cache and cacheable:
                 self._cache_put(ckey, result, snapshot, item["tenant"],
                                 tuple(item["colmap"].values()))
             results[positions[0]] = result
@@ -1283,7 +1403,47 @@ class BitwiseService:
                             colmap: dict[str, str]):
         """Columnar program execution + closed-form attribution."""
         outputs = counts = None
-        if self.functional:
+        if self.functional and self._shared_store:
+            # Programs always run on the primary; the read lock is the
+            # snapshot (the shared store mutates in place).
+            with self._table_rw.read():
+                matrices_map = self._store._matrices
+                missing = [physical for physical in colmap.values()
+                           if physical not in matrices_map]
+                if missing:
+                    raise QueryError(f"unbound column(s): {missing}")
+                program = cprog.vector_program(fused=self.fuse)
+                if self._use_process_pool(program):
+                    plan_key, spec = cprog.vector_payload(
+                        fused=self.fuse)
+                    colspec = {
+                        logical: self._store.segment_name(physical)
+                        for logical, physical in colmap.items()}
+                    gens = {physical:
+                            self._store.generations.get(physical, 0)
+                            for physical in colmap.values()}
+                    out_keys = list(program.out_regs)
+                    scattered = self._get_worker_pool().execute(
+                        plan_key, spec, colspec,
+                        self._store.mask_segment, out_keys,
+                        gens=gens, take_matrix=self._matrix_pool.take)
+                    outputs = {name: PackedBits(self._store,
+                                                scattered[name][1])
+                               for name in out_keys}
+                    counts = {name: int(scattered[name][0].sum())
+                              for name in out_keys}
+                else:
+                    columns = {logical: matrices_map[physical]
+                               for logical, physical in colmap.items()}
+                    matrices = program.run_outputs(
+                        columns, shape=self._store.shape,
+                        pool=self._matrix_pool)
+                    outputs = {name: PackedBits(self._store, matrix)
+                               for name, matrix in matrices.items()}
+                    counts = {
+                        name: int(self._store.popcounts(matrix).sum())
+                        for name, matrix in matrices.items()}
+        elif self.functional:
             snapshot = self._store.snapshot()
             missing = [physical for physical in colmap.values()
                        if physical not in snapshot]
@@ -1294,8 +1454,7 @@ class BitwiseService:
             program = cprog.vector_program(fused=self.fuse)
             matrices = program.run_outputs(
                 columns, shape=self._store.shape,
-                pool=self._matrix_pool,
-                **self._vector_exec_opts(program))
+                pool=self._matrix_pool)
             # Output matrices stay owned by the result (deferred
             # readout) — they must NOT go back to the pool.
             outputs = {name: PackedBits(self._store, matrix)
@@ -1415,6 +1574,8 @@ class BitwiseService:
         Node caches are scoped per tenant — the same structural
         sub-expression names different data in different namespaces.
         """
+        if self._shared_store:
+            return self._run_batch_shared(pending)
         snapshot = self._store.snapshot() if self._store is not None \
             else {}
         node_caches: dict[str | None, dict[str, np.ndarray]] = {}
@@ -1436,8 +1597,7 @@ class BitwiseService:
                     columns, shape=self._store.shape,
                     pool=self._matrix_pool,
                     node_cache=node_caches.setdefault(
-                        item["tenant"], {}),
-                    **self._vector_exec_opts(program))
+                        item["tenant"], {}))
                 count = int(self._store.popcounts(matrix).sum())
                 # The matrix stays owned by the result; .bits unpacks
                 # on first access (counting clients never pay it).
@@ -1447,33 +1607,111 @@ class BitwiseService:
                              time.perf_counter() - start)
         return outputs
 
-    def _vector_exec_opts(self, program) -> dict:
-        """Executor/blocks kwargs for one bytecode run.
+    # -- shared-memory store: scatter/gather + replica routing ---------
+    def _primary_view(self) -> tuple:
+        store = self._store
+        mask = None if store._full else store._mask
+        return (store._matrices, store.segment_name,
+                store.mask_segment, mask, store.generations)
 
-        Goes shard-parallel only when configured (``workers > 1``),
-        the matrix has at least two rows to split, and the total work
-        — matrix bytes × steps — clears ``_parallel_min_work`` (thread
-        fan-out costs more than it saves on small tables).
-        """
-        if self.workers <= 1 or self._store is None:
-            return {}
-        shape = self._store.shape
-        if shape[0] < 2:
-            return {}
-        work = shape[0] * shape[1] * 8 * max(1, len(program.steps))
-        if work < self._parallel_min_work:
-            return {}
-        blocks = min(self.workers, shape[0])
-        pool = self._exec_pool
-        if pool is None:
-            with self._exec_pool_lock:
-                pool = self._exec_pool
-                if pool is None:
-                    pool = ThreadPoolExecutor(
-                        max_workers=self.workers,
-                        thread_name_prefix="vector-block")
-                    self._exec_pool = pool
-        return {"executor": pool, "blocks": blocks}
+    def _replica_view(self, replica) -> tuple:
+        mask = None if self._store._full else replica.mask_matrix
+        return (replica.matrices,
+                lambda physical: replica.segments[physical].name,
+                replica.mask_segment(), mask, replica.applied_gen)
+
+    def _masked_count(self, matrix: np.ndarray,
+                      mask: np.ndarray | None) -> int:
+        if mask is not None:
+            matrix = np.bitwise_and(matrix, mask)
+        return int(popcount_words(matrix).sum(dtype=np.int64))
+
+    def _run_batch_shared(self, pending: dict[str, dict],
+                          ) -> dict[str, tuple]:
+        """Shared-store batch: route each item to a caught-up replica
+        when possible, execute the rest on the primary under the table
+        read lock (the shared store mutates in place, so the lock *is*
+        the snapshot)."""
+        outputs: dict[str, tuple] = {}
+        primary: dict[str, dict] = {}
+        routed: list[tuple[str, dict, object, bool]] = []
+        if self._replica_set is not None:
+            struct = self._store.struct_generation
+            mask_gen = self._store.mask_generation
+            for ckey, item in pending.items():
+                physicals = list(item["colmap"].values())
+                fences = self._fences.get(item["tenant"])
+                replica = self._replica_set.pick(
+                    physicals, fences, struct, mask_gen)
+                if replica is None:
+                    primary[ckey] = item
+                    continue
+                # Only a result computed from fully-caught-up columns
+                # may enter the result cache: the cache snapshot is
+                # stamped with *primary* generations, so caching a
+                # bounded-stale replica read would freeze staleness in.
+                fresh = all(
+                    replica.applied_gen.get(p, 0) >=
+                    self._store.generations.get(p, 0)
+                    for p in physicals)
+                routed.append((ckey, item, replica, fresh))
+        else:
+            primary = dict(pending)
+        if primary:
+            with self._table_rw.read():
+                view = self._primary_view()
+                node_caches: dict = {}
+                for ckey, item in primary.items():
+                    outputs[ckey] = self._exec_shared_item(
+                        item, view, node_caches)
+        for ckey, item, replica, fresh in routed:
+            with replica.rw.read():
+                result = self._exec_shared_item(
+                    item, self._replica_view(replica), {})
+            outputs[ckey] = result[:4] + (fresh,)
+            with self._stats_lock:
+                self.replica_reads += 1
+        return outputs
+
+    def _exec_shared_item(self, item: dict, view: tuple,
+                          node_caches: dict) -> tuple:
+        """One pending batch entry against a primary/replica view.
+
+        Scatters to the worker pool when the work clears the floor
+        (workers return per-shard popcounts; the result matrix is
+        copied out of the shared output segment), otherwise runs the
+        bytecode in-process."""
+        matrices, segname, mask_seg, mask, gens = view
+        plan = item["plan"]
+        colmap = item["colmap"]
+        start = time.perf_counter()
+        missing = [physical for physical in colmap.values()
+                   if physical not in matrices]
+        if missing:
+            raise QueryError(f"unbound column(s): {missing}")
+        program = plan.vector_program(fused=self.fuse)
+        if self._use_process_pool(program):
+            plan_key, spec = vector_payload(plan, fused=self.fuse)
+            colspec = {logical: segname(physical)
+                       for logical, physical in colmap.items()}
+            job_gens = {physical: gens.get(physical, 0)
+                        for physical in colmap.values()}
+            result = self._get_worker_pool().execute(
+                plan_key, spec, colspec, mask_seg, [None],
+                gens=job_gens, take_matrix=self._matrix_pool.take)
+            shard_counts, matrix = result[None]
+            count = int(shard_counts.sum())
+        else:
+            columns = {logical: matrices[physical]
+                       for logical, physical in colmap.items()}
+            matrix = program.run(
+                columns, shape=self._store.shape,
+                pool=self._matrix_pool,
+                node_cache=node_caches.setdefault(item["tenant"], {}))
+            count = self._masked_count(matrix, mask)
+        payload = PackedBits(self._store, matrix)
+        delta = self._charge_vector(plan, colmap)
+        return (payload, count, delta, time.perf_counter() - start)
 
     def _charge_vector(self, plan: CompiledQuery,
                        colmap: dict[str, str]) -> Stats:
@@ -1839,9 +2077,16 @@ class BitwiseService:
             "executor": {
                 "fuse": self.fuse,
                 "workers": self.workers,
+                "mode": "process" if self._shared_store
+                and self.workers > 1 else "serial",
                 "parallel_min_work": self._parallel_min_work,
                 "matrix_pool": self._matrix_pool.stats()
                 if self.backend == "vector" else None,
+                "worker_pool": self._worker_pool.stats()
+                if self._worker_pool is not None else None,
+                "replica_reads": self.replica_reads,
+                "replicas": self._replica_set.stats()
+                if self._replica_set is not None else None,
             },
             "durability": self._durability.stats()
             if self._durability is not None else None,
@@ -1854,8 +2099,15 @@ class BitwiseService:
                 self._durability.close()
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
-            if self._exec_pool is not None:
-                self._exec_pool.shutdown(wait=True)
+            # Order matters: the replica applier reads the primary
+            # store, workers map its segments — stop both before
+            # unlinking the shared segments.
+            if self._replica_set is not None:
+                self._replica_set.close()
+            if self._worker_pool is not None:
+                self._worker_pool.close()
+            if self._shared_store:
+                self._store.close()
 
     def _ensure_open(self) -> None:
         if self._closed:

@@ -84,19 +84,32 @@ def _words_for(n_bits: int) -> int:
     return (int(n_bits) + 63) // 64
 
 
+def _pack_segment(bits) -> tuple[np.ndarray, int, int]:
+    """``(packed bytes array, n_bits, word-padded size)`` for one
+    segment.  :func:`numpy.packbits` binarizes (any nonzero counts as
+    a set bit), so no clamp pass is needed; padding is NOT
+    materialized — callers write into zero-filled buffers where the
+    pad comes for free.
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    packed = np.packbits(arr, bitorder="little")
+    return packed, int(arr.size), _words_for(arr.size) * 8
+
+
 def pack_bits(bits) -> tuple[bytes, int]:
     """Pack a 0/1 array into word-padded little-endian bytes.
 
     Returns ``(payload, n_bits)``; the payload is padded with zero
     bits to a multiple of 8 bytes (one uint64 word).
     """
-    arr = np.minimum(np.asarray(bits, dtype=np.uint8).ravel(), 1)
-    packed = np.packbits(arr, bitorder="little")
-    pad = _words_for(arr.size) * 8 - packed.size
-    if pad:
-        packed = np.concatenate(
-            [packed, np.zeros(pad, dtype=np.uint8)])
-    return packed.tobytes(), int(arr.size)
+    packed, n_bits, padded = _pack_segment(bits)
+    if packed.size == padded:
+        return packed.tobytes(), n_bits
+    out = bytearray(padded)
+    out[:packed.size] = packed.data
+    return bytes(out), n_bits
 
 
 def unpack_bits(payload: bytes, n_bits: int) -> np.ndarray:
@@ -121,24 +134,20 @@ def encode_frame(kind: int, meta: dict, bits=None, *,
     fails to serialize raises :class:`ProtocolError`.
     """
     if bits is None:
-        payload, n_bits = b"", 0
+        parts = []
     elif isinstance(bits, (list, tuple)) and bits and all(
             np.ndim(segment) == 0 for segment in bits):
         # A flat list of scalar bits is ONE logical array, not a run
         # of one-bit segments.
-        payload, n_bits = pack_bits(bits)
+        parts = [_pack_segment(bits)]
     elif isinstance(bits, (list, tuple)):
-        parts, counts = [], []
-        for segment in bits:
-            data, count = pack_bits(segment)
-            parts.append(data)
-            counts.append(count)
-        payload = b"".join(parts)
-        n_bits = sum(counts)
+        parts = [_pack_segment(segment) for segment in bits]
         meta = dict(meta)
-        meta["segment_bits"] = counts
+        meta["segment_bits"] = [count for _, count, _ in parts]
     else:
-        payload, n_bits = pack_bits(bits)
+        parts = [_pack_segment(bits)]
+    n_bits = sum(count for _, count, _ in parts)
+    payload_len = sum(padded for _, _, padded in parts)
     try:
         meta_bytes = json.dumps(
             meta, separators=(",", ":"),
@@ -146,13 +155,22 @@ def encode_frame(kind: int, meta: dict, bits=None, *,
     except (TypeError, ValueError) as exc:
         raise ProtocolError(
             f"frame metadata is not JSON-serializable: {exc}") from exc
-    if len(meta_bytes) + len(payload) > MAX_FRAME_BYTES:
+    if len(meta_bytes) + payload_len > MAX_FRAME_BYTES:
         raise ProtocolError(
-            f"frame of {len(meta_bytes) + len(payload)} bytes exceeds "
+            f"frame of {len(meta_bytes) + payload_len} bytes exceeds "
             f"the {MAX_FRAME_BYTES}-byte limit")
-    header = HEADER.pack(MAGIC, VERSION, int(kind), 0, n_bits,
-                         len(meta_bytes), len(payload) // 8)
-    return header + meta_bytes + payload
+    # One zero-filled buffer for the whole frame: header packs in
+    # place, meta and packed segments copy in once, and word padding
+    # between segments is already zero — no intermediate joins.
+    frame = bytearray(HEADER_SIZE + len(meta_bytes) + payload_len)
+    HEADER.pack_into(frame, 0, MAGIC, VERSION, int(kind), 0, n_bits,
+                     len(meta_bytes), payload_len // 8)
+    frame[HEADER_SIZE:HEADER_SIZE + len(meta_bytes)] = meta_bytes
+    offset = HEADER_SIZE + len(meta_bytes)
+    for packed, _, padded in parts:
+        frame[offset:offset + packed.size] = packed.data
+        offset += padded
+    return bytes(frame)
 
 
 def decode_header(data: bytes) -> FrameHeader:

@@ -178,3 +178,67 @@ def test_kill9_mid_soak_recovers_exactly(tmp_path):
     finally:
         recovered.close()
         reference.close()
+
+
+def test_shard_worker_kill9_soak_stays_bit_exact(rng):
+    """Kill -9 one shard worker per round while the query stream
+    runs: every query must still return the exact numpy-truth
+    popcount (workers never write column segments, so replaying a
+    dead worker's row block is bit-exact), and the pool must account
+    one respawn per kill.
+
+    One kill is in flight at a time — fired from a side thread a
+    moment into the round so it lands mid-batch when timing allows —
+    and joined before the next round, so the pool's respawn-and-
+    replay-once contract is never asked to beat a sustained
+    kill rate faster than a process spawn."""
+    import threading
+    import time as _time
+
+    rounds = int(os.environ.get("REPRO_CHAOS_ROUNDS", "4"))
+    service = BitwiseService("feram-2tnc", n_bits=N_BITS, n_shards=8,
+                             workers=2, capacity=8 * N_BITS)
+    service._parallel_min_work = 0
+    try:
+        table = {name: rng.integers(0, 2, N_BITS, dtype=np.uint8)
+                 for name in "abc"}
+        for name, bits in table.items():
+            service.create_column(name, bits)
+        queries = {
+            "a & b": int(np.sum(table["a"] & table["b"])),
+            "a ^ c": int(np.sum(table["a"] ^ table["c"])),
+            "maj(a, b, c)": int(np.sum(
+                (table["a"].astype(int) + table["b"]
+                 + table["c"]) >= 2)),
+        }
+        # spin the pool up before the chaos starts
+        assert service.query("a & b",
+                             use_cache=False).count == queries["a & b"]
+        pool = service._worker_pool
+
+        def kill(process):
+            _time.sleep(0.001)
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+
+        kills = rounds * 2
+        for round_no in range(kills):
+            victim = pool._workers[round_no % pool.n_workers].process
+            thread = threading.Thread(target=kill, args=(victim,))
+            thread.start()
+            try:
+                for query, truth in queries.items():
+                    result = service.query(query, use_cache=False)
+                    assert result.count == truth, \
+                        f"round {round_no}: {query}"
+            finally:
+                thread.join(timeout=5.0)
+        assert pool.stats()["respawns"] >= kills - 1
+        # the stream survived: one clean post-chaos pass as well
+        for query, truth in queries.items():
+            assert service.query(query, use_cache=False).count == \
+                truth, query
+    finally:
+        service.close()

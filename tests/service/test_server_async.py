@@ -62,6 +62,62 @@ class TestScheduler:
         assert metrics["batches"] == 1
         assert metrics["largest_batch"] == 8
 
+    def test_idle_queue_skips_the_batching_window(self, service):
+        """Sequential singleton queries converge the batch-size EWMA
+        below the skip threshold: the scheduler stops paying the
+        window per request, so a lone query on an idle queue returns
+        far sooner than ``window_s``."""
+        import time
+
+        async def scenario():
+            scheduler = RequestScheduler(service, window_s=0.2,
+                                         max_batch=16)
+            scheduler.start()
+            try:
+                for _ in range(3):
+                    await scheduler.submit_query(None, "a & b")
+                start = time.monotonic()
+                await scheduler.submit_query(None, "a & b")
+                elapsed = time.monotonic() - start
+                return elapsed, dict(scheduler.metrics)
+            finally:
+                await scheduler.stop()
+
+        elapsed, metrics = asyncio.run(scenario())
+        assert metrics["window_skips"] >= 1
+        assert elapsed < 0.15, \
+            f"idle query waited the full window ({elapsed:.3f}s)"
+
+    def test_window_fires_early_once_expected_batch_forms(
+            self, service):
+        """With a deliberately huge window, a backlog reaching the
+        EWMA-predicted batch size must cut the wait short instead of
+        sleeping out the window."""
+        import time
+
+        async def scenario():
+            scheduler = RequestScheduler(service, window_s=5.0,
+                                         max_batch=16)
+            scheduler._batch_ewma = 4.0
+            scheduler.start()
+            try:
+                start = time.monotonic()
+                tasks = [asyncio.ensure_future(
+                    scheduler.submit_query(None, "a & b"))
+                    for _ in range(6)]
+                await asyncio.gather(*tasks)
+                elapsed = time.monotonic() - start
+                return elapsed, dict(scheduler.metrics)
+            finally:
+                await scheduler.stop()
+
+        elapsed, metrics = asyncio.run(scenario())
+        assert metrics["early_fires"] >= 1
+        assert metrics["batches"] == 1
+        assert metrics["largest_batch"] == 6
+        assert elapsed < 2.0, \
+            f"batch sat out the window ({elapsed:.3f}s)"
+
     def test_admission_limit_rejects_excess(self, service):
         async def scenario():
             scheduler = RequestScheduler(service, window_s=0.2,

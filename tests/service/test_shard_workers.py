@@ -1,0 +1,438 @@
+"""Multi-process shard workers, shared-memory store, read replicas.
+
+The contract under test, end to end:
+
+* the process-pool executor tier is **bit- and Stats-exact** against
+  the reference replay and the plain-numpy shadow on both
+  technologies, across worker counts, including full mutation/query
+  op scripts;
+* a worker killed with ``kill -9`` mid-stream is detected, respawned
+  and its job replayed with identical results (column segments are
+  read-only to workers, so replay is safe);
+* shared-memory hygiene: every ``/dev/shm`` segment this stack
+  creates (``repb*``) is unlinked by ``close()`` — asserted by an
+  autouse fixture around *every* test in this module;
+* read replicas serve with bounded staleness, and the mutating
+  tenant's generation fence guarantees read-your-writes even while
+  the applier is artificially slowed mid-interleaving.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import time
+from contextlib import nullcontext
+
+import numpy as np
+import pytest
+
+from repro.service import BitwiseService
+from repro.service.columnstore import ColumnStore
+from repro.service.shard_workers import (
+    ReplicaSet,
+    ReplicaStore,
+    SharedColumnStore,
+    WorkerPool,
+)
+from tests.support.differential import (
+    assert_ops_equivalent,
+    assert_program_equivalent,
+)
+
+N_BITS = 4096
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def _repb_segments() -> set[str]:
+    return {os.path.basename(p)
+            for p in glob.glob("/dev/shm/repb*")}
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    """Every test must unlink what it links: no new ``/dev/shm/repb*``
+    entries may survive the test body."""
+    before = _repb_segments()
+    yield
+    leaked = sorted(_repb_segments() - before)
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
+def _table(rng, names="abc", n_bits=N_BITS):
+    return {name: rng.integers(0, 2, n_bits, dtype=np.uint8)
+            for name in names}
+
+
+def _service(*, workers=1, replicas=0, n_shards=4, n_bits=N_BITS,
+             **kwargs):
+    svc = BitwiseService("feram-2tnc", n_bits=n_bits,
+                         n_shards=n_shards, workers=workers,
+                         replicas=replicas,
+                         capacity=2 * n_bits, **kwargs)
+    svc._parallel_min_work = 0  # engage the pool on tiny tables
+    return svc
+
+
+# ----------------------------------------------------------------------
+# SharedColumnStore: storage semantics and replica events
+# ----------------------------------------------------------------------
+class TestSharedColumnStore:
+    def test_matches_base_store_and_emits_events(self, rng):
+        base = ColumnStore(N_BITS, 4)
+        shared = SharedColumnStore(N_BITS, 4)
+        try:
+            bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            base.add("a", bits)
+            event = shared.add("a", bits)
+            assert event == ("add", "a", shared.struct_generation)
+            assert np.array_equal(shared._matrices["a"],
+                                  base._matrices["a"])
+            assert shared.generations["a"] == 1
+
+            new = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            base.set("a", new)
+            kind, name, gen, dirty, values = shared.set("a", new)
+            assert (kind, name, gen) == ("set", "a", 2)
+            assert np.array_equal(shared._matrices["a"],
+                                  base._matrices["a"])
+            # the diff is exactly the changed words
+            assert dirty.size <= shared._matrices["a"].size
+            assert np.array_equal(
+                shared._matrices["a"].reshape(-1)[dirty], values)
+
+            segname = shared.segment_name("a")
+            assert segname.startswith("repb")
+            drop = shared.drop("a")
+            assert drop[:3] == ("drop", "a", shared.struct_generation)
+            assert drop[3] == segname
+            # unlinked from /dev/shm immediately...
+            assert segname not in _repb_segments()
+        finally:
+            shared.close()
+
+    def test_set_is_in_place_not_rebind(self, rng):
+        shared = SharedColumnStore(N_BITS, 4)
+        try:
+            shared.add("a", rng.integers(0, 2, N_BITS, dtype=np.uint8))
+            view = shared._matrices["a"]
+            shared.set("a", rng.integers(0, 2, N_BITS, dtype=np.uint8))
+            assert shared._matrices["a"] is view
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent_and_unlinks_everything(self, rng):
+        shared = SharedColumnStore(N_BITS, 4)
+        shared.add("a", rng.integers(0, 2, N_BITS, dtype=np.uint8))
+        mine = {s for s in _repb_segments()
+                if s.startswith(shared._prefix)}
+        assert mine  # column + mask segments exist while open
+        shared.close()
+        shared.close()
+        assert not {s for s in _repb_segments()
+                    if s.startswith(shared._prefix)}
+
+
+# ----------------------------------------------------------------------
+# differential: process pool vs reference replay vs numpy truth
+# ----------------------------------------------------------------------
+class TestProcessPoolDifferential:
+    @pytest.mark.parametrize("technology", ["feram-2tnc", "dram"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_program_bit_and_stats_exact(self, rng, technology,
+                                         workers):
+        from repro.arch.program import Program
+
+        table = _table(rng, "abcd")
+        program = Program([
+            ("t", "a & ~b"),
+            ("u", "t ^ (c | d)"),
+            ("v", "maj(t, u, a)"),
+        ], outputs=("u", "v"))
+        assert_program_equivalent(
+            program, table, technology=technology, n_shards=4,
+            workers=workers, parallel_min_work=0)
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_ops_script_exact_across_worker_counts(self, rng, workers):
+        table = _table(rng, "ab", 1024)
+        ops = [
+            ("query", "a & b"),
+            ("update", "a", rng.integers(0, 2, 1024, dtype=np.uint8)),
+            ("query", "a ^ b"),
+            ("create", "c", rng.integers(0, 2, 1024, dtype=np.uint8)),
+            ("query", "maj(a, b, c)"),
+            ("write", "b", 100, rng.integers(0, 2, 300,
+                                             dtype=np.uint8)),
+            ("query", "a | ~b"),
+            ("drop", "c"),
+            ("query", "a & b"),
+        ]
+        assert_ops_equivalent(
+            table, ops, n_shards=4, workers=workers,
+            parallel_min_work=0 if workers else None)
+
+    def test_ops_script_exact_with_replicas(self, rng):
+        table = _table(rng, "ab", 1024)
+        ops = [
+            ("query", "a & b"),
+            ("update", "a", rng.integers(0, 2, 1024, dtype=np.uint8)),
+            ("query", "a & b"),
+            ("query", "a ^ b"),
+            ("append", {"a": np.ones(64, dtype=np.uint8)}),
+            ("query", "a | b"),
+        ]
+        assert_ops_equivalent(table, ops, n_shards=4, replicas=1,
+                              parallel_min_work=0,
+                              capacity=1024 + 64)
+
+
+# ----------------------------------------------------------------------
+# worker crash recovery
+# ----------------------------------------------------------------------
+class TestWorkerCrash:
+    def test_kill9_respawns_and_replays_bit_exact(self, rng):
+        svc = _service(workers=2)
+        try:
+            for name, bits in _table(rng).items():
+                svc.create_column(name, bits)
+            first = svc.query("a & (b | ~c)", use_cache=False)
+            pool = svc._worker_pool
+            assert pool is not None and pool.stats()["started"]
+
+            victim = pool._workers[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10.0)
+            assert not victim.is_alive()
+
+            second = svc.query("a & (b | ~c)", use_cache=False)
+            assert second.count == first.count
+            assert np.array_equal(second.bits, first.bits)
+            assert pool.stats()["respawns"] == 1
+            # the replacement is a different process, fully re-shipped
+            assert pool._workers[0].process.pid != victim.pid
+        finally:
+            svc.close()
+
+    def test_pool_survives_repeated_kills(self, rng):
+        svc = _service(workers=2)
+        try:
+            bits = _table(rng)
+            for name, values in bits.items():
+                svc.create_column(name, values)
+            truth = int(np.sum(bits["a"] & bits["b"]))
+            for round_no in range(3):
+                result = svc.query("a & b", use_cache=False)
+                assert result.count == truth, f"round {round_no}"
+                victim = svc._worker_pool._workers[
+                    round_no % 2].process
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.join(timeout=10.0)
+            assert svc.query("a & b", use_cache=False).count == truth
+            assert svc._worker_pool.stats()["respawns"] == 3
+        finally:
+            svc.close()
+
+
+# ----------------------------------------------------------------------
+# segment hygiene across the full service stack
+# ----------------------------------------------------------------------
+class TestSegmentHygiene:
+    def test_service_close_unlinks_all_segments(self, rng):
+        before = _repb_segments()
+        svc = _service(workers=2, replicas=1)
+        for name, bits in _table(rng).items():
+            svc.create_column(name, bits)
+        svc.query("a ^ b", use_cache=False)  # spin up the pool
+        assert svc._replica_set.wait_caught_up()
+        during = _repb_segments() - before
+        assert during, "expected live store/replica/out segments"
+        svc.close()
+        assert not (_repb_segments() - before)
+
+    def test_drop_forgets_segment_in_workers(self, rng):
+        svc = _service(workers=2)
+        try:
+            for name, bits in _table(rng).items():
+                svc.create_column(name, bits)
+            svc.query("a & c", use_cache=False)
+            segname = svc._store.segment_name("c") \
+                if hasattr(svc._store, "segment_name") else None
+            svc.drop_column("c")
+            assert segname not in _repb_segments()
+            # remaining columns still fully queryable after the drop
+            result = svc.query("a & b", use_cache=False)
+            assert result.count >= 0
+        finally:
+            svc.close()
+
+
+# ----------------------------------------------------------------------
+# read replicas: staleness contract and read-your-writes
+# ----------------------------------------------------------------------
+class TestReplicas:
+    def test_replica_serves_reads_and_converges(self, rng):
+        svc = _service(replicas=2)
+        try:
+            table = _table(rng, "ab")
+            for name, bits in table.items():
+                svc.create_column(name, bits)
+            assert svc._replica_set.wait_caught_up()
+            truth = int(np.sum(table["a"] & table["b"]))
+            for _ in range(4):
+                assert svc.query("a & b",
+                                 use_cache=False).count == truth
+            assert svc.replica_reads >= 1
+            stats = svc._replica_set.stats()
+            assert stats["lag"] == 0
+            assert sum(stats["reads"]) >= 1
+            # replica state is word-for-word the primary's
+            for replica in svc._replica_set.replicas:
+                for physical, matrix in svc._store._matrices.items():
+                    assert np.array_equal(
+                        replica.matrices[physical], matrix)
+                assert replica.applied_gen == svc._store.generations
+        finally:
+            svc.close()
+
+    def test_read_your_writes_while_applier_lags(self, rng):
+        """The mutating tenant must never read stale bits, even with
+        the applier artificially slowed so every query races an
+        unapplied mutation (the generation fence routes to primary)."""
+        svc = _service(replicas=1)
+        try:
+            svc.create_column("a", rng.integers(0, 2, N_BITS,
+                                                dtype=np.uint8))
+            assert svc._replica_set.wait_caught_up()
+            replica = svc._replica_set.replicas[0]
+            original_apply = replica.apply
+
+            def slow_apply(event):
+                time.sleep(0.02)
+                original_apply(event)
+
+            replica.apply = slow_apply
+            try:
+                for _ in range(8):
+                    bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+                    svc.update_column("a", bits)
+                    result = svc.query("a", use_cache=False)
+                    assert result.count == int(bits.sum())
+                    assert np.array_equal(result.bits, bits)
+            finally:
+                replica.apply = original_apply
+            assert svc._replica_set.wait_caught_up()
+            assert np.array_equal(
+                replica.matrices[next(iter(replica.matrices))],
+                svc._store._matrices[next(iter(
+                    svc._store._matrices))])
+        finally:
+            svc.close()
+
+    def test_stale_replica_read_is_never_cached(self, rng):
+        """A query served by a lagging replica must not poison the
+        result cache: once the tenant's fence admits a stale replica
+        read is impossible, the only cacheable results are fresh."""
+        svc = _service(replicas=1)
+        try:
+            bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            svc.create_column("a", bits)
+            assert svc._replica_set.wait_caught_up()
+            new = 1 - bits
+            svc.update_column("a", new)
+            # cache warm-up attempt while the applier may still lag
+            warm = svc.query("a", use_cache=True)
+            assert warm.count == int(new.sum())
+            assert svc._replica_set.wait_caught_up()
+            cached = svc.query("a", use_cache=True)
+            assert cached.count == int(new.sum())
+            assert np.array_equal(cached.bits, new)
+        finally:
+            svc.close()
+
+    def test_replica_set_applies_structural_events(self, rng):
+        svc = _service(replicas=1)
+        try:
+            svc.create_column("a", rng.integers(0, 2, N_BITS,
+                                                dtype=np.uint8))
+            svc.create_column("b", rng.integers(0, 2, N_BITS,
+                                                dtype=np.uint8))
+            svc.drop_column("b")
+            svc.append_rows({"a": np.ones(64, dtype=np.uint8)})
+            assert svc._replica_set.wait_caught_up()
+            replica = svc._replica_set.replicas[0]
+            assert replica.applied_struct == \
+                svc._store.struct_generation
+            assert replica.applied_mask_gen == \
+                svc._store.mask_generation
+            assert replica.n_bits == svc._store.n_bits
+            assert set(replica.matrices) == set(svc._store._matrices)
+        finally:
+            svc.close()
+
+    def test_direct_replica_fencing_predicate(self, rng):
+        primary = SharedColumnStore(N_BITS, 4)
+        try:
+            primary.add("a", rng.integers(0, 2, N_BITS,
+                                          dtype=np.uint8))
+            replica = ReplicaStore(primary, 0,
+                                   read_lock=nullcontext)
+            try:
+                struct = primary.struct_generation
+                mask_gen = primary.mask_generation
+                assert replica.can_serve(["a"], None, struct,
+                                         mask_gen)
+                event = primary.set(
+                    "a", rng.integers(0, 2, N_BITS, dtype=np.uint8))
+                fence = {"a": primary.generations["a"]}
+                # not yet applied: the fence must refuse the replica
+                assert not replica.can_serve(["a"], fence, struct,
+                                             mask_gen)
+                replica.apply(event)
+                assert replica.can_serve(["a"], fence, struct,
+                                         mask_gen)
+                # structural drift also disqualifies
+                assert not replica.can_serve(["a"], fence, struct + 1,
+                                             mask_gen)
+            finally:
+                replica.close()
+        finally:
+            primary.close()
+
+
+# ----------------------------------------------------------------------
+# worker pool plumbing
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_blocks_partition_all_rows(self):
+        pool = WorkerPool((8, 16), workers=3)
+        try:
+            assert pool.blocks[0][0] == 0
+            assert pool.blocks[-1][1] == 8
+            for (_, hi), (lo, _) in zip(pool.blocks, pool.blocks[1:]):
+                assert hi == lo
+        finally:
+            pool.close()
+
+    def test_worker_count_clamped_to_rows(self):
+        pool = WorkerPool((2, 16), workers=8)
+        try:
+            assert pool.n_workers == 2
+        finally:
+            pool.close()
+
+    def test_plan_specs_ship_once_per_worker(self, rng):
+        svc = _service(workers=2)
+        try:
+            for name, bits in _table(rng).items():
+                svc.create_column(name, bits)
+            for _ in range(3):
+                svc.query("a & b", use_cache=False)
+            stats = svc._worker_pool.stats()
+            assert stats["jobs"] >= 6
+            # one spec per worker, not one per job
+            assert stats["plans_shipped"] == 2
+        finally:
+            svc.close()

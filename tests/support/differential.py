@@ -230,7 +230,8 @@ def apply_op_to_service(service: BitwiseService, op: tuple):
 def assert_ops_equivalent(initial_table: dict, ops, *,
                           technology="feram-2tnc", n_shards=3,
                           capacity=None, cache_size=64,
-                          fused=True, workers=None):
+                          fused=True, workers=None,
+                          parallel_min_work=None, replicas=0):
     """Differential assertion for serialized mutation/query scripts.
 
     Runs the same op script on a vector-backend service, a
@@ -239,6 +240,10 @@ def assert_ops_equivalent(initial_table: dict, ops, *,
     backends and match the shadow; mutations must charge identical
     dirty rows/energy.  Finally the column states and the full service
     ledgers (compute + writeback maintenance) must agree.
+
+    ``workers``/``parallel_min_work``/``replicas`` select the vector
+    backend's executor tier (shared-memory process pool and replica
+    routing); the reference replay ignores them.
     """
     n_bits = len(next(iter(initial_table.values())))
     services = {
@@ -246,9 +251,13 @@ def assert_ops_equivalent(initial_table: dict, ops, *,
                                 n_shards=n_shards, backend=backend,
                                 capacity=capacity,
                                 cache_size=cache_size,
-                                fuse=fused, workers=workers)
+                                fuse=fused, workers=workers,
+                                replicas=(replicas if
+                                          backend == "vector" else 0))
         for backend in ("reference", "vector")
     }
+    if parallel_min_work is not None:
+        services["vector"]._parallel_min_work = parallel_min_work
     shadow = {name: np.asarray(bits, dtype=np.uint8).copy()
               for name, bits in initial_table.items()}
     try:
