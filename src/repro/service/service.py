@@ -993,6 +993,12 @@ class BitwiseService:
         if self._replica_set is not None:
             if event[0] == "set" and physical is not None:
                 self._fences.setdefault(tenant, {})[physical] = event[2]
+            elif event[0] == "drop":
+                # A recreated physical restarts its generation at 1;
+                # a stale fence would refuse every replica for that
+                # tenant forever (and the dict would grow unboundedly).
+                for fence in self._fences.values():
+                    fence.pop(event[1], None)
             self._replica_set.publish(event)
         elif event[0] == "drop":
             self._forget_segment(event[3])

@@ -305,14 +305,20 @@ def _worker_main(conn, shape) -> None:
             if entry is not None:
                 _close_quietly(entry[0])
             continue
-        # ("exec", job)
+        # ("exec", job) — every reply echoes the job id so the
+        # coordinator can discard stale replies left in the pipe by a
+        # round that raised before draining every worker.
         job = message[1]
+        job_id = job["id"]
         try:
             program = programs.get(job["plan"])
             if program is None:
                 if job["spec"] is None:
-                    raise QueryError(
-                        f"plan {job['plan']!r} never shipped")
+                    # The plan was evicted from this cache after the
+                    # coordinator shipped it; ask for a re-ship rather
+                    # than failing the job permanently.
+                    conn.send(("need-spec", job_id))
+                    continue
                 if len(programs) >= 256:
                     programs.clear()
                 program = VectorProgram.from_spec(job["spec"])
@@ -349,10 +355,10 @@ def _worker_main(conn, shape) -> None:
                 counts[out_key] = popcount_words(words).sum(
                     axis=1, dtype=np.int64).tolist()
             pool.give_unique(results.values())
-            conn.send(("ok", counts))
+            conn.send(("ok", job_id, counts))
         except Exception as exc:  # noqa: BLE001 - report, don't die
             try:
-                conn.send(("err", repr(exc)))
+                conn.send(("err", job_id, repr(exc)))
             except (BrokenPipeError, OSError):
                 break
     for entry in segments.values():
@@ -403,6 +409,10 @@ class WorkerPool:
             f"{_SEGMENT_PREFIX}{os.getpid()}p{next(_STORE_SEQ)}"
         self._started = False
         self._closed = False
+        #: monotonically increasing id echoed in every worker reply;
+        #: lets _recv discard stale replies left in a pipe by a round
+        #: that raised before draining every worker
+        self._job_seq = itertools.count(1)
         #: jobs dispatched / workers respawned / plan specs shipped
         self.jobs = 0
         self.respawns = 0
@@ -488,6 +498,7 @@ class WorkerPool:
             self._ensure_out_segments(len(out_keys))
             outs = [(key, self._out_segments[i].name)
                     for i, key in enumerate(out_keys)]
+            job_id = next(self._job_seq)
 
             def make_job(index: int) -> dict:
                 state = self._workers[index]
@@ -495,7 +506,7 @@ class WorkerPool:
                 if ship:
                     state.shipped.add(plan_key)
                     self.plans_shipped += 1
-                return {"plan": plan_key,
+                return {"id": job_id, "plan": plan_key,
                         "spec": spec if ship else None,
                         "cols": colspec, "mask": mask_seg,
                         "rows": self.blocks[index], "outs": outs,
@@ -503,7 +514,7 @@ class WorkerPool:
 
             for index in range(self.n_workers):
                 self._dispatch(index, make_job)
-            replies = [self._await(index, make_job)
+            replies = [self._await(index, make_job, job_id, plan_key)
                        for index in range(self.n_workers)]
             self.jobs += self.n_workers
 
@@ -529,8 +540,9 @@ class WorkerPool:
             self._respawn(index)
             self._workers[index].conn.send(("exec", make_job(index)))
 
-    def _await(self, index: int, make_job) -> dict:
-        reply = self._recv(index)
+    def _await(self, index: int, make_job, job_id: int,
+               plan_key: str) -> dict:
+        reply = self._recv(index, job_id)
         if reply is None:  # dead or hung: respawn and replay once
             self._respawn(index)
             try:
@@ -540,23 +552,49 @@ class WorkerPool:
                 raise QueryError(
                     f"shard worker {index} unavailable: {exc}"
                 ) from exc
-            reply = self._recv(index)
+            reply = self._recv(index, job_id)
             if reply is None:
                 raise QueryError(
                     f"shard worker {index} unresponsive after respawn")
+        if reply[0] == "need-spec":
+            # The worker evicted this plan from its bytecode cache
+            # after we shipped it: forget it was shipped and replay
+            # with the spec attached.
+            self._workers[index].shipped.discard(plan_key)
+            try:
+                self._workers[index].conn.send(
+                    ("exec", make_job(index)))
+            except (BrokenPipeError, OSError) as exc:
+                raise QueryError(
+                    f"shard worker {index} unavailable: {exc}"
+                ) from exc
+            reply = self._recv(index, job_id)
+            if reply is None:
+                raise QueryError(
+                    f"shard worker {index} unresponsive after "
+                    f"spec re-ship")
         if reply[0] != "ok":
             raise QueryError(
-                f"shard worker {index} failed: {reply[1]}")
-        return reply[1]
+                f"shard worker {index} failed: {reply[2]}")
+        return reply[2]
 
-    def _recv(self, index: int):
+    def _recv(self, index: int, job_id: int):
+        """Receive the reply tagged ``job_id``.  Replies carrying an
+        older id are stale leftovers from a round that raised before
+        every worker was drained — discard them so they can never be
+        attributed to this job."""
         conn = self._workers[index].conn
-        try:
-            if not conn.poll(self.timeout_s):
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0 or not conn.poll(remaining):
+                    return None
+                reply = conn.recv()
+            except (EOFError, OSError):
                 return None
-            return conn.recv()
-        except (EOFError, OSError):
-            return None
+            if len(reply) >= 2 and reply[1] == job_id:
+                return reply
 
     # -- maintenance ----------------------------------------------------
     def forget(self, segment_name: str) -> None:
@@ -690,7 +728,12 @@ class ReplicaStore:
         self.applied_gen[name] = self._primary.generations.get(name, 0)
 
     # -- event application ---------------------------------------------
-    def apply(self, event: tuple) -> None:
+    def apply(self, event: tuple) -> str | None:
+        """Apply one mutation event.  Returns the name of the replica
+        segment a ``drop`` unlinked (the :class:`ReplicaSet` forwards
+        it to the worker pool's ``forget``, or workers that attached
+        the segment during replica-routed scatter would hold the
+        unlinked pages until respawn), else ``None``."""
         kind = event[0]
         with self.rw.write():
             if kind == "set":
@@ -699,38 +742,41 @@ class ReplicaStore:
                 # this diff; re-applying would regress the words.
                 if name not in self.matrices or \
                         gen <= self.applied_gen.get(name, 0):
-                    return
+                    return None
                 self.matrices[name].reshape(-1)[dirty] = values
                 self.applied_gen[name] = gen
             elif kind == "add":
                 _, name, struct = event
                 if struct <= self.applied_struct:
-                    return
+                    return None
                 with self._read_lock():
                     self._copy_column(name)
                 self.applied_struct = struct
             elif kind == "drop":
                 _, name, struct = event[:3]
                 if struct <= self.applied_struct:
-                    return
+                    return None
                 self.matrices.pop(name, None)
                 self.applied_gen.pop(name, None)
                 shm = self.segments.pop(name, None)
+                self.applied_struct = struct
                 if shm is not None:
+                    dropped = shm.name
                     try:
                         shm.unlink()
                     except FileNotFoundError:  # pragma: no cover
                         pass
                     _close_quietly(shm)
-                self.applied_struct = struct
+                    return dropped
             elif kind == "resize":
                 _, mask_gen, n_bits = event
                 if mask_gen <= self.applied_mask_gen:
-                    return
+                    return None
                 with self._read_lock():
                     self._copy_mask()
                     self.n_bits = int(n_bits)
                 self.applied_mask_gen = mask_gen
+        return None
 
     # -- routing --------------------------------------------------------
     def can_serve(self, physicals, fences: dict | None,
@@ -831,7 +877,10 @@ class ReplicaSet:
                 self._cv.notify_all()
             try:
                 for replica in self.replicas:
-                    replica.apply(event)
+                    dropped = replica.apply(event)
+                    if dropped is not None and \
+                            self._forget is not None:
+                        self._forget(dropped)
                 if event[0] == "drop" and self._forget is not None:
                     self._forget(event[3])
             finally:

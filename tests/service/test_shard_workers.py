@@ -372,6 +372,57 @@ class TestReplicas:
         finally:
             svc.close()
 
+    def test_drop_prunes_fences_so_recreation_serves_replicas(
+            self, rng):
+        """A recreated physical restarts its generation at 1; a stale
+        fence left by the dropped incarnation must not refuse every
+        replica for that tenant forever."""
+        svc = _service(replicas=1)
+        try:
+            bits = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            svc.create_column("a", bits)
+            svc.update_column("a", 1 - bits)
+            physical = svc.tenant_state(None).resolve("a")
+            assert svc._fences[None][physical] >= 2
+            svc.drop_column("a")
+            assert all(physical not in fence
+                       for fence in svc._fences.values())
+
+            new = rng.integers(0, 2, N_BITS, dtype=np.uint8)
+            svc.create_column("a", new)
+            assert svc._replica_set.wait_caught_up()
+            before = svc.replica_reads
+            for _ in range(3):
+                result = svc.query("a", use_cache=False)
+                assert result.count == int(new.sum())
+            assert svc.replica_reads > before
+        finally:
+            svc.close()
+
+    def test_drop_forgets_replica_segment_in_workers(self, rng):
+        """``drop`` must forget the replica's own segment name too —
+        workers that attached it during replica-routed scatter would
+        otherwise hold the unlinked pages until respawn."""
+        primary = SharedColumnStore(1024, 4)
+        forgotten: list[str] = []
+        try:
+            primary.add("a", rng.integers(0, 2, 1024, dtype=np.uint8))
+            replica_set = ReplicaSet(primary, 1,
+                                     read_lock=nullcontext,
+                                     forget=forgotten.append)
+            try:
+                replica = replica_set.replicas[0]
+                replica_seg = replica.segments["a"].name
+                event = primary.drop("a")
+                replica_set.publish(event)
+                assert replica_set.wait_caught_up()
+                assert event[3] in forgotten   # primary segment
+                assert replica_seg in forgotten  # replica segment
+            finally:
+                replica_set.close()
+        finally:
+            primary.close()
+
     def test_direct_replica_fencing_predicate(self, rng):
         primary = SharedColumnStore(N_BITS, 4)
         try:
@@ -436,3 +487,89 @@ class TestWorkerPool:
             assert stats["plans_shipped"] == 2
         finally:
             svc.close()
+
+    def test_stale_replies_never_attributed_to_next_job(self, rng):
+        """A round that raises before draining every worker leaves
+        replies in the pipes; the job-id echo must stop the next
+        ``execute`` from consuming them as its own results."""
+        from repro.arch.expr import compile_expr
+        from repro.arch.program import vector_payload
+
+        store = SharedColumnStore(1024, 4)
+        pool = WorkerPool(store.shape, workers=2)
+        try:
+            a = rng.integers(0, 2, 1024, dtype=np.uint8)
+            b = rng.integers(0, 2, 1024, dtype=np.uint8)
+            store.add("a", a)
+            store.add("b", b)
+            colspec = {"a": store.segment_name("a"),
+                       "b": store.segment_name("b")}
+            key_and, spec_and = vector_payload(compile_expr("a & b"))
+            key_or, spec_or = vector_payload(compile_expr("a | b"))
+            truth_and = int(np.sum(a & b))
+            assert truth_and != int(np.sum(a | b))
+
+            counts, _ = pool.execute(key_and, spec_and, colspec,
+                                     None, [None])[None]
+            assert int(counts.sum()) == truth_and
+
+            # Simulate the failed round: dispatch a different plan to
+            # every worker with a stale job id and never drain the
+            # ("ok", stale_id, or_counts) replies.
+            outs = [(None, pool._out_segments[0].name)]
+            for index, state in enumerate(pool._workers):
+                state.conn.send(("exec", {
+                    "id": 0, "plan": key_or, "spec": spec_or,
+                    "cols": colspec, "mask": None,
+                    "rows": pool.blocks[index], "outs": outs,
+                    "gens": {}}))
+
+            counts, matrix = pool.execute(key_and, spec_and, colspec,
+                                          None, [None])[None]
+            assert int(counts.sum()) == truth_and
+            assert np.array_equal(
+                matrix, store._pack((a & b).astype(np.uint8)))
+        finally:
+            pool.close()
+            store.close()
+
+    def test_plan_eviction_recovers_via_spec_reship(self, rng):
+        """A worker that evicts a shipped plan from its bytecode
+        cache replies ``need-spec``; the coordinator re-ships and the
+        job succeeds — no permanent 'plan never shipped' failure."""
+        from repro.arch.expr import compile_expr
+        from repro.arch.program import vector_payload
+
+        store = SharedColumnStore(1024, 4)
+        pool = WorkerPool(store.shape, workers=2)
+        try:
+            a = rng.integers(0, 2, 1024, dtype=np.uint8)
+            b = rng.integers(0, 2, 1024, dtype=np.uint8)
+            store.add("a", a)
+            store.add("b", b)
+            colspec = {"a": store.segment_name("a"),
+                       "b": store.segment_name("b")}
+            key_and, spec_and = vector_payload(compile_expr("a & b"))
+            _, spec_or = vector_payload(compile_expr("a | b"))
+            truth_and = int(np.sum(a & b))
+
+            counts, _ = pool.execute(key_and, spec_and, colspec,
+                                     None, [None])[None]
+            assert int(counts.sum()) == truth_and
+
+            # Push 256 more distinct plan ids through every worker so
+            # the 256-entry worker cache evicts ``key_and``.
+            for i in range(256):
+                pool.execute(f"filler-{i}", spec_or, colspec, None,
+                             [None])
+
+            shipped_before = pool.plans_shipped
+            counts, _ = pool.execute(key_and, spec_and, colspec,
+                                     None, [None])[None]
+            assert int(counts.sum()) == truth_and
+            # recovered by re-shipping the spec, not by respawning
+            assert pool.plans_shipped > shipped_before
+            assert pool.respawns == 0
+        finally:
+            pool.close()
+            store.close()
